@@ -1,0 +1,163 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment table (E1..E8) — the paper has no
+   quantitative tables of its own, so these operationalize its qualitative
+   claims; the mapping is documented in DESIGN.md §3 and EXPERIMENTS.md.
+
+   Part 2 runs Bechamel microbenchmarks (M1..M7) of the certifier's and
+   substrate's hot operations: alive-interval certification, alive-table
+   maintenance, lock acquisition, serialization/commit-order graph checks,
+   replay, and the exact view-serializability decision on the paper's H1.
+
+   Run with:  dune exec bench/main.exe
+   (pass --quick for fewer seeds per experiment cell) *)
+
+open Hermes_kernel
+module Experiment = Hermes_harness.Experiment
+module Table_fmt = Hermes_harness.Table_fmt
+module Alive_table = Hermes_core.Alive_table
+module Lock = Hermes_ltm.Lock
+module History = Hermes_history.History
+module Op = Hermes_history.Op
+module Serialization_graph = Hermes_history.Serialization_graph
+module Commit_order_graph = Hermes_history.Commit_order_graph
+module Replay = Hermes_history.Replay
+module View = Hermes_history.View
+module Committed = Hermes_history.Committed
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures for the microbenchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let site n = Site.of_int n
+
+let filled_alive_table n =
+  let t = Alive_table.create () in
+  for gid = 1 to n do
+    Alive_table.insert t ~gid
+      ~sn:(Sn.make ~ts:(Time.of_int gid) ~site:(site 0) ~seq:0)
+      ~interval:(Interval.make ~lo:(Time.of_int 0) ~hi:(Time.of_int (1000 + gid)))
+  done;
+  t
+
+(* A synthetic committed history: [n_txns] transactions over [n_items]
+   items at two sites, round-robin interleaved, all committed. *)
+let synthetic_history ~n_txns ~n_items =
+  let rng = Rng.create ~seed:99 in
+  let ops = ref [] in
+  for g = 1 to n_txns do
+    let s = site (g mod 2) in
+    let inc = Txn.Incarnation.make ~txn:(Txn.global g) ~site:s ~inc:0 in
+    for _ = 1 to 4 do
+      let item = Item.make ~site:s ~table:"X" ~key:(Rng.int rng ~bound:n_items) in
+      ops :=
+        (if Rng.bool rng ~p:0.5 then Op.read ~inc ~item ~from:None () else Op.write ~inc ~item ()) :: !ops
+    done;
+    ops := Op.Local_commit inc :: Op.Global_commit (Txn.global g) :: !ops
+  done;
+  History.of_ops (List.rev !ops)
+
+(* The paper's H1 as a literal history (4 transactions after projection),
+   for the exact view-serializability decision benchmark. *)
+let h1_history =
+  let a = site 0 and b = site 1 in
+  let inc txn st k = Txn.Incarnation.make ~txn ~site:st ~inc:k in
+  let t1 = Txn.global 1 and t2 = Txn.global 2 in
+  let i10a = inc t1 a 0 and i11a = inc t1 a 1 and i10b = inc t1 b 0 in
+  let i20a = inc t2 a 0 and i20b = inc t2 b 0 in
+  let item st tbl = Item.make ~site:st ~table:tbl ~key:0 in
+  let xa = item a "X" and ya = item a "Y" and zb = item b "Z" in
+  let r i it = Op.read ~inc:i ~item:it ~from:None () and w i it = Op.write ~inc:i ~item:it () in
+  History.of_ops
+    [
+      r i10a xa; r i10a ya; w i10a ya; r i10b zb; w i10b zb;
+      Op.Prepare { txn = t1; site = a; sn = None }; Op.Prepare { txn = t1; site = b; sn = None };
+      Op.Global_commit t1; Op.Local_abort i10a; Op.Local_commit i10b;
+      w i20a ya; r i20a xa; w i20a xa; r i20b zb; w i20b zb;
+      Op.Prepare { txn = t2; site = a; sn = None }; Op.Prepare { txn = t2; site = b; sn = None };
+      Op.Global_commit t2; Op.Local_commit i20a; Op.Local_commit i20b;
+      r i11a xa; Op.Local_commit i11a;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let microbenchmarks () =
+  let table64 = filled_alive_table 64 in
+  let candidate = Interval.make ~lo:(Time.of_int 500) ~hi:(Time.of_int 2000) in
+  let open Bechamel in
+  let m1 =
+    Test.make ~name:"M1 alive-interval certification (64 prepared)"
+      (Staged.stage (fun () -> ignore (Alive_table.all_intersect table64 candidate)))
+  in
+  let m2 =
+    let counter = ref 0 in
+    Test.make ~name:"M2 alive-table insert+remove"
+      (Staged.stage (fun () ->
+           incr counter;
+           let gid = 1_000_000 + !counter in
+           Alive_table.insert table64 ~gid
+             ~sn:(Sn.make ~ts:(Hermes_kernel.Time.of_int gid) ~site:(site 0) ~seq:0)
+             ~interval:candidate;
+           Alive_table.remove table64 ~gid))
+  in
+  let m3 =
+    let locks = Lock.create () in
+    Test.make ~name:"M3 lock acquire+release (16 keys)"
+      (Staged.stage (fun () ->
+           for k = 0 to 15 do
+             ignore (Lock.acquire locks ("X", k) ~owner:1 ~mode:Lock.Exclusive ~on_grant:ignore)
+           done;
+           ignore (Lock.release_all locks ~owner:1)))
+  in
+  let h200 = synthetic_history ~n_txns:50 ~n_items:16 in
+  let m4 =
+    Test.make ~name:"M4 SG build+cycle check (50 txns, 200 ops)"
+      (Staged.stage (fun () -> ignore (Serialization_graph.find_cycle h200)))
+  in
+  let m5 =
+    Test.make ~name:"M5 CG cycle check (50 txns)"
+      (Staged.stage (fun () -> ignore (Commit_order_graph.find_cycle h200)))
+  in
+  let m6 =
+    Test.make ~name:"M6 replay semantics (200 ops)"
+      (Staged.stage (fun () -> ignore (Replay.run h200)))
+  in
+  let m7 =
+    Test.make ~name:"M7 exact VSR decision on H1"
+      (Staged.stage (fun () -> ignore (View.view_serializable (Committed.extended h1_history))))
+  in
+  let h200_text = Hermes_history.Serial_format.to_string h200 in
+  let m8 =
+    Test.make ~name:"M8 history dump+parse round trip (200 ops)"
+      (Staged.stage (fun () -> ignore (Hermes_history.Serial_format.of_string h200_text)))
+  in
+  let tests = [ m1; m2; m3; m4; m5; m6; m7; m8 ] in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all ols instance raw
+  in
+  Fmt.pr "@.== Microbenchmarks (Bechamel, monotonic clock) ==@.";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ ns ] -> Fmt.pr "  %-50s %10.1f ns/run@." name ns
+          | _ -> Fmt.pr "  %-50s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let t0 = Unix.gettimeofday () in
+  List.iter Table_fmt.print (Experiment.all ~quick ());
+  microbenchmarks ();
+  Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,314 @@
+(* The hermes command-line interface.
+
+     hermes run         -- one workload simulation, with a verification report
+     hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
+     hermes experiments -- print the experiment tables (E1..E8)
+
+   All simulations are deterministic in the seed. *)
+
+open Cmdliner
+module Config = Hermes_core.Config
+module Dtm = Hermes_core.Dtm
+module Cgm = Hermes_baselines.Cgm
+module Failure = Hermes_ltm.Failure
+module Network = Hermes_net.Network
+module Spec = Hermes_workload.Spec
+module Stats = Hermes_workload.Stats
+module Driver = Hermes_workload.Driver
+module Scenario = Hermes_harness.Scenario
+module Experiment = Hermes_harness.Experiment
+module Table_fmt = Hermes_harness.Table_fmt
+module Report = Hermes_history.Report
+module History = Hermes_history.History
+module Committed = Hermes_history.Committed
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (runs are deterministic).")
+
+(* Structured logging: components emit on the hermes.* sources (agent,
+   coordinator, ltm, net); every message carries the simulated time. *)
+let setup_logs =
+  let level =
+    Arg.(
+      value
+      & opt (enum [ ("quiet", None); ("info", Some Logs.Info); ("debug", Some Logs.Debug) ]) None
+      & info [ "log" ] ~docv:"LEVEL" ~doc:"Log verbosity: $(b,quiet), $(b,info) or $(b,debug).")
+  in
+  let setup level =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level level
+  in
+  Term.(const setup $ level)
+
+let certifier_conv =
+  let parse = function
+    | "full" | "2cm" -> Ok Config.full
+    | "naive" -> Ok Config.naive
+    | "ticket" -> Ok Config.ticket
+    | "no-extension" -> Ok Config.without_extension
+    | "no-commit-cert" -> Ok Config.without_commit_certification
+    | "no-prepare-cert" -> Ok Config.without_prepare_certification
+    | "no-dlu" -> Ok Config.without_dlu
+    | "commit-only" -> Ok { Config.naive with Config.commit_certification = true }
+    | "prepare-only" -> Ok { Config.naive with Config.prepare_certification = true; bind_data = true }
+    | s -> Error (`Msg (Fmt.str "unknown certifier %S" s))
+  in
+  Arg.conv (parse, fun ppf c -> Config.pp ppf c)
+
+let certifier_arg =
+  Arg.(
+    value
+    & opt certifier_conv Config.full
+    & info [ "certifier"; "c" ] ~docv:"CERTIFIER"
+        ~doc:
+          "Certifier variant: $(b,full), $(b,naive), $(b,ticket), $(b,commit-only), $(b,prepare-only), \
+           $(b,no-extension), $(b,no-commit-cert), $(b,no-prepare-cert), $(b,no-dlu).")
+
+(* ------------------------------------------------------------------ *)
+(* hermes run                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let sites = Arg.(value & opt int 3 & info [ "sites" ] ~doc:"Number of autonomous sites.") in
+  let globals = Arg.(value & opt int 100 & info [ "globals"; "n" ] ~doc:"Global transactions to run.") in
+  let mpl = Arg.(value & opt int 4 & info [ "mpl" ] ~doc:"Concurrent global clients.") in
+  let failure_p =
+    Arg.(value & opt float 0.0 & info [ "failure" ] ~doc:"P(unilateral abort | prepared subtransaction).")
+  in
+  let jitter = Arg.(value & opt int 200 & info [ "jitter" ] ~doc:"Network jitter in ticks.") in
+  let drift = Arg.(value & opt int 0 & info [ "drift" ] ~doc:"Site clock drift: site i gets +/-DRIFT ticks.") in
+  let theta = Arg.(value & opt float 0.6 & info [ "theta" ] ~doc:"Zipf skew of key accesses.") in
+  let cgm =
+    Arg.(
+      value
+      & opt (some (enum [ ("site", Cgm.Site_level); ("table", Cgm.Table_level) ])) None
+      & info [ "cgm" ] ~doc:"Use the CGM baseline at $(b,site) or $(b,table) granularity instead of 2CM.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also print the committed projection.") in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
+  in
+  let run () certifier cgm sites globals mpl failure_p jitter drift theta seed verbose dump =
+    let protocol =
+      match cgm with
+      | Some granularity -> Driver.Cgm_baseline { Cgm.default_config with Cgm.granularity }
+      | None -> Driver.Two_pca certifier
+    in
+    let setup =
+      {
+        Driver.default_setup with
+        Driver.protocol;
+        failure = Failure.prepared_rate failure_p;
+        net = { Network.base_delay = 500; jitter };
+        clock_of_site =
+          (fun i -> Hermes_kernel.Clock.make ~offset:(if i mod 2 = 0 then drift else -drift) ());
+        seed;
+        spec = { Spec.default with Spec.n_sites = sites; n_global = globals; global_mpl = mpl; zipf_theta = theta };
+      }
+    in
+    let r = Driver.run setup in
+    let s = r.Driver.stats in
+    Fmt.pr "protocol: %s, seed %d@." (Driver.protocol_name protocol) seed;
+    Fmt.pr "global txns: %d committed, %d gave up, %d retries, %d stuck@." s.Stats.committed
+      s.Stats.aborted_final s.Stats.retries r.Driver.stuck;
+    Fmt.pr "local txns: %d committed, %d aborted@." s.Stats.local_committed s.Stats.local_aborted;
+    let lat = Stats.latency_summary s in
+    Fmt.pr "latency: mean %.1fms, p50 %.1fms, p95 %.1fms@." (lat.Stats.mean /. 1000.0)
+      (float_of_int lat.Stats.p50 /. 1000.0)
+      (float_of_int lat.Stats.p95 /. 1000.0);
+    Fmt.pr "throughput: %.1f commits/s over %.1fms simulated@." r.Driver.throughput
+      (float_of_int r.Driver.sim_ticks /. 1000.0);
+    let t = r.Driver.totals in
+    Fmt.pr "certifier: %d prepared, refusals ext/interval/dead %d/%d/%d, %d resubmissions, %d commit retries, %d DLU denials@."
+      t.Dtm.prepared t.Dtm.refused_extension t.Dtm.refused_interval t.Dtm.refused_dead t.Dtm.resubmissions
+      t.Dtm.commit_retries t.Dtm.dlu_denials;
+    (match r.Driver.cgm with
+    | Some c ->
+        Fmt.pr "CGM: %d gate delays, %d gate aborts, %d global-lock timeouts@." c.Cgm.gate_delays
+          c.Cgm.gate_aborts c.Cgm.glock_timeouts
+    | None -> ());
+    if verbose then Fmt.pr "@.committed projection:@.%a@." History.pp_with_from (Committed.extended r.Driver.history);
+    (match dump with
+    | Some path ->
+        Hermes_history.Serial_format.to_file r.Driver.history path;
+        Fmt.pr "history written to %s (%d operations)@." path (History.length r.Driver.history)
+    | None -> ());
+    Fmt.pr "@.%a@." Report.pp (Report.analyze r.Driver.history);
+    if Report.serializable (Report.analyze r.Driver.history) then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drift
+      $ theta $ seed_arg $ verbose $ dump)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* hermes scenario                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("h1", `H1); ("h2", `H2); ("h3", `H3); ("overtake", `Overtake) ])) None
+      & info [] ~docv:"SCENARIO" ~doc:"One of $(b,h1), $(b,h2), $(b,h3), $(b,overtake).")
+  in
+  let jitter = Arg.(value & opt int 8_000 & info [ "jitter" ] ~doc:"Jitter for the overtake scenario.") in
+  let run () which certifier seed jitter =
+    let show (r : Scenario.run) =
+      List.iter (fun (l, o) -> Fmt.pr "%s: %a@." l Scenario.pp_outcome_opt o) r.Scenario.outcomes;
+      List.iter (fun (l, ok) -> Fmt.pr "%s (local): %s@." l (if ok then "committed" else "failed")) r.Scenario.locals;
+      Fmt.pr "@.committed projection:@.  %a@." History.pp_with_from (Committed.extended r.Scenario.history);
+      Fmt.pr "@.%a@." Report.pp r.Scenario.report;
+      if Report.serializable r.Scenario.report then 0 else 1
+    in
+    match which with
+    | `H1 -> show (Scenario.h1 ~certifier ~seed ())
+    | `H2 -> show (Scenario.h2 ~certifier ~seed ())
+    | `H3 -> show (Scenario.h3 ~certifier ~seed ())
+    | `Overtake ->
+        let r = Scenario.overtake ~certifier ~jitter ~seed () in
+        Fmt.pr "overtaken: %b, extension refusals: %d@." r.Scenario.overtaken r.Scenario.extension_refusals;
+        show r.Scenario.o_run
+  in
+  let term = Term.(const run $ setup_logs $ which $ certifier_arg $ seed_arg $ jitter) in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Replay a paper anomaly (H1/H2/H3/S5.3 overtake) through the protocol stack.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* hermes verify                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A dumped history.") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also print the committed projection.") in
+  let run () file verbose =
+    match Hermes_history.Serial_format.of_file file with
+    | exception Hermes_history.Serial_format.Parse_error (line, msg) ->
+        Fmt.epr "%s:%d: %s@." file line msg;
+        2
+    | h ->
+        Fmt.pr "%s: %d operations, %d transactions@." file (History.length h)
+          (List.length (History.txns h));
+        if verbose then Fmt.pr "@.committed projection:@.%a@." History.pp_with_from (Committed.extended h);
+        let rep = Report.analyze h in
+        Fmt.pr "@.%a@." Report.pp rep;
+        if Report.serializable rep then 0 else 1
+  in
+  let term = Term.(const run $ setup_logs $ file $ verbose) in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Re-verify a dumped history offline (rigorousness, distortions, CG, VSR).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* hermes experiments                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Fewer seeds per cell.") in
+  let only =
+    Arg.(
+      value
+      & opt (some (enum (List.init 8 (fun i -> (Fmt.str "e%d" (i + 1), i + 1))))) None
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e8)).")
+  in
+  let run () quick only =
+    let tables =
+      match only with
+      | None -> Experiment.all ~quick ()
+      | Some 1 -> [ Experiment.e1_global_view_distortion () ]
+      | Some 2 -> [ Experiment.e2_local_view_distortion () ]
+      | Some 3 -> [ Experiment.e3_indirect_distortion () ]
+      | Some 4 -> [ Experiment.e4_overtaking () ]
+      | Some 5 -> [ Experiment.e5_restrictiveness () ]
+      | Some 6 -> [ Experiment.e6_failure_sweep () ]
+      | Some 7 -> [ Experiment.e7_clock_drift () ]
+      | Some _ -> [ Experiment.e8_commit_retry () ]
+    in
+    List.iter Table_fmt.print tables;
+    0
+  in
+  let term = Term.(const run $ setup_logs $ quick $ only) in
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E8).") term
+
+(* ------------------------------------------------------------------ *)
+(* hermes fuzz                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let count = Arg.(value & opt int 50 & info [ "count"; "n" ] ~doc:"Random configurations to try.") in
+  let run () count seed =
+    let rng = Hermes_kernel.Rng.create ~seed in
+    let failures = ref 0 in
+    for i = 1 to count do
+      (* Same space as the test-suite fuzzer, but reported instead of
+         asserted. *)
+      let n_sites = Hermes_kernel.Rng.int_in rng ~lo:2 ~hi:5 in
+      let setup =
+        {
+          Driver.default_setup with
+          Driver.protocol = Driver.Two_pca Config.full;
+          failure = Failure.prepared_rate (Hermes_kernel.Rng.float rng ~bound:0.4);
+          net = { Network.base_delay = 500; jitter = Hermes_kernel.Rng.int rng ~bound:2_000 };
+          crash_schedule =
+            (if Hermes_kernel.Rng.bool rng ~p:0.3 then
+               [ (20_000, Hermes_kernel.Rng.int rng ~bound:n_sites) ]
+             else []);
+          seed = Hermes_kernel.Rng.int rng ~bound:1_000_000;
+          time_limit = 60_000_000;
+          spec =
+            {
+              Spec.default with
+              Spec.n_sites;
+              n_global = Hermes_kernel.Rng.int_in rng ~lo:20 ~hi:50;
+              global_mpl = Hermes_kernel.Rng.int_in rng ~lo:2 ~hi:8;
+              zipf_theta = Hermes_kernel.Rng.float rng ~bound:1.1;
+              local_txn_cap = 300;
+            };
+        }
+      in
+      let r = Driver.run setup in
+      let c = Committed.extended r.Driver.history in
+      let distortions = Hermes_history.Anomaly.global_view_distortions c in
+      let cycle = Hermes_history.Anomaly.commit_order_cycle c in
+      let bad = r.Driver.stuck > 0 || distortions <> [] || cycle <> None in
+      if bad then begin
+        incr failures;
+        Fmt.pr "#%d FAILED: stuck=%d distortions=%d cycle=%b (driver seed %d)@." i r.Driver.stuck
+          (List.length distortions) (cycle <> None) setup.Driver.seed
+      end
+      else
+        Fmt.pr "#%d ok: %d commits, %d resubmissions, %d ops verified@." i
+          r.Driver.stats.Stats.committed r.Driver.totals.Dtm.resubmissions
+          (History.length r.Driver.history)
+    done;
+    if !failures = 0 then begin
+      Fmt.pr "@.all %d random configurations clean.@." count;
+      0
+    end
+    else begin
+      Fmt.pr "@.%d/%d configurations FAILED.@." !failures count;
+      1
+    end
+  in
+  let term = Term.(const run $ setup_logs $ count $ seed_arg) in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run random configurations under the full certifier and verify each history.")
+    term
+
+let () =
+  let doc = "2PC Agent certification for rigorous heterogeneous multidatabases (Veijalainen & Wolski, ICDE 1992)" in
+  let info = Cmd.info "hermes" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; scenario_cmd; experiments_cmd; verify_cmd; fuzz_cmd ]))

@@ -1,0 +1,1 @@
+examples/anomaly_tour.ml: Fmt Hermes_core Hermes_harness Hermes_history List String

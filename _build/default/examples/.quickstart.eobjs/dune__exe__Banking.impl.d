@@ -1,0 +1,1 @@
+examples/banking.ml: Array Command Fmt Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Hermes_store List Rng Site Txn

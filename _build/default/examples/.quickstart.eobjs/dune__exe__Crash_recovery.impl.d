@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Command Fmt Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Hermes_store Logs Logs_fmt Option Rng Site Sys

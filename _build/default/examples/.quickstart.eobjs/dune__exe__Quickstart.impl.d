@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Command Fmt Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Hermes_store Option Rng Site

@@ -1,0 +1,1 @@
+examples/travel.ml: Array Command Fmt Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim List Rng Site Txn

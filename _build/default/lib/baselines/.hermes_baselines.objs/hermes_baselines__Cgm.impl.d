@@ -1,0 +1,1 @@
+lib/baselines/cgm.ml: Command Commit_graph Fmt Hashtbl Hermes_core Hermes_kernel Hermes_ltm Hermes_net Hermes_sim List Site Time

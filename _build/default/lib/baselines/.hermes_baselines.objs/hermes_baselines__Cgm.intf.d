@@ -1,0 +1,1 @@
+lib/baselines/cgm.mli: Hermes_core Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Rng

@@ -1,0 +1,1 @@
+lib/baselines/commit_graph.ml: Fmt Hermes_graph Hermes_kernel Int List Site

@@ -1,0 +1,1 @@
+lib/baselines/commit_graph.mli: Fmt Hermes_graph Hermes_kernel Site

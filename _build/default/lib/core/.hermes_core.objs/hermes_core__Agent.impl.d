@@ -1,0 +1,1 @@
+lib/core/agent.ml: Agent_log Alive_table Config Fmt Hashtbl Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Interval List Logs Option Site Sn Time Txn

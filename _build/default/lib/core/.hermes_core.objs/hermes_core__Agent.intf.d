@@ -1,0 +1,1 @@
+lib/core/agent.mli: Agent_log Alive_table Config Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Site

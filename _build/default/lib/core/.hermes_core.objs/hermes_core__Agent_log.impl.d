@@ -1,0 +1,1 @@
+lib/core/agent_log.ml: Command Hashtbl Hermes_kernel Hermes_net Int Item List Sn

@@ -1,0 +1,1 @@
+lib/core/agent_log.mli: Command Hermes_kernel Hermes_net Item Sn

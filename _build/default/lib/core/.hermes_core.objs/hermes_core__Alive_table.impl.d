@@ -1,0 +1,1 @@
+lib/core/alive_table.ml: Fmt Hashtbl Hermes_kernel Interval List Sn Stdlib Time

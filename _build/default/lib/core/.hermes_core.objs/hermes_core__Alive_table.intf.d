@@ -1,0 +1,1 @@
+lib/core/alive_table.mli: Fmt Hermes_kernel Interval Sn Time

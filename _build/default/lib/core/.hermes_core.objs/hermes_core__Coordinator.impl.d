@@ -1,0 +1,1 @@
+lib/core/coordinator.ml: Command Config Fmt Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim List Logs Option Program Site Sn Time Txn

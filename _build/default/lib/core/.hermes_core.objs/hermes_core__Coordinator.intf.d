@@ -1,0 +1,1 @@
+lib/core/coordinator.mli: Config Fmt Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Program Site Sn

@@ -1,0 +1,1 @@
+lib/core/dtm.ml: Agent Array Clock Config Coordinator Fmt Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Hermes_store Program Rng Site Sn

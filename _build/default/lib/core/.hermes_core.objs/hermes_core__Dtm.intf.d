@@ -1,0 +1,1 @@
+lib/core/dtm.mli: Agent Clock Config Coordinator Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim Hermes_store Program Rng Site

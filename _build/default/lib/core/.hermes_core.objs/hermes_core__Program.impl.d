@@ -1,0 +1,1 @@
+lib/core/program.ml: Command Fmt Hermes_kernel List Site

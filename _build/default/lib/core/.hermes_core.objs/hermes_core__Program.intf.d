@@ -1,0 +1,1 @@
+lib/core/program.mli: Command Fmt Hermes_kernel Site

@@ -1,0 +1,511 @@
+(* The 2PC Agent (2PCA) with the Certifier algorithms — the paper's core
+   contribution (§2, §4, §5 and the Appendix).
+
+   One agent per site, attached to that site's LTM. It plays the 2PC
+   Participant towards the Coordinators and *simulates the prepared state*
+   on behalf of an LTM that has none: on READY it simply keeps the local
+   subtransaction open (all locks held, uncommitted), and if the LTM
+   unilaterally aborts it, the agent creates a new local subtransaction by
+   resubmitting the logged commands (subtransaction resubmission).
+
+   The Certifier steps, exactly as in the Appendix:
+
+   A. Alive check — periodically, and on UAN, verify the prepared
+      subtransaction is still alive; extend its alive interval on success,
+      resubmit on failure (a new interval starts when resubmission
+      completes).
+
+   B. Extended prepare certification — on PREPARE: first refuse if an
+      "older" (bigger-SN) subtransaction has already committed here
+      (§5.3); then the basic certification: the candidate's alive interval
+      must intersect the interval of every prepared subtransaction (§4.2,
+      sound by the Conflict Detection Basis under rigorousness); then a
+      final alive check. On success, force-write the prepare record, bind
+      the accessed data (DLU), answer READY.
+
+   C. Commit certification — on COMMIT: the subtransaction may commit
+      locally only if no prepared subtransaction at this site has a
+      smaller serial number; otherwise retry after a timeout.
+
+   Durability: commands, the prepare record (with the serial number and
+   bound-data set), the commit record and the biggest committed serial
+   number live in the {!Agent_log} — the stable storage that survives
+   [crash]. [recover] rebuilds every in-doubt subtransaction from it by
+   resubmission; coordinators retransmit un-acknowledged decisions, and
+   re-delivered COMMITs/ROLLBACKs are answered idempotently from the
+   log. *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+module Ltm = Hermes_ltm.Ltm
+module Bound = Hermes_ltm.Bound
+module Trace = Hermes_ltm.Trace
+module Op = Hermes_history.Op
+module Message = Hermes_net.Message
+module Network = Hermes_net.Network
+
+let src = Logs.Src.create "hermes.agent" ~doc:"2PC Agent / Certifier events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type sub_state = Active | Prepared
+
+type sub = {
+  gid : int;
+  entry : Agent_log.entry;  (* this subtransaction's stable-log entry *)
+  coordinator : Message.address;
+  mutable inc : int;  (* current incarnation index *)
+  mutable ltm_txn : Ltm.txn;
+  mutable state : sub_state;
+  mutable sn : Sn.t option;
+  mutable resubmitting : bool;
+  mutable committing : bool;  (* local commit in flight (makes duplicate COMMITs harmless) *)
+  mutable cancelled : bool;  (* rollback/crash decided; ignore stragglers *)
+  mutable decision_commit : bool;  (* COMMIT received, not yet performed *)
+  mutable alive_timer : Engine.timer option;
+  mutable retry_timer : Engine.timer option;
+}
+
+type stats = {
+  mutable prepared : int;
+  mutable refused_extension : int;
+  mutable refused_interval : int;
+  mutable refused_dead : int;
+  mutable resubmissions : int;
+  mutable commit_retries : int;
+  mutable local_commits : int;
+  mutable rollbacks : int;
+  mutable crashes : int;
+  mutable recovered : int;  (* in-doubt subtransactions rebuilt from the log *)
+}
+
+type t = {
+  site : Site.t;
+  engine : Engine.t;
+  ltm : Ltm.t;
+  net : Network.t;
+  trace : Trace.t;
+  config : Config.t;
+  log : Agent_log.t;  (* stable storage: survives crash *)
+  mutable subs : (int, sub) Hashtbl.t;  (* volatile *)
+  mutable alive_table : Alive_table.t;  (* volatile *)
+  stats : stats;
+}
+
+let create ~site ~engine ~ltm ~net ~trace ~config =
+  {
+    site;
+    engine;
+    ltm;
+    net;
+    trace;
+    config;
+    log = Agent_log.create ();
+    subs = Hashtbl.create 32;
+    alive_table = Alive_table.create ();
+    stats =
+      {
+        prepared = 0;
+        refused_extension = 0;
+        refused_interval = 0;
+        refused_dead = 0;
+        resubmissions = 0;
+        commit_retries = 0;
+        local_commits = 0;
+        rollbacks = 0;
+        crashes = 0;
+        recovered = 0;
+      };
+  }
+
+let address t = Message.Agent t.site
+let stats t = t.stats
+let alive_table t = t.alive_table
+let agent_log t = t.log
+let n_prepared t = Alive_table.size t.alive_table
+
+let reply t sub payload =
+  Network.send t.net ~src:(address t) ~dst:sub.coordinator ~gid:sub.gid payload
+
+let now t = Engine.now t.engine
+
+let cancel_timer = function Some timer -> Engine.cancel timer | None -> ()
+
+(* Take the subtransaction out of the agent: timers off, bound data
+   released, table entry gone. The stable-log entry remains. *)
+let cleanup t sub =
+  sub.cancelled <- true;
+  cancel_timer sub.alive_timer;
+  cancel_timer sub.retry_timer;
+  sub.alive_timer <- None;
+  sub.retry_timer <- None;
+  if t.config.Config.bind_data && sub.entry.Agent_log.bound <> [] then begin
+    Bound.unbind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound;
+    sub.entry.Agent_log.bound <- []
+  end;
+  Alive_table.remove t.alive_table ~gid:sub.gid;
+  Hashtbl.remove t.subs sub.gid
+
+let incarnation sub ~site = Txn.Incarnation.make ~txn:(Txn.global sub.gid) ~site ~inc:sub.inc
+
+(* ------------------------------------------------------------------ *)
+(* Resubmission (§2, §3): replay the Agent log as a fresh local
+   subtransaction. On completion a new alive interval starts; if the new
+   incarnation is itself unilaterally aborted, start over after a small
+   backoff. *)
+(* ------------------------------------------------------------------ *)
+
+let rec start_resubmission t sub =
+  if (not sub.cancelled) && not sub.resubmitting then begin
+    sub.resubmitting <- true;
+    attempt_resubmission t sub
+  end
+
+(* One resubmission attempt; [sub.resubmitting] stays set across backoff
+   retries, so the commit path and the alive check keep waiting instead of
+   racing a fresh resubmission past the backoff. *)
+and attempt_resubmission t sub =
+  if not sub.cancelled then begin
+    t.stats.resubmissions <- t.stats.resubmissions + 1;
+    sub.inc <- sub.inc + 1;
+    Log.debug (fun m ->
+        m "[%a %a] resubmitting T%d as incarnation %d" Time.pp (now t) Site.pp t.site sub.gid sub.inc);
+    Agent_log.note_incarnation sub.entry ~inc:sub.inc;
+    let txn = Ltm.begin_txn t.ltm ~owner:(incarnation sub ~site:t.site) in
+    sub.ltm_txn <- txn;
+    Ltm.mark_held_open t.ltm txn true;
+    feed_commands t sub txn
+  end
+
+(* Replay the logged commands into [txn] (shared by resubmission and
+   crash recovery). *)
+and feed_commands t sub txn =
+  let rec feed = function
+    | [] -> resubmission_complete t sub txn
+    | cmd :: rest ->
+        Ltm.exec t.ltm txn cmd ~on_done:(fun result ->
+            if not sub.cancelled then
+              match result with
+              | Ltm.Done _ -> feed rest
+              | Ltm.Failed _ ->
+                  (* The incarnation died (unilateral abort, lock timeout,
+                     deadlock victim): try again later. *)
+                  Engine.schedule_unit t.engine ~delay:t.config.Config.resubmit_backoff (fun () ->
+                      attempt_resubmission t sub))
+  in
+  feed (Agent_log.commands sub.entry)
+
+and resubmission_complete t sub txn =
+  if not sub.cancelled then begin
+    sub.resubmitting <- false;
+    (* "A new interval is always initiated after the resubmission of all
+       the commands is complete." With [max_intervals] > 1, the previous
+       incarnations' intervals are remembered too (the §4.2 optimization —
+       provably redundant; see EXPERIMENTS.md E9). *)
+    Alive_table.push_interval t.alive_table ~gid:sub.gid
+      ~max_intervals:t.config.Config.max_intervals (Interval.point (now t));
+    Ltm.set_uan txn (fun () -> if not sub.cancelled then start_resubmission t sub);
+    (* Re-bind: under CI + DLU the footprint cannot have changed, but
+       ablations may violate that, so bind what was actually accessed. The
+       bound set is logged so it survives a crash. *)
+    if t.config.Config.bind_data then begin
+      if sub.entry.Agent_log.bound <> [] then
+        Bound.unbind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound;
+      sub.entry.Agent_log.bound <- Ltm.footprint txn;
+      Bound.bind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound
+    end;
+    if sub.decision_commit then try_commit t sub
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Commit certification (Appendix C)                                   *)
+(* ------------------------------------------------------------------ *)
+
+and try_commit t sub =
+  if (not sub.cancelled) && sub.decision_commit && not sub.committing then
+    if sub.resubmitting then () (* resubmission_complete will call back *)
+    else begin
+      let sn = Option.get sub.sn in
+      let certified =
+        (not t.config.Config.commit_certification)
+        || Alive_table.min_sn_holds t.alive_table ~gid:sub.gid ~sn
+      in
+      if not certified then begin
+        (* Commit certification failed: retry at a later time. *)
+        Log.debug (fun m ->
+            m "[%a %a] commit certification holds T%d back (smaller SN prepared); retrying" Time.pp (now t)
+              Site.pp t.site sub.gid);
+        t.stats.commit_retries <- t.stats.commit_retries + 1;
+        cancel_timer sub.retry_timer;
+        sub.retry_timer <-
+          Some (Engine.schedule t.engine ~delay:t.config.Config.commit_retry_interval (fun () -> try_commit t sub))
+      end
+      else if not (Ltm.is_alive sub.ltm_txn) then start_resubmission t sub
+      else begin
+        (* "Write the commit record to the Agent log; commit the local
+           subtransaction ..." — the decision is durable before the local
+           commit, so a crash in between redoes it at recovery. *)
+        sub.committing <- true;
+        Agent_log.force_commit t.log sub.entry;
+        Ltm.commit t.ltm sub.ltm_txn ~on_done:(fun result ->
+            if not sub.cancelled then
+              match result with
+              | Ltm.Committed ->
+                  t.stats.local_commits <- t.stats.local_commits + 1;
+                  sub.entry.Agent_log.locally_committed <- true;
+                  reply t sub Message.Commit_ack;
+                  cleanup t sub
+              | Ltm.Commit_refused _ ->
+                  (* Aborted between the alive check and the commit:
+                     resubmit and retry. *)
+                  sub.committing <- false;
+                  start_resubmission t sub)
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Alive check (Appendix A)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec schedule_alive_check t sub =
+  sub.alive_timer <-
+    Some
+      (Engine.schedule t.engine ~delay:t.config.Config.alive_check_interval (fun () ->
+           if not sub.cancelled then begin
+             (if sub.resubmitting then () (* a new interval starts when it completes *)
+              else if Ltm.is_alive sub.ltm_txn then
+                Alive_table.extend_interval t.alive_table ~gid:sub.gid ~hi:(now t)
+              else start_resubmission t sub);
+             schedule_alive_check t sub
+           end))
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle_begin t ~gid ~coordinator =
+  let entry = Agent_log.entry t.log ~gid ~coordinator in
+  let sub =
+    {
+      gid;
+      entry;
+      coordinator;
+      inc = 0;
+      ltm_txn = Ltm.begin_txn t.ltm ~owner:(Txn.Incarnation.make ~txn:(Txn.global gid) ~site:t.site ~inc:0);
+      state = Active;
+      sn = None;
+      resubmitting = false;
+      committing = false;
+      cancelled = false;
+      decision_commit = false;
+      alive_timer = None;
+      retry_timer = None;
+    }
+  in
+  Hashtbl.replace t.subs gid sub
+
+let handle_exec t sub cmd =
+  Agent_log.append_command sub.entry cmd;
+  Ltm.exec t.ltm sub.ltm_txn cmd ~on_done:(fun result ->
+      if not sub.cancelled then
+        match result with
+        | Ltm.Done r -> reply t sub (Message.Exec_ok r)
+        | Ltm.Failed reason -> reply t sub (Message.Exec_failed (Fmt.str "%a" Ltm.pp_abort_reason reason)))
+
+let refuse t sub refusal =
+  Log.info (fun m ->
+      m "[%a %a] REFUSE T%d: %a" Time.pp (now t) Site.pp t.site sub.gid Message.pp_refusal refusal);
+  (match refusal with
+  | Message.Extension_refused -> t.stats.refused_extension <- t.stats.refused_extension + 1
+  | Message.Interval_refused -> t.stats.refused_interval <- t.stats.refused_interval + 1
+  | Message.Dead_refused -> t.stats.refused_dead <- t.stats.refused_dead + 1
+  | Message.Scheduler_refused _ -> ());
+  Ltm.abort t.ltm sub.ltm_txn;
+  reply t sub (Message.Refuse refusal);
+  cleanup t sub
+
+(* Extended prepare certification (Appendix B). *)
+let handle_prepare t sub sn =
+  (match sub.state with
+  | Active -> ()
+  | Prepared -> Fmt.failwith "agent %a: duplicate PREPARE for T%d" Site.pp t.site sub.gid);
+  sub.sn <- Some sn;
+  let extension_ok =
+    (not t.config.Config.certification_extension)
+    ||
+    match Agent_log.max_committed_sn t.log with Some m -> Sn.(sn > m) | None -> true
+  in
+  if not extension_ok then refuse t sub Message.Extension_refused
+  else begin
+    (* Basic prepare certification: refresh the table's intervals with an
+       immediate alive check, then test the intersection rule. *)
+    if t.config.Config.refresh_on_certify then
+      List.iter
+        (fun (e : Alive_table.entry) ->
+          match Hashtbl.find_opt t.subs e.Alive_table.gid with
+          | Some other when (not other.resubmitting) && Ltm.is_alive other.ltm_txn ->
+              Alive_table.extend_interval t.alive_table ~gid:e.Alive_table.gid ~hi:(now t)
+          | Some _ | None -> ())
+        (Alive_table.entries t.alive_table);
+    let candidate = Interval.make ~lo:(Ltm.last_op_done sub.ltm_txn) ~hi:(now t) in
+    let interval_ok =
+      (not t.config.Config.prepare_certification) || Alive_table.all_intersect t.alive_table candidate
+    in
+    if not interval_ok then refuse t sub Message.Interval_refused
+    else if not (Ltm.is_alive sub.ltm_txn) then
+      (* CI(2): a unilaterally aborted subtransaction is never prepared. *)
+      refuse t sub Message.Dead_refused
+    else begin
+      (* Force write the prepare record; move to the prepared state. *)
+      Log.debug (fun m -> m "[%a %a] READY T%d (sn %a)" Time.pp (now t) Site.pp t.site sub.gid Sn.pp sn);
+      t.stats.prepared <- t.stats.prepared + 1;
+      sub.state <- Prepared;
+      Agent_log.force_prepare t.log sub.entry ~sn;
+      Trace.record t.trace ~at:(now t) (Op.Prepare { txn = Txn.global sub.gid; site = t.site; sn = Some sn });
+      Alive_table.insert t.alive_table ~gid:sub.gid ~sn ~interval:candidate;
+      Ltm.mark_held_open t.ltm sub.ltm_txn true;
+      Ltm.set_uan sub.ltm_txn (fun () -> if not sub.cancelled then start_resubmission t sub);
+      if t.config.Config.bind_data then begin
+        sub.entry.Agent_log.bound <- Ltm.footprint sub.ltm_txn;
+        Bound.bind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound
+      end;
+      reply t sub Message.Ready;
+      schedule_alive_check t sub
+    end
+  end
+
+let handle_commit t sub =
+  sub.decision_commit <- true;
+  try_commit t sub
+
+let handle_rollback t sub =
+  t.stats.rollbacks <- t.stats.rollbacks + 1;
+  Agent_log.note_rollback sub.entry;
+  Ltm.abort t.ltm sub.ltm_txn;
+  reply t sub Message.Rollback_ack;
+  cleanup t sub
+
+(* Replies for subtransactions the volatile state no longer knows —
+   either lost to a crash (active-state work is simply gone; 2PC lets a
+   participant abort anything it never promised) or already finished
+   (decision retransmissions are answered idempotently from the log). *)
+let handle_unknown t ~(msg : Message.t) =
+  let answer payload = Network.send t.net ~src:(address t) ~dst:msg.Message.src ~gid:msg.gid payload in
+  match msg.Message.payload with
+  | Message.Exec _ -> answer (Message.Exec_failed "subtransaction lost in a site crash")
+  | Message.Prepare _ -> answer (Message.Refuse Message.Dead_refused)
+  | Message.Commit -> (
+      match Agent_log.find t.log ~gid:msg.gid with
+      | Some e when e.Agent_log.locally_committed -> answer Message.Commit_ack
+      | Some _ | None ->
+          Fmt.failwith "agent %a: COMMIT for unknown, uncommitted T%d" Site.pp t.site msg.gid)
+  | Message.Rollback ->
+      (match Agent_log.find t.log ~gid:msg.gid with Some e -> Agent_log.note_rollback e | None -> ());
+      answer Message.Rollback_ack
+  | _ -> Fmt.failwith "agent %a: unexpected message %a" Site.pp t.site Message.pp msg
+
+let handle t (msg : Message.t) =
+  match msg.Message.payload with
+  | Message.Begin -> handle_begin t ~gid:msg.gid ~coordinator:msg.src
+  | Message.Exec cmd -> (
+      match Hashtbl.find_opt t.subs msg.gid with
+      | Some sub -> handle_exec t sub cmd
+      | None -> handle_unknown t ~msg)
+  | Message.Prepare sn -> (
+      match Hashtbl.find_opt t.subs msg.gid with
+      | Some sub -> handle_prepare t sub sn
+      | None -> handle_unknown t ~msg)
+  | Message.Commit -> (
+      match Hashtbl.find_opt t.subs msg.gid with
+      | Some sub -> handle_commit t sub
+      | None -> handle_unknown t ~msg)
+  | Message.Rollback -> (
+      match Hashtbl.find_opt t.subs msg.gid with
+      | Some sub -> handle_rollback t sub
+      | None -> handle_unknown t ~msg)
+  | Message.Exec_ok _ | Message.Exec_failed _ | Message.Ready | Message.Refuse _ | Message.Commit_ack
+  | Message.Rollback_ack ->
+      Fmt.failwith "agent %a: unexpected message %a" Site.pp t.site Message.pp msg
+
+let attach t = Network.register t.net (address t) (handle t)
+
+(* ------------------------------------------------------------------ *)
+(* Crash and recovery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* An agent (site) crash: all volatile state is lost; only the Agent log
+   survives. Prepared subtransactions are silenced first (their timers and
+   pending continuations must not fire against the wreckage), then every
+   live transaction at the LTM suffers the collective unilateral abort —
+   active-state subtransactions reply Exec_failed through their in-flight
+   command callbacks, exactly as a single abort would. *)
+let crash t =
+  Log.info (fun m ->
+      m "[%a %a] SITE CRASH: %d live transactions, %d prepared" Time.pp (now t) Site.pp t.site
+        (List.length (Ltm.live_txns t.ltm))
+        (Alive_table.size t.alive_table));
+  t.stats.crashes <- t.stats.crashes + 1;
+  Hashtbl.iter
+    (fun _ sub ->
+      if sub.state = Prepared then begin
+        sub.cancelled <- true;
+        cancel_timer sub.alive_timer;
+        cancel_timer sub.retry_timer
+      end)
+    t.subs;
+  List.iter (fun txn -> ignore (Ltm.unilateral_abort t.ltm txn)) (Ltm.live_txns t.ltm);
+  (* Now silence what remains and drop the volatile state. The DLU
+     registry is *not* cleared: the logged bound sets of in-doubt
+     subtransactions stay bound across the crash, which is what keeps
+     local transactions off their data while recovery runs. *)
+  Hashtbl.iter
+    (fun _ sub ->
+      sub.cancelled <- true;
+      cancel_timer sub.alive_timer;
+      cancel_timer sub.retry_timer)
+    t.subs;
+  t.subs <- Hashtbl.create 32;
+  t.alive_table <- Alive_table.create ()
+
+(* Rebuild every in-doubt subtransaction from the log: a fresh incarnation
+   replays the logged commands; the alive-interval entry restarts; if the
+   commit record was already forced, the decision is known and the commit
+   is redone locally once the replay completes (the coordinator's
+   retransmitted COMMIT is answered idempotently either way). *)
+let recover t =
+  List.iter
+    (fun (e : Agent_log.entry) ->
+      t.stats.recovered <- t.stats.recovered + 1;
+      Log.info (fun m ->
+          m "[%a %a] recovering in-doubt T%d from the Agent log%s" Time.pp (now t) Site.pp t.site
+            e.Agent_log.gid
+            (if e.Agent_log.committed then " (decision known: commit)" else ""));
+      let gid = e.Agent_log.gid in
+      let inc = e.Agent_log.inc + 1 in
+      Agent_log.note_incarnation e ~inc;
+      let txn = Ltm.begin_txn t.ltm ~owner:(Txn.Incarnation.make ~txn:(Txn.global gid) ~site:t.site ~inc) in
+      Ltm.mark_held_open t.ltm txn true;
+      let sub =
+        {
+          gid;
+          entry = e;
+          coordinator = Option.get e.Agent_log.coordinator;
+          inc;
+          ltm_txn = txn;
+          state = Prepared;
+          sn = e.Agent_log.sn;
+          resubmitting = true;
+          committing = false;
+          cancelled = false;
+          decision_commit = e.Agent_log.committed;
+          alive_timer = None;
+          retry_timer = None;
+        }
+      in
+      Hashtbl.replace t.subs gid sub;
+      Alive_table.insert t.alive_table ~gid ~sn:(Option.get e.Agent_log.sn)
+        ~interval:(Interval.point (now t));
+      t.stats.resubmissions <- t.stats.resubmissions + 1;
+      feed_commands t sub txn;
+      schedule_alive_check t sub)
+    (Agent_log.in_doubt t.log)

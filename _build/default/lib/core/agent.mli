@@ -1,0 +1,52 @@
+(** The 2PC Agent (2PCA) with the Certifier algorithms — the paper's core
+    contribution. One agent per site, attached to that site's LTM; it
+    plays the 2PC Participant, simulates the prepared state by keeping the
+    local subtransaction open, resubmits from the Agent log after
+    unilateral aborts, and runs the three Certifier algorithms of the
+    Appendix: the alive check (A), the extended prepare certification (B)
+    and the commit certification (C). *)
+
+open Hermes_kernel
+
+type t
+
+type stats = {
+  mutable prepared : int;
+  mutable refused_extension : int;  (** PREPARE behind a bigger committed SN (§5.3) *)
+  mutable refused_interval : int;  (** alive-interval intersection failures (§4.2) *)
+  mutable refused_dead : int;  (** subtransaction unilaterally aborted before prepare (CI 2) *)
+  mutable resubmissions : int;
+  mutable commit_retries : int;
+  mutable local_commits : int;
+  mutable rollbacks : int;
+  mutable crashes : int;
+  mutable recovered : int;  (** in-doubt subtransactions rebuilt from the log *)
+}
+
+val create :
+  site:Site.t ->
+  engine:Hermes_sim.Engine.t ->
+  ltm:Hermes_ltm.Ltm.t ->
+  net:Hermes_net.Network.t ->
+  trace:Hermes_ltm.Trace.t ->
+  config:Config.t ->
+  t
+
+val attach : t -> unit
+(** Register the agent's message handler with the network. *)
+
+val address : t -> Hermes_net.Message.address
+val stats : t -> stats
+val alive_table : t -> Alive_table.t
+val agent_log : t -> Agent_log.t
+val n_prepared : t -> int
+
+val crash : t -> unit
+(** A site crash: every live transaction at the LTM is collectively
+    aborted (paper §1's "collective abort") and all volatile agent state
+    is lost; only the {!Agent_log} survives. Follow with {!recover}. *)
+
+val recover : t -> unit
+(** Rebuild every in-doubt subtransaction from the log by resubmission;
+    decisions already forced to the log are redone, and coordinators'
+    retransmitted decisions are answered idempotently. *)

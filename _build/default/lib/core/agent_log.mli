@@ -1,0 +1,43 @@
+(** The Agent log — the 2PC Agent's stable storage, which survives agent
+    crashes: appended commands (for resubmission), the force-written
+    prepare record with the serial number (Appendix B), the commit record
+    (Appendix C) and the biggest committed serial number (§5.3). *)
+
+open Hermes_kernel
+
+type entry = {
+  gid : int;
+  mutable commands : Command.t list;  (** newest first; use {!commands} *)
+  mutable inc : int;
+  mutable sn : Sn.t option;
+  mutable coordinator : Hermes_net.Message.address option;
+  mutable bound : Item.t list;  (** the DLU bound-data set, logged at prepare *)
+  mutable prepared : bool;
+  mutable committed : bool;  (** the decision (commit record) is durable *)
+  mutable locally_committed : bool;  (** the local commit actually happened *)
+  mutable rolled_back : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val entry : t -> gid:int -> coordinator:Hermes_net.Message.address -> entry
+(** Find or create. *)
+
+val find : t -> gid:int -> entry option
+val append_command : entry -> Command.t -> unit
+val commands : entry -> Command.t list
+val note_incarnation : entry -> inc:int -> unit
+val force_prepare : t -> entry -> sn:Sn.t -> unit
+val force_commit : t -> entry -> unit
+val note_rollback : entry -> unit
+val max_committed_sn : t -> Sn.t option
+val force_writes : t -> int
+
+val in_doubt : t -> entry list
+(** Prepared, not rolled back, and not yet locally committed — what
+    recovery must restore (redoing the local commit when the commit
+    record was already forced), in gid order. *)
+
+val n_entries : t -> int

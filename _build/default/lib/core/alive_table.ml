@@ -1,0 +1,79 @@
+(* The alive interval table (paper §4.2, Appendix).
+
+   One per 2PC Agent: an entry per global subtransaction currently in the
+   (simulated) prepared state at the site, holding its serial number and
+   its known alive time intervals. The basic prepare certification tests a
+   candidate's interval for intersection with every entry; the commit
+   certification asks whether any entry has a smaller serial number; the
+   periodic alive check extends the current interval's end.
+
+   The paper: "The easiest way to implement the Certifier is to simply
+   store the last alive time interval for each global subtransaction being
+   in the prepared state. As an optimization, several of them might be
+   stored." Both variants live here: each entry keeps up to [max_intervals]
+   intervals (newest first), and the intersection rule is satisfied by
+   *any* stored interval — sound because whichever interval witnesses
+   simultaneous aliveness proves conflict-freeness of the (stable)
+   decompositions, hence of every future incarnation (§4.2). *)
+
+open Hermes_kernel
+
+type entry = { gid : int; sn : Sn.t; mutable intervals : Interval.t list (* newest first, never empty *) }
+
+type t = { entries : (int, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 16 }
+
+let insert t ~gid ~sn ~interval =
+  if Hashtbl.mem t.entries gid then invalid_arg "Alive_table.insert: duplicate entry";
+  Hashtbl.replace t.entries gid { gid; sn; intervals = [ interval ] }
+
+let remove t ~gid = Hashtbl.remove t.entries gid
+let find t ~gid = Hashtbl.find_opt t.entries gid
+let mem t ~gid = Hashtbl.mem t.entries gid
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+let size t = Hashtbl.length t.entries
+
+let current_interval e = match e.intervals with i :: _ -> i | [] -> assert false
+
+(* Begin a fresh interval (a resubmission completed), keeping at most
+   [max_intervals] per entry. *)
+let push_interval t ~gid ~max_intervals interval =
+  match Hashtbl.find_opt t.entries gid with
+  | Some e ->
+      let keep = Stdlib.max 1 max_intervals in
+      e.intervals <- interval :: List.filteri (fun i _ -> i < keep - 1) e.intervals
+  | None -> ()
+
+(* Replace all knowledge with a single interval — the paper's
+   store-only-the-last-interval baseline. *)
+let update_interval t ~gid interval =
+  match Hashtbl.find_opt t.entries gid with
+  | Some e -> e.intervals <- [ interval ]
+  | None -> ()
+
+let extend_interval t ~gid ~hi =
+  match Hashtbl.find_opt t.entries gid with
+  | Some e -> (
+      match e.intervals with
+      | cur :: rest when Time.(Interval.lo cur <= hi) -> e.intervals <- Interval.extend_to cur ~hi :: rest
+      | _ -> ())
+  | None -> ()
+
+(* The Alive Time Intersection Rule: the candidate may be prepared only if
+   it intersects some stored interval of every entry. *)
+let all_intersect t candidate =
+  Hashtbl.fold
+    (fun _ e acc -> acc && List.exists (Interval.intersects candidate) e.intervals)
+    t.entries true
+
+(* Commit certification test (Appendix C): true iff every *other* entry
+   has a bigger serial number than [sn]. *)
+let min_sn_holds t ~gid ~sn =
+  Hashtbl.fold (fun _ e acc -> acc && (e.gid = gid || Sn.(e.sn > sn))) t.entries true
+
+let pp ppf t =
+  let pp_entry ppf e =
+    Fmt.pf ppf "T%d sn=%a %a" e.gid Sn.pp e.sn Fmt.(list ~sep:comma Interval.pp) e.intervals
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_entry) (entries t)

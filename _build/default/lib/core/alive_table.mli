@@ -1,0 +1,45 @@
+(** The alive interval table (paper §4.2, Appendix): one entry per global
+    subtransaction in the (simulated) prepared state at a site, holding
+    its serial number and last known alive time interval. *)
+
+open Hermes_kernel
+
+type entry = { gid : int; sn : Sn.t; mutable intervals : Interval.t list (** newest first; never empty *) }
+type t
+
+val create : unit -> t
+
+val insert : t -> gid:int -> sn:Sn.t -> interval:Interval.t -> unit
+(** Raises [Invalid_argument] on duplicate gids. *)
+
+val remove : t -> gid:int -> unit
+val find : t -> gid:int -> entry option
+val mem : t -> gid:int -> bool
+val entries : t -> entry list
+val size : t -> int
+val current_interval : entry -> Interval.t
+
+val push_interval : t -> gid:int -> max_intervals:int -> Interval.t -> unit
+(** Begin a fresh interval after a completed resubmission, keeping at most
+    [max_intervals] intervals per entry — the paper's "several of them
+    might be stored" optimization. No-op on absent gids. *)
+
+val update_interval : t -> gid:int -> Interval.t -> unit
+(** Replace all knowledge with a single interval — the paper's
+    store-only-the-last-interval baseline. No-op on absent gids. *)
+
+val extend_interval : t -> gid:int -> hi:Time.t -> unit
+(** Move the current interval's upper end (a successful alive check).
+    No-op on absent gids or when [hi] precedes the interval. *)
+
+val all_intersect : t -> Interval.t -> bool
+(** The Alive Time Intersection Rule: may the candidate be prepared? The
+    candidate must intersect some stored interval of every entry (sound
+    for any stored interval, §4.2: decompositions are stable under CI and
+    DLU, so past simultaneous aliveness proves future conflict-freeness). *)
+
+val min_sn_holds : t -> gid:int -> sn:Sn.t -> bool
+(** Commit certification test (Appendix C): does every *other* entry have
+    a bigger serial number? *)
+
+val pp : t Fmt.t

@@ -1,0 +1,66 @@
+(** Certifier configuration. Each certification step of the paper can be
+    toggled independently — that is how the ablation experiments and the
+    baseline variants are expressed. *)
+
+type t = {
+  prepare_certification : bool;
+      (** §4.2: the basic prepare certification (alive time intersection
+          rule). Enforces the Correctness Invariant, preventing global
+          view distortion — and, it turns out, resubmission/commit
+          deadlocks (see the H1 liveness finding in EXPERIMENTS.md). *)
+  certification_extension : bool;
+      (** §5.3: refuse a PREPARE whose serial number is smaller than the
+          biggest serial number already committed at the site — the guard
+          against COMMIT-overtakes-PREPARE races. *)
+  commit_certification : bool;
+      (** §5.2/Appendix C: release local commits in serial-number order;
+          a blocked commit retries after [commit_retry_interval]. *)
+  refresh_on_certify : bool;
+      (** Run an immediate alive check over the whole alive-interval table
+          before the intersection test, so stale intervals of still-alive
+          subtransactions cause no unnecessary refusals (realizes the
+          paper's idealization that infrequent alive checks "never cause
+          aborts"). *)
+  bind_data : bool;
+      (** Register the prepared subtransaction's footprint as bound data,
+          enabling DLU enforcement at the LTM. *)
+  alive_check_interval : int;  (** ticks between periodic alive checks (Appendix A). *)
+  commit_retry_interval : int;  (** ticks before retrying a blocked commit certification. *)
+  resubmit_backoff : int;  (** ticks before restarting a failed resubmission. *)
+  sn_at_begin : bool;
+      (** Ticket baseline: draw the serial number at BEGIN instead of at
+          global commit, forcing all global transactions into begin
+          order — the restrictive scheme §5.2 argues against. *)
+  max_intervals : int;
+      (** Alive intervals remembered per prepared subtransaction; 1 is the
+          paper's store-only-the-last baseline, more enables its "several
+          of them might be stored" optimization (§4.2). *)
+  exec_timeout : int;
+      (** Coordinator: ticks to wait for a command reply before aborting —
+          a site crash can swallow the reply. *)
+  decision_retry_interval : int;
+      (** Coordinator: ticks between COMMIT/ROLLBACK retransmissions to
+          participants that have not acknowledged (crash recovery relies
+          on this; agents answer duplicates idempotently). *)
+}
+
+val full : t
+(** The complete 2CM certifier as the paper specifies it. *)
+
+val naive : t
+(** Prepared-state simulation and resubmission with no certification — the
+    straw man exhibiting both distortion classes under failures. *)
+
+val ticket : t
+(** [full] with [sn_at_begin]: the predefined-total-order scheme. *)
+
+val multi_interval : t
+(** [full] remembering 4 alive intervals per prepared subtransaction — the
+    §4.2 optimization that avoids unnecessary refusals after failures. *)
+
+val without_extension : t
+val without_commit_certification : t
+val without_prepare_certification : t
+val without_dlu : t
+
+val pp : t Fmt.t

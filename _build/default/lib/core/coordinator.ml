@@ -1,0 +1,241 @@
+(* The Coordinator (paper §2): decomposes a global transaction into global
+   subtransactions, submits the DML commands one by one to the
+   participating sites' agents, and on completion drives the standard
+   two-phase commit: PREPARE to all, then COMMIT iff every participant
+   answered READY, ROLLBACK otherwise.
+
+   The serial number (§5.2) is drawn from the coordinating site's clock
+   when the application submits the global Commit — i.e. after the last
+   command executed — and travels inside the PREPARE messages. The ticket
+   baseline ([Elmagarmid & Du]-style predefined order, which the paper
+   argues is too restrictive) draws it at BEGIN instead
+   ([Config.sn_at_begin]).
+
+   Failure handling towards crashing agents: a command whose reply never
+   arrives (the agent crashed with it in flight) times out and aborts the
+   global transaction; COMMIT/ROLLBACK decisions are retransmitted until
+   every participant acknowledged — agents answer retransmissions
+   idempotently from their logs. *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+module Trace = Hermes_ltm.Trace
+module Op = Hermes_history.Op
+module Message = Hermes_net.Message
+module Network = Hermes_net.Network
+
+let src = Logs.Src.create "hermes.coordinator" ~doc:"2PC Coordinator events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type reason =
+  | Exec_failed of Site.t * string
+  | Refused of Site.t * Message.refusal
+  | Gate_refused of string  (* a baseline scheduler (e.g. CGM) rejected the commit *)
+
+let pp_reason ppf = function
+  | Exec_failed (s, why) -> Fmt.pf ppf "execution failed at %a: %s" Site.pp s why
+  | Refused (s, r) -> Fmt.pf ppf "refused by %a: %a" Site.pp s Message.pp_refusal r
+  | Gate_refused why -> Fmt.pf ppf "commit gate refused: %s" why
+
+type outcome = Committed | Aborted of reason
+
+let pp_outcome ppf = function
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted r -> Fmt.pf ppf "aborted (%a)" pp_reason r
+
+type phase = Executing | Preparing | Committing | Aborting of reason
+
+(* A commit gate lets a baseline scheduler (the CGM commit graph) sit
+   between execution and the PREPARE phase: it may let the transaction
+   proceed now, later, or refuse it. The default gate proceeds
+   immediately. *)
+type gate = gid:int -> sites:Site.t list -> proceed:(unit -> unit) -> refuse:(string -> unit) -> unit
+
+let open_gate : gate = fun ~gid:_ ~sites:_ ~proceed ~refuse:_ -> proceed ()
+
+type t = {
+  gid : int;
+  site : Site.t;  (* the coordinating site, whose clock stamps the SN *)
+  engine : Engine.t;
+  net : Network.t;
+  trace : Trace.t;
+  config : Config.t;
+  sn_gen : unit -> Sn.t;
+  gate : gate;
+  program : Program.t;
+  participants : Site.t list;
+  on_done : outcome -> unit;
+  mutable phase : phase;
+  mutable remaining_steps : (Site.t * Command.t) list;
+  mutable sn : Sn.t option;
+  mutable replies : int;  (* READY/REFUSE received *)
+  mutable refusal : (Site.t * Message.refusal) option;
+  mutable acked : Site.Set.t;  (* decision acknowledgements *)
+  mutable exec_timer : Engine.timer option;
+  mutable retransmit_timer : Engine.timer option;
+  mutable started_at : Time.t;
+  mutable finished_at : Time.t;
+  mutable retransmissions : int;
+}
+
+let address t = Message.Coordinator t.gid
+
+let send t ~dst payload = Network.send t.net ~src:(address t) ~dst ~gid:t.gid payload
+
+let send_to_all t payload = List.iter (fun s -> send t ~dst:(Message.Agent s) payload) t.participants
+
+let n_participants t = List.length t.participants
+
+let cancel_timer = function Some timer -> Engine.cancel timer | None -> ()
+
+let decision_message t = match t.phase with Committing -> Message.Commit | _ -> Message.Rollback
+
+(* Retransmit the decision to participants that have not acknowledged —
+   an agent may have crashed after receiving it (or its ACK may chase a
+   recovery); agents answer duplicates idempotently from their logs. *)
+let rec arm_retransmit t =
+  cancel_timer t.retransmit_timer;
+  t.retransmit_timer <-
+    Some
+      (Engine.schedule t.engine ~delay:t.config.Config.decision_retry_interval (fun () ->
+           t.retransmissions <- t.retransmissions + 1;
+           Log.debug (fun m ->
+               m "[%a] T%d: retransmitting decision to %d unacknowledged participant(s)" Time.pp
+                 (Engine.now t.engine) t.gid
+                 (n_participants t - Site.Set.cardinal t.acked));
+           List.iter
+             (fun s -> if not (Site.Set.mem s t.acked) then send t ~dst:(Message.Agent s) (decision_message t))
+             t.participants;
+           arm_retransmit t))
+
+let start_decision t phase =
+  t.phase <- phase;
+  t.acked <- Site.Set.empty;
+  send_to_all t (decision_message t);
+  arm_retransmit t
+
+let start_abort t reason =
+  cancel_timer t.exec_timer;
+  Log.info (fun m -> m "[%a] T%d: global abort (%a)" Time.pp (Engine.now t.engine) t.gid pp_reason reason);
+  Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_abort (Txn.global t.gid));
+  start_decision t (Aborting reason)
+
+(* After the decision completes, stray duplicate acknowledgements may
+   still be in flight (a retransmitted COMMIT re-acked by a recovered
+   agent); leave a tombstone handler that swallows them. *)
+let finish t outcome =
+  cancel_timer t.retransmit_timer;
+  t.finished_at <- Engine.now t.engine;
+  Network.register t.net (address t) (fun (msg : Message.t) ->
+      match msg.Message.payload with
+      | Message.Commit_ack | Message.Rollback_ack -> ()
+      | payload -> Fmt.failwith "finished coordinator T%d: unexpected %a" t.gid Message.pp_payload payload);
+  t.on_done outcome
+
+let arm_exec_timeout t site =
+  cancel_timer t.exec_timer;
+  t.exec_timer <-
+    Some
+      (Engine.schedule t.engine ~delay:t.config.Config.exec_timeout (fun () ->
+           match t.phase with
+           | Executing -> start_abort t (Exec_failed (site, "command reply timed out (site crash?)"))
+           | Preparing | Committing | Aborting _ -> ()))
+
+let next_step t =
+  match t.remaining_steps with
+  | (site, cmd) :: rest ->
+      t.remaining_steps <- rest;
+      send t ~dst:(Message.Agent site) (Message.Exec cmd);
+      arm_exec_timeout t site
+  | [] ->
+      cancel_timer t.exec_timer;
+      (* All commands executed: the application submits the global Commit.
+         The gate (a baseline scheduler's hook) may hold or refuse it;
+         then draw the serial number (unless the ticket baseline drew it
+         at begin) and start phase one of 2PC. *)
+      t.gate ~gid:t.gid ~sites:t.participants
+        ~proceed:(fun () ->
+          t.phase <- Preparing;
+          let sn = match t.sn with Some sn when t.config.Config.sn_at_begin -> sn | _ -> t.sn_gen () in
+          t.sn <- Some sn;
+          send_to_all t (Message.Prepare sn))
+        ~refuse:(fun why -> start_abort t (Gate_refused why))
+
+let handle t (msg : Message.t) =
+  let from_site = match msg.Message.src with Message.Agent s -> s | Message.Coordinator _ -> assert false in
+  match (t.phase, msg.Message.payload) with
+  | Executing, Message.Exec_ok _ ->
+      cancel_timer t.exec_timer;
+      next_step t
+  | Executing, Message.Exec_failed why -> start_abort t (Exec_failed (from_site, why))
+  | Preparing, Message.Ready ->
+      t.replies <- t.replies + 1;
+      if t.replies = n_participants t then
+        if t.refusal = None then begin
+          (* Record the decision in stable storage: the global commit. *)
+          Log.debug (fun m ->
+              m "[%a] T%d: all READY, committing (sn %a)" Time.pp (Engine.now t.engine) t.gid
+                Fmt.(option Sn.pp) t.sn);
+          Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_commit (Txn.global t.gid));
+          start_decision t Committing
+        end
+        else
+          let site, refusal = Option.get t.refusal in
+          start_abort t (Refused (site, refusal))
+  | Preparing, Message.Refuse r ->
+      t.replies <- t.replies + 1;
+      if t.refusal = None then t.refusal <- Some (from_site, r);
+      if t.replies = n_participants t then
+        let site, refusal = Option.get t.refusal in
+        start_abort t (Refused (site, refusal))
+  | Committing, Message.Commit_ack ->
+      t.acked <- Site.Set.add from_site t.acked;
+      if Site.Set.cardinal t.acked = n_participants t then finish t Committed
+  | Aborting reason, Message.Rollback_ack ->
+      t.acked <- Site.Set.add from_site t.acked;
+      if Site.Set.cardinal t.acked = n_participants t then finish t (Aborted reason)
+  | Aborting _, (Message.Exec_ok _ | Message.Exec_failed _ | Message.Ready | Message.Refuse _) ->
+      (* Late replies racing the abort decision (e.g. an Exec_ok in flight
+         when the exec timeout fired): ignore. *)
+      ()
+  | _, payload ->
+      Fmt.failwith "coordinator T%d: unexpected %a in current phase" t.gid Message.pp_payload payload
+
+let start ?(gate = open_gate) ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program ~on_done () =
+  let t =
+    {
+      gid;
+      site;
+      engine;
+      net;
+      trace;
+      config;
+      sn_gen;
+      gate;
+      program;
+      participants = Program.sites program;
+      on_done;
+      phase = Executing;
+      remaining_steps = Program.steps program;
+      sn = None;
+      replies = 0;
+      refusal = None;
+      acked = Site.Set.empty;
+      exec_timer = None;
+      retransmit_timer = None;
+      started_at = Engine.now engine;
+      finished_at = Engine.now engine;
+      retransmissions = 0;
+    }
+  in
+  if config.Config.sn_at_begin then t.sn <- Some (sn_gen ());
+  Network.register net (address t) (handle t);
+  List.iter (fun s -> send t ~dst:(Message.Agent s) Message.Begin) t.participants;
+  next_step t;
+  t
+
+let latency t = Time.diff t.finished_at t.started_at
+let gid t = t.gid
+let coordinating_site t = t.site
+let retransmissions t = t.retransmissions

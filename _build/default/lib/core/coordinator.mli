@@ -1,0 +1,53 @@
+(** The Coordinator (paper §2): submits a global transaction's commands
+    one by one to the participating sites' agents, then drives standard
+    two-phase commit. The serial number (§5.2) is drawn from the
+    coordinating site's clock at global-commit time (or at BEGIN for the
+    ticket baseline) and travels in the PREPARE messages. *)
+
+open Hermes_kernel
+
+type reason =
+  | Exec_failed of Site.t * string
+  | Refused of Site.t * Hermes_net.Message.refusal
+  | Gate_refused of string  (** a baseline scheduler (e.g. CGM) rejected the commit *)
+
+val pp_reason : reason Fmt.t
+
+type outcome = Committed | Aborted of reason
+
+val pp_outcome : outcome Fmt.t
+
+type gate = gid:int -> sites:Site.t list -> proceed:(unit -> unit) -> refuse:(string -> unit) -> unit
+(** A commit gate sits between execution and the PREPARE phase; baseline
+    schedulers (the CGM commit graph) hook in here. *)
+
+val open_gate : gate
+(** The default gate: proceed immediately. *)
+
+type t
+
+val start :
+  ?gate:gate ->
+  gid:int ->
+  site:Site.t ->
+  engine:Hermes_sim.Engine.t ->
+  net:Hermes_net.Network.t ->
+  trace:Hermes_ltm.Trace.t ->
+  config:Config.t ->
+  sn_gen:(unit -> Sn.t) ->
+  program:Program.t ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  t
+(** Registers with the network, sends BEGIN to each participant, and
+    starts executing; [on_done] fires after all COMMIT-ACKs or
+    ROLLBACK-ACKs. *)
+
+val gid : t -> int
+val coordinating_site : t -> Site.t
+
+val latency : t -> int
+(** Submission-to-decision ticks (valid once finished). *)
+
+val retransmissions : t -> int
+(** Decision retransmission rounds performed (crashed participants). *)

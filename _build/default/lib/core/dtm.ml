@@ -1,0 +1,166 @@
+(* The assembled Distributed Transaction Manager: per-site LDBS (database
+   + LTM + failure injector + 2PC Agent) and a coordinator factory. This
+   is the "totally decentralized" architecture of Fig. 1 — the only shared
+   pieces here are simulation infrastructure (engine, network, trace), not
+   protocol state.
+
+   The coordinating site of a global transaction is its first
+   participant; serial numbers are stamped by that site's (possibly
+   drifting) clock plus a per-site sequence counter, exactly the
+   clock-and-site-id scheme of §5.2. *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+module Database = Hermes_store.Database
+module Ltm = Hermes_ltm.Ltm
+module Failure = Hermes_ltm.Failure
+module Trace = Hermes_ltm.Trace
+module Network = Hermes_net.Network
+
+type site_spec = {
+  ltm_config : Hermes_ltm.Ltm_config.t;
+  clock : Clock.t;
+  failure : Failure.config;
+}
+
+let default_site_spec =
+  { ltm_config = Hermes_ltm.Ltm_config.default; clock = Clock.perfect; failure = Failure.disabled }
+
+type site_ctx = {
+  site : Site.t;
+  db : Database.t;
+  ltm : Ltm.t;
+  agent : Agent.t;
+  clock : Clock.t;
+  injector : Failure.t;
+  mutable sn_seq : int;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  trace : Trace.t;
+  net : Network.t;
+  certifier : Config.t;
+  sites : site_ctx array;
+  mutable next_gid : int;
+  mutable submitted : int;
+}
+
+let create ~engine ~rng ~trace ~net_config ~certifier ~site_specs =
+  let net = Network.create ~engine ~rng:(Rng.split rng ~label:"net") ~config:net_config in
+  let sites =
+    Array.mapi
+      (fun i spec ->
+        let site = Site.of_int i in
+        let db = Database.create ~site in
+        let ltm = Ltm.create ~engine ~db ~config:spec.ltm_config ~trace in
+        let agent = Agent.create ~site ~engine ~ltm ~net ~trace ~config:certifier in
+        Agent.attach agent;
+        let injector =
+          Failure.attach ~engine
+            ~rng:(Rng.split rng ~label:(Fmt.str "failure-%d" i))
+            ~config:spec.failure ltm
+        in
+        { site; db; ltm; agent; clock = spec.clock; injector; sn_seq = 0 })
+      site_specs
+  in
+  { engine; rng; trace; net; certifier; sites; next_gid = 1; submitted = 0 }
+
+let n_sites t = Array.length t.sites
+let site_ids t = Array.to_list (Array.map (fun c -> c.site) t.sites)
+let ctx t site = t.sites.(Site.to_int site)
+let ltm t site = (ctx t site).ltm
+let database t site = (ctx t site).db
+let agent t site = (ctx t site).agent
+let injector t site = (ctx t site).injector
+let network t = t.net
+let trace t = t.trace
+let submitted t = t.submitted
+
+(* Serial number generation at a site: drifting clock reading + site id +
+   per-site sequence (uniqueness even within one tick). *)
+let sn_gen t site () =
+  let c = ctx t site in
+  c.sn_seq <- c.sn_seq + 1;
+  Sn.make ~ts:(Clock.read c.clock ~real:(Engine.now t.engine)) ~site:c.site ~seq:c.sn_seq
+
+let submit ?gate t program ~on_done =
+  let gid = t.next_gid in
+  t.next_gid <- t.next_gid + 1;
+  t.submitted <- t.submitted + 1;
+  let coord_site =
+    match Program.sites program with s :: _ -> s | [] -> assert false (* Program.make forbids [] *)
+  in
+  ignore
+    (Coordinator.start ?gate ~gid ~site:coord_site ~engine:t.engine ~net:t.net ~trace:t.trace
+       ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program ~on_done ());
+  gid
+
+(* A site crash with instantaneous reboot: the collective unilateral abort
+   of every live transaction at the site plus loss of all volatile agent
+   state, followed immediately by recovery from the Agent log. (The reboot
+   is atomic so no message ever finds the site's handler missing — the
+   paper's network never loses messages.) *)
+let crash_site t site =
+  let c = ctx t site in
+  Agent.crash c.agent;
+  Agent.recover c.agent
+
+(* Load a row directly into a site's database (initial state, written by
+   the hypothetical initializing transaction T_0). *)
+let load t site ~table ~key ~value =
+  ignore (Database.write (database t site) ~table ~key (Hermes_store.Row.initial value))
+
+let history t = Trace.history t.trace
+
+(* Aggregate statistics across sites, for the harness. *)
+type totals = {
+  ltm_committed : int;
+  ltm_aborted : int;
+  unilateral_aborts : int;
+  lock_timeouts : int;
+  deadlock_victims : int;
+  prepared : int;
+  refused_extension : int;
+  refused_interval : int;
+  refused_dead : int;
+  resubmissions : int;
+  commit_retries : int;
+  dlu_denials : int;
+}
+
+let totals t =
+  Array.fold_left
+    (fun acc c ->
+      let ls = Ltm.stats c.ltm in
+      let ags = Agent.stats c.agent in
+      {
+        ltm_committed = acc.ltm_committed + ls.Ltm.committed;
+        ltm_aborted = acc.ltm_aborted + ls.Ltm.aborted;
+        unilateral_aborts = acc.unilateral_aborts + ls.Ltm.unilateral_aborts;
+        lock_timeouts = acc.lock_timeouts + ls.Ltm.lock_timeouts;
+        deadlock_victims = acc.deadlock_victims + ls.Ltm.deadlock_victims;
+        prepared = acc.prepared + ags.Agent.prepared;
+        refused_extension = acc.refused_extension + ags.Agent.refused_extension;
+        refused_interval = acc.refused_interval + ags.Agent.refused_interval;
+        refused_dead = acc.refused_dead + ags.Agent.refused_dead;
+        resubmissions = acc.resubmissions + ags.Agent.resubmissions;
+        commit_retries = acc.commit_retries + ags.Agent.commit_retries;
+        dlu_denials = acc.dlu_denials + Hermes_ltm.Bound.denials (Ltm.bound_registry c.ltm);
+      })
+    {
+      ltm_committed = 0;
+      ltm_aborted = 0;
+      unilateral_aborts = 0;
+      lock_timeouts = 0;
+      deadlock_victims = 0;
+      prepared = 0;
+      refused_extension = 0;
+      refused_interval = 0;
+      refused_dead = 0;
+      resubmissions = 0;
+      commit_retries = 0;
+      dlu_denials = 0;
+    }
+    t.sites

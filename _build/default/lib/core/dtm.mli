@@ -1,0 +1,69 @@
+(** The assembled Distributed Transaction Manager (Fig. 1): per-site LDBS
+    (database + rigorous LTM + failure injector + 2PC Agent) and a
+    coordinator factory. Fully decentralized — the only shared pieces are
+    simulation infrastructure. *)
+
+open Hermes_kernel
+
+type site_spec = {
+  ltm_config : Hermes_ltm.Ltm_config.t;
+  clock : Clock.t;  (** drives this site's serial numbers when it coordinates *)
+  failure : Hermes_ltm.Failure.config;
+}
+
+val default_site_spec : site_spec
+
+type t
+
+val create :
+  engine:Hermes_sim.Engine.t ->
+  rng:Rng.t ->
+  trace:Hermes_ltm.Trace.t ->
+  net_config:Hermes_net.Network.config ->
+  certifier:Config.t ->
+  site_specs:site_spec array ->
+  t
+(** Site [i] of the array becomes {!Site.of_int}[ i]. *)
+
+val n_sites : t -> int
+val site_ids : t -> Site.t list
+val ltm : t -> Site.t -> Hermes_ltm.Ltm.t
+val database : t -> Site.t -> Hermes_store.Database.t
+val agent : t -> Site.t -> Agent.t
+val injector : t -> Site.t -> Hermes_ltm.Failure.t
+val network : t -> Hermes_net.Network.t
+val trace : t -> Hermes_ltm.Trace.t
+val submitted : t -> int
+
+val submit : ?gate:Coordinator.gate -> t -> Program.t -> on_done:(Coordinator.outcome -> unit) -> int
+(** Allocate a gid and start a coordinator at the program's first
+    participating site. Returns the gid. *)
+
+val load : t -> Site.t -> table:string -> key:int -> value:int -> unit
+(** Install an initial row (written by the initializing transaction T_0). *)
+
+val crash_site : t -> Site.t -> unit
+(** Site crash with instantaneous reboot: collective abort of every live
+    transaction, loss of all volatile agent state, recovery from the
+    Agent log. *)
+
+val history : t -> Hermes_history.History.t
+(** The trace so far, as a history. *)
+
+(** Aggregate LTM/agent statistics across sites. *)
+type totals = {
+  ltm_committed : int;
+  ltm_aborted : int;
+  unilateral_aborts : int;
+  lock_timeouts : int;
+  deadlock_victims : int;
+  prepared : int;
+  refused_extension : int;
+  refused_interval : int;
+  refused_dead : int;
+  resubmissions : int;
+  commit_retries : int;
+  dlu_denials : int;
+}
+
+val totals : t -> totals

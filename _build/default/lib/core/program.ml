@@ -1,0 +1,36 @@
+(* A global transaction program: the DML commands the application issues
+   through the Coordinator, each step routed to one participating site.
+   The Coordinator submits steps strictly in order, command by command
+   (paper §2), and at most one global subtransaction runs per site.
+
+   Programs are static — the "application-specific computation" the paper
+   keeps at the coordinating site is folded into command parameters — so a
+   resubmitted subtransaction replays exactly the same commands. *)
+
+open Hermes_kernel
+
+type t = { steps : (Site.t * Command.t) list }
+
+let make steps =
+  if steps = [] then invalid_arg "Program.make: empty program";
+  { steps }
+
+let steps t = t.steps
+
+(* Participating sites, in first-use order. *)
+let sites t =
+  List.fold_left
+    (fun acc (s, _) -> if List.exists (Site.equal s) acc then acc else s :: acc)
+    [] t.steps
+  |> List.rev
+
+let commands_at t site =
+  List.filter_map (fun (s, c) -> if Site.equal s site then Some c else None) t.steps
+
+let length t = List.length t.steps
+
+let is_read_only t = List.for_all (fun (_, c) -> Command.is_read_only c) t.steps
+
+let pp ppf t =
+  let pp_step ppf (s, c) = Fmt.pf ppf "%a:%a" Site.pp s Command.pp c in
+  Fmt.pf ppf "@[<hov>[%a]@]" Fmt.(list ~sep:semi pp_step) t.steps

@@ -1,0 +1,22 @@
+(** Global transaction programs: the DML commands the application issues
+    through the Coordinator, each step routed to one participating site
+    and submitted strictly in order (paper §2). Programs are static, so a
+    resubmitted subtransaction replays exactly the original commands. *)
+
+open Hermes_kernel
+
+type t
+
+val make : (Site.t * Command.t) list -> t
+(** Raises [Invalid_argument] on an empty step list. *)
+
+val steps : t -> (Site.t * Command.t) list
+
+val sites : t -> Site.t list
+(** Participating sites, in first-use order; the first is the
+    coordinating site. *)
+
+val commands_at : t -> Site.t -> Command.t list
+val length : t -> int
+val is_read_only : t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Fmt List Map Option Queue Set

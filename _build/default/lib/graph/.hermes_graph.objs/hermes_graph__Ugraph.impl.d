@@ -1,0 +1,1 @@
+lib/graph/ugraph.ml: Digraph Fmt Hashtbl List Map Set

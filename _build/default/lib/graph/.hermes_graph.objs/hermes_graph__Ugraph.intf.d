@@ -1,0 +1,1 @@
+lib/graph/ugraph.mli: Digraph Fmt

@@ -1,0 +1,180 @@
+(* A generic directed graph, functorized over the vertex type.
+
+   Used for serialization graphs SG(H), commit order graphs CG(H) and
+   wait-for graphs. Dense graphs are fine: the algorithms are linear in
+   vertices + edges (Tarjan SCC), and cycle extraction returns an actual
+   cycle for diagnostics. *)
+
+module type VERTEX = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module type S = sig
+  type vertex
+  type t
+
+  val empty : t
+  val add_vertex : t -> vertex -> t
+  val add_edge : t -> vertex -> vertex -> t
+  val mem_vertex : t -> vertex -> bool
+  val mem_edge : t -> vertex -> vertex -> bool
+  val vertices : t -> vertex list
+  val successors : t -> vertex -> vertex list
+  val edges : t -> (vertex * vertex) list
+  val n_vertices : t -> int
+  val n_edges : t -> int
+  val is_acyclic : t -> bool
+  val find_cycle : t -> vertex list option
+  val topological_sort : t -> vertex list option
+  val sccs : t -> vertex list list
+  val reachable : t -> vertex -> vertex -> bool
+  val pp : t Fmt.t
+end
+
+module Make (V : VERTEX) : S with type vertex = V.t = struct
+  type vertex = V.t
+
+  module VMap = Map.Make (V)
+  module VSet = Set.Make (V)
+
+  type t = { succ : VSet.t VMap.t }
+
+  let empty = { succ = VMap.empty }
+
+  let add_vertex g v = if VMap.mem v g.succ then g else { succ = VMap.add v VSet.empty g.succ }
+
+  let add_edge g u v =
+    let g = add_vertex (add_vertex g u) v in
+    { succ = VMap.add u (VSet.add v (VMap.find u g.succ)) g.succ }
+
+  let mem_vertex g v = VMap.mem v g.succ
+  let mem_edge g u v = match VMap.find_opt u g.succ with Some s -> VSet.mem v s | None -> false
+  let vertices g = VMap.fold (fun v _ acc -> v :: acc) g.succ [] |> List.rev
+  let successors g v = match VMap.find_opt v g.succ with Some s -> VSet.elements s | None -> []
+
+  let edges g =
+    VMap.fold (fun u s acc -> VSet.fold (fun v acc -> (u, v) :: acc) s acc) g.succ [] |> List.rev
+
+  let n_vertices g = VMap.cardinal g.succ
+  let n_edges g = VMap.fold (fun _ s acc -> acc + VSet.cardinal s) g.succ 0
+
+  (* DFS with three colours; on finding a back edge, reconstructs the cycle
+     from the grey path. *)
+  let find_cycle g =
+    (* Colours: 0 = white, 1 = grey (on the DFS path), 2 = black. *)
+    let col = ref VMap.empty in
+    let get v = match VMap.find_opt v !col with Some c -> c | None -> 0 in
+    let set v c = col := VMap.add v c !col in
+    let cycle = ref None in
+    let rec dfs path v =
+      if !cycle = None then begin
+        set v 1;
+        let path = v :: path in
+        List.iter
+          (fun w ->
+            if !cycle = None then
+              match get w with
+              | 0 -> dfs path w
+              | 1 ->
+                  (* Back edge v -> w: the cycle is w ... v. *)
+                  let rec take acc = function
+                    | [] -> acc
+                    | x :: rest -> if V.compare x w = 0 then x :: acc else take (x :: acc) rest
+                  in
+                  cycle := Some (take [] path)
+              | _ -> ())
+          (successors g v);
+        set v 2
+      end
+    in
+    List.iter (fun v -> if get v = 0 && !cycle = None then dfs [] v) (vertices g);
+    !cycle
+
+  let is_acyclic g = find_cycle g = None
+
+  (* Kahn's algorithm; [None] if the graph is cyclic. *)
+  let topological_sort g =
+    let indeg =
+      VMap.fold
+        (fun _ s acc -> VSet.fold (fun v acc -> VMap.add v (1 + Option.value ~default:0 (VMap.find_opt v acc)) acc) s acc)
+        g.succ
+        (VMap.map (fun _ -> 0) g.succ)
+    in
+    let q = Queue.create () in
+    VMap.iter (fun v d -> if d = 0 then Queue.add v q) indeg;
+    let indeg = ref indeg in
+    let out = ref [] in
+    let n = ref 0 in
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      incr n;
+      out := v :: !out;
+      List.iter
+        (fun w ->
+          let d = VMap.find w !indeg - 1 in
+          indeg := VMap.add w d !indeg;
+          if d = 0 then Queue.add w q)
+        (successors g v)
+    done;
+    if !n = n_vertices g then Some (List.rev !out) else None
+
+  (* Tarjan's strongly connected components, returned in topological
+     order of the component DAG. *)
+  let sccs g =
+    let index = ref 0 in
+    let idx = ref VMap.empty in
+    let low = ref VMap.empty in
+    let on_stack = ref VSet.empty in
+    let stack = ref [] in
+    let out = ref [] in
+    let rec strong v =
+      idx := VMap.add v !index !idx;
+      low := VMap.add v !index !low;
+      incr index;
+      stack := v :: !stack;
+      on_stack := VSet.add v !on_stack;
+      List.iter
+        (fun w ->
+          if not (VMap.mem w !idx) then begin
+            strong w;
+            low := VMap.add v (min (VMap.find v !low) (VMap.find w !low)) !low
+          end
+          else if VSet.mem w !on_stack then
+            low := VMap.add v (min (VMap.find v !low) (VMap.find w !idx)) !low)
+        (successors g v);
+      if VMap.find v !low = VMap.find v !idx then begin
+        let rec pop acc =
+          match !stack with
+          | [] -> acc
+          | w :: rest ->
+              stack := rest;
+              on_stack := VSet.remove w !on_stack;
+              if V.compare w v = 0 then w :: acc else pop (w :: acc)
+        in
+        out := pop [] :: !out
+      end
+    in
+    List.iter (fun v -> if not (VMap.mem v !idx) then strong v) (vertices g);
+    (* Tarjan completes sink components first; the accumulated prepends
+       therefore already read in topological order of the condensation. *)
+    !out
+
+  let reachable g src dst =
+    let seen = ref VSet.empty in
+    let rec go v =
+      if V.compare v dst = 0 then true
+      else if VSet.mem v !seen then false
+      else begin
+        seen := VSet.add v !seen;
+        List.exists go (successors g v)
+      end
+    in
+    go src
+
+  let pp ppf g =
+    let pp_edge ppf (u, v) = Fmt.pf ppf "%a->%a" V.pp u V.pp v in
+    Fmt.pf ppf "@[<hov>{%a}@]" Fmt.(list ~sep:comma pp_edge) (edges g)
+end

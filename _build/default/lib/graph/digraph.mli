@@ -1,0 +1,45 @@
+(** Generic directed graphs: serialization graphs SG(H), commit order graphs
+    CG(H) and wait-for graphs are all instances. *)
+
+module type VERTEX = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module type S = sig
+  type vertex
+  type t
+
+  val empty : t
+  val add_vertex : t -> vertex -> t
+  val add_edge : t -> vertex -> vertex -> t
+  (** Adds both endpoints as vertices if absent. Self-edges are allowed and
+      count as cycles. *)
+
+  val mem_vertex : t -> vertex -> bool
+  val mem_edge : t -> vertex -> vertex -> bool
+  val vertices : t -> vertex list
+  val successors : t -> vertex -> vertex list
+  val edges : t -> (vertex * vertex) list
+  val n_vertices : t -> int
+  val n_edges : t -> int
+
+  val is_acyclic : t -> bool
+
+  val find_cycle : t -> vertex list option
+  (** An actual cycle [v1; ...; vk] with edges v1->v2->...->vk->v1, if any. *)
+
+  val topological_sort : t -> vertex list option
+  (** Kahn's algorithm; [None] iff the graph is cyclic. *)
+
+  val sccs : t -> vertex list list
+  (** Tarjan's strongly connected components, in topological order of the
+      component DAG. *)
+
+  val reachable : t -> vertex -> vertex -> bool
+  val pp : t Fmt.t
+end
+
+module Make (V : VERTEX) : S with type vertex = V.t

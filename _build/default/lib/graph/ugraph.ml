@@ -1,0 +1,141 @@
+(* A generic undirected graph with incremental cycle ("loop") detection.
+
+   This is the shape of the Commit Graph of Breitbart, Silberschatz &
+   Thompson (SIGMOD 1990), the CGM baseline the paper compares against: a
+   bipartite graph of transaction nodes and site nodes where an edge means
+   "global subtransaction of T prepared at site S", and a loop signals a
+   potential conflict. The CGM scheduler needs to ask "would adding this
+   batch of edges close a loop?", so we expose [would_connect] alongside
+   plain edge insertion, backed by a union-find over the current edge
+   set. Edges are also removable (when a transaction finishes), which
+   union-find does not support, so removal rebuilds the structure — fine at
+   the scale of in-flight transactions. *)
+
+module type VERTEX = Digraph.VERTEX
+
+module type S = sig
+  type vertex
+  type t
+
+  val empty : t
+  val add_vertex : t -> vertex -> t
+  val add_edge : t -> vertex -> vertex -> t
+  val remove_edge : t -> vertex -> vertex -> t
+  val remove_vertex : t -> vertex -> t
+  val mem_edge : t -> vertex -> vertex -> bool
+  val vertices : t -> vertex list
+  val neighbours : t -> vertex -> vertex list
+  val connected : t -> vertex -> vertex -> bool
+  val adding_edges_creates_cycle : t -> (vertex * vertex) list -> bool
+  val has_cycle : t -> bool
+  val pp : t Fmt.t
+end
+
+module Make (V : VERTEX) : S with type vertex = V.t = struct
+  type vertex = V.t
+
+  module VMap = Map.Make (V)
+  module VSet = Set.Make (V)
+
+  type t = { adj : VSet.t VMap.t }
+
+  let empty = { adj = VMap.empty }
+  let add_vertex g v = if VMap.mem v g.adj then g else { adj = VMap.add v VSet.empty g.adj }
+
+  let add_edge g u v =
+    let g = add_vertex (add_vertex g u) v in
+    {
+      adj =
+        g.adj
+        |> VMap.add u (VSet.add v (VMap.find u g.adj))
+        |> fun m -> VMap.add v (VSet.add u (VMap.find v m)) m;
+    }
+
+  let remove_edge g u v =
+    let del a b m = match VMap.find_opt a m with Some s -> VMap.add a (VSet.remove b s) m | None -> m in
+    { adj = del u v (del v u g.adj) }
+
+  let remove_vertex g v =
+    match VMap.find_opt v g.adj with
+    | None -> g
+    | Some nbrs ->
+        let adj = VSet.fold (fun u m -> VMap.add u (VSet.remove v (VMap.find u m)) m) nbrs g.adj in
+        { adj = VMap.remove v adj }
+
+  let mem_edge g u v = match VMap.find_opt u g.adj with Some s -> VSet.mem v s | None -> false
+  let vertices g = VMap.fold (fun v _ acc -> v :: acc) g.adj [] |> List.rev
+  let neighbours g v = match VMap.find_opt v g.adj with Some s -> VSet.elements s | None -> []
+
+  let connected g u v =
+    let seen = ref VSet.empty in
+    let rec go x =
+      if V.compare x v = 0 then true
+      else if VSet.mem x !seen then false
+      else begin
+        seen := VSet.add x !seen;
+        List.exists go (neighbours g x)
+      end
+    in
+    VMap.mem u g.adj && go u
+
+  (* Union-find over the existing edges, then simulate adding the batch:
+     an edge inside one component (or a duplicate within the batch joining
+     already-united vertices) closes a loop. *)
+  let adding_edges_creates_cycle g new_edges =
+    let parent = Hashtbl.create 64 in
+    let ids = ref VMap.empty in
+    let next = ref 0 in
+    let id v =
+      match VMap.find_opt v !ids with
+      | Some i -> i
+      | None ->
+          let i = !next in
+          incr next;
+          ids := VMap.add v i !ids;
+          Hashtbl.replace parent i i;
+          i
+    in
+    let rec find i = if Hashtbl.find parent i = i then i else find (Hashtbl.find parent i) in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri = rj then false
+      else begin
+        Hashtbl.replace parent ri rj;
+        true
+      end
+    in
+    VMap.iter
+      (fun u nbrs ->
+        VSet.iter (fun v -> if V.compare u v < 0 then ignore (union (id u) (id v))) nbrs)
+      g.adj;
+    List.exists (fun (u, v) -> not (union (id u) (id v))) new_edges
+
+  let has_cycle g =
+    (* A forest has |E| = |V| - #components; count and compare. *)
+    let n_edges = VMap.fold (fun _ s acc -> acc + VSet.cardinal s) g.adj 0 / 2 in
+    let seen = ref VSet.empty in
+    let comps = ref 0 in
+    let rec go v =
+      if not (VSet.mem v !seen) then begin
+        seen := VSet.add v !seen;
+        List.iter go (neighbours g v)
+      end
+    in
+    List.iter
+      (fun v ->
+        if not (VSet.mem v !seen) then begin
+          incr comps;
+          go v
+        end)
+      (vertices g);
+    n_edges > VMap.cardinal g.adj - !comps
+
+  let pp ppf g =
+    let es =
+      VMap.fold
+        (fun u nbrs acc -> VSet.fold (fun v acc -> if V.compare u v <= 0 then (u, v) :: acc else acc) nbrs acc)
+        g.adj []
+    in
+    let pp_edge ppf (u, v) = Fmt.pf ppf "%a--%a" V.pp u V.pp v in
+    Fmt.pf ppf "@[<hov>{%a}@]" Fmt.(list ~sep:comma pp_edge) (List.rev es)
+end

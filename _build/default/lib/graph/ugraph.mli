@@ -1,0 +1,29 @@
+(** Generic undirected graphs with incremental loop detection — the shape of
+    the CGM commit graph (bipartite transaction/site nodes; a loop signals a
+    potential conflict, paper §6). *)
+
+module type VERTEX = Digraph.VERTEX
+
+module type S = sig
+  type vertex
+  type t
+
+  val empty : t
+  val add_vertex : t -> vertex -> t
+  val add_edge : t -> vertex -> vertex -> t
+  val remove_edge : t -> vertex -> vertex -> t
+  val remove_vertex : t -> vertex -> t
+  val mem_edge : t -> vertex -> vertex -> bool
+  val vertices : t -> vertex list
+  val neighbours : t -> vertex -> vertex list
+  val connected : t -> vertex -> vertex -> bool
+
+  val adding_edges_creates_cycle : t -> (vertex * vertex) list -> bool
+  (** Would inserting all of [new_edges] (in addition to the current edges)
+      close a loop? Parallel edges within the batch count as loops. *)
+
+  val has_cycle : t -> bool
+  val pp : t Fmt.t
+end
+
+module Make (V : VERTEX) : S with type vertex = V.t

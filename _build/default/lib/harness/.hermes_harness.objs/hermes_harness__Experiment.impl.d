@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Clock Fmt Hermes_baselines Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_workload List Scenario String Table_fmt

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Table_fmt

@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Command Fmt Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim List Option Rng Site Sn Time Txn

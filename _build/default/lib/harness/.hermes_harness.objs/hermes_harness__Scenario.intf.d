@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Fmt Hermes_core Hermes_history

@@ -1,0 +1,1 @@
+lib/harness/table_fmt.ml: Array Buffer Fmt List String

@@ -1,0 +1,626 @@
+(* The experiment suite.
+
+   The paper (ICDE 1992) has no quantitative evaluation — its "evaluation"
+   is the anomaly histories H1/H2/H3, the §5.3 message race, the Appendix
+   algorithms and the qualitative §6 comparison with CGM. Each experiment
+   below operationalizes one of those claims as a measured table; the
+   mapping to paper anchors is in DESIGN.md §3 and the results commentary
+   in EXPERIMENTS.md. *)
+
+open Hermes_kernel
+module T = Table_fmt
+module Config = Hermes_core.Config
+module Dtm = Hermes_core.Dtm
+module Coordinator = Hermes_core.Coordinator
+module Cgm = Hermes_baselines.Cgm
+module Failure = Hermes_ltm.Failure
+module Spec = Hermes_workload.Spec
+module Stats = Hermes_workload.Stats
+module Driver = Hermes_workload.Driver
+module Report = Hermes_history.Report
+module Committed = Hermes_history.Committed
+module Anomaly = Hermes_history.Anomaly
+module View = Hermes_history.View
+
+(* The certifier variants the scenario experiments compare. *)
+let scenario_configs =
+  [
+    ("naive (no certification)", Config.naive);
+    ("basic prepare cert only", { Config.naive with Config.prepare_certification = true; bind_data = true });
+    ("commit cert only", { Config.naive with Config.commit_certification = true });
+    ("full 2CM certifier", Config.full);
+  ]
+
+let verdict (r : Scenario.run) =
+  match r.Scenario.report.Report.view with
+  | View.Serializable _ -> "VSR"
+  | View.Not_serializable -> "NOT VSR"
+  | View.Too_large -> if Report.serializable r.Scenario.report then "VSR (criterion)" else "violates criterion"
+
+let outcome_cell o =
+  match o with
+  | Some Coordinator.Committed -> "committed"
+  | Some (Coordinator.Aborted (Coordinator.Refused (_, r))) -> Fmt.str "refused (%a)" Hermes_net.Message.pp_refusal r
+  | Some (Coordinator.Aborted _) -> "aborted"
+  | None -> "STUCK"
+
+let scenario_table ~title ~note ~scenario =
+  let rows =
+    List.map
+      (fun (name, certifier) ->
+        let r : Scenario.run = scenario ~certifier in
+        let outcomes = List.map (fun (l, o) -> Fmt.str "%s %s" l (outcome_cell o)) r.Scenario.outcomes in
+        let locals =
+          List.map (fun (l, ok) -> Fmt.str "%s %s" l (if ok then "ok" else "failed")) r.Scenario.locals
+        in
+        [
+          name;
+          String.concat ", " (outcomes @ locals);
+          T.i r.Scenario.resubmissions;
+          T.i (List.length r.Scenario.report.Report.global_distortions);
+          T.b (r.Scenario.report.Report.cg_cycle <> None);
+          verdict r;
+        ])
+      scenario_configs
+  in
+  T.make ~title
+    ~headers:[ "certifier"; "outcomes"; "resubmits"; "global distortions"; "CG cycle"; "verdict" ]
+    ~notes:[ note ] rows
+
+(* E1 — history H1: global view distortion (paper §3, §4). *)
+let e1_global_view_distortion () =
+  scenario_table ~title:"E1  H1: global view distortion (paper S3/S4)"
+    ~note:
+      "T1's prepared subtransaction is aborted after the global commit; T2 deletes Y^a and updates X^a. \
+       Without basic prepare certification the resubmission gets another view/decomposition; 'commit cert \
+       only' livelocks on this history (the basic certification is also a liveness mechanism)."
+    ~scenario:(fun ~certifier -> Scenario.h1 ~certifier ())
+
+(* E2 — history H2: local view distortion, direct conflict (paper §5.1). *)
+let e2_local_view_distortion () =
+  scenario_table ~title:"E2  H2: local view distortion via a direct conflict (paper S5.1)"
+    ~note:
+      "T3 reads Z^b from T1 while T1's subtransaction at a is still recovering; without commit \
+       certification the local commits at a and b are in opposite orders and L4 reads an impossible view."
+    ~scenario:(fun ~certifier -> Scenario.h2 ~certifier ())
+
+(* E3 — history H3: local view distortion through indirect conflicts only
+   (paper §5.1): no prepare-order argument applies; the serial numbers
+   carry the day. *)
+let e3_indirect_distortion () =
+  scenario_table ~title:"E3  H3: local view distortion via indirect conflicts only (paper S5.1)"
+    ~note:
+      "T5 and T6 touch disjoint items; only local transactions connect them. Commit certification \
+       (SN order) aligns the commit orders; the full certifier instead conservatively refuses T6."
+    ~scenario:(fun ~certifier -> Scenario.h3 ~certifier ())
+
+(* E4 — the §5.3 COMMIT-overtakes-PREPARE race and the prepare
+   certification extension. *)
+let e4_overtaking ?(seeds = 2_000) () =
+  let jitters = [ 4_000; 8_000; 16_000; 32_000 ] in
+  let count certifier jitter =
+    let races = ref 0 and cycles = ref 0 and refusals = ref 0 in
+    for seed = 1 to seeds do
+      let r = Scenario.overtake ~certifier ~jitter ~seed () in
+      if r.Scenario.overtaken then incr races;
+      if r.Scenario.o_run.Scenario.report.Report.cg_cycle <> None then incr cycles;
+      refusals := !refusals + r.Scenario.extension_refusals
+    done;
+    (!races, !cycles, !refusals)
+  in
+  let rows =
+    List.map
+      (fun jitter ->
+        let no_ext = { Config.full with Config.certification_extension = false } in
+        let r1, c1, _ = count no_ext jitter in
+        let r2, c2, f2 = count Config.full jitter in
+        [ T.i jitter; T.i r1; T.i c1; T.i r2; T.i f2; T.i c2 ])
+      jitters
+  in
+  T.make ~title:(Fmt.str "E4  COMMIT overtakes PREPARE (paper S5.3), %d seeds per cell" seeds)
+    ~headers:
+      [ "jitter (ticks)"; "races (no ext)"; "CG cycles (no ext)"; "races (full)"; "ext refusals (full)";
+        "CG cycles (full)" ]
+    ~notes:
+      [
+        "Two non-conflicting global transactions over two sites; network base delay 500 ticks.";
+        "The race needs one PREPARE delivery to outlast a competitor's whole prepare-commit round";
+        "trip, so it stays rare (<1%) at any jitter — but without the extension every occurrence";
+        "becomes a commit-order-graph cycle, and with it, a refusal.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Driver-based experiments                                            *)
+(* ------------------------------------------------------------------ *)
+
+let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+let avg_i xs = avg (List.map float_of_int xs)
+
+type agg = {
+  a_committed : float;
+  a_abort_rate : float;  (* failed attempts / attempts *)
+  a_retries : float;
+  a_throughput : float;
+  a_p95 : float;
+  a_refused_ext : float;
+  a_refused_int : float;
+  a_resub : float;
+  a_distortion_runs : int;  (* runs with >= 1 global view distortion *)
+  a_cycle_runs : int;  (* runs with a CG cycle *)
+  a_stuck_runs : int;
+  a_gate_delays : float;
+  a_glock_timeouts : float;
+  a_dlu_denials : float;
+}
+
+let aggregate ~seeds ~setup_of =
+  let results = List.init seeds (fun i -> Driver.run (setup_of (i + 1))) in
+  let stats f = List.map f results in
+  let count f = List.length (List.filter f results) in
+  let analysis =
+    List.map
+      (fun (r : Driver.result) ->
+        let c = Committed.extended r.Driver.history in
+        (Anomaly.global_view_distortions c <> [], Anomaly.commit_order_cycle c <> None))
+      results
+  in
+  {
+    a_committed = avg_i (stats (fun r -> r.Driver.stats.Stats.committed));
+    a_abort_rate = avg (stats (fun r -> Stats.abort_rate r.Driver.stats));
+    a_retries = avg_i (stats (fun r -> r.Driver.stats.Stats.retries));
+    a_throughput = avg (stats (fun r -> r.Driver.throughput));
+    a_p95 = avg_i (stats (fun r -> (Stats.latency_summary r.Driver.stats).Stats.p95));
+    a_refused_ext = avg_i (stats (fun r -> r.Driver.totals.Dtm.refused_extension));
+    a_refused_int = avg_i (stats (fun r -> r.Driver.totals.Dtm.refused_interval));
+    a_resub = avg_i (stats (fun r -> r.Driver.totals.Dtm.resubmissions));
+    a_distortion_runs = List.length (List.filter fst analysis);
+    a_cycle_runs = List.length (List.filter snd analysis);
+    a_stuck_runs = count (fun r -> r.Driver.stuck > 0);
+    a_gate_delays =
+      avg_i (stats (fun r -> match r.Driver.cgm with Some s -> s.Cgm.gate_delays | None -> 0));
+    a_glock_timeouts =
+      avg_i (stats (fun r -> match r.Driver.cgm with Some s -> s.Cgm.glock_timeouts | None -> 0));
+    a_dlu_denials = avg_i (stats (fun r -> r.Driver.totals.Dtm.dlu_denials));
+  }
+
+(* E5 — §6 restrictiveness, failure-free: "in a failure-free situation
+   [2CM] does not abort any transactions", vs CGM's coarse-granularity
+   scheduling and the ticket scheme's forced total order. *)
+let e5_restrictiveness ?(seeds = 3) () =
+  let protocols =
+    [
+      ("2CM", Driver.Two_pca Config.full);
+      ("ticket", Driver.Two_pca Config.ticket);
+      ("CGM-site", Driver.Cgm_baseline Cgm.default_config);
+      ("CGM-table", Driver.Cgm_baseline { Cgm.default_config with Cgm.granularity = Cgm.Table_level });
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun mpl ->
+        List.map
+          (fun (name, protocol) ->
+            let a =
+              aggregate ~seeds ~setup_of:(fun seed ->
+                  {
+                    Driver.default_setup with
+                    Driver.protocol;
+                    seed;
+                    spec = { Spec.default with Spec.global_mpl = mpl; n_global = 120 };
+                  })
+            in
+            [
+              T.i mpl; name; T.pct a.a_abort_rate; T.f1 a.a_retries; T.f1 a.a_throughput;
+              T.f1 (a.a_p95 /. 1000.0); T.f1 a.a_gate_delays; T.f1 a.a_glock_timeouts;
+            ])
+          protocols)
+      [ 2; 4; 8; 16 ]
+  in
+  T.make ~title:(Fmt.str "E5  Failure-free restrictiveness (paper S6), %d seeds per cell" seeds)
+    ~headers:
+      [ "MPL"; "protocol"; "abort rate"; "retries"; "commits/s"; "p95 latency (ms)"; "CGM gate delays";
+        "CGM glock timeouts" ]
+    ~notes:
+      [
+        "Paper: failure-free, 2CM aborts nothing; CGM's site-granularity scheduling rejects/delays";
+        "histories 2CM accepts, and the ticket scheme forces a total order that conflicts never asked for.";
+      ]
+    rows
+
+(* E6 — the failure sweep with ablations: which certification step stops
+   which anomaly class. *)
+let e6_failure_sweep ?(seeds = 5) () =
+  let variants =
+    [
+      ("2CM (full)", Config.full);
+      ("naive", Config.naive);
+      ("no prepare cert", Config.without_prepare_certification);
+      ("no commit cert", Config.without_commit_certification);
+      ("no extension", Config.without_extension);
+      ("no DLU binding", Config.without_dlu);
+    ]
+  in
+  let spec =
+    {
+      Spec.default with
+      Spec.n_global = 80;
+      global_mpl = 6;
+      zipf_theta = 0.9;
+      keys_per_site = 12;
+      n_tables = 2;
+      local_write_ratio = 0.7;
+      local_mpl_per_site = 2;
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun (name, certifier) ->
+            let a =
+              aggregate ~seeds ~setup_of:(fun seed ->
+                  {
+                    Driver.default_setup with
+                    Driver.protocol = Driver.Two_pca certifier;
+                    failure = Failure.prepared_rate p;
+                    seed;
+                    spec;
+                    time_limit = 30_000_000;
+                  })
+            in
+            [
+              Fmt.str "%.2f" p; name; T.f1 a.a_committed; T.f1 a.a_resub;
+              T.f1 (a.a_refused_ext +. a.a_refused_int); T.pct a.a_abort_rate;
+              Fmt.str "%d/%d" a.a_distortion_runs seeds; Fmt.str "%d/%d" a.a_cycle_runs seeds;
+              Fmt.str "%d/%d" a.a_stuck_runs seeds;
+            ])
+          variants)
+      [ 0.0; 0.1; 0.3 ]
+  in
+  T.make ~title:(Fmt.str "E6  Unilateral-abort sweep with ablations, %d seeds per cell" seeds)
+    ~headers:
+      [ "P(abort|prepared)"; "certifier"; "commits"; "resubmits"; "cert refusals"; "abort rate";
+        "distortion runs"; "CG-cycle runs"; "stuck runs" ]
+    ~notes:
+      [
+        "Full 2CM must show 0 distortion and 0 CG-cycle runs at every failure rate.";
+        "'cert refusals' are certification aborts (extension + interval); the residual abort rate is";
+        "lock timeouts under this deliberately contended workload, which every S2PL system shares.";
+        "CG cycles are the paper's *sufficient* safety criterion: at P=0 the cycles seen without";
+        "commit certification involve only non-conflicting transactions (benign message races);";
+        "under failures they are the real H2/H3 anomaly. The certifier prevents both.";
+        "'no prepare cert' can livelock (stuck runs): prepared subtransactions deadlock through";
+        "resubmitted locks — the Correctness Invariant is also what makes recovery live.";
+      ]
+    rows
+
+(* E7 — §5.2: clock drift causes only unnecessary aborts, never
+   incorrectness. *)
+let e7_clock_drift ?(seeds = 3) () =
+  let spec = { Spec.default with Spec.n_global = 100; global_mpl = 6 } in
+  let rows =
+    List.map
+      (fun drift ->
+        let a =
+          aggregate ~seeds ~setup_of:(fun seed ->
+              {
+                Driver.default_setup with
+                Driver.protocol = Driver.Two_pca Config.full;
+                failure = Failure.prepared_rate 0.1;
+                clock_of_site =
+                  (fun i -> Clock.make ~offset:(if i mod 2 = 0 then drift else -drift) ());
+                seed;
+                spec;
+              })
+        in
+        [
+          T.i drift; T.f1 a.a_committed; T.f1 a.a_refused_ext; T.f1 a.a_retries; T.pct a.a_abort_rate;
+          Fmt.str "%d/%d" a.a_distortion_runs seeds; Fmt.str "%d/%d" a.a_cycle_runs seeds;
+        ])
+      [ 0; 1_000; 10_000; 100_000 ]
+  in
+  T.make ~title:(Fmt.str "E7  Clock drift (paper S5.2), full 2CM, %d seeds per cell" seeds)
+    ~headers:
+      [ "drift (+/- ticks)"; "commits"; "ext refusals"; "retries"; "abort rate"; "distortion runs";
+        "CG-cycle runs" ]
+    ~notes:
+      [ "Paper: 'The drift may cause unnecessary aborts, only.' Correctness columns must stay at 0." ]
+    rows
+
+(* E8 — Appendix C: commit-certification retry behaviour vs network
+   jitter. *)
+let e8_commit_retry ?(seeds = 3) () =
+  let spec = { Spec.default with Spec.n_global = 100; global_mpl = 8; zipf_theta = 0.9 } in
+  let rows =
+    List.map
+      (fun jitter ->
+        let results =
+          List.init seeds (fun i ->
+              Driver.run
+                {
+                  Driver.default_setup with
+                  Driver.protocol = Driver.Two_pca Config.full;
+                  failure = Failure.prepared_rate 0.1;
+                  net = { Hermes_net.Network.base_delay = 500; jitter };
+                  seed = i + 1;
+                  spec;
+                })
+        in
+        let retries = avg_i (List.map (fun r -> r.Driver.totals.Dtm.commit_retries) results) in
+        let lat = avg (List.map (fun r -> (Stats.latency_summary r.Driver.stats).Stats.mean) results) in
+        let p95 = avg_i (List.map (fun r -> (Stats.latency_summary r.Driver.stats).Stats.p95) results) in
+        let committed = avg_i (List.map (fun r -> r.Driver.stats.Stats.committed) results) in
+        [ T.i jitter; T.f1 committed; T.f1 retries; T.f1 (lat /. 1000.0); T.f1 (p95 /. 1000.0) ])
+      [ 0; 1_000; 2_000; 4_000 ]
+  in
+  T.make ~title:(Fmt.str "E8  Commit-certification retries vs network jitter (Appendix C), %d seeds" seeds)
+    ~headers:[ "jitter (ticks)"; "commits"; "commit-cert retries"; "mean latency (ms)"; "p95 (ms)" ]
+    ~notes:[ "Retries measure how often a COMMIT had to wait behind a smaller serial number." ]
+    rows
+
+(* E9 — the §4.2 suggestion: "As an optimization, several of [the alive
+   intervals] might be stored." A reproduction finding: under the paper's
+   own definitions the optimization is vacuous. The candidate's interval
+   is [last operation, checking moment], so its upper end is *now*;
+   intersection with a past entry interval therefore only constrains the
+   candidate's lower end against the entry interval's upper end — and the
+   newest stored interval always has the largest upper end (a resubmitted
+   incarnation's interval begins after the failed one ended). Storing
+   older intervals can thus never admit a candidate the newest interval
+   refuses. The experiment confirms the equivalence empirically: both
+   variants must produce identical numbers. *)
+let e9_multi_interval ?(seeds = 5) () =
+  let spec =
+    {
+      Spec.default with
+      Spec.n_global = 80;
+      global_mpl = 8;
+      zipf_theta = 0.9;
+      keys_per_site = 12;
+      n_tables = 2;
+    }
+  in
+  let variants = [ ("1 (paper baseline)", Config.full); ("4 (optimization)", Config.multi_interval) ] in
+  let rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun (name, certifier) ->
+            let a =
+              aggregate ~seeds ~setup_of:(fun seed ->
+                  {
+                    Driver.default_setup with
+                    Driver.protocol = Driver.Two_pca certifier;
+                    failure = Failure.prepared_rate p;
+                    seed;
+                    spec;
+                  })
+            in
+            [
+              Fmt.str "%.2f" p; name; T.f1 a.a_committed; T.f1 a.a_refused_int; T.f1 a.a_retries;
+              T.pct a.a_abort_rate; Fmt.str "%d/%d" a.a_distortion_runs seeds;
+              Fmt.str "%d/%d" a.a_cycle_runs seeds;
+            ])
+          variants)
+      [ 0.1; 0.3; 0.5 ]
+  in
+  T.make
+    ~title:(Fmt.str "E9  Storing several alive intervals (paper S4.2 optimization), %d seeds per cell" seeds)
+    ~headers:
+      [ "P(abort|prepared)"; "intervals kept"; "commits"; "interval refusals"; "retries"; "abort rate";
+        "distortion runs"; "CG-cycle runs" ]
+    ~notes:
+      [
+        "Reproduction finding: the rows must be IDENTICAL pairwise. The candidate's interval always";
+        "ends at the checking moment, so only each entry's newest interval endpoint matters — the";
+        "paper's suggested optimization cannot change any certification outcome (see EXPERIMENTS.md).";
+      ]
+    rows
+
+(* E10 — heterogeneity and site crashes. The setting the paper is *for*:
+   LDBSs that differ in speed, deadlock handling and failure behaviour
+   (§1: heterogeneity means the implementation of the commands differs per
+   site and is unknown to the HMDBS builder; §1 also folds site crashes
+   into unilateral aborts as "collective abort"). Site 0 is a slow
+   mainframe that periodically crashes, site 1 a mid-range system with
+   wait-for-graph deadlock detection, site 2 a fast system with single
+   aborts; the certifier must keep the mix correct. *)
+let e10_heterogeneity ?(seeds = 5) () =
+  let module Ltm_config = Hermes_ltm.Ltm_config in
+  let mainframe =
+    {
+      Hermes_core.Dtm.ltm_config =
+        { Ltm_config.default with Ltm_config.cmd_latency = 800; op_latency = 150 };
+      clock = Clock.make ~offset:3_000 ();
+      failure = Failure.crashes ~mean_interval:150_000 ~horizon:2_000_000;
+    }
+  in
+  let midrange =
+    {
+      Hermes_core.Dtm.ltm_config =
+        { Ltm_config.default with Ltm_config.deadlock = Ltm_config.Detection_and_timeout };
+      clock = Clock.make ~offset:(-1_000) ();
+      failure = Failure.disabled;
+    }
+  in
+  let fast =
+    {
+      Hermes_core.Dtm.ltm_config = { Ltm_config.default with Ltm_config.cmd_latency = 30; op_latency = 10 };
+      clock = Clock.perfect;
+      failure = Failure.prepared_rate 0.15;
+    }
+  in
+  let override i = List.nth_opt [ mainframe; midrange; fast ] i in
+  let spec = { Spec.default with Spec.n_sites = 3; n_global = 100; global_mpl = 6 } in
+  let variants = [ ("2CM (full)", Config.full); ("naive", Config.naive) ] in
+  let rows =
+    List.map
+      (fun (name, certifier) ->
+        let a =
+          aggregate ~seeds ~setup_of:(fun seed ->
+              {
+                Driver.default_setup with
+                Driver.protocol = Driver.Two_pca certifier;
+                site_override = Some override;
+                seed;
+                spec;
+              })
+        in
+        [
+          name; T.f1 a.a_committed; T.f1 a.a_resub; T.pct a.a_abort_rate; T.f1 a.a_throughput;
+          Fmt.str "%d/%d" a.a_distortion_runs seeds; Fmt.str "%d/%d" a.a_cycle_runs seeds;
+        ])
+      variants
+  in
+  T.make
+    ~title:
+      (Fmt.str "E10 Heterogeneous sites: slow crashing mainframe + detection-based midrange + fast failing site, %d seeds"
+         seeds)
+    ~headers:[ "certifier"; "commits"; "resubmits"; "abort rate"; "commits/s"; "distortion runs"; "CG-cycle runs" ]
+    ~notes:
+      [
+        "Site 0: 800-tick commands, +3ms clock, periodic site crashes (collective aborts).";
+        "Site 1: wait-for-graph deadlock detection, -1ms clock. Site 2: fast, 15% prepared-abort rate.";
+        "The decentralized certifier needs no knowledge of any of this; correctness columns must be 0.";
+      ]
+    rows
+
+(* E11 — site crashes and 2PC recovery from the Agent log. The paper folds
+   site crashes into unilateral aborts ("collective abort"); the Agent
+   log's force-written prepare and commit records (Appendix B/C) are what
+   make recovery after a *full* agent crash possible: in-doubt
+   subtransactions are rebuilt by resubmission, coordinators retransmit
+   unacknowledged decisions, and duplicates are answered idempotently. *)
+let e11_crash_recovery ?(seeds = 5) () =
+  let spec = { Spec.default with Spec.n_global = 80; global_mpl = 6 } in
+  let schedule_of_crashes n =
+    (* n crashes spread over the expected run, alternating sites. *)
+    List.init n (fun i -> (20_000 + (i * 30_000), i mod 3))
+  in
+  let rows =
+    List.concat_map
+      (fun n_crashes ->
+        List.map
+          (fun (name, certifier) ->
+            let a =
+              aggregate ~seeds ~setup_of:(fun seed ->
+                  {
+                    Driver.default_setup with
+                    Driver.protocol = Driver.Two_pca certifier;
+                    failure = Failure.prepared_rate 0.05;
+                    crash_schedule = schedule_of_crashes n_crashes;
+                    seed;
+                    spec;
+                  })
+            in
+            [
+              T.i n_crashes; name; T.f1 a.a_committed; T.f1 a.a_resub; T.pct a.a_abort_rate;
+              Fmt.str "%d/%d" a.a_distortion_runs seeds; Fmt.str "%d/%d" a.a_cycle_runs seeds;
+              Fmt.str "%d/%d" a.a_stuck_runs seeds;
+            ])
+          [ ("2CM (full)", Config.full) ])
+      [ 0; 2; 6 ]
+  in
+  T.make ~title:(Fmt.str "E11 Site crashes + Agent-log recovery, %d seeds per cell" seeds)
+    ~headers:
+      [ "crashes"; "certifier"; "commits"; "resubmits"; "abort rate"; "distortion runs"; "CG-cycle runs";
+        "stuck runs" ]
+    ~notes:
+      [
+        "Full site crashes (volatile agent state lost, Agent log survives) with instant reboot,";
+        "plus a 5% prepared-abort rate. Every run must finish (0 stuck) and verify clean.";
+      ]
+    rows
+
+(* E12 — local deadlock resolution strategies. The paper assumes "timeout
+   based deadlock resolution" for 2CM (§6) and contrasts CGM's elaborate
+   three-graph machinery; execution autonomy means each LDBS brings its
+   own policy anyway. The certifier must stay correct over all of them —
+   wounds are just unilateral aborts to it — while throughput and abort
+   rates differ. *)
+let e12_deadlock_policies ?(seeds = 3) () =
+  let module Ltm_config = Hermes_ltm.Ltm_config in
+  let policies =
+    [
+      ("timeout", Ltm_config.Timeout_only);
+      ("detection", Ltm_config.Detection_and_timeout);
+      ("wait-die", Ltm_config.Wait_die);
+      ("wound-wait", Ltm_config.Wound_wait);
+    ]
+  in
+  let spec =
+    {
+      Spec.default with
+      Spec.n_global = 100;
+      global_mpl = 10;
+      zipf_theta = 1.0;
+      keys_per_site = 10;
+      n_tables = 1;
+      ops_per_site = 3;
+      global_write_ratio = 0.8;
+    }
+  in
+  let rows =
+    List.map
+      (fun (name, deadlock) ->
+        let results =
+          List.init seeds (fun i ->
+              Driver.run
+                {
+                  Driver.default_setup with
+                  Driver.protocol = Driver.Two_pca Config.full;
+                  failure = Failure.prepared_rate 0.05;
+                  ltm = { Ltm_config.default with Ltm_config.deadlock };
+                  seed = i + 1;
+                  spec;
+                })
+        in
+        let avg_of f = avg_i (List.map f results) in
+        let clean =
+          List.for_all
+            (fun (r : Driver.result) ->
+              let c = Committed.extended r.Driver.history in
+              Anomaly.global_view_distortions c = [] && Anomaly.commit_order_cycle c = None)
+            results
+        in
+        [
+          name;
+          T.f1 (avg_of (fun r -> r.Driver.stats.Stats.committed));
+          T.f1 (avg_of (fun r -> r.Driver.totals.Dtm.lock_timeouts));
+          T.f1 (avg_of (fun r -> r.Driver.totals.Dtm.deadlock_victims));
+          T.f1 (avg_of (fun r -> r.Driver.totals.Dtm.unilateral_aborts));
+          T.pct (avg (List.map (fun r -> Stats.abort_rate r.Driver.stats) results));
+          T.f1 (avg (List.map (fun r -> r.Driver.throughput) results));
+          T.b clean;
+        ])
+      policies
+  in
+  T.make ~title:(Fmt.str "E12 Local deadlock resolution under contention, %d seeds per cell" seeds)
+    ~headers:
+      [ "policy"; "commits"; "lock timeouts"; "deadlock victims"; "involuntary aborts"; "abort rate";
+        "commits/s"; "clean" ]
+    ~notes:
+      [
+        "Hot-key workload (Zipf 1.0, 10 keys, 80% writes, MPL 10) with a 5% prepared-abort rate.";
+        "'involuntary aborts' counts injector aborts plus wound-wait wounds (a wound IS a unilateral";
+        "abort to the agent, which simply resubmits). 'clean' = no distortion and acyclic CG anywhere.";
+      ]
+    rows
+
+let all ?(quick = false) () =
+  let seeds n = if quick then max 1 (n / 3) else n in
+  [
+    e1_global_view_distortion ();
+    e2_local_view_distortion ();
+    e3_indirect_distortion ();
+    e4_overtaking ~seeds:(seeds 2_000) ();
+    e5_restrictiveness ~seeds:(seeds 3) ();
+    e6_failure_sweep ~seeds:(seeds 5) ();
+    e7_clock_drift ~seeds:(seeds 3) ();
+    e8_commit_retry ~seeds:(seeds 3) ();
+    e9_multi_interval ~seeds:(seeds 5) ();
+    e10_heterogeneity ~seeds:(seeds 5) ();
+    e11_crash_recovery ~seeds:(seeds 5) ();
+    e12_deadlock_policies ~seeds:(seeds 3) ();
+  ]

@@ -1,0 +1,53 @@
+(** The experiment suite: the paper has no quantitative evaluation, so
+    each experiment operationalizes one of its qualitative claims as a
+    measured table (mapping in DESIGN.md §3, commentary in
+    EXPERIMENTS.md). *)
+
+module T := Table_fmt
+
+val e1_global_view_distortion : unit -> T.t
+(** H1 across certifier variants (paper §3/§4). *)
+
+val e2_local_view_distortion : unit -> T.t
+(** H2: direct-conflict local view distortion (§5.1). *)
+
+val e3_indirect_distortion : unit -> T.t
+(** H3: indirect-conflict local view distortion (§5.1). *)
+
+val e4_overtaking : ?seeds:int -> unit -> T.t
+(** The §5.3 race vs network jitter; extension on/off. *)
+
+val e5_restrictiveness : ?seeds:int -> unit -> T.t
+(** Failure-free abort rates and throughput: 2CM vs ticket vs CGM (§6). *)
+
+val e6_failure_sweep : ?seeds:int -> unit -> T.t
+(** Unilateral-abort sweep with per-step ablations. *)
+
+val e7_clock_drift : ?seeds:int -> unit -> T.t
+(** §5.2: drift causes only unnecessary aborts. *)
+
+val e8_commit_retry : ?seeds:int -> unit -> T.t
+(** Appendix C: commit-certification retry behaviour vs jitter. *)
+
+val e9_multi_interval : ?seeds:int -> unit -> T.t
+(** The §4.2 "several intervals might be stored" suggestion vs the
+    store-only-the-last baseline — a reproduction finding: they are
+    provably (and measurably) equivalent, because the candidate's interval
+    always ends at the checking moment. *)
+
+val e10_heterogeneity : ?seeds:int -> unit -> T.t
+(** Heterogeneous LDBSs (different speeds, deadlock policies, clocks and
+    failure behaviours, including site crashes) under one decentralized
+    certifier. *)
+
+val e11_crash_recovery : ?seeds:int -> unit -> T.t
+(** Full site crashes with Agent-log recovery: in-doubt subtransactions
+    rebuilt by resubmission, decisions retransmitted, duplicates answered
+    idempotently. *)
+
+val e12_deadlock_policies : ?seeds:int -> unit -> T.t
+(** Timeout vs detection vs wait-die vs wound-wait local deadlock
+    resolution under a hot-key workload; the certifier must stay correct
+    over all of them. *)
+
+val all : ?quick:bool -> unit -> T.t list

@@ -1,0 +1,46 @@
+(** Deterministic protocol-level replays of the paper's anomaly histories:
+    a saboteur unilaterally aborts a chosen prepared subtransaction inside
+    the right window, competitors are submitted while its locks are free,
+    and local transactions probe the resulting views. Run with
+    [Config.naive] the anomalies appear; with the right certification step
+    they do not. *)
+
+module Config := Hermes_core.Config
+module Coordinator := Hermes_core.Coordinator
+
+type run = {
+  name : string;
+  outcomes : (string * Coordinator.outcome option) list;
+      (** labelled global transactions; [None] = never finished (the
+          commit-certification-only ablation livelocks on H1 — the basic
+          prepare certification is also a liveness mechanism) *)
+  locals : (string * bool) list;  (** labelled local transactions: committed? *)
+  resubmissions : int;
+  history : Hermes_history.History.t;
+  report : Hermes_history.Report.t;
+}
+
+val pp_outcome_opt : Coordinator.outcome option Fmt.t
+
+val h1 : ?certifier:Config.t -> ?seed:int -> unit -> run
+(** History H1 (paper §3): global view distortion — the resubmission reads
+    X^a from T2 and loses the Y^a update from its decomposition. *)
+
+val h2 : ?certifier:Config.t -> ?seed:int -> unit -> run
+(** History H2 (paper §5.1): local view distortion through a direct
+    T1–T3 conflict; L4 observes the impossible view. *)
+
+val h3 : ?certifier:Config.t -> ?seed:int -> unit -> run
+(** History H3 (paper §5.1): local view distortion through *indirect*
+    conflicts only — T5 and T6 touch disjoint items. *)
+
+type overtake_result = {
+  o_run : run;
+  overtaken : bool;
+      (** the smaller-SN transaction's PREPARE landed after (or was refused
+          behind) the bigger-SN transaction's local commit at some site *)
+  extension_refusals : int;
+}
+
+val overtake : ?certifier:Config.t -> jitter:int -> seed:int -> unit -> overtake_result
+(** The §5.3 COMMIT-overtakes-PREPARE race; randomized — sweep seeds. *)

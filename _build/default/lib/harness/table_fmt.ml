@@ -1,0 +1,49 @@
+(* Plain-text result tables for the experiment harness. *)
+
+type t = { title : string; headers : string list; rows : string list list; notes : string list }
+
+let make ~title ~headers ?(notes = []) rows = { title; headers; rows; notes }
+
+let f1 x = Fmt.str "%.1f" x
+let f2 x = Fmt.str "%.2f" x
+let pct x = Fmt.str "%.1f%%" (100.0 *. x)
+let i = string_of_int
+let b x = if x then "yes" else "no"
+
+let widths t =
+  let all = t.headers :: t.rows in
+  let n = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let w = Array.make n 0 in
+  List.iter (List.iteri (fun j cell -> w.(j) <- max w.(j) (String.length cell))) all;
+  w
+
+let hline w =
+  let parts = Array.to_list (Array.map (fun n -> String.make (n + 2) '-') w) in
+  "+" ^ String.concat "+" parts ^ "+"
+
+let render_row w row =
+  let cells =
+    List.mapi
+      (fun j cell ->
+        let pad = w.(j) - String.length cell in
+        " " ^ cell ^ String.make (pad + 1) ' ')
+      row
+  in
+  (* Rows narrower than the header get trailing empty cells. *)
+  let missing = Array.length w - List.length row in
+  let extra = List.init (max 0 missing) (fun k -> String.make (w.(List.length row + k) + 2) ' ') in
+  "|" ^ String.concat "|" (cells @ extra) ^ "|"
+
+let to_string t =
+  let w = widths t in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Fmt.str "\n== %s ==\n" t.title);
+  Buffer.add_string buf (hline w ^ "\n");
+  Buffer.add_string buf (render_row w t.headers ^ "\n");
+  Buffer.add_string buf (hline w ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row w row ^ "\n")) t.rows;
+  Buffer.add_string buf (hline w ^ "\n");
+  List.iter (fun note -> Buffer.add_string buf ("  " ^ note ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,16 @@
+(** Plain-text result tables for the experiment harness. *)
+
+type t = { title : string; headers : string list; rows : string list list; notes : string list }
+
+val make : title:string -> headers:string list -> ?notes:string list -> string list list -> t
+
+(** Cell formatting helpers. *)
+
+val f1 : float -> string
+val f2 : float -> string
+val pct : float -> string
+val i : int -> string
+val b : bool -> string
+
+val to_string : t -> string
+val print : t -> unit

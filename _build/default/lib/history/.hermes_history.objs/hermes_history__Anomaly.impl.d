@@ -1,0 +1,1 @@
+lib/history/anomaly.ml: Commit_order_graph Fmt Hashtbl Hermes_kernel History Item List Op Option Replay Site Stdlib Txn

@@ -1,0 +1,1 @@
+lib/history/anomaly.mli: Fmt Hermes_kernel History Item Op Site Txn

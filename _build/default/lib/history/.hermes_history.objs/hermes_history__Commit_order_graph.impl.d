@@ -1,0 +1,1 @@
+lib/history/commit_order_graph.ml: Array Hashtbl Hermes_graph Hermes_kernel History List Op Option Queue Site Txn

@@ -1,0 +1,1 @@
+lib/history/commit_order_graph.mli: Hermes_graph Hermes_kernel History Txn

@@ -1,0 +1,1 @@
+lib/history/committed.ml: Hashtbl Hermes_kernel History Op Option Site Txn

@@ -1,0 +1,1 @@
+lib/history/committed.mli: Hermes_kernel History Txn

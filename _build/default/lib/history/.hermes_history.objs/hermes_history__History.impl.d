@@ -1,0 +1,1 @@
+lib/history/history.ml: Array Fmt Hashtbl Hermes_kernel Int List Op Site Time Txn

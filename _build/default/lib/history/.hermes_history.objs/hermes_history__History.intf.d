@@ -1,0 +1,1 @@
+lib/history/history.mli: Fmt Hermes_kernel Op Site Time Txn

@@ -1,0 +1,1 @@
+lib/history/op.ml: Fmt Hermes_kernel Item Site Sn Stdlib Txn

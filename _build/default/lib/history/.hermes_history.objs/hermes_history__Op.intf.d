@@ -1,0 +1,1 @@
+lib/history/op.mli: Fmt Hermes_kernel Item Site Sn Txn

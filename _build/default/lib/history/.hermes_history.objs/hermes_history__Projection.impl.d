@@ -1,0 +1,1 @@
+lib/history/projection.ml: Hermes_kernel History Op Site Txn

@@ -1,0 +1,1 @@
+lib/history/projection.mli: Hermes_kernel History Site Txn

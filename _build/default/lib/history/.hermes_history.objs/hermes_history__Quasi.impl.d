@@ -1,0 +1,1 @@
+lib/history/quasi.ml: Fmt Hermes_kernel List Serialization_graph Txn

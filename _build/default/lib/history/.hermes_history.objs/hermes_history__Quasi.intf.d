@@ -1,0 +1,1 @@
+lib/history/quasi.mli: Fmt Hermes_kernel History Txn

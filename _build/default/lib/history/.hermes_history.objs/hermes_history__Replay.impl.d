@@ -1,0 +1,1 @@
+lib/history/replay.ml: Fmt Hashtbl Hermes_kernel History Item List Op Option Txn

@@ -1,0 +1,1 @@
+lib/history/replay.mli: Fmt Hermes_kernel History Item Txn

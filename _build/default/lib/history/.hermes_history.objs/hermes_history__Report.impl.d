@@ -1,0 +1,1 @@
+lib/history/report.ml: Anomaly Commit_order_graph Committed Fmt Hermes_kernel History List Quasi Rigorous Serialization_graph Site Txn Values View

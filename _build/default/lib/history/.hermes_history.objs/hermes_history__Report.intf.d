@@ -1,0 +1,1 @@
+lib/history/report.mli: Anomaly Fmt Hermes_kernel History Quasi Rigorous Site Txn Values View

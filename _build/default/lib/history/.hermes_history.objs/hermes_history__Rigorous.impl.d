@@ -1,0 +1,1 @@
+lib/history/rigorous.ml: Array Fmt Hermes_kernel History List Op Projection Site

@@ -1,0 +1,1 @@
+lib/history/rigorous.mli: Fmt Hermes_kernel History Op Site

@@ -1,0 +1,1 @@
+lib/history/serial_format.ml: Buffer Fmt Fun Hermes_kernel History Item List Op Site Sn String Time Txn

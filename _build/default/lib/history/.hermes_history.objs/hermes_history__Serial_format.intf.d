@@ -1,0 +1,1 @@
+lib/history/serial_format.mli: History Op

@@ -1,0 +1,1 @@
+lib/history/serialization_graph.ml: Array Hashtbl Hermes_graph Hermes_kernel History Item List Op Txn

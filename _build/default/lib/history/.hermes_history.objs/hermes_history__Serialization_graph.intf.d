@@ -1,0 +1,1 @@
+lib/history/serialization_graph.mli: Hermes_graph Hermes_kernel History Txn

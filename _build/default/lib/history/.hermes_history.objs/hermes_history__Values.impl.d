@@ -1,0 +1,1 @@
+lib/history/values.ml: Fmt Hashtbl Hermes_kernel History Item List Op Option Stdlib Txn

@@ -1,0 +1,1 @@
+lib/history/values.mli: Fmt Hermes_kernel History Item Op Txn

@@ -1,0 +1,1 @@
+lib/history/view.ml: Fmt Hermes_kernel History Item List Replay Seq Serialization_graph Stdlib Txn

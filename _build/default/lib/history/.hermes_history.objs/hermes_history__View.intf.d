@@ -1,0 +1,1 @@
+lib/history/view.mli: Fmt Hermes_kernel History Item Txn

@@ -1,0 +1,141 @@
+(* Detectors for the paper's two anomaly classes.
+
+   Global view distortion (§4): a resubmitted local subtransaction T^i_kj
+   (j > 0) gets another view — reads the same item from a different
+   transaction — or, in the worst case, another decomposition than the
+   original T^i_k0. Detected by comparing, per (transaction, site), the
+   footprints and reads-from of all incarnations.
+
+   Local view distortion (§5): local transactions get non-serializable
+   views because local commits of global transactions occur in opposite
+   orders at different sites. Possible only if the commit order graph of
+   the committed projection is cyclic, so the detector reports CG cycles;
+   an exact view-serializability refutation is available for small
+   histories through {!View}. *)
+
+open Hermes_kernel
+
+type global_distortion = {
+  txn : Txn.t;
+  site : Site.t;
+  inc_base : int;  (* the original incarnation compared against *)
+  inc_other : int;  (* the diverging resubmission *)
+  reason : [ `Different_view of Item.t | `Different_decomposition ];
+}
+
+let pp_global ppf d =
+  let reason ppf = function
+    | `Different_view item -> Fmt.pf ppf "reads %a from a different transaction" Item.pp item
+    | `Different_decomposition -> Fmt.string ppf "has a different decomposition"
+  in
+  Fmt.pf ppf "global view distortion: %a at site %a, incarnation %d %a than incarnation %d" Txn.pp d.txn
+    Site.pp d.site d.inc_other reason d.reason d.inc_base
+
+(* The footprint of an incarnation: its DML operations in order, reads
+   annotated with the logical transaction they read from. *)
+type step = { kind : Op.kind; item : Item.t; from : Txn.t option }
+
+let footprints h =
+  let outcome = Replay.run h in
+  let reads_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Replay.logical_read) -> Hashtbl.replace reads_tbl (r.l_reader, r.l_item, r.l_occurrence) r.l_from)
+    (Replay.logical_reads outcome);
+  let foot : (Txn.Incarnation.t, step list ref) Hashtbl.t = Hashtbl.create 16 in
+  let occ = Hashtbl.create 64 in
+  History.iteri
+    (fun _ op ->
+      match op with
+      | Op.Dml { kind; inc; item; _ } ->
+          let steps =
+            match Hashtbl.find_opt foot inc with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace foot inc r;
+                r
+          in
+          let from =
+            match kind with
+            | Op.Write -> None
+            | Op.Read ->
+                let o = Option.value ~default:0 (Hashtbl.find_opt occ (inc, item)) in
+                Hashtbl.replace occ (inc, item) (o + 1);
+                Option.join (Hashtbl.find_opt reads_tbl (inc, item, o))
+          in
+          steps := { kind; item; from } :: !steps
+      | _ -> ())
+    h;
+  Hashtbl.fold (fun inc steps acc -> (inc, List.rev !steps) :: acc) foot []
+
+(* Compare all resubmissions against the first incarnation present.
+
+   A resubmission that was itself unilaterally aborted partway replayed
+   only a *prefix* of the subtransaction's commands; that is not a
+   distortion as long as the prefix's decomposition and views agree with
+   the original. A *committed* incarnation, by contrast, replayed
+   everything and must agree exactly. *)
+let global_view_distortions h =
+  let foots = footprints h in
+  let lookup txn site inc =
+    List.find_map
+      (fun ((i : Txn.Incarnation.t), steps) ->
+        if Txn.equal i.txn txn && Site.equal i.site site && i.inc = inc then Some steps else None)
+      foots
+  in
+  let out = ref [] in
+  List.iter
+    (fun txn ->
+      if Txn.is_global txn then
+        List.iter
+          (fun site ->
+            match History.incarnations_at h txn ~site with
+            | [] | [ _ ] -> ()
+            | base :: rest -> (
+                match lookup txn site base with
+                | None -> ()
+                | Some base_steps ->
+                    List.iter
+                      (fun k ->
+                        let steps = Option.value ~default:[] (lookup txn site k) in
+                        let committed =
+                          History.locally_committed h (Txn.Incarnation.make ~txn ~site ~inc:k)
+                        in
+                        let shapes l = List.map (fun s -> (s.kind, s.item)) l in
+                        let is_prefix l1 l2 =
+                          (* l1 a prefix of l2 *)
+                          let rec go = function
+                            | [], _ -> true
+                            | _, [] -> false
+                            | x :: xs, y :: ys -> Stdlib.( = ) x y && go (xs, ys)
+                          in
+                          go (l1, l2)
+                        in
+                        let shape_ok =
+                          if committed then shapes steps = shapes base_steps
+                          else is_prefix (shapes steps) (shapes base_steps)
+                        in
+                        if not shape_ok then
+                          out :=
+                            { txn; site; inc_base = base; inc_other = k; reason = `Different_decomposition }
+                            :: !out
+                        else
+                          (* Views must agree on the common (prefix) length. *)
+                          List.iteri
+                            (fun i (s : step) ->
+                              let b = List.nth base_steps i in
+                              if s.kind = Op.Read && not (Stdlib.( = ) s.from b.from) then
+                                out :=
+                                  { txn; site; inc_base = base; inc_other = k; reason = `Different_view s.item }
+                                  :: !out)
+                            steps)
+                      rest))
+          (History.sites_of_txn h txn))
+    (History.txns h);
+  List.rev !out
+
+(* Local view distortion is *possible* only if CG(C(H)) is cyclic
+   (paper §5.1); the cycle is the diagnostic. *)
+let commit_order_cycle h = Commit_order_graph.find_cycle h
+
+let has_global_view_distortion h = global_view_distortions h <> []

@@ -1,0 +1,87 @@
+(* The extended committed projection C(H) of the paper (§3).
+
+   Besides the operations of globally committed *complete* transactions and
+   of committed local transactions — as in Bernstein/Hadzilacos/Goodman —
+   the paper's C(H) also includes *all unilaterally aborted local
+   subtransactions that belong to globally committed complete
+   transactions*. It is this extension that makes the resubmission
+   anomalies visible: in H1, the aborted incarnation T^a_10 stays in C(H1)
+   and exposes the two different views T_1 obtained.
+
+   Computed in two linear passes (histories from long simulations contain
+   hundreds of thousands of operations, so the per-transaction helpers of
+   {!History} would be quadratic here). *)
+
+open Hermes_kernel
+
+module Inc_key = struct
+  type t = Txn.t * Site.t * int
+end
+
+(* One linear pass collecting: which transactions have a global commit,
+   which incarnations locally committed, and the maximal incarnation index
+   per (transaction, site). *)
+let index h =
+  let globally_committed : (Txn.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let committed_inc : (Inc_key.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let max_inc : (Txn.t * Site.t, int) Hashtbl.t = Hashtbl.create 64 in
+  History.iteri
+    (fun _ op ->
+      (match Op.incarnation op with
+      | Some inc ->
+          let key = (inc.Txn.Incarnation.txn, inc.site) in
+          let prev = Option.value ~default:(-1) (Hashtbl.find_opt max_inc key) in
+          if inc.inc > prev then Hashtbl.replace max_inc key inc.inc
+      | None -> ());
+      match op with
+      | Op.Global_commit txn -> Hashtbl.replace globally_committed txn ()
+      | Op.Local_commit inc ->
+          Hashtbl.replace committed_inc (inc.Txn.Incarnation.txn, inc.site, inc.inc) ();
+          if Txn.is_local inc.txn then Hashtbl.replace globally_committed inc.txn ()
+      | _ -> ())
+    h;
+  (globally_committed, committed_inc, max_inc)
+
+let keep_set h =
+  let globally_committed, committed_inc, max_inc = index h in
+  let keep : (Txn.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* A transaction is kept iff globally committed and complete: its final
+     incarnation locally committed at every site it operated at. Collect
+     the incomplete ones in one sweep of the (txn, site) index. *)
+  let incomplete : (Txn.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (t, site) m -> if not (Hashtbl.mem committed_inc (t, site, m)) then Hashtbl.replace incomplete t ())
+    max_inc;
+  Hashtbl.iter
+    (fun txn () -> if not (Hashtbl.mem incomplete txn) then Hashtbl.replace keep txn ())
+    globally_committed;
+  keep
+
+let keep_txn h x = Hashtbl.mem (keep_set h) x
+
+(* The extended committed projection: every operation (including operations
+   and aborts of unilaterally aborted incarnations) of every kept
+   transaction. *)
+let extended h =
+  let keep = keep_set h in
+  History.filter (fun op -> Hashtbl.mem keep (Op.txn op)) h
+
+(* The classical committed projection: as [extended], but operations of
+   aborted incarnations are dropped (only what eventually committed
+   remains). Under this projection the H1 anomaly is invisible — which is
+   precisely the paper's argument for extending it. *)
+let classical h =
+  let c = extended h in
+  let aborted : (Inc_key.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  History.iteri
+    (fun _ op ->
+      match op with
+      | Op.Local_abort inc -> Hashtbl.replace aborted (inc.Txn.Incarnation.txn, inc.site, inc.inc) ()
+      | _ -> ())
+    c;
+  History.filter
+    (fun op ->
+      match Op.incarnation op with
+      | Some inc -> not (Hashtbl.mem aborted (inc.Txn.Incarnation.txn, inc.site, inc.inc))
+      | None -> true)
+    c

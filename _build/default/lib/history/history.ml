@@ -1,0 +1,96 @@
+(* Linear histories: a total order of operations (paper §3, the shuffle of
+   the transaction histories). The simulator produces one by tracing; tests
+   also build them literally, e.g. the paper's H1, H2, H3. *)
+
+open Hermes_kernel
+
+type event = { op : Op.t; at : Time.t }
+
+type t = { ops : Op.t array }
+
+let of_ops ops = { ops = Array.of_list ops }
+
+let of_events events =
+  let events = List.stable_sort (fun a b -> Time.compare a.at b.at) events in
+  { ops = Array.of_list (List.map (fun e -> e.op) events) }
+
+let ops t = Array.to_list t.ops
+let length t = Array.length t.ops
+let get t i = t.ops.(i)
+let append a b = { ops = Array.append a.ops b.ops }
+let concat ts = { ops = Array.concat (List.map (fun t -> t.ops) ts) }
+let filter f t = { ops = Array.of_list (List.filter f (ops t)) }
+
+let fold f init t = Array.fold_left f init t.ops
+let iteri f t = Array.iteri f t.ops
+let exists f t = Array.exists f t.ops
+
+(* Transactions in order of first appearance. *)
+let txns t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun op ->
+      let x = Op.txn op in
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        acc := x :: !acc
+      end)
+    t.ops;
+  List.rev !acc
+
+let global_txns t = List.filter Txn.is_global (txns t)
+let local_txns t = List.filter Txn.is_local (txns t)
+
+let ops_of_txn t x = List.filter (fun op -> Txn.equal (Op.txn op) x) (ops t)
+
+let sites_of_txn t x =
+  List.fold_left
+    (fun acc op ->
+      if Txn.equal (Op.txn op) x then match Op.site op with Some s -> Site.Set.add s acc | None -> acc
+      else acc)
+    Site.Set.empty (ops t)
+  |> Site.Set.elements
+
+(* Incarnation indices of [x] at [site], ascending. *)
+let incarnations_at t x ~site =
+  List.fold_left
+    (fun acc op ->
+      match Op.incarnation op with
+      | Some inc when Txn.equal inc.Txn.Incarnation.txn x && Site.equal inc.site site ->
+          if List.mem inc.inc acc then acc else inc.inc :: acc
+      | _ -> acc)
+    [] (ops t)
+  |> List.sort Int.compare
+
+let final_incarnation_at t x ~site =
+  match List.rev (incarnations_at t x ~site) with
+  | [] -> None
+  | k :: _ -> Some (Txn.Incarnation.make ~txn:x ~site ~inc:k)
+
+let is_globally_committed t x =
+  match x with
+  | Txn.Global _ -> exists (fun op -> match op with Op.Global_commit y -> Txn.equal x y | _ -> false) t
+  | Txn.Local _ ->
+      exists
+        (fun op -> match op with Op.Local_commit inc -> Txn.equal inc.Txn.Incarnation.txn x | _ -> false)
+        t
+
+let locally_committed t inc =
+  exists (fun op -> match op with Op.Local_commit j -> Txn.Incarnation.equal inc j | _ -> false) t
+
+(* A transaction is committed *and complete* (paper §3) when it is globally
+   committed and its final incarnation has locally committed at every site
+   it operated at. Local transactions are complete iff committed. *)
+let is_complete t x =
+  is_globally_committed t x
+  && List.for_all
+       (fun site ->
+         match final_incarnation_at t x ~site with
+         | None -> true
+         | Some inc -> locally_committed t inc)
+       (sites_of_txn t x)
+
+let pp ppf t = Fmt.pf ppf "@[<hov>%a@]" Fmt.(list ~sep:sp Op.pp) (ops t)
+let pp_with_from ppf t = Fmt.pf ppf "@[<hov>%a@]" Fmt.(list ~sep:sp Op.pp_with_from) (ops t)
+let show t = Fmt.str "%a" pp t

@@ -1,0 +1,49 @@
+(** Linear histories: a total order of operations (paper §3). *)
+
+open Hermes_kernel
+
+type event = { op : Op.t; at : Time.t }
+
+type t
+
+val of_ops : Op.t list -> t
+val of_events : event list -> t
+(** Stable-sorts by time, so simultaneous events keep trace order. *)
+
+val ops : t -> Op.t list
+val length : t -> int
+val get : t -> int -> Op.t
+val append : t -> t -> t
+val concat : t list -> t
+val filter : (Op.t -> bool) -> t -> t
+val fold : ('a -> Op.t -> 'a) -> 'a -> t -> 'a
+val iteri : (int -> Op.t -> unit) -> t -> unit
+val exists : (Op.t -> bool) -> t -> bool
+
+val txns : t -> Txn.t list
+(** In order of first appearance. *)
+
+val global_txns : t -> Txn.t list
+val local_txns : t -> Txn.t list
+val ops_of_txn : t -> Txn.t -> Op.t list
+val sites_of_txn : t -> Txn.t -> Site.t list
+
+val incarnations_at : t -> Txn.t -> site:Site.t -> int list
+(** Incarnation indices of the transaction's subtransaction at [site],
+    ascending. *)
+
+val final_incarnation_at : t -> Txn.t -> site:Site.t -> Txn.Incarnation.t option
+
+val is_globally_committed : t -> Txn.t -> bool
+(** Global transactions: has a [Global_commit]. Local transactions: has a
+    [Local_commit]. *)
+
+val locally_committed : t -> Txn.Incarnation.t -> bool
+
+val is_complete : t -> Txn.t -> bool
+(** Committed *and complete* (paper §3): globally committed, and the final
+    incarnation locally committed at every involved site. *)
+
+val pp : t Fmt.t
+val pp_with_from : t Fmt.t
+val show : t -> string

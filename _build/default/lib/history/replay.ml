@@ -1,0 +1,100 @@
+(* Replay semantics: execute a linear history against an abstract store
+   that tracks, per item, which incarnation last (physically) wrote it.
+
+   Writes are in-place (as in the simulated LDBSs); a local abort restores
+   the before images of everything its incarnation wrote (the RR
+   assumption); a local commit makes the incarnation's writes permanent.
+   A read observes the current physical writer of the item — under a
+   rigorous scheduler that is always a committed (or own) write, but the
+   replay does not assume rigorousness, so it can also characterize what a
+   broken schedule "really did".
+
+   The outcome — the reads-from relation and the final writer of every
+   item — is exactly the data on which view equivalence is defined (§3,
+   following Bernstein/Hadzilacos/Goodman, with only committed writes as
+   final writes). *)
+
+open Hermes_kernel
+
+type read = {
+  reader : Txn.Incarnation.t;
+  item : Item.t;
+  occurrence : int;  (* 0-based count of this incarnation's reads of this item *)
+  from : Txn.Incarnation.t option;  (* None = initializing transaction T_0 *)
+}
+
+type outcome = {
+  reads : read list;  (* in history order *)
+  final : Txn.Incarnation.t option Item.Map.t;  (* physical writer after the last event *)
+  uncommitted : Txn.Incarnation.t list;  (* incarnations that wrote but never terminated *)
+}
+
+(* Per-incarnation undo log entry: the writer the item had before this
+   incarnation's first overwrite is what an abort must restore. Recording
+   every write and restoring in reverse order is equivalent. *)
+type undo = (Item.t * Txn.Incarnation.t option) list
+
+let run h =
+  let state : (Item.t, Txn.Incarnation.t option) Hashtbl.t = Hashtbl.create 64 in
+  let undos : (Txn.Incarnation.t, undo ref) Hashtbl.t = Hashtbl.create 16 in
+  let occurrences : (Txn.Incarnation.t * Item.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let reads = ref [] in
+  let writer item = match Hashtbl.find_opt state item with Some w -> w | None -> None in
+  let undo_of inc =
+    match Hashtbl.find_opt undos inc with
+    | Some u -> u
+    | None ->
+        let u = ref [] in
+        Hashtbl.replace undos inc u;
+        u
+  in
+  History.iteri
+    (fun _ op ->
+      match op with
+      | Op.Dml { kind = Read; inc; item; _ } ->
+          let occ = Option.value ~default:0 (Hashtbl.find_opt occurrences (inc, item)) in
+          Hashtbl.replace occurrences (inc, item) (occ + 1);
+          reads := { reader = inc; item; occurrence = occ; from = writer item } :: !reads
+      | Op.Dml { kind = Write; inc; item; _ } ->
+          let u = undo_of inc in
+          u := (item, writer item) :: !u;
+          Hashtbl.replace state item (Some inc)
+      | Op.Local_abort inc -> (
+          match Hashtbl.find_opt undos inc with
+          | None -> ()
+          | Some u ->
+              List.iter (fun (item, before) -> Hashtbl.replace state item before) !u;
+              Hashtbl.remove undos inc)
+      | Op.Local_commit inc -> Hashtbl.remove undos inc
+      | Op.Prepare _ | Op.Global_commit _ | Op.Global_abort _ -> ())
+    h;
+  let final = Hashtbl.fold Item.Map.add state Item.Map.empty in
+  let uncommitted = Hashtbl.fold (fun inc _ acc -> inc :: acc) undos [] in
+  { reads = List.rev !reads; final; uncommitted }
+
+(* The logical (transaction-level) view of an outcome: the paper judges
+   reads-from between *transactions* (T^a_11 reads X^a "from T_2"), not
+   incarnations, and final writes likewise. *)
+type logical_read = {
+  l_reader : Txn.Incarnation.t;  (* reader stays incarnation-level: each incarnation has its own view *)
+  l_item : Item.t;
+  l_occurrence : int;
+  l_from : Txn.t option;
+}
+
+let logical_reads outcome =
+  List.map
+    (fun r ->
+      {
+        l_reader = r.reader;
+        l_item = r.item;
+        l_occurrence = r.occurrence;
+        l_from = Option.map (fun (w : Txn.Incarnation.t) -> w.txn) r.from;
+      })
+    outcome.reads
+
+let logical_final outcome = Item.Map.map (Option.map (fun (w : Txn.Incarnation.t) -> w.txn)) outcome.final
+
+let pp_read ppf r =
+  let pp_from ppf = function None -> Fmt.string ppf "T0" | Some w -> Txn.Incarnation.pp ppf w in
+  Fmt.pf ppf "%a reads %a#%d from %a" Txn.Incarnation.pp r.reader Item.pp r.item r.occurrence pp_from r.from

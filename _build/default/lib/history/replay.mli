@@ -1,0 +1,36 @@
+(** Replay semantics: execute a linear history against an abstract store
+    tracking per-item physical writers, with in-place writes, undo on local
+    abort (RR) and promotion on local commit. The outcome (reads-from +
+    final writers) is the data view equivalence is defined on. *)
+
+open Hermes_kernel
+
+type read = {
+  reader : Txn.Incarnation.t;
+  item : Item.t;
+  occurrence : int;  (** 0-based count of this incarnation's reads of this item *)
+  from : Txn.Incarnation.t option;  (** [None] = initializing transaction T_0 *)
+}
+
+type outcome = {
+  reads : read list;  (** in history order *)
+  final : Txn.Incarnation.t option Item.Map.t;
+  uncommitted : Txn.Incarnation.t list;  (** wrote but never terminated *)
+}
+
+val run : History.t -> outcome
+
+type logical_read = {
+  l_reader : Txn.Incarnation.t;
+  l_item : Item.t;
+  l_occurrence : int;
+  l_from : Txn.t option;
+}
+
+val logical_reads : outcome -> logical_read list
+(** Reads-from at the transaction level — the granularity the paper judges
+    views at (T^a_11 reads X^a "from T_2"). *)
+
+val logical_final : outcome -> Txn.t option Item.Map.t
+
+val pp_read : read Fmt.t

@@ -1,0 +1,29 @@
+(** Combined verification of a recorded history: rigorousness per site,
+    SG/CG cycles, global view distortions, and a view-serializability
+    verdict (exact for small histories; by the paper's sufficient
+    criterion otherwise). *)
+
+open Hermes_kernel
+
+type t = {
+  n_txns : int;
+  n_global : int;
+  n_local : int;
+  n_ops : int;
+  rigorous_violations : (Site.t * Rigorous.violation list) list;
+  sg_cycle : Txn.t list option;
+  cg_cycle : Txn.t list option;
+  global_distortions : Anomaly.global_distortion list;
+  view : View.decision;
+  quasi : Quasi.verdict;  (** the related-work [11] criterion, for contrast *)
+  value_mismatches : Values.mismatch list;  (** trace-vs-execution cross-check *)
+}
+
+val analyze : ?vsr_limit:int -> History.t -> t
+(** Computes the extended committed projection internally; [vsr_limit]
+    bounds the exact view-serializability search (default 7 transactions). *)
+
+val rigorous : t -> bool
+val serializable : t -> bool
+val ok : t -> bool
+val pp : t Fmt.t

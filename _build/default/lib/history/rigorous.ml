@@ -1,0 +1,56 @@
+(* Rigorousness checker (the SRS assumption; Breitbart, Georgakopoulos,
+   Rusinkiewicz & Silberschatz, IEEE TSE 1991).
+
+   A history is rigorous iff it is strict and no item is written while a
+   transaction that read it is still active; equivalently, for every pair
+   of conflicting operations o1 in T, o2 in S (T <> S, o1 before o2), T
+   terminates (commits or aborts) between o1 and o2. Conflicts are judged
+   at the LTM level: each incarnation is an independent local transaction.
+
+   The checker is the independent witness the whole reproduction leans on:
+   the Certifier's soundness argument (the Conflict Detection Basis, §4.1)
+   assumes local rigorousness, and property tests run this checker over
+   the histories our S2PL scheduler actually produced. *)
+
+open Hermes_kernel
+
+type violation = { first : Op.t; first_index : int; second : Op.t; second_index : int }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%a (#%d) conflicts with later %a (#%d) without intervening termination" Op.pp v.first
+    v.first_index Op.pp v.second v.second_index
+
+(* All rigorousness violations in (what should be) a single-site history.
+   O(n^2) over DML operations — histories under test are bounded. *)
+let violations h =
+  let ops = Array.of_list (History.ops h) in
+  let n = Array.length ops in
+  let terminated_between i j inc =
+    let rec go k = k < j && (Op.is_termination_of ops.(k) ~inc || go (k + 1)) in
+    go (i + 1)
+  in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match ops.(i) with
+    | Op.Dml { inc; _ } ->
+        for j = i + 1 to n - 1 do
+          if Op.conflicts_ltm ops.(i) ops.(j) && not (terminated_between i j inc) then
+            out := { first = ops.(i); first_index = i; second = ops.(j); second_index = j } :: !out
+        done
+    | _ -> ()
+  done;
+  List.rev !out
+
+let is_rigorous h = violations h = []
+
+(* Check every site projection of a global history. *)
+let check_all_sites h =
+  let sites =
+    History.fold
+      (fun acc op -> match Op.site op with Some s -> Site.Set.add s acc | None -> acc)
+      Site.Set.empty h
+  in
+  Site.Set.fold (fun s acc -> (s, violations (Projection.ltm h s)) :: acc) sites []
+  |> List.rev
+
+let all_sites_rigorous h = List.for_all (fun (_, vs) -> vs = []) (check_all_sites h)

@@ -1,0 +1,192 @@
+(* A line-oriented interchange format for histories.
+
+   The simulator can dump a recorded history to a file and the verifier
+   can re-read and analyze it offline (`hermes run --dump` /
+   `hermes verify`) — the checkers need nothing but the history, so traces
+   can be archived, diffed and re-verified independently of the run.
+
+   One operation per line:
+
+     R  <txn> <inc> <site> <table> <key> <from> [<value>]
+     W  <txn> <inc> <site> <table> <key> [<value>]
+     LC <txn> <inc> <site>          local commit
+     LA <txn> <inc> <site>          local abort
+     P  <txn> <site> <sn>           prepare (sn = <ts>.<site>.<seq> or -)
+     GC <txn>                       global commit
+     GA <txn>                       global abort
+
+   where <txn> is G<n> for global transactions or L<site>:<n> for local
+   ones, and <from> is "T0" (the initializing transaction), "-" (a write),
+   or <txn>.<inc>@<site> for the writing incarnation. The optional
+   trailing <value> ("-" when unknown) is the value observed by a read or
+   installed by a write. Lines starting with '#' and blank lines are
+   ignored. *)
+
+open Hermes_kernel
+
+let print_txn = function
+  | Txn.Global n -> Fmt.str "G%d" n
+  | Txn.Local { site; n } -> Fmt.str "L%d:%d" (Site.to_int site) n
+
+let print_from = function
+  | None -> "T0"
+  | Some (i : Txn.Incarnation.t) ->
+      Fmt.str "%s.%d@%d" (print_txn i.Txn.Incarnation.txn) i.inc (Site.to_int i.site)
+
+let print_value = function None -> "-" | Some v -> string_of_int v
+
+let print_op op =
+  let inc_parts (i : Txn.Incarnation.t) = (print_txn i.txn, i.inc, Site.to_int i.site) in
+  match op with
+  | Op.Dml { kind = Op.Read; inc; item; from; value } ->
+      let txn, k, s = inc_parts inc in
+      Fmt.str "R %s %d %d %s %d %s %s" txn k s (Item.table item) (Item.key item) (print_from from)
+        (print_value value)
+  | Op.Dml { kind = Op.Write; inc; item; value; _ } ->
+      let txn, k, s = inc_parts inc in
+      Fmt.str "W %s %d %d %s %d %s" txn k s (Item.table item) (Item.key item) (print_value value)
+  | Op.Local_commit inc ->
+      let txn, k, s = inc_parts inc in
+      Fmt.str "LC %s %d %d" txn k s
+  | Op.Local_abort inc ->
+      let txn, k, s = inc_parts inc in
+      Fmt.str "LA %s %d %d" txn k s
+  | Op.Prepare { txn; site; sn } ->
+      let sn_str =
+        match sn with
+        | None -> "-"
+        | Some sn -> Fmt.str "%d.%d.%d" (Time.to_int (Sn.ts sn)) (Site.to_int (Sn.site sn)) sn.Sn.seq
+      in
+      Fmt.str "P %s %d %s" (print_txn txn) (Site.to_int site) sn_str
+  | Op.Global_commit txn -> Fmt.str "GC %s" (print_txn txn)
+  | Op.Global_abort txn -> Fmt.str "GA %s" (print_txn txn)
+
+let to_string h =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# hermes history v1\n";
+  List.iter
+    (fun op ->
+      Buffer.add_string buf (print_op op);
+      Buffer.add_char buf '\n')
+    (History.ops h);
+  Buffer.contents buf
+
+let to_file h path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string h))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let fail line fmt = Fmt.kstr (fun s -> raise (Parse_error (line, s))) fmt
+
+let parse_txn line s =
+  match s.[0] with
+  | 'G' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n -> Txn.global n
+      | None -> fail line "bad global transaction %S" s)
+  | 'L' -> (
+      match String.split_on_char ':' (String.sub s 1 (String.length s - 1)) with
+      | [ site; n ] -> (
+          match (int_of_string_opt site, int_of_string_opt n) with
+          | Some site, Some n -> Txn.local ~site:(Site.of_int site) ~n
+          | _ -> fail line "bad local transaction %S" s)
+      | _ -> fail line "bad local transaction %S" s)
+  | _ -> fail line "bad transaction %S" s
+  | exception Invalid_argument _ -> fail line "empty transaction field"
+
+let parse_int line s =
+  match int_of_string_opt s with Some n -> n | None -> fail line "bad integer %S" s
+
+let parse_inc line ~txn ~inc ~site =
+  Txn.Incarnation.make ~txn:(parse_txn line txn) ~site:(Site.of_int (parse_int line site))
+    ~inc:(parse_int line inc)
+
+let parse_from line s =
+  if s = "T0" then None
+  else
+    (* <txn>.<inc>@<site> *)
+    match String.index_opt s '@' with
+    | None -> fail line "bad reads-from %S" s
+    | Some at -> (
+        let before = String.sub s 0 at in
+        let site = String.sub s (at + 1) (String.length s - at - 1) in
+        match String.rindex_opt before '.' with
+        | None -> fail line "bad reads-from %S" s
+        | Some dot ->
+            let txn = String.sub before 0 dot in
+            let inc = String.sub before (dot + 1) (String.length before - dot - 1) in
+            Some (parse_inc line ~txn ~inc ~site))
+
+let parse_sn line s =
+  if s = "-" then None
+  else
+    match String.split_on_char '.' s with
+    | [ ts; site; seq ] ->
+        Some
+          (Sn.make
+             ~ts:(Time.of_int (parse_int line ts))
+             ~site:(Site.of_int (parse_int line site))
+             ~seq:(parse_int line seq))
+    | _ -> fail line "bad serial number %S" s
+
+let parse_line lineno s =
+  match String.split_on_char ' ' (String.trim s) |> List.filter (fun x -> x <> "") with
+  | [] -> None
+  | tag :: _ when String.length tag > 0 && tag.[0] = '#' -> None
+  | "R" :: txn :: inc :: site :: table :: key :: from :: rest ->
+      let i = parse_inc lineno ~txn ~inc ~site in
+      let value =
+        match rest with
+        | [] | [ "-" ] -> None
+        | [ v ] -> Some (parse_int lineno v)
+        | _ -> fail lineno "trailing junk on read record"
+      in
+      Some
+        (Op.read ?value ~inc:i
+           ~item:(Item.make ~site:i.Txn.Incarnation.site ~table ~key:(parse_int lineno key))
+           ~from:(parse_from lineno from) ())
+  | "W" :: txn :: inc :: site :: table :: key :: rest ->
+      let i = parse_inc lineno ~txn ~inc ~site in
+      let value =
+        match rest with
+        | [] | [ "-" ] -> None
+        | [ v ] -> Some (parse_int lineno v)
+        | _ -> fail lineno "trailing junk on write record"
+      in
+      Some
+        (Op.write ?value ~inc:i
+           ~item:(Item.make ~site:i.Txn.Incarnation.site ~table ~key:(parse_int lineno key))
+           ())
+  | [ "LC"; txn; inc; site ] -> Some (Op.Local_commit (parse_inc lineno ~txn ~inc ~site))
+  | [ "LA"; txn; inc; site ] -> Some (Op.Local_abort (parse_inc lineno ~txn ~inc ~site))
+  | [ "P"; txn; site; sn ] ->
+      Some
+        (Op.Prepare
+           {
+             txn = parse_txn lineno txn;
+             site = Site.of_int (parse_int lineno site);
+             sn = parse_sn lineno sn;
+           })
+  | [ "GC"; txn ] -> Some (Op.Global_commit (parse_txn lineno txn))
+  | [ "GA"; txn ] -> Some (Op.Global_abort (parse_txn lineno txn))
+  | tag :: _ -> fail lineno "unrecognized record %S" tag
+
+let of_string s =
+  let ops = ref [] in
+  List.iteri
+    (fun i line -> match parse_line (i + 1) line with Some op -> ops := op :: !ops | None -> ())
+    (String.split_on_char '\n' s);
+  History.of_ops (List.rev !ops)
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

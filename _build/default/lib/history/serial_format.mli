@@ -1,0 +1,15 @@
+(** A line-oriented interchange format for histories: dump a recorded
+    trace, archive it, re-verify it offline. See the implementation header
+    for the grammar. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val print_op : Op.t -> string
+val to_string : History.t -> string
+val to_file : History.t -> string -> unit
+
+val of_string : string -> History.t
+(** Raises {!Parse_error}. Comment ('#') and blank lines are ignored. *)
+
+val of_file : string -> History.t

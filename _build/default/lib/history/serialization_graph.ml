@@ -1,0 +1,44 @@
+(* The serialization graph SG(H) over logical transactions: an edge
+   T -> S for each pair of conflicting elementary operations with T's
+   operation first. Note the paper's point (§3): with resubmissions,
+   SG(C(H)) may be cyclic while H is still view serializable, so acyclicity
+   here is evidence, not the correctness criterion. *)
+
+open Hermes_kernel
+
+module G = Hermes_graph.Digraph.Make (struct
+  type t = Txn.t
+
+  let compare = Txn.compare
+  let pp = Txn.pp
+end)
+
+(* Only operations on the same item can conflict, so group by item first:
+   O(sum over items of ops-on-item^2) instead of O(|H|^2). *)
+let build h =
+  let by_item : (Item.t, Op.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  History.iteri
+    (fun _ op ->
+      match Op.item op with
+      | Some item -> (
+          match Hashtbl.find_opt by_item item with
+          | Some l -> l := op :: !l
+          | None -> Hashtbl.add by_item item (ref [ op ]))
+      | None -> ())
+    h;
+  let g = ref G.empty in
+  List.iter (fun x -> g := G.add_vertex !g x) (History.txns h);
+  Hashtbl.iter
+    (fun _ l ->
+      let ops = Array.of_list (List.rev !l) in
+      let n = Array.length ops in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Op.conflicts ops.(i) ops.(j) then g := G.add_edge !g (Op.txn ops.(i)) (Op.txn ops.(j))
+        done
+      done)
+    by_item;
+  !g
+
+let is_acyclic h = G.is_acyclic (build h)
+let find_cycle h = G.find_cycle (build h)

@@ -1,0 +1,12 @@
+(** The serialization graph SG(H) over logical transactions. With
+    resubmissions, SG(C(H)) may be cyclic while H is still view
+    serializable (paper §3), so acyclicity is sufficient evidence of
+    conflict serializability, not the correctness criterion. *)
+
+open Hermes_kernel
+
+module G : Hermes_graph.Digraph.S with type vertex = Txn.t
+
+val build : History.t -> G.t
+val is_acyclic : History.t -> bool
+val find_cycle : History.t -> Txn.t list option

@@ -1,0 +1,111 @@
+(* Value-level cross-checking of a recorded trace.
+
+   The simulator annotates every elementary operation with the value it
+   observed (reads) or installed (writes). Re-running the replay semantics
+   over the *values* then cross-checks the whole pipeline end to end: a
+   read must have observed exactly the value last physically written to
+   its item (undone on aborts, like the store itself), and its recorded
+   reads-from incarnation must match the physical writer. Any violation
+   means the trace and the execution disagree — a simulator bug, a
+   corrupted dump, or a hand-built history that tells an impossible story.
+
+   Hand-built histories usually carry no values ([None]); absent values
+   are never violations. *)
+
+open Hermes_kernel
+
+type mismatch = {
+  read : Op.t;
+  index : int;  (* position in the history *)
+  expected_from : Txn.Incarnation.t option;
+  expected_value : int option;
+}
+
+let pp_mismatch ppf m =
+  let pp_from ppf = function None -> Fmt.string ppf "T0" | Some w -> Txn.Incarnation.pp ppf w in
+  Fmt.pf ppf "#%d %a: expected value %a from %a" m.index Op.pp_with_from m.read
+    Fmt.(option ~none:(any "?") int)
+    m.expected_value pp_from m.expected_from
+
+(* Physical state per item: (writer, value). A [None] value means unknown
+   (e.g. a delete, or an unannotated write): subsequent reads of it are
+   not checkable for value, only for writer. *)
+type cell = { writer : Txn.Incarnation.t option; value : int option }
+
+let check h =
+  let state : (Item.t, cell) Hashtbl.t = Hashtbl.create 64 in
+  let undos : (Txn.Incarnation.t, (Item.t * cell) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let cell item = Option.value ~default:{ writer = None; value = None } (Hashtbl.find_opt state item) in
+  let violations = ref [] in
+  History.iteri
+    (fun index op ->
+      match op with
+      | Op.Dml { kind = Op.Read; item; from; value; _ } ->
+          (* Only annotated reads are checkable: a hand-built history's
+             [from = None] means "unspecified", not "T_0"; recorded traces
+             always carry values, and there [from] is authoritative. *)
+          if value <> None then begin
+            let c = cell item in
+            let from_ok = Stdlib.( = ) from c.writer in
+            let value_ok =
+              match (value, c.value) with Some v, Some v' -> v = v' | None, _ | _, None -> true
+            in
+            if not (from_ok && value_ok) then
+              violations :=
+                { read = op; index; expected_from = c.writer; expected_value = c.value } :: !violations
+          end
+      | Op.Dml { kind = Op.Write; inc; item; value; _ } ->
+          let u =
+            match Hashtbl.find_opt undos inc with
+            | Some u -> u
+            | None ->
+                let u = ref [] in
+                Hashtbl.replace undos inc u;
+                u
+          in
+          u := (item, cell item) :: !u;
+          Hashtbl.replace state item { writer = Some inc; value }
+      | Op.Local_abort inc -> (
+          match Hashtbl.find_opt undos inc with
+          | None -> ()
+          | Some u ->
+              List.iter (fun (item, before) -> Hashtbl.replace state item before) !u;
+              Hashtbl.remove undos inc)
+      | Op.Local_commit inc -> Hashtbl.remove undos inc
+      | Op.Prepare _ | Op.Global_commit _ | Op.Global_abort _ -> ())
+    h;
+  List.rev !violations
+
+let consistent h = check h = []
+
+(* The final physical value of every item whose last write carried one —
+   for comparing a trace against a database snapshot. *)
+let final_values h =
+  let state : (Item.t, cell) Hashtbl.t = Hashtbl.create 64 in
+  let undos : (Txn.Incarnation.t, (Item.t * cell) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let cell item = Option.value ~default:{ writer = None; value = None } (Hashtbl.find_opt state item) in
+  History.iteri
+    (fun _ op ->
+      match op with
+      | Op.Dml { kind = Op.Write; inc; item; value; _ } ->
+          let u =
+            match Hashtbl.find_opt undos inc with
+            | Some u -> u
+            | None ->
+                let u = ref [] in
+                Hashtbl.replace undos inc u;
+                u
+          in
+          u := (item, cell item) :: !u;
+          Hashtbl.replace state item { writer = Some inc; value }
+      | Op.Local_abort inc -> (
+          match Hashtbl.find_opt undos inc with
+          | None -> ()
+          | Some u ->
+              List.iter (fun (item, before) -> Hashtbl.replace state item before) !u;
+              Hashtbl.remove undos inc)
+      | Op.Local_commit inc -> Hashtbl.remove undos inc
+      | _ -> ())
+    h;
+  Hashtbl.fold (fun item c acc -> match c.value with Some v -> (item, v) :: acc | None -> acc) state []
+  |> List.sort (fun (i1, _) (i2, _) -> Item.compare i1 i2)

@@ -1,0 +1,23 @@
+(** Value-level cross-checking of recorded traces: every read must have
+    observed the value its item physically held (writes applied in place,
+    undone on aborts) and the recorded reads-from writer must match. Any
+    mismatch means trace and execution disagree. Absent ([None]) values —
+    hand-built histories, deletes — are never violations. *)
+
+open Hermes_kernel
+
+type mismatch = {
+  read : Op.t;
+  index : int;
+  expected_from : Txn.Incarnation.t option;
+  expected_value : int option;
+}
+
+val pp_mismatch : mismatch Fmt.t
+
+val check : History.t -> mismatch list
+val consistent : History.t -> bool
+
+val final_values : History.t -> (Item.t * int) list
+(** The final physical value of every item whose last write carried one —
+    compare against a database snapshot. *)

@@ -1,0 +1,75 @@
+(* View equivalence and view serializability (paper §3, in the spirit of
+   Bernstein/Hadzilacos/Goodman, adapted to incarnations).
+
+   Two histories over the same transactions are view equivalent iff every
+   read observes the same (transaction-level) writer and the final writes
+   are by the same transactions. The serial yardstick for a history with
+   resubmissions places each transaction's complete history H(T_k) —
+   including its unilaterally aborted incarnations, which the extended
+   committed projection retains — as one contiguous block; the replay
+   semantics then resolves what every incarnation would have read.
+
+   Deciding view serializability is NP-complete in general; scenario-size
+   histories (the paper's H1–H3 have 3–4 transactions) are decided exactly
+   by permutation search, and larger histories fall back to the paper's
+   own sufficient criterion (see {!Report}). *)
+
+open Hermes_kernel
+
+let serial_of_order h order =
+  History.concat (List.map (fun x -> History.of_ops (History.ops_of_txn h x)) order)
+
+(* Canonical view data: logical reads sorted by reader/item/occurrence and
+   transaction-level final writes. Everything inside is ints, strings and
+   plain variants, so structural equality is sound. *)
+type view_data = {
+  reads : (Txn.Incarnation.t * Item.t * int * Txn.t option) list;
+  final : (Item.t * Txn.t option) list;
+}
+
+let view_data h =
+  let outcome = Replay.run h in
+  let reads =
+    Replay.logical_reads outcome
+    |> List.map (fun (r : Replay.logical_read) -> (r.l_reader, r.l_item, r.l_occurrence, r.l_from))
+    |> List.sort Stdlib.compare
+  in
+  let final = Item.Map.bindings (Replay.logical_final outcome) in
+  { reads; final }
+
+let view_equivalent h1 h2 = Stdlib.( = ) (view_data h1) (view_data h2)
+
+type decision =
+  | Serializable of Txn.t list  (* a witness serial order *)
+  | Not_serializable
+  | Too_large  (* beyond the permutation-search limit *)
+
+let equal_decision a b = Stdlib.( = ) a b
+
+let pp_decision ppf = function
+  | Serializable order -> Fmt.pf ppf "view serializable as %a" Fmt.(list ~sep:sp Txn.pp) order
+  | Not_serializable -> Fmt.string ppf "NOT view serializable"
+  | Too_large -> Fmt.string ppf "undecided (too many transactions for exact search)"
+
+(* Enumerate permutations lazily, stopping at the first witness. *)
+let rec insertions x = function
+  | [] -> [ [ x ] ]
+  | y :: rest as l -> (x :: l) :: List.map (fun r -> y :: r) (insertions x rest)
+
+let rec permutations = function
+  | [] -> Seq.return []
+  | x :: rest -> Seq.concat_map (fun p -> List.to_seq (insertions x p)) (permutations rest)
+
+let view_serializable ?(limit = 8) h =
+  let txns = History.txns h in
+  if txns = [] then Serializable []
+  else if List.length txns > limit then Too_large
+  else begin
+    let target = view_data h in
+    let witness =
+      Seq.find (fun order -> Stdlib.( = ) (view_data (serial_of_order h order)) target) (permutations txns)
+    in
+    match witness with Some order -> Serializable order | None -> Not_serializable
+  end
+
+let conflict_serializable h = Serialization_graph.is_acyclic h

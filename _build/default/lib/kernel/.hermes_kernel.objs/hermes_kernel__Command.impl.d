@@ -1,0 +1,1 @@
+lib/kernel/command.pp.ml: Fmt Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/kernel/command.pp.mli: Fmt

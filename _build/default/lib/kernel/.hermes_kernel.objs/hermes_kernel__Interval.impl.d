@@ -1,0 +1,1 @@
+lib/kernel/interval.pp.ml: Fmt Ppx_deriving_runtime Time

@@ -1,0 +1,1 @@
+lib/kernel/interval.pp.mli: Fmt Time

@@ -1,0 +1,1 @@
+lib/kernel/item.pp.mli: Fmt Map Set Site

@@ -1,0 +1,1 @@
+lib/kernel/rng.pp.ml: Array Hashtbl Random

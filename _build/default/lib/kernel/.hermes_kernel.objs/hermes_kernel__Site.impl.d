@@ -1,0 +1,1 @@
+lib/kernel/site.pp.ml: Char Fmt Int Map Ppx_deriving_runtime Set String

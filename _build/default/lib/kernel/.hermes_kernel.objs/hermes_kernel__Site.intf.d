@@ -1,0 +1,1 @@
+lib/kernel/site.pp.mli: Fmt Map Set

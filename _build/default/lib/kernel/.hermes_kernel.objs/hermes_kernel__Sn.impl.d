@@ -1,0 +1,1 @@
+lib/kernel/sn.pp.ml: Fmt Ppx_deriving_runtime Site Time

@@ -1,0 +1,1 @@
+lib/kernel/sn.pp.mli: Fmt Site Time

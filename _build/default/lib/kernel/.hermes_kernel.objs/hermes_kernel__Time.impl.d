@@ -1,0 +1,1 @@
+lib/kernel/time.pp.ml: Fmt Ppx_deriving_runtime Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/time.pp.mli: Fmt

@@ -1,0 +1,1 @@
+lib/kernel/txn.pp.ml: Fmt Map Ppx_deriving_runtime Set Site

@@ -1,0 +1,1 @@
+lib/kernel/txn.pp.mli: Fmt Map Set Site

@@ -1,0 +1,20 @@
+(* Drifting site clocks (paper §5.2).
+
+   Serial numbers are generated from "real time site clocks, expanded with
+   the unique site identifier". The paper stresses that the amount of drift
+   among the clocks has no influence on the *correctness* of the Certifier;
+   it can only cause unnecessary aborts. To reproduce this claim we model a
+   site clock as an affine function of virtual real time: a constant offset
+   plus a rate skew in parts per million. *)
+
+type t = { offset : int; skew_ppm : int }
+
+let perfect = { offset = 0; skew_ppm = 0 }
+let make ?(offset = 0) ?(skew_ppm = 0) () = { offset; skew_ppm }
+
+let read t ~real =
+  let r = Time.to_int real in
+  let skewed = r + (r / 1_000_000 * t.skew_ppm) + (r mod 1_000_000 * t.skew_ppm / 1_000_000) in
+  Time.of_int (max 0 (skewed + t.offset))
+
+let pp ppf t = Fmt.pf ppf "clock(offset=%d, skew=%dppm)" t.offset t.skew_ppm

@@ -1,0 +1,15 @@
+(** Drifting site clocks (paper §5.2). Serial numbers come from site clocks;
+    drift cannot break correctness, only cause unnecessary aborts. A clock
+    is an affine function of virtual real time: constant offset plus a rate
+    skew in parts per million. *)
+
+type t
+
+val perfect : t
+val make : ?offset:int -> ?skew_ppm:int -> unit -> t
+
+val read : t -> real:Time.t -> Time.t
+(** The site-local time corresponding to virtual real time [real]; clamped
+    at zero. Monotone in [real] for |skew_ppm| < 1_000_000. *)
+
+val pp : t Fmt.t

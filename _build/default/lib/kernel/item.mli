@@ -1,0 +1,20 @@
+(** Data items: single concrete table rows at a site (paper §3). Items are
+    the granularity of elementary reads/writes, locking and the DLU
+    bound-data registry. *)
+
+type t = private { site : Site.t; table : string; key : int }
+
+val make : site:Site.t -> table:string -> key:int -> t
+val site : t -> Site.t
+val table : t -> string
+val key : t -> int
+
+val pp : t Fmt.t
+(** Paper-style: table ["X"] key 0 at site a prints as [Xa]. *)
+
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

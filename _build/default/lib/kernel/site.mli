@@ -1,0 +1,25 @@
+(** Site identifiers.
+
+    A site hosts one LDBS/LTM pair and one 2PC Agent. The integer identity
+    doubles as the tie-breaker in serial numbers (paper §5.2: "real time site
+    clocks, expanded with the unique site identifier"). *)
+
+type t = private int
+
+val of_int : int -> t
+(** [of_int i] is the site with id [i]. Raises [Invalid_argument] if
+    [i < 0]. *)
+
+val to_int : t -> int
+
+val name : t -> string
+(** Paper-style site name: sites 0..25 print as ["a"].."z"], matching the
+    paper's [X^a] notation; later sites print as ["s27"], ... *)
+
+val pp : t Fmt.t
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,24 @@
+(* Serial numbers (paper §5.2).
+
+   A globally unique serial number is drawn from a totally ordered set when
+   the application submits the global Commit; it rides on the PREPARE
+   messages, and each Certifier releases local commits in SN order. The
+   paper recommends "real time site clocks, expanded with the unique site
+   identifier": drift between site clocks cannot break correctness, only
+   cause unnecessary aborts. The [seq] component makes numbers issued by
+   one coordinator within the same tick unique. *)
+
+type t = { ts : Time.t; site : Site.t; seq : int } [@@deriving eq, ord]
+
+let make ~ts ~site ~seq =
+  if seq < 0 then invalid_arg "Sn.make: negative seq";
+  { ts; site; seq }
+
+let ts t = t.ts
+let site t = t.site
+
+let pp ppf { ts; site; seq } = Fmt.pf ppf "%d.%s.%d" (Time.to_int ts) (Site.name site) seq
+let show t = Fmt.str "%a" pp t
+
+let ( < ) a b = compare a b < 0
+let ( > ) a b = compare a b > 0

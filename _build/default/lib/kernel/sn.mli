@@ -1,0 +1,20 @@
+(** Serial numbers (paper §5.2): globally unique, totally ordered values
+    assigned by the coordinator at global-commit time and enforced by the
+    commit certification. Built from a (possibly drifting) site clock
+    reading, the coordinator's site id and a per-tick sequence number;
+    ordering is lexicographic, so clock drift can reorder SNs relative to
+    real time (causing only unnecessary aborts, §5.2) but never produces
+    duplicates. *)
+
+type t = private { ts : Time.t; site : Site.t; seq : int }
+
+val make : ts:Time.t -> site:Site.t -> seq:int -> t
+val ts : t -> Time.t
+val site : t -> Site.t
+
+val pp : t Fmt.t
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( > ) : t -> t -> bool

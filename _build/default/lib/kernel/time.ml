@@ -1,0 +1,28 @@
+(* Virtual time.
+
+   One tick is morally a microsecond. Integer time keeps the simulation
+   exactly deterministic (no float rounding) and totally ordered. *)
+
+type t = int [@@deriving eq, ord]
+
+let zero = 0
+let of_int i = i
+let to_int t = t
+let add = ( + )
+let diff = ( - )
+let max = Stdlib.max
+let min = Stdlib.min
+let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
+let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
+let ( >= ) (a : t) (b : t) = Stdlib.( >= ) a b
+let ( > ) (a : t) (b : t) = Stdlib.( > ) a b
+
+let millisecond = 1_000
+let second = 1_000_000
+
+let pp ppf t =
+  if t >= second && t mod millisecond = 0 then Fmt.pf ppf "%d.%03ds" (t / second) (t mod second / millisecond)
+  else if t >= millisecond && t mod millisecond = 0 then Fmt.pf ppf "%dms" (t / millisecond)
+  else Fmt.pf ppf "%dus" t
+
+let show t = Fmt.str "%a" pp t

@@ -1,0 +1,29 @@
+(** Virtual time, in integer ticks (1 tick = 1 µs).
+
+    Integer time keeps the simulation deterministic and totally ordered. *)
+
+type t = private int
+
+val zero : t
+val of_int : int -> t
+val to_int : t -> int
+val add : t -> int -> t
+val diff : t -> t -> int
+val max : t -> t -> t
+val min : t -> t -> t
+
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val millisecond : int
+(** Ticks per millisecond. *)
+
+val second : int
+(** Ticks per second. *)
+
+val pp : t Fmt.t
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int

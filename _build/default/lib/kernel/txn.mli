@@ -1,0 +1,41 @@
+(** Transaction identities: global transactions (DTM-coordinated, spanning
+    sites) and local transactions (submitted directly to one LTM, invisible
+    to the DTM). *)
+
+type t =
+  | Global of int
+  | Local of { site : Site.t; n : int }
+
+val global : int -> t
+val local : site:Site.t -> n:int -> t
+val is_global : t -> bool
+val is_local : t -> bool
+
+val pp : t Fmt.t
+(** Paper-style: [T1] for global, [L4a] for local transaction 4 at site a. *)
+
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+
+(** A subtransaction incarnation (paper §3): the [inc]-th local
+    subtransaction of [txn] at [site]; [inc] = 0 is the original submission,
+    [inc] > 0 are resubmissions after unilateral aborts. Each incarnation is
+    an independent transaction to the LTM but the same logical transaction
+    globally. *)
+module Incarnation : sig
+  type txn := t
+  type t = private { txn : txn; site : Site.t; inc : int }
+
+  val make : txn:txn -> site:Site.t -> inc:int -> t
+  (** Raises [Invalid_argument] for negative incarnations, or for local
+      transactions with [inc <> 0] or at a foreign site. *)
+
+  val pp : t Fmt.t
+  val show : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+end

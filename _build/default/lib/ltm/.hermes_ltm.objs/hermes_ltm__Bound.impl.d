@@ -1,0 +1,1 @@
+lib/ltm/bound.ml: Hashtbl Hermes_kernel Item List Option

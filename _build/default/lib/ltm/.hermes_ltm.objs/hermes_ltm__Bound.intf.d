@@ -1,0 +1,1 @@
+lib/ltm/bound.mli: Hermes_kernel Item

@@ -1,0 +1,1 @@
+lib/ltm/deadlock.ml: Fmt Hermes_graph Int List Lock

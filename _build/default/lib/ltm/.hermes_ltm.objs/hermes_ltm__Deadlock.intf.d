@@ -1,0 +1,1 @@
+lib/ltm/deadlock.mli: Hermes_graph Lock

@@ -1,0 +1,1 @@
+lib/ltm/decompose.ml: Command Hermes_history Hermes_kernel Hermes_store Int List Lock Op

@@ -1,0 +1,1 @@
+lib/ltm/decompose.mli: Command Hermes_history Hermes_kernel Hermes_store Lock

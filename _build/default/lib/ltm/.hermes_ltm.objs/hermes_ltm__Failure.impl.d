@@ -1,0 +1,1 @@
+lib/ltm/failure.ml: Hashtbl Hermes_kernel Hermes_sim List Ltm Option Rng Time Txn

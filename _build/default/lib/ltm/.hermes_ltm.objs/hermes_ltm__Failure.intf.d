@@ -1,0 +1,1 @@
+lib/ltm/failure.mli: Hermes_kernel Hermes_sim Ltm

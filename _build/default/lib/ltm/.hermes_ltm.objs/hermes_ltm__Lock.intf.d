@@ -1,0 +1,1 @@
+lib/ltm/lock.mli: Fmt

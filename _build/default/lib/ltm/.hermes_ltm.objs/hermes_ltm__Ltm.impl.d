@@ -1,0 +1,1 @@
+lib/ltm/ltm.ml: Bound Command Database Deadlock Decompose Fmt Hashtbl Hermes_history Hermes_kernel Hermes_sim Hermes_store Int Item List Lock Logs Ltm_config Row Site Time Trace Txn Undo

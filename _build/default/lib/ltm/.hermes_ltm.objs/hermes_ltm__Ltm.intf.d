@@ -1,0 +1,1 @@
+lib/ltm/ltm.mli: Bound Command Fmt Hermes_kernel Hermes_sim Hermes_store Item Ltm_config Site Time Trace Txn

@@ -1,0 +1,1 @@
+lib/ltm/ltm_config.ml:

@@ -1,0 +1,1 @@
+lib/ltm/trace.ml: Hermes_history History List

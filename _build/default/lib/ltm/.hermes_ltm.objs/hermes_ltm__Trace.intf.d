@@ -1,0 +1,1 @@
+lib/ltm/trace.mli: Hermes_history Hermes_kernel History Op Time

@@ -1,0 +1,44 @@
+(* The bound-data registry — the DLU assumption's enforcement point.
+
+   While a global subtransaction is in the prepared state, the data it
+   accessed are *bound* (paper §2). DLU: "if a data item belongs to bound
+   data of a global transaction, no local transaction may update it,
+   albeit it may read it." The 2PC Agent binds a subtransaction's
+   footprint when it sends READY and unbinds at the local commit/rollback;
+   the LTM consults the registry when a local transaction asks for an
+   exclusive lock.
+
+   Items can be bound by several subtransactions at once (two prepared
+   subtransactions may both have *read* the same item), so the registry
+   reference-counts per item. *)
+
+open Hermes_kernel
+
+type t = { table : (string * int, int) Hashtbl.t; mutable denials : int }
+
+let create () = { table = Hashtbl.create 64; denials = 0 }
+
+let key (item : Item.t) = (Item.table item, Item.key item)
+
+let bind t items =
+  List.iter
+    (fun item ->
+      let k = key item in
+      Hashtbl.replace t.table k (1 + Option.value ~default:0 (Hashtbl.find_opt t.table k)))
+    items
+
+let unbind t items =
+  List.iter
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt t.table k with
+      | Some n when n > 1 -> Hashtbl.replace t.table k (n - 1)
+      | Some _ -> Hashtbl.remove t.table k
+      | None -> ())
+    items
+
+let is_bound t ~table ~key:k = Hashtbl.mem t.table (table, k)
+
+let note_denial t = t.denials <- t.denials + 1
+let denials t = t.denials
+let n_bound t = Hashtbl.length t.table

@@ -1,0 +1,16 @@
+(** The bound-data registry enforcing DLU (paper §2): items accessed by a
+    prepared global subtransaction may not be updated by local
+    transactions (reads are allowed). Reference-counted, since several
+    prepared subtransactions may have read the same item. *)
+
+open Hermes_kernel
+
+type t
+
+val create : unit -> t
+val bind : t -> Item.t list -> unit
+val unbind : t -> Item.t list -> unit
+val is_bound : t -> table:string -> key:int -> bool
+val note_denial : t -> unit
+val denials : t -> int
+val n_bound : t -> int

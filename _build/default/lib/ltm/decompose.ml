@@ -1,0 +1,70 @@
+(* The deterministic decomposition function D(O, S) — the DDF assumption.
+
+   Given a DML command and the current concrete database state, produce
+   the sequence of elementary Read/Write operations the LTM will execute.
+   The decomposition is state-dependent: an [Update] or [Delete] of a
+   missing row decomposes into nothing, and a range select reads exactly
+   the rows that exist — which is how a *resubmitted* subtransaction can
+   legitimately obtain a different decomposition than its original
+   incarnation (history H1).
+
+   [plan] gives the lock set the LTM must acquire *before* it can evaluate
+   the decomposition (existence checks require at least a shared lock);
+   lock modes are chosen by the command's intent, so an update locks
+   exclusively even if the row turns out to be missing. *)
+
+open Hermes_kernel
+
+type elementary = { kind : Hermes_history.Op.kind; key : int }
+
+(* Locks to acquire, in ascending key order (reduces deadlocks), given the
+   current state. Range scans lock the keys existing at plan time. *)
+let plan db cmd =
+  let open Command in
+  match cmd with
+  | Select { keys; _ } -> List.map (fun k -> (k, Lock.Shared)) (List.sort_uniq Int.compare keys)
+  | Select_range { table; lo; hi } ->
+      List.map (fun k -> (k, Lock.Shared)) (Hermes_store.Database.keys_in_range db ~table ~lo ~hi)
+  | Update_range { table; lo; hi; _ } ->
+      List.map (fun k -> (k, Lock.Exclusive)) (Hermes_store.Database.keys_in_range db ~table ~lo ~hi)
+  | Update { key; _ } | Assign { key; _ } | Insert { key; _ } | Delete { key; _ } ->
+      [ (key, Lock.Exclusive) ]
+
+(* The elementary operations for [cmd] given the current state (to be
+   evaluated only once the planned locks are held). *)
+let elementary db cmd =
+  let open Command in
+  let open Hermes_history in
+  let exists table key = Hermes_store.Database.mem db ~table ~key in
+  match cmd with
+  | Select { table; keys } ->
+      List.filter_map
+        (fun k -> if exists table k then Some { kind = Op.Read; key = k } else None)
+        (List.sort_uniq Int.compare keys)
+  | Select_range { table; lo; hi } ->
+      List.map (fun k -> { kind = Op.Read; key = k }) (Hermes_store.Database.keys_in_range db ~table ~lo ~hi)
+  | Update_range { table; lo; hi; _ } ->
+      List.concat_map
+        (fun k -> [ { kind = Op.Read; key = k }; { kind = Op.Write; key = k } ])
+        (Hermes_store.Database.keys_in_range db ~table ~lo ~hi)
+  | Update { table; key; _ } ->
+      if exists table key then [ { kind = Op.Read; key }; { kind = Op.Write; key } ] else []
+  | Assign { table; key; _ } -> if exists table key then [ { kind = Op.Write; key } ] else []
+  | Insert { key; _ } -> [ { kind = Op.Write; key } ]
+  | Delete { table; key } -> if exists table key then [ { kind = Op.Write; key } ] else []
+
+(* As [elementary], but range reads restricted to the [planned] keys: the
+   LTM only holds locks on the keys it planned, and a row inserted into
+   the range after planning must not be read lock-free. *)
+let elementary_planned db cmd ~planned =
+  let open Command in
+  let open Hermes_history in
+  let exists table key = Hermes_store.Database.mem db ~table ~key in
+  match cmd with
+  | Select_range { table; _ } ->
+      List.filter_map (fun k -> if exists table k then Some { kind = Op.Read; key = k } else None) planned
+  | Update_range { table; _ } ->
+      List.concat_map
+        (fun k -> if exists table k then [ { kind = Op.Read; key = k }; { kind = Op.Write; key = k } ] else [])
+        planned
+  | Select _ | Update _ | Assign _ | Insert _ | Delete _ -> elementary db cmd

@@ -1,0 +1,20 @@
+(** The deterministic decomposition function D(O, S) — the DDF assumption.
+    State-dependent: updates/deletes of missing rows decompose into
+    nothing; range selects read exactly the existing rows. *)
+
+open Hermes_kernel
+
+type elementary = { kind : Hermes_history.Op.kind; key : int }
+
+val plan : Hermes_store.Database.t -> Command.t -> (int * Lock.mode) list
+(** The lock set to acquire before evaluating the decomposition, in
+    ascending key order. *)
+
+val elementary : Hermes_store.Database.t -> Command.t -> elementary list
+(** The elementary operations, to be evaluated with the planned locks
+    held. *)
+
+val elementary_planned :
+  Hermes_store.Database.t -> Command.t -> planned:int list -> elementary list
+(** As {!elementary}, but range reads restricted to the planned (locked)
+    keys. *)

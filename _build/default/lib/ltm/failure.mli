@@ -1,0 +1,31 @@
+(** The unilateral-abort injector (paper §1), lifecycle-driven: on begin
+    (or on entering the simulated prepared state) a transaction may be
+    scheduled one abort attempt after an exponential delay. Aborts per
+    (transaction, site) are capped, realizing the TW assumption. *)
+
+type config = {
+  p_active : float;
+  p_prepared : float;
+  delay_mean : int;
+  global_only : bool;
+  max_per_victim : int;
+  crash_interval : int;  (** mean ticks between site crashes; <= 0 disables *)
+  crash_horizon : int;  (** no crashes scheduled past this tick *)
+}
+
+val disabled : config
+
+val prepared_rate : ?delay_mean:int -> float -> config
+(** Abort each prepared subtransaction with the given probability — the
+    dial the failure-sweep experiments turn. *)
+
+val crashes : mean_interval:int -> horizon:int -> config
+(** Site crashes — the paper's *collective* unilateral abort (§1): every
+    live transaction at the site aborted at once. *)
+
+type t
+
+val attach : engine:Hermes_sim.Engine.t -> rng:Hermes_kernel.Rng.t -> config:config -> Ltm.t -> t
+val injected : t -> int
+val attempts : t -> int
+val crash_count : t -> int

@@ -1,0 +1,427 @@
+(* The Local Transaction Manager: the transactional face of one LDBS.
+
+   The LTM realizes the paper's assumptions about local systems:
+
+   - DDF: commands decompose deterministically against the current state
+     ({!Decompose});
+   - RR:  aborts restore before images ({!Hermes_store.Undo});
+   - RTT: execution is a pure function of state and command (no hidden
+     time dependence);
+   - SRS: strict two-phase locking — every lock is held until the
+     transaction terminates — yields rigorous histories (checked
+     independently by {!Hermes_history.Rigorous} in the test suite);
+   - UAN: any involuntary abort invokes the registered notification
+     callback;
+   - TW:  commit of a live transaction always succeeds (the failure
+     injector separately bounds aborts per subtransaction).
+
+   Everything is asynchronous against the discrete-event engine: [exec]
+   acquires locks (possibly waiting), spends simulated latency, applies
+   the elementary operations, and calls back. Unilateral aborts can strike
+   at any point; every continuation re-checks the transaction state.
+
+   The LTM knows nothing about the DTM: global subtransaction incarnations
+   are ordinary transactions to it, distinguished only by the owner tag
+   they carry for tracing. *)
+
+open Hermes_kernel
+open Hermes_store
+module Op = Hermes_history.Op
+module Engine = Hermes_sim.Engine
+
+let src = Logs.Src.create "hermes.ltm" ~doc:"Local transaction manager events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type abort_reason = Lock_timeout | Deadlock_victim | Dlu_denied | Unilateral | Owner_abort
+
+let pp_abort_reason ppf r =
+  Fmt.string ppf
+    (match r with
+    | Lock_timeout -> "lock timeout"
+    | Deadlock_victim -> "deadlock victim"
+    | Dlu_denied -> "DLU denied"
+    | Unilateral -> "unilateral abort"
+    | Owner_abort -> "owner abort")
+
+type exec_result = Done of Command.result | Failed of abort_reason
+
+type commit_result = Committed | Commit_refused of abort_reason
+
+type state = Active | Committed_state | Aborted_state of abort_reason
+
+type txn = {
+  id : int;
+  owner : Txn.Incarnation.t;
+  undo : Undo.t;
+  mutable state : state;
+  mutable busy : bool;  (* a command is in flight *)
+  mutable footprint : Item.Set.t;  (* items accessed so far *)
+  mutable uan : (unit -> unit) option;  (* unilateral abort notification *)
+  mutable pending : (exec_result -> unit) option;  (* in-flight exec's callback *)
+  mutable wait_timer : Engine.timer option;
+  mutable last_op_done : Time.t;
+  mutable held_open : bool;  (* agent keeps it open in (simulated) prepared state *)
+  mutable n_commands : int;
+}
+
+type stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable unilateral_aborts : int;
+  mutable lock_timeouts : int;
+  mutable deadlock_victims : int;
+  mutable commands : int;
+}
+
+type t = {
+  engine : Engine.t;
+  db : Database.t;
+  config : Ltm_config.t;
+  trace : Trace.t;
+  locks : Lock.t;
+  bound : Bound.t;
+  txns : (int, txn) Hashtbl.t;
+  mutable next_id : int;
+  stats : stats;
+  mutable on_begin : (txn -> unit) option;  (* failure-injector hook *)
+  mutable on_held_open : (txn -> unit) option;  (* failure-injector hook *)
+}
+
+let create ~engine ~db ~config ~trace =
+  {
+    engine;
+    db;
+    config;
+    trace;
+    locks = Lock.create ();
+    bound = Bound.create ();
+    txns = Hashtbl.create 64;
+    next_id = 0;
+    stats =
+      {
+        begun = 0;
+        committed = 0;
+        aborted = 0;
+        unilateral_aborts = 0;
+        lock_timeouts = 0;
+        deadlock_victims = 0;
+        commands = 0;
+      };
+    on_begin = None;
+    on_held_open = None;
+  }
+
+let site t = Database.site t.db
+let stats t = t.stats
+let bound_registry t = t.bound
+let database t = t.db
+
+let owner txn = txn.owner
+let last_op_done txn = txn.last_op_done
+let is_alive txn = txn.state = Active && not txn.busy
+let is_active txn = txn.state = Active
+let is_held_open txn = txn.held_open
+
+let mark_held_open t txn v =
+  txn.held_open <- v;
+  if v then match t.on_held_open with Some hook -> hook txn | None -> ()
+
+let set_begin_hook t hook = t.on_begin <- Some hook
+let set_held_open_hook t hook = t.on_held_open <- Some hook
+let set_uan txn cb = txn.uan <- Some cb
+
+let begin_txn t ~owner =
+  let txn =
+    {
+      id = t.next_id;
+      owner;
+      undo = Undo.create ();
+      state = Active;
+      busy = false;
+      footprint = Item.Set.empty;
+      uan = None;
+      pending = None;
+      wait_timer = None;
+      last_op_done = Engine.now t.engine;
+      held_open = false;
+      n_commands = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.stats.begun <- t.stats.begun + 1;
+  Hashtbl.replace t.txns txn.id txn;
+  (match t.on_begin with Some hook -> hook txn | None -> ());
+  txn
+
+let footprint txn = Item.Set.elements txn.footprint
+
+let live_txns t =
+  Hashtbl.fold (fun _ txn acc -> if txn.state = Active then txn :: acc else acc) t.txns []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+(* Grant callbacks from the lock table run inside release/cancel; each is
+   an engine-deferring closure, so calling them synchronously is safe. *)
+let run_grants cbs = List.iter (fun cb -> cb ()) cbs
+
+let cancel_wait_timer txn =
+  match txn.wait_timer with
+  | Some timer ->
+      Engine.cancel timer;
+      txn.wait_timer <- None
+  | None -> ()
+
+(* The single abort path. Order matters: cancel waits, roll back the
+   store, trace the abort, then release locks (strictness: the undo is in
+   place before anyone else can touch the data). *)
+let abort_internal t txn reason ~notify =
+  if txn.state = Active then begin
+    Log.debug (fun m ->
+        m "[%a %a] abort %a: %a" Time.pp (Engine.now t.engine) Site.pp (site t) Txn.Incarnation.pp txn.owner
+          pp_abort_reason reason);
+    txn.state <- Aborted_state reason;
+    t.stats.aborted <- t.stats.aborted + 1;
+    (match reason with
+    | Unilateral -> t.stats.unilateral_aborts <- t.stats.unilateral_aborts + 1
+    | Lock_timeout -> t.stats.lock_timeouts <- t.stats.lock_timeouts + 1
+    | Deadlock_victim -> t.stats.deadlock_victims <- t.stats.deadlock_victims + 1
+    | Dlu_denied | Owner_abort -> ());
+    cancel_wait_timer txn;
+    run_grants (Lock.cancel_waits t.locks ~owner:txn.id);
+    Undo.rollback txn.undo t.db;
+    Trace.record t.trace ~at:(Engine.now t.engine) (Op.Local_abort txn.owner);
+    run_grants (Lock.release_all t.locks ~owner:txn.id);
+    (match txn.pending with
+    | Some cb ->
+        txn.pending <- None;
+        txn.busy <- false;
+        Engine.schedule_unit t.engine ~delay:0 (fun () -> cb (Failed reason))
+    | None -> ());
+    if notify then
+      match txn.uan with
+      | Some cb -> Engine.schedule_unit t.engine ~delay:0 cb
+      | None -> ()
+  end
+
+let abort t txn = abort_internal t txn Owner_abort ~notify:false
+
+(* The failure injector's entry point: a spontaneous, LDBS-internal abort
+   (log overflow, system bug, ... — paper §1). Notifies via UAN. *)
+let unilateral_abort t txn =
+  if txn.state = Active then begin
+    abort_internal t txn Unilateral ~notify:true;
+    true
+  end
+  else false
+
+let commit t txn ~on_done =
+  match txn.state with
+  | Aborted_state reason -> Engine.schedule_unit t.engine ~delay:0 (fun () -> on_done (Commit_refused reason))
+  | Committed_state -> Engine.schedule_unit t.engine ~delay:0 (fun () -> on_done Committed)
+  | Active ->
+      if txn.busy then invalid_arg "Ltm.commit: command still in flight";
+      Log.debug (fun m ->
+          m "[%a %a] commit %a" Time.pp (Engine.now t.engine) Site.pp (site t) Txn.Incarnation.pp txn.owner);
+      txn.state <- Committed_state;
+      t.stats.committed <- t.stats.committed + 1;
+      Undo.discard txn.undo;
+      Trace.record t.trace ~at:(Engine.now t.engine) (Op.Local_commit txn.owner);
+      run_grants (Lock.release_all t.locks ~owner:txn.id);
+      Engine.schedule_unit t.engine ~delay:0 (fun () -> on_done Committed)
+
+(* ------------------------------------------------------------------ *)
+(* Command execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply the elementary operations of [cmd] with all planned locks held:
+   read rows (tracing reads-from), update/insert/delete with undo
+   logging. Returns the command result. *)
+let apply t txn cmd ~planned =
+  let table = Command.table cmd in
+  let now = Engine.now t.engine in
+  let touch key = txn.footprint <- Item.Set.add (Database.item t.db ~table ~key) txn.footprint in
+  let trace_read key row =
+    touch key;
+    Trace.record t.trace ~at:now
+      (Op.read ~value:(Row.value row) ~inc:txn.owner ~item:(Database.item t.db ~table ~key)
+         ~from:(Row.writer row) ())
+  in
+  let trace_write ?value key =
+    touch key;
+    Trace.record t.trace ~at:now (Op.write ?value ~inc:txn.owner ~item:(Database.item t.db ~table ~key) ())
+  in
+  let write key value =
+    let before = Database.write t.db ~table ~key (Row.make ~value ~writer:txn.owner) in
+    Undo.record txn.undo ~table ~key ~before;
+    trace_write ~value key
+  in
+  match cmd with
+  | Command.Select { keys; _ } ->
+      let rows =
+        List.filter_map
+          (fun k ->
+            match Database.read t.db ~table ~key:k with
+            | Some row ->
+                trace_read k row;
+                Some (k, Row.value row)
+            | None -> None)
+          (List.sort_uniq Int.compare keys)
+      in
+      Command.Rows rows
+  | Command.Select_range _ ->
+      let rows =
+        List.filter_map
+          (fun k ->
+            match Database.read t.db ~table ~key:k with
+            | Some row ->
+                trace_read k row;
+                Some (k, Row.value row)
+            | None -> None)
+          planned
+      in
+      Command.Rows rows
+  | Command.Update_range { delta; _ } ->
+      let n =
+        List.fold_left
+          (fun n k ->
+            match Database.read t.db ~table ~key:k with
+            | Some row ->
+                trace_read k row;
+                write k (Row.value row + delta);
+                n + 1
+            | None -> n)
+          0 planned
+      in
+      Command.Count n
+  | Command.Update { key; delta; _ } -> (
+      match Database.read t.db ~table ~key with
+      | Some row ->
+          trace_read key row;
+          write key (Row.value row + delta);
+          Command.Count 1
+      | None -> Command.Count 0)
+  | Command.Assign { key; value; _ } ->
+      if Database.mem t.db ~table ~key then begin
+        write key value;
+        Command.Count 1
+      end
+      else Command.Count 0
+  | Command.Insert { key; value; _ } ->
+      write key value;
+      Command.Count 1
+  | Command.Delete { key; _ } -> (
+      match Database.delete t.db ~table ~key with
+      | Some _ as before ->
+          Undo.record txn.undo ~table ~key ~before;
+          trace_write key;
+          Command.Count 1
+      | None -> Command.Count 0)
+
+(* DLU (checked inside [exec], both before lock acquisition and again at
+   apply time — the item may have become bound while the command waited):
+   a *local* transaction may not update bound data. *)
+let exec t txn cmd ~on_done =
+  match txn.state with
+  | Aborted_state reason -> Engine.schedule_unit t.engine ~delay:0 (fun () -> on_done (Failed reason))
+  | Committed_state -> invalid_arg "Ltm.exec: transaction already committed"
+  | Active ->
+      if txn.busy then invalid_arg "Ltm.exec: previous command still in flight";
+      txn.busy <- true;
+      txn.pending <- Some on_done;
+      txn.n_commands <- txn.n_commands + 1;
+      t.stats.commands <- t.stats.commands + 1;
+      let table = Command.table cmd in
+      let targets = Decompose.plan t.db cmd in
+      let planned = List.map fst targets in
+      let is_local = Txn.is_local txn.owner.Txn.Incarnation.txn in
+      let dlu_blocked () =
+        (match t.config.Ltm_config.dlu with Ltm_config.Ignore -> false | Ltm_config.Deny | Ltm_config.Block -> true)
+        && is_local
+        && List.exists
+             (fun (key, mode) -> mode = Lock.Exclusive && Bound.is_bound t.bound ~table ~key)
+             targets
+      in
+      (* DLU gate: Deny aborts immediately; Block polls until the data are
+         unbound, with the lock timeout as the total wait budget (a local
+         transaction already holding locks could otherwise stall a
+         recovering subtransaction's resubmission forever). *)
+      let dlu_budget = ref t.config.Ltm_config.lock_timeout in
+      let rec dlu_gate k =
+        if not (dlu_blocked ()) then k ()
+        else if t.config.Ltm_config.dlu = Ltm_config.Block && !dlu_budget > 0 then begin
+          dlu_budget := !dlu_budget - t.config.Ltm_config.dlu_retry_interval;
+          Engine.schedule_unit t.engine ~delay:t.config.Ltm_config.dlu_retry_interval (fun () ->
+              if txn.state = Active then dlu_gate k)
+        end
+        else begin
+          Bound.note_denial t.bound;
+          abort_internal t txn Dlu_denied ~notify:false
+        end
+      in
+      let finish_ok () =
+        (* Spend command + per-op latency, then apply. *)
+        let n_ops = max 1 (List.length (Decompose.elementary_planned t.db cmd ~planned)) in
+        let dur = t.config.Ltm_config.cmd_latency + (t.config.Ltm_config.op_latency * n_ops) in
+        Engine.schedule_unit t.engine ~delay:dur (fun () ->
+            if txn.state = Active then
+              (* The item may have become bound while the command waited. *)
+              dlu_gate (fun () ->
+                  let result = apply t txn cmd ~planned in
+                  txn.last_op_done <- Engine.now t.engine;
+                  txn.busy <- false;
+                  txn.pending <- None;
+                  if not t.config.Ltm_config.rigorous then
+                    run_grants (Lock.release_shared t.locks ~owner:txn.id);
+                  on_done (Done result)))
+      in
+      let rec acquire = function
+        | [] -> finish_ok ()
+        | (key, mode) :: rest -> (
+            let lkey = (table, key) in
+            let continue () =
+              if txn.state = Active then begin
+                cancel_wait_timer txn;
+                acquire rest
+              end
+            in
+            let on_grant () = Engine.schedule_unit t.engine ~delay:0 continue in
+            match Lock.acquire t.locks lkey ~owner:txn.id ~mode ~on_grant with
+            | Lock.Granted -> acquire rest
+            | Lock.Waiting ->
+                (* Deadlock handling per policy; the lock-wait timeout is
+                   always armed as a backstop (FIFO queue-order waits are
+                   invisible to every strategy below). *)
+                let arm_timeout () =
+                  txn.wait_timer <-
+                    Some
+                      (Engine.schedule t.engine ~delay:t.config.Ltm_config.lock_timeout (fun () ->
+                           if txn.state = Active then abort_internal t txn Lock_timeout ~notify:false))
+                in
+                let conflicting_holders () =
+                  List.filter_map (fun id -> Hashtbl.find_opt t.txns id)
+                    (Lock.blockers t.locks lkey ~owner:txn.id ~mode)
+                in
+                (match t.config.Ltm_config.deadlock with
+                | Ltm_config.Timeout_only -> arm_timeout ()
+                | Ltm_config.Detection_and_timeout ->
+                    if Deadlock.would_deadlock t.locks ~waiter:txn.id ~key:lkey ~mode then
+                      abort_internal t txn Deadlock_victim ~notify:false
+                    else arm_timeout ()
+                | Ltm_config.Wait_die ->
+                    (* Non-preemptive: a requester younger (bigger id,
+                       begun later) than any conflicting holder dies. *)
+                    if List.exists (fun holder -> holder.id < txn.id) (conflicting_holders ()) then
+                      abort_internal t txn Deadlock_victim ~notify:false
+                    else arm_timeout ()
+                | Ltm_config.Wound_wait ->
+                    (* Preemptive: an older requester wounds every younger
+                       conflicting holder — an involuntary abort, so it
+                       goes through the unilateral path (UAN fires; a
+                       wounded prepared subtransaction just resubmits). *)
+                    List.iter
+                      (fun holder -> if holder.id > txn.id then ignore (unilateral_abort t holder))
+                      (conflicting_holders ());
+                    arm_timeout ()))
+      in
+      dlu_gate (fun () -> acquire targets)

@@ -1,0 +1,24 @@
+(** Tunables of one LTM. *)
+
+type dlu_enforcement =
+  | Deny  (** abort a local transaction that tries to update bound data *)
+  | Block  (** make it wait (bounded by [lock_timeout]), then abort *)
+  | Ignore  (** ablation: let the violation happen *)
+
+type deadlock_resolution =
+  | Timeout_only  (** the paper's assumption for 2CM (§6) *)
+  | Detection_and_timeout  (** wait-for-graph check on block, timeout as backstop *)
+  | Wait_die  (** a requester younger than a conflicting holder dies (non-preemptive) *)
+  | Wound_wait  (** an older requester aborts ("wounds") younger conflicting holders *)
+
+type t = {
+  lock_timeout : int;
+  deadlock : deadlock_resolution;
+  cmd_latency : int;
+  op_latency : int;
+  dlu : dlu_enforcement;
+  dlu_retry_interval : int;  (** Block mode: ticks between bound-data rechecks *)
+  rigorous : bool;  (** false = release read locks early (breaks SRS; ablation) *)
+}
+
+val default : t

@@ -1,0 +1,23 @@
+(* The global trace: every component appends timestamped history
+   operations (elementary reads/writes from the LTMs, local terminations,
+   Prepare records from the 2PC Agents, global decisions from the
+   Coordinators). The offline checkers consume the resulting history.
+
+   One trace is shared by the whole simulated HMDBS — it is the omniscient
+   observer's view, which no component in the system itself has. *)
+
+open Hermes_history
+
+type t = { mutable events : History.event list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+let record t ~at op =
+  t.events <- { History.op; at } :: t.events;
+  t.count <- t.count + 1
+
+let count t = t.count
+
+(* Events are appended in nondecreasing time order (the engine fires in
+   order), so a reverse is enough; [of_events] re-sorts stably anyway. *)
+let history t = History.of_events (List.rev t.events)

@@ -1,0 +1,12 @@
+(** The shared global trace: timestamped history operations appended by
+    LTMs, 2PC Agents and Coordinators; consumed by the offline checkers. *)
+
+open Hermes_kernel
+open Hermes_history
+
+type t
+
+val create : unit -> t
+val record : t -> at:Time.t -> Op.t -> unit
+val count : t -> int
+val history : t -> History.t

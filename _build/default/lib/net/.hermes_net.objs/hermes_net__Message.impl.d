@@ -1,0 +1,1 @@
+lib/net/message.ml: Command Fmt Hermes_kernel Int Site Sn

@@ -1,0 +1,1 @@
+lib/net/message.mli: Command Fmt Hermes_kernel Site Sn

@@ -1,0 +1,1 @@
+lib/net/network.ml: Fmt Hashtbl Hermes_kernel Hermes_sim Logs Message Rng Time

@@ -1,0 +1,1 @@
+lib/net/network.mli: Hermes_kernel Hermes_sim Message

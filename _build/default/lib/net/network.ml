@@ -1,0 +1,69 @@
+(* The simulated network.
+
+   The paper assumes messages are not corrupted, lost or reordered; we
+   keep per-(src, dst) FIFO order and reliability, but delays between
+   *different* links are independent — so a COMMIT from one coordinator
+   can overtake a PREPARE from another at the same agent, the race §5.3's
+   prepare-certification extension exists to survive. *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+
+let src = Logs.Src.create "hermes.net" ~doc:"Simulated network traffic"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  base_delay : int;  (* ticks every message takes *)
+  jitter : int;  (* additional uniform [0, jitter] ticks *)
+}
+
+let default_config = { base_delay = 500; jitter = 200 }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  handlers : (Message.address, Message.t -> unit) Hashtbl.t;
+  last_delivery : (Message.address * Message.address, Time.t) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create ~engine ~rng ~config = {
+  engine;
+  rng;
+  config;
+  handlers = Hashtbl.create 32;
+  last_delivery = Hashtbl.create 64;
+  sent = 0;
+  delivered = 0;
+}
+
+let register t addr handler = Hashtbl.replace t.handlers addr handler
+let unregister t addr = Hashtbl.remove t.handlers addr
+
+let send t ~src ~dst ~gid payload =
+  let msg = { Message.src; dst; gid; payload } in
+  t.sent <- t.sent + 1;
+  let delay =
+    t.config.base_delay + if t.config.jitter > 0 then Rng.int t.rng ~bound:(t.config.jitter + 1) else 0
+  in
+  let now = Engine.now t.engine in
+  (* Per-link FIFO: never deliver before the link's previous message. *)
+  let arrival =
+    let earliest = Time.add now delay in
+    match Hashtbl.find_opt t.last_delivery (src, dst) with
+    | Some last when Time.(last >= earliest) -> Time.add last 1
+    | _ -> earliest
+  in
+  Hashtbl.replace t.last_delivery (src, dst) arrival;
+  Log.debug (fun m -> m "[%a] %a (delivery %a)" Time.pp now Message.pp msg Time.pp arrival);
+  Engine.schedule_unit t.engine ~delay:(Time.diff arrival now) (fun () ->
+      t.delivered <- t.delivered + 1;
+      match Hashtbl.find_opt t.handlers dst with
+      | Some handler -> handler msg
+      | None -> Fmt.failwith "Network.send: no handler for %a (message %a)" Message.pp_address dst Message.pp msg)
+
+let sent t = t.sent
+let delivered t = t.delivered

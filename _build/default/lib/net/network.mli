@@ -1,0 +1,19 @@
+(** The simulated network: reliable, per-link FIFO, with configurable base
+    delay and jitter. Delays on different links are independent, so a
+    COMMIT can overtake a PREPARE from a different sender (§5.3). *)
+
+type config = { base_delay : int; jitter : int }
+
+val default_config : config
+
+type t
+
+val create : engine:Hermes_sim.Engine.t -> rng:Hermes_kernel.Rng.t -> config:config -> t
+val register : t -> Message.address -> (Message.t -> unit) -> unit
+val unregister : t -> Message.address -> unit
+
+val send : t -> src:Message.address -> dst:Message.address -> gid:int -> Message.payload -> unit
+(** Raises if the destination has no registered handler at delivery time. *)
+
+val sent : t -> int
+val delivered : t -> int

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Hermes_kernel Int Pqueue Time

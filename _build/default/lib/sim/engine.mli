@@ -1,0 +1,40 @@
+(** The discrete-event engine. Components are callback state machines;
+    events fire in (time, sequence) order, so runs are deterministic given
+    a seed. Timers are cancellable, as the certifier's alive-check and
+    commit-retry timers require. *)
+
+open Hermes_kernel
+
+type t
+type timer
+
+exception Stuck of string
+(** Raised by {!run} when the event budget is exhausted — a livelock guard. *)
+
+val create : unit -> t
+val now : t -> Time.t
+
+val last_event_at : t -> Time.t
+(** Fire time of the last non-cancelled event — unlike {!now}, not
+    inflated by a [run ~until] that outlived the workload. *)
+
+val events_executed : t -> int
+val pending : t -> int
+
+val schedule : t -> delay:int -> (unit -> unit) -> timer
+(** Schedule a callback [delay] ticks from now (0 is allowed: it fires after
+    all already-scheduled events at the current instant). *)
+
+val schedule_unit : t -> delay:int -> (unit -> unit) -> unit
+val cancel : timer -> unit
+val fire_at : timer -> Time.t
+
+val halt : t -> unit
+(** Stop {!run} after the current event. *)
+
+val step : t -> bool
+(** Execute the next event; [false] if the queue is empty. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Run until the queue drains, [until] is passed, or {!halt}. If [until] is
+    given and not halted, the clock is advanced to it. *)

@@ -1,0 +1,1 @@
+lib/store/database.ml: Hashtbl Hermes_kernel Int Item List Row Site String

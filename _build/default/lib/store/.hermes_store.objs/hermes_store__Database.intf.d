@@ -1,0 +1,1 @@
+lib/store/database.mli: Hermes_kernel Item Row Site

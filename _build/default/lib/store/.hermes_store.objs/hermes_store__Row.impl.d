@@ -1,0 +1,1 @@
+lib/store/row.ml: Fmt Hermes_kernel Txn

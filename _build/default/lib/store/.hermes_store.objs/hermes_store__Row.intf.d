@@ -1,0 +1,1 @@
+lib/store/row.mli: Fmt Hermes_kernel Txn

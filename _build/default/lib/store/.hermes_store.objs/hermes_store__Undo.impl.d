@@ -1,0 +1,1 @@
+lib/store/undo.ml: Database List Row

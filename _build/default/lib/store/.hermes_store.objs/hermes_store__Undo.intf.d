@@ -1,0 +1,1 @@
+lib/store/undo.mli: Database Row

@@ -1,0 +1,70 @@
+(* The concrete database state of one LDBS: named tables of integer-keyed
+   rows, updated in place. Recovery (the RR assumption) is implemented by
+   the undo logs in {!Undo}; this module only provides raw state access.
+
+   Mutation goes through [write] (upsert) and [delete], both of which
+   return the before image so the caller can log it. Range scans return
+   keys in ascending order, which keeps the decomposition function
+   deterministic (DDF). *)
+
+open Hermes_kernel
+
+type table = (int, Row.t) Hashtbl.t
+
+type t = { site : Site.t; tables : (string, table) Hashtbl.t }
+
+let create ~site = { site; tables = Hashtbl.create 16 }
+let site t = t.site
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.replace t.tables name tbl;
+      tbl
+
+let read t ~table:name ~key = Hashtbl.find_opt (table t name) key
+
+let write t ~table:name ~key row =
+  let tbl = table t name in
+  let before = Hashtbl.find_opt tbl key in
+  Hashtbl.replace tbl key row;
+  before
+
+let delete t ~table:name ~key =
+  let tbl = table t name in
+  let before = Hashtbl.find_opt tbl key in
+  Hashtbl.remove tbl key;
+  before
+
+(* Restore a before image: [None] removes the row. *)
+let restore t ~table:name ~key before =
+  let tbl = table t name in
+  match before with None -> Hashtbl.remove tbl key | Some row -> Hashtbl.replace tbl key row
+
+let keys_in_range t ~table:name ~lo ~hi =
+  let tbl = table t name in
+  Hashtbl.fold (fun k _ acc -> if lo <= k && k <= hi then k :: acc else acc) tbl []
+  |> List.sort Int.compare
+
+let mem t ~table:name ~key = Hashtbl.mem (table t name) key
+
+let item t ~table ~key = Item.make ~site:t.site ~table ~key
+
+let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort String.compare
+
+let size t = Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.tables 0
+
+(* A deterministic snapshot of the whole database, for invariant checks in
+   tests and examples (e.g. conservation of money in the banking example). *)
+let snapshot t =
+  table_names t
+  |> List.concat_map (fun name ->
+         let tbl = table t name in
+         Hashtbl.fold (fun k row acc -> (item t ~table:name ~key:k, row) :: acc) tbl []
+         |> List.sort (fun (i1, _) (i2, _) -> Item.compare i1 i2))
+
+let total t ~table:name =
+  let tbl = table t name in
+  Hashtbl.fold (fun _ row acc -> acc + Row.value row) tbl 0

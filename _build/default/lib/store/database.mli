@@ -1,0 +1,36 @@
+(** The concrete database state of one LDBS: named tables of integer-keyed
+    rows, updated in place. Mutators return before images for undo logging
+    (the RR assumption); range scans are deterministic (ascending keys), as
+    DDF requires. *)
+
+open Hermes_kernel
+
+type t
+
+val create : site:Site.t -> t
+val site : t -> Site.t
+
+val read : t -> table:string -> key:int -> Row.t option
+
+val write : t -> table:string -> key:int -> Row.t -> Row.t option
+(** Upsert; returns the before image. *)
+
+val delete : t -> table:string -> key:int -> Row.t option
+(** Returns the before image ([None] if the row did not exist). *)
+
+val restore : t -> table:string -> key:int -> Row.t option -> unit
+(** Reinstall a before image; [None] removes the row. *)
+
+val keys_in_range : t -> table:string -> lo:int -> hi:int -> int list
+(** Existing keys in [lo, hi], ascending. *)
+
+val mem : t -> table:string -> key:int -> bool
+val item : t -> table:string -> key:int -> Item.t
+val table_names : t -> string list
+val size : t -> int
+
+val snapshot : t -> (Item.t * Row.t) list
+(** Deterministic full-state snapshot, for invariant checks. *)
+
+val total : t -> table:string -> int
+(** Sum of all values in a table (e.g. total money across accounts). *)

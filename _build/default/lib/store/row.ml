@@ -1,0 +1,19 @@
+(* A stored row: an integer value tagged with the incarnation that wrote
+   it. The tag implements reads-from tracking: when an elementary read
+   returns a row, the trace records which (sub)transaction incarnation the
+   value was read from — [None] meaning the paper's hypothetical
+   initializing transaction T_0. *)
+
+open Hermes_kernel
+
+type t = { value : int; writer : Txn.Incarnation.t option }
+
+let initial value = { value; writer = None }
+let make ~value ~writer = { value; writer = Some writer }
+let value t = t.value
+let writer t = t.writer
+
+let pp ppf t =
+  match t.writer with
+  | None -> Fmt.pf ppf "%d(T0)" t.value
+  | Some w -> Fmt.pf ppf "%d(%a)" t.value Txn.Incarnation.pp w

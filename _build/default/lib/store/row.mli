@@ -1,0 +1,13 @@
+(** A stored row: an integer value tagged with the writing incarnation
+    ([None] = the paper's hypothetical initializing transaction T_0), which
+    implements reads-from tracking. *)
+
+open Hermes_kernel
+
+type t = { value : int; writer : Txn.Incarnation.t option }
+
+val initial : int -> t
+val make : value:int -> writer:Txn.Incarnation.t -> t
+val value : t -> int
+val writer : t -> Txn.Incarnation.t option
+val pp : t Fmt.t

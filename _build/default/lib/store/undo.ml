@@ -1,0 +1,23 @@
+(* Per-transaction undo logs: the Rollback Recovery (RR) assumption.
+
+   "If a transaction is aborted, the LTM restores the concrete before
+   images for all data items affected by the transaction." Only the first
+   before image per (table, key) matters; recording every write and
+   restoring in reverse order achieves the same effect without a lookup
+   structure. *)
+
+type entry = { table : string; key : int; before : Row.t option }
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let record t ~table ~key ~before = t.entries <- { table; key; before } :: t.entries
+
+let rollback t db =
+  List.iter (fun { table; key; before } -> Database.restore db ~table ~key before) t.entries;
+  t.entries <- []
+
+let discard t = t.entries <- []
+let length t = List.length t.entries
+let is_empty t = t.entries = []

@@ -1,0 +1,17 @@
+(** Per-transaction undo logs — the Rollback Recovery (RR) assumption:
+    aborting restores the before images of every item the transaction
+    wrote. *)
+
+type t
+
+val create : unit -> t
+val record : t -> table:string -> key:int -> before:Row.t option -> unit
+
+val rollback : t -> Database.t -> unit
+(** Restore all before images in reverse write order, then clear the log. *)
+
+val discard : t -> unit
+(** Clear without restoring (commit). *)
+
+val length : t -> int
+val is_empty : t -> bool

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Clock Generator Hermes_baselines Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim List Option Rng Site Spec Stats Time Txn

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Clock Hermes_baselines Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Spec Stats

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Command Hermes_core Hermes_kernel List Rng Site Spec Zipf

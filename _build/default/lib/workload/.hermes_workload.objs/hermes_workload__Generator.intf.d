@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Command Hermes_core Hermes_kernel Rng Spec

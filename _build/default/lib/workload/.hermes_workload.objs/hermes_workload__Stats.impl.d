@@ -1,0 +1,1 @@
+lib/workload/stats.ml: Array Hermes_kernel Int List Time

@@ -1,0 +1,1 @@
+lib/workload/stats.mli: Hermes_kernel Time

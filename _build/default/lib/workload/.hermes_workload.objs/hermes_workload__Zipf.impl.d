@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array Float Hermes_kernel Rng

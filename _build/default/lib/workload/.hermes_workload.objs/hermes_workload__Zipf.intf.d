@@ -1,0 +1,1 @@
+lib/workload/zipf.mli: Hermes_kernel Rng

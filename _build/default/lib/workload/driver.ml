@@ -1,0 +1,210 @@
+(* The closed-loop workload driver: a fixed number of global clients work
+   off a quota of global transactions (retrying aborted ones) while local
+   clients at every site run purely local transactions against their LTMs;
+   when the global quota is done, local clients stop and the simulation
+   drains. One [run] produces one measured data point. *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+module Ltm = Hermes_ltm.Ltm
+module Ltm_config = Hermes_ltm.Ltm_config
+module Failure = Hermes_ltm.Failure
+module Trace = Hermes_ltm.Trace
+module Network = Hermes_net.Network
+module Config = Hermes_core.Config
+module Program = Hermes_core.Program
+module Coordinator = Hermes_core.Coordinator
+module Dtm = Hermes_core.Dtm
+module Cgm = Hermes_baselines.Cgm
+module History = Hermes_history.History
+
+type protocol =
+  | Two_pca of Config.t  (* the paper's DTM, or its ablations/naive/ticket variants *)
+  | Cgm_baseline of Cgm.config
+
+let protocol_name = function
+  | Two_pca c ->
+      if c = Config.full then "2CM"
+      else if c = Config.naive then "naive"
+      else if c = Config.ticket then "ticket"
+      else "2CM-variant"
+  | Cgm_baseline c -> (
+      match c.Cgm.granularity with Cgm.Site_level -> "CGM-site" | Cgm.Table_level -> "CGM-table")
+
+type setup = {
+  spec : Spec.t;
+  protocol : protocol;
+  failure : Failure.config;
+  net : Network.config;
+  ltm : Ltm_config.t;
+  clock_of_site : int -> Clock.t;
+  seed : int;
+  time_limit : int;  (* simulated-tick cap: unsound ablations can livelock *)
+  site_override : (int -> Dtm.site_spec option) option;
+      (* heterogeneity hook: a per-site spec replacing the uniform
+         failure/ltm/clock fields where it returns [Some] *)
+  crash_schedule : (int * int) list;
+      (* (tick, site index) full site crashes with instant reboot *)
+}
+
+let default_setup =
+  {
+    spec = Spec.default;
+    protocol = Two_pca Config.full;
+    failure = Failure.disabled;
+    net = Network.default_config;
+    ltm = Ltm_config.default;
+    clock_of_site = (fun _ -> Clock.perfect);
+    seed = 1;
+    time_limit = 120_000_000;
+    site_override = None;
+    crash_schedule = [];
+  }
+
+type result = {
+  stats : Stats.t;
+  totals : Dtm.totals;
+  cgm : Cgm.stats option;
+  history : History.t;
+  sim_ticks : int;
+  events : int;
+  throughput : float;  (* committed global txns per simulated second *)
+  stuck : int;  (* global transactions unfinished at the time cap (livelock) *)
+}
+
+let run setup =
+  let spec = setup.spec in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:setup.seed in
+  let trace = Trace.create () in
+  let site_specs =
+    Array.init spec.Spec.n_sites (fun i ->
+        let uniform =
+          { Dtm.ltm_config = setup.ltm; clock = setup.clock_of_site i; failure = setup.failure }
+        in
+        match setup.site_override with
+        | Some f -> Option.value ~default:uniform (f i)
+        | None -> uniform)
+  in
+  let dtm, submit, cgm_stats =
+    match setup.protocol with
+    | Two_pca certifier ->
+        let dtm = Dtm.create ~engine ~rng ~trace ~net_config:setup.net ~certifier ~site_specs in
+        (dtm, (fun program ~on_done -> ignore (Dtm.submit dtm program ~on_done)), None)
+    | Cgm_baseline config ->
+        let cgm = Cgm.create ~engine ~rng ~trace ~net_config:setup.net ~config ~site_specs in
+        (Cgm.dtm cgm, Cgm.submit cgm, Some (Cgm.stats cgm))
+  in
+  let partitioned = match setup.protocol with Cgm_baseline _ -> true | Two_pca _ -> false in
+  (* Populate every site (plus CGM's locally-updateable partition). *)
+  List.iter
+    (fun site ->
+      List.iter
+        (fun table ->
+          for k = 0 to spec.Spec.keys_per_site - 1 do
+            Dtm.load dtm site ~table ~key:k ~value:spec.Spec.initial_value
+          done)
+        (Generator.local_partition_table :: Spec.tables spec))
+    (Dtm.site_ids dtm);
+  let stats = Stats.create () in
+  let gen = Generator.create ~spec ~rng:(Rng.split rng ~label:"generator") in
+  let think_rng = Rng.split rng ~label:"think" in
+  let remaining = ref spec.Spec.n_global in
+  let in_flight = ref 0 in
+  let locals_active = ref true in
+  let think k = Engine.schedule_unit engine ~delay:(Rng.exponential think_rng ~mean:spec.Spec.think_time_mean) k in
+  (* Global clients. *)
+  let rec global_client () =
+    if !remaining > 0 then begin
+      decr remaining;
+      incr in_flight;
+      let program = Generator.global_program gen in
+      let started = Engine.now engine in
+      let rec attempt tries =
+        stats.Stats.attempts <- stats.Stats.attempts + 1;
+        submit program ~on_done:(fun outcome ->
+            match outcome with
+            | Coordinator.Committed ->
+                stats.Stats.committed <- stats.Stats.committed + 1;
+                Stats.record_latency stats ~started ~finished:(Engine.now engine);
+                finish_one ()
+            | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
+                stats.Stats.retries <- stats.Stats.retries + 1;
+                think (fun () -> attempt (tries + 1))
+            | Coordinator.Aborted _ ->
+                stats.Stats.aborted_final <- stats.Stats.aborted_final + 1;
+                finish_one ())
+      and finish_one () =
+        decr in_flight;
+        if !remaining = 0 && !in_flight = 0 then locals_active := false;
+        think global_client
+      in
+      attempt 0
+    end
+  in
+  (* Local clients: one loop per (site, slot), stopping when the global
+     quota is done or the per-run local cap is reached. *)
+  let local_counters = Array.make spec.Spec.n_sites 0 in
+  let total_locals = ref 0 in
+  let local_client site =
+    let ltm = Dtm.ltm dtm site in
+    let rec loop () =
+      if !locals_active && !total_locals < spec.Spec.local_txn_cap then
+        think (fun () ->
+            if !locals_active && !total_locals < spec.Spec.local_txn_cap then begin
+              incr total_locals;
+              let i = Site.to_int site in
+              local_counters.(i) <- local_counters.(i) + 1;
+              let owner =
+                Txn.Incarnation.make ~txn:(Txn.local ~site ~n:local_counters.(i)) ~site ~inc:0
+              in
+              let txn = Ltm.begin_txn ltm ~owner in
+              let rec step = function
+                | [] ->
+                    Ltm.commit ltm txn ~on_done:(fun r ->
+                        (match r with
+                        | Ltm.Committed -> stats.Stats.local_committed <- stats.Stats.local_committed + 1
+                        | Ltm.Commit_refused _ -> stats.Stats.local_aborted <- stats.Stats.local_aborted + 1);
+                        loop ())
+                | cmd :: rest ->
+                    Ltm.exec ltm txn cmd ~on_done:(function
+                      | Ltm.Done _ -> step rest
+                      | Ltm.Failed _ ->
+                          stats.Stats.local_aborted <- stats.Stats.local_aborted + 1;
+                          loop ())
+              in
+              step (Generator.local_commands ~partitioned gen)
+            end)
+    in
+    loop ()
+  in
+  (* Scheduled full site crashes (with instant reboot). *)
+  List.iter
+    (fun (at, site_idx) ->
+      if site_idx >= 0 && site_idx < spec.Spec.n_sites then
+        Engine.schedule_unit engine ~delay:at (fun () -> Dtm.crash_site dtm (Site.of_int site_idx)))
+    setup.crash_schedule;
+  for _ = 1 to min spec.Spec.global_mpl spec.Spec.n_global do
+    global_client ()
+  done;
+  List.iter
+    (fun site ->
+      for _ = 1 to spec.Spec.local_mpl_per_site do
+        local_client site
+      done)
+    (Dtm.site_ids dtm);
+  Engine.run ~until:(Time.of_int setup.time_limit) engine;
+  Engine.halt engine;
+  let sim_ticks = Time.to_int (Engine.last_event_at engine) in
+  {
+    stats;
+    totals = Dtm.totals dtm;
+    cgm = cgm_stats;
+    history = Trace.history trace;
+    sim_ticks;
+    events = Engine.events_executed engine;
+    throughput =
+      (if sim_ticks = 0 then 0.0
+       else float_of_int stats.Stats.committed *. 1_000_000.0 /. float_of_int sim_ticks);
+    stuck = !in_flight + !remaining;
+  }

@@ -1,0 +1,43 @@
+(** The closed-loop workload driver: global clients work off a quota
+    (retrying aborts) while local clients run at every site; one [run]
+    produces one measured, deterministic data point. *)
+
+open Hermes_kernel
+
+type protocol =
+  | Two_pca of Hermes_core.Config.t
+      (** the paper's DTM, or an ablation/naive/ticket variant of it *)
+  | Cgm_baseline of Hermes_baselines.Cgm.config
+
+val protocol_name : protocol -> string
+
+type setup = {
+  spec : Spec.t;
+  protocol : protocol;
+  failure : Hermes_ltm.Failure.config;
+  net : Hermes_net.Network.config;
+  ltm : Hermes_ltm.Ltm_config.t;
+  clock_of_site : int -> Clock.t;
+  seed : int;
+  time_limit : int;  (** simulated-tick cap; unsound ablations can livelock *)
+  site_override : (int -> Hermes_core.Dtm.site_spec option) option;
+      (** heterogeneity hook: per-site specs replacing the uniform fields
+          where it returns [Some] *)
+  crash_schedule : (int * int) list;
+      (** (tick, site index): full site crashes with instant reboot *)
+}
+
+val default_setup : setup
+
+type result = {
+  stats : Stats.t;
+  totals : Hermes_core.Dtm.totals;
+  cgm : Hermes_baselines.Cgm.stats option;
+  history : Hermes_history.History.t;
+  sim_ticks : int;  (** time of the last event (not inflated by the cap) *)
+  events : int;
+  throughput : float;  (** committed global txns per simulated second *)
+  stuck : int;  (** global transactions unfinished at the cap *)
+}
+
+val run : setup -> result

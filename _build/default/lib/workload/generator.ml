@@ -1,0 +1,73 @@
+(* Program generation.
+
+   Global programs pick distinct participating sites and, per site, a mix
+   of single-row selects and updates over Zipf-distributed keys. Within
+   one subtransaction a key is never first selected and then updated —
+   that S->X upgrade pattern mass-produces upgrade deadlocks under strict
+   FIFO queues and real applications lock-for-update up front; updates go
+   straight to exclusive locks instead. *)
+
+open Hermes_kernel
+
+type t = { spec : Spec.t; zipf : Zipf.t; rng : Rng.t }
+
+let create ~spec ~rng = { spec; zipf = Zipf.create ~n:spec.Spec.keys_per_site ~theta:spec.Spec.zipf_theta; rng }
+
+let distinct_sites t =
+  let n = min t.spec.Spec.sites_per_txn t.spec.Spec.n_sites in
+  let all = Rng.shuffle t.rng (Array.init t.spec.Spec.n_sites Site.of_int) in
+  Array.to_list (Array.sub all 0 n)
+
+let pick_table t = Spec.table_name (Rng.int t.rng ~bound:t.spec.Spec.n_tables)
+
+(* Per-site command list: distinct (table, key) targets, each either
+   selected or updated. *)
+let site_commands t =
+  let rec pick_targets acc n =
+    if n = 0 then acc
+    else
+      let target = (pick_table t, Zipf.sample t.zipf t.rng) in
+      if List.mem target acc then pick_targets acc n else pick_targets (target :: acc) (n - 1)
+  in
+  let n_keys = min t.spec.Spec.ops_per_site (t.spec.Spec.keys_per_site * t.spec.Spec.n_tables) in
+  let targets = pick_targets [] n_keys in
+  List.map
+    (fun (table, key) ->
+      if Rng.bool t.rng ~p:t.spec.Spec.global_write_ratio then
+        Command.Update { table; key; delta = Rng.int_in t.rng ~lo:(-5) ~hi:5 }
+      else
+        let hi = min (t.spec.Spec.keys_per_site - 1) (key + 2) in
+        let overlaps_other_target =
+          List.exists (fun (tb, k) -> tb = table && k <> key && key <= k && k <= hi) targets
+        in
+        if Rng.bool t.rng ~p:0.15 && not overlaps_other_target then
+          (* An occasional small range scan: its decomposition is
+             state-dependent over several rows at once. Never emitted when
+             it would cover another target of the same subtransaction —
+             scanning a key the transaction later updates is the S->X
+             upgrade trap again. *)
+          Command.Select_range { table; lo = key; hi }
+        else Command.Select { table; keys = [ key ] })
+    targets
+
+let global_program t =
+  let steps = List.concat_map (fun site -> List.map (fun c -> (site, c)) (site_commands t)) (distinct_sites t) in
+  Hermes_core.Program.make steps
+
+(* The locally-updateable partition of the CGM baseline: a dedicated
+   per-site table local writes are confined to (paper §6: CGM partitions
+   items into locally- and globally-updateable sets; global updaters may
+   not read the locally-updateable set — our globals never touch it). *)
+let local_partition_table = "LOCAL"
+
+(* A local transaction's commands at one site. Under [partitioned]
+   (CGM), writes go to the locally-updateable table only; reads may still
+   look at global data. Without it (2CM), locals write global data too —
+   DLU merely keeps them off *bound* items. *)
+let local_commands ?(partitioned = false) t =
+  List.init t.spec.Spec.local_ops (fun _ ->
+      let key = Zipf.sample t.zipf t.rng in
+      if Rng.bool t.rng ~p:t.spec.Spec.local_write_ratio then
+        let table = if partitioned then local_partition_table else pick_table t in
+        Command.Update { table; key; delta = Rng.int_in t.rng ~lo:(-3) ~hi:3 }
+      else Command.Select { table = pick_table t; keys = [ key ] })

@@ -1,0 +1,18 @@
+(** Program generation: global programs over distinct participating sites
+    with Zipf-distributed keys (never select-then-update the same key —
+    the upgrade-deadlock trap), and local transaction command lists. *)
+
+open Hermes_kernel
+
+type t
+
+val create : spec:Spec.t -> rng:Rng.t -> t
+val global_program : t -> Hermes_core.Program.t
+
+val local_partition_table : string
+(** The locally-updateable table of the CGM data partition (paper §6). *)
+
+val local_commands : ?partitioned:bool -> t -> Command.t list
+(** Commands of one local transaction. With [partitioned] (CGM), writes
+    are confined to {!local_partition_table}; without it (2CM), locals
+    write global data and only DLU keeps them off bound items. *)

@@ -1,0 +1,54 @@
+(* Workload parameters for the experiment harness. One spec describes the
+   database population, the global-transaction traffic (multiprogramming
+   level, shape, skew) and the purely local traffic at each site. *)
+
+type t = {
+  n_sites : int;
+  keys_per_site : int;  (* keys per table *)
+  n_tables : int;  (* tables per site (named "T0", "T1", ...) *)
+  initial_value : int;
+  (* Global transactions. *)
+  n_global : int;  (* run this many global transactions to completion *)
+  global_mpl : int;  (* concurrent global clients *)
+  sites_per_txn : int;  (* participants per global transaction *)
+  ops_per_site : int;  (* commands per participating site *)
+  global_write_ratio : float;
+  (* Local transactions (run while the global quota is being worked off). *)
+  local_mpl_per_site : int;
+  local_ops : int;
+  local_write_ratio : float;
+  local_txn_cap : int;  (* total local txns per run: bounds analysis cost when a protocol livelocks *)
+  (* Access skew and pacing. *)
+  zipf_theta : float;
+  think_time_mean : int;  (* ticks between a client's transactions *)
+  max_retries : int;  (* how often a client retries an aborted global txn *)
+}
+
+let default =
+  {
+    n_sites = 3;
+    keys_per_site = 40;
+    n_tables = 4;
+    initial_value = 100;
+    n_global = 100;
+    global_mpl = 4;
+    sites_per_txn = 2;
+    ops_per_site = 2;
+    global_write_ratio = 0.5;
+    local_mpl_per_site = 1;
+    local_ops = 2;
+    local_write_ratio = 0.5;
+    local_txn_cap = 2_000;
+    zipf_theta = 0.6;
+    think_time_mean = 2_000;
+    max_retries = 10;
+  }
+
+let table_name i = "T" ^ string_of_int i
+let tables t = List.init t.n_tables table_name
+
+let pp ppf t =
+  Fmt.pf ppf
+    "%d sites x %d tables x %d keys, %d globals (MPL %d, %d sites/txn, %d ops/site, w=%.2f), locals MPL %d/site, theta=%.2f"
+    t.n_sites t.n_tables t.keys_per_site t.n_global t.global_mpl t.sites_per_txn t.ops_per_site
+    t.global_write_ratio t.local_mpl_per_site t.zipf_theta

@@ -1,0 +1,27 @@
+(** Workload parameters: database population, global-transaction traffic
+    and local traffic per site. One spec + one seed = one deterministic
+    measured run. *)
+
+type t = {
+  n_sites : int;
+  keys_per_site : int;  (** keys per table *)
+  n_tables : int;  (** tables per site, named ["T0"], ["T1"], ... *)
+  initial_value : int;
+  n_global : int;  (** global transactions to run to completion *)
+  global_mpl : int;  (** concurrent global clients *)
+  sites_per_txn : int;
+  ops_per_site : int;
+  global_write_ratio : float;
+  local_mpl_per_site : int;
+  local_ops : int;
+  local_write_ratio : float;
+  local_txn_cap : int;  (** bound on total local transactions per run *)
+  zipf_theta : float;
+  think_time_mean : int;
+  max_retries : int;  (** retries of an aborted global transaction *)
+}
+
+val default : t
+val table_name : int -> string
+val tables : t -> string list
+val pp : t Fmt.t

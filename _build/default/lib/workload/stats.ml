@@ -1,0 +1,46 @@
+(* Client-side statistics: outcomes, retries and commit latencies. *)
+
+open Hermes_kernel
+
+type t = {
+  mutable committed : int;
+  mutable aborted_final : int;  (* gave up after max_retries *)
+  mutable attempts : int;
+  mutable retries : int;
+  mutable local_committed : int;
+  mutable local_aborted : int;
+  mutable latencies : int list;  (* commit latencies of committed globals *)
+}
+
+let create () =
+  {
+    committed = 0;
+    aborted_final = 0;
+    attempts = 0;
+    retries = 0;
+    local_committed = 0;
+    local_aborted = 0;
+    latencies = [];
+  }
+
+let record_latency t ~started ~finished = t.latencies <- Time.diff finished started :: t.latencies
+
+type latency_summary = { mean : float; p50 : int; p95 : int; max : int }
+
+let latency_summary t =
+  match t.latencies with
+  | [] -> { mean = 0.0; p50 = 0; p95 = 0; max = 0 }
+  | ls ->
+      let sorted = List.sort Int.compare ls in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let pct p = arr.(min (n - 1) (p * n / 100)) in
+      {
+        mean = float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int n;
+        p50 = pct 50;
+        p95 = pct 95;
+        max = arr.(n - 1);
+      }
+
+let abort_rate t =
+  if t.attempts = 0 then 0.0 else float_of_int (t.attempts - t.committed) /. float_of_int t.attempts

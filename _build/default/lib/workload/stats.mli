@@ -1,0 +1,23 @@
+(** Client-side statistics: outcomes, retries, commit latencies. *)
+
+open Hermes_kernel
+
+type t = {
+  mutable committed : int;
+  mutable aborted_final : int;  (** gave up after max_retries *)
+  mutable attempts : int;  (** submissions including retries *)
+  mutable retries : int;
+  mutable local_committed : int;
+  mutable local_aborted : int;
+  mutable latencies : int list;
+}
+
+val create : unit -> t
+val record_latency : t -> started:Time.t -> finished:Time.t -> unit
+
+type latency_summary = { mean : float; p50 : int; p95 : int; max : int }
+
+val latency_summary : t -> latency_summary
+
+val abort_rate : t -> float
+(** Failed attempts / attempts. *)

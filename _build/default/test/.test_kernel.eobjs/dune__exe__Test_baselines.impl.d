@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Command Fun Hermes_baselines Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_sim List Rng Site

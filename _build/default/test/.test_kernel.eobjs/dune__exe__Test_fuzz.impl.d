@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Clock Fmt Hermes_baselines Hermes_core Hermes_history Hermes_kernel Hermes_ltm Hermes_net Hermes_workload List Rng

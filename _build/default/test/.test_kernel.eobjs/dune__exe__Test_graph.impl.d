@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Dump Fmt Fun Hashtbl Hermes_graph Int List Option QCheck QCheck_alcotest

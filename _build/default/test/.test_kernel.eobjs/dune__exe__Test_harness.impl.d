@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Astring Hermes_core Hermes_harness Hermes_history Int List String

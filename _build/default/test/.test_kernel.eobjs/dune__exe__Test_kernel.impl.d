@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Clock Command Fun Hermes_kernel Int Interval Item List Option QCheck QCheck_alcotest Rng Site Sn Time Txn

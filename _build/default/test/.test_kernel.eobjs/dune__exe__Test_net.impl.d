@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Hermes_kernel Hermes_net Hermes_sim Int List Option QCheck QCheck_alcotest Rng Site

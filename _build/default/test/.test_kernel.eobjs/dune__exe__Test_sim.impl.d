@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fun Hermes_kernel Hermes_sim Int List QCheck QCheck_alcotest Time

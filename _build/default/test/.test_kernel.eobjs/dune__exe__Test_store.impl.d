@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Database Hermes_kernel Hermes_store List Option QCheck QCheck_alcotest Row Site Txn Undo

@@ -1,0 +1,606 @@
+(* Integration tests for hermes.core: the 2PC Agent Certifier end to end.
+
+   Each test assembles a small HMDBS inside the discrete-event engine,
+   runs transactions through the DTM, then verifies the recorded history
+   with the independent theory checkers. *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+module Ltm = Hermes_ltm.Ltm
+module Failure = Hermes_ltm.Failure
+module Trace = Hermes_ltm.Trace
+module Config = Hermes_core.Config
+module Program = Hermes_core.Program
+module Alive_table = Hermes_core.Alive_table
+module Coordinator = Hermes_core.Coordinator
+module Dtm = Hermes_core.Dtm
+module Report = Hermes_history.Report
+module History = Hermes_history.History
+module Committed = Hermes_history.Committed
+module Anomaly = Hermes_history.Anomaly
+module Rigorous = Hermes_history.Rigorous
+module Op = Hermes_history.Op
+
+let a = Site.of_int 0
+let b = Site.of_int 1
+
+type world = { engine : Engine.t; dtm : Dtm.t; trace : Trace.t }
+
+let make_world ?(n_sites = 2) ?(certifier = Config.full) ?(site_spec = fun _ -> Dtm.default_site_spec)
+    ?(seed = 42) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let trace = Trace.create () in
+  let dtm =
+    Dtm.create ~engine ~rng ~trace ~net_config:Hermes_net.Network.default_config ~certifier
+      ~site_specs:(Array.init n_sites site_spec)
+  in
+  { engine; dtm; trace }
+
+(* Standard initial data: table "X" keys 0..9 value 100 at every site. *)
+let load_standard w =
+  List.iter
+    (fun site -> List.iter (fun k -> Dtm.load w.dtm site ~table:"X" ~key:k ~value:100) (List.init 10 Fun.id))
+    (Dtm.site_ids w.dtm)
+
+let select site keys = (site, Command.Select { table = "X"; keys })
+let update site key delta = (site, Command.Update { table = "X"; key; delta })
+
+let run_to_completion w = Engine.run w.engine
+
+(* ------------------------------------------------------------------ *)
+(* Happy path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_global_commit () =
+  let w = make_world () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm
+       (Program.make [ update a 0 10; update b 0 (-10); select a [ 0 ] ])
+       ~on_done:(fun o -> outcome := Some o));
+  run_to_completion w;
+  (match !outcome with
+  | Some Coordinator.Committed -> ()
+  | Some (Coordinator.Aborted r) -> Alcotest.failf "aborted: %a" Coordinator.pp_reason r
+  | None -> Alcotest.fail "never finished");
+  (* Effects applied. *)
+  let va = Hermes_store.Database.read (Dtm.database w.dtm a) ~table:"X" ~key:0 in
+  let vb = Hermes_store.Database.read (Dtm.database w.dtm b) ~table:"X" ~key:0 in
+  Alcotest.(check int) "a updated" 110 (Hermes_store.Row.value (Option.get va));
+  Alcotest.(check int) "b updated" 90 (Hermes_store.Row.value (Option.get vb));
+  (* History clean and complete. *)
+  let h = Dtm.history w.dtm in
+  let t1 = Txn.global 1 in
+  Alcotest.(check bool) "complete" true (History.is_complete h t1);
+  let rep = Report.analyze h in
+  Alcotest.(check bool) "report ok" true (Report.ok rep);
+  (* The trace's final values agree with the stores themselves. *)
+  List.iter
+    (fun (item, v) ->
+      let site = Item.site item in
+      match Hermes_store.Database.read (Dtm.database w.dtm site) ~table:(Item.table item) ~key:(Item.key item) with
+      | Some row -> Alcotest.(check int) (Fmt.str "final %a" Item.pp item) (Hermes_store.Row.value row) v
+      | None -> Alcotest.failf "item %a missing from store" Item.pp item)
+    (Hermes_history.Values.final_values h)
+
+let test_read_only_commit () =
+  let w = make_world () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm (Program.make [ select a [ 0; 1 ]; select b [ 2 ] ]) ~on_done:(fun o -> outcome := Some o));
+  run_to_completion w;
+  Alcotest.(check bool) "committed" true (!outcome = Some Coordinator.Committed)
+
+let test_many_sequential_commits () =
+  let w = make_world () in
+  load_standard w;
+  let committed = ref 0 in
+  let rec submit_next n =
+    if n > 0 then
+      ignore
+        (Dtm.submit w.dtm
+           (Program.make [ update a (n mod 10) 1; update b (n mod 10) (-1) ])
+           ~on_done:(fun o ->
+             if o = Coordinator.Committed then incr committed;
+             submit_next (n - 1)))
+  in
+  submit_next 20;
+  run_to_completion w;
+  Alcotest.(check int) "all committed" 20 !committed;
+  let rep = Report.analyze (Dtm.history w.dtm) in
+  Alcotest.(check bool) "rigorous" true (Report.rigorous rep);
+  Alcotest.(check bool) "no distortions" true (rep.Report.global_distortions = []);
+  Alcotest.(check bool) "CG acyclic" true (rep.Report.cg_cycle = None)
+
+let test_concurrent_nonconflicting () =
+  let w = make_world () in
+  load_standard w;
+  let committed = ref 0 in
+  (* Five concurrent global transactions on disjoint keys. *)
+  for i = 0 to 4 do
+    ignore
+      (Dtm.submit w.dtm
+         (Program.make [ update a i 1; update b i 1 ])
+         ~on_done:(fun o -> if o = Coordinator.Committed then incr committed))
+  done;
+  run_to_completion w;
+  Alcotest.(check int) "all five committed" 5 !committed;
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
+
+let test_concurrent_conflicting_failure_free () =
+  (* The §6 restrictiveness claim: failure-free, the certifier aborts
+     nothing, even under conflicts (lock waits serialize them). *)
+  let w = make_world () in
+  load_standard w;
+  let committed = ref 0 and aborted = ref 0 in
+  for _ = 1 to 8 do
+    ignore
+      (Dtm.submit w.dtm
+         (Program.make [ update a 0 1; update b 0 1 ])
+         ~on_done:(fun o -> if o = Coordinator.Committed then incr committed else incr aborted))
+  done;
+  run_to_completion w;
+  Alcotest.(check int) "all committed" 8 !committed;
+  Alcotest.(check int) "none aborted" 0 !aborted;
+  let va = Hermes_store.Database.read (Dtm.database w.dtm a) ~table:"X" ~key:0 in
+  Alcotest.(check int) "serialized increments" 108 (Hermes_store.Row.value (Option.get va));
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
+
+(* ------------------------------------------------------------------ *)
+(* Failures: unilateral aborts in the prepared state                   *)
+(* ------------------------------------------------------------------ *)
+
+let failing_site_spec ~p _ = { Dtm.default_site_spec with Dtm.failure = Failure.prepared_rate p }
+
+let test_resubmission_recovers () =
+  (* Aggressive failure injection on prepared subtransactions: the agent
+     must resubmit and still commit everything, with no distortions. *)
+  let w = make_world ~site_spec:(failing_site_spec ~p:0.5) () in
+  load_standard w;
+  let committed = ref 0 and aborted = ref 0 in
+  let rec submit_next n =
+    if n > 0 then
+      ignore
+        (Dtm.submit w.dtm
+           (Program.make [ update a (n mod 5) 1; update b (n mod 5) (-1) ])
+           ~on_done:(fun o ->
+             (if o = Coordinator.Committed then incr committed else incr aborted);
+             submit_next (n - 1)))
+  in
+  submit_next 15;
+  run_to_completion w;
+  Alcotest.(check int) "all runs finished" 15 (!committed + !aborted);
+  Alcotest.(check bool) "most committed" true (!committed >= 10);
+  let h = Dtm.history w.dtm in
+  let rep = Report.analyze h in
+  Alcotest.(check bool) "rigorous" true (Report.rigorous rep);
+  Alcotest.(check bool) "no global distortion" true (rep.Report.global_distortions = []);
+  Alcotest.(check bool) "CG acyclic" true (rep.Report.cg_cycle = None);
+  (* At least one resubmission actually happened, else the test is vacuous. *)
+  let totals = Dtm.totals w.dtm in
+  Alcotest.(check bool) "resubmissions occurred" true (totals.Dtm.resubmissions > 0)
+
+let test_balance_invariant_under_failures () =
+  (* Transfers between sites preserve total money even with failures. *)
+  let w = make_world ~site_spec:(failing_site_spec ~p:0.4) ~seed:7 () in
+  load_standard w;
+  let total () =
+    Hermes_store.Database.total (Dtm.database w.dtm a) ~table:"X"
+    + Hermes_store.Database.total (Dtm.database w.dtm b) ~table:"X"
+  in
+  let before = total () in
+  let finished = ref 0 in
+  let rec submit_next n =
+    if n > 0 then
+      ignore
+        (Dtm.submit w.dtm
+           (Program.make [ update a (n mod 10) (-5); update b ((n + 3) mod 10) 5 ])
+           ~on_done:(fun _ ->
+             incr finished;
+             submit_next (n - 1)))
+  in
+  submit_next 12;
+  run_to_completion w;
+  Alcotest.(check int) "all finished" 12 !finished;
+  Alcotest.(check int) "money conserved" before (total ())
+
+let test_site_crash_recovery () =
+  (* Collective aborts (site crashes) during a workload: the certifier
+     recovers every prepared subtransaction by resubmission and the
+     history stays clean. *)
+  let crash_spec i =
+    if i = 0 then
+      { Dtm.default_site_spec with Dtm.failure = Failure.crashes ~mean_interval:20_000 ~horizon:300_000 }
+    else Dtm.default_site_spec
+  in
+  let w = make_world ~site_spec:crash_spec ~seed:21 () in
+  load_standard w;
+  let committed = ref 0 and finished = ref 0 in
+  let rec submit_next n =
+    if n > 0 then
+      ignore
+        (Dtm.submit w.dtm
+           (Program.make [ update a (n mod 5) 1; update b (n mod 5) (-1) ])
+           ~on_done:(fun o ->
+             incr finished;
+             if o = Coordinator.Committed then incr committed;
+             submit_next (n - 1)))
+  in
+  submit_next 20;
+  run_to_completion w;
+  Alcotest.(check int) "all finished" 20 !finished;
+  Alcotest.(check bool) "most committed" true (!committed >= 15);
+  Alcotest.(check bool) "crashes happened" true (Failure.crash_count (Dtm.injector w.dtm a) >= 1);
+  let rep = Report.analyze (Dtm.history w.dtm) in
+  Alcotest.(check bool) "rigorous" true (Report.rigorous rep);
+  Alcotest.(check bool) "no distortions" true (rep.Report.global_distortions = []);
+  Alcotest.(check bool) "CG acyclic" true (rep.Report.cg_cycle = None)
+
+(* ------------------------------------------------------------------ *)
+(* Agent crash & recovery (Agent-log durability, 2PC idempotence)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash site [s] as soon as its agent holds a prepared subtransaction
+   (polling monitor, like the scenario saboteur). *)
+let crash_when_prepared w s =
+  let agent = Dtm.agent w.dtm s in
+  let fired = ref false in
+  let rec poll () =
+    if (not !fired) && Time.to_int (Engine.now w.engine) < 2_000_000 then
+      if Hermes_core.Agent.n_prepared agent > 0 then begin
+        fired := true;
+        Dtm.crash_site w.dtm s
+      end
+      else Engine.schedule_unit w.engine ~delay:100 poll
+  in
+  Engine.schedule_unit w.engine ~delay:100 poll
+
+let test_crash_while_prepared_recovers () =
+  (* The in-doubt subtransaction must be rebuilt from the Agent log and
+     still commit when the coordinator's COMMIT arrives. *)
+  let w = make_world () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm (Program.make [ update a 0 7; update b 0 (-7) ]) ~on_done:(fun o -> outcome := Some o));
+  crash_when_prepared w a;
+  run_to_completion w;
+  (match !outcome with
+  | Some Coordinator.Committed -> ()
+  | Some (Coordinator.Aborted r) -> Alcotest.failf "aborted: %a" Coordinator.pp_reason r
+  | None -> Alcotest.fail "stuck");
+  (* Effects applied exactly once despite the crash. *)
+  let va = Hermes_store.Database.read (Dtm.database w.dtm a) ~table:"X" ~key:0 in
+  Alcotest.(check int) "applied once" 107 (Hermes_store.Row.value (Option.get va));
+  let ags = Hermes_core.Agent.stats (Dtm.agent w.dtm a) in
+  Alcotest.(check int) "one crash" 1 ags.Hermes_core.Agent.crashes;
+  Alcotest.(check bool) "recovered from log" true (ags.Hermes_core.Agent.recovered >= 1);
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
+
+let test_crash_while_active_aborts () =
+  (* Crashing before the prepare: the work is simply lost; the coordinator
+     learns through the failed command (or its timeout) and aborts. *)
+  let w = make_world () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm
+       (Program.make [ update a 0 7; update a 1 7; update b 0 (-14) ])
+       ~on_done:(fun o -> outcome := Some o));
+  (* Crash site a mid-execution (before any prepare can exist). *)
+  Engine.schedule_unit w.engine ~delay:1_800 (fun () -> Dtm.crash_site w.dtm a);
+  run_to_completion w;
+  (match !outcome with
+  | Some (Coordinator.Aborted _) -> ()
+  | Some Coordinator.Committed -> Alcotest.fail "must abort"
+  | None -> Alcotest.fail "stuck");
+  (* Nothing leaked: values intact. *)
+  let va = Hermes_store.Database.read (Dtm.database w.dtm a) ~table:"X" ~key:0 in
+  Alcotest.(check int) "rolled back" 100 (Hermes_store.Row.value (Option.get va))
+
+let test_crash_storm_workload () =
+  (* Repeated crashes of both sites during a concurrent workload: every
+     transaction finishes (decision retransmission + idempotent re-acks),
+     money is conserved, and the history verifies. *)
+  let w = make_world ~seed:31 () in
+  load_standard w;
+  let committed = ref 0 and finished = ref 0 in
+  let rec submit_next n =
+    if n > 0 then
+      ignore
+        (Dtm.submit w.dtm
+           (Program.make [ update a (n mod 5) 3; update b (n mod 5) (-3) ])
+           ~on_done:(fun o ->
+             incr finished;
+             if o = Coordinator.Committed then incr committed;
+             submit_next (n - 1)))
+  in
+  submit_next 25;
+  (* Crashes every ~15ms on alternating sites while the workload runs. *)
+  let rec storm i =
+    if i < 12 then
+      Engine.schedule_unit w.engine ~delay:15_000 (fun () ->
+          Dtm.crash_site w.dtm (if i mod 2 = 0 then a else b);
+          storm (i + 1))
+  in
+  storm 0;
+  run_to_completion w;
+  Alcotest.(check int) "all finished" 25 !finished;
+  Alcotest.(check bool) "most committed" true (!committed >= 15);
+  let total =
+    Hermes_store.Database.total (Dtm.database w.dtm a) ~table:"X"
+    + Hermes_store.Database.total (Dtm.database w.dtm b) ~table:"X"
+  in
+  Alcotest.(check int) "money conserved" 2000 total;
+  let rep = Report.analyze (Dtm.history w.dtm) in
+  Alcotest.(check bool) "rigorous" true (Report.rigorous rep);
+  Alcotest.(check bool) "no distortions" true (rep.Report.global_distortions = []);
+  Alcotest.(check bool) "CG acyclic" true (rep.Report.cg_cycle = None)
+
+let test_agent_log_in_doubt () =
+  let log = Hermes_core.Agent_log.create () in
+  let coord = Hermes_net.Message.Coordinator 1 in
+  let sn = Sn.make ~ts:(Time.of_int 5) ~site:a ~seq:1 in
+  let e1 = Hermes_core.Agent_log.entry log ~gid:1 ~coordinator:coord in
+  let e2 = Hermes_core.Agent_log.entry log ~gid:2 ~coordinator:coord in
+  let e3 = Hermes_core.Agent_log.entry log ~gid:3 ~coordinator:coord in
+  let e4 = Hermes_core.Agent_log.entry log ~gid:4 ~coordinator:coord in
+  ignore (Hermes_core.Agent_log.entry log ~gid:5 ~coordinator:coord);
+  (* e1: prepared, in doubt. e2: decision forced but not locally committed:
+     still needs recovery (redo). e3: fully committed. e4: rolled back.
+     e5: never prepared. *)
+  Hermes_core.Agent_log.force_prepare log e1 ~sn;
+  Hermes_core.Agent_log.force_prepare log e2 ~sn;
+  Hermes_core.Agent_log.force_commit log e2;
+  Hermes_core.Agent_log.force_prepare log e3 ~sn;
+  Hermes_core.Agent_log.force_commit log e3;
+  e3.Hermes_core.Agent_log.locally_committed <- true;
+  Hermes_core.Agent_log.force_prepare log e4 ~sn;
+  Hermes_core.Agent_log.note_rollback e4;
+  let in_doubt = List.map (fun e -> e.Hermes_core.Agent_log.gid) (Hermes_core.Agent_log.in_doubt log) in
+  Alcotest.(check (list int)) "in doubt" [ 1; 2 ] in_doubt;
+  Alcotest.(check bool) "max committed sn" true
+    (Hermes_core.Agent_log.max_committed_sn log = Some sn);
+  Alcotest.(check bool) "force writes counted" true (Hermes_core.Agent_log.force_writes log >= 6)
+
+let test_agent_log_commands_order () =
+  let log = Hermes_core.Agent_log.create () in
+  let e = Hermes_core.Agent_log.entry log ~gid:1 ~coordinator:(Hermes_net.Message.Coordinator 1) in
+  let c1 = Command.Select { table = "X"; keys = [ 1 ] } in
+  let c2 = Command.Update { table = "X"; key = 2; delta = 1 } in
+  Hermes_core.Agent_log.append_command e c1;
+  Hermes_core.Agent_log.append_command e c2;
+  Alcotest.(check bool) "replay order preserved" true (Hermes_core.Agent_log.commands e = [ c1; c2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Certification behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Conflicting traffic in the H1 shape: readers of X0 that write X1,
+   racing writers of X0 — so when a prepared reader is unilaterally
+   aborted, a waiting writer grabs X0, commits, and the reader's
+   resubmission re-reads X0 from it. No S->X upgrades (each key is locked
+   in its final mode directly), so no upgrade deadlocks. *)
+let conflicting_batches w ~batches ~width =
+  let remaining = ref batches in
+  let rec launch_batch () =
+    if !remaining > 0 then begin
+      decr remaining;
+      let pending = ref width in
+      for i = 0 to width - 1 do
+        let program =
+          if i mod 2 = 0 then Program.make [ select a [ 0 ]; update a 1 1; update b 0 1 ]
+          else Program.make [ update a 0 1; update b 0 1 ]
+        in
+        ignore
+          (Dtm.submit w.dtm program
+             ~on_done:(fun _ ->
+               decr pending;
+               if !pending = 0 then launch_batch ()))
+      done
+    end
+  in
+  launch_batch ()
+
+let test_naive_agent_distorts () =
+  (* With certification off, failure injection plus conflicting concurrent
+     traffic must eventually produce a global view distortion — the H1
+     scenario arising naturally. (Deterministic H1/H2 replays live in the
+     harness scenarios; here we only require the anomaly arises on some
+     seed.) *)
+  let found = ref false in
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  List.iter
+    (fun seed ->
+      if not !found then begin
+        let w = make_world ~certifier:Config.naive ~site_spec:(failing_site_spec ~p:0.6) ~seed () in
+        load_standard w;
+        conflicting_batches w ~batches:6 ~width:4;
+        (try run_to_completion w with Engine.Stuck _ -> ());
+        let c = Committed.extended (Dtm.history w.dtm) in
+        if Anomaly.global_view_distortions c <> [] then found := true
+      end)
+    seeds;
+  Alcotest.(check bool) "naive agent produced a distortion" true !found
+
+let test_full_certifier_never_distorts () =
+  (* Same aggressive setting, full certifier: zero distortions, acyclic
+     CG, across several seeds. *)
+  List.iter
+    (fun seed ->
+      let w = make_world ~site_spec:(failing_site_spec ~p:0.6) ~seed () in
+      load_standard w;
+      conflicting_batches w ~batches:6 ~width:4;
+      run_to_completion w;
+      let c = Committed.extended (Dtm.history w.dtm) in
+      Alcotest.(check (list string))
+        (Fmt.str "no distortions (seed %d)" seed)
+        []
+        (List.map (Fmt.str "%a" Anomaly.pp_global) (Anomaly.global_view_distortions c));
+      Alcotest.(check bool) (Fmt.str "CG acyclic (seed %d)" seed) true (Anomaly.commit_order_cycle c = None);
+      Alcotest.(check bool) (Fmt.str "rigorous (seed %d)" seed) true
+        (Rigorous.all_sites_rigorous (Dtm.history w.dtm)))
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Alive table unit tests                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_alive_table () =
+  let t = Alive_table.create () in
+  let sn n = Sn.make ~ts:(Time.of_int n) ~site:a ~seq:0 in
+  let iv lo hi = Interval.make ~lo:(Time.of_int lo) ~hi:(Time.of_int hi) in
+  Alive_table.insert t ~gid:1 ~sn:(sn 1) ~interval:(iv 0 10);
+  Alive_table.insert t ~gid:2 ~sn:(sn 2) ~interval:(iv 5 15);
+  Alcotest.(check int) "size" 2 (Alive_table.size t);
+  Alcotest.(check bool) "intersecting candidate" true (Alive_table.all_intersect t (iv 8 9));
+  Alcotest.(check bool) "disjoint candidate" false (Alive_table.all_intersect t (iv 20 30));
+  Alcotest.(check bool) "gid1 is min sn" true (Alive_table.min_sn_holds t ~gid:1 ~sn:(sn 1));
+  Alcotest.(check bool) "gid2 blocked by gid1" false (Alive_table.min_sn_holds t ~gid:2 ~sn:(sn 2));
+  Alive_table.remove t ~gid:1;
+  Alcotest.(check bool) "gid2 now free" true (Alive_table.min_sn_holds t ~gid:2 ~sn:(sn 2));
+  Alive_table.extend_interval t ~gid:2 ~hi:(Time.of_int 40);
+  Alcotest.(check bool) "extended" true (Alive_table.all_intersect t (iv 20 30))
+
+let test_alive_table_duplicate () =
+  let t = Alive_table.create () in
+  let sn = Sn.make ~ts:Time.zero ~site:a ~seq:0 in
+  Alive_table.insert t ~gid:1 ~sn ~interval:(Interval.point Time.zero);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Alive_table.insert: duplicate entry") (fun () ->
+      Alive_table.insert t ~gid:1 ~sn ~interval:(Interval.point Time.zero))
+
+let test_alive_table_multi_interval () =
+  (* The §4.2 optimization: a candidate matching only an OLD interval of
+     an entry still certifies when several intervals are kept, but not
+     under the store-only-the-last baseline. *)
+  let iv lo hi = Interval.make ~lo:(Time.of_int lo) ~hi:(Time.of_int hi) in
+  let sn = Sn.make ~ts:Time.zero ~site:a ~seq:0 in
+  let t = Alive_table.create () in
+  Alive_table.insert t ~gid:1 ~sn ~interval:(iv 0 10);
+  Alive_table.push_interval t ~gid:1 ~max_intervals:3 (iv 100 110);
+  Alcotest.(check bool) "old interval still counts" true (Alive_table.all_intersect t (iv 5 8));
+  Alcotest.(check bool) "new interval counts" true (Alive_table.all_intersect t (iv 105 120));
+  Alcotest.(check bool) "gap refuses" false (Alive_table.all_intersect t (iv 40 60));
+  (* Single-interval baseline forgets the past. *)
+  let t1 = Alive_table.create () in
+  Alive_table.insert t1 ~gid:1 ~sn ~interval:(iv 0 10);
+  Alive_table.update_interval t1 ~gid:1 (iv 100 110);
+  Alcotest.(check bool) "baseline forgets" false (Alive_table.all_intersect t1 (iv 5 8))
+
+let test_alive_table_interval_cap () =
+  let iv lo hi = Interval.make ~lo:(Time.of_int lo) ~hi:(Time.of_int hi) in
+  let sn = Sn.make ~ts:Time.zero ~site:a ~seq:0 in
+  let t = Alive_table.create () in
+  Alive_table.insert t ~gid:1 ~sn ~interval:(iv 0 10);
+  Alive_table.push_interval t ~gid:1 ~max_intervals:2 (iv 20 30);
+  Alive_table.push_interval t ~gid:1 ~max_intervals:2 (iv 40 50);
+  (* Oldest interval evicted. *)
+  Alcotest.(check bool) "oldest gone" false (Alive_table.all_intersect t (iv 0 10));
+  Alcotest.(check bool) "middle kept" true (Alive_table.all_intersect t (iv 25 26));
+  match Alive_table.find t ~gid:1 with
+  | Some e -> Alcotest.(check int) "two intervals" 2 (List.length e.Alive_table.intervals)
+  | None -> Alcotest.fail "entry missing"
+
+(* The E9 equivalence theorem at table level: for any candidate whose
+   interval ends no earlier than every stored interval (certification
+   candidates end at the checking moment), keeping several intervals
+   decides exactly like keeping only the newest. *)
+let prop_multi_interval_equivalent =
+  QCheck.Test.make ~name:"multi-interval certification = newest-interval certification" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 5) (pair small_nat (list_of_size (Gen.int_range 0 3) small_nat))) small_nat)
+    (fun (entries, cand_lo) ->
+      let sn n = Sn.make ~ts:(Time.of_int n) ~site:a ~seq:n in
+      let multi = Alive_table.create () and single = Alive_table.create () in
+      let horizon = ref 0 in
+      List.iteri
+        (fun gid (first_lo, resubs) ->
+          let iv lo len =
+            horizon := max !horizon (lo + len);
+            Interval.make ~lo:(Time.of_int lo) ~hi:(Time.of_int (lo + len))
+          in
+          let first = iv first_lo 10 in
+          Alive_table.insert multi ~gid ~sn:(sn gid) ~interval:first;
+          Alive_table.insert single ~gid ~sn:(sn gid) ~interval:first;
+          (* Each resubmission starts strictly after everything so far. *)
+          List.iter
+            (fun len ->
+              let next = iv (!horizon + 1) len in
+              Alive_table.push_interval multi ~gid ~max_intervals:10 next;
+              Alive_table.update_interval single ~gid next)
+            resubs)
+        entries;
+      let candidate =
+        Interval.make ~lo:(Time.of_int (min cand_lo !horizon)) ~hi:(Time.of_int (!horizon + 5))
+      in
+      Alive_table.all_intersect multi candidate = Alive_table.all_intersect single candidate)
+
+let test_multi_interval_end_to_end () =
+  (* Same aggressive failure scenario under both variants: the
+     multi-interval certifier must be correct too. *)
+  let w = make_world ~certifier:Config.multi_interval ~site_spec:(failing_site_spec ~p:0.6) ~seed:3 () in
+  load_standard w;
+  conflicting_batches w ~batches:6 ~width:4;
+  run_to_completion w;
+  let c = Committed.extended (Dtm.history w.dtm) in
+  Alcotest.(check (list string)) "no distortions" []
+    (List.map (Fmt.str "%a" Anomaly.pp_global) (Anomaly.global_view_distortions c));
+  Alcotest.(check bool) "CG acyclic" true (Anomaly.commit_order_cycle c = None)
+
+(* ------------------------------------------------------------------ *)
+(* Program unit tests                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_program () =
+  let p = Program.make [ update a 0 1; update b 1 2; select a [ 2 ] ] in
+  Alcotest.(check int) "length" 3 (Program.length p);
+  Alcotest.(check int) "two sites" 2 (List.length (Program.sites p));
+  Alcotest.(check int) "commands at a" 2 (List.length (Program.commands_at p a));
+  Alcotest.(check bool) "not read only" false (Program.is_read_only p);
+  Alcotest.check_raises "empty" (Invalid_argument "Program.make: empty program") (fun () ->
+      ignore (Program.make []))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "happy-path",
+        [
+          Alcotest.test_case "single global commit" `Quick test_single_global_commit;
+          Alcotest.test_case "read-only commit" `Quick test_read_only_commit;
+          Alcotest.test_case "20 sequential commits" `Quick test_many_sequential_commits;
+          Alcotest.test_case "concurrent non-conflicting" `Quick test_concurrent_nonconflicting;
+          Alcotest.test_case "conflicting, failure-free: 0 aborts" `Quick
+            test_concurrent_conflicting_failure_free;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "resubmission recovers" `Quick test_resubmission_recovers;
+          Alcotest.test_case "balance invariant" `Quick test_balance_invariant_under_failures;
+          Alcotest.test_case "site crash recovery" `Quick test_site_crash_recovery;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "crash while prepared" `Quick test_crash_while_prepared_recovers;
+          Alcotest.test_case "crash while active" `Quick test_crash_while_active_aborts;
+          Alcotest.test_case "crash storm" `Quick test_crash_storm_workload;
+          Alcotest.test_case "agent log: in-doubt set" `Quick test_agent_log_in_doubt;
+          Alcotest.test_case "agent log: command order" `Quick test_agent_log_commands_order;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "naive agent distorts" `Quick test_naive_agent_distorts;
+          Alcotest.test_case "full certifier never distorts" `Quick test_full_certifier_never_distorts;
+        ] );
+      ( "alive-table",
+        [
+          Alcotest.test_case "operations" `Quick test_alive_table;
+          Alcotest.test_case "duplicate insert" `Quick test_alive_table_duplicate;
+          Alcotest.test_case "multi-interval optimization" `Quick test_alive_table_multi_interval;
+          Alcotest.test_case "interval cap" `Quick test_alive_table_interval_cap;
+          Alcotest.test_case "multi-interval end-to-end" `Quick test_multi_interval_end_to_end;
+          QCheck_alcotest.to_alcotest prop_multi_interval_equivalent;
+        ] );
+      ( "program", [ Alcotest.test_case "basics" `Quick test_program ] );
+    ]

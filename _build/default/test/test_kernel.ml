@@ -1,0 +1,268 @@
+(* Unit and property tests for hermes.kernel. *)
+
+open Hermes_kernel
+
+let site n = Site.of_int n
+let t n = Time.of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Site                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_site_names () =
+  Alcotest.(check string) "site 0 is a" "a" (Site.name (site 0));
+  Alcotest.(check string) "site 1 is b" "b" (Site.name (site 1));
+  Alcotest.(check string) "site 25 is z" "z" (Site.name (site 25));
+  Alcotest.(check string) "site 26 overflows" "s26" (Site.name (site 26))
+
+let test_site_of_int_negative () =
+  Alcotest.check_raises "negative site" (Invalid_argument "Site.of_int: negative site id") (fun () ->
+      ignore (Site.of_int (-1)))
+
+let test_site_order () =
+  Alcotest.(check bool) "0 < 1" true (Site.compare (site 0) (site 1) < 0);
+  Alcotest.(check bool) "equal" true (Site.equal (site 3) (site 3))
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_arith () =
+  Alcotest.(check int) "add" 15 (Time.to_int (Time.add (t 10) 5));
+  Alcotest.(check int) "diff" 7 (Time.diff (t 10) (t 3));
+  Alcotest.(check bool) "lt" true Time.(t 1 < t 2);
+  Alcotest.(check bool) "le refl" true Time.(t 2 <= t 2);
+  Alcotest.(check bool) "gt" false Time.(t 1 > t 2)
+
+let test_time_pp () =
+  Alcotest.(check string) "us" "42us" (Time.show (t 42));
+  Alcotest.(check string) "ms" "3ms" (Time.show (t 3_000));
+  Alcotest.(check string) "s" "2.500s" (Time.show (t 2_500_000))
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_intersects () =
+  let i a b = Interval.make ~lo:(t a) ~hi:(t b) in
+  Alcotest.(check bool) "overlap" true (Interval.intersects (i 0 10) (i 5 15));
+  Alcotest.(check bool) "disjoint" false (Interval.intersects (i 0 4) (i 5 15));
+  Alcotest.(check bool) "touching endpoints intersect" true (Interval.intersects (i 0 5) (i 5 9));
+  Alcotest.(check bool) "containment" true (Interval.intersects (i 0 100) (i 40 60));
+  Alcotest.(check bool) "points" true (Interval.intersects (Interval.point (t 5)) (i 5 5))
+
+let test_interval_make_invalid () =
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Interval.make: hi < lo") (fun () ->
+      ignore (Interval.make ~lo:(t 5) ~hi:(t 4)))
+
+let test_interval_extend () =
+  let i = Interval.make ~lo:(t 2) ~hi:(t 4) in
+  let j = Interval.extend_to i ~hi:(t 9) in
+  Alcotest.(check int) "lo unchanged" 2 (Time.to_int (Interval.lo j));
+  Alcotest.(check int) "hi moved" 9 (Time.to_int (Interval.hi j))
+
+let test_interval_intersection () =
+  let i a b = Interval.make ~lo:(t a) ~hi:(t b) in
+  (match Interval.intersection (i 0 10) (i 5 15) with
+  | Some x ->
+      Alcotest.(check int) "lo" 5 (Time.to_int (Interval.lo x));
+      Alcotest.(check int) "hi" 10 (Time.to_int (Interval.hi x))
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "none" true (Interval.intersection (i 0 1) (i 2 3) = None)
+
+let prop_interval_intersects_comm =
+  QCheck.Test.make ~name:"interval intersection is commutative" ~count:500
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      let i = Interval.make ~lo:(t (min a b)) ~hi:(t (max a b)) in
+      let j = Interval.make ~lo:(t (min c d)) ~hi:(t (max c d)) in
+      Interval.intersects i j = Interval.intersects j i)
+
+let prop_interval_intersection_consistent =
+  QCheck.Test.make ~name:"intersection is Some iff intersects" ~count:500
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      let i = Interval.make ~lo:(t (min a b)) ~hi:(t (max a b)) in
+      let j = Interval.make ~lo:(t (min c d)) ~hi:(t (max c d)) in
+      Interval.intersects i j = Option.is_some (Interval.intersection i j))
+
+(* ------------------------------------------------------------------ *)
+(* Txn / Incarnation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_pp () =
+  Alcotest.(check string) "global" "T7" (Txn.show (Txn.global 7));
+  Alcotest.(check string) "local" "L4a" (Txn.show (Txn.local ~site:(site 0) ~n:4))
+
+let test_txn_classify () =
+  Alcotest.(check bool) "global" true (Txn.is_global (Txn.global 1));
+  Alcotest.(check bool) "local" true (Txn.is_local (Txn.local ~site:(site 1) ~n:2));
+  Alcotest.(check bool) "not both" false (Txn.is_local (Txn.global 1))
+
+let test_incarnation_validation () =
+  let l = Txn.local ~site:(site 0) ~n:1 in
+  Alcotest.check_raises "local resubmission"
+    (Invalid_argument "Incarnation.make: local txns are never resubmitted") (fun () ->
+      ignore (Txn.Incarnation.make ~txn:l ~site:(site 0) ~inc:1));
+  Alcotest.check_raises "foreign site" (Invalid_argument "Incarnation.make: local txn at foreign site")
+    (fun () -> ignore (Txn.Incarnation.make ~txn:l ~site:(site 1) ~inc:0))
+
+let test_incarnation_pp () =
+  let i = Txn.Incarnation.make ~txn:(Txn.global 1) ~site:(site 0) ~inc:2 in
+  Alcotest.(check string) "incarnation" "Ta12" (Txn.Incarnation.show i)
+
+(* ------------------------------------------------------------------ *)
+(* Sn                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sn_order () =
+  let sn ts s seq = Sn.make ~ts:(t ts) ~site:(site s) ~seq in
+  Alcotest.(check bool) "ts dominates" true Sn.(sn 1 5 9 < sn 2 0 0);
+  Alcotest.(check bool) "site breaks ties" true Sn.(sn 1 0 9 < sn 1 1 0);
+  Alcotest.(check bool) "seq breaks ties" true Sn.(sn 1 0 0 < sn 1 0 1);
+  Alcotest.(check bool) "equal" true (Sn.equal (sn 1 0 0) (sn 1 0 0))
+
+let prop_sn_total_order =
+  QCheck.Test.make ~name:"sn compare is antisymmetric" ~count:500
+    QCheck.(pair (triple small_nat small_nat small_nat) (triple small_nat small_nat small_nat))
+    (fun ((a, b, c), (d, e, f)) ->
+      let x = Sn.make ~ts:(t a) ~site:(site b) ~seq:c in
+      let y = Sn.make ~ts:(t d) ~site:(site e) ~seq:f in
+      Sn.compare x y = -Sn.compare y x)
+
+(* ------------------------------------------------------------------ *)
+(* Item / Command                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_item_pp () =
+  Alcotest.(check string) "key0" "Xa" (Item.show (Item.make ~site:(site 0) ~table:"X" ~key:0));
+  Alcotest.(check string) "keyed" "X3b" (Item.show (Item.make ~site:(site 1) ~table:"X" ~key:3))
+
+let test_command_read_only () =
+  Alcotest.(check bool) "select" true (Command.is_read_only (Select { table = "X"; keys = [ 1 ] }));
+  Alcotest.(check bool) "range" true (Command.is_read_only (Select_range { table = "X"; lo = 0; hi = 9 }));
+  Alcotest.(check bool) "update" false (Command.is_read_only (Update { table = "X"; key = 1; delta = 2 }));
+  Alcotest.(check bool) "delete" false (Command.is_read_only (Delete { table = "X"; key = 1 }))
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_perfect () =
+  Alcotest.(check int) "identity" 1234 (Time.to_int (Clock.read Clock.perfect ~real:(t 1234)))
+
+let test_clock_offset () =
+  let c = Clock.make ~offset:500 () in
+  Alcotest.(check int) "offset" 1500 (Time.to_int (Clock.read c ~real:(t 1000)));
+  let c = Clock.make ~offset:(-2000) () in
+  Alcotest.(check int) "clamped at zero" 0 (Time.to_int (Clock.read c ~real:(t 1000)))
+
+let test_clock_skew () =
+  let c = Clock.make ~skew_ppm:1000 () in
+  (* +1000 ppm = +1ms per second *)
+  Alcotest.(check int) "skew at 1s" 1_001_000 (Time.to_int (Clock.read c ~real:(t 1_000_000)))
+
+let prop_clock_monotone =
+  QCheck.Test.make ~name:"clock is monotone for moderate skew" ~count:300
+    QCheck.(triple (int_bound 1_000_000) (int_bound 1_000_000) (int_range (-1000) 1000))
+    (fun (a, b, skew_ppm) ->
+      let c = Clock.make ~skew_ppm () in
+      let lo = min a b and hi = max a b in
+      Time.(Clock.read c ~real:(t lo) <= Clock.read c ~real:(t hi)))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let xs = List.init 20 (fun _ -> Rng.int a ~bound:1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b ~bound:1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:42 in
+  let c1 = Rng.split a ~label:"x" in
+  let c2 = Rng.split a ~label:"y" in
+  let xs = List.init 10 (fun _ -> Rng.int c1 ~bound:1_000_000) in
+  let ys = List.init 10 (fun _ -> Rng.int c2 ~bound:1_000_000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"int_in stays in bounds" ~count:500
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (seed, a, b) ->
+      let rng = Rng.create ~seed in
+      let lo = min a b and hi = max a b in
+      let x = Rng.int_in rng ~lo ~hi in
+      lo <= x && x <= hi)
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~name:"exponential is at least 1" ~count:500
+    QCheck.(pair small_nat (int_range 1 100_000))
+    (fun (seed, mean) ->
+      let rng = Rng.create ~seed in
+      Rng.exponential rng ~mean >= 1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:7 in
+  let input = Array.init 50 Fun.id in
+  let out = Rng.shuffle rng input in
+  Alcotest.(check (list int)) "same multiset" (Array.to_list input)
+    (List.sort Int.compare (Array.to_list out));
+  Alcotest.(check (list int)) "input untouched" (List.init 50 Fun.id) (Array.to_list input)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "kernel"
+    [
+      ( "site",
+        [
+          Alcotest.test_case "names" `Quick test_site_names;
+          Alcotest.test_case "negative rejected" `Quick test_site_of_int_negative;
+          Alcotest.test_case "order" `Quick test_site_order;
+        ] );
+      ( "time",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "intersects" `Quick test_interval_intersects;
+          Alcotest.test_case "invalid make" `Quick test_interval_make_invalid;
+          Alcotest.test_case "extend_to" `Quick test_interval_extend;
+          Alcotest.test_case "intersection" `Quick test_interval_intersection;
+          q prop_interval_intersects_comm;
+          q prop_interval_intersection_consistent;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "pp" `Quick test_txn_pp;
+          Alcotest.test_case "classify" `Quick test_txn_classify;
+          Alcotest.test_case "incarnation validation" `Quick test_incarnation_validation;
+          Alcotest.test_case "incarnation pp" `Quick test_incarnation_pp;
+        ] );
+      ( "sn",
+        [ Alcotest.test_case "lexicographic order" `Quick test_sn_order; q prop_sn_total_order ] );
+      ( "item-command",
+        [
+          Alcotest.test_case "item pp" `Quick test_item_pp;
+          Alcotest.test_case "command read-only" `Quick test_command_read_only;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "perfect" `Quick test_clock_perfect;
+          Alcotest.test_case "offset" `Quick test_clock_offset;
+          Alcotest.test_case "skew" `Quick test_clock_skew;
+          q prop_clock_monotone;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          q prop_rng_int_in_bounds;
+          q prop_rng_exponential_positive;
+        ] );
+    ]

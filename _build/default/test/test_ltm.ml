@@ -1,0 +1,584 @@
+(* Tests for hermes.ltm: lock table, decomposition, deadlock detection,
+   DLU enforcement, transaction lifecycle, failure injection — and the
+   central property: the S2PL scheduler produces rigorous histories. *)
+
+open Hermes_kernel
+open Hermes_ltm
+module Engine = Hermes_sim.Engine
+module Database = Hermes_store.Database
+module Row = Hermes_store.Row
+module Rigorous = Hermes_history.Rigorous
+module History = Hermes_history.History
+module Op = Hermes_history.Op
+
+let site0 = Site.of_int 0
+
+let ginc n = Txn.Incarnation.make ~txn:(Txn.global n) ~site:site0 ~inc:0
+let linc n = Txn.Incarnation.make ~txn:(Txn.local ~site:site0 ~n) ~site:site0 ~inc:0
+
+type world = { engine : Engine.t; db : Database.t; ltm : Ltm.t; trace : Trace.t }
+
+let make_world ?(config = Ltm_config.default) () =
+  let engine = Engine.create () in
+  let db = Database.create ~site:site0 in
+  let trace = Trace.create () in
+  let ltm = Ltm.create ~engine ~db ~config ~trace in
+  List.iter (fun k -> ignore (Database.write db ~table:"X" ~key:k (Row.initial 100))) (List.init 10 Fun.id);
+  { engine; db; ltm; trace }
+
+let sel keys = Command.Select { table = "X"; keys }
+let upd key delta = Command.Update { table = "X"; key; delta }
+
+(* ------------------------------------------------------------------ *)
+(* Lock table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_shared_compatible () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  Alcotest.(check bool) "first S" true (Lock.acquire t k ~owner:1 ~mode:Lock.Shared ~on_grant:ignore = Lock.Granted);
+  Alcotest.(check bool) "second S" true (Lock.acquire t k ~owner:2 ~mode:Lock.Shared ~on_grant:ignore = Lock.Granted);
+  Alcotest.(check int) "two holders" 2 (List.length (Lock.holders t k))
+
+let test_lock_exclusive_blocks () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  let granted = ref false in
+  ignore (Lock.acquire t k ~owner:1 ~mode:Lock.Exclusive ~on_grant:ignore);
+  Alcotest.(check bool) "X blocks S" true
+    (Lock.acquire t k ~owner:2 ~mode:Lock.Shared ~on_grant:(fun () -> granted := true) = Lock.Waiting);
+  Alcotest.(check bool) "not yet" false !granted;
+  let cbs = Lock.release_all t ~owner:1 in
+  List.iter (fun cb -> cb ()) cbs;
+  Alcotest.(check bool) "granted on release" true !granted
+
+let test_lock_reacquire () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  ignore (Lock.acquire t k ~owner:1 ~mode:Lock.Exclusive ~on_grant:ignore);
+  Alcotest.(check bool) "S under X" true (Lock.acquire t k ~owner:1 ~mode:Lock.Shared ~on_grant:ignore = Lock.Granted);
+  Alcotest.(check bool) "X under X" true (Lock.acquire t k ~owner:1 ~mode:Lock.Exclusive ~on_grant:ignore = Lock.Granted)
+
+let test_lock_upgrade_sole_holder () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  ignore (Lock.acquire t k ~owner:1 ~mode:Lock.Shared ~on_grant:ignore);
+  Alcotest.(check bool) "upgrade granted" true
+    (Lock.acquire t k ~owner:1 ~mode:Lock.Exclusive ~on_grant:ignore = Lock.Granted);
+  Alcotest.(check bool) "now exclusive" true (Lock.holders t k = [ (1, Lock.Exclusive) ])
+
+let test_lock_upgrade_waits () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  let upgraded = ref false in
+  ignore (Lock.acquire t k ~owner:1 ~mode:Lock.Shared ~on_grant:ignore);
+  ignore (Lock.acquire t k ~owner:2 ~mode:Lock.Shared ~on_grant:ignore);
+  Alcotest.(check bool) "upgrade waits" true
+    (Lock.acquire t k ~owner:1 ~mode:Lock.Exclusive ~on_grant:(fun () -> upgraded := true) = Lock.Waiting);
+  let cbs = Lock.release_all t ~owner:2 in
+  List.iter (fun cb -> cb ()) cbs;
+  Alcotest.(check bool) "upgraded when sole" true !upgraded
+
+let test_lock_fifo_no_overtaking () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  let order = ref [] in
+  ignore (Lock.acquire t k ~owner:1 ~mode:Lock.Exclusive ~on_grant:ignore);
+  ignore (Lock.acquire t k ~owner:2 ~mode:Lock.Exclusive ~on_grant:(fun () -> order := 2 :: !order));
+  (* owner 3 wants S; compatible with nothing while 2 is queued first *)
+  ignore (Lock.acquire t k ~owner:3 ~mode:Lock.Shared ~on_grant:(fun () -> order := 3 :: !order));
+  List.iter (fun cb -> cb ()) (Lock.release_all t ~owner:1);
+  Alcotest.(check (list int)) "2 granted first, 3 still behind" [ 2 ] (List.rev !order);
+  List.iter (fun cb -> cb ()) (Lock.release_all t ~owner:2);
+  Alcotest.(check (list int)) "then 3" [ 2; 3 ] (List.rev !order)
+
+let test_lock_cancel_waits () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  let granted3 = ref false in
+  ignore (Lock.acquire t k ~owner:1 ~mode:Lock.Exclusive ~on_grant:ignore);
+  ignore (Lock.acquire t k ~owner:2 ~mode:Lock.Exclusive ~on_grant:(fun () -> Alcotest.fail "2 was cancelled"));
+  ignore (Lock.acquire t k ~owner:3 ~mode:Lock.Exclusive ~on_grant:(fun () -> granted3 := true));
+  List.iter (fun cb -> cb ()) (Lock.cancel_waits t ~owner:2);
+  List.iter (fun cb -> cb ()) (Lock.release_all t ~owner:1);
+  Alcotest.(check bool) "3 granted after cancel of 2" true !granted3
+
+let test_lock_blockers () =
+  let t = Lock.create () in
+  let k = ("X", 1) in
+  ignore (Lock.acquire t k ~owner:1 ~mode:Lock.Shared ~on_grant:ignore);
+  ignore (Lock.acquire t k ~owner:2 ~mode:Lock.Shared ~on_grant:ignore);
+  Alcotest.(check (list int)) "X blocked by both readers" [ 1; 2 ]
+    (List.sort Int.compare (Lock.blockers t k ~owner:3 ~mode:Lock.Exclusive));
+  Alcotest.(check (list int)) "S blocked by nobody" [] (Lock.blockers t k ~owner:3 ~mode:Lock.Shared)
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition (DDF)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_decompose_update_missing () =
+  let w = make_world () in
+  Alcotest.(check int) "existing row: R;W" 2
+    (List.length (Decompose.elementary w.db (upd 1 5)));
+  Alcotest.(check int) "missing row: nothing" 0
+    (List.length (Decompose.elementary w.db (upd 99 5)))
+
+let test_decompose_select_range () =
+  let w = make_world () in
+  let elems = Decompose.elementary w.db (Command.Select_range { table = "X"; lo = 3; hi = 5 }) in
+  Alcotest.(check (list int)) "reads existing keys" [ 3; 4; 5 ]
+    (List.map (fun (e : Decompose.elementary) -> e.Decompose.key) elems)
+
+let test_decompose_state_dependence () =
+  (* The H1 phenomenon: deleting a row changes a later decomposition. *)
+  let w = make_world () in
+  Alcotest.(check int) "before delete" 2 (List.length (Decompose.elementary w.db (upd 1 5)));
+  ignore (Database.delete w.db ~table:"X" ~key:1);
+  Alcotest.(check int) "after delete" 0 (List.length (Decompose.elementary w.db (upd 1 5)))
+
+let test_decompose_update_range () =
+  let w = make_world () in
+  let cmd = Command.Update_range { table = "X"; lo = 2; hi = 4; delta = 1 } in
+  (* Plan: exclusive locks on existing keys; decomposition: R;W each. *)
+  Alcotest.(check bool) "exclusive locks" true
+    (List.for_all (fun (_, m) -> m = Lock.Exclusive) (Decompose.plan w.db cmd));
+  Alcotest.(check int) "R;W per row" 6 (List.length (Decompose.elementary w.db cmd));
+  (* The range decomposition is state-dependent: deleting a row shrinks
+     it, inserting one grows it — the H1 phenomenon for scans. *)
+  ignore (Database.delete w.db ~table:"X" ~key:3);
+  Alcotest.(check int) "after delete" 4 (List.length (Decompose.elementary w.db cmd));
+  ignore (Database.write w.db ~table:"X" ~key:3 (Row.initial 1));
+  ignore (Database.write w.db ~table:"X" ~key:15 (Row.initial 1));
+  Alcotest.(check int) "key outside range ignored" 6 (List.length (Decompose.elementary w.db cmd))
+
+let test_exec_update_range () =
+  let w = make_world () in
+  let txn = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let result = ref None in
+  Ltm.exec w.ltm txn (Command.Update_range { table = "X"; lo = 0; hi = 3; delta = 5 })
+    ~on_done:(fun r -> result := Some r);
+  Engine.run w.engine;
+  (match !result with
+  | Some (Ltm.Done (Command.Count 4)) -> ()
+  | _ -> Alcotest.fail "expected Count 4");
+  Ltm.commit w.ltm txn ~on_done:ignore;
+  Engine.run w.engine;
+  for k = 0 to 3 do
+    Alcotest.(check int) "updated" 105 (Row.value (Option.get (Database.read w.db ~table:"X" ~key:k)))
+  done;
+  Alcotest.(check int) "untouched" 100 (Row.value (Option.get (Database.read w.db ~table:"X" ~key:4)))
+
+let test_decompose_plan_modes () =
+  let w = make_world () in
+  (match Decompose.plan w.db (sel [ 1; 2 ]) with
+  | [ (1, Lock.Shared); (2, Lock.Shared) ] -> ()
+  | _ -> Alcotest.fail "select plan");
+  match Decompose.plan w.db (upd 1 5) with
+  | [ (1, Lock.Exclusive) ] -> ()
+  | _ -> Alcotest.fail "update plan"
+
+(* ------------------------------------------------------------------ *)
+(* LTM lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_exec_commit () =
+  let w = make_world () in
+  let txn = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let result = ref None in
+  Ltm.exec w.ltm txn (upd 1 5) ~on_done:(fun r -> result := Some r);
+  Engine.run w.engine;
+  (match !result with
+  | Some (Ltm.Done (Command.Count 1)) -> ()
+  | _ -> Alcotest.fail "expected Count 1");
+  let committed = ref false in
+  Ltm.commit w.ltm txn ~on_done:(fun r -> committed := r = Ltm.Committed);
+  Engine.run w.engine;
+  Alcotest.(check bool) "committed" true !committed;
+  Alcotest.(check int) "value updated" 105 (Row.value (Option.get (Database.read w.db ~table:"X" ~key:1)))
+
+let test_abort_rolls_back () =
+  let w = make_world () in
+  let txn = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  Ltm.exec w.ltm txn (upd 1 5) ~on_done:ignore;
+  Engine.run w.engine;
+  Ltm.abort w.ltm txn;
+  Alcotest.(check int) "value restored" 100 (Row.value (Option.get (Database.read w.db ~table:"X" ~key:1)));
+  let refused = ref false in
+  Ltm.commit w.ltm txn ~on_done:(fun r -> refused := r <> Ltm.Committed);
+  Engine.run w.engine;
+  Alcotest.(check bool) "commit refused after abort" true !refused
+
+let test_unilateral_abort_uan () =
+  let w = make_world () in
+  let txn = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  Ltm.exec w.ltm txn (upd 1 5) ~on_done:ignore;
+  Engine.run w.engine;
+  let notified = ref false in
+  Ltm.set_uan txn (fun () -> notified := true);
+  Alcotest.(check bool) "alive before" true (Ltm.is_alive txn);
+  Alcotest.(check bool) "aborted" true (Ltm.unilateral_abort w.ltm txn);
+  Engine.run w.engine;
+  Alcotest.(check bool) "UAN delivered" true !notified;
+  Alcotest.(check bool) "not alive after" false (Ltm.is_alive txn);
+  Alcotest.(check bool) "second abort is a no-op" false (Ltm.unilateral_abort w.ltm txn)
+
+let test_lock_conflict_serializes () =
+  let w = make_world () in
+  let t1 = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let t2 = Ltm.begin_txn w.ltm ~owner:(ginc 2) in
+  let order = ref [] in
+  Ltm.exec w.ltm t1 (upd 1 5) ~on_done:(fun _ -> order := 1 :: !order);
+  Ltm.exec w.ltm t2 (upd 1 7) ~on_done:(fun _ -> order := 2 :: !order);
+  (* Run short of the lock timeout: t2 must still be waiting on t1's X
+     lock (strict 2PL holds it until commit). *)
+  Engine.run ~until:(Time.of_int 10_000) w.engine;
+  Alcotest.(check (list int)) "only t1 done" [ 1 ] (List.rev !order);
+  Ltm.commit w.ltm t1 ~on_done:ignore;
+  Engine.run w.engine;
+  Alcotest.(check (list int)) "t2 done after t1 commits" [ 1; 2 ] (List.rev !order);
+  Ltm.commit w.ltm t2 ~on_done:ignore;
+  Engine.run w.engine;
+  Alcotest.(check int) "both applied" 112 (Row.value (Option.get (Database.read w.db ~table:"X" ~key:1)))
+
+let test_lock_timeout_aborts () =
+  let config = { Ltm_config.default with Ltm_config.lock_timeout = 1_000 } in
+  let w = make_world ~config () in
+  let t1 = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let t2 = Ltm.begin_txn w.ltm ~owner:(ginc 2) in
+  Ltm.exec w.ltm t1 (upd 1 5) ~on_done:ignore;
+  let result = ref None in
+  Ltm.exec w.ltm t2 (upd 1 7) ~on_done:(fun r -> result := Some r);
+  (* t1 never commits; t2 must time out. *)
+  Engine.run w.engine;
+  match !result with
+  | Some (Ltm.Failed Ltm.Lock_timeout) -> ()
+  | _ -> Alcotest.fail "expected lock timeout"
+
+let test_deadlock_detection () =
+  let config = { Ltm_config.default with Ltm_config.deadlock = Ltm_config.Detection_and_timeout } in
+  let w = make_world ~config () in
+  let t1 = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let t2 = Ltm.begin_txn w.ltm ~owner:(ginc 2) in
+  let r1 = ref None and r2 = ref None in
+  (* t1 takes X(1), t2 takes X(2), then each wants the other's key. *)
+  Ltm.exec w.ltm t1 (upd 1 5) ~on_done:(fun _ ->
+      Ltm.exec w.ltm t1 (upd 2 5) ~on_done:(fun r -> r1 := Some r));
+  Ltm.exec w.ltm t2 (upd 2 7) ~on_done:(fun _ ->
+      Ltm.exec w.ltm t2 (upd 1 7) ~on_done:(fun r -> r2 := Some r));
+  Engine.run w.engine;
+  let is_deadlock = function Some (Ltm.Failed Ltm.Deadlock_victim) -> true | _ -> false in
+  let is_done r = match r with Some (Ltm.Done _) -> true | _ -> false in
+  Alcotest.(check bool) "one victim" true (is_deadlock !r1 || is_deadlock !r2);
+  (* The survivor proceeds once the victim's locks are released. *)
+  Alcotest.(check bool) "one survivor" true (is_done !r1 || is_done !r2)
+
+let test_wait_die () =
+  let config = { Ltm_config.default with Ltm_config.deadlock = Ltm_config.Wait_die } in
+  let w = make_world ~config () in
+  let old_txn = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let young = Ltm.begin_txn w.ltm ~owner:(ginc 2) in
+  let r_young = ref None and r_old = ref None in
+  (* The older transaction holds key 1; the younger requester dies. *)
+  Ltm.exec w.ltm old_txn (upd 1 5) ~on_done:ignore;
+  Ltm.exec w.ltm young (upd 1 7) ~on_done:(fun r -> r_young := Some r);
+  Engine.run ~until:(Time.of_int 10_000) w.engine;
+  (match !r_young with
+  | Some (Ltm.Failed Ltm.Deadlock_victim) -> ()
+  | _ -> Alcotest.fail "young requester must die");
+  (* The reverse: an older requester waits for a younger holder. *)
+  let young2 = Ltm.begin_txn w.ltm ~owner:(ginc 3) in
+  Ltm.exec w.ltm young2 (upd 2 5) ~on_done:ignore;
+  Engine.run ~until:(Time.of_int 20_000) w.engine;
+  Ltm.exec w.ltm old_txn (upd 2 7) ~on_done:(fun r -> r_old := Some r);
+  Engine.run ~until:(Time.of_int 30_000) w.engine;
+  Alcotest.(check bool) "older requester still waiting" true (!r_old = None);
+  Ltm.commit w.ltm young2 ~on_done:ignore;
+  Engine.run ~until:(Time.of_int 40_000) w.engine;
+  match !r_old with
+  | Some (Ltm.Done _) -> ()
+  | _ -> Alcotest.fail "older requester proceeds after the young holder commits"
+
+let test_wound_wait () =
+  let config = { Ltm_config.default with Ltm_config.deadlock = Ltm_config.Wound_wait } in
+  let w = make_world ~config () in
+  let old_txn = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let young = Ltm.begin_txn w.ltm ~owner:(ginc 2) in
+  let wounded = ref false and r_old = ref None in
+  Ltm.set_uan young (fun () -> wounded := true);
+  (* The younger transaction holds key 1; the older requester wounds it. *)
+  Ltm.exec w.ltm young (upd 1 5) ~on_done:ignore;
+  Engine.run ~until:(Time.of_int 5_000) w.engine;
+  Ltm.exec w.ltm old_txn (upd 1 7) ~on_done:(fun r -> r_old := Some r);
+  Engine.run ~until:(Time.of_int 20_000) w.engine;
+  Alcotest.(check bool) "young holder wounded (UAN fired)" true !wounded;
+  Alcotest.(check bool) "young holder dead" false (Ltm.is_active young);
+  (match !r_old with
+  | Some (Ltm.Done _) -> ()
+  | _ -> Alcotest.fail "older requester proceeds after wounding");
+  (* Rollback of the wounded holder happened before the wound-winner's
+     read: value is 100 + 7. *)
+  Ltm.commit w.ltm old_txn ~on_done:ignore;
+  Engine.run w.engine;
+  Alcotest.(check int) "no lost update" 107 (Row.value (Option.get (Database.read w.db ~table:"X" ~key:1)))
+
+(* ------------------------------------------------------------------ *)
+(* DLU                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dlu_denies_local_update () =
+  let w = make_world () in
+  Bound.bind (Ltm.bound_registry w.ltm) [ Item.make ~site:site0 ~table:"X" ~key:1 ];
+  let txn = Ltm.begin_txn w.ltm ~owner:(linc 1) in
+  let result = ref None in
+  Ltm.exec w.ltm txn (upd 1 5) ~on_done:(fun r -> result := Some r);
+  Engine.run w.engine;
+  (match !result with
+  | Some (Ltm.Failed Ltm.Dlu_denied) -> ()
+  | _ -> Alcotest.fail "expected DLU denial");
+  Alcotest.(check int) "denial counted" 1 (Bound.denials (Ltm.bound_registry w.ltm))
+
+let test_dlu_allows_local_read () =
+  let w = make_world () in
+  Bound.bind (Ltm.bound_registry w.ltm) [ Item.make ~site:site0 ~table:"X" ~key:1 ];
+  let txn = Ltm.begin_txn w.ltm ~owner:(linc 1) in
+  let result = ref None in
+  Ltm.exec w.ltm txn (sel [ 1 ]) ~on_done:(fun r -> result := Some r);
+  Engine.run w.engine;
+  match !result with
+  | Some (Ltm.Done (Command.Rows [ (1, 100) ])) -> ()
+  | _ -> Alcotest.fail "local read of bound data must succeed"
+
+let test_dlu_allows_global_update () =
+  let w = make_world () in
+  Bound.bind (Ltm.bound_registry w.ltm) [ Item.make ~site:site0 ~table:"X" ~key:1 ];
+  let txn = Ltm.begin_txn w.ltm ~owner:(ginc 1) in
+  let result = ref None in
+  Ltm.exec w.ltm txn (upd 1 5) ~on_done:(fun r -> result := Some r);
+  Engine.run w.engine;
+  match !result with
+  | Some (Ltm.Done (Command.Count 1)) -> ()
+  | _ -> Alcotest.fail "global update of bound data is not DLU's business"
+
+let test_dlu_block_mode () =
+  (* Block mode: the local write waits until the data are unbound, then
+     proceeds. *)
+  let config = { Ltm_config.default with Ltm_config.dlu = Ltm_config.Block } in
+  let w = make_world ~config () in
+  let item = Item.make ~site:site0 ~table:"X" ~key:1 in
+  Bound.bind (Ltm.bound_registry w.ltm) [ item ];
+  let txn = Ltm.begin_txn w.ltm ~owner:(linc 1) in
+  let result = ref None in
+  Ltm.exec w.ltm txn (upd 1 5) ~on_done:(fun r -> result := Some r);
+  Engine.run ~until:(Time.of_int 10_000) w.engine;
+  Alcotest.(check bool) "still waiting" true (!result = None);
+  Bound.unbind (Ltm.bound_registry w.ltm) [ item ];
+  Engine.run w.engine;
+  (match !result with
+  | Some (Ltm.Done (Command.Count 1)) -> ()
+  | _ -> Alcotest.fail "expected the blocked write to proceed after unbind");
+  (* And the budget: a permanently bound item eventually aborts. *)
+  let w2 = make_world ~config () in
+  Bound.bind (Ltm.bound_registry w2.ltm) [ item ];
+  let txn2 = Ltm.begin_txn w2.ltm ~owner:(linc 2) in
+  let result2 = ref None in
+  Ltm.exec w2.ltm txn2 (upd 1 5) ~on_done:(fun r -> result2 := Some r);
+  Engine.run w2.engine;
+  match !result2 with
+  | Some (Ltm.Failed Ltm.Dlu_denied) -> ()
+  | _ -> Alcotest.fail "expected budget-exhausted denial"
+
+let test_dlu_ignore_mode () =
+  let config = { Ltm_config.default with Ltm_config.dlu = Ltm_config.Ignore } in
+  let w = make_world ~config () in
+  Bound.bind (Ltm.bound_registry w.ltm) [ Item.make ~site:site0 ~table:"X" ~key:1 ];
+  let txn = Ltm.begin_txn w.ltm ~owner:(linc 1) in
+  let result = ref None in
+  Ltm.exec w.ltm txn (upd 1 5) ~on_done:(fun r -> result := Some r);
+  Engine.run w.engine;
+  match !result with
+  | Some (Ltm.Done _) -> ()
+  | _ -> Alcotest.fail "Ignore mode lets the violation through"
+
+let test_bound_refcount () =
+  let b = Bound.create () in
+  let item = Item.make ~site:site0 ~table:"X" ~key:1 in
+  Bound.bind b [ item ];
+  Bound.bind b [ item ];
+  Bound.unbind b [ item ];
+  Alcotest.(check bool) "still bound" true (Bound.is_bound b ~table:"X" ~key:1);
+  Bound.unbind b [ item ];
+  Alcotest.(check bool) "now free" false (Bound.is_bound b ~table:"X" ~key:1)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injector                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_injector_caps_aborts () =
+  let w = make_world () in
+  let rng = Rng.create ~seed:5 in
+  let config =
+    { Failure.disabled with Failure.p_active = 1.0; delay_mean = 10; max_per_victim = 2 }
+  in
+  let inj = Failure.attach ~engine:w.engine ~rng ~config w.ltm in
+  (* Same logical transaction begins 5 incarnations; at most 2 die. *)
+  for k = 0 to 4 do
+    let owner = Txn.Incarnation.make ~txn:(Txn.global 1) ~site:site0 ~inc:k in
+    let txn = Ltm.begin_txn w.ltm ~owner in
+    Ltm.exec w.ltm txn (upd (k mod 3) 1) ~on_done:ignore;
+    Engine.run w.engine;
+    if Ltm.is_alive txn then Ltm.commit w.ltm txn ~on_done:ignore;
+    Engine.run w.engine
+  done;
+  Alcotest.(check bool) "TW cap respected" true (Failure.injected inj <= 2)
+
+let test_site_crash_collective_abort () =
+  (* A crash aborts every live transaction at once (collective unilateral
+     abort, paper §1). *)
+  let w = make_world () in
+  let rng = Rng.create ~seed:5 in
+  let config = { Failure.disabled with Failure.crash_interval = 1_000; crash_horizon = 5_000 } in
+  let inj = Failure.attach ~engine:w.engine ~rng ~config w.ltm in
+  let txns = List.init 4 (fun n -> Ltm.begin_txn w.ltm ~owner:(ginc n)) in
+  List.iteri (fun i txn -> Ltm.exec w.ltm txn (upd i 1) ~on_done:ignore) txns;
+  Engine.run w.engine;
+  Alcotest.(check bool) "at least one crash" true (Failure.crash_count inj >= 1);
+  List.iter
+    (fun txn -> Alcotest.(check bool) "all victims aborted" false (Ltm.is_active txn))
+    txns;
+  (* Rollback happened: all values restored. *)
+  for k = 0 to 3 do
+    Alcotest.(check int) "restored" 100 (Row.value (Option.get (Database.read w.db ~table:"X" ~key:k)))
+  done
+
+let test_injector_spares_locals () =
+  let w = make_world () in
+  let rng = Rng.create ~seed:5 in
+  let config =
+    { Failure.disabled with Failure.p_active = 1.0; delay_mean = 10; max_per_victim = 10 }
+  in
+  let inj = Failure.attach ~engine:w.engine ~rng ~config w.ltm in
+  for n = 0 to 4 do
+    let txn = Ltm.begin_txn w.ltm ~owner:(linc n) in
+    Ltm.exec w.ltm txn (upd (n mod 3) 1) ~on_done:ignore;
+    Engine.run w.engine;
+    if Ltm.is_alive txn then Ltm.commit w.ltm txn ~on_done:ignore;
+    Engine.run w.engine
+  done;
+  Alcotest.(check int) "locals spared" 0 (Failure.injected inj)
+
+(* ------------------------------------------------------------------ *)
+(* The central property: S2PL yields rigorous histories                *)
+(* ------------------------------------------------------------------ *)
+
+(* Random concurrent transactions against one LTM; the recorded history
+   must be rigorous (and with the non-rigorous ablation, eventually not). *)
+let run_random_workload ~config ~seed ~n_txns =
+  let w = make_world ~config () in
+  let rng = Rng.create ~seed in
+  let rec client n =
+    if n < n_txns then begin
+      let txn = Ltm.begin_txn w.ltm ~owner:(ginc n) in
+      let n_cmds = 1 + Rng.int rng ~bound:3 in
+      let rec step i =
+        if i >= n_cmds then Ltm.commit w.ltm txn ~on_done:(fun _ -> client (n + 1))
+        else
+          let cmd =
+            if Rng.bool rng ~p:0.5 then sel [ Rng.int rng ~bound:5 ] else upd (Rng.int rng ~bound:5) 1
+          in
+          Ltm.exec w.ltm txn cmd ~on_done:(function
+            | Ltm.Done _ -> step (i + 1)
+            | Ltm.Failed _ -> client (n + 1))
+      in
+      step 0
+    end
+  in
+  (* Several interleaved clients with distinct txn id ranges. *)
+  let rec client2 base n =
+    if n < n_txns then begin
+      let txn = Ltm.begin_txn w.ltm ~owner:(ginc (base + n)) in
+      let cmd = if Rng.bool rng ~p:0.5 then sel [ Rng.int rng ~bound:5 ] else upd (Rng.int rng ~bound:5) 1 in
+      Ltm.exec w.ltm txn cmd ~on_done:(fun _ ->
+          if Ltm.is_alive txn then Ltm.commit w.ltm txn ~on_done:(fun _ -> client2 base (n + 1))
+          else client2 base (n + 1))
+    end
+  in
+  client 0;
+  client2 1000 0;
+  client2 2000 0;
+  Engine.run w.engine;
+  Trace.history w.trace
+
+let prop_s2pl_rigorous =
+  QCheck.Test.make ~name:"S2PL histories are rigorous" ~count:25
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let h = run_random_workload ~config:Ltm_config.default ~seed ~n_txns:15 in
+      Rigorous.is_rigorous (Hermes_history.Projection.ltm h site0))
+
+let test_nonrigorous_ablation () =
+  (* Releasing read locks early must eventually produce a non-rigorous
+     history on some seed. *)
+  let config = { Ltm_config.default with Ltm_config.rigorous = false } in
+  let found = ref false in
+  for seed = 0 to 30 do
+    if not !found then begin
+      let h = run_random_workload ~config ~seed ~n_txns:15 in
+      if not (Rigorous.is_rigorous (Hermes_history.Projection.ltm h site0)) then found := true
+    end
+  done;
+  Alcotest.(check bool) "ablation breaks rigorousness" true !found
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ltm"
+    [
+      ( "lock",
+        [
+          Alcotest.test_case "shared compatible" `Quick test_lock_shared_compatible;
+          Alcotest.test_case "exclusive blocks" `Quick test_lock_exclusive_blocks;
+          Alcotest.test_case "reacquire" `Quick test_lock_reacquire;
+          Alcotest.test_case "upgrade sole holder" `Quick test_lock_upgrade_sole_holder;
+          Alcotest.test_case "upgrade waits" `Quick test_lock_upgrade_waits;
+          Alcotest.test_case "FIFO no overtaking" `Quick test_lock_fifo_no_overtaking;
+          Alcotest.test_case "cancel waits" `Quick test_lock_cancel_waits;
+          Alcotest.test_case "blockers" `Quick test_lock_blockers;
+        ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "update of missing row" `Quick test_decompose_update_missing;
+          Alcotest.test_case "range select" `Quick test_decompose_select_range;
+          Alcotest.test_case "state dependence (H1)" `Quick test_decompose_state_dependence;
+          Alcotest.test_case "update range" `Quick test_decompose_update_range;
+          Alcotest.test_case "plan lock modes" `Quick test_decompose_plan_modes;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "exec + commit" `Quick test_exec_commit;
+          Alcotest.test_case "exec update range" `Quick test_exec_update_range;
+          Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+          Alcotest.test_case "unilateral abort + UAN" `Quick test_unilateral_abort_uan;
+          Alcotest.test_case "conflicts serialize" `Quick test_lock_conflict_serializes;
+          Alcotest.test_case "lock timeout" `Quick test_lock_timeout_aborts;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "wait-die" `Quick test_wait_die;
+          Alcotest.test_case "wound-wait" `Quick test_wound_wait;
+        ] );
+      ( "dlu",
+        [
+          Alcotest.test_case "denies local update" `Quick test_dlu_denies_local_update;
+          Alcotest.test_case "allows local read" `Quick test_dlu_allows_local_read;
+          Alcotest.test_case "allows global update" `Quick test_dlu_allows_global_update;
+          Alcotest.test_case "block mode" `Quick test_dlu_block_mode;
+          Alcotest.test_case "ignore mode" `Quick test_dlu_ignore_mode;
+          Alcotest.test_case "refcount" `Quick test_bound_refcount;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "TW cap" `Quick test_injector_caps_aborts;
+          Alcotest.test_case "site crash = collective abort" `Quick test_site_crash_collective_abort;
+          Alcotest.test_case "locals spared" `Quick test_injector_spares_locals;
+        ] );
+      ( "rigorousness",
+        [ q prop_s2pl_rigorous; Alcotest.test_case "non-rigorous ablation" `Quick test_nonrigorous_ablation ]
+      );
+    ]

@@ -1,0 +1,106 @@
+(* Tests for hermes.net: reliability, per-link FIFO, cross-link races. *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+module Message = Hermes_net.Message
+module Network = Hermes_net.Network
+
+let a = Site.of_int 0
+let b = Site.of_int 1
+
+let make ?(config = Network.default_config) ?(seed = 1) () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~rng:(Rng.create ~seed) ~config in
+  (engine, net)
+
+let test_delivery () =
+  let engine, net = make () in
+  let got = ref None in
+  Network.register net (Message.Agent a) (fun m -> got := Some m);
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 Message.Begin;
+  Engine.run engine;
+  match !got with
+  | Some { Message.payload = Message.Begin; gid = 1; _ } -> ()
+  | _ -> Alcotest.fail "message not delivered"
+
+let test_per_link_fifo () =
+  (* Heavy jitter, many messages on one link: arrival order = send order. *)
+  let engine, net = make ~config:{ Network.base_delay = 100; jitter = 5_000 } () in
+  let got = ref [] in
+  Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
+  for i = 1 to 50 do
+    Network.send net ~src:(Message.Coordinator 7) ~dst:(Message.Agent a) ~gid:i Message.Begin
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "FIFO" (List.init 50 (fun i -> i + 1)) (List.rev !got)
+
+let test_cross_link_races_happen () =
+  (* Two senders to the same destination: with jitter, later sends can
+     arrive earlier — the §5.3 COMMIT-overtakes-PREPARE race. *)
+  let engine, net = make ~config:{ Network.base_delay = 100; jitter = 2_000 } ~seed:3 () in
+  let got = ref [] in
+  Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
+  let overtaken = ref false in
+  for i = 1 to 40 do
+    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:(2 * i) Message.Begin;
+    Network.send net ~src:(Message.Coordinator 2) ~dst:(Message.Agent a) ~gid:((2 * i) + 1) Message.Begin
+  done;
+  Engine.run engine;
+  (* If any odd gid (sent second in its pair) arrives before its even
+     partner, a race happened. *)
+  let arrival = List.rev !got in
+  List.iteri
+    (fun pos gid ->
+      if gid mod 2 = 1 then
+        let partner = gid - 1 in
+        let partner_pos = Option.get (List.find_index (Int.equal partner) arrival) in
+        if pos < partner_pos then overtaken := true)
+    arrival;
+  Alcotest.(check bool) "some cross-link overtaking" true !overtaken
+
+let test_no_handler_fails () =
+  let engine, net = make () in
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent b) ~gid:1 Message.Begin;
+  Alcotest.(check bool) "raises" true
+    (try
+       Engine.run engine;
+       false
+     with Failure _ -> true)
+
+let test_counters () =
+  let engine, net = make () in
+  Network.register net (Message.Agent a) ignore;
+  for _ = 1 to 5 do
+    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 Message.Ready
+  done;
+  Alcotest.(check int) "sent" 5 (Network.sent net);
+  Engine.run engine;
+  Alcotest.(check int) "delivered" 5 (Network.delivered net)
+
+let prop_fifo_always =
+  QCheck.Test.make ~name:"per-link FIFO holds for any seed/jitter" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 3000))
+    (fun (seed, jitter) ->
+      let engine, net = make ~config:{ Network.base_delay = 10; jitter } ~seed () in
+      let got = ref [] in
+      Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
+      for i = 1 to 20 do
+        Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i Message.Begin
+      done;
+      Engine.run engine;
+      List.rev !got = List.init 20 (fun i -> i + 1))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "net"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick test_delivery;
+          Alcotest.test_case "per-link FIFO" `Quick test_per_link_fifo;
+          Alcotest.test_case "cross-link races" `Quick test_cross_link_races_happen;
+          Alcotest.test_case "no handler" `Quick test_no_handler_fails;
+          Alcotest.test_case "counters" `Quick test_counters;
+          q prop_fifo_always;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for hermes.sim: the leftist-heap priority queue and the
+   discrete-event engine (ordering, determinism, timers, cancellation). *)
+
+open Hermes_kernel
+module Engine = Hermes_sim.Engine
+
+module Q = Hermes_sim.Pqueue.Make (struct
+  type t = int
+
+  let compare = Int.compare
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pq_basic () =
+  let q = Q.of_list [ 5; 1; 4; 1; 3 ] in
+  Alcotest.(check int) "size" 5 (Q.size q);
+  Alcotest.(check (option int)) "min" (Some 1) (Q.min q);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (Q.to_sorted_list q)
+
+let test_pq_empty () =
+  Alcotest.(check bool) "empty" true (Q.is_empty Q.empty);
+  Alcotest.(check (option int)) "min of empty" None (Q.min Q.empty);
+  Alcotest.(check bool) "pop of empty" true (Q.pop Q.empty = None)
+
+let prop_pq_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:300
+    QCheck.(list int)
+    (fun xs -> Q.to_sorted_list (Q.of_list xs) = List.sort Int.compare xs)
+
+let prop_pq_size =
+  QCheck.Test.make ~name:"pqueue size tracks inserts" ~count:300
+    QCheck.(list int)
+    (fun xs -> Q.size (Q.of_list xs) = List.length xs)
+
+let prop_pq_persistent =
+  QCheck.Test.make ~name:"pqueue is persistent (pop does not mutate)" ~count:100
+    QCheck.(list int)
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let q = Q.of_list xs in
+      let _ = Q.pop q in
+      Q.size q = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_unit e ~delay:30 (fun () -> log := 30 :: !log);
+  Engine.schedule_unit e ~delay:10 (fun () -> log := 10 :: !log);
+  Engine.schedule_unit e ~delay:20 (fun () -> log := 20 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Time.to_int (Engine.now e))
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule_unit e ~delay:5 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order breaks ties" (List.init 10 Fun.id) (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_unit e ~delay:10 (fun () ->
+      log := "a" :: !log;
+      Engine.schedule_unit e ~delay:5 (fun () -> log := "c" :: !log);
+      Engine.schedule_unit e ~delay:0 (fun () -> log := "b" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "final time" 15 (Time.to_int (Engine.now e))
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let t = Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Engine.schedule_unit e ~delay:5 (fun () -> Engine.cancel t);
+  Engine.run e;
+  Alcotest.(check bool) "cancelled timer does not fire" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Engine.schedule_unit e ~delay:10 tick
+  in
+  Engine.schedule_unit e ~delay:10 tick;
+  Engine.run ~until:(Time.of_int 100) e;
+  Alcotest.(check int) "ten ticks" 10 !count;
+  Alcotest.(check int) "clock advanced to limit" 100 (Time.to_int (Engine.now e))
+
+let test_engine_halt () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule_unit e ~delay:10 (fun () ->
+        incr count;
+        if !count = 3 then Engine.halt e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "halted after third" 3 !count
+
+let test_engine_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule_unit e ~delay:(-1) (fun () -> ()))
+
+let test_engine_livelock_guard () =
+  let e = Engine.create () in
+  let rec spin () = Engine.schedule_unit e ~delay:0 spin in
+  Engine.schedule_unit e ~delay:0 spin;
+  Alcotest.(check bool) "raises Stuck" true
+    (try
+       Engine.run ~max_events:1000 e;
+       false
+     with Engine.Stuck _ -> true)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"same schedule, same execution order" ~count:100
+    QCheck.(list (int_bound 50))
+    (fun delays ->
+      let exec delays =
+        let e = Engine.create () in
+        let log = ref [] in
+        List.iteri (fun i d -> Engine.schedule_unit e ~delay:d (fun () -> log := i :: !log)) delays;
+        Engine.run e;
+        List.rev !log
+      in
+      exec delays = exec delays)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "basics" `Quick test_pq_basic;
+          Alcotest.test_case "empty" `Quick test_pq_empty;
+          q prop_pq_sorts;
+          q prop_pq_size;
+          q prop_pq_persistent;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_order;
+          Alcotest.test_case "tie-break by scheduling order" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "cancellation" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "halt" `Quick test_engine_halt;
+          Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay;
+          Alcotest.test_case "livelock guard" `Quick test_engine_livelock_guard;
+          q prop_engine_deterministic;
+        ] );
+    ]

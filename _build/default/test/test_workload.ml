@@ -1,0 +1,237 @@
+(* Tests for hermes.workload: Zipf sampling, program generation, stats and
+   the end-to-end driver. *)
+
+open Hermes_kernel
+open Hermes_workload
+module Config = Hermes_core.Config
+module Program = Hermes_core.Program
+module Failure = Hermes_ltm.Failure
+module Cgm = Hermes_baselines.Cgm
+module Committed = Hermes_history.Committed
+module Anomaly = Hermes_history.Anomaly
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:10 ~theta:0.9 in
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let k = Zipf.sample z rng in
+    if k < 0 || k >= 10 then Alcotest.failf "out of bounds: %d" k
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:10 ~theta:1.2 in
+  let rng = Rng.create ~seed:2 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "key 0 hottest" true (counts.(0) > counts.(5));
+  Alcotest.(check bool) "markedly so" true (counts.(0) > 3 * counts.(9))
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:4 ~theta:0.0 in
+  let rng = Rng.create ~seed:3 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8_000 do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 1_500 && c < 2_500))
+    counts
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf stays in range" ~count:200
+    QCheck.(triple (int_range 1 50) (int_bound 1000) (int_bound 20))
+    (fun (n, seed, theta10) ->
+      let z = Zipf.create ~n ~theta:(float_of_int theta10 /. 10.0) in
+      let rng = Rng.create ~seed in
+      let k = Zipf.sample z rng in
+      0 <= k && k < n)
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let spec = { Spec.default with Spec.n_sites = 4; sites_per_txn = 2; ops_per_site = 3 }
+
+let test_generator_distinct_sites () =
+  let gen = Generator.create ~spec ~rng:(Rng.create ~seed:5) in
+  for _ = 1 to 50 do
+    let p = Generator.global_program gen in
+    let sites = Program.sites p in
+    Alcotest.(check int) "two sites" 2 (List.length sites);
+    Alcotest.(check int) "distinct" 2 (List.length (List.sort_uniq Site.compare sites))
+  done
+
+let test_generator_no_upgrades () =
+  (* Within one site's command list, no key is both read (by a select or a
+     range scan) and updated — the upgrade-deadlock trap. *)
+  let gen = Generator.create ~spec ~rng:(Rng.create ~seed:6) in
+  for _ = 1 to 200 do
+    let p = Generator.global_program gen in
+    List.iter
+      (fun site ->
+        let cmds = Program.commands_at p site in
+        let read_keys =
+          List.concat_map
+            (function
+              | Command.Select { table; keys } -> List.map (fun k -> (table, k)) keys
+              | Command.Select_range { table; lo; hi } -> List.init (hi - lo + 1) (fun i -> (table, lo + i))
+              | _ -> [])
+            cmds
+        in
+        let write_keys =
+          List.filter_map
+            (function Command.Update { table; key; _ } -> Some (table, key) | _ -> None)
+            cmds
+        in
+        Alcotest.(check int) "distinct write targets"
+          (List.length write_keys)
+          (List.length (List.sort_uniq compare write_keys));
+        List.iter
+          (fun wk ->
+            Alcotest.(check bool)
+              (Fmt.str "written key %s/%d never read first" (fst wk) (snd wk))
+              false
+              (List.exists (( = ) wk) read_keys))
+          write_keys)
+      (Program.sites p)
+  done
+
+let test_generator_partitioned_locals () =
+  let gen = Generator.create ~spec:{ spec with Spec.local_write_ratio = 1.0 } ~rng:(Rng.create ~seed:7) in
+  for _ = 1 to 50 do
+    List.iter
+      (function
+        | Command.Update { table; _ } ->
+            Alcotest.(check string) "writes confined" Generator.local_partition_table table
+        | Command.Select _ -> ()
+        | c -> Alcotest.failf "unexpected %a" Command.pp c)
+      (Generator.local_commands ~partitioned:true gen)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_summary () =
+  let s = Stats.create () in
+  List.iter
+    (fun l -> Stats.record_latency s ~started:Time.zero ~finished:(Time.of_int l))
+    [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+  let sum = Stats.latency_summary s in
+  Alcotest.(check bool) "mean" true (abs_float (sum.Stats.mean -. 55.0) < 0.001);
+  Alcotest.(check int) "p50" 60 sum.Stats.p50;
+  Alcotest.(check int) "max" 100 sum.Stats.max
+
+let test_abort_rate () =
+  let s = Stats.create () in
+  s.Stats.attempts <- 10;
+  s.Stats.committed <- 8;
+  Alcotest.(check bool) "rate" true (abs_float (Stats.abort_rate s -. 0.2) < 0.001)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_driver_completes_quota () =
+  let r =
+    Driver.run
+      { Driver.default_setup with Driver.spec = { Spec.default with Spec.n_global = 30 }; seed = 9 }
+  in
+  Alcotest.(check int) "quota done" 30 (r.Driver.stats.Stats.committed + r.Driver.stats.Stats.aborted_final);
+  Alcotest.(check int) "nothing stuck" 0 r.Driver.stuck;
+  Alcotest.(check bool) "failure-free: all commit" true (r.Driver.stats.Stats.committed = 30)
+
+let test_driver_deterministic () =
+  let setup = { Driver.default_setup with Driver.failure = Failure.prepared_rate 0.2; seed = 12 } in
+  let r1 = Driver.run setup and r2 = Driver.run setup in
+  Alcotest.(check int) "same commits" r1.Driver.stats.Stats.committed r2.Driver.stats.Stats.committed;
+  Alcotest.(check int) "same events" r1.Driver.events r2.Driver.events;
+  Alcotest.(check int) "same sim time" r1.Driver.sim_ticks r2.Driver.sim_ticks
+
+let test_driver_full_certifier_clean_under_failures () =
+  let r =
+    Driver.run
+      {
+        Driver.default_setup with
+        Driver.failure = Failure.prepared_rate 0.3;
+        seed = 13;
+        spec = { Spec.default with Spec.n_global = 60; zipf_theta = 0.9; keys_per_site = 10 };
+      }
+  in
+  let c = Committed.extended r.Driver.history in
+  Alcotest.(check bool) "resubmissions happened" true (r.Driver.totals.Hermes_core.Dtm.resubmissions > 0);
+  Alcotest.(check (list string)) "no distortions" []
+    (List.map (Fmt.str "%a" Anomaly.pp_global) (Anomaly.global_view_distortions c));
+  Alcotest.(check bool) "CG acyclic" true (Anomaly.commit_order_cycle c = None)
+
+let test_driver_cgm_protocol () =
+  let r =
+    Driver.run
+      {
+        Driver.default_setup with
+        Driver.protocol = Driver.Cgm_baseline Cgm.default_config;
+        seed = 14;
+        spec = { Spec.default with Spec.n_global = 30 };
+      }
+  in
+  Alcotest.(check int) "all commit" 30 r.Driver.stats.Stats.committed;
+  Alcotest.(check bool) "cgm stats present" true (r.Driver.cgm <> None)
+
+let test_driver_local_cap () =
+  let r =
+    Driver.run
+      {
+        Driver.default_setup with
+        Driver.seed = 15;
+        spec = { Spec.default with Spec.n_global = 20; local_mpl_per_site = 4; local_txn_cap = 25 };
+      }
+  in
+  let locals = r.Driver.stats.Stats.local_committed + r.Driver.stats.Stats.local_aborted in
+  Alcotest.(check bool) "cap respected" true (locals <= 25)
+
+let test_protocol_names () =
+  Alcotest.(check string) "2cm" "2CM" (Driver.protocol_name (Driver.Two_pca Config.full));
+  Alcotest.(check string) "naive" "naive" (Driver.protocol_name (Driver.Two_pca Config.naive));
+  Alcotest.(check string) "ticket" "ticket" (Driver.protocol_name (Driver.Two_pca Config.ticket));
+  Alcotest.(check string) "cgm" "CGM-site" (Driver.protocol_name (Driver.Cgm_baseline Cgm.default_config))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+          q prop_zipf_in_range;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "distinct sites" `Quick test_generator_distinct_sites;
+          Alcotest.test_case "no upgrade patterns" `Quick test_generator_no_upgrades;
+          Alcotest.test_case "partitioned locals" `Quick test_generator_partitioned_locals;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "latency summary" `Quick test_latency_summary;
+          Alcotest.test_case "abort rate" `Quick test_abort_rate;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "completes quota" `Quick test_driver_completes_quota;
+          Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+          Alcotest.test_case "clean under failures" `Quick test_driver_full_certifier_clean_under_failures;
+          Alcotest.test_case "CGM protocol" `Quick test_driver_cgm_protocol;
+          Alcotest.test_case "local cap" `Quick test_driver_local_cap;
+          Alcotest.test_case "protocol names" `Quick test_protocol_names;
+        ] );
+    ]
