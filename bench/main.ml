@@ -1,8 +1,11 @@
 (* The benchmark harness.
 
-   Part 1 regenerates every experiment table (E1..E8) — the paper has no
+   Part 1 regenerates every experiment table (E1..E12) — the paper has no
    quantitative tables of its own, so these operationalize its qualitative
    claims; the mapping is documented in DESIGN.md §3 and EXPERIMENTS.md.
+   The whole sweep runs with a shared metrics registry, summarized after
+   the tables (and the registry totals double as a sanity check that the
+   suite actually exercised the certifier paths).
 
    Part 2 runs Bechamel microbenchmarks (M1..M7) of the certifier's and
    substrate's hot operations: alive-interval certification, alive-table
@@ -158,6 +161,11 @@ let microbenchmarks () =
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let t0 = Unix.gettimeofday () in
-  List.iter Table_fmt.print (Experiment.all ~quick ());
+  let metrics = Hermes_obs.Registry.create () in
+  let seeds_of n = if quick then max 1 (n / 3) else n in
+  List.iter
+    (fun (_, table) -> Table_fmt.print (table ()))
+    (Experiment.tables ~seeds_of ~metrics ());
+  Hermes_harness.Obs_report.print ~title:"Suite metrics (all experiments)" metrics;
   microbenchmarks ();
   Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

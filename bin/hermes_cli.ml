@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E8)
+     hermes experiments -- print the experiment tables (E1..E12)
 
    All simulations are deterministic in the seed. *)
 
@@ -21,12 +21,55 @@ module Table_fmt = Hermes_harness.Table_fmt
 module Report = Hermes_history.Report
 module History = Hermes_history.History
 module Committed = Hermes_history.Committed
+module Obs = Hermes_obs.Obs
+module Registry = Hermes_obs.Registry
+module Tracer = Hermes_obs.Tracer
+module Obs_report = Hermes_harness.Obs_report
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (runs are deterministic).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry to $(docv): JSON, or CSV when $(docv) ends in $(b,.csv).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured event trace to $(docv): JSON lines, or CSV when $(docv) ends in $(b,.csv).")
+
+let metrics_summary_arg =
+  Arg.(value & flag & info [ "metrics-summary" ] ~doc:"Print an ASCII summary table of the collected metrics.")
+
+(* An Obs context if any observability output was requested, else None
+   (instrumentation then costs nothing). *)
+let obs_of_flags ~metrics_out ~trace_out ~summary =
+  if metrics_out <> None || trace_out <> None || summary then Some (Obs.create ()) else None
+
+let write_obs_outputs obs ~metrics_out ~trace_out ~summary =
+  match obs with
+  | None -> ()
+  | Some o ->
+      if summary then Obs_report.print (Obs.metrics o);
+      Option.iter
+        (fun path ->
+          Obs.write_metrics o path;
+          Fmt.pr "metrics written to %s@." path)
+        metrics_out;
+      Option.iter
+        (fun path ->
+          Obs.write_trace o path;
+          Fmt.pr "trace written to %s (%d events)@." path (Tracer.length (Obs.trace o)))
+        trace_out
 
 (* Structured logging: components emit on the hermes.* sources (agent,
    coordinator, ltm, net); every message carries the simulated time. *)
@@ -95,12 +138,14 @@ let run_cmd =
       & opt (some string) None
       & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
   in
-  let run () certifier cgm sites globals mpl failure_p jitter drift theta seed verbose dump =
+  let run () certifier cgm sites globals mpl failure_p jitter drift theta seed verbose dump metrics_out
+      trace_out metrics_summary =
     let protocol =
       match cgm with
       | Some granularity -> Driver.Cgm_baseline { Cgm.default_config with Cgm.granularity }
       | None -> Driver.Two_pca certifier
     in
+    let obs = obs_of_flags ~metrics_out ~trace_out ~summary:metrics_summary in
     let setup =
       {
         Driver.default_setup with
@@ -111,14 +156,15 @@ let run_cmd =
           (fun i -> Hermes_kernel.Clock.make ~offset:(if i mod 2 = 0 then drift else -drift) ());
         seed;
         spec = { Spec.default with Spec.n_sites = sites; n_global = globals; global_mpl = mpl; zipf_theta = theta };
+        obs;
       }
     in
     let r = Driver.run setup in
     let s = r.Driver.stats in
     Fmt.pr "protocol: %s, seed %d@." (Driver.protocol_name protocol) seed;
-    Fmt.pr "global txns: %d committed, %d gave up, %d retries, %d stuck@." s.Stats.committed
-      s.Stats.aborted_final s.Stats.retries r.Driver.stuck;
-    Fmt.pr "local txns: %d committed, %d aborted@." s.Stats.local_committed s.Stats.local_aborted;
+    Fmt.pr "global txns: %d committed, %d gave up, %d retries, %d stuck@." (Stats.committed s)
+      (Stats.aborted_final s) (Stats.retries s) r.Driver.stuck;
+    Fmt.pr "local txns: %d committed, %d aborted@." (Stats.local_committed s) (Stats.local_aborted s);
     let lat = Stats.latency_summary s in
     Fmt.pr "latency: mean %.1fms, p50 %.1fms, p95 %.1fms@." (lat.Stats.mean /. 1000.0)
       (float_of_int lat.Stats.p50 /. 1000.0)
@@ -140,13 +186,14 @@ let run_cmd =
         Hermes_history.Serial_format.to_file r.Driver.history path;
         Fmt.pr "history written to %s (%d operations)@." path (History.length r.Driver.history)
     | None -> ());
+    write_obs_outputs obs ~metrics_out ~trace_out ~summary:metrics_summary;
     Fmt.pr "@.%a@." Report.pp (Report.analyze r.Driver.history);
     if Report.serializable (Report.analyze r.Driver.history) then 0 else 1
   in
   let term =
     Term.(
       const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drift
-      $ theta $ seed_arg $ verbose $ dump)
+      $ theta $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -164,24 +211,30 @@ let scenario_cmd =
       & info [] ~docv:"SCENARIO" ~doc:"One of $(b,h1), $(b,h2), $(b,h3), $(b,overtake).")
   in
   let jitter = Arg.(value & opt int 8_000 & info [ "jitter" ] ~doc:"Jitter for the overtake scenario.") in
-  let run () which certifier seed jitter =
+  let run () which certifier seed jitter metrics_out trace_out metrics_summary =
+    let obs = obs_of_flags ~metrics_out ~trace_out ~summary:metrics_summary in
     let show (r : Scenario.run) =
       List.iter (fun (l, o) -> Fmt.pr "%s: %a@." l Scenario.pp_outcome_opt o) r.Scenario.outcomes;
       List.iter (fun (l, ok) -> Fmt.pr "%s (local): %s@." l (if ok then "committed" else "failed")) r.Scenario.locals;
       Fmt.pr "@.committed projection:@.  %a@." History.pp_with_from (Committed.extended r.Scenario.history);
       Fmt.pr "@.%a@." Report.pp r.Scenario.report;
+      write_obs_outputs obs ~metrics_out ~trace_out ~summary:metrics_summary;
       if Report.serializable r.Scenario.report then 0 else 1
     in
     match which with
-    | `H1 -> show (Scenario.h1 ~certifier ~seed ())
-    | `H2 -> show (Scenario.h2 ~certifier ~seed ())
-    | `H3 -> show (Scenario.h3 ~certifier ~seed ())
+    | `H1 -> show (Scenario.h1 ~certifier ~seed ?obs ())
+    | `H2 -> show (Scenario.h2 ~certifier ~seed ?obs ())
+    | `H3 -> show (Scenario.h3 ~certifier ~seed ?obs ())
     | `Overtake ->
-        let r = Scenario.overtake ~certifier ~jitter ~seed () in
+        let r = Scenario.overtake ~certifier ?obs ~jitter ~seed () in
         Fmt.pr "overtaken: %b, extension refusals: %d@." r.Scenario.overtaken r.Scenario.extension_refusals;
         show r.Scenario.o_run
   in
-  let term = Term.(const run $ setup_logs $ which $ certifier_arg $ seed_arg $ jitter) in
+  let term =
+    Term.(
+      const run $ setup_logs $ which $ certifier_arg $ seed_arg $ jitter $ metrics_out_arg $ trace_out_arg
+      $ metrics_summary_arg)
+  in
   Cmd.v
     (Cmd.info "scenario"
        ~doc:"Replay a paper anomaly (H1/H2/H3/S5.3 overtake) through the protocol stack.")
@@ -194,7 +247,25 @@ let scenario_cmd =
 let verify_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A dumped history.") in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also print the committed projection.") in
-  let run () file verbose =
+  (* An offline report as a metrics dump, so verification results of many
+     histories can be collected the same way as run metrics. *)
+  let report_metrics (rep : Report.t) path =
+    let obs = Obs.create () in
+    let reg = Obs.metrics obs in
+    let c name v = Registry.Counter.add (Registry.counter reg name) v in
+    c "verify.ops" rep.Report.n_ops;
+    c "verify.txns_global" rep.Report.n_global;
+    c "verify.txns_local" rep.Report.n_local;
+    c "verify.rigorous_violations"
+      (List.fold_left (fun n (_, vs) -> n + List.length vs) 0 rep.Report.rigorous_violations);
+    c "verify.global_distortions" (List.length rep.Report.global_distortions);
+    c "verify.value_mismatches" (List.length rep.Report.value_mismatches);
+    Registry.Gauge.set (Registry.gauge reg "verify.serializable") (if Report.serializable rep then 1 else 0);
+    Registry.Gauge.set (Registry.gauge reg "verify.rigorous") (if Report.rigorous rep then 1 else 0);
+    Obs.write_metrics obs path;
+    Fmt.pr "metrics written to %s@." path
+  in
+  let run () file verbose metrics_out =
     match Hermes_history.Serial_format.of_file file with
     | exception Hermes_history.Serial_format.Parse_error (line, msg) ->
         Fmt.epr "%s:%d: %s@." file line msg;
@@ -205,9 +276,10 @@ let verify_cmd =
         if verbose then Fmt.pr "@.committed projection:@.%a@." History.pp_with_from (Committed.extended h);
         let rep = Report.analyze h in
         Fmt.pr "@.%a@." Report.pp rep;
+        Option.iter (report_metrics rep) metrics_out;
         if Report.serializable rep then 0 else 1
   in
-  let term = Term.(const run $ setup_logs $ file $ verbose) in
+  let term = Term.(const run $ setup_logs $ file $ verbose $ metrics_out_arg) in
   Cmd.v
     (Cmd.info "verify" ~doc:"Re-verify a dumped history offline (rigorousness, distortions, CG, VSR).")
     term
@@ -218,30 +290,34 @@ let verify_cmd =
 
 let experiments_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Fewer seeds per cell.") in
-  let only =
+  let seeds =
     Arg.(
       value
-      & opt (some (enum (List.init 8 (fun i -> (Fmt.str "e%d" (i + 1), i + 1))))) None
-      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e8)).")
+      & opt (some int) None
+      & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
-  let run () quick only =
-    let tables =
-      match only with
-      | None -> Experiment.all ~quick ()
-      | Some 1 -> [ Experiment.e1_global_view_distortion () ]
-      | Some 2 -> [ Experiment.e2_local_view_distortion () ]
-      | Some 3 -> [ Experiment.e3_indirect_distortion () ]
-      | Some 4 -> [ Experiment.e4_overtaking () ]
-      | Some 5 -> [ Experiment.e5_restrictiveness () ]
-      | Some 6 -> [ Experiment.e6_failure_sweep () ]
-      | Some 7 -> [ Experiment.e7_clock_drift () ]
-      | Some _ -> [ Experiment.e8_commit_retry () ]
+  let only =
+    let names = List.init 12 (fun i -> Fmt.str "e%d" (i + 1)) in
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e12)).")
+  in
+  let run () quick seeds only metrics_out metrics_summary =
+    let obs = obs_of_flags ~metrics_out ~trace_out:None ~summary:metrics_summary in
+    let seeds_of default =
+      match seeds with Some n -> n | None -> if quick then max 1 (default / 3) else default
     in
-    List.iter Table_fmt.print tables;
+    let tables = Experiment.tables ~seeds_of ?metrics:(Option.map Obs.metrics obs) () in
+    let tables =
+      match only with None -> tables | Some name -> List.filter (fun (n, _) -> n = name) tables
+    in
+    List.iter (fun (_, table) -> Table_fmt.print (table ())) tables;
+    write_obs_outputs obs ~metrics_out ~trace_out:None ~summary:metrics_summary;
     0
   in
-  let term = Term.(const run $ setup_logs $ quick $ only) in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E8).") term
+  let term = Term.(const run $ setup_logs $ quick $ seeds $ only $ metrics_out_arg $ metrics_summary_arg) in
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E12).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes fuzz                                                         *)
@@ -291,7 +367,7 @@ let fuzz_cmd =
       end
       else
         Fmt.pr "#%d ok: %d commits, %d resubmissions, %d ops verified@." i
-          r.Driver.stats.Stats.committed r.Driver.totals.Dtm.resubmissions
+          (Stats.committed r.Driver.stats) r.Driver.totals.Dtm.resubmissions
           (History.length r.Driver.history)
     done;
     if !failures = 0 then begin

@@ -37,6 +37,7 @@ let () =
       ~certifier:Config.full
       ~site_specs:
         (Array.make n_banks { Dtm.default_site_spec with Dtm.failure = Failure.prepared_rate 0.15 })
+      ()
   in
   let banks = Dtm.site_ids dtm in
   List.iter

@@ -35,6 +35,7 @@ let () =
       ~net_config:{ Hermes_net.Network.base_delay = 500; jitter = 0 }
       ~certifier:Config.full
       ~site_specs:(Array.make 2 Dtm.default_site_spec)
+      ()
   in
   let a = Site.of_int 0 and b = Site.of_int 1 in
   Dtm.load dtm a ~table:"accounts" ~key:1 ~value:1_000;

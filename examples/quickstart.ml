@@ -30,6 +30,7 @@ let () =
       ~certifier:Config.full
       ~site_specs:
         (Array.make 2 { Dtm.default_site_spec with Dtm.failure = Failure.prepared_rate 0.5 })
+      ()
   in
   let a = Site.of_int 0 and b = Site.of_int 1 in
 

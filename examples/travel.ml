@@ -40,6 +40,7 @@ let run ~name ~certifier ~seed =
   let dtm =
     Dtm.create ~engine ~rng ~trace ~net_config:Hermes_net.Network.default_config ~certifier
       ~site_specs:(Array.make 3 { Dtm.default_site_spec with Dtm.failure = Failure.prepared_rate 0.3 })
+      ()
   in
   for k = 0 to n_flights - 1 do
     Dtm.load dtm airline ~table:"seats" ~key:k ~value:50

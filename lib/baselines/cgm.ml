@@ -64,8 +64,8 @@ type t = {
   stats : stats;
 }
 
-let create ~engine ~rng ~trace ~net_config ~config ~site_specs =
-  let dtm = Dtm.create ~engine ~rng ~trace ~net_config ~certifier:Config.naive ~site_specs in
+let create ~engine ~rng ~trace ~net_config ~config ?obs ~site_specs () =
+  let dtm = Dtm.create ~engine ~rng ~trace ~net_config ~certifier:Config.naive ?obs ~site_specs () in
   {
     engine;
     dtm;

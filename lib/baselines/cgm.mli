@@ -35,7 +35,9 @@ val create :
   trace:Hermes_ltm.Trace.t ->
   net_config:Hermes_net.Network.config ->
   config:config ->
+  ?obs:Hermes_obs.Obs.t ->
   site_specs:Hermes_core.Dtm.site_spec array ->
+  unit ->
   t
 
 val dtm : t -> Hermes_core.Dtm.t

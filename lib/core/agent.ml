@@ -43,6 +43,10 @@ module Trace = Hermes_ltm.Trace
 module Op = Hermes_history.Op
 module Message = Hermes_net.Message
 module Network = Hermes_net.Network
+module Obs = Hermes_obs.Obs
+module Tracer = Hermes_obs.Tracer
+module Registry = Hermes_obs.Registry
+module Histogram = Hermes_obs.Histogram
 
 let src = Logs.Src.create "hermes.agent" ~doc:"2PC Agent / Certifier events"
 
@@ -62,6 +66,8 @@ type sub = {
   mutable committing : bool;  (* local commit in flight (makes duplicate COMMITs harmless) *)
   mutable cancelled : bool;  (* rollback/crash decided; ignore stragglers *)
   mutable decision_commit : bool;  (* COMMIT received, not yet performed *)
+  mutable decision_at : Time.t option;  (* when the first COMMIT arrived *)
+  mutable sn_retries : int;  (* commit-certification retries of this sub *)
   mutable alive_timer : Engine.timer option;
   mutable retry_timer : Engine.timer option;
 }
@@ -90,9 +96,11 @@ type t = {
   mutable subs : (int, sub) Hashtbl.t;  (* volatile *)
   mutable alive_table : Alive_table.t;  (* volatile *)
   stats : stats;
+  obs : Obs.t option;
+  commit_delay : Histogram.t option;  (* resolved once: decision-to-local-commit ticks *)
 }
 
-let create ~site ~engine ~ltm ~net ~trace ~config =
+let create ~site ~engine ~ltm ~net ~trace ?obs ~config () =
   {
     site;
     engine;
@@ -116,6 +124,9 @@ let create ~site ~engine ~ltm ~net ~trace ~config =
         crashes = 0;
         recovered = 0;
       };
+    obs;
+    commit_delay =
+      Option.map (fun o -> Registry.histogram (Obs.metrics o) ~site "agent.commit_delay") obs;
   }
 
 let address t = Message.Agent t.site
@@ -168,6 +179,8 @@ and attempt_resubmission t sub =
   if not sub.cancelled then begin
     t.stats.resubmissions <- t.stats.resubmissions + 1;
     sub.inc <- sub.inc + 1;
+    Obs.emit t.obs ~at:(now t) (fun () ->
+        Tracer.Resubmission { site = t.site; gid = sub.gid; inc = sub.inc });
     Log.debug (fun m ->
         m "[%a %a] resubmitting T%d as incarnation %d" Time.pp (now t) Site.pp t.site sub.gid sub.inc);
     Agent_log.note_incarnation sub.entry ~inc:sub.inc;
@@ -236,6 +249,14 @@ and try_commit t sub =
             m "[%a %a] commit certification holds T%d back (smaller SN prepared); retrying" Time.pp (now t)
               Site.pp t.site sub.gid);
         t.stats.commit_retries <- t.stats.commit_retries + 1;
+        sub.sn_retries <- sub.sn_retries + 1;
+        Obs.emit t.obs ~at:(now t) (fun () ->
+            match Alive_table.min_sn_blocker t.alive_table ~gid:sub.gid ~sn with
+            | Some b ->
+                Tracer.Commit_delayed
+                  { site = t.site; gid = sub.gid; sn; blocking_gid = b.Alive_table.gid;
+                    blocking_sn = b.Alive_table.sn }
+            | None -> Tracer.Commit_delayed { site = t.site; gid = sub.gid; sn; blocking_gid = sub.gid; blocking_sn = sn });
         cancel_timer sub.retry_timer;
         sub.retry_timer <-
           Some (Engine.schedule t.engine ~delay:t.config.Config.commit_retry_interval (fun () -> try_commit t sub))
@@ -253,6 +274,13 @@ and try_commit t sub =
               | Ltm.Committed ->
                   t.stats.local_commits <- t.stats.local_commits + 1;
                   sub.entry.Agent_log.locally_committed <- true;
+                  let waited =
+                    match sub.decision_at with Some d -> Time.diff (now t) d | None -> 0
+                  in
+                  (match t.commit_delay with Some h -> Histogram.record h waited | None -> ());
+                  Obs.emit t.obs ~at:(now t) (fun () ->
+                      Tracer.Commit_released
+                        { site = t.site; gid = sub.gid; waited; retries = sub.sn_retries });
                   reply t sub Message.Commit_ack;
                   cleanup t sub
               | Ltm.Commit_refused _ ->
@@ -273,9 +301,13 @@ let rec schedule_alive_check t sub =
       (Engine.schedule t.engine ~delay:t.config.Config.alive_check_interval (fun () ->
            if not sub.cancelled then begin
              (if sub.resubmitting then () (* a new interval starts when it completes *)
-              else if Ltm.is_alive sub.ltm_txn then
-                Alive_table.extend_interval t.alive_table ~gid:sub.gid ~hi:(now t)
-              else start_resubmission t sub);
+              else begin
+                let alive = Ltm.is_alive sub.ltm_txn in
+                Obs.emit t.obs ~at:(now t) (fun () ->
+                    Tracer.Alive_check { site = t.site; gid = sub.gid; alive });
+                if alive then Alive_table.extend_interval t.alive_table ~gid:sub.gid ~hi:(now t)
+                else start_resubmission t sub
+              end);
              schedule_alive_check t sub
            end))
 
@@ -298,6 +330,8 @@ let handle_begin t ~gid ~coordinator =
       committing = false;
       cancelled = false;
       decision_commit = false;
+      decision_at = None;
+      sn_retries = 0;
       alive_timer = None;
       retry_timer = None;
     }
@@ -335,7 +369,15 @@ let handle_prepare t sub sn =
     ||
     match Agent_log.max_committed_sn t.log with Some m -> Sn.(sn > m) | None -> true
   in
-  if not extension_ok then refuse t sub Message.Extension_refused
+  if not extension_ok then begin
+    Obs.emit t.obs ~at:(now t) (fun () ->
+        Tracer.Prepare_certification
+          { site = t.site; gid = sub.gid; sn;
+            verdict =
+              Tracer.Refused_extension
+                { committed_sn = Option.value ~default:sn (Agent_log.max_committed_sn t.log) } });
+    refuse t sub Message.Extension_refused
+  end
   else begin
     (* Basic prepare certification: refresh the table's intervals with an
        immediate alive check, then test the intersection rule. *)
@@ -351,14 +393,31 @@ let handle_prepare t sub sn =
     let interval_ok =
       (not t.config.Config.prepare_certification) || Alive_table.all_intersect t.alive_table candidate
     in
-    if not interval_ok then refuse t sub Message.Interval_refused
-    else if not (Ltm.is_alive sub.ltm_txn) then
+    if not interval_ok then begin
+      Obs.emit t.obs ~at:(now t) (fun () ->
+          let verdict =
+            match Alive_table.first_non_intersecting t.alive_table candidate with
+            | Some b ->
+                Tracer.Refused_interval
+                  { conflicting_gid = b.Alive_table.gid;
+                    conflicting = Alive_table.current_interval b; candidate }
+            | None -> Tracer.Refused_interval { conflicting_gid = sub.gid; conflicting = candidate; candidate }
+          in
+          Tracer.Prepare_certification { site = t.site; gid = sub.gid; sn; verdict });
+      refuse t sub Message.Interval_refused
+    end
+    else if not (Ltm.is_alive sub.ltm_txn) then begin
       (* CI(2): a unilaterally aborted subtransaction is never prepared. *)
+      Obs.emit t.obs ~at:(now t) (fun () ->
+          Tracer.Prepare_certification { site = t.site; gid = sub.gid; sn; verdict = Tracer.Refused_dead });
       refuse t sub Message.Dead_refused
+    end
     else begin
       (* Force write the prepare record; move to the prepared state. *)
       Log.debug (fun m -> m "[%a %a] READY T%d (sn %a)" Time.pp (now t) Site.pp t.site sub.gid Sn.pp sn);
       t.stats.prepared <- t.stats.prepared + 1;
+      Obs.emit t.obs ~at:(now t) (fun () ->
+          Tracer.Prepare_certification { site = t.site; gid = sub.gid; sn; verdict = Tracer.Ready });
       sub.state <- Prepared;
       Agent_log.force_prepare t.log sub.entry ~sn;
       Trace.record t.trace ~at:(now t) (Op.Prepare { txn = Txn.global sub.gid; site = t.site; sn = Some sn });
@@ -375,6 +434,7 @@ let handle_prepare t sub sn =
   end
 
 let handle_commit t sub =
+  if sub.decision_at = None then sub.decision_at <- Some (now t);
   sub.decision_commit <- true;
   try_commit t sub
 
@@ -445,6 +505,10 @@ let crash t =
         (List.length (Ltm.live_txns t.ltm))
         (Alive_table.size t.alive_table));
   t.stats.crashes <- t.stats.crashes + 1;
+  Obs.emit t.obs ~at:(now t) (fun () ->
+      Tracer.Site_crash
+        { site = t.site; live = List.length (Ltm.live_txns t.ltm);
+          prepared = Alive_table.size t.alive_table });
   Hashtbl.iter
     (fun _ sub ->
       if sub.state = Prepared then begin
@@ -476,6 +540,7 @@ let recover t =
   List.iter
     (fun (e : Agent_log.entry) ->
       t.stats.recovered <- t.stats.recovered + 1;
+      Obs.emit t.obs ~at:(now t) (fun () -> Tracer.Recovered { site = t.site; gid = e.Agent_log.gid });
       Log.info (fun m ->
           m "[%a %a] recovering in-doubt T%d from the Agent log%s" Time.pp (now t) Site.pp t.site
             e.Agent_log.gid
@@ -498,6 +563,8 @@ let recover t =
           committing = false;
           cancelled = false;
           decision_commit = e.Agent_log.committed;
+          decision_at = (if e.Agent_log.committed then Some (now t) else None);
+          sn_retries = 0;
           alive_timer = None;
           retry_timer = None;
         }

@@ -29,8 +29,13 @@ val create :
   ltm:Hermes_ltm.Ltm.t ->
   net:Hermes_net.Network.t ->
   trace:Hermes_ltm.Trace.t ->
+  ?obs:Hermes_obs.Obs.t ->
   config:Config.t ->
+  unit ->
   t
+(** [?obs] threads the observability context through: certifier decision
+    points emit {!Hermes_obs.Tracer} events and the decision-to-commit
+    delay is recorded in an [agent.commit_delay] histogram per site. *)
 
 val attach : t -> unit
 (** Register the agent's message handler with the network. *)

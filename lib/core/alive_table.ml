@@ -67,10 +67,26 @@ let all_intersect t candidate =
     (fun _ e acc -> acc && List.exists (Interval.intersects candidate) e.intervals)
     t.entries true
 
+(* Deterministic certification witnesses, for the event trace: which
+   entry refused the candidate / holds the commit back. *)
+let first_non_intersecting t candidate =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if List.exists (Interval.intersects candidate) e.intervals then acc
+      else match acc with Some b when b.gid < e.gid -> acc | _ -> Some e)
+    t.entries None
+
 (* Commit certification test (Appendix C): true iff every *other* entry
    has a bigger serial number than [sn]. *)
 let min_sn_holds t ~gid ~sn =
   Hashtbl.fold (fun _ e acc -> acc && (e.gid = gid || Sn.(e.sn > sn))) t.entries true
+
+let min_sn_blocker t ~gid ~sn =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if e.gid = gid || Sn.(e.sn > sn) then acc
+      else match acc with Some b when Sn.compare b.sn e.sn <= 0 -> acc | _ -> Some e)
+    t.entries None
 
 let pp ppf t =
   let pp_entry ppf e =

@@ -38,8 +38,16 @@ val all_intersect : t -> Interval.t -> bool
     for any stored interval, §4.2: decompositions are stable under CI and
     DLU, so past simultaneous aliveness proves future conflict-freeness). *)
 
+val first_non_intersecting : t -> Interval.t -> entry option
+(** A deterministic witness for a failed intersection rule: the
+    smallest-gid entry none of whose intervals meets the candidate. *)
+
 val min_sn_holds : t -> gid:int -> sn:Sn.t -> bool
 (** Commit certification test (Appendix C): does every *other* entry have
     a bigger serial number? *)
+
+val min_sn_blocker : t -> gid:int -> sn:Sn.t -> entry option
+(** A deterministic witness for a failed commit certification: the entry
+    with the smallest serial number below [sn]. *)
 
 val pp : t Fmt.t

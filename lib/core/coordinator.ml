@@ -23,6 +23,9 @@ module Trace = Hermes_ltm.Trace
 module Op = Hermes_history.Op
 module Message = Hermes_net.Message
 module Network = Hermes_net.Network
+module Obs = Hermes_obs.Obs
+module Registry = Hermes_obs.Registry
+module Histogram = Hermes_obs.Histogram
 
 let src = Logs.Src.create "hermes.coordinator" ~doc:"2PC Coordinator events"
 
@@ -65,6 +68,7 @@ type t = {
   gate : gate;
   program : Program.t;
   participants : Site.t list;
+  obs : Obs.t option;
   on_done : outcome -> unit;
   mutable phase : phase;
   mutable remaining_steps : (Site.t * Command.t) list;
@@ -127,6 +131,21 @@ let start_abort t reason =
 let finish t outcome =
   cancel_timer t.retransmit_timer;
   t.finished_at <- Engine.now t.engine;
+  (match t.obs with
+  | Some o ->
+      let m = Obs.metrics o in
+      let outcome_name =
+        match outcome with Committed -> "coord.committed" | Aborted _ -> "coord.aborted"
+      in
+      Registry.Counter.incr (Registry.counter m ~site:t.site outcome_name);
+      if t.retransmissions > 0 then
+        Registry.Counter.add
+          (Registry.counter m ~site:t.site "coord.retransmissions")
+          t.retransmissions;
+      Histogram.record
+        (Registry.histogram m ~site:t.site "coord.latency")
+        (Time.diff t.finished_at t.started_at)
+  | None -> ());
   Network.register t.net (address t) (fun (msg : Message.t) ->
       match msg.Message.payload with
       | Message.Commit_ack | Message.Rollback_ack -> ()
@@ -202,7 +221,7 @@ let handle t (msg : Message.t) =
   | _, payload ->
       Fmt.failwith "coordinator T%d: unexpected %a in current phase" t.gid Message.pp_payload payload
 
-let start ?(gate = open_gate) ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program ~on_done () =
+let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program ~on_done () =
   let t =
     {
       gid;
@@ -215,6 +234,7 @@ let start ?(gate = open_gate) ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~pr
       gate;
       program;
       participants = Program.sites program;
+      obs;
       on_done;
       phase = Executing;
       remaining_steps = Program.steps program;

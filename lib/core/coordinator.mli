@@ -28,6 +28,7 @@ type t
 
 val start :
   ?gate:gate ->
+  ?obs:Hermes_obs.Obs.t ->
   gid:int ->
   site:Site.t ->
   engine:Hermes_sim.Engine.t ->

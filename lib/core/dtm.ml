@@ -16,6 +16,8 @@ module Ltm = Hermes_ltm.Ltm
 module Failure = Hermes_ltm.Failure
 module Trace = Hermes_ltm.Trace
 module Network = Hermes_net.Network
+module Obs = Hermes_obs.Obs
+module Registry = Hermes_obs.Registry
 
 type site_spec = {
   ltm_config : Hermes_ltm.Ltm_config.t;
@@ -42,20 +44,21 @@ type t = {
   trace : Trace.t;
   net : Network.t;
   certifier : Config.t;
+  obs : Obs.t option;
   sites : site_ctx array;
   mutable next_gid : int;
   mutable submitted : int;
 }
 
-let create ~engine ~rng ~trace ~net_config ~certifier ~site_specs =
-  let net = Network.create ~engine ~rng:(Rng.split rng ~label:"net") ~config:net_config in
+let create ~engine ~rng ~trace ~net_config ~certifier ?obs ~site_specs () =
+  let net = Network.create ~engine ~rng:(Rng.split rng ~label:"net") ?obs ~config:net_config () in
   let sites =
     Array.mapi
       (fun i spec ->
         let site = Site.of_int i in
         let db = Database.create ~site in
-        let ltm = Ltm.create ~engine ~db ~config:spec.ltm_config ~trace in
-        let agent = Agent.create ~site ~engine ~ltm ~net ~trace ~config:certifier in
+        let ltm = Ltm.create ~engine ~db ~config:spec.ltm_config ~trace ?obs () in
+        let agent = Agent.create ~site ~engine ~ltm ~net ~trace ?obs ~config:certifier () in
         Agent.attach agent;
         let injector =
           Failure.attach ~engine
@@ -65,7 +68,7 @@ let create ~engine ~rng ~trace ~net_config ~certifier ~site_specs =
         { site; db; ltm; agent; clock = spec.clock; injector; sn_seq = 0 })
       site_specs
   in
-  { engine; rng; trace; net; certifier; sites; next_gid = 1; submitted = 0 }
+  { engine; rng; trace; net; certifier; obs; sites; next_gid = 1; submitted = 0 }
 
 let n_sites t = Array.length t.sites
 let site_ids t = Array.to_list (Array.map (fun c -> c.site) t.sites)
@@ -93,8 +96,8 @@ let submit ?gate t program ~on_done =
     match Program.sites program with s :: _ -> s | [] -> assert false (* Program.make forbids [] *)
   in
   ignore
-    (Coordinator.start ?gate ~gid ~site:coord_site ~engine:t.engine ~net:t.net ~trace:t.trace
-       ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program ~on_done ());
+    (Coordinator.start ?gate ?obs:t.obs ~gid ~site:coord_site ~engine:t.engine ~net:t.net
+       ~trace:t.trace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program ~on_done ());
   gid
 
 (* A site crash with instantaneous reboot: the collective unilateral abort
@@ -164,3 +167,35 @@ let totals t =
       dlu_denials = 0;
     }
     t.sites
+
+(* End-of-run export: fold the per-site LTM/agent/DLU counters and the
+   network totals into a metrics registry, one (name, site) series each.
+   Counters are get-or-create, so repeated exports into a shared registry
+   (e.g. one registry across a seed sweep) accumulate. *)
+let export_metrics t reg =
+  let c ~site name v = if v <> 0 then Registry.Counter.add (Registry.counter reg ~site name) v in
+  Array.iter
+    (fun ctx ->
+      let site = ctx.site in
+      let ls = Ltm.stats ctx.ltm in
+      c ~site "ltm.committed" ls.Ltm.committed;
+      c ~site "ltm.aborted" ls.Ltm.aborted;
+      c ~site "ltm.unilateral_aborts" ls.Ltm.unilateral_aborts;
+      c ~site "ltm.lock_timeouts" ls.Ltm.lock_timeouts;
+      c ~site "ltm.deadlock_victims" ls.Ltm.deadlock_victims;
+      let ags = Agent.stats ctx.agent in
+      c ~site "agent.prepared" ags.Agent.prepared;
+      c ~site "agent.refused_extension" ags.Agent.refused_extension;
+      c ~site "agent.refused_interval" ags.Agent.refused_interval;
+      c ~site "agent.refused_dead" ags.Agent.refused_dead;
+      c ~site "agent.resubmissions" ags.Agent.resubmissions;
+      c ~site "agent.commit_retries" ags.Agent.commit_retries;
+      c ~site "agent.local_commits" ags.Agent.local_commits;
+      c ~site "agent.rollbacks" ags.Agent.rollbacks;
+      c ~site "agent.crashes" ags.Agent.crashes;
+      c ~site "agent.recovered" ags.Agent.recovered;
+      c ~site "dlu.denials" (Hermes_ltm.Bound.denials (Ltm.bound_registry ctx.ltm)))
+    t.sites;
+  let add name v = if v <> 0 then Registry.Counter.add (Registry.counter reg name) v in
+  add "net.sent" (Network.sent t.net);
+  add "net.delivered" (Network.delivered t.net)

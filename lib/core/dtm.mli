@@ -21,9 +21,13 @@ val create :
   trace:Hermes_ltm.Trace.t ->
   net_config:Hermes_net.Network.config ->
   certifier:Config.t ->
+  ?obs:Hermes_obs.Obs.t ->
   site_specs:site_spec array ->
+  unit ->
   t
-(** Site [i] of the array becomes {!Site.of_int}[ i]. *)
+(** Site [i] of the array becomes {!Site.of_int}[ i]. [?obs] is threaded
+    into every component — agents, LTMs, the network, coordinators — so
+    their decision points emit trace events and record histograms. *)
 
 val n_sites : t -> int
 val site_ids : t -> Site.t list
@@ -67,3 +71,8 @@ type totals = {
 }
 
 val totals : t -> totals
+
+val export_metrics : t -> Hermes_obs.Registry.t -> unit
+(** Fold the per-site LTM/agent/DLU counters and network totals into a
+    registry as [(name, site)] series — the end-of-run complement of the
+    live histograms and trace events. Accumulates on repeated export. *)

@@ -9,6 +9,10 @@
 
 open Hermes_kernel
 module T = Table_fmt
+module Obs = Hermes_obs.Obs
+module Registry = Hermes_obs.Registry
+module Histogram = Hermes_obs.Histogram
+module Tracer = Hermes_obs.Tracer
 module Config = Hermes_core.Config
 module Dtm = Hermes_core.Dtm
 module Coordinator = Hermes_core.Coordinator
@@ -21,6 +25,16 @@ module Report = Hermes_history.Report
 module Committed = Hermes_history.Committed
 module Anomaly = Hermes_history.Anomaly
 module View = Hermes_history.View
+
+(* Shared run parameters: one seed override for the whole suite (each
+   experiment keeps its own default) and an optional registry every run's
+   metrics are absorbed into. *)
+type params = { seeds : int option; metrics : Registry.t option }
+
+let default_params = { seeds = None; metrics = None }
+
+let absorb_into metrics obs =
+  match metrics with Some dst -> Registry.absorb dst (Obs.metrics obs) | None -> ()
 
 (* The certifier variants the scenario experiments compare. *)
 let scenario_configs =
@@ -44,11 +58,14 @@ let outcome_cell o =
   | Some (Coordinator.Aborted _) -> "aborted"
   | None -> "STUCK"
 
-let scenario_table ~title ~note ~scenario =
+let scenario_table ?metrics ~title ~note ~scenario () =
   let rows =
     List.map
       (fun (name, certifier) ->
-        let r : Scenario.run = scenario ~certifier in
+        let obs = Obs.create () in
+        let r : Scenario.run = scenario ~certifier ~obs in
+        absorb_into metrics obs;
+        let reg = Obs.metrics obs in
         let outcomes = List.map (fun (l, o) -> Fmt.str "%s %s" l (outcome_cell o)) r.Scenario.outcomes in
         let locals =
           List.map (fun (l, ok) -> Fmt.str "%s %s" l (if ok then "ok" else "failed")) r.Scenario.locals
@@ -60,48 +77,57 @@ let scenario_table ~title ~note ~scenario =
           T.i (List.length r.Scenario.report.Report.global_distortions);
           T.b (r.Scenario.report.Report.cg_cycle <> None);
           verdict r;
+          T.i (Tracer.length (Obs.trace obs));
+          T.i (Histogram.max_value (Registry.histogram_totals reg "agent.commit_delay"));
         ])
       scenario_configs
   in
   T.make ~title
-    ~headers:[ "certifier"; "outcomes"; "resubmits"; "global distortions"; "CG cycle"; "verdict" ]
+    ~headers:
+      [ "certifier"; "outcomes"; "resubmits"; "global distortions"; "CG cycle"; "verdict";
+        "trace events"; "max commit delay" ]
     ~notes:[ note ] rows
 
 (* E1 — history H1: global view distortion (paper §3, §4). *)
-let e1_global_view_distortion () =
-  scenario_table ~title:"E1  H1: global view distortion (paper S3/S4)"
+let e1_global_view_distortion ?metrics () =
+  scenario_table ?metrics ~title:"E1  H1: global view distortion (paper S3/S4)"
     ~note:
       "T1's prepared subtransaction is aborted after the global commit; T2 deletes Y^a and updates X^a. \
        Without basic prepare certification the resubmission gets another view/decomposition; 'commit cert \
        only' livelocks on this history (the basic certification is also a liveness mechanism)."
-    ~scenario:(fun ~certifier -> Scenario.h1 ~certifier ())
+    ~scenario:(fun ~certifier ~obs -> Scenario.h1 ~certifier ~obs ())
+    ()
 
 (* E2 — history H2: local view distortion, direct conflict (paper §5.1). *)
-let e2_local_view_distortion () =
-  scenario_table ~title:"E2  H2: local view distortion via a direct conflict (paper S5.1)"
+let e2_local_view_distortion ?metrics () =
+  scenario_table ?metrics ~title:"E2  H2: local view distortion via a direct conflict (paper S5.1)"
     ~note:
       "T3 reads Z^b from T1 while T1's subtransaction at a is still recovering; without commit \
        certification the local commits at a and b are in opposite orders and L4 reads an impossible view."
-    ~scenario:(fun ~certifier -> Scenario.h2 ~certifier ())
+    ~scenario:(fun ~certifier ~obs -> Scenario.h2 ~certifier ~obs ())
+    ()
 
 (* E3 — history H3: local view distortion through indirect conflicts only
    (paper §5.1): no prepare-order argument applies; the serial numbers
    carry the day. *)
-let e3_indirect_distortion () =
-  scenario_table ~title:"E3  H3: local view distortion via indirect conflicts only (paper S5.1)"
+let e3_indirect_distortion ?metrics () =
+  scenario_table ?metrics ~title:"E3  H3: local view distortion via indirect conflicts only (paper S5.1)"
     ~note:
       "T5 and T6 touch disjoint items; only local transactions connect them. Commit certification \
        (SN order) aligns the commit orders; the full certifier instead conservatively refuses T6."
-    ~scenario:(fun ~certifier -> Scenario.h3 ~certifier ())
+    ~scenario:(fun ~certifier ~obs -> Scenario.h3 ~certifier ~obs ())
+    ()
 
 (* E4 — the §5.3 COMMIT-overtakes-PREPARE race and the prepare
    certification extension. *)
-let e4_overtaking ?(seeds = 2_000) () =
+let e4_overtaking ?(seeds = 2_000) ?metrics () =
   let jitters = [ 4_000; 8_000; 16_000; 32_000 ] in
   let count certifier jitter =
     let races = ref 0 and cycles = ref 0 and refusals = ref 0 in
     for seed = 1 to seeds do
-      let r = Scenario.overtake ~certifier ~jitter ~seed () in
+      let obs = Obs.create () in
+      let r = Scenario.overtake ~certifier ~obs ~jitter ~seed () in
+      absorb_into metrics obs;
       if r.Scenario.overtaken then incr races;
       if r.Scenario.o_run.Scenario.report.Report.cg_cycle <> None then incr cycles;
       refusals := !refusals + r.Scenario.extension_refusals
@@ -142,9 +168,11 @@ type agg = {
   a_abort_rate : float;  (* failed attempts / attempts *)
   a_retries : float;
   a_throughput : float;
-  a_p95 : float;
-  a_refused_ext : float;
-  a_refused_int : float;
+  a_mean_latency : float;  (* registry-sourced: workload.commit_latency mean *)
+  a_p95 : float;  (* registry-sourced: workload.commit_latency p95 *)
+  a_refused_ext : float;  (* registry-sourced: agent.refused_extension *)
+  a_refused_int : float;  (* registry-sourced: agent.refused_interval *)
+  a_commit_retries : float;  (* registry-sourced: agent.commit_retries *)
   a_resub : float;
   a_distortion_runs : int;  (* runs with >= 1 global view distortion *)
   a_cycle_runs : int;  (* runs with a CG cycle *)
@@ -154,10 +182,23 @@ type agg = {
   a_dlu_denials : float;
 }
 
-let aggregate ~seeds ~setup_of =
-  let results = List.init seeds (fun i -> Driver.run (setup_of (i + 1))) in
+(* Every run gets its own observability context; the per-run registries
+   feed the certification/latency columns and are absorbed into [metrics]
+   so a whole sweep exports as one dump. *)
+let aggregate ?metrics ~seeds ~setup_of () =
+  let runs =
+    List.init seeds (fun i ->
+        let obs = Obs.create () in
+        let r = Driver.run { (setup_of (i + 1)) with Driver.obs = Some obs } in
+        absorb_into metrics obs;
+        (r, Obs.metrics obs))
+  in
+  let results = List.map fst runs in
+  let regs = List.map snd runs in
   let stats f = List.map f results in
   let count f = List.length (List.filter f results) in
+  let reg_counter name = avg_i (List.map (fun reg -> Registry.sum_counter reg name) regs) in
+  let reg_latency f = avg (List.map (fun reg -> f (Registry.histogram_totals reg "workload.commit_latency")) regs) in
   let analysis =
     List.map
       (fun (r : Driver.result) ->
@@ -166,13 +207,15 @@ let aggregate ~seeds ~setup_of =
       results
   in
   {
-    a_committed = avg_i (stats (fun r -> r.Driver.stats.Stats.committed));
+    a_committed = avg_i (stats (fun r -> Stats.committed r.Driver.stats));
     a_abort_rate = avg (stats (fun r -> Stats.abort_rate r.Driver.stats));
-    a_retries = avg_i (stats (fun r -> r.Driver.stats.Stats.retries));
+    a_retries = avg_i (stats (fun r -> Stats.retries r.Driver.stats));
     a_throughput = avg (stats (fun r -> r.Driver.throughput));
-    a_p95 = avg_i (stats (fun r -> (Stats.latency_summary r.Driver.stats).Stats.p95));
-    a_refused_ext = avg_i (stats (fun r -> r.Driver.totals.Dtm.refused_extension));
-    a_refused_int = avg_i (stats (fun r -> r.Driver.totals.Dtm.refused_interval));
+    a_mean_latency = reg_latency Histogram.mean;
+    a_p95 = reg_latency (fun h -> float_of_int (Histogram.percentile h 95));
+    a_refused_ext = reg_counter "agent.refused_extension";
+    a_refused_int = reg_counter "agent.refused_interval";
+    a_commit_retries = reg_counter "agent.commit_retries";
     a_resub = avg_i (stats (fun r -> r.Driver.totals.Dtm.resubmissions));
     a_distortion_runs = List.length (List.filter fst analysis);
     a_cycle_runs = List.length (List.filter snd analysis);
@@ -187,7 +230,7 @@ let aggregate ~seeds ~setup_of =
 (* E5 — §6 restrictiveness, failure-free: "in a failure-free situation
    [2CM] does not abort any transactions", vs CGM's coarse-granularity
    scheduling and the ticket scheme's forced total order. *)
-let e5_restrictiveness ?(seeds = 3) () =
+let e5_restrictiveness ?(seeds = 3) ?metrics () =
   let protocols =
     [
       ("2CM", Driver.Two_pca Config.full);
@@ -202,13 +245,15 @@ let e5_restrictiveness ?(seeds = 3) () =
         List.map
           (fun (name, protocol) ->
             let a =
-              aggregate ~seeds ~setup_of:(fun seed ->
+              aggregate ?metrics ~seeds
+                ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
                     Driver.protocol;
                     seed;
                     spec = { Spec.default with Spec.global_mpl = mpl; n_global = 120 };
                   })
+                ()
             in
             [
               T.i mpl; name; T.pct a.a_abort_rate; T.f1 a.a_retries; T.f1 a.a_throughput;
@@ -230,7 +275,7 @@ let e5_restrictiveness ?(seeds = 3) () =
 
 (* E6 — the failure sweep with ablations: which certification step stops
    which anomaly class. *)
-let e6_failure_sweep ?(seeds = 5) () =
+let e6_failure_sweep ?(seeds = 5) ?metrics () =
   let variants =
     [
       ("2CM (full)", Config.full);
@@ -259,7 +304,8 @@ let e6_failure_sweep ?(seeds = 5) () =
         List.map
           (fun (name, certifier) ->
             let a =
-              aggregate ~seeds ~setup_of:(fun seed ->
+              aggregate ?metrics ~seeds
+                ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
                     Driver.protocol = Driver.Two_pca certifier;
@@ -268,6 +314,7 @@ let e6_failure_sweep ?(seeds = 5) () =
                     spec;
                     time_limit = 30_000_000;
                   })
+                ()
             in
             [
               Fmt.str "%.2f" p; name; T.f1 a.a_committed; T.f1 a.a_resub;
@@ -297,13 +344,14 @@ let e6_failure_sweep ?(seeds = 5) () =
 
 (* E7 — §5.2: clock drift causes only unnecessary aborts, never
    incorrectness. *)
-let e7_clock_drift ?(seeds = 3) () =
+let e7_clock_drift ?(seeds = 3) ?metrics () =
   let spec = { Spec.default with Spec.n_global = 100; global_mpl = 6 } in
   let rows =
     List.map
       (fun drift ->
         let a =
-          aggregate ~seeds ~setup_of:(fun seed ->
+          aggregate ?metrics ~seeds
+            ~setup_of:(fun seed ->
               {
                 Driver.default_setup with
                 Driver.protocol = Driver.Two_pca Config.full;
@@ -313,6 +361,7 @@ let e7_clock_drift ?(seeds = 3) () =
                 seed;
                 spec;
               })
+            ()
         in
         [
           T.i drift; T.f1 a.a_committed; T.f1 a.a_refused_ext; T.f1 a.a_retries; T.pct a.a_abort_rate;
@@ -330,28 +379,28 @@ let e7_clock_drift ?(seeds = 3) () =
 
 (* E8 — Appendix C: commit-certification retry behaviour vs network
    jitter. *)
-let e8_commit_retry ?(seeds = 3) () =
+let e8_commit_retry ?(seeds = 3) ?metrics () =
   let spec = { Spec.default with Spec.n_global = 100; global_mpl = 8; zipf_theta = 0.9 } in
   let rows =
     List.map
       (fun jitter ->
-        let results =
-          List.init seeds (fun i ->
-              Driver.run
-                {
-                  Driver.default_setup with
-                  Driver.protocol = Driver.Two_pca Config.full;
-                  failure = Failure.prepared_rate 0.1;
-                  net = { Hermes_net.Network.base_delay = 500; jitter };
-                  seed = i + 1;
-                  spec;
-                })
+        let a =
+          aggregate ?metrics ~seeds
+            ~setup_of:(fun seed ->
+              {
+                Driver.default_setup with
+                Driver.protocol = Driver.Two_pca Config.full;
+                failure = Failure.prepared_rate 0.1;
+                net = { Hermes_net.Network.base_delay = 500; jitter };
+                seed;
+                spec;
+              })
+            ()
         in
-        let retries = avg_i (List.map (fun r -> r.Driver.totals.Dtm.commit_retries) results) in
-        let lat = avg (List.map (fun r -> (Stats.latency_summary r.Driver.stats).Stats.mean) results) in
-        let p95 = avg_i (List.map (fun r -> (Stats.latency_summary r.Driver.stats).Stats.p95) results) in
-        let committed = avg_i (List.map (fun r -> r.Driver.stats.Stats.committed) results) in
-        [ T.i jitter; T.f1 committed; T.f1 retries; T.f1 (lat /. 1000.0); T.f1 (p95 /. 1000.0) ])
+        [
+          T.i jitter; T.f1 a.a_committed; T.f1 a.a_commit_retries; T.f1 (a.a_mean_latency /. 1000.0);
+          T.f1 (a.a_p95 /. 1000.0);
+        ])
       [ 0; 1_000; 2_000; 4_000 ]
   in
   T.make ~title:(Fmt.str "E8  Commit-certification retries vs network jitter (Appendix C), %d seeds" seeds)
@@ -370,7 +419,7 @@ let e8_commit_retry ?(seeds = 3) () =
    older intervals can thus never admit a candidate the newest interval
    refuses. The experiment confirms the equivalence empirically: both
    variants must produce identical numbers. *)
-let e9_multi_interval ?(seeds = 5) () =
+let e9_multi_interval ?(seeds = 5) ?metrics () =
   let spec =
     {
       Spec.default with
@@ -388,7 +437,8 @@ let e9_multi_interval ?(seeds = 5) () =
         List.map
           (fun (name, certifier) ->
             let a =
-              aggregate ~seeds ~setup_of:(fun seed ->
+              aggregate ?metrics ~seeds
+                ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
                     Driver.protocol = Driver.Two_pca certifier;
@@ -396,6 +446,7 @@ let e9_multi_interval ?(seeds = 5) () =
                     seed;
                     spec;
                   })
+                ()
             in
             [
               Fmt.str "%.2f" p; name; T.f1 a.a_committed; T.f1 a.a_refused_int; T.f1 a.a_retries;
@@ -426,7 +477,7 @@ let e9_multi_interval ?(seeds = 5) () =
    mainframe that periodically crashes, site 1 a mid-range system with
    wait-for-graph deadlock detection, site 2 a fast system with single
    aborts; the certifier must keep the mix correct. *)
-let e10_heterogeneity ?(seeds = 5) () =
+let e10_heterogeneity ?(seeds = 5) ?metrics () =
   let module Ltm_config = Hermes_ltm.Ltm_config in
   let mainframe =
     {
@@ -458,7 +509,8 @@ let e10_heterogeneity ?(seeds = 5) () =
     List.map
       (fun (name, certifier) ->
         let a =
-          aggregate ~seeds ~setup_of:(fun seed ->
+          aggregate ?metrics ~seeds
+            ~setup_of:(fun seed ->
               {
                 Driver.default_setup with
                 Driver.protocol = Driver.Two_pca certifier;
@@ -466,6 +518,7 @@ let e10_heterogeneity ?(seeds = 5) () =
                 seed;
                 spec;
               })
+            ()
         in
         [
           name; T.f1 a.a_committed; T.f1 a.a_resub; T.pct a.a_abort_rate; T.f1 a.a_throughput;
@@ -492,7 +545,7 @@ let e10_heterogeneity ?(seeds = 5) () =
    make recovery after a *full* agent crash possible: in-doubt
    subtransactions are rebuilt by resubmission, coordinators retransmit
    unacknowledged decisions, and duplicates are answered idempotently. *)
-let e11_crash_recovery ?(seeds = 5) () =
+let e11_crash_recovery ?(seeds = 5) ?metrics () =
   let spec = { Spec.default with Spec.n_global = 80; global_mpl = 6 } in
   let schedule_of_crashes n =
     (* n crashes spread over the expected run, alternating sites. *)
@@ -504,7 +557,8 @@ let e11_crash_recovery ?(seeds = 5) () =
         List.map
           (fun (name, certifier) ->
             let a =
-              aggregate ~seeds ~setup_of:(fun seed ->
+              aggregate ?metrics ~seeds
+                ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
                     Driver.protocol = Driver.Two_pca certifier;
@@ -513,6 +567,7 @@ let e11_crash_recovery ?(seeds = 5) () =
                     seed;
                     spec;
                   })
+                ()
             in
             [
               T.i n_crashes; name; T.f1 a.a_committed; T.f1 a.a_resub; T.pct a.a_abort_rate;
@@ -539,7 +594,7 @@ let e11_crash_recovery ?(seeds = 5) () =
    own policy anyway. The certifier must stay correct over all of them —
    wounds are just unilateral aborts to it — while throughput and abort
    rates differ. *)
-let e12_deadlock_policies ?(seeds = 3) () =
+let e12_deadlock_policies ?(seeds = 3) ?metrics () =
   let module Ltm_config = Hermes_ltm.Ltm_config in
   let policies =
     [
@@ -566,15 +621,21 @@ let e12_deadlock_policies ?(seeds = 3) () =
       (fun (name, deadlock) ->
         let results =
           List.init seeds (fun i ->
-              Driver.run
-                {
-                  Driver.default_setup with
-                  Driver.protocol = Driver.Two_pca Config.full;
-                  failure = Failure.prepared_rate 0.05;
-                  ltm = { Ltm_config.default with Ltm_config.deadlock };
-                  seed = i + 1;
-                  spec;
-                })
+              let obs = Obs.create () in
+              let r =
+                Driver.run
+                  {
+                    Driver.default_setup with
+                    Driver.protocol = Driver.Two_pca Config.full;
+                    failure = Failure.prepared_rate 0.05;
+                    ltm = { Ltm_config.default with Ltm_config.deadlock };
+                    seed = i + 1;
+                    spec;
+                    obs = Some obs;
+                  }
+              in
+              absorb_into metrics obs;
+              r)
         in
         let avg_of f = avg_i (List.map f results) in
         let clean =
@@ -586,7 +647,7 @@ let e12_deadlock_policies ?(seeds = 3) () =
         in
         [
           name;
-          T.f1 (avg_of (fun r -> r.Driver.stats.Stats.committed));
+          T.f1 (avg_of (fun r -> Stats.committed r.Driver.stats));
           T.f1 (avg_of (fun r -> r.Driver.totals.Dtm.lock_timeouts));
           T.f1 (avg_of (fun r -> r.Driver.totals.Dtm.deadlock_victims));
           T.f1 (avg_of (fun r -> r.Driver.totals.Dtm.unilateral_aborts));
@@ -608,19 +669,32 @@ let e12_deadlock_policies ?(seeds = 3) () =
       ]
     rows
 
-let all ?(quick = false) () =
-  let seeds n = if quick then max 1 (n / 3) else n in
+(* The whole suite, with per-experiment seed defaults mapped through
+   [seeds_of] (the seed override or the quick-mode scaling). *)
+let tables ~seeds_of ?metrics () =
   [
-    e1_global_view_distortion ();
-    e2_local_view_distortion ();
-    e3_indirect_distortion ();
-    e4_overtaking ~seeds:(seeds 2_000) ();
-    e5_restrictiveness ~seeds:(seeds 3) ();
-    e6_failure_sweep ~seeds:(seeds 5) ();
-    e7_clock_drift ~seeds:(seeds 3) ();
-    e8_commit_retry ~seeds:(seeds 3) ();
-    e9_multi_interval ~seeds:(seeds 5) ();
-    e10_heterogeneity ~seeds:(seeds 5) ();
-    e11_crash_recovery ~seeds:(seeds 5) ();
-    e12_deadlock_policies ~seeds:(seeds 3) ();
+    ("e1", fun () -> e1_global_view_distortion ?metrics ());
+    ("e2", fun () -> e2_local_view_distortion ?metrics ());
+    ("e3", fun () -> e3_indirect_distortion ?metrics ());
+    ("e4", fun () -> e4_overtaking ~seeds:(seeds_of 2_000) ?metrics ());
+    ("e5", fun () -> e5_restrictiveness ~seeds:(seeds_of 3) ?metrics ());
+    ("e6", fun () -> e6_failure_sweep ~seeds:(seeds_of 5) ?metrics ());
+    ("e7", fun () -> e7_clock_drift ~seeds:(seeds_of 3) ?metrics ());
+    ("e8", fun () -> e8_commit_retry ~seeds:(seeds_of 3) ?metrics ());
+    ("e9", fun () -> e9_multi_interval ~seeds:(seeds_of 5) ?metrics ());
+    ("e10", fun () -> e10_heterogeneity ~seeds:(seeds_of 5) ?metrics ());
+    ("e11", fun () -> e11_crash_recovery ~seeds:(seeds_of 5) ?metrics ());
+    ("e12", fun () -> e12_deadlock_policies ~seeds:(seeds_of 3) ?metrics ());
   ]
+
+let run_all ?(params = default_params) () =
+  List.map
+    (fun (name, table) -> (name, table ()))
+    (tables
+       ~seeds_of:(fun default -> Option.value params.seeds ~default)
+       ?metrics:params.metrics ())
+
+let all ?(quick = false) () =
+  List.map
+    (fun (_, table) -> table ())
+    (tables ~seeds_of:(fun n -> if quick then max 1 (n / 3) else n) ())

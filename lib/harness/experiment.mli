@@ -4,50 +4,71 @@
     EXPERIMENTS.md). *)
 
 module T := Table_fmt
+module Registry := Hermes_obs.Registry
 
-val e1_global_view_distortion : unit -> T.t
+(** Shared run parameters for the suite: [seeds] overrides every
+    experiment's own default seed count; [metrics] is a registry every
+    run's metrics are absorbed into (one dump for a whole sweep). *)
+type params = { seeds : int option; metrics : Registry.t option }
+
+val default_params : params
+(** [{ seeds = None; metrics = None }] — per-experiment defaults, no
+    metrics collection. *)
+
+val run_all : ?params:params -> unit -> (string * T.t) list
+(** Every experiment, as [(short name, table)] — ["e1"] .. ["e12"]. *)
+
+val tables :
+  seeds_of:(int -> int) -> ?metrics:Registry.t -> unit -> (string * (unit -> T.t)) list
+(** The suite as named thunks, for running a subset: [seeds_of] maps each
+    experiment's default seed count to the one to use. Forcing a thunk
+    runs that experiment. *)
+
+val e1_global_view_distortion : ?metrics:Registry.t -> unit -> T.t
 (** H1 across certifier variants (paper §3/§4). *)
 
-val e2_local_view_distortion : unit -> T.t
+val e2_local_view_distortion : ?metrics:Registry.t -> unit -> T.t
 (** H2: direct-conflict local view distortion (§5.1). *)
 
-val e3_indirect_distortion : unit -> T.t
+val e3_indirect_distortion : ?metrics:Registry.t -> unit -> T.t
 (** H3: indirect-conflict local view distortion (§5.1). *)
 
-val e4_overtaking : ?seeds:int -> unit -> T.t
+val e4_overtaking : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** The §5.3 race vs network jitter; extension on/off. *)
 
-val e5_restrictiveness : ?seeds:int -> unit -> T.t
+val e5_restrictiveness : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** Failure-free abort rates and throughput: 2CM vs ticket vs CGM (§6). *)
 
-val e6_failure_sweep : ?seeds:int -> unit -> T.t
+val e6_failure_sweep : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** Unilateral-abort sweep with per-step ablations. *)
 
-val e7_clock_drift : ?seeds:int -> unit -> T.t
+val e7_clock_drift : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** §5.2: drift causes only unnecessary aborts. *)
 
-val e8_commit_retry : ?seeds:int -> unit -> T.t
+val e8_commit_retry : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** Appendix C: commit-certification retry behaviour vs jitter. *)
 
-val e9_multi_interval : ?seeds:int -> unit -> T.t
+val e9_multi_interval : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** The §4.2 "several intervals might be stored" suggestion vs the
     store-only-the-last baseline — a reproduction finding: they are
     provably (and measurably) equivalent, because the candidate's interval
     always ends at the checking moment. *)
 
-val e10_heterogeneity : ?seeds:int -> unit -> T.t
+val e10_heterogeneity : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** Heterogeneous LDBSs (different speeds, deadlock policies, clocks and
     failure behaviours, including site crashes) under one decentralized
     certifier. *)
 
-val e11_crash_recovery : ?seeds:int -> unit -> T.t
+val e11_crash_recovery : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** Full site crashes with Agent-log recovery: in-doubt subtransactions
     rebuilt by resubmission, decisions retransmitted, duplicates answered
     idempotently. *)
 
-val e12_deadlock_policies : ?seeds:int -> unit -> T.t
+val e12_deadlock_policies : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
 (** Timeout vs detection vs wait-die vs wound-wait local deadlock
     resolution under a hot-key workload; the certifier must stay correct
     over all of them. *)
 
 val all : ?quick:bool -> unit -> T.t list
+(** The tables of {!run_all} without names; [quick] divides each seed
+    default by 3 (back-compat convenience). *)

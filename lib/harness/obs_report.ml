@@ -1,0 +1,35 @@
+(* ASCII summary of a metrics registry, one row per (name, site) series.
+   The row order is the registry's deterministic export order, so the
+   printed table of a same-seed run never changes. *)
+
+module Registry = Hermes_obs.Registry
+module Histogram = Hermes_obs.Histogram
+module T = Table_fmt
+
+let site_cell = function None -> "-" | Some s -> string_of_int s
+
+let row (r : Registry.row) =
+  match r.Registry.value with
+  | Registry.Counter_value v ->
+      [ r.Registry.name; site_cell r.Registry.site; "counter"; "-"; T.i v; "-"; "-"; "-"; "-" ]
+  | Registry.Gauge_value { last; high_water } ->
+      [ r.Registry.name; site_cell r.Registry.site; "gauge"; "-"; T.i last; "-"; "-"; "-"; T.i high_water ]
+  | Registry.Histogram_value h ->
+      [
+        r.Registry.name;
+        site_cell r.Registry.site;
+        "histogram";
+        T.i (Histogram.count h);
+        T.i (Histogram.sum h);
+        T.f1 (Histogram.mean h);
+        T.i (Histogram.percentile h 50);
+        T.i (Histogram.percentile h 95);
+        T.i (Histogram.max_value h);
+      ]
+
+let table ?(title = "Metrics") reg =
+  T.make ~title
+    ~headers:[ "name"; "site"; "kind"; "count"; "sum/last"; "mean"; "p50"; "p95"; "max" ]
+    (List.map row (Registry.rows reg))
+
+let print ?title reg = T.print (table ?title reg)

@@ -1,0 +1,9 @@
+(** ASCII rendering of a metrics registry: one {!Table_fmt} row per
+    metric, in the registry's deterministic (name, site) order. *)
+
+val table : ?title:string -> Hermes_obs.Registry.t -> Table_fmt.t
+(** Columns: name, site, kind, count, sum/last, mean, p50, p95, max.
+    Counter rows show their value under [sum/last]; gauges show the last
+    value and the high-water mark under [max]. *)
+
+val print : ?title:string -> Hermes_obs.Registry.t -> unit

@@ -28,19 +28,20 @@ module Report = Hermes_history.Report
 let site_a = Site.of_int 0
 let site_b = Site.of_int 1
 
-type world = { engine : Engine.t; trace : Trace.t; dtm : Dtm.t }
+type world = { engine : Engine.t; trace : Trace.t; dtm : Dtm.t; obs : Hermes_obs.Obs.t option }
 
-let make_world ~certifier ~seed =
+let make_world ?obs ~certifier ~seed () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let trace = Trace.create () in
   let dtm =
     Dtm.create ~engine ~rng ~trace
       ~net_config:{ Network.base_delay = 500; jitter = 0 }
-      ~certifier
+      ~certifier ?obs
       ~site_specs:(Array.make 2 Dtm.default_site_spec)
+      ()
   in
-  { engine; trace; dtm }
+  { engine; trace; dtm; obs }
 
 (* The saboteur: unilaterally abort the subtransaction of global [gid] at
    [site], once per element of [graces], each strike [grace] ticks after
@@ -126,6 +127,7 @@ let pp_outcome_opt ppf = function
 let collect w ~name ~outcomes ~locals =
   Engine.run ~until:(Time.of_int 3_000_000) w.engine;
   Engine.halt w.engine;
+  Option.iter (fun o -> Dtm.export_metrics w.dtm (Hermes_obs.Obs.metrics o)) w.obs;
   let history = Dtm.history w.dtm in
   {
     name;
@@ -147,9 +149,9 @@ let collect w ~name ~outcomes ~locals =
    update — both faces of the H1 anomaly. *)
 (* ------------------------------------------------------------------ *)
 
-let h1 ?(certifier = Config.naive) ?(seed = 1) () =
+let h1 ?(certifier = Config.naive) ?(seed = 1) ?obs () =
   let certifier = { certifier with Config.resubmit_backoff = 5_000 } in
-  let w = make_world ~certifier ~seed in
+  let w = make_world ?obs ~certifier ~seed () in
   (* a: key 0 = X^a, key 1 = Y^a;  b: key 0 = Z^b *)
   Dtm.load w.dtm site_a ~table:"X" ~key:0 ~value:100;
   Dtm.load w.dtm site_a ~table:"X" ~key:1 ~value:200;
@@ -189,9 +191,9 @@ let h1 ?(certifier = Config.naive) ?(seed = 1) () =
    view no serial order can produce. *)
 (* ------------------------------------------------------------------ *)
 
-let h2 ?(certifier = Config.naive) ?(seed = 1) () =
+let h2 ?(certifier = Config.naive) ?(seed = 1) ?obs () =
   let certifier = { certifier with Config.resubmit_backoff = 20_000 } in
-  let w = make_world ~certifier ~seed in
+  let w = make_world ?obs ~certifier ~seed () in
   (* a: 0 = X^a, 1 = Y^a, 2 = Q^a;  b: 0 = Z^b *)
   Dtm.load w.dtm site_a ~table:"X" ~key:0 ~value:100;
   Dtm.load w.dtm site_a ~table:"X" ~key:1 ~value:200;
@@ -235,9 +237,9 @@ let h2 ?(certifier = Config.naive) ?(seed = 1) () =
    (because T5's recovery at a is slow) — jointly unserializable. *)
 (* ------------------------------------------------------------------ *)
 
-let h3 ?(certifier = Config.naive) ?(seed = 1) () =
+let h3 ?(certifier = Config.naive) ?(seed = 1) ?obs () =
   let certifier = { certifier with Config.resubmit_backoff = 30_000 } in
-  let w = make_world ~certifier ~seed in
+  let w = make_world ?obs ~certifier ~seed () in
   (* a: 0 = X^a, 2 = Y^a;  b: 1 = U^b, 3 = V^b *)
   Dtm.load w.dtm site_a ~table:"X" ~key:0 ~value:100;
   Dtm.load w.dtm site_a ~table:"X" ~key:2 ~value:200;
@@ -289,17 +291,18 @@ type overtake_result = {
   extension_refusals : int;
 }
 
-let overtake ?(certifier = Config.naive) ~jitter ~seed () =
+let overtake ?(certifier = Config.naive) ?obs ~jitter ~seed () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let trace = Trace.create () in
   let dtm =
     Dtm.create ~engine ~rng ~trace
       ~net_config:{ Network.base_delay = 500; jitter }
-      ~certifier
+      ~certifier ?obs
       ~site_specs:(Array.make 2 Dtm.default_site_spec)
+      ()
   in
-  let w = { engine; trace; dtm } in
+  let w = { engine; trace; dtm; obs } in
   List.iter (fun k -> Dtm.load w.dtm site_a ~table:"X" ~key:k ~value:0) [ 0; 2 ];
   List.iter (fun k -> Dtm.load w.dtm site_b ~table:"X" ~key:k ~value:0) [ 1; 3 ];
   let tj_outcome = ref None and tk_outcome = ref None in

@@ -22,15 +22,15 @@ type run = {
 
 val pp_outcome_opt : Coordinator.outcome option Fmt.t
 
-val h1 : ?certifier:Config.t -> ?seed:int -> unit -> run
+val h1 : ?certifier:Config.t -> ?seed:int -> ?obs:Hermes_obs.Obs.t -> unit -> run
 (** History H1 (paper §3): global view distortion — the resubmission reads
     X^a from T2 and loses the Y^a update from its decomposition. *)
 
-val h2 : ?certifier:Config.t -> ?seed:int -> unit -> run
+val h2 : ?certifier:Config.t -> ?seed:int -> ?obs:Hermes_obs.Obs.t -> unit -> run
 (** History H2 (paper §5.1): local view distortion through a direct
     T1–T3 conflict; L4 observes the impossible view. *)
 
-val h3 : ?certifier:Config.t -> ?seed:int -> unit -> run
+val h3 : ?certifier:Config.t -> ?seed:int -> ?obs:Hermes_obs.Obs.t -> unit -> run
 (** History H3 (paper §5.1): local view distortion through *indirect*
     conflicts only — T5 and T6 touch disjoint items. *)
 
@@ -42,5 +42,6 @@ type overtake_result = {
   extension_refusals : int;
 }
 
-val overtake : ?certifier:Config.t -> jitter:int -> seed:int -> unit -> overtake_result
+val overtake :
+  ?certifier:Config.t -> ?obs:Hermes_obs.Obs.t -> jitter:int -> seed:int -> unit -> overtake_result
 (** The §5.3 COMMIT-overtakes-PREPARE race; randomized — sweep seeds. *)

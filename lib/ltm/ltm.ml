@@ -28,6 +28,8 @@ open Hermes_kernel
 open Hermes_store
 module Op = Hermes_history.Op
 module Engine = Hermes_sim.Engine
+module Obs = Hermes_obs.Obs
+module Tracer = Hermes_obs.Tracer
 
 let src = Logs.Src.create "hermes.ltm" ~doc:"Local transaction manager events"
 
@@ -87,9 +89,10 @@ type t = {
   stats : stats;
   mutable on_begin : (txn -> unit) option;  (* failure-injector hook *)
   mutable on_held_open : (txn -> unit) option;  (* failure-injector hook *)
+  obs : Obs.t option;
 }
 
-let create ~engine ~db ~config ~trace =
+let create ~engine ~db ~config ~trace ?obs () =
   {
     engine;
     db;
@@ -111,6 +114,7 @@ let create ~engine ~db ~config ~trace =
       };
     on_begin = None;
     on_held_open = None;
+    obs;
   }
 
 let site t = Database.site t.db
@@ -186,6 +190,13 @@ let abort_internal t txn reason ~notify =
     | Unilateral -> t.stats.unilateral_aborts <- t.stats.unilateral_aborts + 1
     | Lock_timeout -> t.stats.lock_timeouts <- t.stats.lock_timeouts + 1
     | Deadlock_victim -> t.stats.deadlock_victims <- t.stats.deadlock_victims + 1
+    | Dlu_denied | Owner_abort -> ());
+    (match reason with
+    | Unilateral | Lock_timeout | Deadlock_victim ->
+        Obs.emit t.obs ~at:(Engine.now t.engine) (fun () ->
+            Tracer.Txn_aborted
+              { site = site t; owner = Fmt.str "%a" Txn.Incarnation.pp txn.owner;
+                reason = Fmt.str "%a" pp_abort_reason reason })
     | Dlu_denied | Owner_abort -> ());
     cancel_wait_timer txn;
     run_grants (Lock.cancel_waits t.locks ~owner:txn.id);
@@ -379,9 +390,14 @@ let exec t txn cmd ~on_done =
         | [] -> finish_ok ()
         | (key, mode) :: rest -> (
             let lkey = (table, key) in
+            let wait_started = Engine.now t.engine in
             let continue () =
               if txn.state = Active then begin
                 cancel_wait_timer txn;
+                Obs.emit t.obs ~at:(Engine.now t.engine) (fun () ->
+                    Tracer.Lock_wait
+                      { site = site t; owner = Fmt.str "%a" Txn.Incarnation.pp txn.owner; table; key;
+                        waited = Time.diff (Engine.now t.engine) wait_started });
                 acquire rest
               end
             in
@@ -405,14 +421,24 @@ let exec t txn cmd ~on_done =
                 (match t.config.Ltm_config.deadlock with
                 | Ltm_config.Timeout_only -> arm_timeout ()
                 | Ltm_config.Detection_and_timeout ->
-                    if Deadlock.would_deadlock t.locks ~waiter:txn.id ~key:lkey ~mode then
+                    if Deadlock.would_deadlock t.locks ~waiter:txn.id ~key:lkey ~mode then begin
+                      Obs.emit t.obs ~at:(Engine.now t.engine) (fun () ->
+                          Tracer.Deadlock_resolved
+                            { site = site t; victim = Fmt.str "%a" Txn.Incarnation.pp txn.owner;
+                              policy = "detection" });
                       abort_internal t txn Deadlock_victim ~notify:false
+                    end
                     else arm_timeout ()
                 | Ltm_config.Wait_die ->
                     (* Non-preemptive: a requester younger (bigger id,
                        begun later) than any conflicting holder dies. *)
-                    if List.exists (fun holder -> holder.id < txn.id) (conflicting_holders ()) then
+                    if List.exists (fun holder -> holder.id < txn.id) (conflicting_holders ()) then begin
+                      Obs.emit t.obs ~at:(Engine.now t.engine) (fun () ->
+                          Tracer.Deadlock_resolved
+                            { site = site t; victim = Fmt.str "%a" Txn.Incarnation.pp txn.owner;
+                              policy = "wait-die" });
                       abort_internal t txn Deadlock_victim ~notify:false
+                    end
                     else arm_timeout ()
                 | Ltm_config.Wound_wait ->
                     (* Preemptive: an older requester wounds every younger
@@ -420,7 +446,14 @@ let exec t txn cmd ~on_done =
                        goes through the unilateral path (UAN fires; a
                        wounded prepared subtransaction just resubmits). *)
                     List.iter
-                      (fun holder -> if holder.id > txn.id then ignore (unilateral_abort t holder))
+                      (fun holder ->
+                        if holder.id > txn.id then begin
+                          Obs.emit t.obs ~at:(Engine.now t.engine) (fun () ->
+                              Tracer.Deadlock_resolved
+                                { site = site t; victim = Fmt.str "%a" Txn.Incarnation.pp holder.owner;
+                                  policy = "wound-wait" });
+                          ignore (unilateral_abort t holder)
+                        end)
                       (conflicting_holders ());
                     arm_timeout ()))
       in

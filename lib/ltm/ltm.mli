@@ -34,7 +34,11 @@ val create :
   db:Hermes_store.Database.t ->
   config:Ltm_config.t ->
   trace:Trace.t ->
+  ?obs:Hermes_obs.Obs.t ->
+  unit ->
   t
+(** With [?obs], lock waits, deadlock resolutions and involuntary aborts
+    emit {!Hermes_obs.Tracer} events. *)
 
 val site : t -> Site.t
 val stats : t -> stats

@@ -8,6 +8,10 @@
 
 open Hermes_kernel
 module Engine = Hermes_sim.Engine
+module Obs = Hermes_obs.Obs
+module Tracer = Hermes_obs.Tracer
+module Registry = Hermes_obs.Registry
+module Histogram = Hermes_obs.Histogram
 
 let src = Logs.Src.create "hermes.net" ~doc:"Simulated network traffic"
 
@@ -26,16 +30,27 @@ type t = {
   config : config;
   handlers : (Message.address, Message.t -> unit) Hashtbl.t;
   last_delivery : (Message.address * Message.address, Time.t) Hashtbl.t;
+  latest_inbound : (Message.address, Time.t * int) Hashtbl.t;
+      (* per destination: the in-flight message with the latest arrival, for
+         overtaking detection (the §5.3 race is cross-link, so per-link FIFO
+         does not prevent it) *)
+  obs : Obs.t option;
+  delay_hist : Histogram.t option;
+  overtakes : Registry.Counter.t option;
   mutable sent : int;
   mutable delivered : int;
 }
 
-let create ~engine ~rng ~config = {
+let create ~engine ~rng ?obs ~config () = {
   engine;
   rng;
   config;
   handlers = Hashtbl.create 32;
   last_delivery = Hashtbl.create 64;
+  latest_inbound = Hashtbl.create 32;
+  obs;
+  delay_hist = Option.map (fun o -> Registry.histogram (Obs.metrics o) "net.delay") obs;
+  overtakes = Option.map (fun o -> Registry.counter (Obs.metrics o) "net.overtakes") obs;
   sent = 0;
   delivered = 0;
 }
@@ -58,6 +73,17 @@ let send t ~src ~dst ~gid payload =
     | _ -> earliest
   in
   Hashtbl.replace t.last_delivery (src, dst) arrival;
+  (match t.delay_hist with Some h -> Histogram.record h (Time.diff arrival now) | None -> ());
+  (* Overtaking: this message will arrive before one sent earlier (over a
+     different link) to the same destination. *)
+  (match Hashtbl.find_opt t.latest_inbound dst with
+  | Some (latest, behind_gid) when Time.(latest > arrival) ->
+      (match t.overtakes with Some c -> Registry.Counter.incr c | None -> ());
+      Obs.emit t.obs ~at:now (fun () ->
+          Tracer.Overtaking { dst = Fmt.str "%a" Message.pp_address dst; gid; behind_gid })
+  | Some (latest, _) when Time.(latest < arrival) -> Hashtbl.replace t.latest_inbound dst (arrival, gid)
+  | Some _ -> ()
+  | None -> Hashtbl.replace t.latest_inbound dst (arrival, gid));
   Log.debug (fun m -> m "[%a] %a (delivery %a)" Time.pp now Message.pp msg Time.pp arrival);
   Engine.schedule_unit t.engine ~delay:(Time.diff arrival now) (fun () ->
       t.delivered <- t.delivered + 1;

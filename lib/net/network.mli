@@ -8,7 +8,18 @@ val default_config : config
 
 type t
 
-val create : engine:Hermes_sim.Engine.t -> rng:Hermes_kernel.Rng.t -> config:config -> t
+val create :
+  engine:Hermes_sim.Engine.t ->
+  rng:Hermes_kernel.Rng.t ->
+  ?obs:Hermes_obs.Obs.t ->
+  config:config ->
+  unit ->
+  t
+(** With [?obs]: per-message delays feed a [net.delay] histogram, and a
+    message due to arrive before an earlier-sent one to the same
+    destination (the §5.3 cross-link race) bumps [net.overtakes] and
+    emits an {!Hermes_obs.Tracer.Overtaking} event. *)
+
 val register : t -> Message.address -> (Message.t -> unit) -> unit
 val unregister : t -> Message.address -> unit
 

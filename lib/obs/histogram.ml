@@ -1,0 +1,142 @@
+(* Fixed-bucket log2 histogram: O(1) record, exact merge. *)
+
+let n_buckets = 63 (* bucket 62 tops out above 2^61, plenty for tick counts *)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;  (* valid when count > 0 *)
+  mutable max_v : int;
+}
+
+let create () = { buckets = Array.make n_buckets 0; count = 0; sum = 0; min_v = 0; max_v = 0 }
+
+let copy t =
+  { buckets = Array.copy t.buckets; count = t.count; sum = t.sum; min_v = t.min_v; max_v = t.max_v }
+
+(* 0 -> 0; v >= 1 -> position of the highest set bit, plus one. *)
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (n_buckets - 1)
+  end
+
+let bucket_bounds i =
+  if i <= 0 then (0, 0)
+  else if i >= n_buckets - 1 then (1 lsl (n_buckets - 2), max_int)
+  else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let record t v =
+  let v = max 0 v in
+  let i = bucket_index v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.sum <- t.sum + v;
+  if t.count = 0 then begin
+    t.min_v <- v;
+    t.max_v <- v
+  end
+  else begin
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end;
+  t.count <- t.count + 1
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = if t.count = 0 then 0 else t.max_v
+
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let p = max 0 (min 100 p) in
+    (* Rank of the requested sample, matching the classic sorted-array
+       indexing arr.(p*n/100). *)
+    let rank = min t.count ((p * t.count / 100) + 1) in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < n_buckets do
+      seen := !seen + t.buckets.(!i);
+      if !seen < rank then incr i
+    done;
+    let _, hi = bucket_bounds !i in
+    max t.min_v (min t.max_v hi)
+  end
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then
+      let lo, hi = bucket_bounds i in
+      acc := (lo, hi, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let absorb dst src =
+  if src.count > 0 then begin
+    Array.iteri (fun i c -> if c > 0 then dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets;
+    if dst.count = 0 then begin
+      dst.min_v <- src.min_v;
+      dst.max_v <- src.max_v
+    end
+    else begin
+      if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+      if src.max_v > dst.max_v then dst.max_v <- src.max_v
+    end;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum + src.sum
+  end
+
+let merge a b =
+  let t = copy a in
+  absorb t b;
+  t
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  && a.buckets = b.buckets
+
+let to_json t =
+  let buckets =
+    Array.to_list t.buckets
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.map (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ("buckets", Json.List buckets);
+    ]
+
+let of_json j =
+  let t = create () in
+  t.count <- Json.to_int (Json.member "count" j);
+  t.sum <- Json.to_int (Json.member "sum" j);
+  t.min_v <- Json.to_int (Json.member "min" j);
+  t.max_v <- Json.to_int (Json.member "max" j);
+  (match Json.member "buckets" j with
+  | Json.List pairs ->
+      List.iter
+        (function
+          | Json.List [ Json.Int i; Json.Int c ] when i >= 0 && i < n_buckets -> t.buckets.(i) <- c
+          | _ -> raise (Json.Parse_error "bad histogram bucket"))
+        pairs
+  | _ -> raise (Json.Parse_error "bad histogram buckets"));
+  t
+
+let pp ppf t =
+  if t.count = 0 then Fmt.string ppf "(empty)"
+  else
+    Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d max=%d" t.count (mean t) (min_value t)
+      (percentile t 50) (percentile t 95) (max_value t)

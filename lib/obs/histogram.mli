@@ -1,0 +1,56 @@
+(** A fixed-bucket log2 histogram of non-negative integer samples (tick
+    durations, queue depths, ...).
+
+    Bucket 0 holds the value 0; bucket [i >= 1] holds the half-open
+    power-of-two range [2^(i-1), 2^i). Recording is O(1) and allocation
+    free, histograms merge exactly (bucket-wise addition), and [count],
+    [sum], [min]/[max] are exact — only the interior of a bucket is
+    approximated, so percentiles are reported as the upper bound of the
+    bucket containing the requested rank, clamped to the exact extrema. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val record : t -> int -> unit
+(** Record one sample; negative samples count as 0. *)
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+
+val min_value : t -> int
+(** Exact smallest recorded sample; 0 when empty. *)
+
+val max_value : t -> int
+(** Exact largest recorded sample; 0 when empty. *)
+
+val percentile : t -> int -> int
+(** [percentile t p] for [p] in [0, 100]: the upper bound of the bucket
+    holding the p-th percentile sample, clamped to
+    [[min_value t, max_value t]]. 0 when empty. *)
+
+val bucket_index : int -> int
+(** The bucket a value falls into (exposed for tests). *)
+
+val bucket_bounds : int -> int * int
+(** Inclusive [(lo, hi)] range of a bucket. *)
+
+val nonzero_buckets : t -> (int * int * int) list
+(** [(lo, hi, count)] of every non-empty bucket, in value order. *)
+
+val absorb : t -> t -> unit
+(** [absorb dst src] adds [src]'s samples into [dst]. *)
+
+val merge : t -> t -> t
+(** Pure merge: a fresh histogram holding both sample sets. Associative
+    and commutative. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** Raises {!Json.Parse_error} on a value not produced by {!to_json}. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,27 @@
+(** A minimal JSON value: just enough for the metrics/trace exporters and
+    their round-trip tests — no external dependency, deterministic output
+    (member order is preserved, floats print with full precision). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact, deterministic rendering (no whitespace). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string} (accepts arbitrary whitespace between
+    tokens). Raises {!Parse_error} on malformed input. *)
+
+val member : string -> t -> t
+(** [member k (Obj _)] is the value bound to [k], or [Null]. *)
+
+val to_int : t -> int
+(** Raises {!Parse_error} if the value is not an [Int]. *)

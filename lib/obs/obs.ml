@@ -1,0 +1,22 @@
+(* The observability context. *)
+
+type t = { metrics : Registry.t; trace : Tracer.t }
+
+let create () = { metrics = Registry.create (); trace = Tracer.create () }
+let metrics t = t.metrics
+let trace t = t.trace
+
+let emit o ~at ev = match o with None -> () | Some ctx -> Tracer.emit ctx.trace ~at (ev ())
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let is_csv path = Filename.check_suffix path ".csv"
+
+let write_metrics t path =
+  write_file path (if is_csv path then Registry.to_csv t.metrics else Registry.to_json t.metrics)
+
+let write_trace t path =
+  write_file path (if is_csv path then Tracer.to_csv t.trace else Tracer.to_json_lines t.trace)

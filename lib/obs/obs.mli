@@ -1,0 +1,24 @@
+(** The observability context: one metrics {!Registry} plus one event
+    {!Tracer}, threaded through the protocol stack (agents, LTMs, the
+    network, the workload driver). Components accept it as an optional
+    argument; when absent, instrumentation is skipped at zero cost. *)
+
+open Hermes_kernel
+
+type t = { metrics : Registry.t; trace : Tracer.t }
+
+val create : unit -> t
+val metrics : t -> Registry.t
+val trace : t -> Tracer.t
+
+val emit : t option -> at:Time.t -> (unit -> Tracer.event) -> unit
+(** Emit an event if observability is on; the thunk keeps event
+    construction off the hot path when it is not. *)
+
+val write_metrics : t -> string -> unit
+(** Dump the registry to a file — JSON, or CSV when the path ends in
+    [.csv]. *)
+
+val write_trace : t -> string -> unit
+(** Dump the trace to a file — JSON lines, or CSV when the path ends in
+    [.csv]. *)

@@ -1,0 +1,193 @@
+(* The metrics registry: (name, site)-keyed counters, gauges and
+   histograms, with deterministic exports. *)
+
+open Hermes_kernel
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+end
+
+module Gauge = struct
+  type t = { mutable last : int; mutable high : int }
+
+  let set t v =
+    t.last <- v;
+    if v > t.high then t.high <- v
+
+  let value t = t.last
+  let high_water t = t.high
+end
+
+type metric = C of Counter.t | G of Gauge.t | H of Histogram.t
+
+type t = { table : (string * int option, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+let is_empty t = Hashtbl.length t.table = 0
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let get t ~site ~name ~make ~check =
+  let key = (name, Option.map Site.to_int site) in
+  match Hashtbl.find_opt t.table key with
+  | Some m -> check m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.table key m;
+      m
+
+let wrong name m want =
+  invalid_arg (Fmt.str "Obs.Registry: %S is a %s, not a %s" name (kind_name m) want)
+
+let counter t ?site name =
+  match
+    get t ~site ~name ~make:(fun () -> C { Counter.n = 0 }) ~check:(fun m -> m)
+  with
+  | C c -> c
+  | m -> wrong name m "counter"
+
+let gauge t ?site name =
+  match get t ~site ~name ~make:(fun () -> G { Gauge.last = 0; high = 0 }) ~check:(fun m -> m) with
+  | G g -> g
+  | m -> wrong name m "gauge"
+
+let histogram t ?site name =
+  match get t ~site ~name ~make:(fun () -> H (Histogram.create ())) ~check:(fun m -> m) with
+  | H h -> h
+  | m -> wrong name m "histogram"
+
+type value =
+  | Counter_value of int
+  | Gauge_value of { last : int; high_water : int }
+  | Histogram_value of Histogram.t
+
+type row = { name : string; site : int option; value : value }
+
+let value_of = function
+  | C c -> Counter_value (Counter.value c)
+  | G g -> Gauge_value { last = Gauge.value g; high_water = Gauge.high_water g }
+  | H h -> Histogram_value (Histogram.copy h)
+
+let compare_key (n1, s1) (n2, s2) =
+  match String.compare n1 n2 with
+  | 0 -> ( match (s1, s2) with
+      | None, None -> 0
+      | None, Some _ -> -1
+      | Some _, None -> 1
+      | Some a, Some b -> Int.compare a b)
+  | c -> c
+
+let rows t =
+  Hashtbl.fold (fun key m acc -> (key, m) :: acc) t.table []
+  |> List.sort (fun (k1, _) (k2, _) -> compare_key k1 k2)
+  |> List.map (fun ((name, site), m) -> { name; site; value = value_of m })
+
+let sum_counter t name =
+  Hashtbl.fold
+    (fun (n, _) m acc -> match m with C c when n = name -> acc + Counter.value c | _ -> acc)
+    t.table 0
+
+let histogram_totals t name =
+  Hashtbl.fold
+    (fun (n, _) m acc ->
+      match m with
+      | H h when n = name -> Histogram.merge acc h
+      | _ -> acc)
+    t.table (Histogram.create ())
+
+let absorb dst src =
+  Hashtbl.iter
+    (fun (name, site) m ->
+      let site = Option.map Site.of_int site in
+      match m with
+      | C c -> Counter.add (counter dst ?site name) (Counter.value c)
+      | G g ->
+          let d = gauge dst ?site name in
+          Gauge.set d (Gauge.high_water g);
+          Gauge.set d (Gauge.value g)
+      | H h -> Histogram.absorb (histogram dst ?site name) h)
+    src.table
+
+let merge a b =
+  let t = create () in
+  absorb t a;
+  absorb t b;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let row_to_json { name; site; value } =
+  let site_json = match site with None -> Json.Null | Some s -> Json.Int s in
+  let fields =
+    match value with
+    | Counter_value v -> [ ("kind", Json.String "counter"); ("value", Json.Int v) ]
+    | Gauge_value { last; high_water } ->
+        [ ("kind", Json.String "gauge"); ("value", Json.Int last); ("high_water", Json.Int high_water) ]
+    | Histogram_value h -> [ ("kind", Json.String "histogram"); ("histogram", Histogram.to_json h) ]
+  in
+  Json.Obj (("name", Json.String name) :: ("site", site_json) :: fields)
+
+let to_json t =
+  Json.to_string (Json.List (List.map row_to_json (rows t))) ^ "\n"
+
+let of_json s =
+  let t = create () in
+  (match Json.of_string s with
+  | Json.List items ->
+      List.iter
+        (fun item ->
+          let name =
+            match Json.member "name" item with
+            | Json.String n -> n
+            | _ -> raise (Json.Parse_error "metric without a name")
+          in
+          let site =
+            match Json.member "site" item with
+            | Json.Null -> None
+            | Json.Int s -> Some (Site.of_int s)
+            | _ -> raise (Json.Parse_error "bad site")
+          in
+          match Json.member "kind" item with
+          | Json.String "counter" ->
+              Counter.add (counter t ?site name) (Json.to_int (Json.member "value" item))
+          | Json.String "gauge" ->
+              let g = gauge t ?site name in
+              Gauge.set g (Json.to_int (Json.member "high_water" item));
+              Gauge.set g (Json.to_int (Json.member "value" item))
+          | Json.String "histogram" ->
+              Histogram.absorb (histogram t ?site name) (Histogram.of_json (Json.member "histogram" item))
+          | _ -> raise (Json.Parse_error "unknown metric kind"))
+        items
+  | _ -> raise (Json.Parse_error "expected a metric array"));
+  t
+
+let csv_cell_of_row { name; site; value } =
+  let site_s = match site with None -> "" | Some s -> string_of_int s in
+  match value with
+  | Counter_value v -> Fmt.str "%s,%s,counter,%d,%d,%d.0,,," name site_s v v v
+  | Gauge_value { last; high_water } ->
+      Fmt.str "%s,%s,gauge,%d,%d,%d.0,,,%d" name site_s last last last high_water
+  | Histogram_value h ->
+      Fmt.str "%s,%s,histogram,%d,%d,%.3f,%d,%d,%d" name site_s (Histogram.count h) (Histogram.sum h)
+        (Histogram.mean h) (Histogram.percentile h 50) (Histogram.percentile h 95)
+        (Histogram.max_value h)
+
+let to_csv t =
+  let header = "name,site,kind,count,sum,mean,p50,p95,max" in
+  String.concat "\n" (header :: List.map csv_cell_of_row (rows t)) ^ "\n"
+
+let pp ppf t =
+  List.iter
+    (fun ({ name; site; value } as _row) ->
+      let site_s = match site with None -> "-" | Some s -> Site.name (Site.of_int s) in
+      match value with
+      | Counter_value v -> Fmt.pf ppf "%-36s %4s %d@." name site_s v
+      | Gauge_value { last; high_water } -> Fmt.pf ppf "%-36s %4s %d (high %d)@." name site_s last high_water
+      | Histogram_value h -> Fmt.pf ppf "%-36s %4s %a@." name site_s Histogram.pp h)
+    (rows t)

@@ -1,0 +1,80 @@
+(** The metrics registry: named counters, gauges and log2-bucket
+    histograms, keyed by [(name, site)]. Metrics are created on first
+    access, all operations are O(1), and registries merge exactly — the
+    per-site halves of a decentralized run (or the runs of a sweep) can
+    be combined without losing anything but bucket interiors.
+
+    Exports are deterministic: rows are sorted by name, then site, so two
+    runs with the same seed produce byte-identical dumps. *)
+
+open Hermes_kernel
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> int -> unit
+  val value : t -> int
+
+  val high_water : t -> int
+  (** The largest value ever set. *)
+end
+
+type t
+
+val create : unit -> t
+
+val counter : t -> ?site:Site.t -> string -> Counter.t
+(** Get or create. Raises [Invalid_argument] if [(name, site)] already
+    names a metric of another kind. *)
+
+val gauge : t -> ?site:Site.t -> string -> Gauge.t
+val histogram : t -> ?site:Site.t -> string -> Histogram.t
+val is_empty : t -> bool
+
+(** A read-only snapshot row. *)
+type value =
+  | Counter_value of int
+  | Gauge_value of { last : int; high_water : int }
+  | Histogram_value of Histogram.t
+
+type row = { name : string; site : int option; value : value }
+
+val rows : t -> row list
+(** Sorted by name, then site (global [None] first). *)
+
+val sum_counter : t -> string -> int
+(** Sum of a counter over every site (plus the global instance). 0 when
+    absent. *)
+
+val histogram_totals : t -> string -> Histogram.t
+(** A fresh histogram merging the metric's per-site instances. *)
+
+val absorb : t -> t -> unit
+(** [absorb dst src]: add every metric of [src] into [dst] (counters add,
+    gauges keep the latest [last] and the larger high-water mark,
+    histograms merge). *)
+
+val merge : t -> t -> t
+(** Pure merge into a fresh registry; associative and commutative up to
+    gauge [last] values (high-water marks merge exactly). *)
+
+val to_json : t -> string
+(** The full registry as a deterministic JSON document (ends with a
+    newline). *)
+
+val of_json : string -> t
+(** Inverse of {!to_json}. Raises {!Json.Parse_error} on malformed
+    input. *)
+
+val to_csv : t -> string
+(** One row per metric: [name,site,kind,count,sum,mean,p50,p95,max]. *)
+
+val pp : t Fmt.t

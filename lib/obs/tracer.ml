@@ -1,0 +1,128 @@
+(* The structured event trace. *)
+
+open Hermes_kernel
+
+type verdict =
+  | Ready
+  | Refused_extension of { committed_sn : Sn.t }
+  | Refused_interval of { conflicting_gid : int; conflicting : Interval.t; candidate : Interval.t }
+  | Refused_dead
+
+type event =
+  | Alive_check of { site : Site.t; gid : int; alive : bool }
+  | Prepare_certification of { site : Site.t; gid : int; sn : Sn.t; verdict : verdict }
+  | Commit_delayed of { site : Site.t; gid : int; sn : Sn.t; blocking_gid : int; blocking_sn : Sn.t }
+  | Commit_released of { site : Site.t; gid : int; waited : int; retries : int }
+  | Resubmission of { site : Site.t; gid : int; inc : int }
+  | Recovered of { site : Site.t; gid : int }
+  | Site_crash of { site : Site.t; live : int; prepared : int }
+  | Lock_wait of { site : Site.t; owner : string; table : string; key : int; waited : int }
+  | Deadlock_resolved of { site : Site.t; victim : string; policy : string }
+  | Txn_aborted of { site : Site.t; owner : string; reason : string }
+  | Overtaking of { dst : string; gid : int; behind_gid : int }
+
+type t = { mutable items : (Time.t * event) list; mutable len : int }
+
+let create () = { items = []; len = 0 }
+
+let emit t ~at event =
+  t.items <- (at, event) :: t.items;
+  t.len <- t.len + 1
+
+let length t = t.len
+let events t = List.rev t.items
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sn_json sn = Json.String (Sn.show sn)
+let interval_json i = Json.List [ Json.Int (Time.to_int (Interval.lo i)); Json.Int (Time.to_int (Interval.hi i)) ]
+let site_json s = Json.Int (Site.to_int s)
+
+let fields_of = function
+  | Alive_check { site; gid; alive } ->
+      ("alive_check", [ ("site", site_json site); ("gid", Json.Int gid); ("alive", Json.Bool alive) ])
+  | Prepare_certification { site; gid; sn; verdict } ->
+      let verdict_fields =
+        match verdict with
+        | Ready -> [ ("verdict", Json.String "ready") ]
+        | Refused_extension { committed_sn } ->
+            [ ("verdict", Json.String "refused_extension"); ("committed_sn", sn_json committed_sn) ]
+        | Refused_interval { conflicting_gid; conflicting; candidate } ->
+            [
+              ("verdict", Json.String "refused_interval");
+              ("conflicting_gid", Json.Int conflicting_gid);
+              ("conflicting", interval_json conflicting);
+              ("candidate", interval_json candidate);
+            ]
+        | Refused_dead -> [ ("verdict", Json.String "refused_dead") ]
+      in
+      ( "prepare_certification",
+        [ ("site", site_json site); ("gid", Json.Int gid); ("sn", sn_json sn) ] @ verdict_fields )
+  | Commit_delayed { site; gid; sn; blocking_gid; blocking_sn } ->
+      ( "commit_delayed",
+        [
+          ("site", site_json site); ("gid", Json.Int gid); ("sn", sn_json sn);
+          ("blocking_gid", Json.Int blocking_gid); ("blocking_sn", sn_json blocking_sn);
+        ] )
+  | Commit_released { site; gid; waited; retries } ->
+      ( "commit_released",
+        [
+          ("site", site_json site); ("gid", Json.Int gid); ("waited", Json.Int waited);
+          ("retries", Json.Int retries);
+        ] )
+  | Resubmission { site; gid; inc } ->
+      ("resubmission", [ ("site", site_json site); ("gid", Json.Int gid); ("inc", Json.Int inc) ])
+  | Recovered { site; gid } -> ("recovered", [ ("site", site_json site); ("gid", Json.Int gid) ])
+  | Site_crash { site; live; prepared } ->
+      ("site_crash", [ ("site", site_json site); ("live", Json.Int live); ("prepared", Json.Int prepared) ])
+  | Lock_wait { site; owner; table; key; waited } ->
+      ( "lock_wait",
+        [
+          ("site", site_json site); ("owner", Json.String owner); ("table", Json.String table);
+          ("key", Json.Int key); ("waited", Json.Int waited);
+        ] )
+  | Deadlock_resolved { site; victim; policy } ->
+      ( "deadlock_resolved",
+        [ ("site", site_json site); ("victim", Json.String victim); ("policy", Json.String policy) ] )
+  | Txn_aborted { site; owner; reason } ->
+      ( "txn_aborted",
+        [ ("site", site_json site); ("owner", Json.String owner); ("reason", Json.String reason) ] )
+  | Overtaking { dst; gid; behind_gid } ->
+      ("overtaking", [ ("dst", Json.String dst); ("gid", Json.Int gid); ("behind_gid", Json.Int behind_gid) ])
+
+let event_to_json at event =
+  let name, fields = fields_of event in
+  Json.Obj ((("at", Json.Int (Time.to_int at)) :: ("event", Json.String name) :: fields))
+
+let to_json_lines t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (at, ev) ->
+      Buffer.add_string buf (Json.to_string (event_to_json at ev));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "at,event,site,detail\n";
+  List.iter
+    (fun (at, ev) ->
+      let name, fields = fields_of ev in
+      let site =
+        match List.assoc_opt "site" fields with Some (Json.Int s) -> string_of_int s | _ -> ""
+      in
+      let detail =
+        fields
+        |> List.filter (fun (k, _) -> k <> "site")
+        |> List.map (fun (k, v) -> Fmt.str "%s=%s" k (Json.to_string v))
+        |> String.concat " "
+      in
+      Buffer.add_string buf
+        (Fmt.str "%d,%s,%s,%s\n" (Time.to_int at) name site (String.map (function ',' -> ';' | c -> c) detail)))
+    (events t);
+  Buffer.contents buf
+
+let pp_event ppf ev = Fmt.string ppf (Json.to_string (Json.Obj (snd (fields_of ev))))

@@ -1,0 +1,52 @@
+(** The structured event trace: typed protocol decisions stamped with
+    simulated time. Where the metrics registry counts, the tracer
+    explains — which interval refused a PREPARE, which serial number held
+    a COMMIT back, which victim a deadlock policy chose. Runs stay
+    deterministic: events are emitted from engine callbacks, so two
+    same-seed runs produce byte-identical dumps. *)
+
+open Hermes_kernel
+
+(** The outcome of one extended prepare certification (Appendix B). *)
+type verdict =
+  | Ready
+  | Refused_extension of { committed_sn : Sn.t }
+      (** a bigger serial number already committed here (§5.3) *)
+  | Refused_interval of { conflicting_gid : int; conflicting : Interval.t; candidate : Interval.t }
+      (** the alive-time intersection rule failed (§4.2) *)
+  | Refused_dead  (** the subtransaction was unilaterally aborted (CI 2) *)
+
+type event =
+  | Alive_check of { site : Site.t; gid : int; alive : bool }  (** Appendix A *)
+  | Prepare_certification of { site : Site.t; gid : int; sn : Sn.t; verdict : verdict }
+  | Commit_delayed of { site : Site.t; gid : int; sn : Sn.t; blocking_gid : int; blocking_sn : Sn.t }
+      (** commit certification held a COMMIT behind a smaller SN (Appendix C) *)
+  | Commit_released of { site : Site.t; gid : int; waited : int; retries : int }
+      (** the local commit finally ran, [waited] ticks after the decision arrived *)
+  | Resubmission of { site : Site.t; gid : int; inc : int }
+  | Recovered of { site : Site.t; gid : int }  (** rebuilt from the Agent log *)
+  | Site_crash of { site : Site.t; live : int; prepared : int }
+  | Lock_wait of { site : Site.t; owner : string; table : string; key : int; waited : int }
+  | Deadlock_resolved of { site : Site.t; victim : string; policy : string }
+  | Txn_aborted of { site : Site.t; owner : string; reason : string }
+  | Overtaking of { dst : string; gid : int; behind_gid : int }
+      (** a message arrived before an earlier-sent message to the same
+          destination (the §5.3 race) *)
+
+type t
+
+val create : unit -> t
+val emit : t -> at:Time.t -> event -> unit
+val length : t -> int
+val events : t -> (Time.t * event) list
+(** In emission order. *)
+
+val event_to_json : Time.t -> event -> Json.t
+
+val to_json_lines : t -> string
+(** One JSON object per line, in emission order. *)
+
+val to_csv : t -> string
+(** [at,event,site,detail] rows. *)
+
+val pp_event : event Fmt.t

@@ -30,17 +30,31 @@ type t = {
   mutable executed : int;
   mutable halted : bool;
   mutable last_fired : Time.t;  (* time of the last non-cancelled event *)
+  mutable live : int;  (* events scheduled, not yet popped *)
+  mutable max_pending : int;  (* queue-depth high-water mark *)
+  mutable cancelled_fired : int;  (* popped events whose timer was cancelled *)
 }
 
 exception Stuck of string
 
 let create () =
-  { now = Time.zero; queue = Eq.empty; seq = 0; executed = 0; halted = false; last_fired = Time.zero }
+  {
+    now = Time.zero;
+    queue = Eq.empty;
+    seq = 0;
+    executed = 0;
+    halted = false;
+    last_fired = Time.zero;
+    live = 0;
+    max_pending = 0;
+    cancelled_fired = 0;
+  }
 
 let now t = t.now
 let last_event_at t = t.last_fired
 let events_executed t = t.executed
-let pending t = Eq.size t.queue
+let pending t = t.live
+
 
 let schedule t ~delay run =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
@@ -48,6 +62,8 @@ let schedule t ~delay run =
   let timer = { cancelled = false; fire_at = at } in
   t.queue <- Eq.insert t.queue { at; seq = t.seq; timer; run };
   t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  if t.live > t.max_pending then t.max_pending <- t.live;
   timer
 
 let schedule_unit t ~delay run = ignore (schedule t ~delay run)
@@ -62,14 +78,20 @@ let step t =
   | None -> false
   | Some (ev, rest) ->
       t.queue <- rest;
+      t.live <- t.live - 1;
       if Time.(ev.at < t.now) then invalid_arg "Engine.step: time went backwards";
       t.now <- ev.at;
-      if not ev.timer.cancelled then begin
+      if ev.timer.cancelled then t.cancelled_fired <- t.cancelled_fired + 1
+      else begin
         t.executed <- t.executed + 1;
         t.last_fired <- ev.at;
         ev.run ()
       end;
       true
+
+type stats = { events : int; max_pending : int; cancelled : int }
+
+let stats t = { events = t.executed; max_pending = t.max_pending; cancelled = t.cancelled_fired }
 
 let run ?until ?(max_events = 50_000_000) t =
   let continue () =

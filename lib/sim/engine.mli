@@ -18,8 +18,19 @@ val last_event_at : t -> Time.t
 (** Fire time of the last non-cancelled event — unlike {!now}, not
     inflated by a [run ~until] that outlived the workload. *)
 
+(** Aggregate engine statistics: non-cancelled events executed, the
+    queue-depth high-water mark, and popped events whose timer had been
+    cancelled. *)
+type stats = { events : int; max_pending : int; cancelled : int }
+
+val stats : t -> stats
+
 val events_executed : t -> int
+(** @deprecated Use [(stats t).events]. *)
+
 val pending : t -> int
+(** Events scheduled and not yet popped (cancelled timers included).
+    @deprecated Use {!stats} for end-of-run accounting. *)
 
 val schedule : t -> delay:int -> (unit -> unit) -> timer
 (** Schedule a callback [delay] ticks from now (0 is allowed: it fires after

@@ -17,6 +17,8 @@ module Coordinator = Hermes_core.Coordinator
 module Dtm = Hermes_core.Dtm
 module Cgm = Hermes_baselines.Cgm
 module History = Hermes_history.History
+module Obs = Hermes_obs.Obs
+module Registry = Hermes_obs.Registry
 
 type protocol =
   | Two_pca of Config.t  (* the paper's DTM, or its ablations/naive/ticket variants *)
@@ -45,6 +47,9 @@ type setup = {
          failure/ltm/clock fields where it returns [Some] *)
   crash_schedule : (int * int) list;
       (* (tick, site index) full site crashes with instant reboot *)
+  obs : Obs.t option;
+      (* observability context threaded into every component; end-of-run
+         counters are exported into its registry *)
 }
 
 let default_setup =
@@ -59,6 +64,7 @@ let default_setup =
     time_limit = 120_000_000;
     site_override = None;
     crash_schedule = [];
+    obs = None;
   }
 
 type result = {
@@ -89,10 +95,14 @@ let run setup =
   let dtm, submit, cgm_stats =
     match setup.protocol with
     | Two_pca certifier ->
-        let dtm = Dtm.create ~engine ~rng ~trace ~net_config:setup.net ~certifier ~site_specs in
+        let dtm =
+          Dtm.create ~engine ~rng ~trace ~net_config:setup.net ~certifier ?obs:setup.obs ~site_specs ()
+        in
         (dtm, (fun program ~on_done -> ignore (Dtm.submit dtm program ~on_done)), None)
     | Cgm_baseline config ->
-        let cgm = Cgm.create ~engine ~rng ~trace ~net_config:setup.net ~config ~site_specs in
+        let cgm =
+          Cgm.create ~engine ~rng ~trace ~net_config:setup.net ~config ?obs:setup.obs ~site_specs ()
+        in
         (Cgm.dtm cgm, Cgm.submit cgm, Some (Cgm.stats cgm))
   in
   let partitioned = match setup.protocol with Cgm_baseline _ -> true | Two_pca _ -> false in
@@ -121,18 +131,18 @@ let run setup =
       let program = Generator.global_program gen in
       let started = Engine.now engine in
       let rec attempt tries =
-        stats.Stats.attempts <- stats.Stats.attempts + 1;
+        Stats.note_attempt stats;
         submit program ~on_done:(fun outcome ->
             match outcome with
             | Coordinator.Committed ->
-                stats.Stats.committed <- stats.Stats.committed + 1;
+                Stats.note_committed stats;
                 Stats.record_latency stats ~started ~finished:(Engine.now engine);
                 finish_one ()
             | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
-                stats.Stats.retries <- stats.Stats.retries + 1;
+                Stats.note_retry stats;
                 think (fun () -> attempt (tries + 1))
             | Coordinator.Aborted _ ->
-                stats.Stats.aborted_final <- stats.Stats.aborted_final + 1;
+                Stats.note_final_abort stats;
                 finish_one ())
       and finish_one () =
         decr in_flight;
@@ -163,14 +173,14 @@ let run setup =
                 | [] ->
                     Ltm.commit ltm txn ~on_done:(fun r ->
                         (match r with
-                        | Ltm.Committed -> stats.Stats.local_committed <- stats.Stats.local_committed + 1
-                        | Ltm.Commit_refused _ -> stats.Stats.local_aborted <- stats.Stats.local_aborted + 1);
+                        | Ltm.Committed -> Stats.note_local_committed stats
+                        | Ltm.Commit_refused _ -> Stats.note_local_aborted stats);
                         loop ())
                 | cmd :: rest ->
                     Ltm.exec ltm txn cmd ~on_done:(function
                       | Ltm.Done _ -> step rest
                       | Ltm.Failed _ ->
-                          stats.Stats.local_aborted <- stats.Stats.local_aborted + 1;
+                          Stats.note_local_aborted stats;
                           loop ())
               in
               step (Generator.local_commands ~partitioned gen)
@@ -196,15 +206,28 @@ let run setup =
   Engine.run ~until:(Time.of_int setup.time_limit) engine;
   Engine.halt engine;
   let sim_ticks = Time.to_int (Engine.last_event_at engine) in
+  let engine_stats = Engine.stats engine in
+  (* End-of-run export: the component counters (agents, LTMs, DLU, net),
+     the client-side statistics and the engine totals all land in the
+     run's registry, joining the histograms recorded live. *)
+  (match setup.obs with
+  | Some o ->
+      let reg = Obs.metrics o in
+      Dtm.export_metrics dtm reg;
+      Stats.export stats reg;
+      Registry.Counter.add (Registry.counter reg "sim.events") engine_stats.Engine.events;
+      Registry.Counter.add (Registry.counter reg "sim.cancelled") engine_stats.Engine.cancelled;
+      Registry.Gauge.set (Registry.gauge reg "sim.max_pending") engine_stats.Engine.max_pending
+  | None -> ());
   {
     stats;
     totals = Dtm.totals dtm;
     cgm = cgm_stats;
     history = Trace.history trace;
     sim_ticks;
-    events = Engine.events_executed engine;
+    events = engine_stats.Engine.events;
     throughput =
       (if sim_ticks = 0 then 0.0
-       else float_of_int stats.Stats.committed *. 1_000_000.0 /. float_of_int sim_ticks);
+       else float_of_int (Stats.committed stats) *. 1_000_000.0 /. float_of_int sim_ticks);
     stuck = !in_flight + !remaining;
   }

@@ -25,6 +25,10 @@ type setup = {
           where it returns [Some] *)
   crash_schedule : (int * int) list;
       (** (tick, site index): full site crashes with instant reboot *)
+  obs : Hermes_obs.Obs.t option;
+      (** observability context threaded into every component; at the end
+          of the run the engine/agent/LTM/network/client counters are
+          exported into its registry *)
 }
 
 val default_setup : setup

@@ -1,6 +1,12 @@
-(* Client-side statistics: outcomes, retries and commit latencies. *)
+(* Client-side statistics: outcomes, retries and commit latencies.
+
+   Latencies live in a log2 histogram instead of a sample list: O(1)
+   recording, constant memory, exact merging — the right trade for seed
+   sweeps that aggregate thousands of runs. *)
 
 open Hermes_kernel
+module Histogram = Hermes_obs.Histogram
+module Registry = Hermes_obs.Registry
 
 type t = {
   mutable committed : int;
@@ -9,7 +15,7 @@ type t = {
   mutable retries : int;
   mutable local_committed : int;
   mutable local_aborted : int;
-  mutable latencies : int list;  (* commit latencies of committed globals *)
+  latencies : Histogram.t;  (* commit latencies of committed globals *)
 }
 
 let create () =
@@ -20,27 +26,58 @@ let create () =
     retries = 0;
     local_committed = 0;
     local_aborted = 0;
-    latencies = [];
+    latencies = Histogram.create ();
   }
 
-let record_latency t ~started ~finished = t.latencies <- Time.diff finished started :: t.latencies
+let note_attempt t = t.attempts <- t.attempts + 1
+let note_committed t = t.committed <- t.committed + 1
+let note_retry t = t.retries <- t.retries + 1
+let note_final_abort t = t.aborted_final <- t.aborted_final + 1
+let note_local_committed t = t.local_committed <- t.local_committed + 1
+let note_local_aborted t = t.local_aborted <- t.local_aborted + 1
+let record_latency t ~started ~finished = Histogram.record t.latencies (Time.diff finished started)
+
+let committed t = t.committed
+let aborted_final t = t.aborted_final
+let attempts t = t.attempts
+let retries t = t.retries
+let local_committed t = t.local_committed
+let local_aborted t = t.local_aborted
+let latency_histogram t = Histogram.copy t.latencies
 
 type latency_summary = { mean : float; p50 : int; p95 : int; max : int }
 
 let latency_summary t =
-  match t.latencies with
-  | [] -> { mean = 0.0; p50 = 0; p95 = 0; max = 0 }
-  | ls ->
-      let sorted = List.sort Int.compare ls in
-      let arr = Array.of_list sorted in
-      let n = Array.length arr in
-      let pct p = arr.(min (n - 1) (p * n / 100)) in
-      {
-        mean = float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int n;
-        p50 = pct 50;
-        p95 = pct 95;
-        max = arr.(n - 1);
-      }
+  let h = t.latencies in
+  if Histogram.count h = 0 then { mean = 0.0; p50 = 0; p95 = 0; max = 0 }
+  else
+    {
+      mean = Histogram.mean h;
+      p50 = Histogram.percentile h 50;
+      p95 = Histogram.percentile h 95;
+      max = Histogram.max_value h;
+    }
 
 let abort_rate t =
   if t.attempts = 0 then 0.0 else float_of_int (t.attempts - t.committed) /. float_of_int t.attempts
+
+let merge a b =
+  {
+    committed = a.committed + b.committed;
+    aborted_final = a.aborted_final + b.aborted_final;
+    attempts = a.attempts + b.attempts;
+    retries = a.retries + b.retries;
+    local_committed = a.local_committed + b.local_committed;
+    local_aborted = a.local_aborted + b.local_aborted;
+    latencies = Histogram.merge a.latencies b.latencies;
+  }
+
+let export t reg =
+  let c name v = if v <> 0 then Registry.Counter.add (Registry.counter reg name) v in
+  c "workload.committed" t.committed;
+  c "workload.aborted_final" t.aborted_final;
+  c "workload.attempts" t.attempts;
+  c "workload.retries" t.retries;
+  c "workload.local_committed" t.local_committed;
+  c "workload.local_aborted" t.local_aborted;
+  Histogram.absorb (Registry.histogram reg "workload.commit_latency") t.latencies

@@ -1,23 +1,57 @@
-(** Client-side statistics: outcomes, retries, commit latencies. *)
+(** Client-side statistics: outcomes, retries, commit latencies.
+
+    The type is abstract; commit latencies are held in an
+    {!Hermes_obs.Histogram} rather than a sample list, so recording is
+    O(1), memory is constant, and the statistics of independent runs
+    {!merge} exactly (up to histogram bucket interiors). *)
 
 open Hermes_kernel
 
-type t = {
-  mutable committed : int;
-  mutable aborted_final : int;  (** gave up after max_retries *)
-  mutable attempts : int;  (** submissions including retries *)
-  mutable retries : int;
-  mutable local_committed : int;
-  mutable local_aborted : int;
-  mutable latencies : int list;
-}
+type t
 
 val create : unit -> t
+
+(** {1 Recording} *)
+
+val note_attempt : t -> unit
+(** A global submission (first try or retry). *)
+
+val note_committed : t -> unit
+val note_retry : t -> unit
+
+val note_final_abort : t -> unit
+(** Gave up after max_retries. *)
+
+val note_local_committed : t -> unit
+val note_local_aborted : t -> unit
 val record_latency : t -> started:Time.t -> finished:Time.t -> unit
+
+(** {1 Reading} *)
+
+val committed : t -> int
+val aborted_final : t -> int
+val attempts : t -> int
+val retries : t -> int
+val local_committed : t -> int
+val local_aborted : t -> int
+
+val latency_histogram : t -> Hermes_obs.Histogram.t
+(** The commit latencies of committed globals (a copy). *)
 
 type latency_summary = { mean : float; p50 : int; p95 : int; max : int }
 
 val latency_summary : t -> latency_summary
+(** Mean and max are exact; p50/p95 are histogram-bucket upper bounds
+    clamped to the exact extrema. *)
 
 val abort_rate : t -> float
 (** Failed attempts / attempts. *)
+
+val merge : t -> t -> t
+(** Combine the statistics of two independent runs. Associative and
+    commutative. *)
+
+val export : t -> Hermes_obs.Registry.t -> unit
+(** Add the counters as [workload.*] series and the latencies as a
+    [workload.commit_latency] histogram. Accumulates on repeated
+    export. *)

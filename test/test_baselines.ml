@@ -58,7 +58,7 @@ let make_world ?(config = Cgm.default_config) ?(failure = Failure.disabled) ?(se
   let trace = Trace.create () in
   let cgm =
     Cgm.create ~engine ~rng ~trace ~net_config:Hermes_net.Network.default_config ~config
-      ~site_specs:(Array.make 2 { Dtm.default_site_spec with Dtm.failure })
+      ~site_specs:(Array.make 2 { Dtm.default_site_spec with Dtm.failure }) ()
   in
   List.iter
     (fun site ->

@@ -33,7 +33,7 @@ let make_world ?(n_sites = 2) ?(certifier = Config.full) ?(site_spec = fun _ -> 
   let trace = Trace.create () in
   let dtm =
     Dtm.create ~engine ~rng ~trace ~net_config:Hermes_net.Network.default_config ~certifier
-      ~site_specs:(Array.init n_sites site_spec)
+      ~site_specs:(Array.init n_sites site_spec) ()
   in
   { engine; dtm; trace }
 

@@ -73,7 +73,7 @@ let check_run i setup =
   Alcotest.(check int)
     (label "quota finished")
     setup.Driver.spec.Spec.n_global
-    (r.Driver.stats.Stats.committed + r.Driver.stats.Stats.aborted_final);
+    (Stats.committed r.Driver.stats + Stats.aborted_final r.Driver.stats);
   let h = r.Driver.history in
   Alcotest.(check bool) (label "rigorous everywhere") true (Rigorous.all_sites_rigorous h);
   let c = Committed.extended h in

@@ -22,7 +22,7 @@ let make_world ?(config = Ltm_config.default) () =
   let engine = Engine.create () in
   let db = Database.create ~site:site0 in
   let trace = Trace.create () in
-  let ltm = Ltm.create ~engine ~db ~config ~trace in
+  let ltm = Ltm.create ~engine ~db ~config ~trace () in
   List.iter (fun k -> ignore (Database.write db ~table:"X" ~key:k (Row.initial 100))) (List.init 10 Fun.id);
   { engine; db; ltm; trace }
 

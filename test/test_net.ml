@@ -10,7 +10,7 @@ let b = Site.of_int 1
 
 let make ?(config = Network.default_config) ?(seed = 1) () =
   let engine = Engine.create () in
-  let net = Network.create ~engine ~rng:(Rng.create ~seed) ~config in
+  let net = Network.create ~engine ~rng:(Rng.create ~seed) ~config () in
   (engine, net)
 
 let test_delivery () =

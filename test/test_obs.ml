@@ -1,0 +1,235 @@
+(* Tests for hermes.obs: histogram bucket arithmetic, counter/gauge
+   semantics, registry merging and export determinism, the tracer, and
+   end-to-end determinism of an instrumented driver run. *)
+
+open Hermes_kernel
+open Hermes_obs
+module Driver = Hermes_workload.Driver
+module Spec = Hermes_workload.Spec
+module Failure = Hermes_ltm.Failure
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_boundaries () =
+  (* Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i). *)
+  Alcotest.(check int) "0 -> bucket 0" 0 (Histogram.bucket_index 0);
+  Alcotest.(check int) "1 -> bucket 1" 1 (Histogram.bucket_index 1);
+  Alcotest.(check int) "2 -> bucket 2" 2 (Histogram.bucket_index 2);
+  Alcotest.(check int) "3 -> bucket 2" 2 (Histogram.bucket_index 3);
+  Alcotest.(check int) "4 -> bucket 3" 3 (Histogram.bucket_index 4);
+  Alcotest.(check int) "7 -> bucket 3" 3 (Histogram.bucket_index 7);
+  Alcotest.(check int) "8 -> bucket 4" 4 (Histogram.bucket_index 8);
+  Alcotest.(check (pair int int)) "bounds of 0" (0, 0) (Histogram.bucket_bounds 0);
+  Alcotest.(check (pair int int)) "bounds of 1" (1, 1) (Histogram.bucket_bounds 1);
+  Alcotest.(check (pair int int)) "bounds of 3" (4, 7) (Histogram.bucket_bounds 3);
+  (* Boundaries must agree: every value maps into its own bucket's range. *)
+  List.iter
+    (fun v ->
+      let lo, hi = Histogram.bucket_bounds (Histogram.bucket_index v) in
+      if v < lo || v > hi then Alcotest.failf "value %d outside its bucket [%d, %d]" v lo hi)
+    [ 0; 1; 2; 3; 4; 5; 7; 8; 15; 16; 100; 1_000; 1_000_000; max_int ]
+
+let test_histogram_stats () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.(check int) "empty percentile" 0 (Histogram.percentile h 95);
+  for v = 10 to 100 do
+    Histogram.record h v
+  done;
+  Alcotest.(check int) "count" 91 (Histogram.count h);
+  Alcotest.(check int) "sum exact" 5005 (Histogram.sum h);
+  Alcotest.(check int) "min exact" 10 (Histogram.min_value h);
+  Alcotest.(check int) "max exact" 100 (Histogram.max_value h);
+  (* The 50th-percentile sample (55) lies in bucket [32, 63]: the reported
+     percentile is that bucket's upper bound. *)
+  Alcotest.(check int) "p50 = bucket upper bound" 63 (Histogram.percentile h 50);
+  (* p100 clamps to the exact maximum; p0 is the first sample's bucket
+     upper bound (10 lies in [8, 15]). *)
+  Alcotest.(check int) "p100 = max" 100 (Histogram.percentile h 100);
+  Alcotest.(check int) "p0 = first bucket's bound" 15 (Histogram.percentile h 0);
+  Histogram.record h (-5);
+  Alcotest.(check int) "negative counts as 0" 0 (Histogram.min_value h)
+
+let test_histogram_merge_associative () =
+  let of_list vs =
+    let h = Histogram.create () in
+    List.iter (Histogram.record h) vs;
+    h
+  in
+  let a = of_list [ 1; 5; 9 ] and b = of_list [ 0; 100; 3 ] and c = of_list [ 42 ] in
+  let l = Histogram.merge (Histogram.merge a b) c and r = Histogram.merge a (Histogram.merge b c) in
+  Alcotest.(check bool) "associative" true (Histogram.equal l r);
+  Alcotest.(check bool) "commutative" true (Histogram.equal (Histogram.merge a b) (Histogram.merge b a));
+  Alcotest.(check int) "merge count" 7 (Histogram.count l);
+  Alcotest.(check int) "merge sum" 160 (Histogram.sum l);
+  Alcotest.(check int) "merge min" 0 (Histogram.min_value l);
+  Alcotest.(check int) "merge max" 100 (Histogram.max_value l);
+  (* absorb = in-place merge *)
+  let d = Histogram.copy a in
+  Histogram.absorb d b;
+  Alcotest.(check bool) "absorb = merge" true (Histogram.equal d (Histogram.merge a b))
+
+let test_histogram_json_round_trip () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 0; 1; 7; 63; 64; 12_345 ];
+  let h' = Histogram.of_json (Histogram.to_json h) in
+  Alcotest.(check bool) "round trip" true (Histogram.equal h h');
+  Alcotest.(check int) "min preserved" (Histogram.min_value h) (Histogram.min_value h');
+  Alcotest.(check int) "max preserved" (Histogram.max_value h) (Histogram.max_value h')
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gauge () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "c" in
+  Registry.Counter.incr c;
+  Registry.Counter.add c 41;
+  Alcotest.(check int) "counter" 42 (Registry.Counter.value c);
+  Alcotest.(check bool) "same handle" true (Registry.counter reg "c" == c);
+  let g = Registry.gauge reg "g" in
+  Registry.Gauge.set g 10;
+  Registry.Gauge.set g 3;
+  Alcotest.(check int) "gauge last" 3 (Registry.Gauge.value g);
+  Alcotest.(check int) "gauge high water" 10 (Registry.Gauge.high_water g);
+  (* (name, site) keys one metric of one kind. *)
+  Alcotest.check_raises "kind clash" (Invalid_argument "Obs.Registry: \"c\" is a counter, not a gauge")
+    (fun () -> ignore (Registry.gauge reg "c"))
+
+let test_registry_sites () =
+  let reg = Registry.create () in
+  let s0 = Site.of_int 0 and s1 = Site.of_int 1 in
+  Registry.Counter.add (Registry.counter reg ~site:s0 "x") 2;
+  Registry.Counter.add (Registry.counter reg ~site:s1 "x") 3;
+  Registry.Counter.add (Registry.counter reg "x") 5;
+  Alcotest.(check int) "sum over sites" 10 (Registry.sum_counter reg "x");
+  Histogram.record (Registry.histogram reg ~site:s0 "h") 4;
+  Histogram.record (Registry.histogram reg ~site:s1 "h") 100;
+  let totals = Registry.histogram_totals reg "h" in
+  Alcotest.(check int) "totals count" 2 (Histogram.count totals);
+  Alcotest.(check int) "totals max" 100 (Histogram.max_value totals);
+  (* Export order: name, then site with the global instance first. *)
+  let names = List.map (fun r -> (r.Registry.name, r.Registry.site)) (Registry.rows reg) in
+  Alcotest.(check bool) "sorted deterministically" true
+    (names = [ ("h", Some 0); ("h", Some 1); ("x", None); ("x", Some 0); ("x", Some 1) ])
+
+let test_registry_merge_and_json () =
+  let mk adds =
+    let reg = Registry.create () in
+    List.iter (fun (n, v) -> Registry.Counter.add (Registry.counter reg n) v) adds;
+    Histogram.record (Registry.histogram reg "lat") (List.length adds);
+    reg
+  in
+  let a = mk [ ("n", 1); ("m", 2) ] and b = mk [ ("n", 10) ] and c = mk [ ("k", 7) ] in
+  let l = Registry.merge (Registry.merge a b) c and r = Registry.merge a (Registry.merge b c) in
+  Alcotest.(check string) "merge associative (by export)" (Registry.to_json l) (Registry.to_json r);
+  Alcotest.(check int) "counters added" 11 (Registry.sum_counter l "n");
+  let round = Registry.of_json (Registry.to_json l) in
+  Alcotest.(check string) "json round trip" (Registry.to_json l) (Registry.to_json round);
+  Alcotest.(check bool) "csv has every row" true
+    (List.length (String.split_on_char '\n' (Registry.to_csv l)) >= List.length (Registry.rows l))
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracer () =
+  let tr = Tracer.create () in
+  let site = Site.of_int 0 in
+  Tracer.emit tr ~at:(Time.of_int 5) (Tracer.Alive_check { site; gid = 1; alive = true });
+  Tracer.emit tr ~at:(Time.of_int 9)
+    (Tracer.Prepare_certification
+       { site; gid = 1; sn = Sn.make ~ts:(Time.of_int 9) ~site ~seq:0; verdict = Tracer.Ready });
+  Alcotest.(check int) "two events" 2 (Tracer.length tr);
+  let lines = String.split_on_char '\n' (String.trim (Tracer.to_json_lines tr)) in
+  Alcotest.(check int) "one json line per event" 2 (List.length lines);
+  (* Obs.emit is lazy: with no context the thunk must not run. *)
+  Obs.emit None ~at:(Time.of_int 0) (fun () -> Alcotest.fail "thunk forced without obs")
+
+(* ------------------------------------------------------------------ *)
+(* End to end: instrumented runs are deterministic                     *)
+(* ------------------------------------------------------------------ *)
+
+let instrumented_run () =
+  let obs = Obs.create () in
+  let setup =
+    {
+      Driver.default_setup with
+      Driver.failure = Failure.prepared_rate 0.15;
+      seed = 21;
+      spec = { Spec.default with Spec.n_global = 25; zipf_theta = 0.9 };
+      obs = Some obs;
+    }
+  in
+  let r = Driver.run setup in
+  (r, obs)
+
+let test_instrumented_run_deterministic () =
+  let r1, o1 = instrumented_run () and r2, o2 = instrumented_run () in
+  Alcotest.(check string) "byte-identical metrics dumps" (Registry.to_json (Obs.metrics o1))
+    (Registry.to_json (Obs.metrics o2));
+  Alcotest.(check string) "byte-identical traces"
+    (Tracer.to_json_lines (Obs.trace o1))
+    (Tracer.to_json_lines (Obs.trace o2));
+  ignore r1;
+  ignore r2
+
+let test_instrumented_run_consistent () =
+  let r, obs = instrumented_run () in
+  let reg = Obs.metrics obs in
+  (* The registry's view of the run must agree with the driver's. *)
+  Alcotest.(check int) "committed" (Hermes_workload.Stats.committed r.Driver.stats)
+    (Registry.sum_counter reg "workload.committed");
+  Alcotest.(check int) "ltm commits cover agents"
+    (Registry.sum_counter reg "agent.local_commits" + Registry.sum_counter reg "workload.local_committed")
+    (Registry.sum_counter reg "ltm.committed");
+  Alcotest.(check bool) "events counted" true (Registry.sum_counter reg "sim.events" > 0);
+  Alcotest.(check bool) "latencies collected" true
+    (Histogram.count (Registry.histogram_totals reg "workload.commit_latency")
+    = Hermes_workload.Stats.committed r.Driver.stats);
+  Alcotest.(check bool) "trace nonempty" true (Tracer.length (Obs.trace obs) > 0)
+
+let test_uninstrumented_run_unchanged () =
+  (* Threading obs through a run must not change the simulation itself. *)
+  let base, _ = instrumented_run () in
+  let plain =
+    Driver.run
+      {
+        Driver.default_setup with
+        Driver.failure = Failure.prepared_rate 0.15;
+        seed = 21;
+        spec = { Spec.default with Spec.n_global = 25; zipf_theta = 0.9 };
+      }
+  in
+  Alcotest.(check int) "same commits" (Hermes_workload.Stats.committed plain.Driver.stats)
+    (Hermes_workload.Stats.committed base.Driver.stats);
+  Alcotest.(check int) "same events" plain.Driver.events base.Driver.events;
+  Alcotest.(check int) "same sim time" plain.Driver.sim_ticks base.Driver.sim_ticks
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "stats" `Quick test_histogram_stats;
+          Alcotest.test_case "merge associative" `Quick test_histogram_merge_associative;
+          Alcotest.test_case "json round trip" `Quick test_histogram_json_round_trip;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "per-site series" `Quick test_registry_sites;
+          Alcotest.test_case "merge and json" `Quick test_registry_merge_and_json;
+        ] );
+      ("tracer", [ Alcotest.test_case "emission and dumps" `Quick test_tracer ]);
+      ( "end to end",
+        [
+          Alcotest.test_case "instrumented runs deterministic" `Quick test_instrumented_run_deterministic;
+          Alcotest.test_case "registry agrees with driver" `Quick test_instrumented_run_consistent;
+          Alcotest.test_case "instrumentation is inert" `Quick test_uninstrumented_run_unchanged;
+        ] );
+    ]

@@ -124,6 +124,20 @@ let test_engine_livelock_guard () =
        false
      with Engine.Stuck _ -> true)
 
+let test_engine_stats () =
+  let e = Engine.create () in
+  let t = Engine.schedule e ~delay:10 (fun () -> Alcotest.fail "cancelled timer fired") in
+  Engine.schedule_unit e ~delay:5 (fun () -> Engine.cancel t);
+  Engine.schedule_unit e ~delay:20 (fun () -> Engine.schedule_unit e ~delay:1 (fun () -> ()));
+  Engine.run e;
+  let s = Engine.stats e in
+  (* The cancelled timer pops from the queue but only counts as
+     [cancelled], never as an executed event. *)
+  Alcotest.(check int) "executed" 3 s.Engine.events;
+  Alcotest.(check int) "cancelled" 1 s.Engine.cancelled;
+  Alcotest.(check int) "high-water pending" 3 s.Engine.max_pending;
+  Alcotest.(check int) "legacy accessor agrees" (Engine.events_executed e) s.Engine.events
+
 let prop_engine_deterministic =
   QCheck.Test.make ~name:"same schedule, same execution order" ~count:100
     QCheck.(list (int_bound 50))
@@ -159,6 +173,7 @@ let () =
           Alcotest.test_case "halt" `Quick test_engine_halt;
           Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay;
           Alcotest.test_case "livelock guard" `Quick test_engine_livelock_guard;
+          Alcotest.test_case "stats" `Quick test_engine_stats;
           q prop_engine_deterministic;
         ] );
     ]
