@@ -7,13 +7,19 @@
    the tables (and the registry totals double as a sanity check that the
    suite actually exercised the certifier paths).
 
-   Part 2 runs Bechamel microbenchmarks (M1..M7) of the certifier's and
-   substrate's hot operations: alive-interval certification, alive-table
-   maintenance, lock acquisition, serialization/commit-order graph checks,
-   replay, and the exact view-serializability decision on the paper's H1.
+   Part 2 runs Bechamel microbenchmarks (M1..M13) of the certifier's and
+   substrate's hot operations: alive-interval certification (fast path
+   and fold baseline), alive-table maintenance, commit certification
+   (fast path and fold baseline), lock acquisition, serialization /
+   commit-order graph checks, replay, and the exact view-serializability
+   decision — pruned DFS vs the naive permutation search on the same
+   fixture, plus the DFS alone on a 10-transaction history.
 
-   Run with:  dune exec bench/main.exe
-   (pass --quick for fewer seeds per experiment cell) *)
+   Run with:  dune exec bench/main.exe -- [--quick] [--jobs N] [--json FILE]
+
+   --json dumps every table cell, the suite metrics registry and the
+   microbenchmark estimates as one JSON document (see BENCH_0001.json
+   for a committed reference dump). *)
 
 open Hermes_kernel
 module Experiment = Hermes_harness.Experiment
@@ -27,6 +33,7 @@ module Commit_order_graph = Hermes_history.Commit_order_graph
 module Replay = Hermes_history.Replay
 module View = Hermes_history.View
 module Committed = Hermes_history.Committed
+module Json = Hermes_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Fixtures for the microbenchmarks                                    *)
@@ -60,9 +67,12 @@ let synthetic_history ~n_txns ~n_items =
   done;
   History.of_ops (List.rev !ops)
 
-(* The paper's H1 as a literal history (4 transactions after projection),
-   for the exact view-serializability decision benchmark. *)
-let h1_history =
+(* The paper's H1 as a literal history, for the exact
+   view-serializability decision benchmarks. Its extended committed
+   projection (T1 with the aborted incarnation, T2) is the global view
+   distortion — NOT view serializable — so an exact decider must exhaust
+   the search space to answer. *)
+let h1_ops =
   let a = site 0 and b = site 1 in
   let inc txn st k = Txn.Incarnation.make ~txn ~site:st ~inc:k in
   let t1 = Txn.global 1 and t2 = Txn.global 2 in
@@ -71,27 +81,55 @@ let h1_history =
   let item st tbl = Item.make ~site:st ~table:tbl ~key:0 in
   let xa = item a "X" and ya = item a "Y" and zb = item b "Z" in
   let r i it = Op.read ~inc:i ~item:it ~from:None () and w i it = Op.write ~inc:i ~item:it () in
-  History.of_ops
-    [
-      r i10a xa; r i10a ya; w i10a ya; r i10b zb; w i10b zb;
-      Op.Prepare { txn = t1; site = a; sn = None }; Op.Prepare { txn = t1; site = b; sn = None };
-      Op.Global_commit t1; Op.Local_abort i10a; Op.Local_commit i10b;
-      w i20a ya; r i20a xa; w i20a xa; r i20b zb; w i20b zb;
-      Op.Prepare { txn = t2; site = a; sn = None }; Op.Prepare { txn = t2; site = b; sn = None };
-      Op.Global_commit t2; Op.Local_commit i20a; Op.Local_commit i20b;
-      r i11a xa; Op.Local_commit i11a;
-    ]
+  [
+    r i10a xa; r i10a ya; w i10a ya; r i10b zb; w i10b zb;
+    Op.Prepare { txn = t1; site = a; sn = None }; Op.Prepare { txn = t1; site = b; sn = None };
+    Op.Global_commit t1; Op.Local_abort i10a; Op.Local_commit i10b;
+    w i20a ya; r i20a xa; w i20a xa; r i20b zb; w i20b zb;
+    Op.Prepare { txn = t2; site = a; sn = None }; Op.Prepare { txn = t2; site = b; sn = None };
+    Op.Global_commit t2; Op.Local_commit i20a; Op.Local_commit i20b;
+    r i11a xa; Op.Local_commit i11a;
+  ]
+
+(* H1 padded with a chain of spectator transactions s1..sn at site a:
+   s1 writes P1, each s(j+1) reads Pj and writes P(j+1). The reads-from
+   chain admits exactly one relative order of the spectators, and H1's
+   distortion keeps the whole history non-serializable — the worst case
+   for an exact decider. The pruned DFS rejects T1/T2 at every level in
+   one block replay each (O(n^2) small replays overall); the naive
+   search must fully replay all (n+2)! permutations. *)
+let h1_chain_history n =
+  let a = site 0 in
+  let spectators =
+    List.concat
+      (List.init n (fun j ->
+           let txn = Txn.global (100 + j) in
+           let inc = Txn.Incarnation.make ~txn ~site:a ~inc:0 in
+           let item k = Item.make ~site:a ~table:"P" ~key:k in
+           let reads = if j = 0 then [] else [ Op.read ~inc ~item:(item j) ~from:None () ] in
+           reads
+           @ [
+               Op.write ~inc ~item:(item (j + 1)) ();
+               Op.Prepare { txn; site = a; sn = None };
+               Op.Global_commit txn;
+               Op.Local_commit inc;
+             ]))
+  in
+  History.of_ops (h1_ops @ spectators)
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let microbenchmarks () =
+(* Each benchmark's OLS ns/run estimate, as data: the printer and the
+   JSON dump share one result list. *)
+let run_microbenchmarks () =
   let table64 = filled_alive_table 64 in
   let candidate = Interval.make ~lo:(Time.of_int 500) ~hi:(Time.of_int 2000) in
+  let sn33 = Sn.make ~ts:(Time.of_int 33) ~site:(site 0) ~seq:0 in
   let open Bechamel in
   let m1 =
-    Test.make ~name:"M1 alive-interval certification (64 prepared)"
+    Test.make ~name:"M1 alive-interval certification, fast path (64 prepared)"
       (Staged.stage (fun () -> ignore (Alive_table.all_intersect table64 candidate)))
   in
   let m2 =
@@ -127,45 +165,157 @@ let microbenchmarks () =
     Test.make ~name:"M6 replay semantics (200 ops)"
       (Staged.stage (fun () -> ignore (Replay.run h200)))
   in
+  (* The view-serializability fixtures are projected once; deciding is
+     what is measured. H1+5 spectators = 7 transactions, H1+8 = 10. *)
+  let h1x = Committed.extended (h1_chain_history 5) in
+  let h1xx = Committed.extended (h1_chain_history 8) in
+  (* Both deciders must reach the same verdict on the shared fixture or
+     the M7/M9 comparison is meaningless. *)
+  assert (
+    View.equal_decision
+      (View.view_serializable ~limit:10 h1x)
+      (View.view_serializable_naive ~limit:10 h1x));
   let m7 =
-    Test.make ~name:"M7 exact VSR decision on H1"
-      (Staged.stage (fun () -> ignore (View.view_serializable (Committed.extended h1_history))))
+    Test.make ~name:"M7 exact VSR decision, pruned DFS (H1 + chain, 7 txns)"
+      (Staged.stage (fun () -> ignore (View.view_serializable ~limit:10 h1x)))
   in
   let h200_text = Hermes_history.Serial_format.to_string h200 in
   let m8 =
     Test.make ~name:"M8 history dump+parse round trip (200 ops)"
       (Staged.stage (fun () -> ignore (Hermes_history.Serial_format.of_string h200_text)))
   in
-  let tests = [ m1; m2; m3; m4; m5; m6; m7; m8 ] in
+  let m9 =
+    Test.make ~name:"M9 exact VSR decision, naive permutations (same 7 txns)"
+      (Staged.stage (fun () -> ignore (View.view_serializable_naive ~limit:10 h1x)))
+  in
+  let m10 =
+    Test.make ~name:"M10 exact VSR decision, pruned DFS (H1 + chain, 10 txns)"
+      (Staged.stage (fun () -> ignore (View.view_serializable ~limit:10 h1xx)))
+  in
+  let m11 =
+    Test.make ~name:"M11 alive-interval certification, fold baseline (64 prepared)"
+      (Staged.stage (fun () -> ignore (Alive_table.all_intersect_fold table64 candidate)))
+  in
+  let m12 =
+    Test.make ~name:"M12 commit certification min-SN, sorted map (64 prepared)"
+      (Staged.stage (fun () -> ignore (Alive_table.min_sn_holds table64 ~gid:33 ~sn:sn33)))
+  in
+  let m13 =
+    Test.make ~name:"M13 commit certification min-SN, fold baseline (64 prepared)"
+      (Staged.stage (fun () -> ignore (Alive_table.min_sn_holds_fold table64 ~gid:33 ~sn:sn33)))
+  in
+  let tests = [ m1; m2; m3; m4; m5; m6; m7; m8; m9; m10; m11; m12; m13 ] in
   let benchmark test =
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-    in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
     let instance = Toolkit.Instance.monotonic_clock in
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
     let raw = Benchmark.all cfg [ instance ] test in
     Analyze.all ols instance raw
   in
-  Fmt.pr "@.== Microbenchmarks (Bechamel, monotonic clock) ==@.";
-  List.iter
+  List.concat_map
     (fun test ->
       let results = benchmark test in
-      Hashtbl.iter
-        (fun name ols ->
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ ns ] -> Fmt.pr "  %-50s %10.1f ns/run@." name ns
-          | _ -> Fmt.pr "  %-50s (no estimate)@." name)
-        results)
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Bechamel.Analyze.OLS.estimates ols with Some [ ns ] -> Some ns | _ -> None
+          in
+          (name, ns) :: acc)
+        results [])
     tests
 
-let () =
-  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+let print_microbenchmarks results =
+  Fmt.pr "@.== Microbenchmarks (Bechamel, monotonic clock) ==@.";
+  List.iter
+    (fun (name, ns) ->
+      match ns with
+      | Some ns -> Fmt.pr "  %-62s %12.1f ns/run@." name ns
+      | None -> Fmt.pr "  %-62s (no estimate)@." name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* JSON dump                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table_json (name, (t : Table_fmt.t)) =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("title", Json.String t.Table_fmt.title);
+      ("headers", Json.List (List.map (fun h -> Json.String h) t.Table_fmt.headers));
+      ("rows", Json.List (List.map (fun row -> Json.List (List.map (fun c -> Json.String c) row)) t.Table_fmt.rows));
+      ("notes", Json.List (List.map (fun n -> Json.String n) t.Table_fmt.notes));
+    ]
+
+let dump_json ~path ~quick ~jobs ~tables ~metrics ~micro =
+  let micro_json =
+    List.map
+      (fun (name, ns) ->
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("ns_per_run", match ns with Some ns -> Json.Float ns | None -> Json.Null);
+          ])
+      micro
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "hermes-bench/1");
+        ("quick", Json.Bool quick);
+        ("jobs", Json.Int jobs);
+        ("tables", Json.List (List.map table_json tables));
+        ("metrics", Json.of_string (Hermes_obs.Registry.to_json metrics));
+        ("microbench", Json.List micro_json);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.benchmark results written to %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench quick jobs json =
   let t0 = Unix.gettimeofday () in
   let metrics = Hermes_obs.Registry.create () in
   let seeds_of n = if quick then max 1 (n / 3) else n in
-  List.iter
-    (fun (_, table) -> Table_fmt.print (table ()))
-    (Experiment.tables ~seeds_of ~metrics ());
+  let tables =
+    List.map
+      (fun (name, table) ->
+        let t = table () in
+        Table_fmt.print t;
+        (name, t))
+      (Experiment.tables ~seeds_of ~jobs ~metrics ())
+  in
   Hermes_harness.Obs_report.print ~title:"Suite metrics (all experiments)" metrics;
-  microbenchmarks ();
+  let micro = run_microbenchmarks () in
+  print_microbenchmarks micro;
+  Option.iter (fun path -> dump_json ~path ~quick ~jobs ~tables ~metrics ~micro) json;
   Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+
+let () =
+  let open Cmdliner in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Fewer seeds per experiment cell.") in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Fan each experiment's seed sweep out over $(docv) domains (results are byte-identical).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Dump every table cell, the metrics registry and the microbenchmark estimates to $(docv).")
+  in
+  let term = Term.(const bench $ quick $ jobs $ json) in
+  let info =
+    Cmd.info "bench" ~doc:"Regenerate the experiment tables (E1..E12) and run the microbenchmarks (M1..M13)."
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -303,12 +303,21 @@ let experiments_cmd =
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e12)).")
   in
-  let run () quick seeds only metrics_out metrics_summary =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan each experiment's seed sweep out over $(docv) domains. Tables and metrics are \
+             byte-identical to a sequential run.")
+  in
+  let run () quick seeds only jobs metrics_out metrics_summary =
     let obs = obs_of_flags ~metrics_out ~trace_out:None ~summary:metrics_summary in
     let seeds_of default =
       match seeds with Some n -> n | None -> if quick then max 1 (default / 3) else default
     in
-    let tables = Experiment.tables ~seeds_of ?metrics:(Option.map Obs.metrics obs) () in
+    let tables = Experiment.tables ~seeds_of ~jobs ?metrics:(Option.map Obs.metrics obs) () in
     let tables =
       match only with None -> tables | Some name -> List.filter (fun (n, _) -> n = name) tables
     in
@@ -316,7 +325,7 @@ let experiments_cmd =
     write_obs_outputs obs ~metrics_out ~trace_out:None ~summary:metrics_summary;
     0
   in
-  let term = Term.(const run $ setup_logs $ quick $ seeds $ only $ metrics_out_arg $ metrics_summary_arg) in
+  let term = Term.(const run $ setup_logs $ quick $ seeds $ only $ jobs $ metrics_out_arg $ metrics_summary_arg) in
   Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E12).") term
 
 (* ------------------------------------------------------------------ *)

@@ -1,6 +1,17 @@
 (** The alive interval table (paper §4.2, Appendix): one entry per global
     subtransaction in the (simulated) prepared state at a site, holding
-    its serial number and last known alive time interval. *)
+    its serial number and last known alive time interval.
+
+    The table maintains incremental aggregates — a (max-lo, min-hi)
+    window over current intervals and a map sorted by (serial number,
+    gid) — so [all_intersect] has an O(log n) accept fast path and
+    [min_sn_holds]/[min_sn_blocker] are O(log n) rather than a fold per
+    COMMIT attempt. The fold-based reference implementations are exposed
+    with a [_fold] suffix for property tests and benchmarks.
+
+    [entry.intervals] must not be mutated from outside this module: the
+    aggregates are maintained by [push_interval]/[update_interval]/
+    [extend_interval] and would be silently invalidated. *)
 
 open Hermes_kernel
 
@@ -36,7 +47,14 @@ val all_intersect : t -> Interval.t -> bool
 (** The Alive Time Intersection Rule: may the candidate be prepared? The
     candidate must intersect some stored interval of every entry (sound
     for any stored interval, §4.2: decompositions are stable under CI and
-    DLU, so past simultaneous aliveness proves future conflict-freeness). *)
+    DLU, so past simultaneous aliveness proves future conflict-freeness).
+    O(log n) when the candidate sits inside the (max-lo, min-hi) window
+    or when every entry stores a single interval; falls back to
+    {!all_intersect_fold} only on a window miss with multi-interval
+    entries present. *)
+
+val all_intersect_fold : t -> Interval.t -> bool
+(** Fold-over-all-entries reference for {!all_intersect}; same answers. *)
 
 val first_non_intersecting : t -> Interval.t -> entry option
 (** A deterministic witness for a failed intersection rule: the
@@ -44,10 +62,18 @@ val first_non_intersecting : t -> Interval.t -> entry option
 
 val min_sn_holds : t -> gid:int -> sn:Sn.t -> bool
 (** Commit certification test (Appendix C): does every *other* entry have
-    a bigger serial number? *)
+    a bigger serial number? O(log n) via the sorted-by-SN map. *)
+
+val min_sn_holds_fold : t -> gid:int -> sn:Sn.t -> bool
+(** Fold-over-all-entries reference for {!min_sn_holds}; same answers. *)
 
 val min_sn_blocker : t -> gid:int -> sn:Sn.t -> entry option
 (** A deterministic witness for a failed commit certification: the entry
-    with the smallest serial number below [sn]. *)
+    with the smallest (serial number, gid) at or below [sn]. O(log n). *)
+
+val min_sn_blocker_fold : t -> gid:int -> sn:Sn.t -> entry option
+(** Fold reference for {!min_sn_blocker}; equal serial numbers break ties
+    on the smaller gid, so the witness is fold-order independent and
+    agrees with the map-based version. *)
 
 val pp : t Fmt.t

@@ -27,14 +27,15 @@ module Anomaly = Hermes_history.Anomaly
 module View = Hermes_history.View
 
 (* Shared run parameters: one seed override for the whole suite (each
-   experiment keeps its own default) and an optional registry every run's
-   metrics are absorbed into. *)
-type params = { seeds : int option; metrics : Registry.t option }
+   experiment keeps its own default), an optional registry every run's
+   metrics are absorbed into, and the domain count the seed sweeps fan
+   out over. *)
+type params = { seeds : int option; metrics : Registry.t option; jobs : int }
 
-let default_params = { seeds = None; metrics = None }
+let default_params = { seeds = None; metrics = None; jobs = 1 }
 
-let absorb_into metrics obs =
-  match metrics with Some dst -> Registry.absorb dst (Obs.metrics obs) | None -> ()
+let absorb_reg metrics reg = match metrics with Some dst -> Registry.absorb dst reg | None -> ()
+let absorb_into metrics obs = absorb_reg metrics (Obs.metrics obs)
 
 (* The certifier variants the scenario experiments compare. *)
 let scenario_configs =
@@ -120,19 +121,27 @@ let e3_indirect_distortion ?metrics () =
 
 (* E4 — the §5.3 COMMIT-overtakes-PREPARE race and the prepare
    certification extension. *)
-let e4_overtaking ?(seeds = 2_000) ?metrics () =
+let e4_overtaking ?(seeds = 2_000) ?(jobs = 1) ?metrics () =
   let jitters = [ 4_000; 8_000; 16_000; 32_000 ] in
   let count certifier jitter =
-    let races = ref 0 and cycles = ref 0 and refusals = ref 0 in
-    for seed = 1 to seeds do
-      let obs = Obs.create () in
-      let r = Scenario.overtake ~certifier ~obs ~jitter ~seed () in
-      absorb_into metrics obs;
-      if r.Scenario.overtaken then incr races;
-      if r.Scenario.o_run.Scenario.report.Report.cg_cycle <> None then incr cycles;
-      refusals := !refusals + r.Scenario.extension_refusals
-    done;
-    (!races, !cycles, !refusals)
+    (* Seeds fan out over the domain pool; the registries come back in
+       seed order and are absorbed on this domain, so the metrics dump is
+       independent of [jobs]. *)
+    let runs =
+      Pool.map ~jobs
+        (fun seed ->
+          let obs = Obs.create () in
+          let r = Scenario.overtake ~certifier ~obs ~jitter ~seed () in
+          (r, Obs.metrics obs))
+        (List.init seeds (fun i -> i + 1))
+    in
+    List.fold_left
+      (fun (races, cycles, refusals) ((r : Scenario.overtake_result), reg) ->
+        absorb_reg metrics reg;
+        ( (races + if r.Scenario.overtaken then 1 else 0),
+          (cycles + if r.Scenario.o_run.Scenario.report.Report.cg_cycle <> None then 1 else 0),
+          refusals + r.Scenario.extension_refusals ))
+      (0, 0, 0) runs
   in
   let rows =
     List.map
@@ -184,15 +193,20 @@ type agg = {
 
 (* Every run gets its own observability context; the per-run registries
    feed the certification/latency columns and are absorbed into [metrics]
-   so a whole sweep exports as one dump. *)
-let aggregate ?metrics ~seeds ~setup_of () =
+   so a whole sweep exports as one dump. Seeds fan out over the domain
+   pool; [Pool.map] preserves seed order and the absorbs happen here on
+   the calling domain, so tables and dump are byte-identical for any
+   [jobs]. *)
+let aggregate ?metrics ?(jobs = 1) ~seeds ~setup_of () =
   let runs =
-    List.init seeds (fun i ->
+    Pool.map ~jobs
+      (fun i ->
         let obs = Obs.create () in
         let r = Driver.run { (setup_of (i + 1)) with Driver.obs = Some obs } in
-        absorb_into metrics obs;
         (r, Obs.metrics obs))
+      (List.init seeds Fun.id)
   in
+  List.iter (fun (_, reg) -> absorb_reg metrics reg) runs;
   let results = List.map fst runs in
   let regs = List.map snd runs in
   let stats f = List.map f results in
@@ -230,7 +244,7 @@ let aggregate ?metrics ~seeds ~setup_of () =
 (* E5 — §6 restrictiveness, failure-free: "in a failure-free situation
    [2CM] does not abort any transactions", vs CGM's coarse-granularity
    scheduling and the ticket scheme's forced total order. *)
-let e5_restrictiveness ?(seeds = 3) ?metrics () =
+let e5_restrictiveness ?(seeds = 3) ?(jobs = 1) ?metrics () =
   let protocols =
     [
       ("2CM", Driver.Two_pca Config.full);
@@ -245,7 +259,7 @@ let e5_restrictiveness ?(seeds = 3) ?metrics () =
         List.map
           (fun (name, protocol) ->
             let a =
-              aggregate ?metrics ~seeds
+              aggregate ?metrics ~jobs ~seeds
                 ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
@@ -275,7 +289,7 @@ let e5_restrictiveness ?(seeds = 3) ?metrics () =
 
 (* E6 — the failure sweep with ablations: which certification step stops
    which anomaly class. *)
-let e6_failure_sweep ?(seeds = 5) ?metrics () =
+let e6_failure_sweep ?(seeds = 5) ?(jobs = 1) ?metrics () =
   let variants =
     [
       ("2CM (full)", Config.full);
@@ -304,7 +318,7 @@ let e6_failure_sweep ?(seeds = 5) ?metrics () =
         List.map
           (fun (name, certifier) ->
             let a =
-              aggregate ?metrics ~seeds
+              aggregate ?metrics ~jobs ~seeds
                 ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
@@ -344,13 +358,13 @@ let e6_failure_sweep ?(seeds = 5) ?metrics () =
 
 (* E7 — §5.2: clock drift causes only unnecessary aborts, never
    incorrectness. *)
-let e7_clock_drift ?(seeds = 3) ?metrics () =
+let e7_clock_drift ?(seeds = 3) ?(jobs = 1) ?metrics () =
   let spec = { Spec.default with Spec.n_global = 100; global_mpl = 6 } in
   let rows =
     List.map
       (fun drift ->
         let a =
-          aggregate ?metrics ~seeds
+          aggregate ?metrics ~jobs ~seeds
             ~setup_of:(fun seed ->
               {
                 Driver.default_setup with
@@ -379,13 +393,13 @@ let e7_clock_drift ?(seeds = 3) ?metrics () =
 
 (* E8 — Appendix C: commit-certification retry behaviour vs network
    jitter. *)
-let e8_commit_retry ?(seeds = 3) ?metrics () =
+let e8_commit_retry ?(seeds = 3) ?(jobs = 1) ?metrics () =
   let spec = { Spec.default with Spec.n_global = 100; global_mpl = 8; zipf_theta = 0.9 } in
   let rows =
     List.map
       (fun jitter ->
         let a =
-          aggregate ?metrics ~seeds
+          aggregate ?metrics ~jobs ~seeds
             ~setup_of:(fun seed ->
               {
                 Driver.default_setup with
@@ -419,7 +433,7 @@ let e8_commit_retry ?(seeds = 3) ?metrics () =
    older intervals can thus never admit a candidate the newest interval
    refuses. The experiment confirms the equivalence empirically: both
    variants must produce identical numbers. *)
-let e9_multi_interval ?(seeds = 5) ?metrics () =
+let e9_multi_interval ?(seeds = 5) ?(jobs = 1) ?metrics () =
   let spec =
     {
       Spec.default with
@@ -437,7 +451,7 @@ let e9_multi_interval ?(seeds = 5) ?metrics () =
         List.map
           (fun (name, certifier) ->
             let a =
-              aggregate ?metrics ~seeds
+              aggregate ?metrics ~jobs ~seeds
                 ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
@@ -477,7 +491,7 @@ let e9_multi_interval ?(seeds = 5) ?metrics () =
    mainframe that periodically crashes, site 1 a mid-range system with
    wait-for-graph deadlock detection, site 2 a fast system with single
    aborts; the certifier must keep the mix correct. *)
-let e10_heterogeneity ?(seeds = 5) ?metrics () =
+let e10_heterogeneity ?(seeds = 5) ?(jobs = 1) ?metrics () =
   let module Ltm_config = Hermes_ltm.Ltm_config in
   let mainframe =
     {
@@ -509,7 +523,7 @@ let e10_heterogeneity ?(seeds = 5) ?metrics () =
     List.map
       (fun (name, certifier) ->
         let a =
-          aggregate ?metrics ~seeds
+          aggregate ?metrics ~jobs ~seeds
             ~setup_of:(fun seed ->
               {
                 Driver.default_setup with
@@ -545,7 +559,7 @@ let e10_heterogeneity ?(seeds = 5) ?metrics () =
    make recovery after a *full* agent crash possible: in-doubt
    subtransactions are rebuilt by resubmission, coordinators retransmit
    unacknowledged decisions, and duplicates are answered idempotently. *)
-let e11_crash_recovery ?(seeds = 5) ?metrics () =
+let e11_crash_recovery ?(seeds = 5) ?(jobs = 1) ?metrics () =
   let spec = { Spec.default with Spec.n_global = 80; global_mpl = 6 } in
   let schedule_of_crashes n =
     (* n crashes spread over the expected run, alternating sites. *)
@@ -557,7 +571,7 @@ let e11_crash_recovery ?(seeds = 5) ?metrics () =
         List.map
           (fun (name, certifier) ->
             let a =
-              aggregate ?metrics ~seeds
+              aggregate ?metrics ~jobs ~seeds
                 ~setup_of:(fun seed ->
                   {
                     Driver.default_setup with
@@ -594,7 +608,7 @@ let e11_crash_recovery ?(seeds = 5) ?metrics () =
    own policy anyway. The certifier must stay correct over all of them —
    wounds are just unilateral aborts to it — while throughput and abort
    rates differ. *)
-let e12_deadlock_policies ?(seeds = 3) ?metrics () =
+let e12_deadlock_policies ?(seeds = 3) ?(jobs = 1) ?metrics () =
   let module Ltm_config = Hermes_ltm.Ltm_config in
   let policies =
     [
@@ -619,8 +633,9 @@ let e12_deadlock_policies ?(seeds = 3) ?metrics () =
   let rows =
     List.map
       (fun (name, deadlock) ->
-        let results =
-          List.init seeds (fun i ->
+        let runs =
+          Pool.map ~jobs
+            (fun i ->
               let obs = Obs.create () in
               let r =
                 Driver.run
@@ -634,9 +649,11 @@ let e12_deadlock_policies ?(seeds = 3) ?metrics () =
                     obs = Some obs;
                   }
               in
-              absorb_into metrics obs;
-              r)
+              (r, Obs.metrics obs))
+            (List.init seeds Fun.id)
         in
+        List.iter (fun (_, reg) -> absorb_reg metrics reg) runs;
+        let results = List.map fst runs in
         let avg_of f = avg_i (List.map f results) in
         let clean =
           List.for_all
@@ -670,21 +687,23 @@ let e12_deadlock_policies ?(seeds = 3) ?metrics () =
     rows
 
 (* The whole suite, with per-experiment seed defaults mapped through
-   [seeds_of] (the seed override or the quick-mode scaling). *)
-let tables ~seeds_of ?metrics () =
+   [seeds_of] (the seed override or the quick-mode scaling). E1-E3 are
+   four cheap scenario replays each and stay sequential; the seed sweeps
+   take [jobs]. *)
+let tables ~seeds_of ?(jobs = 1) ?metrics () =
   [
     ("e1", fun () -> e1_global_view_distortion ?metrics ());
     ("e2", fun () -> e2_local_view_distortion ?metrics ());
     ("e3", fun () -> e3_indirect_distortion ?metrics ());
-    ("e4", fun () -> e4_overtaking ~seeds:(seeds_of 2_000) ?metrics ());
-    ("e5", fun () -> e5_restrictiveness ~seeds:(seeds_of 3) ?metrics ());
-    ("e6", fun () -> e6_failure_sweep ~seeds:(seeds_of 5) ?metrics ());
-    ("e7", fun () -> e7_clock_drift ~seeds:(seeds_of 3) ?metrics ());
-    ("e8", fun () -> e8_commit_retry ~seeds:(seeds_of 3) ?metrics ());
-    ("e9", fun () -> e9_multi_interval ~seeds:(seeds_of 5) ?metrics ());
-    ("e10", fun () -> e10_heterogeneity ~seeds:(seeds_of 5) ?metrics ());
-    ("e11", fun () -> e11_crash_recovery ~seeds:(seeds_of 5) ?metrics ());
-    ("e12", fun () -> e12_deadlock_policies ~seeds:(seeds_of 3) ?metrics ());
+    ("e4", fun () -> e4_overtaking ~seeds:(seeds_of 2_000) ~jobs ?metrics ());
+    ("e5", fun () -> e5_restrictiveness ~seeds:(seeds_of 3) ~jobs ?metrics ());
+    ("e6", fun () -> e6_failure_sweep ~seeds:(seeds_of 5) ~jobs ?metrics ());
+    ("e7", fun () -> e7_clock_drift ~seeds:(seeds_of 3) ~jobs ?metrics ());
+    ("e8", fun () -> e8_commit_retry ~seeds:(seeds_of 3) ~jobs ?metrics ());
+    ("e9", fun () -> e9_multi_interval ~seeds:(seeds_of 5) ~jobs ?metrics ());
+    ("e10", fun () -> e10_heterogeneity ~seeds:(seeds_of 5) ~jobs ?metrics ());
+    ("e11", fun () -> e11_crash_recovery ~seeds:(seeds_of 5) ~jobs ?metrics ());
+    ("e12", fun () -> e12_deadlock_policies ~seeds:(seeds_of 3) ~jobs ?metrics ());
   ]
 
 let run_all ?(params = default_params) () =
@@ -692,7 +711,7 @@ let run_all ?(params = default_params) () =
     (fun (name, table) -> (name, table ()))
     (tables
        ~seeds_of:(fun default -> Option.value params.seeds ~default)
-       ?metrics:params.metrics ())
+       ~jobs:params.jobs ?metrics:params.metrics ())
 
 let all ?(quick = false) () =
   List.map

@@ -8,21 +8,26 @@ module Registry := Hermes_obs.Registry
 
 (** Shared run parameters for the suite: [seeds] overrides every
     experiment's own default seed count; [metrics] is a registry every
-    run's metrics are absorbed into (one dump for a whole sweep). *)
-type params = { seeds : int option; metrics : Registry.t option }
+    run's metrics are absorbed into (one dump for a whole sweep); [jobs]
+    is the number of domains the seed sweeps fan out over. Results are
+    byte-identical for any [jobs]: runs are independent (each owns its
+    observability context) and their registries are absorbed in seed
+    order on the calling domain. *)
+type params = { seeds : int option; metrics : Registry.t option; jobs : int }
 
 val default_params : params
-(** [{ seeds = None; metrics = None }] — per-experiment defaults, no
-    metrics collection. *)
+(** [{ seeds = None; metrics = None; jobs = 1 }] — per-experiment
+    defaults, no metrics collection, sequential. *)
 
 val run_all : ?params:params -> unit -> (string * T.t) list
 (** Every experiment, as [(short name, table)] — ["e1"] .. ["e12"]. *)
 
 val tables :
-  seeds_of:(int -> int) -> ?metrics:Registry.t -> unit -> (string * (unit -> T.t)) list
+  seeds_of:(int -> int) -> ?jobs:int -> ?metrics:Registry.t -> unit -> (string * (unit -> T.t)) list
 (** The suite as named thunks, for running a subset: [seeds_of] maps each
     experiment's default seed count to the one to use. Forcing a thunk
-    runs that experiment. *)
+    runs that experiment, fanning its seed sweep over [jobs] domains
+    (default 1; E1-E3 are cheap and always sequential). *)
 
 val e1_global_view_distortion : ?metrics:Registry.t -> unit -> T.t
 (** H1 across certifier variants (paper §3/§4). *)
@@ -33,38 +38,38 @@ val e2_local_view_distortion : ?metrics:Registry.t -> unit -> T.t
 val e3_indirect_distortion : ?metrics:Registry.t -> unit -> T.t
 (** H3: indirect-conflict local view distortion (§5.1). *)
 
-val e4_overtaking : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e4_overtaking : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** The §5.3 race vs network jitter; extension on/off. *)
 
-val e5_restrictiveness : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e5_restrictiveness : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** Failure-free abort rates and throughput: 2CM vs ticket vs CGM (§6). *)
 
-val e6_failure_sweep : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e6_failure_sweep : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** Unilateral-abort sweep with per-step ablations. *)
 
-val e7_clock_drift : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e7_clock_drift : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** §5.2: drift causes only unnecessary aborts. *)
 
-val e8_commit_retry : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e8_commit_retry : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** Appendix C: commit-certification retry behaviour vs jitter. *)
 
-val e9_multi_interval : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e9_multi_interval : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** The §4.2 "several intervals might be stored" suggestion vs the
     store-only-the-last baseline — a reproduction finding: they are
     provably (and measurably) equivalent, because the candidate's interval
     always ends at the checking moment. *)
 
-val e10_heterogeneity : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e10_heterogeneity : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** Heterogeneous LDBSs (different speeds, deadlock policies, clocks and
     failure behaviours, including site crashes) under one decentralized
     certifier. *)
 
-val e11_crash_recovery : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e11_crash_recovery : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** Full site crashes with Agent-log recovery: in-doubt subtransactions
     rebuilt by resubmission, decisions retransmitted, duplicates answered
     idempotently. *)
 
-val e12_deadlock_policies : ?seeds:int -> ?metrics:Registry.t -> unit -> T.t
+val e12_deadlock_policies : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
 (** Timeout vs detection vs wait-die vs wound-wait local deadlock
     resolution under a hot-key workload; the certifier must stay correct
     over all of them. *)

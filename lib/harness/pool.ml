@@ -1,0 +1,34 @@
+(* Work-stealing-free domain pool: an atomic index dispenses list items
+   to [jobs] domains (the caller acts as one of them), results land in a
+   slot array by index. Determinism story: the *computation* of each item
+   is pure with respect to shared state (every run builds its own Obs
+   context), so only the order results are *consumed* in matters — and
+   [map] returns them in input order. *)
+
+let map ~jobs f xs =
+  let n = List.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let error = Atomic.make None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (try out.(i) <- Some (f input.(i))
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        worker ()
+      end
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list (Array.map Option.get out)
+  end

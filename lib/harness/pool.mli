@@ -1,0 +1,14 @@
+(** A fixed pool of OCaml 5 domains for fanning independent simulation
+    runs out over cores.
+
+    [map ~jobs f xs] is [List.map f xs] computed by up to [jobs] domains
+    (the calling domain included). The result order always matches the
+    input order, so callers that fold run results — or absorb per-run
+    metrics registries — in input order get byte-identical output
+    regardless of [jobs]. [f] must not touch shared mutable state; every
+    run owns its observability context. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Degenerates to [List.map] when [jobs <= 1] or fewer than two items.
+    If any application raises, the first exception recorded is re-raised
+    after all domains have been joined. *)

@@ -1,66 +1,106 @@
 (* Linear histories: a total order of operations (paper §3, the shuffle of
    the transaction histories). The simulator produces one by tracing; tests
-   also build them literally, e.g. the paper's H1, H2, H3. *)
+   also build them literally, e.g. the paper's H1, H2, H3.
+
+   The container carries a lazily-built per-transaction index (transaction
+   -> operation positions, plus the first-appearance order) so the
+   per-transaction accessors — [ops_of_txn], [sites_of_txn],
+   [incarnations_at], [txns] — cost O(ops of that transaction) instead of
+   a scan of the whole history. The index is built on first use and cached;
+   it is derived state only, so histories stay values for every other
+   purpose. Builders ([of_ops], [filter], [append], ...) return unindexed
+   histories; nothing is paid until a per-transaction query happens. *)
 
 open Hermes_kernel
 
-type event = { op : Op.t; at : Time.t }
+type event = { op : Op.t; at : Time.t; seq : int }
 
-type t = { ops : Op.t array }
+type index = {
+  order : Txn.t list;  (* first-appearance order *)
+  positions : (Txn.t, int array) Hashtbl.t;  (* ascending op positions *)
+}
 
-let of_ops ops = { ops = Array.of_list ops }
+type t = { ops : Op.t array; mutable index : index option }
+
+let of_ops ops = { ops = Array.of_list ops; index = None }
 
 let of_events events =
-  let events = List.stable_sort (fun a b -> Time.compare a.at b.at) events in
-  { ops = Array.of_list (List.map (fun e -> e.op) events) }
+  let events =
+    List.sort
+      (fun a b ->
+        match Time.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c)
+      events
+  in
+  of_ops (List.map (fun e -> e.op) events)
 
 let ops t = Array.to_list t.ops
 let length t = Array.length t.ops
 let get t i = t.ops.(i)
-let append a b = { ops = Array.append a.ops b.ops }
-let concat ts = { ops = Array.concat (List.map (fun t -> t.ops) ts) }
-let filter f t = { ops = Array.of_list (List.filter f (ops t)) }
+let append a b = { ops = Array.append a.ops b.ops; index = None }
+let concat ts = { ops = Array.concat (List.map (fun t -> t.ops) ts); index = None }
+let filter f t = { ops = Array.of_list (List.filter f (ops t)); index = None }
 
 let fold f init t = Array.fold_left f init t.ops
 let iteri f t = Array.iteri f t.ops
 let exists f t = Array.exists f t.ops
 
-(* Transactions in order of first appearance. *)
-let txns t =
-  let seen = Hashtbl.create 16 in
-  let acc = ref [] in
-  Array.iter
-    (fun op ->
+(* One pass over the history: first-appearance order and the positions of
+   every transaction's operations. *)
+let build_index t =
+  let positions_rev : (Txn.t, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iteri
+    (fun i op ->
       let x = Op.txn op in
-      if not (Hashtbl.mem seen x) then begin
-        Hashtbl.add seen x ();
-        acc := x :: !acc
-      end)
+      match Hashtbl.find_opt positions_rev x with
+      | Some l -> l := i :: !l
+      | None ->
+          Hashtbl.add positions_rev x (ref [ i ]);
+          order := x :: !order)
     t.ops;
-  List.rev !acc
+  let positions = Hashtbl.create (Hashtbl.length positions_rev) in
+  Hashtbl.iter
+    (fun x l -> Hashtbl.replace positions x (Array.of_list (List.rev !l)))
+    positions_rev;
+  { order = List.rev !order; positions }
+
+let index t =
+  match t.index with
+  | Some idx -> idx
+  | None ->
+      let idx = build_index t in
+      t.index <- Some idx;
+      idx
+
+(* Transactions in order of first appearance. *)
+let txns t = (index t).order
 
 let global_txns t = List.filter Txn.is_global (txns t)
 let local_txns t = List.filter Txn.is_local (txns t)
 
-let ops_of_txn t x = List.filter (fun op -> Txn.equal (Op.txn op) x) (ops t)
+let positions_of_txn t x =
+  match Hashtbl.find_opt (index t).positions x with Some ps -> ps | None -> [||]
+
+let fold_ops_of_txn t x f init =
+  Array.fold_left (fun acc i -> f acc t.ops.(i)) init (positions_of_txn t x)
+
+let ops_of_txn t x = List.rev (fold_ops_of_txn t x (fun acc op -> op :: acc) [])
 
 let sites_of_txn t x =
-  List.fold_left
-    (fun acc op ->
-      if Txn.equal (Op.txn op) x then match Op.site op with Some s -> Site.Set.add s acc | None -> acc
-      else acc)
-    Site.Set.empty (ops t)
+  fold_ops_of_txn t x
+    (fun acc op -> match Op.site op with Some s -> Site.Set.add s acc | None -> acc)
+    Site.Set.empty
   |> Site.Set.elements
 
 (* Incarnation indices of [x] at [site], ascending. *)
 let incarnations_at t x ~site =
-  List.fold_left
+  fold_ops_of_txn t x
     (fun acc op ->
       match Op.incarnation op with
       | Some inc when Txn.equal inc.Txn.Incarnation.txn x && Site.equal inc.site site ->
           if List.mem inc.inc acc then acc else inc.inc :: acc
       | _ -> acc)
-    [] (ops t)
+    []
   |> List.sort Int.compare
 
 let final_incarnation_at t x ~site =
@@ -70,14 +110,20 @@ let final_incarnation_at t x ~site =
 
 let is_globally_committed t x =
   match x with
-  | Txn.Global _ -> exists (fun op -> match op with Op.Global_commit y -> Txn.equal x y | _ -> false) t
+  | Txn.Global _ ->
+      fold_ops_of_txn t x
+        (fun acc op -> acc || match op with Op.Global_commit y -> Txn.equal x y | _ -> false)
+        false
   | Txn.Local _ ->
-      exists
-        (fun op -> match op with Op.Local_commit inc -> Txn.equal inc.Txn.Incarnation.txn x | _ -> false)
-        t
+      fold_ops_of_txn t x
+        (fun acc op ->
+          acc || match op with Op.Local_commit inc -> Txn.equal inc.Txn.Incarnation.txn x | _ -> false)
+        false
 
 let locally_committed t inc =
-  exists (fun op -> match op with Op.Local_commit j -> Txn.Incarnation.equal inc j | _ -> false) t
+  fold_ops_of_txn t inc.Txn.Incarnation.txn
+    (fun acc op -> acc || match op with Op.Local_commit j -> Txn.Incarnation.equal inc j | _ -> false)
+    false
 
 (* A transaction is committed *and complete* (paper §3) when it is globally
    committed and its final incarnation has locally committed at every site

@@ -2,13 +2,16 @@
 
 open Hermes_kernel
 
-type event = { op : Op.t; at : Time.t }
+type event = { op : Op.t; at : Time.t; seq : int }
+(** [seq] is the explicit tie-break for simultaneous events: producers
+    assign a monotonically increasing sequence number, so trace->history
+    construction is deterministic by contract, not by sort stability. *)
 
 type t
 
 val of_ops : Op.t list -> t
 val of_events : event list -> t
-(** Stable-sorts by time, so simultaneous events keep trace order. *)
+(** Sorts by [(at, seq)] — a total, explicit order. *)
 
 val ops : t -> Op.t list
 val length : t -> int
@@ -25,7 +28,14 @@ val txns : t -> Txn.t list
 
 val global_txns : t -> Txn.t list
 val local_txns : t -> Txn.t list
+
 val ops_of_txn : t -> Txn.t -> Op.t list
+(** O(ops of the transaction) after a one-off O(history) index build that
+    is cached on the history (as are the other per-transaction
+    accessors). The cached index makes per-transaction queries cheap but
+    is built unsynchronized: share a history across domains only after
+    forcing it once (e.g. by calling [txns]). *)
+
 val sites_of_txn : t -> Txn.t -> Site.t list
 
 val incarnations_at : t -> Txn.t -> site:Site.t -> int list

@@ -23,7 +23,7 @@ type t = {
   value_mismatches : Values.mismatch list;  (* trace-vs-execution cross-check *)
 }
 
-let analyze ?(vsr_limit = 7) h =
+let analyze ?(vsr_limit = 10) h =
   let c = Committed.extended h in
   {
     n_txns = List.length (History.txns c);

@@ -21,7 +21,7 @@ type t = {
 
 val analyze : ?vsr_limit:int -> History.t -> t
 (** Computes the extended committed projection internally; [vsr_limit]
-    bounds the exact view-serializability search (default 7 transactions). *)
+    bounds the exact view-serializability search (default 10 transactions). *)
 
 val rigorous : t -> bool
 val serializable : t -> bool

@@ -1,6 +1,8 @@
 (** View equivalence and view serializability — the paper's ultimate
-    correctness criterion for C(H) (§3). Exact decisions by permutation
-    search for scenario-size histories. *)
+    correctness criterion for C(H) (§3). Exact decisions by a prefix-pruned
+    DFS over serial orders (with a conflict-serializable fast path) for
+    scenario-size histories; the blind permutation search is kept as the
+    reference implementation. *)
 
 open Hermes_kernel
 
@@ -26,8 +28,18 @@ val equal_decision : decision -> decision -> bool
 val pp_decision : decision Fmt.t
 
 val view_serializable : ?limit:int -> History.t -> decision
-(** Exact decision when the history has at most [limit] (default 8)
-    transactions; [Too_large] otherwise. *)
+(** Exact decision when the history has at most [limit] (default 12)
+    transactions; [Too_large] otherwise. Prefix-pruned DFS: a serial
+    prefix is extended only if the appended transaction's replayed reads
+    match the target view, each extension replaying just the added block
+    against a journalled (undoable) store. When SG(H) is acyclic its
+    topological order is tried first and confirmed by a single replay. *)
+
+val view_serializable_naive : ?limit:int -> History.t -> decision
+(** The pre-optimization reference: lazy permutation enumeration, full
+    replay per candidate order, default [limit] 8. Same decisions as
+    {!view_serializable} (witness orders may differ); kept for the
+    equivalence property tests and the M9 benchmark baseline. *)
 
 val conflict_serializable : History.t -> bool
 (** SG(H) acyclicity. *)

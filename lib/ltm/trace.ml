@@ -13,11 +13,12 @@ type t = { mutable events : History.event list; mutable count : int }
 let create () = { events = []; count = 0 }
 
 let record t ~at op =
-  t.events <- { History.op; at } :: t.events;
+  t.events <- { History.op; at; seq = t.count } :: t.events;
   t.count <- t.count + 1
 
 let count t = t.count
 
 (* Events are appended in nondecreasing time order (the engine fires in
-   order), so a reverse is enough; [of_events] re-sorts stably anyway. *)
+   order), so a reverse is enough; [of_events] re-sorts by (time, seq)
+   anyway — the recording order is the explicit tie-break. *)
 let history t = History.of_events (List.rev t.events)

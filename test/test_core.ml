@@ -504,6 +504,68 @@ let test_alive_table_interval_cap () =
   | Some e -> Alcotest.(check int) "two intervals" 2 (List.length e.Alive_table.intervals)
   | None -> Alcotest.fail "entry missing"
 
+(* Satellite of the aggregate rework: on equal serial numbers both
+   blocker variants must agree on the smaller gid, independent of
+   hash-fold order. *)
+let test_min_sn_blocker_tie_break () =
+  let t = Alive_table.create () in
+  let sn = Sn.make ~ts:(Time.of_int 5) ~site:a ~seq:0 in
+  let iv = Interval.make ~lo:Time.zero ~hi:(Time.of_int 10) in
+  Alive_table.insert t ~gid:7 ~sn ~interval:iv;
+  Alive_table.insert t ~gid:3 ~sn ~interval:iv;
+  let check_gid name got =
+    match got with
+    | Some e -> Alcotest.(check int) name 3 e.Alive_table.gid
+    | None -> Alcotest.fail (name ^ ": no blocker")
+  in
+  let candidate_sn = Sn.make ~ts:(Time.of_int 9) ~site:a ~seq:0 in
+  check_gid "map blocker ties on gid" (Alive_table.min_sn_blocker t ~gid:99 ~sn:candidate_sn);
+  check_gid "fold blocker ties on gid" (Alive_table.min_sn_blocker_fold t ~gid:99 ~sn:candidate_sn)
+
+(* The incremental aggregates must answer exactly like the fold
+   references after any operation sequence, including interleaved
+   inserts, removals, resubmission pushes, baseline updates and alive
+   extensions. *)
+let prop_fast_paths_agree_with_folds =
+  QCheck.Test.make ~name:"aggregate fast paths = fold references" ~count:300 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 1) in
+      let t = Alive_table.create () in
+      let sn n = Sn.make ~ts:(Time.of_int n) ~site:a ~seq:0 in
+      let iv () =
+        let lo = Rng.int rng ~bound:50 in
+        Interval.make ~lo:(Time.of_int lo) ~hi:(Time.of_int (lo + Rng.int rng ~bound:30))
+      in
+      let same_entry x y =
+        match (x, y) with
+        | None, None -> true
+        | Some (e1 : Alive_table.entry), Some e2 -> e1.Alive_table.gid = e2.Alive_table.gid
+        | _ -> false
+      in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let gid = Rng.int rng ~bound:8 in
+        (match Rng.int rng ~bound:6 with
+        | 0 ->
+            if not (Alive_table.mem t ~gid) then
+              Alive_table.insert t ~gid ~sn:(sn (Rng.int rng ~bound:10)) ~interval:(iv ())
+        | 1 -> Alive_table.remove t ~gid
+        | 2 -> Alive_table.push_interval t ~gid ~max_intervals:(1 + Rng.int rng ~bound:3) (iv ())
+        | 3 -> Alive_table.update_interval t ~gid (iv ())
+        | _ -> Alive_table.extend_interval t ~gid ~hi:(Time.of_int (Rng.int rng ~bound:100)));
+        let cand = iv () in
+        let gid' = Rng.int rng ~bound:8 and sn' = sn (Rng.int rng ~bound:10) in
+        ok :=
+          !ok
+          && Alive_table.all_intersect t cand = Alive_table.all_intersect_fold t cand
+          && Alive_table.min_sn_holds t ~gid:gid' ~sn:sn'
+             = Alive_table.min_sn_holds_fold t ~gid:gid' ~sn:sn'
+          && same_entry
+               (Alive_table.min_sn_blocker t ~gid:gid' ~sn:sn')
+               (Alive_table.min_sn_blocker_fold t ~gid:gid' ~sn:sn')
+      done;
+      !ok)
+
 (* The E9 equivalence theorem at table level: for any candidate whose
    interval ends no earlier than every stored interval (certification
    candidates end at the checking moment), keeping several intervals
@@ -600,6 +662,8 @@ let () =
           Alcotest.test_case "multi-interval optimization" `Quick test_alive_table_multi_interval;
           Alcotest.test_case "interval cap" `Quick test_alive_table_interval_cap;
           Alcotest.test_case "multi-interval end-to-end" `Quick test_multi_interval_end_to_end;
+          Alcotest.test_case "min-SN blocker gid tie-break" `Quick test_min_sn_blocker_tie_break;
+          QCheck_alcotest.to_alcotest prop_fast_paths_agree_with_folds;
           QCheck_alcotest.to_alcotest prop_multi_interval_equivalent;
         ] );
       ( "program", [ Alcotest.test_case "basics" `Quick test_program ] );

@@ -169,6 +169,33 @@ let test_e1_shape () =
          && Astring.String.is_infix ~affix:"VSR" l)
        lines)
 
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let xs = List.init 37 Fun.id in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs)
+    (Hermes_harness.Pool.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "jobs=1 degenerate" [ 2; 4 ]
+    (Hermes_harness.Pool.map ~jobs:1 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_pool_map_exception () =
+  Alcotest.check_raises "worker exception propagates" (Failure "boom") (fun () ->
+      ignore (Hermes_harness.Pool.map ~jobs:3 (fun x -> if x = 5 then failwith "boom" else x) (List.init 10 Fun.id)))
+
+(* The acceptance criterion of the parallel runner: fanning a seed sweep
+   over domains changes neither the table text nor the metrics dump. *)
+let test_parallel_byte_identical () =
+  let run jobs =
+    let metrics = Hermes_obs.Registry.create () in
+    let t = Experiment.e8_commit_retry ~seeds:2 ~jobs ~metrics () in
+    (Table_fmt.to_string t, Hermes_obs.Registry.to_json metrics)
+  in
+  let table1, metrics1 = run 1 and table2, metrics2 = run 2 in
+  Alcotest.(check string) "tables identical" table1 table2;
+  Alcotest.(check string) "metrics identical" metrics1 metrics2
+
 let () =
   Alcotest.run "harness"
     [
@@ -202,4 +229,10 @@ let () =
           Alcotest.test_case "cells" `Quick test_table_cells;
         ] );
       ( "experiments", [ Alcotest.test_case "E1 shape" `Slow test_e1_shape ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordered map" `Quick test_pool_map_order;
+          Alcotest.test_case "exception propagation" `Quick test_pool_map_exception;
+          Alcotest.test_case "parallel run byte-identical" `Slow test_parallel_byte_identical;
+        ] );
     ]

@@ -272,10 +272,20 @@ let test_uncommitted_dropped () =
   Alcotest.(check int) "nothing committed" 0 (History.length (Committed.extended h))
 
 let test_of_events_sorts () =
-  let e op at = { History.op; at = Time.of_int at } in
-  let h = History.of_events [ e (lc i10a) 30; e (r i10a xa) 10; e (w i10a xa) 20 ] in
+  let e op at seq = { History.op; at = Time.of_int at; seq } in
+  let h = History.of_events [ e (lc i10a) 30 0; e (r i10a xa) 10 1; e (w i10a xa) 20 2 ] in
   Alcotest.(check bool) "sorted by time" true
     (History.ops h = [ r i10a xa; w i10a xa; lc i10a ])
+
+let test_of_events_seq_tie_break () =
+  (* Simultaneous events (different sites, equal tick) are ordered by the
+     explicit sequence number, independent of list order. *)
+  let e op seq = { History.op; at = Time.of_int 10; seq } in
+  let expected = [ r i10a xa; r i10b zb; w i10a xa ] in
+  let h1 = History.of_events [ e (r i10a xa) 0; e (r i10b zb) 1; e (w i10a xa) 2 ] in
+  let h2 = History.of_events [ e (w i10a xa) 2; e (r i10b zb) 1; e (r i10a xa) 0 ] in
+  Alcotest.(check bool) "list order irrelevant" true
+    (History.ops h1 = expected && History.ops h2 = expected)
 
 let test_projection_site () =
   let ha = Projection.site h1 a in
@@ -508,6 +518,53 @@ let prop_swap_nonconflicting_preserves_view =
           swapped.(idx) <- arr.(idx + 1);
           swapped.(idx + 1) <- arr.(idx);
           View.view_equivalent (History.of_ops (Array.to_list arr)) (History.of_ops (Array.to_list swapped)))
+
+(* The pruned-DFS decider must agree with the naive permutation search on
+   random histories — including resubmissions (aborted incarnations kept
+   by the extended committed projection), the case the paper's criterion
+   is about. Witness orders may differ; each must actually witness. *)
+let prop_pruned_vsr_agrees_with_naive =
+  QCheck.Test.make ~name:"pruned DFS VSR agrees with naive permutation search" ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n_txns = 1 + Rng.int rng ~bound:6 in
+      let dml i n =
+        List.init n (fun _ ->
+            let it = Item.make ~site:a ~table:"X" ~key:(Rng.int rng ~bound:3) in
+            if Rng.bool rng ~p:0.5 then w i it else r i it)
+      in
+      let stream k =
+        let txn = g k in
+        let i0 = inc txn a 0 in
+        if Rng.bool rng ~p:0.3 then
+          (* unilateral abort after the global commit, then resubmission *)
+          let i1 = inc txn a 1 in
+          dml i0 (1 + Rng.int rng ~bound:2)
+          @ [ p txn a; gc txn; la i0 ]
+          @ dml i1 (1 + Rng.int rng ~bound:2)
+          @ [ lc i1 ]
+        else dml i0 (1 + Rng.int rng ~bound:3) @ [ p txn a; gc txn; lc i0 ]
+      in
+      let streams = Array.init n_txns (fun k -> ref (stream (k + 1))) in
+      let total = Array.fold_left (fun n s -> n + List.length !s) 0 streams in
+      let ops = ref [] in
+      for _ = 1 to total do
+        let nonempty = Array.to_list streams |> List.filter (fun s -> !s <> []) in
+        let s = List.nth nonempty (Rng.int rng ~bound:(List.length nonempty)) in
+        match !s with
+        | [] -> assert false
+        | op :: rest ->
+            ops := op :: !ops;
+            s := rest
+      done;
+      let h = Committed.extended (History.of_ops (List.rev !ops)) in
+      let witnesses order = View.view_equivalent (View.serial_of_order h order) h in
+      match (View.view_serializable ~limit:6 h, View.view_serializable_naive ~limit:6 h) with
+      | View.Serializable o1, View.Serializable o2 -> witnesses o1 && witnesses o2
+      | View.Not_serializable, View.Not_serializable -> true
+      | View.Too_large, View.Too_large -> true
+      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Quasi serializability (the related-work [11] criterion)             *)
@@ -742,6 +799,7 @@ let () =
           Alcotest.test_case "incomplete dropped" `Quick test_incomplete_txn;
           Alcotest.test_case "uncommitted dropped" `Quick test_uncommitted_dropped;
           Alcotest.test_case "of_events sorts" `Quick test_of_events_sorts;
+          Alcotest.test_case "of_events seq tie-break" `Quick test_of_events_seq_tie_break;
           Alcotest.test_case "projections" `Quick test_projection_site;
         ] );
       ( "replay",
@@ -759,6 +817,7 @@ let () =
           Alcotest.test_case "equivalence" `Quick test_view_equivalent_reflexive;
           q prop_serial_is_view_serializable;
           q prop_swap_nonconflicting_preserves_view;
+          q prop_pruned_vsr_agrees_with_naive;
         ] );
       ( "rigorous",
         [
