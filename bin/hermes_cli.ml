@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E12)
+     hermes experiments -- print the experiment tables (E1..E13)
 
    All simulations are deterministic in the seed. *)
 
@@ -123,6 +123,22 @@ let run_cmd =
     Arg.(value & opt float 0.0 & info [ "failure" ] ~doc:"P(unilateral abort | prepared subtransaction).")
   in
   let jitter = Arg.(value & opt int 200 & info [ "jitter" ] ~doc:"Network jitter in ticks.") in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"P(a message is dropped by the network).")
+  in
+  let dup =
+    Arg.(value & opt float 0.0 & info [ "dup" ] ~doc:"P(a message is duplicated by the network).")
+  in
+  let crashes =
+    Arg.(value & opt int 0 & info [ "crashes" ] ~doc:"Schedule $(docv) full site crashes across the run." ~docv:"N")
+  in
+  let reboot_delay =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "reboot-delay" ]
+          ~doc:"Ticks a crashed site stays down before recovery (0 = instantaneous reboot).")
+  in
   let drift = Arg.(value & opt int 0 & info [ "drift" ] ~doc:"Site clock drift: site i gets +/-DRIFT ticks.") in
   let theta = Arg.(value & opt float 0.6 & info [ "theta" ] ~doc:"Zipf skew of key accesses.") in
   let cgm =
@@ -138,24 +154,29 @@ let run_cmd =
       & opt (some string) None
       & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
   in
-  let run () certifier cgm sites globals mpl failure_p jitter drift theta seed verbose dump metrics_out
-      trace_out metrics_summary =
+  let run () certifier cgm sites globals mpl failure_p jitter drop dup crashes reboot_delay drift theta
+      seed verbose dump metrics_out trace_out metrics_summary =
     let protocol =
       match cgm with
       | Some granularity -> Driver.Cgm_baseline { Cgm.default_config with Cgm.granularity }
       | None -> Driver.Two_pca certifier
     in
     let obs = obs_of_flags ~metrics_out ~trace_out ~summary:metrics_summary in
+    let crash_schedule =
+      List.init crashes (fun i -> (20_000 + (i * 30_000), i mod max 1 sites))
+    in
     let setup =
       {
         Driver.default_setup with
         Driver.protocol;
         failure = Failure.prepared_rate failure_p;
-        net = { Network.base_delay = 500; jitter };
+        net = { Network.base_delay = 500; jitter; faults = { Network.no_faults with drop; dup } };
         clock_of_site =
           (fun i -> Hermes_kernel.Clock.make ~offset:(if i mod 2 = 0 then drift else -drift) ());
         seed;
         spec = { Spec.default with Spec.n_sites = sites; n_global = globals; global_mpl = mpl; zipf_theta = theta };
+        crash_schedule;
+        reboot_delay;
         obs;
       }
     in
@@ -192,8 +213,9 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drift
-      $ theta $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
+      const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drop
+      $ dup $ crashes $ reboot_delay $ drift $ theta $ seed_arg $ verbose $ dump $ metrics_out_arg
+      $ trace_out_arg $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -297,7 +319,7 @@ let experiments_cmd =
       & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
   let only =
-    let names = List.init 12 (fun i -> Fmt.str "e%d" (i + 1)) in
+    let names = List.init 13 (fun i -> Fmt.str "e%d" (i + 1)) in
     Arg.(
       value
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
@@ -326,7 +348,7 @@ let experiments_cmd =
     0
   in
   let term = Term.(const run $ setup_logs $ quick $ seeds $ only $ jobs $ metrics_out_arg $ metrics_summary_arg) in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E12).") term
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E13).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes fuzz                                                         *)
@@ -346,7 +368,7 @@ let fuzz_cmd =
           Driver.default_setup with
           Driver.protocol = Driver.Two_pca Config.full;
           failure = Failure.prepared_rate (Hermes_kernel.Rng.float rng ~bound:0.4);
-          net = { Network.base_delay = 500; jitter = Hermes_kernel.Rng.int rng ~bound:2_000 };
+          net = { Network.default_config with base_delay = 500; jitter = Hermes_kernel.Rng.int rng ~bound:2_000 };
           crash_schedule =
             (if Hermes_kernel.Rng.bool rng ~p:0.3 then
                [ (20_000, Hermes_kernel.Rng.int rng ~bound:n_sites) ]

@@ -32,7 +32,7 @@ let () =
   let trace = Trace.create () in
   let dtm =
     Dtm.create ~engine ~rng ~trace
-      ~net_config:{ Hermes_net.Network.base_delay = 500; jitter = 0 }
+      ~net_config:{ Hermes_net.Network.default_config with base_delay = 500; jitter = 0 }
       ~certifier:Config.full
       ~site_specs:(Array.make 2 Dtm.default_site_spec)
       ()

@@ -338,13 +338,20 @@ let handle_begin t ~gid ~coordinator =
   in
   Hashtbl.replace t.subs gid sub
 
-let handle_exec t sub cmd =
-  Agent_log.append_command sub.entry cmd;
-  Ltm.exec t.ltm sub.ltm_txn cmd ~on_done:(fun result ->
-      if not sub.cancelled then
-        match result with
-        | Ltm.Done r -> reply t sub (Message.Exec_ok r)
-        | Ltm.Failed reason -> reply t sub (Message.Exec_failed (Fmt.str "%a" Ltm.pp_abort_reason reason)))
+let handle_exec t sub ~step cmd =
+  (* The step index doubles as the dedup key: a duplicated EXEC carries a
+     step below the logged command count (per-link FIFO keeps steps in
+     order, so it can never be above). *)
+  if step = List.length (Agent_log.commands sub.entry) then begin
+    Agent_log.append_command sub.entry cmd;
+    Ltm.exec t.ltm sub.ltm_txn cmd ~on_done:(fun result ->
+        if not sub.cancelled then
+          match result with
+          | Ltm.Done r -> reply t sub (Message.Exec_ok { step; result = r })
+          | Ltm.Failed reason ->
+              reply t sub
+                (Message.Exec_failed { step; reason = Fmt.str "%a" Ltm.pp_abort_reason reason }))
+  end
 
 let refuse t sub refusal =
   Log.info (fun m ->
@@ -359,10 +366,7 @@ let refuse t sub refusal =
   cleanup t sub
 
 (* Extended prepare certification (Appendix B). *)
-let handle_prepare t sub sn =
-  (match sub.state with
-  | Active -> ()
-  | Prepared -> Fmt.failwith "agent %a: duplicate PREPARE for T%d" Site.pp t.site sub.gid);
+let certify_prepare t sub sn =
   sub.sn <- Some sn;
   let extension_ok =
     (not t.config.Config.certification_extension)
@@ -433,6 +437,14 @@ let handle_prepare t sub sn =
     end
   end
 
+let handle_prepare t sub sn =
+  match sub.state with
+  | Prepared ->
+      (* A retransmitted or duplicated PREPARE: the promise is already on
+         disk, so repeat the vote. *)
+      reply t sub Message.Ready
+  | Active -> certify_prepare t sub sn
+
 let handle_commit t sub =
   if sub.decision_at = None then sub.decision_at <- Some (now t);
   sub.decision_commit <- true;
@@ -452,11 +464,31 @@ let handle_rollback t sub =
 let handle_unknown t ~(msg : Message.t) =
   let answer payload = Network.send t.net ~src:(address t) ~dst:msg.Message.src ~gid:msg.gid payload in
   match msg.Message.payload with
-  | Message.Exec _ -> answer (Message.Exec_failed "subtransaction lost in a site crash")
-  | Message.Prepare _ -> answer (Message.Refuse Message.Dead_refused)
+  | Message.Exec { step; cmd } -> (
+      match Agent_log.find t.log ~gid:msg.gid with
+      | None when step = 0 ->
+          (* The BEGIN was lost by the network; the first command implies
+             it (later steps after a crash find a logged entry below). *)
+          handle_begin t ~gid:msg.gid ~coordinator:msg.Message.src;
+          (match Hashtbl.find_opt t.subs msg.gid with
+          | Some sub -> handle_exec t sub ~step cmd
+          | None -> assert false)
+      | _ -> answer (Message.Exec_failed { step; reason = "subtransaction lost in a site crash" }))
+  | Message.Prepare _ -> (
+      match Agent_log.find t.log ~gid:msg.gid with
+      | Some e when e.Agent_log.prepared && not e.Agent_log.rolled_back ->
+          (* A retransmitted PREPARE whose READY was lost (or chased a
+             crash): the promise is on disk, repeat the vote. *)
+          answer Message.Ready
+      | Some _ | None -> answer (Message.Refuse Message.Dead_refused))
   | Message.Commit -> (
       match Agent_log.find t.log ~gid:msg.gid with
       | Some e when e.Agent_log.locally_committed -> answer Message.Commit_ack
+      | Some e when e.Agent_log.prepared && not e.Agent_log.rolled_back ->
+          (* The decision reached a crashed-but-logged subtransaction
+             (crash and recovery separated in time): note it durably so
+             recovery redoes the local commit and answers the ack then. *)
+          if not e.Agent_log.committed then Agent_log.force_commit t.log e
       | Some _ | None ->
           Fmt.failwith "agent %a: COMMIT for unknown, uncommitted T%d" Site.pp t.site msg.gid)
   | Message.Rollback ->
@@ -466,10 +498,13 @@ let handle_unknown t ~(msg : Message.t) =
 
 let handle t (msg : Message.t) =
   match msg.Message.payload with
-  | Message.Begin -> handle_begin t ~gid:msg.gid ~coordinator:msg.src
-  | Message.Exec cmd -> (
+  | Message.Begin -> (
+      match (Hashtbl.mem t.subs msg.gid, Agent_log.find t.log ~gid:msg.gid) with
+      | false, None -> handle_begin t ~gid:msg.gid ~coordinator:msg.src
+      | _ -> () (* duplicated BEGIN, or one for a gid the log already knows *))
+  | Message.Exec { step; cmd } -> (
       match Hashtbl.find_opt t.subs msg.gid with
-      | Some sub -> handle_exec t sub cmd
+      | Some sub -> handle_exec t sub ~step cmd
       | None -> handle_unknown t ~msg)
   | Message.Prepare sn -> (
       match Hashtbl.find_opt t.subs msg.gid with

@@ -19,6 +19,9 @@ type t = {
                           (covers replies swallowed by a site crash) *)
   decision_retry_interval : int;  (* coordinator: ticks between COMMIT/ROLLBACK retransmissions
                                      to unacknowledged participants *)
+  prepare_retry_interval : int;  (* coordinator: ticks between PREPARE retransmissions to
+                                    participants that have not voted; armed only on a lossy
+                                    network (Network.lossy), so reliable runs are unchanged *)
 }
 
 (* The full 2CM certifier as the paper specifies it. *)
@@ -36,6 +39,7 @@ let full =
     max_intervals = 1;
     exec_timeout = 150_000;
     decision_retry_interval = 40_000;
+    prepare_retry_interval = 40_000;
   }
 
 (* The naive 2PC agent: simulated prepared state and resubmission, but no

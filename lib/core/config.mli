@@ -42,6 +42,12 @@ type t = {
       (** Coordinator: ticks between COMMIT/ROLLBACK retransmissions to
           participants that have not acknowledged (crash recovery relies
           on this; agents answer duplicates idempotently). *)
+  prepare_retry_interval : int;
+      (** Coordinator: ticks between PREPARE retransmissions to
+          participants that have not voted. Armed only when the network
+          reports itself {!Hermes_net.Network.lossy} (fault injection or
+          down sites), so reliable runs stay byte-identical; [0] disables
+          retransmission entirely. *)
 }
 
 val full : t

@@ -71,9 +71,10 @@ type t = {
   obs : Obs.t option;
   on_done : outcome -> unit;
   mutable phase : phase;
-  mutable remaining_steps : (Site.t * Command.t) list;
+  mutable remaining_steps : (Site.t * int * Command.t) list;  (* (site, per-site step, command) *)
+  mutable outstanding : (Site.t * int) option;  (* the command awaiting its reply *)
   mutable sn : Sn.t option;
-  mutable replies : int;  (* READY/REFUSE received *)
+  mutable voters : Site.Set.t;  (* sites whose READY/REFUSE arrived (duplicates ignored) *)
   mutable refusal : (Site.t * Message.refusal) option;
   mutable acked : Site.Set.t;  (* decision acknowledgements *)
   mutable exec_timer : Engine.timer option;
@@ -113,6 +114,31 @@ let rec arm_retransmit t =
              t.participants;
            arm_retransmit t))
 
+(* Retransmit PREPARE to participants that have not voted — only armed on
+   a lossy network, where the PREPARE or its vote can be dropped; voting
+   agents answer duplicates idempotently (READY again from the prepared
+   state or log, REFUSE again for a dead subtransaction). *)
+let rec arm_prepare_retransmit t =
+  cancel_timer t.retransmit_timer;
+  t.retransmit_timer <-
+    Some
+      (Engine.schedule t.engine ~delay:t.config.Config.prepare_retry_interval (fun () ->
+           match t.phase with
+           | Preparing ->
+               t.retransmissions <- t.retransmissions + 1;
+               Log.debug (fun m ->
+                   m "[%a] T%d: retransmitting PREPARE to %d silent participant(s)" Time.pp
+                     (Engine.now t.engine) t.gid
+                     (n_participants t - Site.Set.cardinal t.voters));
+               let sn = Option.get t.sn in
+               List.iter
+                 (fun s ->
+                   if not (Site.Set.mem s t.voters) then
+                     send t ~dst:(Message.Agent s) (Message.Prepare sn))
+                 t.participants;
+               arm_prepare_retransmit t
+           | Executing | Committing | Aborting _ -> ()))
+
 let start_decision t phase =
   t.phase <- phase;
   t.acked <- Site.Set.empty;
@@ -148,7 +174,11 @@ let finish t outcome =
   | None -> ());
   Network.register t.net (address t) (fun (msg : Message.t) ->
       match msg.Message.payload with
-      | Message.Commit_ack | Message.Rollback_ack -> ()
+      | Message.Commit_ack | Message.Rollback_ack | Message.Ready | Message.Refuse _
+      | Message.Exec_ok _ | Message.Exec_failed _ ->
+          (* Stray duplicates of any agent reply can trail the decision on
+             a duplicating network. *)
+          ()
       | payload -> Fmt.failwith "finished coordinator T%d: unexpected %a" t.gid Message.pp_payload payload);
   t.on_done outcome
 
@@ -163,12 +193,14 @@ let arm_exec_timeout t site =
 
 let next_step t =
   match t.remaining_steps with
-  | (site, cmd) :: rest ->
+  | (site, step, cmd) :: rest ->
       t.remaining_steps <- rest;
-      send t ~dst:(Message.Agent site) (Message.Exec cmd);
+      t.outstanding <- Some (site, step);
+      send t ~dst:(Message.Agent site) (Message.Exec { step; cmd });
       arm_exec_timeout t site
   | [] ->
       cancel_timer t.exec_timer;
+      t.outstanding <- None;
       (* All commands executed: the application submits the global Commit.
          The gate (a baseline scheduler's hook) may hold or refuse it;
          then draw the serial number (unless the ticket baseline drew it
@@ -178,48 +210,84 @@ let next_step t =
           t.phase <- Preparing;
           let sn = match t.sn with Some sn when t.config.Config.sn_at_begin -> sn | _ -> t.sn_gen () in
           t.sn <- Some sn;
-          send_to_all t (Message.Prepare sn))
+          send_to_all t (Message.Prepare sn);
+          if Network.lossy t.net && t.config.Config.prepare_retry_interval > 0 then
+            arm_prepare_retransmit t)
         ~refuse:(fun why -> start_abort t (Gate_refused why))
+
+let is_outstanding t site step =
+  match t.outstanding with Some (s, k) -> Site.equal s site && k = step | None -> false
 
 let handle t (msg : Message.t) =
   let from_site = match msg.Message.src with Message.Agent s -> s | Message.Coordinator _ -> assert false in
   match (t.phase, msg.Message.payload) with
-  | Executing, Message.Exec_ok _ ->
+  | Executing, Message.Exec_ok { step; _ } when is_outstanding t from_site step ->
       cancel_timer t.exec_timer;
       next_step t
-  | Executing, Message.Exec_failed why -> start_abort t (Exec_failed (from_site, why))
+  | Executing, Message.Exec_ok _ ->
+      (* A duplicated reply to an already-answered command: ignore. *)
+      ()
+  | Executing, Message.Exec_failed { step; reason } when is_outstanding t from_site step ->
+      start_abort t (Exec_failed (from_site, reason))
+  | Executing, Message.Exec_failed _ -> ()
   | Preparing, Message.Ready ->
-      t.replies <- t.replies + 1;
-      if t.replies = n_participants t then
-        if t.refusal = None then begin
-          (* Record the decision in stable storage: the global commit. *)
-          Log.debug (fun m ->
-              m "[%a] T%d: all READY, committing (sn %a)" Time.pp (Engine.now t.engine) t.gid
-                Fmt.(option Sn.pp) t.sn);
-          Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_commit (Txn.global t.gid));
-          start_decision t Committing
-        end
-        else
+      if not (Site.Set.mem from_site t.voters) then begin
+        t.voters <- Site.Set.add from_site t.voters;
+        if Site.Set.cardinal t.voters = n_participants t then
+          if t.refusal = None then begin
+            (* Record the decision in stable storage: the global commit. *)
+            Log.debug (fun m ->
+                m "[%a] T%d: all READY, committing (sn %a)" Time.pp (Engine.now t.engine) t.gid
+                  Fmt.(option Sn.pp) t.sn);
+            Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_commit (Txn.global t.gid));
+            start_decision t Committing
+          end
+          else
+            let site, refusal = Option.get t.refusal in
+            start_abort t (Refused (site, refusal))
+      end
+  | Preparing, Message.Refuse r ->
+      if not (Site.Set.mem from_site t.voters) then begin
+        t.voters <- Site.Set.add from_site t.voters;
+        if t.refusal = None then t.refusal <- Some (from_site, r);
+        if Site.Set.cardinal t.voters = n_participants t then
           let site, refusal = Option.get t.refusal in
           start_abort t (Refused (site, refusal))
-  | Preparing, Message.Refuse r ->
-      t.replies <- t.replies + 1;
-      if t.refusal = None then t.refusal <- Some (from_site, r);
-      if t.replies = n_participants t then
-        let site, refusal = Option.get t.refusal in
-        start_abort t (Refused (site, refusal))
+      end
+  | Preparing, (Message.Exec_ok _ | Message.Exec_failed _) ->
+      (* Duplicated command replies arriving after the last command was
+         first answered: ignore. *)
+      ()
   | Committing, Message.Commit_ack ->
-      t.acked <- Site.Set.add from_site t.acked;
-      if Site.Set.cardinal t.acked = n_participants t then finish t Committed
+      if not (Site.Set.mem from_site t.acked) then begin
+        t.acked <- Site.Set.add from_site t.acked;
+        if Site.Set.cardinal t.acked = n_participants t then finish t Committed
+      end
+  | Committing, (Message.Ready | Message.Refuse _ | Message.Exec_ok _ | Message.Exec_failed _) ->
+      (* Duplicated votes or command replies trailing the decision: ignore. *)
+      ()
   | Aborting reason, Message.Rollback_ack ->
-      t.acked <- Site.Set.add from_site t.acked;
-      if Site.Set.cardinal t.acked = n_participants t then finish t (Aborted reason)
+      if not (Site.Set.mem from_site t.acked) then begin
+        t.acked <- Site.Set.add from_site t.acked;
+        if Site.Set.cardinal t.acked = n_participants t then finish t (Aborted reason)
+      end
   | Aborting _, (Message.Exec_ok _ | Message.Exec_failed _ | Message.Ready | Message.Refuse _) ->
       (* Late replies racing the abort decision (e.g. an Exec_ok in flight
          when the exec timeout fired): ignore. *)
       ()
   | _, payload ->
       Fmt.failwith "coordinator T%d: unexpected %a in current phase" t.gid Message.pp_payload payload
+
+(* Tag each command with its per-site step index, so agents and the
+   coordinator can recognize (and ignore) duplicated EXECs and replies. *)
+let number_steps steps =
+  let counts = Hashtbl.create 8 in
+  List.map
+    (fun (site, cmd) ->
+      let k = Option.value (Hashtbl.find_opt counts (Site.to_int site)) ~default:0 in
+      Hashtbl.replace counts (Site.to_int site) (k + 1);
+      (site, k, cmd))
+    steps
 
 let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program ~on_done () =
   let t =
@@ -237,9 +305,10 @@ let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_ge
       obs;
       on_done;
       phase = Executing;
-      remaining_steps = Program.steps program;
+      remaining_steps = number_steps (Program.steps program);
+      outstanding = None;
       sn = None;
-      replies = 0;
+      voters = Site.Set.empty;
       refusal = None;
       acked = Site.Set.empty;
       exec_timer = None;

@@ -36,6 +36,7 @@ type site_ctx = {
   clock : Clock.t;
   injector : Failure.t;
   mutable sn_seq : int;
+  mutable down : bool;  (* crashed, reboot pending *)
 }
 
 type t = {
@@ -65,7 +66,7 @@ let create ~engine ~rng ~trace ~net_config ~certifier ?obs ~site_specs () =
             ~rng:(Rng.split rng ~label:(Fmt.str "failure-%d" i))
             ~config:spec.failure ltm
         in
-        { site; db; ltm; agent; clock = spec.clock; injector; sn_seq = 0 })
+        { site; db; ltm; agent; clock = spec.clock; injector; sn_seq = 0; down = false })
       site_specs
   in
   { engine; rng; trace; net; certifier; obs; sites; next_gid = 1; submitted = 0 }
@@ -100,15 +101,32 @@ let submit ?gate t program ~on_done =
        ~trace:t.trace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program ~on_done ());
   gid
 
-(* A site crash with instantaneous reboot: the collective unilateral abort
-   of every live transaction at the site plus loss of all volatile agent
-   state, followed immediately by recovery from the Agent log. (The reboot
-   is atomic so no message ever finds the site's handler missing — the
-   paper's network never loses messages.) *)
-let crash_site t site =
+(* A site crash: the collective unilateral abort of every live transaction
+   at the site plus loss of all volatile agent state, followed by recovery
+   from the Agent log.
+
+   With [reboot_delay = 0] (the default, the paper's idealization) the
+   reboot is atomic, so no message ever finds the site's handler missing.
+   A positive [reboot_delay] keeps the site genuinely down for that many
+   ticks: the network counts deliveries to it as drops, and recovery runs
+   when it comes back up — the coordinators' retransmissions then carry
+   the decisions across the outage. *)
+let crash_site ?(reboot_delay = 0) t site =
   let c = ctx t site in
-  Agent.crash c.agent;
-  Agent.recover c.agent
+  if not c.down then
+    if reboot_delay <= 0 then begin
+      Agent.crash c.agent;
+      Agent.recover c.agent
+    end
+    else begin
+      c.down <- true;
+      Agent.crash c.agent;
+      Network.mark_down t.net (Hermes_net.Message.Agent site);
+      Engine.schedule_unit t.engine ~delay:reboot_delay (fun () ->
+          Network.mark_up t.net (Hermes_net.Message.Agent site);
+          c.down <- false;
+          Agent.recover c.agent)
+    end
 
 (* Load a row directly into a site's database (initial state, written by
    the hypothetical initializing transaction T_0). *)
@@ -198,4 +216,6 @@ let export_metrics t reg =
     t.sites;
   let add name v = if v <> 0 then Registry.Counter.add (Registry.counter reg name) v in
   add "net.sent" (Network.sent t.net);
-  add "net.delivered" (Network.delivered t.net)
+  add "net.delivered" (Network.delivered t.net);
+  add "net.dropped" (Network.dropped t.net);
+  add "net.duplicated" (Network.duplicated t.net)

@@ -46,10 +46,15 @@ val submit : ?gate:Coordinator.gate -> t -> Program.t -> on_done:(Coordinator.ou
 val load : t -> Site.t -> table:string -> key:int -> value:int -> unit
 (** Install an initial row (written by the initializing transaction T_0). *)
 
-val crash_site : t -> Site.t -> unit
-(** Site crash with instantaneous reboot: collective abort of every live
-    transaction, loss of all volatile agent state, recovery from the
-    Agent log. *)
+val crash_site : ?reboot_delay:int -> t -> Site.t -> unit
+(** Site crash: collective abort of every live transaction, loss of all
+    volatile agent state, recovery from the Agent log. With
+    [reboot_delay = 0] (default) the reboot is instantaneous — the
+    paper's idealization. A positive [reboot_delay] keeps the site down
+    for that many ticks: the network counts deliveries to it as drops,
+    recovery runs when it comes back up, and coordinator retransmissions
+    carry the 2PC decisions across the outage. A crash on a site already
+    down is ignored. *)
 
 val history : t -> Hermes_history.History.t
 (** The trace so far, as a history. *)

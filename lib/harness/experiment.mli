@@ -20,7 +20,7 @@ val default_params : params
     defaults, no metrics collection, sequential. *)
 
 val run_all : ?params:params -> unit -> (string * T.t) list
-(** Every experiment, as [(short name, table)] — ["e1"] .. ["e12"]. *)
+(** Every experiment, as [(short name, table)] — ["e1"] .. ["e13"]. *)
 
 val tables :
   seeds_of:(int -> int) -> ?jobs:int -> ?metrics:Registry.t -> unit -> (string * (unit -> T.t)) list
@@ -73,6 +73,12 @@ val e12_deadlock_policies : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> un
 (** Timeout vs detection vs wait-die vs wound-wait local deadlock
     resolution under a hot-key workload; the certifier must stay correct
     over all of them. *)
+
+val e13_unreliable_net : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
+(** Drop/duplication faults plus real reboot windows: the hardened 2PC
+    layer (retransmission, set-based vote counting, idempotent replay
+    from the Agent log) must keep full 2CM distortion-free, acyclic and
+    live on a network the paper assumes away; naive is the ablation. *)
 
 val all : ?quick:bool -> unit -> T.t list
 (** The tables of {!run_all} without names; [quick] divides each seed

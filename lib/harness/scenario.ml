@@ -36,7 +36,7 @@ let make_world ?obs ~certifier ~seed () =
   let trace = Trace.create () in
   let dtm =
     Dtm.create ~engine ~rng ~trace
-      ~net_config:{ Network.base_delay = 500; jitter = 0 }
+      ~net_config:{ Network.default_config with base_delay = 500; jitter = 0 }
       ~certifier ?obs
       ~site_specs:(Array.make 2 Dtm.default_site_spec)
       ()
@@ -297,7 +297,7 @@ let overtake ?(certifier = Config.naive) ?obs ~jitter ~seed () =
   let trace = Trace.create () in
   let dtm =
     Dtm.create ~engine ~rng ~trace
-      ~net_config:{ Network.base_delay = 500; jitter }
+      ~net_config:{ Network.default_config with base_delay = 500; jitter }
       ~certifier ?obs
       ~site_specs:(Array.make 2 Dtm.default_site_spec)
       ()

@@ -35,9 +35,9 @@ let pp_refusal ppf = function
 
 type payload =
   | Begin
-  | Exec of Command.t
-  | Exec_ok of Command.result
-  | Exec_failed of string
+  | Exec of { step : int; cmd : Command.t }
+  | Exec_ok of { step : int; result : Command.result }
+  | Exec_failed of { step : int; reason : string }
   | Prepare of Sn.t
   | Ready
   | Refuse of refusal
@@ -48,9 +48,9 @@ type payload =
 
 let pp_payload ppf = function
   | Begin -> Fmt.string ppf "BEGIN"
-  | Exec c -> Fmt.pf ppf "EXEC %a" Command.pp c
-  | Exec_ok r -> Fmt.pf ppf "OK %a" Command.pp_result r
-  | Exec_failed why -> Fmt.pf ppf "FAILED %s" why
+  | Exec { step; cmd } -> Fmt.pf ppf "EXEC #%d %a" step Command.pp cmd
+  | Exec_ok { step; result } -> Fmt.pf ppf "OK #%d %a" step Command.pp_result result
+  | Exec_failed { step; reason } -> Fmt.pf ppf "FAILED #%d %s" step reason
   | Prepare sn -> Fmt.pf ppf "PREPARE sn=%a" Sn.pp sn
   | Ready -> Fmt.string ppf "READY"
   | Refuse r -> Fmt.pf ppf "REFUSE %a" pp_refusal r

@@ -20,9 +20,11 @@ val pp_refusal : refusal Fmt.t
 
 type payload =
   | Begin
-  | Exec of Command.t
-  | Exec_ok of Command.result
-  | Exec_failed of string
+  | Exec of { step : int; cmd : Command.t }
+      (** [step] is the per-site command index, so a duplicated EXEC (or
+          its reply) can be recognized and ignored *)
+  | Exec_ok of { step : int; result : Command.result }
+  | Exec_failed of { step : int; reason : string }
   | Prepare of Sn.t
   | Ready
   | Refuse of refusal

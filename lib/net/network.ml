@@ -1,10 +1,20 @@
 (* The simulated network.
 
-   The paper assumes messages are not corrupted, lost or reordered; we
-   keep per-(src, dst) FIFO order and reliability, but delays between
-   *different* links are independent — so a COMMIT from one coordinator
-   can overtake a PREPARE from another at the same agent, the race §5.3's
-   prepare-certification extension exists to survive. *)
+   The paper assumes messages are not corrupted, lost or reordered; by
+   default we keep per-(src, dst) FIFO order and reliability, but delays
+   between *different* links are independent — so a COMMIT from one
+   coordinator can overtake a PREPARE from another at the same agent, the
+   race §5.3's prepare-certification extension exists to survive.
+
+   Opt-in fault injection relaxes the reliability assumption: messages
+   can be dropped or duplicated (per-message coin flips), hit a delay
+   spike, or fall into a partition window on their link; a destination
+   can be marked down so deliveries to it are counted drops instead of
+   reaching a handler. All faults are driven by the network's own seeded
+   RNG — and every fault coin is guarded by its probability being
+   positive, so a fault-free configuration draws exactly the pre-fault
+   sequence and runs are byte-identical to a build without this file's
+   fault paths. *)
 
 open Hermes_kernel
 module Engine = Hermes_sim.Engine
@@ -17,12 +27,30 @@ let src = Logs.Src.create "hermes.net" ~doc:"Simulated network traffic"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type endpoint = Any_addr | Addr of Message.address
+
+type partition = {
+  between : endpoint * endpoint;  (* matched in either direction *)
+  window : int * int;  (* [lo, hi) in ticks: sends inside it are dropped *)
+}
+
+type faults = {
+  drop : float;  (* per-message drop probability *)
+  dup : float;  (* per-message duplication probability *)
+  spike_p : float;  (* per-message delay-spike probability *)
+  spike_factor : int;  (* delay multiplier when a spike hits *)
+  partitions : partition list;
+}
+
+let no_faults = { drop = 0.; dup = 0.; spike_p = 0.; spike_factor = 1; partitions = [] }
+
 type config = {
   base_delay : int;  (* ticks every message takes *)
   jitter : int;  (* additional uniform [0, jitter] ticks *)
+  faults : faults;
 }
 
-let default_config = { base_delay = 500; jitter = 200 }
+let default_config = { base_delay = 500; jitter = 200; faults = no_faults }
 
 type t = {
   engine : Engine.t;
@@ -30,16 +58,25 @@ type t = {
   config : config;
   handlers : (Message.address, Message.t -> unit) Hashtbl.t;
   last_delivery : (Message.address * Message.address, Time.t) Hashtbl.t;
-  latest_inbound : (Message.address, Time.t * int) Hashtbl.t;
-      (* per destination: the in-flight message with the latest arrival, for
-         overtaking detection (the §5.3 race is cross-link, so per-link FIFO
-         does not prevent it) *)
+  in_flight : (Message.address, (Time.t * int) list) Hashtbl.t;
+      (* per destination: every in-flight (arrival, gid), purged on
+         delivery, for overtaking detection (the §5.3 race is cross-link,
+         so per-link FIFO does not prevent it) *)
+  down : (Message.address, unit) Hashtbl.t;
   obs : Obs.t option;
   delay_hist : Histogram.t option;
   overtakes : Registry.Counter.t option;
   mutable sent : int;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable lossy : bool;
+      (* sticky: true once messages can fail to be delivered, so protocol
+         layers know to arm loss-recovery timers (which would perturb
+         determinism on a reliable run) *)
 }
+
+let config_lossy faults = faults.drop > 0. || faults.partitions <> []
 
 let create ~engine ~rng ?obs ~config () = {
   engine;
@@ -47,24 +84,76 @@ let create ~engine ~rng ?obs ~config () = {
   config;
   handlers = Hashtbl.create 32;
   last_delivery = Hashtbl.create 64;
-  latest_inbound = Hashtbl.create 32;
+  in_flight = Hashtbl.create 32;
+  down = Hashtbl.create 4;
   obs;
   delay_hist = Option.map (fun o -> Registry.histogram (Obs.metrics o) "net.delay") obs;
   overtakes = Option.map (fun o -> Registry.counter (Obs.metrics o) "net.overtakes") obs;
   sent = 0;
   delivered = 0;
+  dropped = 0;
+  duplicated = 0;
+  lossy = config_lossy config.faults;
 }
 
 let register t addr handler = Hashtbl.replace t.handlers addr handler
 let unregister t addr = Hashtbl.remove t.handlers addr
 
-let send t ~src ~dst ~gid payload =
-  let msg = { Message.src; dst; gid; payload } in
-  t.sent <- t.sent + 1;
+let assume_lossy t = t.lossy <- true
+let lossy t = t.lossy
+
+let mark_down t addr =
+  t.lossy <- true;
+  Hashtbl.replace t.down addr ()
+
+let mark_up t addr = Hashtbl.remove t.down addr
+let is_down t addr = Hashtbl.mem t.down addr
+
+let count_drop t ~at ~dst ~gid ~reason =
+  t.dropped <- t.dropped + 1;
+  Obs.emit t.obs ~at (fun () ->
+      Tracer.Message_dropped { dst = Fmt.str "%a" Message.pp_address dst; gid; reason })
+
+let endpoint_matches ep addr = match ep with Any_addr -> true | Addr a -> a = addr
+
+let partitioned t ~src ~dst ~now =
+  List.exists
+    (fun { between = a, b; window = lo, hi } ->
+      let tick = Time.to_int now in
+      tick >= lo && tick < hi
+      && ((endpoint_matches a src && endpoint_matches b dst)
+         || (endpoint_matches a dst && endpoint_matches b src)))
+    t.config.faults.partitions
+
+(* Remove one in-flight record (the delivered copy); identical tuples are
+   interchangeable, so removing the first match is enough. *)
+let purge_in_flight t dst entry =
+  match Hashtbl.find_opt t.in_flight dst with
+  | None -> ()
+  | Some l ->
+      let rec drop_one = function
+        | [] -> []
+        | e :: rest when e = entry -> rest
+        | e :: rest -> e :: drop_one rest
+      in
+      (match drop_one l with
+      | [] -> Hashtbl.remove t.in_flight dst
+      | l' -> Hashtbl.replace t.in_flight dst l')
+
+(* Put one copy of [msg] on the wire: draw its delay, clamp to per-link
+   FIFO, account overtaking against every in-flight message to the same
+   destination, and schedule the delivery (which re-checks the down set —
+   a message in flight when its destination goes down is lost). *)
+let transmit t msg ~now =
+  let { Message.src; dst; gid; _ } = msg in
+  let faults = t.config.faults in
   let delay =
     t.config.base_delay + if t.config.jitter > 0 then Rng.int t.rng ~bound:(t.config.jitter + 1) else 0
   in
-  let now = Engine.now t.engine in
+  let delay =
+    if faults.spike_p > 0. && Rng.bool t.rng ~p:faults.spike_p then delay * faults.spike_factor
+    else delay
+  in
   (* Per-link FIFO: never deliver before the link's previous message. *)
   let arrival =
     let earliest = Time.add now delay in
@@ -74,22 +163,52 @@ let send t ~src ~dst ~gid payload =
   in
   Hashtbl.replace t.last_delivery (src, dst) arrival;
   (match t.delay_hist with Some h -> Histogram.record h (Time.diff arrival now) | None -> ());
-  (* Overtaking: this message will arrive before one sent earlier (over a
-     different link) to the same destination. *)
-  (match Hashtbl.find_opt t.latest_inbound dst with
-  | Some (latest, behind_gid) when Time.(latest > arrival) ->
-      (match t.overtakes with Some c -> Registry.Counter.incr c | None -> ());
-      Obs.emit t.obs ~at:now (fun () ->
-          Tracer.Overtaking { dst = Fmt.str "%a" Message.pp_address dst; gid; behind_gid })
-  | Some (latest, _) when Time.(latest < arrival) -> Hashtbl.replace t.latest_inbound dst (arrival, gid)
-  | Some _ -> ()
-  | None -> Hashtbl.replace t.latest_inbound dst (arrival, gid));
+  (* Overtaking: this message will arrive before ones sent earlier (over
+     different links) to the same destination — count each of them. *)
+  let inbound = Option.value (Hashtbl.find_opt t.in_flight dst) ~default:[] in
+  List.iter
+    (fun (behind_arrival, behind_gid) ->
+      if Time.(behind_arrival > arrival) then begin
+        (match t.overtakes with Some c -> Registry.Counter.incr c | None -> ());
+        Obs.emit t.obs ~at:now (fun () ->
+            Tracer.Overtaking { dst = Fmt.str "%a" Message.pp_address dst; gid; behind_gid })
+      end)
+    inbound;
+  Hashtbl.replace t.in_flight dst ((arrival, gid) :: inbound);
   Log.debug (fun m -> m "[%a] %a (delivery %a)" Time.pp now Message.pp msg Time.pp arrival);
   Engine.schedule_unit t.engine ~delay:(Time.diff arrival now) (fun () ->
-      t.delivered <- t.delivered + 1;
-      match Hashtbl.find_opt t.handlers dst with
-      | Some handler -> handler msg
-      | None -> Fmt.failwith "Network.send: no handler for %a (message %a)" Message.pp_address dst Message.pp msg)
+      purge_in_flight t dst (arrival, gid);
+      if is_down t dst then count_drop t ~at:arrival ~dst ~gid ~reason:"down"
+      else begin
+        t.delivered <- t.delivered + 1;
+        match Hashtbl.find_opt t.handlers dst with
+        | Some handler -> handler msg
+        | None ->
+            Fmt.failwith "Network.send: no handler for %a (message %a)" Message.pp_address dst
+              Message.pp msg
+      end)
+
+let send t ~src ~dst ~gid payload =
+  let msg = { Message.src; dst; gid; payload } in
+  t.sent <- t.sent + 1;
+  let now = Engine.now t.engine in
+  let faults = t.config.faults in
+  if partitioned t ~src ~dst ~now then count_drop t ~at:now ~dst ~gid ~reason:"partition"
+  else if faults.drop > 0. && Rng.bool t.rng ~p:faults.drop then
+    count_drop t ~at:now ~dst ~gid ~reason:"drop"
+  else begin
+    transmit t msg ~now;
+    if faults.dup > 0. && Rng.bool t.rng ~p:faults.dup then begin
+      t.duplicated <- t.duplicated + 1;
+      Obs.emit t.obs ~at:now (fun () ->
+          Tracer.Message_duplicated { dst = Fmt.str "%a" Message.pp_address dst; gid });
+      (* The copy rides the same per-link FIFO, so it arrives after the
+         original (fresh delay draw, clamped past it). *)
+      transmit t msg ~now
+    end
+  end
 
 let sent t = t.sent
 let delivered t = t.delivered
+let dropped t = t.dropped
+let duplicated t = t.duplicated

@@ -1,10 +1,37 @@
-(** The simulated network: reliable, per-link FIFO, with configurable base
-    delay and jitter. Delays on different links are independent, so a
-    COMMIT can overtake a PREPARE from a different sender (§5.3). *)
+(** The simulated network: per-link FIFO, with configurable base delay
+    and jitter. Delays on different links are independent, so a COMMIT
+    can overtake a PREPARE from a different sender (§5.3).
 
-type config = { base_delay : int; jitter : int }
+    Reliable by default; {!faults} opts into seed-deterministic message
+    loss, duplication, delay spikes and partition windows, and
+    {!mark_down} makes a destination unreachable (deliveries to it are
+    counted drops). With {!no_faults} and no down sites, runs are
+    byte-identical to the fault-free network at the same seed. *)
+
+type endpoint =
+  | Any_addr  (** matches every address (e.g. to isolate one site) *)
+  | Addr of Message.address
+
+type partition = {
+  between : endpoint * endpoint;  (** matched in either direction *)
+  window : int * int;  (** [\[lo, hi)] in ticks: sends inside it are dropped *)
+}
+
+type faults = {
+  drop : float;  (** per-message drop probability *)
+  dup : float;  (** per-message duplication probability *)
+  spike_p : float;  (** per-message delay-spike probability *)
+  spike_factor : int;  (** delay multiplier when a spike hits *)
+  partitions : partition list;
+}
+
+val no_faults : faults
+(** All probabilities zero, no partitions: the reliable network. *)
+
+type config = { base_delay : int; jitter : int; faults : faults }
 
 val default_config : config
+(** [{ base_delay = 500; jitter = 200; faults = no_faults }] *)
 
 type t
 
@@ -15,16 +42,45 @@ val create :
   config:config ->
   unit ->
   t
-(** With [?obs]: per-message delays feed a [net.delay] histogram, and a
+(** With [?obs]: per-message delays feed a [net.delay] histogram; a
     message due to arrive before an earlier-sent one to the same
     destination (the §5.3 cross-link race) bumps [net.overtakes] and
-    emits an {!Hermes_obs.Tracer.Overtaking} event. *)
+    emits an {!Hermes_obs.Tracer.Overtaking} event per overtaken
+    message; drops and duplicates emit
+    {!Hermes_obs.Tracer.Message_dropped} /
+    {!Hermes_obs.Tracer.Message_duplicated}. *)
 
 val register : t -> Message.address -> (Message.t -> unit) -> unit
 val unregister : t -> Message.address -> unit
 
 val send : t -> src:Message.address -> dst:Message.address -> gid:int -> Message.payload -> unit
-(** Raises if the destination has no registered handler at delivery time. *)
+(** Raises if the destination has no registered handler at delivery time
+    — unless it is {!mark_down}, in which case the delivery is a counted
+    drop. *)
+
+val mark_down : t -> Message.address -> unit
+(** Make [addr] unreachable: messages delivered to it (including ones
+    already in flight) are counted drops. Marks the network {!lossy}. *)
+
+val mark_up : t -> Message.address -> unit
+
+val is_down : t -> Message.address -> bool
+
+val assume_lossy : t -> unit
+(** Declare that deliveries may fail even though the static fault config
+    says otherwise (e.g. sites will be marked down later in the run). *)
+
+val lossy : t -> bool
+(** True once messages can fail to be delivered: the fault config drops
+    or partitions, a site has been {!mark_down}, or {!assume_lossy} was
+    called. Protocol layers consult this before arming loss-recovery
+    timers, so reliable runs stay byte-identical. *)
 
 val sent : t -> int
 val delivered : t -> int
+
+val dropped : t -> int
+(** Messages lost to the drop coin, a partition window, or delivery to a
+    down destination. *)
+
+val duplicated : t -> int

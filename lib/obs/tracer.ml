@@ -20,6 +20,8 @@ type event =
   | Deadlock_resolved of { site : Site.t; victim : string; policy : string }
   | Txn_aborted of { site : Site.t; owner : string; reason : string }
   | Overtaking of { dst : string; gid : int; behind_gid : int }
+  | Message_dropped of { dst : string; gid : int; reason : string }
+  | Message_duplicated of { dst : string; gid : int }
 
 type t = { mutable items : (Time.t * event) list; mutable len : int }
 
@@ -91,6 +93,11 @@ let fields_of = function
         [ ("site", site_json site); ("owner", Json.String owner); ("reason", Json.String reason) ] )
   | Overtaking { dst; gid; behind_gid } ->
       ("overtaking", [ ("dst", Json.String dst); ("gid", Json.Int gid); ("behind_gid", Json.Int behind_gid) ])
+  | Message_dropped { dst; gid; reason } ->
+      ( "message_dropped",
+        [ ("dst", Json.String dst); ("gid", Json.Int gid); ("reason", Json.String reason) ] )
+  | Message_duplicated { dst; gid } ->
+      ("message_duplicated", [ ("dst", Json.String dst); ("gid", Json.Int gid) ])
 
 let event_to_json at event =
   let name, fields = fields_of event in

@@ -32,6 +32,10 @@ type event =
   | Overtaking of { dst : string; gid : int; behind_gid : int }
       (** a message arrived before an earlier-sent message to the same
           destination (the §5.3 race) *)
+  | Message_dropped of { dst : string; gid : int; reason : string }
+      (** fault injection lost a message ([reason] is ["drop"],
+          ["partition"] or ["down"]) *)
+  | Message_duplicated of { dst : string; gid : int }  (** fault injection duplicated a message *)
 
 type t
 

@@ -46,7 +46,10 @@ type setup = {
       (* heterogeneity hook: a per-site spec replacing the uniform
          failure/ltm/clock fields where it returns [Some] *)
   crash_schedule : (int * int) list;
-      (* (tick, site index) full site crashes with instant reboot *)
+      (* (tick, site index) full site crashes *)
+  reboot_delay : int;
+      (* ticks a crashed site stays down before recovery; 0 = the paper's
+         instantaneous reboot *)
   obs : Obs.t option;
       (* observability context threaded into every component; end-of-run
          counters are exported into its registry *)
@@ -64,6 +67,7 @@ let default_setup =
     time_limit = 120_000_000;
     site_override = None;
     crash_schedule = [];
+    reboot_delay = 0;
     obs = None;
   }
 
@@ -188,11 +192,17 @@ let run setup =
     in
     loop ()
   in
-  (* Scheduled full site crashes (with instant reboot). *)
+  (* Scheduled full site crashes. With a non-zero reboot delay, sites will
+     be marked down mid-run — coordinators must arm their loss-recovery
+     retransmissions from the first transaction on, so declare the network
+     lossy up front. *)
+  if setup.reboot_delay > 0 && setup.crash_schedule <> [] then
+    Network.assume_lossy (Dtm.network dtm);
   List.iter
     (fun (at, site_idx) ->
       if site_idx >= 0 && site_idx < spec.Spec.n_sites then
-        Engine.schedule_unit engine ~delay:at (fun () -> Dtm.crash_site dtm (Site.of_int site_idx)))
+        Engine.schedule_unit engine ~delay:at (fun () ->
+            Dtm.crash_site ~reboot_delay:setup.reboot_delay dtm (Site.of_int site_idx)))
     setup.crash_schedule;
   for _ = 1 to min spec.Spec.global_mpl spec.Spec.n_global do
     global_client ()

@@ -24,7 +24,12 @@ type setup = {
       (** heterogeneity hook: per-site specs replacing the uniform fields
           where it returns [Some] *)
   crash_schedule : (int * int) list;
-      (** (tick, site index): full site crashes with instant reboot *)
+      (** (tick, site index): full site crashes *)
+  reboot_delay : int;
+      (** ticks a crashed site stays genuinely down (deliveries to it are
+          counted drops) before recovery runs; [0] is the paper's
+          instantaneous reboot. Non-zero with a crash schedule marks the
+          network lossy up front, arming PREPARE retransmission. *)
   obs : Hermes_obs.Obs.t option;
       (** observability context threaded into every component; at the end
           of the run the engine/agent/LTM/network/client counters are

@@ -340,6 +340,139 @@ let test_crash_storm_workload () =
   Alcotest.(check bool) "no distortions" true (rep.Report.global_distortions = []);
   Alcotest.(check bool) "CG acyclic" true (rep.Report.cg_cycle = None)
 
+(* Regression: the coordinator used to count PREPARE-phase votes with a
+   plain integer, so two READYs from the same site (a duplicated message
+   on a flaky network) looked like quorum and the COMMIT went out before
+   every participant had voted. Votes are now a site set. *)
+let test_duplicate_votes_no_early_commit () =
+  let module Message = Hermes_net.Message in
+  let module Network = Hermes_net.Network in
+  let engine = Engine.create () in
+  let net =
+    Network.create ~engine ~rng:(Rng.create ~seed:5)
+      ~config:{ Hermes_net.Network.default_config with jitter = 0 }
+      ()
+  in
+  let trace = Trace.create () in
+  let b_voted = ref false and early_commit = ref false in
+  (* Scripted participants: site a votes READY twice in a row; site b
+     only votes 50k ticks later. A COMMIT before b's vote is the bug. *)
+  let agent_handler ~double site (m : Message.t) =
+    let reply p = Network.send net ~src:(Message.Agent site) ~dst:m.Message.src ~gid:m.Message.gid p in
+    match m.Message.payload with
+    | Message.Begin -> ()
+    | Message.Exec { step; _ } -> reply (Message.Exec_ok { step; result = Command.Count 1 })
+    | Message.Prepare _ ->
+        if double then begin
+          reply Message.Ready;
+          reply Message.Ready
+        end
+        else
+          Engine.schedule_unit engine ~delay:50_000 (fun () ->
+              b_voted := true;
+              reply Message.Ready)
+    | Message.Commit ->
+        if not !b_voted then early_commit := true;
+        reply Message.Commit_ack
+    | Message.Rollback -> reply Message.Rollback_ack
+    | _ -> ()
+  in
+  Network.register net (Message.Agent a) (agent_handler ~double:true a);
+  Network.register net (Message.Agent b) (agent_handler ~double:false b);
+  let outcome = ref None in
+  ignore
+    (Coordinator.start ~gid:1 ~site:a ~engine ~net ~trace ~config:Config.full
+       ~sn_gen:(fun () -> Sn.make ~ts:(Engine.now engine) ~site:a ~seq:1)
+       ~program:(Program.make [ update a 0 1; update b 0 1 ])
+       ~on_done:(fun o -> outcome := Some o)
+       ());
+  Engine.run engine;
+  Alcotest.(check bool) "committed" true (!outcome = Some Coordinator.Committed);
+  Alcotest.(check bool) "no COMMIT before the second vote" false !early_commit
+
+(* Regression: a COMMIT arriving for a prepared subtransaction the agent
+   no longer knows (its volatile state died in a crash) used to raise.
+   The decision must instead be noted durably in the Agent log so that
+   recovery redoes the local commit and acks. *)
+let test_commit_while_crashed_noted_durably () =
+  let w = make_world () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm (Program.make [ update a 0 7; update b 0 (-7) ]) ~on_done:(fun o -> outcome := Some o));
+  let agent = Dtm.agent w.dtm a in
+  let noted = ref false in
+  let fired = ref false in
+  (* Crash the agent in place the moment it is prepared: its handler
+     stays registered, so the coordinator's COMMIT reaches a crashed
+     agent that has no volatile state for the gid. *)
+  let rec poll () =
+    if not !fired then
+      if Hermes_core.Agent.n_prepared agent > 0 then begin
+        fired := true;
+        Hermes_core.Agent.crash agent;
+        (* Well after the COMMIT has arrived (base delay 500, jitter 200)
+           but before recovery: the decision must already be durable,
+           the local commit must not have happened. *)
+        Engine.schedule_unit w.engine ~delay:5_000 (fun () ->
+            (match Hermes_core.Agent_log.find (Hermes_core.Agent.agent_log agent) ~gid:1 with
+            | Some e ->
+                noted :=
+                  e.Hermes_core.Agent_log.committed && not e.Hermes_core.Agent_log.locally_committed
+            | None -> ());
+            Hermes_core.Agent.recover agent)
+      end
+      else Engine.schedule_unit w.engine ~delay:100 poll
+  in
+  Engine.schedule_unit w.engine ~delay:100 poll;
+  run_to_completion w;
+  (match !outcome with
+  | Some Coordinator.Committed -> ()
+  | Some (Coordinator.Aborted r) -> Alcotest.failf "aborted: %a" Coordinator.pp_reason r
+  | None -> Alcotest.fail "stuck");
+  Alcotest.(check bool) "decision noted durably before recovery" true !noted;
+  let va = Hermes_store.Database.read (Dtm.database w.dtm a) ~table:"X" ~key:0 in
+  Alcotest.(check int) "applied exactly once" 107 (Hermes_store.Row.value (Option.get va));
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
+
+(* Every protocol message duplicated: BEGIN, EXEC, votes, decisions and
+   acks must all be handled idempotently end to end. *)
+let test_fully_duplicated_network () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:42 in
+  let trace = Trace.create () in
+  let dtm =
+    Dtm.create ~engine ~rng ~trace
+      ~net_config:
+        {
+          Hermes_net.Network.default_config with
+          faults = { Hermes_net.Network.no_faults with Hermes_net.Network.dup = 1.0 };
+        }
+      ~certifier:Config.full
+      ~site_specs:(Array.init 2 (fun _ -> Dtm.default_site_spec))
+      ()
+  in
+  let w = { engine; dtm; trace } in
+  load_standard w;
+  let committed = ref 0 and finished = ref 0 in
+  for i = 0 to 9 do
+    ignore
+      (Dtm.submit w.dtm
+         (Program.make [ update a (i mod 5) 3; update b (i mod 5) (-3) ])
+         ~on_done:(fun o ->
+           incr finished;
+           if o = Coordinator.Committed then incr committed))
+  done;
+  run_to_completion w;
+  Alcotest.(check int) "all finished" 10 !finished;
+  Alcotest.(check int) "all committed" 10 !committed;
+  let total =
+    Hermes_store.Database.total (Dtm.database w.dtm a) ~table:"X"
+    + Hermes_store.Database.total (Dtm.database w.dtm b) ~table:"X"
+  in
+  Alcotest.(check int) "effects applied exactly once" 2000 total;
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
+
 let test_agent_log_in_doubt () =
   let log = Hermes_core.Agent_log.create () in
   let coord = Hermes_net.Message.Coordinator 1 in
@@ -647,6 +780,10 @@ let () =
           Alcotest.test_case "crash while prepared" `Quick test_crash_while_prepared_recovers;
           Alcotest.test_case "crash while active" `Quick test_crash_while_active_aborts;
           Alcotest.test_case "crash storm" `Quick test_crash_storm_workload;
+          Alcotest.test_case "duplicate votes: no early commit" `Quick test_duplicate_votes_no_early_commit;
+          Alcotest.test_case "COMMIT while crashed: decision noted durably" `Quick
+            test_commit_while_crashed_noted_durably;
+          Alcotest.test_case "fully duplicated network" `Quick test_fully_duplicated_network;
           Alcotest.test_case "agent log: in-doubt set" `Quick test_agent_log_in_doubt;
           Alcotest.test_case "agent log: command order" `Quick test_agent_log_commands_order;
         ] );

@@ -36,7 +36,7 @@ let random_setup rng =
     Driver.default_setup with
     Driver.protocol = Driver.Two_pca Config.full;
     failure = Failure.prepared_rate (Rng.float rng ~bound:0.4);
-    net = { Network.base_delay = 500; jitter = Rng.int rng ~bound:2_000 };
+    net = { Network.default_config with base_delay = 500; jitter = Rng.int rng ~bound:2_000 };
     ltm =
       {
         Ltm_config.default with
@@ -127,7 +127,49 @@ let test_fuzz_deterministic () =
       (History.length r2.Driver.history)
   done
 
+(* Faults must be masked, not tolerated-with-casualties: a run on a
+   lossy, duplicating network with real reboot windows commits exactly
+   the transaction set the reliable run commits at the same seed (with
+   no injected unilateral aborts that is: all of them), with no
+   distortion, an acyclic CG and nothing stuck. *)
+let prop_lossy_run_matches_reliable =
+  QCheck.Test.make ~name:"lossy+dup+reboot run commits the reliable run's transaction set" ~count:5
+    QCheck.(pair (int_bound 100_000) (int_bound 1))
+    (fun (seed, with_reboot) ->
+      let spec = { Spec.default with Spec.n_global = 30; global_mpl = 3 } in
+      let base =
+        {
+          Driver.default_setup with
+          Driver.protocol = Driver.Two_pca Config.full;
+          seed;
+          spec;
+          time_limit = 60_000_000;
+        }
+      in
+      let reliable = Driver.run base in
+      let faulty =
+        Driver.run
+          {
+            base with
+            Driver.net =
+              {
+                Network.default_config with
+                faults = { Network.no_faults with Network.drop = 0.03; dup = 0.03 };
+              };
+            crash_schedule = [ (20_000, 0); (50_000, 1) ];
+            reboot_delay = (if with_reboot = 1 then 15_000 else 0);
+          }
+      in
+      let committed r = Stats.committed r.Driver.stats in
+      let c = Committed.extended faulty.Driver.history in
+      committed reliable = spec.Spec.n_global
+      && committed faulty = committed reliable
+      && faulty.Driver.stuck = 0
+      && Anomaly.global_view_distortions c = []
+      && Anomaly.commit_order_cycle c = None)
+
 let () =
+  let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "fuzz"
     [
       ( "protocol-fuzz",
@@ -135,5 +177,6 @@ let () =
           Alcotest.test_case "full certifier, 40 random configurations" `Slow test_fuzz_full_certifier;
           Alcotest.test_case "CGM baseline, 10 random configurations" `Slow test_fuzz_cgm;
           Alcotest.test_case "determinism" `Quick test_fuzz_deterministic;
+          q prop_lossy_run_matches_reliable;
         ] );
     ]

@@ -25,7 +25,7 @@ let test_delivery () =
 
 let test_per_link_fifo () =
   (* Heavy jitter, many messages on one link: arrival order = send order. *)
-  let engine, net = make ~config:{ Network.base_delay = 100; jitter = 5_000 } () in
+  let engine, net = make ~config:{ Network.default_config with base_delay = 100; jitter = 5_000 } () in
   let got = ref [] in
   Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
   for i = 1 to 50 do
@@ -37,7 +37,7 @@ let test_per_link_fifo () =
 let test_cross_link_races_happen () =
   (* Two senders to the same destination: with jitter, later sends can
      arrive earlier — the §5.3 COMMIT-overtakes-PREPARE race. *)
-  let engine, net = make ~config:{ Network.base_delay = 100; jitter = 2_000 } ~seed:3 () in
+  let engine, net = make ~config:{ Network.default_config with base_delay = 100; jitter = 2_000 } ~seed:3 () in
   let got = ref [] in
   Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
   let overtaken = ref false in
@@ -77,11 +77,123 @@ let test_counters () =
   Engine.run engine;
   Alcotest.(check int) "delivered" 5 (Network.delivered net)
 
+let faults_config faults = { Network.default_config with faults }
+
+let test_drop_all () =
+  (* drop = 1.0: every send is a counted drop, the handler never runs. *)
+  let engine, net = make ~config:(faults_config { Network.no_faults with drop = 1.0 }) () in
+  let got = ref 0 in
+  Network.register net (Message.Agent a) (fun _ -> incr got);
+  for i = 1 to 7 do
+    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i Message.Begin
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "all dropped" 7 (Network.dropped net);
+  Alcotest.(check int) "delivered counter" 0 (Network.delivered net)
+
+let test_duplicate_all () =
+  (* dup = 1.0: every message arrives exactly twice, in FIFO order. *)
+  let engine, net = make ~config:(faults_config { Network.no_faults with dup = 1.0 }) () in
+  let got = ref [] in
+  Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
+  for i = 1 to 5 do
+    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i Message.Begin
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "duplicated counter" 5 (Network.duplicated net);
+  Alcotest.(check (list int)) "each delivered twice, in order"
+    [ 1; 1; 2; 2; 3; 3; 4; 4; 5; 5 ]
+    (List.rev !got)
+
+let test_down_site_drops () =
+  (* Deliveries to a down destination are counted drops, not failures —
+     including messages already in flight when the site goes down. *)
+  let engine, net = make () in
+  let got = ref 0 in
+  Network.register net (Message.Agent a) (fun _ -> incr got);
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 Message.Commit;
+  Network.mark_down net (Message.Agent a);
+  Alcotest.(check bool) "lossy once a site is down" true (Network.lossy net);
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:2 Message.Commit;
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered while down" 0 !got;
+  Alcotest.(check int) "both counted drops" 2 (Network.dropped net);
+  Network.mark_up net (Message.Agent a);
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:3 Message.Commit;
+  Engine.run engine;
+  Alcotest.(check int) "delivered after reboot" 1 !got
+
+let test_partition_window () =
+  (* Sends inside the window are dropped (either direction); sends after
+     it get through. *)
+  let config =
+    faults_config
+      {
+        Network.no_faults with
+        partitions =
+          [ { Network.between = (Network.Addr (Message.Agent a), Network.Any_addr); window = (0, 1_000) } ];
+      }
+  in
+  let engine, net = make ~config () in
+  let got = ref 0 in
+  Network.register net (Message.Agent a) (fun _ -> incr got);
+  Network.register net (Message.Agent b) (fun _ -> incr got);
+  (* Inside the window, both directions across the cut. *)
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 Message.Begin;
+  Network.send net ~src:(Message.Agent a) ~dst:(Message.Agent b) ~gid:2 Message.Begin;
+  (* Unrelated link: unaffected. *)
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent b) ~gid:3 Message.Begin;
+  (* After the window closes. *)
+  Engine.schedule_unit engine ~delay:2_000 (fun () ->
+      Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:4 Message.Begin);
+  Engine.run engine;
+  Alcotest.(check int) "partition drops" 2 (Network.dropped net);
+  Alcotest.(check int) "others delivered" 2 !got
+
+(* Regression for the overtaking under-count: the old detector compared
+   only the single most recent in-flight arrival, so one late message
+   overtaking k earlier ones counted at most once. The counter must
+   equal the inversion count of the delivery order w.r.t. send order. *)
+let inversions order =
+  let arr = Array.of_list order in
+  let n = Array.length arr in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if arr.(i) > arr.(j) then incr count
+    done
+  done;
+  !count
+
+let test_overtake_counts_all () =
+  let module Obs = Hermes_obs.Obs in
+  let module Registry = Hermes_obs.Registry in
+  let engine = Engine.create () in
+  let obs = Obs.create () in
+  let net =
+    Network.create ~engine ~rng:(Rng.create ~seed:11) ~obs
+      ~config:{ Network.default_config with base_delay = 100; jitter = 4_000 }
+      ()
+  in
+  let got = ref [] in
+  Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
+  (* Many senders, one destination: gid = send order. *)
+  for i = 1 to 30 do
+    Network.send net ~src:(Message.Coordinator i) ~dst:(Message.Agent a) ~gid:i Message.Begin
+  done;
+  Engine.run engine;
+  let order = List.rev !got in
+  let expected = inversions order in
+  Alcotest.(check bool) "scenario actually races" true (expected > 1);
+  Alcotest.(check int) "every overtaken message counted" expected
+    (Registry.sum_counter (Obs.metrics obs) "net.overtakes")
+
 let prop_fifo_always =
   QCheck.Test.make ~name:"per-link FIFO holds for any seed/jitter" ~count:50
     QCheck.(pair (int_bound 1000) (int_bound 3000))
     (fun (seed, jitter) ->
-      let engine, net = make ~config:{ Network.base_delay = 10; jitter } ~seed () in
+      let engine, net = make ~config:{ Network.default_config with base_delay = 10; jitter } ~seed () in
       let got = ref [] in
       Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
       for i = 1 to 20 do
@@ -101,6 +213,11 @@ let () =
           Alcotest.test_case "cross-link races" `Quick test_cross_link_races_happen;
           Alcotest.test_case "no handler" `Quick test_no_handler_fails;
           Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "drop all" `Quick test_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_duplicate_all;
+          Alcotest.test_case "down site: counted drops" `Quick test_down_site_drops;
+          Alcotest.test_case "partition window" `Quick test_partition_window;
+          Alcotest.test_case "overtaking counts every overtaken message" `Quick test_overtake_counts_all;
           q prop_fifo_always;
         ] );
     ]
