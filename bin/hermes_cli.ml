@@ -351,6 +351,70 @@ let experiments_cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E13).") term
 
 (* ------------------------------------------------------------------ *)
+(* hermes explore                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let module Explore = Hermes_protocol.Explore in
+  let module Coordinator_sm = Hermes_protocol.Coordinator_sm in
+  let sites = Arg.(value & opt int 2 & info [ "sites" ] ~doc:"Number of sites (every transaction touches all of them).") in
+  let txns = Arg.(value & opt int 2 & info [ "txns" ] ~doc:"Number of global transactions.") in
+  let budget name ~default doc = Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc) in
+  let drops = budget "drops" ~default:0 "Budget of messages the network may lose." in
+  let dups = budget "dups" ~default:0 "Budget of messages the network may duplicate." in
+  let crashes = budget "crashes" ~default:0 "Budget of site crash+recover events." in
+  let uaborts = budget "uaborts" ~default:1 "Budget of unilateral aborts of live local transactions." in
+  let alive_fires = budget "alive-fires" ~default:1 "Budget of periodic alive-check firings." in
+  let commit_retries = budget "commit-retries" ~default:2 "Budget of commit-certification retry firings." in
+  let exec_timeouts = budget "exec-timeouts" ~default:0 "Budget of coordinator command-reply timeouts." in
+  let retransmits = budget "retransmits" ~default:0 "Budget of decision/PREPARE retransmission firings." in
+  let max_states =
+    Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N" ~doc:"Exploration cap (a hit is reported as truncation).")
+  in
+  let quorum =
+    Arg.(
+      value
+      & opt (enum [ ("dedup", Coordinator_sm.Dedup); ("counted", Coordinator_sm.Counted) ]) Coordinator_sm.Dedup
+      & info [ "quorum" ]
+          ~doc:
+            "Vote counting: $(b,dedup) (per-site, correct) or $(b,counted) (raw counter — the \
+             historical duplicate-READY fake-quorum bug, expected to produce violations).")
+  in
+  let run () certifier sites txns drops dups crashes uaborts alive_fires commit_retries exec_timeouts
+      retransmits max_states quorum =
+    let scenario =
+      {
+        Explore.n_sites = sites;
+        n_txns = txns;
+        config = { certifier with Config.bind_data = false };
+        quorum;
+        budgets =
+          { Explore.drops; dups; crashes; uaborts; alive_fires; commit_retries; exec_timeouts; retransmits };
+        max_states;
+      }
+    in
+    let st = Explore.run scenario in
+    Fmt.pr "%a@." Explore.pp_stats st;
+    List.iter (fun v -> Fmt.pr "@.%a@." Explore.pp_violation v) st.Explore.violations;
+    if st.Explore.n_violations > List.length st.Explore.violations then
+      Fmt.pr "@.(%d further violations not shown)@."
+        (st.Explore.n_violations - List.length st.Explore.violations);
+    if st.Explore.truncated then 2 else if st.Explore.n_violations > 0 then 1 else 0
+  in
+  let term =
+    Term.(
+      const run $ setup_logs $ certifier_arg $ sites $ txns $ drops $ dups $ crashes $ uaborts
+      $ alive_fires $ commit_retries $ exec_timeouts $ retransmits $ max_states $ quorum)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively model-check the pure protocol machines over every schedule of a small \
+          scenario (message reorderings, budgeted losses, duplications, unilateral aborts and \
+          crash points). Exit 0: space exhausted, no violations; 1: violations found; 2: truncated.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* hermes fuzz                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,4 +482,6 @@ let fuzz_cmd =
 let () =
   let doc = "2PC Agent certification for rigorous heterogeneous multidatabases (Veijalainen & Wolski, ICDE 1992)" in
   let info = Cmd.info "hermes" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; scenario_cmd; experiments_cmd; verify_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; scenario_cmd; experiments_cmd; verify_cmd; explore_cmd; fuzz_cmd ]))

@@ -1,39 +1,30 @@
-(* The 2PC Agent (2PCA) with the Certifier algorithms — the paper's core
-   contribution (§2, §4, §5 and the Appendix).
+(* The 2PC Agent's effectful shell. The protocol itself — the 2PC
+   Participant role and the three Certifier algorithms of the paper's
+   Appendix (alive check, extended prepare certification, commit
+   certification), subtransaction resubmission, crash volatility and
+   log-driven recovery — lives in the pure state machine
+   {!Hermes_protocol.Agent_sm}; this module owns the machine's state
+   reference and everything imperative around it:
 
-   One agent per site, attached to that site's LTM. It plays the 2PC
-   Participant towards the Coordinators and *simulates the prepared state*
-   on behalf of an LTM that has none: on READY it simply keeps the local
-   subtransaction open (all locks held, uncommitted), and if the LTM
-   unilaterally aborts it, the agent creates a new local subtransaction by
-   resubmitting the logged commands (subtransaction resubmission).
+   - translating network deliveries, timer pops, LTM callbacks (command
+     completion, commit completion, UAN) and crash/recover calls into
+     machine inputs, with the read-only environment ([Ltm.is_alive],
+     [Ltm.last_op_done], the stable log's views) sampled at input time;
+   - interpreting the returned effect list, in order, against the
+     network, the engine's timers, the {!Agent_log}, the LTM and the
+     observability layer.
 
-   The Certifier steps, exactly as in the Appendix:
+   The interpretation is order-faithful to the historical imperative
+   agent (sends, timer arms/cancels, log forces and LTM calls happen in
+   the exact sequence the old code performed them), which keeps runs
+   byte-identical at a fixed seed.
 
-   A. Alive check — periodically, and on UAN, verify the prepared
-      subtransaction is still alive; extend its alive interval on success,
-      resubmit on failure (a new interval starts when resubmission
-      completes).
-
-   B. Extended prepare certification — on PREPARE: first refuse if an
-      "older" (bigger-SN) subtransaction has already committed here
-      (§5.3); then the basic certification: the candidate's alive interval
-      must intersect the interval of every prepared subtransaction (§4.2,
-      sound by the Conflict Detection Basis under rigorousness); then a
-      final alive check. On success, force-write the prepare record, bind
-      the accessed data (DLU), answer READY.
-
-   C. Commit certification — on COMMIT: the subtransaction may commit
-      locally only if no prepared subtransaction at this site has a
-      smaller serial number; otherwise retry after a timeout.
-
-   Durability: commands, the prepare record (with the serial number and
-   bound-data set), the commit record and the biggest committed serial
-   number live in the {!Agent_log} — the stable storage that survives
-   [crash]. [recover] rebuilds every in-doubt subtransaction from it by
-   resubmission; coordinators retransmit un-acknowledged decisions, and
-   re-delivered COMMITs/ROLLBACKs are answered idempotently from the
-   log. *)
+   Bookkeeping owned here, keyed by gid: the LTM transaction handle of
+   the current incarnation, the live alive-check/commit-retry timers,
+   and the stable Agent log itself (it must survive [crash], which
+   resets the machine's volatile state). Stale callbacks of superseded
+   incarnations are filtered inside the machine by incarnation tags, so
+   the shell never needs to reason about protocol state. *)
 
 open Hermes_kernel
 module Engine = Hermes_sim.Engine
@@ -47,30 +38,12 @@ module Obs = Hermes_obs.Obs
 module Tracer = Hermes_obs.Tracer
 module Registry = Hermes_obs.Registry
 module Histogram = Hermes_obs.Histogram
+module Agent_sm = Hermes_protocol.Agent_sm
+module Types = Hermes_protocol.Types
 
 let src = Logs.Src.create "hermes.agent" ~doc:"2PC Agent / Certifier events"
 
 module Log = (val Logs.src_log src : Logs.LOG)
-
-type sub_state = Active | Prepared
-
-type sub = {
-  gid : int;
-  entry : Agent_log.entry;  (* this subtransaction's stable-log entry *)
-  coordinator : Message.address;
-  mutable inc : int;  (* current incarnation index *)
-  mutable ltm_txn : Ltm.txn;
-  mutable state : sub_state;
-  mutable sn : Sn.t option;
-  mutable resubmitting : bool;
-  mutable committing : bool;  (* local commit in flight (makes duplicate COMMITs harmless) *)
-  mutable cancelled : bool;  (* rollback/crash decided; ignore stragglers *)
-  mutable decision_commit : bool;  (* COMMIT received, not yet performed *)
-  mutable decision_at : Time.t option;  (* when the first COMMIT arrived *)
-  mutable sn_retries : int;  (* commit-certification retries of this sub *)
-  mutable alive_timer : Engine.timer option;
-  mutable retry_timer : Engine.timer option;
-}
 
 type stats = {
   mutable prepared : int;
@@ -93,8 +66,10 @@ type t = {
   trace : Trace.t;
   config : Config.t;
   log : Agent_log.t;  (* stable storage: survives crash *)
-  mutable subs : (int, sub) Hashtbl.t;  (* volatile *)
-  mutable alive_table : Alive_table.t;  (* volatile *)
+  mutable machine : Agent_sm.state;  (* the volatile protocol state *)
+  txns : (int, Ltm.txn) Hashtbl.t;  (* current incarnation's LTM handle *)
+  alive_timers : (int, Engine.timer) Hashtbl.t;
+  retry_timers : (int, Engine.timer) Hashtbl.t;
   stats : stats;
   obs : Obs.t option;
   commit_delay : Histogram.t option;  (* resolved once: decision-to-local-commit ticks *)
@@ -109,8 +84,10 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ~config () =
     trace;
     config;
     log = Agent_log.create ();
-    subs = Hashtbl.create 32;
-    alive_table = Alive_table.create ();
+    machine = Agent_sm.init ~site;
+    txns = Hashtbl.create 32;
+    alive_timers = Hashtbl.create 32;
+    retry_timers = Hashtbl.create 32;
     stats =
       {
         prepared = 0;
@@ -131,483 +108,272 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ~config () =
 
 let address t = Message.Agent t.site
 let stats t = t.stats
-let alive_table t = t.alive_table
+let alive_table t = t.machine.Agent_sm.table
 let agent_log t = t.log
-let n_prepared t = Alive_table.size t.alive_table
-
-let reply t sub payload =
-  Network.send t.net ~src:(address t) ~dst:sub.coordinator ~gid:sub.gid payload
-
+let n_prepared t = Agent_sm.n_prepared t.machine
 let now t = Engine.now t.engine
 
-let cancel_timer = function Some timer -> Engine.cancel timer | None -> ()
+let txn_exn t gid =
+  match Hashtbl.find_opt t.txns gid with
+  | Some txn -> txn
+  | None -> Fmt.invalid_arg "agent %a: no LTM transaction for T%d" Site.pp t.site gid
 
-(* Take the subtransaction out of the agent: timers off, bound data
-   released, table entry gone. The stable-log entry remains. *)
-let cleanup t sub =
-  sub.cancelled <- true;
-  cancel_timer sub.alive_timer;
-  cancel_timer sub.retry_timer;
-  sub.alive_timer <- None;
-  sub.retry_timer <- None;
-  if t.config.Config.bind_data && sub.entry.Agent_log.bound <> [] then begin
-    Bound.unbind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound;
-    sub.entry.Agent_log.bound <- []
-  end;
-  Alive_table.remove t.alive_table ~gid:sub.gid;
-  Hashtbl.remove t.subs sub.gid
+let entry_exn t gid =
+  match Agent_log.find t.log ~gid with
+  | Some e -> e
+  | None -> Fmt.invalid_arg "agent %a: no log entry for T%d" Site.pp t.site gid
 
-let incarnation sub ~site = Txn.Incarnation.make ~txn:(Txn.global sub.gid) ~site ~inc:sub.inc
-
-(* ------------------------------------------------------------------ *)
-(* Resubmission (§2, §3): replay the Agent log as a fresh local
-   subtransaction. On completion a new alive interval starts; if the new
-   incarnation is itself unilaterally aborted, start over after a small
-   backoff. *)
-(* ------------------------------------------------------------------ *)
-
-let rec start_resubmission t sub =
-  if (not sub.cancelled) && not sub.resubmitting then begin
-    sub.resubmitting <- true;
-    attempt_resubmission t sub
-  end
-
-(* One resubmission attempt; [sub.resubmitting] stays set across backoff
-   retries, so the commit path and the alive check keep waiting instead of
-   racing a fresh resubmission past the backoff. *)
-and attempt_resubmission t sub =
-  if not sub.cancelled then begin
-    t.stats.resubmissions <- t.stats.resubmissions + 1;
-    sub.inc <- sub.inc + 1;
-    Obs.emit t.obs ~at:(now t) (fun () ->
-        Tracer.Resubmission { site = t.site; gid = sub.gid; inc = sub.inc });
-    Log.debug (fun m ->
-        m "[%a %a] resubmitting T%d as incarnation %d" Time.pp (now t) Site.pp t.site sub.gid sub.inc);
-    Agent_log.note_incarnation sub.entry ~inc:sub.inc;
-    let txn = Ltm.begin_txn t.ltm ~owner:(incarnation sub ~site:t.site) in
-    sub.ltm_txn <- txn;
-    Ltm.mark_held_open t.ltm txn true;
-    feed_commands t sub txn
-  end
-
-(* Replay the logged commands into [txn] (shared by resubmission and
-   crash recovery). *)
-and feed_commands t sub txn =
-  let rec feed = function
-    | [] -> resubmission_complete t sub txn
-    | cmd :: rest ->
-        Ltm.exec t.ltm txn cmd ~on_done:(fun result ->
-            if not sub.cancelled then
-              match result with
-              | Ltm.Done _ -> feed rest
-              | Ltm.Failed _ ->
-                  (* The incarnation died (unilateral abort, lock timeout,
-                     deadlock victim): try again later. *)
-                  Engine.schedule_unit t.engine ~delay:t.config.Config.resubmit_backoff (fun () ->
-                      attempt_resubmission t sub))
-  in
-  feed (Agent_log.commands sub.entry)
-
-and resubmission_complete t sub txn =
-  if not sub.cancelled then begin
-    sub.resubmitting <- false;
-    (* "A new interval is always initiated after the resubmission of all
-       the commands is complete." With [max_intervals] > 1, the previous
-       incarnations' intervals are remembered too (the §4.2 optimization —
-       provably redundant; see EXPERIMENTS.md E9). *)
-    Alive_table.push_interval t.alive_table ~gid:sub.gid
-      ~max_intervals:t.config.Config.max_intervals (Interval.point (now t));
-    Ltm.set_uan txn (fun () -> if not sub.cancelled then start_resubmission t sub);
-    (* Re-bind: under CI + DLU the footprint cannot have changed, but
-       ablations may violate that, so bind what was actually accessed. The
-       bound set is logged so it survives a crash. *)
-    if t.config.Config.bind_data then begin
-      if sub.entry.Agent_log.bound <> [] then
-        Bound.unbind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound;
-      sub.entry.Agent_log.bound <- Ltm.footprint txn;
-      Bound.bind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound
-    end;
-    if sub.decision_commit then try_commit t sub
-  end
+(* The read-only LTM snapshot the machine certifies against. Sampling at
+   input-build time is exact: the machine reads these before any of its
+   LTM-mutating effects is interpreted. *)
+let env t =
+  {
+    Agent_sm.now = now t;
+    views =
+      Hashtbl.fold
+        (fun gid txn acc ->
+          (gid, { Agent_sm.alive = Ltm.is_alive txn; last_op_done = Ltm.last_op_done txn }) :: acc)
+        t.txns [];
+    max_committed_sn = Agent_log.max_committed_sn t.log;
+  }
 
 (* ------------------------------------------------------------------ *)
-(* Commit certification (Appendix C)                                   *)
+(* Effect interpretation                                               *)
 (* ------------------------------------------------------------------ *)
 
-and try_commit t sub =
-  if (not sub.cancelled) && sub.decision_commit && not sub.committing then
-    if sub.resubmitting then () (* resubmission_complete will call back *)
-    else begin
-      let sn = Option.get sub.sn in
-      let certified =
-        (not t.config.Config.commit_certification)
-        || Alive_table.min_sn_holds t.alive_table ~gid:sub.gid ~sn
-      in
-      if not certified then begin
-        (* Commit certification failed: retry at a later time. *)
-        Log.debug (fun m ->
-            m "[%a %a] commit certification holds T%d back (smaller SN prepared); retrying" Time.pp (now t)
-              Site.pp t.site sub.gid);
-        t.stats.commit_retries <- t.stats.commit_retries + 1;
-        sub.sn_retries <- sub.sn_retries + 1;
-        Obs.emit t.obs ~at:(now t) (fun () ->
-            match Alive_table.min_sn_blocker t.alive_table ~gid:sub.gid ~sn with
-            | Some b ->
-                Tracer.Commit_delayed
-                  { site = t.site; gid = sub.gid; sn; blocking_gid = b.Alive_table.gid;
-                    blocking_sn = b.Alive_table.sn }
-            | None -> Tracer.Commit_delayed { site = t.site; gid = sub.gid; sn; blocking_gid = sub.gid; blocking_sn = sn });
-        cancel_timer sub.retry_timer;
-        sub.retry_timer <-
-          Some (Engine.schedule t.engine ~delay:t.config.Config.commit_retry_interval (fun () -> try_commit t sub))
-      end
-      else if not (Ltm.is_alive sub.ltm_txn) then start_resubmission t sub
-      else begin
-        (* "Write the commit record to the Agent log; commit the local
-           subtransaction ..." — the decision is durable before the local
-           commit, so a crash in between redoes it at recovery. *)
-        sub.committing <- true;
-        Agent_log.force_commit t.log sub.entry;
-        Ltm.commit t.ltm sub.ltm_txn ~on_done:(fun result ->
-            if not sub.cancelled then
-              match result with
-              | Ltm.Committed ->
-                  t.stats.local_commits <- t.stats.local_commits + 1;
-                  sub.entry.Agent_log.locally_committed <- true;
-                  let waited =
-                    match sub.decision_at with Some d -> Time.diff (now t) d | None -> 0
-                  in
-                  (match t.commit_delay with Some h -> Histogram.record h waited | None -> ());
-                  Obs.emit t.obs ~at:(now t) (fun () ->
-                      Tracer.Commit_released
-                        { site = t.site; gid = sub.gid; waited; retries = sub.sn_retries });
-                  reply t sub Message.Commit_ack;
-                  cleanup t sub
-              | Ltm.Commit_refused _ ->
-                  (* Aborted between the alive check and the commit:
-                     resubmit and retry. *)
-                  sub.committing <- false;
-                  start_resubmission t sub)
-      end
-    end
-
-(* ------------------------------------------------------------------ *)
-(* Alive check (Appendix A)                                            *)
-(* ------------------------------------------------------------------ *)
-
-let rec schedule_alive_check t sub =
-  sub.alive_timer <-
-    Some
-      (Engine.schedule t.engine ~delay:t.config.Config.alive_check_interval (fun () ->
-           if not sub.cancelled then begin
-             (if sub.resubmitting then () (* a new interval starts when it completes *)
-              else begin
-                let alive = Ltm.is_alive sub.ltm_txn in
-                Obs.emit t.obs ~at:(now t) (fun () ->
-                    Tracer.Alive_check { site = t.site; gid = sub.gid; alive });
-                if alive then Alive_table.extend_interval t.alive_table ~gid:sub.gid ~hi:(now t)
-                else start_resubmission t sub
-              end);
-             schedule_alive_check t sub
-           end))
-
-(* ------------------------------------------------------------------ *)
-(* Message handling                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let handle_begin t ~gid ~coordinator =
-  let entry = Agent_log.entry t.log ~gid ~coordinator in
-  let sub =
-    {
-      gid;
-      entry;
-      coordinator;
-      inc = 0;
-      ltm_txn = Ltm.begin_txn t.ltm ~owner:(Txn.Incarnation.make ~txn:(Txn.global gid) ~site:t.site ~inc:0);
-      state = Active;
-      sn = None;
-      resubmitting = false;
-      committing = false;
-      cancelled = false;
-      decision_commit = false;
-      decision_at = None;
-      sn_retries = 0;
-      alive_timer = None;
-      retry_timer = None;
-    }
-  in
-  Hashtbl.replace t.subs gid sub
-
-let handle_exec t sub ~step cmd =
-  (* The step index doubles as the dedup key: a duplicated EXEC carries a
-     step below the logged command count (per-link FIFO keeps steps in
-     order, so it can never be above). *)
-  if step = List.length (Agent_log.commands sub.entry) then begin
-    Agent_log.append_command sub.entry cmd;
-    Ltm.exec t.ltm sub.ltm_txn cmd ~on_done:(fun result ->
-        if not sub.cancelled then
-          match result with
-          | Ltm.Done r -> reply t sub (Message.Exec_ok { step; result = r })
-          | Ltm.Failed reason ->
-              reply t sub
-                (Message.Exec_failed { step; reason = Fmt.str "%a" Ltm.pp_abort_reason reason }))
-  end
-
-let refuse t sub refusal =
-  Log.info (fun m ->
-      m "[%a %a] REFUSE T%d: %a" Time.pp (now t) Site.pp t.site sub.gid Message.pp_refusal refusal);
-  (match refusal with
-  | Message.Extension_refused -> t.stats.refused_extension <- t.stats.refused_extension + 1
-  | Message.Interval_refused -> t.stats.refused_interval <- t.stats.refused_interval + 1
-  | Message.Dead_refused -> t.stats.refused_dead <- t.stats.refused_dead + 1
-  | Message.Scheduler_refused _ -> ());
-  Ltm.abort t.ltm sub.ltm_txn;
-  reply t sub (Message.Refuse refusal);
-  cleanup t sub
-
-(* Extended prepare certification (Appendix B). *)
-let certify_prepare t sub sn =
-  sub.sn <- Some sn;
-  let extension_ok =
-    (not t.config.Config.certification_extension)
-    ||
-    match Agent_log.max_committed_sn t.log with Some m -> Sn.(sn > m) | None -> true
-  in
-  if not extension_ok then begin
-    Obs.emit t.obs ~at:(now t) (fun () ->
-        Tracer.Prepare_certification
-          { site = t.site; gid = sub.gid; sn;
-            verdict =
-              Tracer.Refused_extension
-                { committed_sn = Option.value ~default:sn (Agent_log.max_committed_sn t.log) } });
-    refuse t sub Message.Extension_refused
-  end
-  else begin
-    (* Basic prepare certification: refresh the table's intervals with an
-       immediate alive check, then test the intersection rule. *)
-    if t.config.Config.refresh_on_certify then
-      List.iter
-        (fun (e : Alive_table.entry) ->
-          match Hashtbl.find_opt t.subs e.Alive_table.gid with
-          | Some other when (not other.resubmitting) && Ltm.is_alive other.ltm_txn ->
-              Alive_table.extend_interval t.alive_table ~gid:e.Alive_table.gid ~hi:(now t)
-          | Some _ | None -> ())
-        (Alive_table.entries t.alive_table);
-    let candidate = Interval.make ~lo:(Ltm.last_op_done sub.ltm_txn) ~hi:(now t) in
-    let interval_ok =
-      (not t.config.Config.prepare_certification) || Alive_table.all_intersect t.alive_table candidate
-    in
-    if not interval_ok then begin
+let emit_event t (ev : Agent_sm.event) =
+  match ev with
+  | Ev_alive_check { gid; alive } ->
+      Obs.emit t.obs ~at:(now t) (fun () -> Tracer.Alive_check { site = t.site; gid; alive })
+  | Ev_resubmission { gid; inc } ->
+      t.stats.resubmissions <- t.stats.resubmissions + 1;
+      Obs.emit t.obs ~at:(now t) (fun () -> Tracer.Resubmission { site = t.site; gid; inc });
+      Log.debug (fun m ->
+          m "[%a %a] resubmitting T%d as incarnation %d" Time.pp (now t) Site.pp t.site gid inc)
+  | Ev_prepare_certification { gid; sn; verdict } -> (
+      match verdict with
+      | Agent_sm.V_ready ->
+          Log.debug (fun m ->
+              m "[%a %a] READY T%d (sn %a)" Time.pp (now t) Site.pp t.site gid Sn.pp sn);
+          t.stats.prepared <- t.stats.prepared + 1;
+          Obs.emit t.obs ~at:(now t) (fun () ->
+              Tracer.Prepare_certification { site = t.site; gid; sn; verdict = Tracer.Ready })
+      | V_refused_extension { committed_sn } ->
+          Obs.emit t.obs ~at:(now t) (fun () ->
+              Tracer.Prepare_certification
+                { site = t.site; gid; sn; verdict = Tracer.Refused_extension { committed_sn } })
+      | V_refused_interval { conflicting_gid; conflicting; candidate } ->
+          Obs.emit t.obs ~at:(now t) (fun () ->
+              Tracer.Prepare_certification
+                {
+                  site = t.site;
+                  gid;
+                  sn;
+                  verdict = Tracer.Refused_interval { conflicting_gid; conflicting; candidate };
+                })
+      | V_refused_dead ->
+          Obs.emit t.obs ~at:(now t) (fun () ->
+              Tracer.Prepare_certification { site = t.site; gid; sn; verdict = Tracer.Refused_dead }))
+  | Ev_refused { gid; refusal } -> (
+      Log.info (fun m ->
+          m "[%a %a] REFUSE T%d: %a" Time.pp (now t) Site.pp t.site gid Message.pp_refusal refusal);
+      match refusal with
+      | Message.Extension_refused -> t.stats.refused_extension <- t.stats.refused_extension + 1
+      | Message.Interval_refused -> t.stats.refused_interval <- t.stats.refused_interval + 1
+      | Message.Dead_refused -> t.stats.refused_dead <- t.stats.refused_dead + 1
+      | Message.Scheduler_refused _ -> ())
+  | Ev_commit_delayed { gid; sn; blocking_gid; blocking_sn } ->
+      Log.debug (fun m ->
+          m "[%a %a] commit certification holds T%d back (smaller SN prepared); retrying" Time.pp
+            (now t) Site.pp t.site gid);
+      t.stats.commit_retries <- t.stats.commit_retries + 1;
       Obs.emit t.obs ~at:(now t) (fun () ->
-          let verdict =
-            match Alive_table.first_non_intersecting t.alive_table candidate with
-            | Some b ->
-                Tracer.Refused_interval
-                  { conflicting_gid = b.Alive_table.gid;
-                    conflicting = Alive_table.current_interval b; candidate }
-            | None -> Tracer.Refused_interval { conflicting_gid = sub.gid; conflicting = candidate; candidate }
+          Tracer.Commit_delayed { site = t.site; gid; sn; blocking_gid; blocking_sn })
+  | Ev_commit_released { gid; waited; retries } ->
+      t.stats.local_commits <- t.stats.local_commits + 1;
+      (match t.commit_delay with Some h -> Histogram.record h waited | None -> ());
+      Obs.emit t.obs ~at:(now t) (fun () ->
+          Tracer.Commit_released { site = t.site; gid; waited; retries })
+  | Ev_rollback _ -> t.stats.rollbacks <- t.stats.rollbacks + 1
+  | Ev_crash { live; prepared } ->
+      Log.info (fun m ->
+          m "[%a %a] SITE CRASH: %d live transactions, %d prepared" Time.pp (now t) Site.pp t.site
+            live prepared);
+      t.stats.crashes <- t.stats.crashes + 1;
+      Obs.emit t.obs ~at:(now t) (fun () -> Tracer.Site_crash { site = t.site; live; prepared })
+  | Ev_recovered { gid; committed } ->
+      t.stats.recovered <- t.stats.recovered + 1;
+      Obs.emit t.obs ~at:(now t) (fun () -> Tracer.Recovered { site = t.site; gid });
+      Log.info (fun m ->
+          m "[%a %a] recovering in-doubt T%d from the Agent log%s" Time.pp (now t) Site.pp t.site
+            gid
+            (if committed then " (decision known: commit)" else ""));
+      t.stats.resubmissions <- t.stats.resubmissions + 1
+
+let log_write t (r : Agent_sm.record) =
+  match r with
+  | R_entry { gid; coordinator } -> ignore (Agent_log.entry t.log ~gid ~coordinator)
+  | R_command { gid; cmd } -> Agent_log.append_command (entry_exn t gid) cmd
+  | R_incarnation { gid; inc } -> Agent_log.note_incarnation (entry_exn t gid) ~inc
+  | R_prepare { gid; sn } -> Agent_log.force_prepare t.log (entry_exn t gid) ~sn
+  | R_commit { gid } -> Agent_log.force_commit t.log (entry_exn t gid)
+  | R_local_commit { gid } -> (entry_exn t gid).Agent_log.locally_committed <- true
+  | R_rollback { gid } -> (
+      match Agent_log.find t.log ~gid with Some e -> Agent_log.note_rollback e | None -> ())
+
+let record_history t (h : Types.history_event) =
+  match h with
+  | H_prepare { gid; sn } ->
+      Trace.record t.trace ~at:(now t)
+        (Op.Prepare { txn = Txn.global gid; site = t.site; sn = Some sn })
+  | H_global_commit _ | H_global_abort _ ->
+      (* coordinator-side history entries; the agent machine never emits
+         them *)
+      assert false
+
+let rec feed t input =
+  let machine, effects = Agent_sm.step t.config t.machine input in
+  t.machine <- machine;
+  List.iter (interpret t) effects
+
+and interpret t (eff : Agent_sm.effect) =
+  match eff with
+  | Types.Send { dst; gid; payload } -> Network.send t.net ~src:(address t) ~dst ~gid payload
+  | Types.Arm_timer { timer; delay } -> arm t timer ~delay
+  | Types.Cancel_timer timer -> cancel t timer
+  | Types.Force_log r -> log_write t r
+  | Types.Ltm_call c -> ltm_call t c
+  | Types.Record h -> record_history t h
+  | Types.Emit ev -> emit_event t ev
+  | Types.Invoke_gate | Types.Decide _ ->
+      (* agent machines have no commit gate and decide nothing *)
+      assert false
+
+and arm t (timer : Agent_sm.timer) ~delay =
+  match timer with
+  | T_alive gid ->
+      Hashtbl.replace t.alive_timers gid
+        (Engine.schedule t.engine ~delay (fun () ->
+             feed t (Agent_sm.Alive_fired { env = env t; gid })))
+  | T_commit_retry gid ->
+      Hashtbl.replace t.retry_timers gid
+        (Engine.schedule t.engine ~delay (fun () ->
+             feed t (Agent_sm.Retry_fired { env = env t; gid })))
+  | T_backoff { gid; inc } ->
+      (* deliberately uncancellable (the machine filters stale pops by
+         incarnation), matching the historical engine event counts *)
+      Engine.schedule_unit t.engine ~delay (fun () ->
+          feed t (Agent_sm.Backoff_fired { env = env t; gid; inc }))
+
+and cancel t (timer : Agent_sm.timer) =
+  let stop timers gid =
+    match Hashtbl.find_opt timers gid with
+    | Some tm ->
+        Engine.cancel tm;
+        Hashtbl.remove timers gid
+    | None -> ()
+  in
+  match timer with
+  | T_alive gid -> stop t.alive_timers gid
+  | T_commit_retry gid -> stop t.retry_timers gid
+  | T_backoff _ -> ()
+
+and ltm_call t (c : Agent_sm.call) =
+  match c with
+  | L_begin { gid; inc } ->
+      let owner = Txn.Incarnation.make ~txn:(Txn.global gid) ~site:t.site ~inc in
+      Hashtbl.replace t.txns gid (Ltm.begin_txn t.ltm ~owner)
+  | L_exec { gid; inc; purpose; cmd } ->
+      Ltm.exec t.ltm (txn_exn t gid) cmd ~on_done:(fun result ->
+          let result =
+            match result with
+            | Ltm.Done r -> Agent_sm.Done r
+            | Ltm.Failed reason -> Agent_sm.Failed (Fmt.str "%a" Ltm.pp_abort_reason reason)
           in
-          Tracer.Prepare_certification { site = t.site; gid = sub.gid; sn; verdict });
-      refuse t sub Message.Interval_refused
-    end
-    else if not (Ltm.is_alive sub.ltm_txn) then begin
-      (* CI(2): a unilaterally aborted subtransaction is never prepared. *)
-      Obs.emit t.obs ~at:(now t) (fun () ->
-          Tracer.Prepare_certification { site = t.site; gid = sub.gid; sn; verdict = Tracer.Refused_dead });
-      refuse t sub Message.Dead_refused
-    end
-    else begin
-      (* Force write the prepare record; move to the prepared state. *)
-      Log.debug (fun m -> m "[%a %a] READY T%d (sn %a)" Time.pp (now t) Site.pp t.site sub.gid Sn.pp sn);
-      t.stats.prepared <- t.stats.prepared + 1;
-      Obs.emit t.obs ~at:(now t) (fun () ->
-          Tracer.Prepare_certification { site = t.site; gid = sub.gid; sn; verdict = Tracer.Ready });
-      sub.state <- Prepared;
-      Agent_log.force_prepare t.log sub.entry ~sn;
-      Trace.record t.trace ~at:(now t) (Op.Prepare { txn = Txn.global sub.gid; site = t.site; sn = Some sn });
-      Alive_table.insert t.alive_table ~gid:sub.gid ~sn ~interval:candidate;
-      Ltm.mark_held_open t.ltm sub.ltm_txn true;
-      Ltm.set_uan sub.ltm_txn (fun () -> if not sub.cancelled then start_resubmission t sub);
-      if t.config.Config.bind_data then begin
-        sub.entry.Agent_log.bound <- Ltm.footprint sub.ltm_txn;
-        Bound.bind (Ltm.bound_registry t.ltm) sub.entry.Agent_log.bound
-      end;
-      reply t sub Message.Ready;
-      schedule_alive_check t sub
-    end
-  end
+          feed t (Agent_sm.Exec_done { env = env t; gid; inc; purpose; result }))
+  | L_commit { gid; inc } ->
+      Ltm.commit t.ltm (txn_exn t gid) ~on_done:(fun result ->
+          let committed = match result with Ltm.Committed -> true | Ltm.Commit_refused _ -> false in
+          feed t (Agent_sm.Commit_done { env = env t; gid; inc; committed }))
+  | L_abort { gid } -> Ltm.abort t.ltm (txn_exn t gid)
+  | L_abort_all_live ->
+      List.iter (fun txn -> ignore (Ltm.unilateral_abort t.ltm txn)) (Ltm.live_txns t.ltm)
+  | L_hold_open { gid } -> Ltm.mark_held_open t.ltm (txn_exn t gid) true
+  | L_watch_uan { gid; inc } ->
+      Ltm.set_uan (txn_exn t gid) (fun () -> feed t (Agent_sm.Uan { env = env t; gid; inc }))
+  | L_bind { gid } ->
+      let e = entry_exn t gid in
+      e.Agent_log.bound <- Ltm.footprint (txn_exn t gid);
+      Bound.bind (Ltm.bound_registry t.ltm) e.Agent_log.bound
+  | L_rebind { gid } ->
+      (* The bound set is logged so it survives a crash. *)
+      let e = entry_exn t gid in
+      if e.Agent_log.bound <> [] then Bound.unbind (Ltm.bound_registry t.ltm) e.Agent_log.bound;
+      e.Agent_log.bound <- Ltm.footprint (txn_exn t gid);
+      Bound.bind (Ltm.bound_registry t.ltm) e.Agent_log.bound
+  | L_unbind { gid } ->
+      let e = entry_exn t gid in
+      if e.Agent_log.bound <> [] then begin
+        Bound.unbind (Ltm.bound_registry t.ltm) e.Agent_log.bound;
+        e.Agent_log.bound <- []
+      end
+  | L_forget { gid } ->
+      Hashtbl.remove t.txns gid;
+      Hashtbl.remove t.alive_timers gid;
+      Hashtbl.remove t.retry_timers gid
 
-let handle_prepare t sub sn =
-  match sub.state with
-  | Prepared ->
-      (* A retransmitted or duplicated PREPARE: the promise is already on
-         disk, so repeat the vote. *)
-      reply t sub Message.Ready
-  | Active -> certify_prepare t sub sn
+(* ------------------------------------------------------------------ *)
+(* Inbound boundaries: network, crash, recovery                        *)
+(* ------------------------------------------------------------------ *)
 
-let handle_commit t sub =
-  if sub.decision_at = None then sub.decision_at <- Some (now t);
-  sub.decision_commit <- true;
-  try_commit t sub
-
-let handle_rollback t sub =
-  t.stats.rollbacks <- t.stats.rollbacks + 1;
-  Agent_log.note_rollback sub.entry;
-  Ltm.abort t.ltm sub.ltm_txn;
-  reply t sub Message.Rollback_ack;
-  cleanup t sub
-
-(* Replies for subtransactions the volatile state no longer knows —
-   either lost to a crash (active-state work is simply gone; 2PC lets a
-   participant abort anything it never promised) or already finished
-   (decision retransmissions are answered idempotently from the log). *)
-let handle_unknown t ~(msg : Message.t) =
-  let answer payload = Network.send t.net ~src:(address t) ~dst:msg.Message.src ~gid:msg.gid payload in
-  match msg.Message.payload with
-  | Message.Exec { step; cmd } -> (
-      match Agent_log.find t.log ~gid:msg.gid with
-      | None when step = 0 ->
-          (* The BEGIN was lost by the network; the first command implies
-             it (later steps after a crash find a logged entry below). *)
-          handle_begin t ~gid:msg.gid ~coordinator:msg.Message.src;
-          (match Hashtbl.find_opt t.subs msg.gid with
-          | Some sub -> handle_exec t sub ~step cmd
-          | None -> assert false)
-      | _ -> answer (Message.Exec_failed { step; reason = "subtransaction lost in a site crash" }))
-  | Message.Prepare _ -> (
-      match Agent_log.find t.log ~gid:msg.gid with
-      | Some e when e.Agent_log.prepared && not e.Agent_log.rolled_back ->
-          (* A retransmitted PREPARE whose READY was lost (or chased a
-             crash): the promise is on disk, repeat the vote. *)
-          answer Message.Ready
-      | Some _ | None -> answer (Message.Refuse Message.Dead_refused))
-  | Message.Commit -> (
-      match Agent_log.find t.log ~gid:msg.gid with
-      | Some e when e.Agent_log.locally_committed -> answer Message.Commit_ack
-      | Some e when e.Agent_log.prepared && not e.Agent_log.rolled_back ->
-          (* The decision reached a crashed-but-logged subtransaction
-             (crash and recovery separated in time): note it durably so
-             recovery redoes the local commit and answers the ack then. *)
-          if not e.Agent_log.committed then Agent_log.force_commit t.log e
-      | Some _ | None ->
-          Fmt.failwith "agent %a: COMMIT for unknown, uncommitted T%d" Site.pp t.site msg.gid)
-  | Message.Rollback ->
-      (match Agent_log.find t.log ~gid:msg.gid with Some e -> Agent_log.note_rollback e | None -> ());
-      answer Message.Rollback_ack
-  | _ -> Fmt.failwith "agent %a: unexpected message %a" Site.pp t.site Message.pp msg
+let log_view t gid : Agent_sm.log_view =
+  match Agent_log.find t.log ~gid with
+  | Some e ->
+      {
+        known = true;
+        prepared = e.Agent_log.prepared;
+        committed = e.Agent_log.committed;
+        locally_committed = e.Agent_log.locally_committed;
+        rolled_back = e.Agent_log.rolled_back;
+      }
+  | None ->
+      { known = false; prepared = false; committed = false; locally_committed = false;
+        rolled_back = false }
 
 let handle t (msg : Message.t) =
-  match msg.Message.payload with
-  | Message.Begin -> (
-      match (Hashtbl.mem t.subs msg.gid, Agent_log.find t.log ~gid:msg.gid) with
-      | false, None -> handle_begin t ~gid:msg.gid ~coordinator:msg.src
-      | _ -> () (* duplicated BEGIN, or one for a gid the log already knows *))
-  | Message.Exec { step; cmd } -> (
-      match Hashtbl.find_opt t.subs msg.gid with
-      | Some sub -> handle_exec t sub ~step cmd
-      | None -> handle_unknown t ~msg)
-  | Message.Prepare sn -> (
-      match Hashtbl.find_opt t.subs msg.gid with
-      | Some sub -> handle_prepare t sub sn
-      | None -> handle_unknown t ~msg)
-  | Message.Commit -> (
-      match Hashtbl.find_opt t.subs msg.gid with
-      | Some sub -> handle_commit t sub
-      | None -> handle_unknown t ~msg)
-  | Message.Rollback -> (
-      match Hashtbl.find_opt t.subs msg.gid with
-      | Some sub -> handle_rollback t sub
-      | None -> handle_unknown t ~msg)
-  | Message.Exec_ok _ | Message.Exec_failed _ | Message.Ready | Message.Refuse _ | Message.Commit_ack
-  | Message.Rollback_ack ->
-      Fmt.failwith "agent %a: unexpected message %a" Site.pp t.site Message.pp msg
+  feed t
+    (Agent_sm.Deliver
+       {
+         env = env t;
+         src = msg.Message.src;
+         gid = msg.Message.gid;
+         payload = msg.Message.payload;
+         log = log_view t msg.Message.gid;
+       })
 
 let attach t = Network.register t.net (address t) (handle t)
 
-(* ------------------------------------------------------------------ *)
-(* Crash and recovery                                                  *)
-(* ------------------------------------------------------------------ *)
-
-(* An agent (site) crash: all volatile state is lost; only the Agent log
-   survives. Prepared subtransactions are silenced first (their timers and
-   pending continuations must not fire against the wreckage), then every
-   live transaction at the LTM suffers the collective unilateral abort —
-   active-state subtransactions reply Exec_failed through their in-flight
-   command callbacks, exactly as a single abort would. *)
 let crash t =
-  Log.info (fun m ->
-      m "[%a %a] SITE CRASH: %d live transactions, %d prepared" Time.pp (now t) Site.pp t.site
-        (List.length (Ltm.live_txns t.ltm))
-        (Alive_table.size t.alive_table));
-  t.stats.crashes <- t.stats.crashes + 1;
-  Obs.emit t.obs ~at:(now t) (fun () ->
-      Tracer.Site_crash
-        { site = t.site; live = List.length (Ltm.live_txns t.ltm);
-          prepared = Alive_table.size t.alive_table });
-  Hashtbl.iter
-    (fun _ sub ->
-      if sub.state = Prepared then begin
-        sub.cancelled <- true;
-        cancel_timer sub.alive_timer;
-        cancel_timer sub.retry_timer
-      end)
-    t.subs;
-  List.iter (fun txn -> ignore (Ltm.unilateral_abort t.ltm txn)) (Ltm.live_txns t.ltm);
-  (* Now silence what remains and drop the volatile state. The DLU
-     registry is *not* cleared: the logged bound sets of in-doubt
-     subtransactions stay bound across the crash, which is what keeps
-     local transactions off their data while recovery runs. *)
-  Hashtbl.iter
-    (fun _ sub ->
-      sub.cancelled <- true;
-      cancel_timer sub.alive_timer;
-      cancel_timer sub.retry_timer)
-    t.subs;
-  t.subs <- Hashtbl.create 32;
-  t.alive_table <- Alive_table.create ()
+  feed t (Agent_sm.Crash { live = List.length (Ltm.live_txns t.ltm) });
+  (* Drop the dead incarnations' bookkeeping: their scheduled callbacks
+     (UANs of the collective abort, in-flight command completions) are
+     filtered by the machine's incarnation tags when they pop. *)
+  Hashtbl.reset t.txns;
+  Hashtbl.reset t.alive_timers;
+  Hashtbl.reset t.retry_timers
 
-(* Rebuild every in-doubt subtransaction from the log: a fresh incarnation
-   replays the logged commands; the alive-interval entry restarts; if the
-   commit record was already forced, the decision is known and the commit
-   is redone locally once the replay completes (the coordinator's
-   retransmitted COMMIT is answered idempotently either way). *)
 let recover t =
-  List.iter
-    (fun (e : Agent_log.entry) ->
-      t.stats.recovered <- t.stats.recovered + 1;
-      Obs.emit t.obs ~at:(now t) (fun () -> Tracer.Recovered { site = t.site; gid = e.Agent_log.gid });
-      Log.info (fun m ->
-          m "[%a %a] recovering in-doubt T%d from the Agent log%s" Time.pp (now t) Site.pp t.site
-            e.Agent_log.gid
-            (if e.Agent_log.committed then " (decision known: commit)" else ""));
-      let gid = e.Agent_log.gid in
-      let inc = e.Agent_log.inc + 1 in
-      Agent_log.note_incarnation e ~inc;
-      let txn = Ltm.begin_txn t.ltm ~owner:(Txn.Incarnation.make ~txn:(Txn.global gid) ~site:t.site ~inc) in
-      Ltm.mark_held_open t.ltm txn true;
-      let sub =
+  let entries =
+    List.map
+      (fun (e : Agent_log.entry) ->
         {
-          gid;
-          entry = e;
-          coordinator = Option.get e.Agent_log.coordinator;
-          inc;
-          ltm_txn = txn;
-          state = Prepared;
-          sn = e.Agent_log.sn;
-          resubmitting = true;
-          committing = false;
-          cancelled = false;
-          decision_commit = e.Agent_log.committed;
-          decision_at = (if e.Agent_log.committed then Some (now t) else None);
-          sn_retries = 0;
-          alive_timer = None;
-          retry_timer = None;
-        }
-      in
-      Hashtbl.replace t.subs gid sub;
-      Alive_table.insert t.alive_table ~gid ~sn:(Option.get e.Agent_log.sn)
-        ~interval:(Interval.point (now t));
-      t.stats.resubmissions <- t.stats.resubmissions + 1;
-      feed_commands t sub txn;
-      schedule_alive_check t sub)
-    (Agent_log.in_doubt t.log)
+          Agent_sm.r_gid = e.Agent_log.gid;
+          r_coordinator = Option.get e.Agent_log.coordinator;
+          r_inc = e.Agent_log.inc;
+          r_sn = e.Agent_log.sn;
+          r_commands = Agent_log.commands e;
+          r_committed = e.Agent_log.committed;
+        })
+      (Agent_log.in_doubt t.log)
+  in
+  feed t (Agent_sm.Recover { env = env t; entries })

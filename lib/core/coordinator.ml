@@ -1,21 +1,16 @@
-(* The Coordinator (paper §2): decomposes a global transaction into global
-   subtransactions, submits the DML commands one by one to the
-   participating sites' agents, and on completion drives the standard
-   two-phase commit: PREPARE to all, then COMMIT iff every participant
-   answered READY, ROLLBACK otherwise.
+(* The Coordinator's effectful shell. The protocol — command-by-command
+   execution, the commit gate, PREPARE/vote collection, the decision and
+   its acknowledged retransmission (paper §2, §5.2) — lives in the pure
+   state machine {!Hermes_protocol.Coordinator_sm}; this module owns the
+   machine's state reference and interprets its effect lists against the
+   network, the engine's timers, the history trace, the metrics registry
+   and the submitter's [on_done].
 
-   The serial number (§5.2) is drawn from the coordinating site's clock
-   when the application submits the global Commit — i.e. after the last
-   command executed — and travels inside the PREPARE messages. The ticket
-   baseline ([Elmagarmid & Du]-style predefined order, which the paper
-   argues is too restrictive) draws it at BEGIN instead
-   ([Config.sn_at_begin]).
-
-   Failure handling towards crashing agents: a command whose reply never
-   arrives (the agent crashed with it in flight) times out and aborts the
-   global transaction; COMMIT/ROLLBACK decisions are retransmitted until
-   every participant acknowledged — agents answer retransmissions
-   idempotently from their logs. *)
+   Serial numbers are drawn here (the machine is pure; the site clock is
+   not): at [start] for the ticket baseline ([Config.sn_at_begin]),
+   otherwise when the commit gate proceeds. Interpretation is
+   order-faithful to the historical imperative coordinator, keeping runs
+   byte-identical at a fixed seed. *)
 
 open Hermes_kernel
 module Engine = Hermes_sim.Engine
@@ -26,28 +21,23 @@ module Network = Hermes_net.Network
 module Obs = Hermes_obs.Obs
 module Registry = Hermes_obs.Registry
 module Histogram = Hermes_obs.Histogram
+module Sm = Hermes_protocol.Coordinator_sm
+module Types = Hermes_protocol.Types
 
 let src = Logs.Src.create "hermes.coordinator" ~doc:"2PC Coordinator events"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type reason =
+type reason = Types.reason =
   | Exec_failed of Site.t * string
   | Refused of Site.t * Message.refusal
   | Gate_refused of string  (* a baseline scheduler (e.g. CGM) rejected the commit *)
 
-let pp_reason ppf = function
-  | Exec_failed (s, why) -> Fmt.pf ppf "execution failed at %a: %s" Site.pp s why
-  | Refused (s, r) -> Fmt.pf ppf "refused by %a: %a" Site.pp s Message.pp_refusal r
-  | Gate_refused why -> Fmt.pf ppf "commit gate refused: %s" why
+let pp_reason = Types.pp_reason
 
-type outcome = Committed | Aborted of reason
+type outcome = Types.outcome = Committed | Aborted of reason
 
-let pp_outcome ppf = function
-  | Committed -> Fmt.string ppf "committed"
-  | Aborted r -> Fmt.pf ppf "aborted (%a)" pp_reason r
-
-type phase = Executing | Preparing | Committing | Aborting of reason
+let pp_outcome = Types.pp_outcome
 
 (* A commit gate lets a baseline scheduler (the CGM commit graph) sit
    between execution and the PREPARE phase: it may let the transaction
@@ -63,99 +53,51 @@ type t = {
   engine : Engine.t;
   net : Network.t;
   trace : Trace.t;
-  config : Config.t;
+  config : Sm.config;
   sn_gen : unit -> Sn.t;
   gate : gate;
-  program : Program.t;
-  participants : Site.t list;
   obs : Obs.t option;
   on_done : outcome -> unit;
-  mutable phase : phase;
-  mutable remaining_steps : (Site.t * int * Command.t) list;  (* (site, per-site step, command) *)
-  mutable outstanding : (Site.t * int) option;  (* the command awaiting its reply *)
-  mutable sn : Sn.t option;
-  mutable voters : Site.Set.t;  (* sites whose READY/REFUSE arrived (duplicates ignored) *)
-  mutable refusal : (Site.t * Message.refusal) option;
-  mutable acked : Site.Set.t;  (* decision acknowledgements *)
+  mutable machine : Sm.state;
   mutable exec_timer : Engine.timer option;
-  mutable retransmit_timer : Engine.timer option;
+  mutable retransmit_timer : Engine.timer option;  (* decision or PREPARE retransmission *)
   mutable started_at : Time.t;
   mutable finished_at : Time.t;
-  mutable retransmissions : int;
 }
 
 let address t = Message.Coordinator t.gid
 
-let send t ~dst payload = Network.send t.net ~src:(address t) ~dst ~gid:t.gid payload
-
-let send_to_all t payload = List.iter (fun s -> send t ~dst:(Message.Agent s) payload) t.participants
-
-let n_participants t = List.length t.participants
-
 let cancel_timer = function Some timer -> Engine.cancel timer | None -> ()
 
-let decision_message t = match t.phase with Committing -> Message.Commit | _ -> Message.Rollback
+let emit_event t (ev : Sm.event) =
+  match ev with
+  | All_ready { sn } ->
+      Log.debug (fun m ->
+          m "[%a] T%d: all READY, committing (sn %a)" Time.pp (Engine.now t.engine) t.gid
+            Fmt.(option Sn.pp)
+            sn)
+  | Deciding_abort reason ->
+      Log.info (fun m ->
+          m "[%a] T%d: global abort (%a)" Time.pp (Engine.now t.engine) t.gid pp_reason reason)
+  | Retransmitting_decision { unacked } ->
+      Log.debug (fun m ->
+          m "[%a] T%d: retransmitting decision to %d unacknowledged participant(s)" Time.pp
+            (Engine.now t.engine) t.gid unacked)
+  | Retransmitting_prepare { silent } ->
+      Log.debug (fun m ->
+          m "[%a] T%d: retransmitting PREPARE to %d silent participant(s)" Time.pp
+            (Engine.now t.engine) t.gid silent)
 
-(* Retransmit the decision to participants that have not acknowledged —
-   an agent may have crashed after receiving it (or its ACK may chase a
-   recovery); agents answer duplicates idempotently from their logs. *)
-let rec arm_retransmit t =
-  cancel_timer t.retransmit_timer;
-  t.retransmit_timer <-
-    Some
-      (Engine.schedule t.engine ~delay:t.config.Config.decision_retry_interval (fun () ->
-           t.retransmissions <- t.retransmissions + 1;
-           Log.debug (fun m ->
-               m "[%a] T%d: retransmitting decision to %d unacknowledged participant(s)" Time.pp
-                 (Engine.now t.engine) t.gid
-                 (n_participants t - Site.Set.cardinal t.acked));
-           List.iter
-             (fun s -> if not (Site.Set.mem s t.acked) then send t ~dst:(Message.Agent s) (decision_message t))
-             t.participants;
-           arm_retransmit t))
+let record_history t (h : Types.history_event) =
+  match h with
+  | H_global_commit { gid } ->
+      (* Record the decision in stable storage: the global commit. *)
+      Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_commit (Txn.global gid))
+  | H_global_abort { gid } ->
+      Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_abort (Txn.global gid))
+  | H_prepare _ -> assert false (* agent-side history entry *)
 
-(* Retransmit PREPARE to participants that have not voted — only armed on
-   a lossy network, where the PREPARE or its vote can be dropped; voting
-   agents answer duplicates idempotently (READY again from the prepared
-   state or log, REFUSE again for a dead subtransaction). *)
-let rec arm_prepare_retransmit t =
-  cancel_timer t.retransmit_timer;
-  t.retransmit_timer <-
-    Some
-      (Engine.schedule t.engine ~delay:t.config.Config.prepare_retry_interval (fun () ->
-           match t.phase with
-           | Preparing ->
-               t.retransmissions <- t.retransmissions + 1;
-               Log.debug (fun m ->
-                   m "[%a] T%d: retransmitting PREPARE to %d silent participant(s)" Time.pp
-                     (Engine.now t.engine) t.gid
-                     (n_participants t - Site.Set.cardinal t.voters));
-               let sn = Option.get t.sn in
-               List.iter
-                 (fun s ->
-                   if not (Site.Set.mem s t.voters) then
-                     send t ~dst:(Message.Agent s) (Message.Prepare sn))
-                 t.participants;
-               arm_prepare_retransmit t
-           | Executing | Committing | Aborting _ -> ()))
-
-let start_decision t phase =
-  t.phase <- phase;
-  t.acked <- Site.Set.empty;
-  send_to_all t (decision_message t);
-  arm_retransmit t
-
-let start_abort t reason =
-  cancel_timer t.exec_timer;
-  Log.info (fun m -> m "[%a] T%d: global abort (%a)" Time.pp (Engine.now t.engine) t.gid pp_reason reason);
-  Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_abort (Txn.global t.gid));
-  start_decision t (Aborting reason)
-
-(* After the decision completes, stray duplicate acknowledgements may
-   still be in flight (a retransmitted COMMIT re-acked by a recovered
-   agent); leave a tombstone handler that swallows them. *)
-let finish t outcome =
-  cancel_timer t.retransmit_timer;
+let decide t outcome =
   t.finished_at <- Engine.now t.engine;
   (match t.obs with
   | Some o ->
@@ -164,132 +106,70 @@ let finish t outcome =
         match outcome with Committed -> "coord.committed" | Aborted _ -> "coord.aborted"
       in
       Registry.Counter.incr (Registry.counter m ~site:t.site outcome_name);
-      if t.retransmissions > 0 then
-        Registry.Counter.add
-          (Registry.counter m ~site:t.site "coord.retransmissions")
-          t.retransmissions;
+      let retransmissions = t.machine.Sm.retransmissions in
+      if retransmissions > 0 then
+        Registry.Counter.add (Registry.counter m ~site:t.site "coord.retransmissions") retransmissions;
       Histogram.record
         (Registry.histogram m ~site:t.site "coord.latency")
         (Time.diff t.finished_at t.started_at)
   | None -> ());
-  Network.register t.net (address t) (fun (msg : Message.t) ->
-      match msg.Message.payload with
-      | Message.Commit_ack | Message.Rollback_ack | Message.Ready | Message.Refuse _
-      | Message.Exec_ok _ | Message.Exec_failed _ ->
-          (* Stray duplicates of any agent reply can trail the decision on
-             a duplicating network. *)
-          ()
-      | payload -> Fmt.failwith "finished coordinator T%d: unexpected %a" t.gid Message.pp_payload payload);
   t.on_done outcome
 
-let arm_exec_timeout t site =
-  cancel_timer t.exec_timer;
-  t.exec_timer <-
-    Some
-      (Engine.schedule t.engine ~delay:t.config.Config.exec_timeout (fun () ->
-           match t.phase with
-           | Executing -> start_abort t (Exec_failed (site, "command reply timed out (site crash?)"))
-           | Preparing | Committing | Aborting _ -> ()))
+let rec feed t input =
+  let machine, effects = Sm.step t.config t.machine input in
+  t.machine <- machine;
+  List.iter (interpret t) effects
 
-let next_step t =
-  match t.remaining_steps with
-  | (site, step, cmd) :: rest ->
-      t.remaining_steps <- rest;
-      t.outstanding <- Some (site, step);
-      send t ~dst:(Message.Agent site) (Message.Exec { step; cmd });
-      arm_exec_timeout t site
-  | [] ->
-      cancel_timer t.exec_timer;
-      t.outstanding <- None;
-      (* All commands executed: the application submits the global Commit.
-         The gate (a baseline scheduler's hook) may hold or refuse it;
-         then draw the serial number (unless the ticket baseline drew it
-         at begin) and start phase one of 2PC. *)
-      t.gate ~gid:t.gid ~sites:t.participants
+and interpret t (eff : Sm.effect) =
+  match eff with
+  | Types.Send { dst; gid; payload } -> Network.send t.net ~src:(address t) ~dst ~gid payload
+  | Types.Arm_timer { timer; delay } -> arm t timer ~delay
+  | Types.Cancel_timer timer -> (
+      match timer with
+      | Sm.Exec_timeout ->
+          cancel_timer t.exec_timer;
+          t.exec_timer <- None
+      | Sm.Retransmit | Sm.Prepare_retransmit ->
+          cancel_timer t.retransmit_timer;
+          t.retransmit_timer <- None)
+  | Types.Force_log _ | Types.Ltm_call _ -> . (* no stable log, no LTM: payloads are empty *)
+  | Types.Record h -> record_history t h
+  | Types.Emit ev -> emit_event t ev
+  | Types.Invoke_gate ->
+      (* All commands executed: the application submits the global
+         Commit. The gate may answer synchronously (the default gate
+         does) — [Invoke_gate] is always the machine's last effect, so
+         re-entering [feed] from here is safe. *)
+      t.gate ~gid:t.gid ~sites:t.machine.Sm.participants
         ~proceed:(fun () ->
-          t.phase <- Preparing;
-          let sn = match t.sn with Some sn when t.config.Config.sn_at_begin -> sn | _ -> t.sn_gen () in
-          t.sn <- Some sn;
-          send_to_all t (Message.Prepare sn);
-          if Network.lossy t.net && t.config.Config.prepare_retry_interval > 0 then
-            arm_prepare_retransmit t)
-        ~refuse:(fun why -> start_abort t (Gate_refused why))
+          let sn =
+            if t.config.Sm.certifier.Config.sn_at_begin then None else Some (t.sn_gen ())
+          in
+          feed t (Sm.Gate_opened { sn; lossy = Network.lossy t.net }))
+        ~refuse:(fun why -> feed t (Sm.Gate_refused why))
+  | Types.Decide outcome -> decide t outcome
 
-let is_outstanding t site step =
-  match t.outstanding with Some (s, k) -> Site.equal s site && k = step | None -> false
+and arm t (timer : Sm.timer) ~delay =
+  match timer with
+  | Sm.Exec_timeout ->
+      t.exec_timer <- Some (Engine.schedule t.engine ~delay (fun () -> feed t Sm.Exec_timeout_fired))
+  | Sm.Retransmit ->
+      t.retransmit_timer <-
+        Some (Engine.schedule t.engine ~delay (fun () -> feed t Sm.Retransmit_fired))
+  | Sm.Prepare_retransmit ->
+      t.retransmit_timer <-
+        Some (Engine.schedule t.engine ~delay (fun () -> feed t Sm.Prepare_retransmit_fired))
 
 let handle t (msg : Message.t) =
-  let from_site = match msg.Message.src with Message.Agent s -> s | Message.Coordinator _ -> assert false in
-  match (t.phase, msg.Message.payload) with
-  | Executing, Message.Exec_ok { step; _ } when is_outstanding t from_site step ->
-      cancel_timer t.exec_timer;
-      next_step t
-  | Executing, Message.Exec_ok _ ->
-      (* A duplicated reply to an already-answered command: ignore. *)
-      ()
-  | Executing, Message.Exec_failed { step; reason } when is_outstanding t from_site step ->
-      start_abort t (Exec_failed (from_site, reason))
-  | Executing, Message.Exec_failed _ -> ()
-  | Preparing, Message.Ready ->
-      if not (Site.Set.mem from_site t.voters) then begin
-        t.voters <- Site.Set.add from_site t.voters;
-        if Site.Set.cardinal t.voters = n_participants t then
-          if t.refusal = None then begin
-            (* Record the decision in stable storage: the global commit. *)
-            Log.debug (fun m ->
-                m "[%a] T%d: all READY, committing (sn %a)" Time.pp (Engine.now t.engine) t.gid
-                  Fmt.(option Sn.pp) t.sn);
-            Trace.record t.trace ~at:(Engine.now t.engine) (Op.Global_commit (Txn.global t.gid));
-            start_decision t Committing
-          end
-          else
-            let site, refusal = Option.get t.refusal in
-            start_abort t (Refused (site, refusal))
-      end
-  | Preparing, Message.Refuse r ->
-      if not (Site.Set.mem from_site t.voters) then begin
-        t.voters <- Site.Set.add from_site t.voters;
-        if t.refusal = None then t.refusal <- Some (from_site, r);
-        if Site.Set.cardinal t.voters = n_participants t then
-          let site, refusal = Option.get t.refusal in
-          start_abort t (Refused (site, refusal))
-      end
-  | Preparing, (Message.Exec_ok _ | Message.Exec_failed _) ->
-      (* Duplicated command replies arriving after the last command was
-         first answered: ignore. *)
-      ()
-  | Committing, Message.Commit_ack ->
-      if not (Site.Set.mem from_site t.acked) then begin
-        t.acked <- Site.Set.add from_site t.acked;
-        if Site.Set.cardinal t.acked = n_participants t then finish t Committed
-      end
-  | Committing, (Message.Ready | Message.Refuse _ | Message.Exec_ok _ | Message.Exec_failed _) ->
-      (* Duplicated votes or command replies trailing the decision: ignore. *)
-      ()
-  | Aborting reason, Message.Rollback_ack ->
-      if not (Site.Set.mem from_site t.acked) then begin
-        t.acked <- Site.Set.add from_site t.acked;
-        if Site.Set.cardinal t.acked = n_participants t then finish t (Aborted reason)
-      end
-  | Aborting _, (Message.Exec_ok _ | Message.Exec_failed _ | Message.Ready | Message.Refuse _) ->
-      (* Late replies racing the abort decision (e.g. an Exec_ok in flight
-         when the exec timeout fired): ignore. *)
-      ()
-  | _, payload ->
-      Fmt.failwith "coordinator T%d: unexpected %a in current phase" t.gid Message.pp_payload payload
+  let src =
+    match msg.Message.src with Message.Agent s -> s | Message.Coordinator _ -> assert false
+  in
+  feed t (Sm.From_agent { src; payload = msg.Message.payload })
 
-(* Tag each command with its per-site step index, so agents and the
-   coordinator can recognize (and ignore) duplicated EXECs and replies. *)
-let number_steps steps =
-  let counts = Hashtbl.create 8 in
-  List.map
-    (fun (site, cmd) ->
-      let k = Option.value (Hashtbl.find_opt counts (Site.to_int site)) ~default:0 in
-      Hashtbl.replace counts (Site.to_int site) (k + 1);
-      (site, k, cmd))
-    steps
-
-let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program ~on_done () =
+let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program ~on_done
+    () =
+  let sm_config = Sm.config config in
+  let sn = if config.Config.sn_at_begin then Some (sn_gen ()) else None in
   let t =
     {
       gid;
@@ -297,34 +177,24 @@ let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_ge
       engine;
       net;
       trace;
-      config;
+      config = sm_config;
       sn_gen;
       gate;
-      program;
-      participants = Program.sites program;
       obs;
       on_done;
-      phase = Executing;
-      remaining_steps = number_steps (Program.steps program);
-      outstanding = None;
-      sn = None;
-      voters = Site.Set.empty;
-      refusal = None;
-      acked = Site.Set.empty;
+      machine =
+        Sm.init ~gid ~site ~participants:(Program.sites program) ~steps:(Program.steps program) ~sn;
       exec_timer = None;
       retransmit_timer = None;
       started_at = Engine.now engine;
       finished_at = Engine.now engine;
-      retransmissions = 0;
     }
   in
-  if config.Config.sn_at_begin then t.sn <- Some (sn_gen ());
   Network.register net (address t) (handle t);
-  List.iter (fun s -> send t ~dst:(Message.Agent s) Message.Begin) t.participants;
-  next_step t;
+  feed t Sm.Start;
   t
 
 let latency t = Time.diff t.finished_at t.started_at
 let gid t = t.gid
 let coordinating_site t = t.site
-let retransmissions t = t.retransmissions
+let retransmissions t = t.machine.Sm.retransmissions

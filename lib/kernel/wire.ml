@@ -1,0 +1,67 @@
+(* Wire vocabulary of the distributed transaction manager.
+
+   The 2PC vocabulary is exactly the paper's (§2): the Coordinator sends
+   BEGIN, data-manipulation commands, PREPARE and COMMIT/ROLLBACK; the
+   Participant (a 2PC Agent) answers READY or REFUSE to PREPARE and
+   acknowledges decisions with COMMIT-ACK/ROLLBACK-ACK. Command submission
+   and results ride the same network.
+
+   Lives in the kernel so the pure protocol machines (hermes.protocol)
+   can speak the wire types without depending on the simulated network;
+   [Hermes_net.Message] re-exports it for transport-side callers. *)
+
+type address = Coordinator of int | Agent of Site.t
+
+let pp_address ppf = function
+  | Coordinator gid -> Fmt.pf ppf "coord(T%d)" gid
+  | Agent s -> Fmt.pf ppf "agent(%a)" Site.pp s
+
+let equal_address a b =
+  match (a, b) with
+  | Coordinator x, Coordinator y -> Int.equal x y
+  | Agent x, Agent y -> Site.equal x y
+  | (Coordinator _ | Agent _), _ -> false
+
+(* Why a Participant refused PREPARE (or a scheduler refused service). *)
+type refusal =
+  | Extension_refused  (* an "older" (bigger-SN) subtransaction already committed: §5.3 *)
+  | Interval_refused  (* alive time intersection failed: §4.2 *)
+  | Dead_refused  (* the subtransaction was unilaterally aborted: CI(2) *)
+  | Scheduler_refused of string  (* baseline schedulers (CGM, ticket order) *)
+
+let pp_refusal ppf = function
+  | Extension_refused -> Fmt.string ppf "prepare-out-of-order"
+  | Interval_refused -> Fmt.string ppf "alive-interval"
+  | Dead_refused -> Fmt.string ppf "unilaterally-aborted"
+  | Scheduler_refused s -> Fmt.pf ppf "scheduler(%s)" s
+
+type payload =
+  | Begin
+  | Exec of { step : int; cmd : Command.t }
+  | Exec_ok of { step : int; result : Command.result }
+  | Exec_failed of { step : int; reason : string }
+  | Prepare of Sn.t
+  | Ready
+  | Refuse of refusal
+  | Commit
+  | Rollback
+  | Commit_ack
+  | Rollback_ack
+
+let pp_payload ppf = function
+  | Begin -> Fmt.string ppf "BEGIN"
+  | Exec { step; cmd } -> Fmt.pf ppf "EXEC #%d %a" step Command.pp cmd
+  | Exec_ok { step; result } -> Fmt.pf ppf "OK #%d %a" step Command.pp_result result
+  | Exec_failed { step; reason } -> Fmt.pf ppf "FAILED #%d %s" step reason
+  | Prepare sn -> Fmt.pf ppf "PREPARE sn=%a" Sn.pp sn
+  | Ready -> Fmt.string ppf "READY"
+  | Refuse r -> Fmt.pf ppf "REFUSE %a" pp_refusal r
+  | Commit -> Fmt.string ppf "COMMIT"
+  | Rollback -> Fmt.string ppf "ROLLBACK"
+  | Commit_ack -> Fmt.string ppf "COMMIT-ACK"
+  | Rollback_ack -> Fmt.string ppf "ROLLBACK-ACK"
+
+type t = { src : address; dst : address; gid : int; payload : payload }
+
+let pp ppf m =
+  Fmt.pf ppf "%a -> %a [T%d] %a" pp_address m.src pp_address m.dst m.gid pp_payload m.payload

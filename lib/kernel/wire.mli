@@ -1,0 +1,41 @@
+(** Messages of the DTM — the paper's 2PC vocabulary (§2): BEGIN, command
+    submission, PREPARE, READY/REFUSE, COMMIT/ROLLBACK and their ACKs.
+
+    Kernel-resident so the pure protocol layer can use the wire types
+    without a network dependency; {!Hermes_net.Message} re-exports it. *)
+
+type address = Coordinator of int | Agent of Site.t
+
+val pp_address : address Fmt.t
+val equal_address : address -> address -> bool
+
+(** Why a Participant refused PREPARE (or a baseline scheduler refused
+    service). *)
+type refusal =
+  | Extension_refused  (** a bigger-SN subtransaction already committed (§5.3) *)
+  | Interval_refused  (** alive time intersection failed (§4.2) *)
+  | Dead_refused  (** the subtransaction was unilaterally aborted (CI 2) *)
+  | Scheduler_refused of string  (** baseline schedulers *)
+
+val pp_refusal : refusal Fmt.t
+
+type payload =
+  | Begin
+  | Exec of { step : int; cmd : Command.t }
+      (** [step] is the per-site command index, so a duplicated EXEC (or
+          its reply) can be recognized and ignored *)
+  | Exec_ok of { step : int; result : Command.result }
+  | Exec_failed of { step : int; reason : string }
+  | Prepare of Sn.t
+  | Ready
+  | Refuse of refusal
+  | Commit
+  | Rollback
+  | Commit_ack
+  | Rollback_ack
+
+val pp_payload : payload Fmt.t
+
+type t = { src : address; dst : address; gid : int; payload : payload }
+
+val pp : t Fmt.t

@@ -1,0 +1,622 @@
+(* The 2PC Agent (2PCA) with the Certifier algorithms, as a pure state
+   machine — the paper's core contribution (§2, §4, §5 and the Appendix)
+   with every side effect factored out into the returned effect list.
+   See [Agent] in hermes.core for the effectful adapter.
+
+   The machine plays the 2PC Participant towards the Coordinators and
+   *simulates the prepared state* on behalf of an LTM that has none: on
+   READY it keeps the local subtransaction open (all locks held,
+   uncommitted), and if the LTM unilaterally aborts it, a new local
+   subtransaction replays the logged commands (subtransaction
+   resubmission).
+
+   The Certifier steps, exactly as in the Appendix:
+
+   A. Alive check — periodically, and on UAN, verify the prepared
+      subtransaction is still alive; extend its alive interval on
+      success, resubmit on failure.
+   B. Extended prepare certification — on PREPARE: first refuse if an
+      "older" (bigger-SN) subtransaction has already committed here
+      (§5.3); then the basic certification: the candidate's alive
+      interval must intersect the interval of every prepared
+      subtransaction (§4.2); then a final alive check.
+   C. Commit certification — on COMMIT: commit locally only if no
+      prepared subtransaction at this site has a smaller serial number;
+      otherwise retry after a timeout.
+
+   Purity contract: [step] never mutates its input state (the alive
+   table, the one imperative structure, is copied on entry) and performs
+   no effect — everything external arrives pre-sampled in the input
+   ([env] snapshots, log views, recovery entries) and everything
+   outbound leaves as an ordered effect list. Effect order is the old
+   imperative call order, which is what keeps adapter-driven runs
+   byte-identical (engine event sequence numbers, RNG draw order, trace
+   append order).
+
+   Volatility: the machine state is exactly the agent's *volatile* state
+   — a crash input empties it. The stable Agent log lives outside (the
+   adapter owns it); the machine reads it through [log_view] /
+   [recover_entry] snapshots and writes it through [Force_log] effects,
+   mirroring just enough (the command list) to dedup EXECs and replay
+   commands without a query effect. *)
+
+open Hermes_kernel
+open Types
+module Int_map = Map.Make (Int)
+
+type sub_state = Active | Prepared
+
+(* One global subtransaction at this site (volatile image). *)
+type sub = {
+  gid : int;
+  coordinator : Wire.address;
+  inc : int;  (* current incarnation index *)
+  commands_rev : Command.t list;  (* newest first; mirrors the stable log *)
+  state : sub_state;
+  sn : Sn.t option;
+  resubmitting : bool;
+  to_feed : Command.t list;  (* commands still to replay in this resubmission *)
+  committing : bool;  (* local commit in flight (makes duplicate COMMITs harmless) *)
+  decision_commit : bool;  (* COMMIT received, not yet performed *)
+  decision_at : Time.t option;  (* when the first COMMIT arrived *)
+  sn_retries : int;  (* commit-certification retries *)
+  alive_armed : bool;
+  retry_armed : bool;
+}
+
+type state = { site : Site.t; subs : sub Int_map.t; table : Alive_table.t }
+
+let init ~site = { site; subs = Int_map.empty; table = Alive_table.create () }
+let n_prepared st = Alive_table.size st.table
+
+(* Read-only snapshot of one LTM transaction, sampled by the adapter
+   when it builds the input (safe: the old code always read these before
+   performing any LTM-mutating effect within a transition). *)
+type view = { alive : bool; last_op_done : Time.t }
+
+type env = {
+  now : Time.t;
+  views : (int * view) list;  (* by gid; a gid without a view is a just-begun (alive) txn *)
+  max_committed_sn : Sn.t option;  (* the stable log's biggest committed SN *)
+}
+
+(* What the stable log knows about a gid (for messages about
+   subtransactions the volatile state has lost). *)
+type log_view = {
+  known : bool;
+  prepared : bool;
+  committed : bool;  (* commit record forced *)
+  locally_committed : bool;
+  rolled_back : bool;
+}
+
+(* One in-doubt stable-log entry handed to [Recover]. *)
+type recover_entry = {
+  r_gid : int;
+  r_coordinator : Wire.address;
+  r_inc : int;  (* last logged incarnation *)
+  r_sn : Sn.t option;
+  r_commands : Command.t list;  (* oldest first *)
+  r_committed : bool;  (* decision known: commit *)
+}
+
+type purpose = Reply of int (* step index to answer *) | Feed  (* resubmission replay *)
+type exec_result = Done of Command.result | Failed of string
+
+type input =
+  | Deliver of { env : env; src : Wire.address; gid : int; payload : Wire.payload; log : log_view }
+  | Alive_fired of { env : env; gid : int }
+  | Retry_fired of { env : env; gid : int }
+  | Backoff_fired of { env : env; gid : int; inc : int }
+  | Uan of { env : env; gid : int; inc : int }  (* unilateral-abort notification *)
+  | Exec_done of { env : env; gid : int; inc : int; purpose : purpose; result : exec_result }
+  | Commit_done of { env : env; gid : int; inc : int; committed : bool }
+  | Crash of { live : int }  (* live LTM transactions, for the crash event *)
+  | Recover of { env : env; entries : recover_entry list }
+
+type timer =
+  | T_alive of int
+  | T_commit_retry of int
+  | T_backoff of { gid : int; inc : int }
+      (* armed as an uncancellable one-shot (the adapter never cancels
+         it); staleness is filtered by the incarnation tag instead *)
+
+(* Stable-log writes. Not all are forced to disk — [R_local_commit],
+   [R_rollback] and [R_incarnation] are bookkeeping notes, matching
+   [Agent_log]'s distinction. *)
+type record =
+  | R_entry of { gid : int; coordinator : Wire.address }
+  | R_command of { gid : int; cmd : Command.t }
+  | R_incarnation of { gid : int; inc : int }
+  | R_prepare of { gid : int; sn : Sn.t }
+  | R_commit of { gid : int }
+  | R_local_commit of { gid : int }
+  | R_rollback of { gid : int }
+
+type call =
+  | L_begin of { gid : int; inc : int }  (* begin a fresh local txn for this incarnation *)
+  | L_exec of { gid : int; inc : int; purpose : purpose; cmd : Command.t }
+  | L_commit of { gid : int; inc : int }
+  | L_abort of { gid : int }
+  | L_abort_all_live  (* the site crash: every live local txn unilaterally aborts *)
+  | L_hold_open of { gid : int }  (* simulate the prepared state: keep locks, stay open *)
+  | L_watch_uan of { gid : int; inc : int }  (* subscribe to the unilateral-abort notification *)
+  | L_bind of { gid : int }  (* DLU: bind the txn's footprint *)
+  | L_rebind of { gid : int }  (* DLU: release the logged bound set, bind the new footprint *)
+  | L_unbind of { gid : int }  (* DLU: release the logged bound set *)
+  | L_forget of { gid : int }  (* drop adapter bookkeeping (txn handle, timers) for this gid *)
+
+type verdict =
+  | V_ready
+  | V_refused_extension of { committed_sn : Sn.t }
+  | V_refused_interval of { conflicting_gid : int; conflicting : Interval.t; candidate : Interval.t }
+  | V_refused_dead
+
+type event =
+  | Ev_alive_check of { gid : int; alive : bool }
+  | Ev_resubmission of { gid : int; inc : int }
+  | Ev_prepare_certification of { gid : int; sn : Sn.t; verdict : verdict }
+  | Ev_refused of { gid : int; refusal : Wire.refusal }
+  | Ev_commit_delayed of { gid : int; sn : Sn.t; blocking_gid : int; blocking_sn : Sn.t }
+  | Ev_commit_released of { gid : int; waited : int; retries : int }
+  | Ev_rollback of { gid : int }
+  | Ev_crash of { live : int; prepared : int }
+  | Ev_recovered of { gid : int; committed : bool }
+
+type effect = (timer, record, call, event) Types.effect
+
+let view env gid = List.assoc_opt gid env.views
+let view_alive env gid = match view env gid with Some v -> v.alive | None -> true
+let update st (sub : sub) = { st with subs = Int_map.add sub.gid sub st.subs }
+let send (sub : sub) payload = Send { dst = sub.coordinator; gid = sub.gid; payload }
+
+let unexpected (st : state) ~src ~gid ~payload =
+  Fmt.failwith "agent %a: unexpected message %a" Site.pp st.site Wire.pp
+    { Wire.src; dst = Wire.Agent st.site; gid; payload }
+
+(* Take the subtransaction out of the agent: timers off, bound data
+   released, table entry gone, adapter bookkeeping dropped. The
+   stable-log entry remains. *)
+let cleanup (config : Config.t) st (sub : sub) =
+  let cancels =
+    (if sub.alive_armed then [ Cancel_timer (T_alive sub.gid) ] else [])
+    @ if sub.retry_armed then [ Cancel_timer (T_commit_retry sub.gid) ] else []
+  in
+  let unbind = if config.Config.bind_data then [ Ltm_call (L_unbind { gid = sub.gid }) ] else [] in
+  Alive_table.remove st.table ~gid:sub.gid;
+  ( { st with subs = Int_map.remove sub.gid st.subs },
+    cancels @ unbind @ [ Ltm_call (L_forget { gid = sub.gid }) ] )
+
+(* ------------------------------------------------------------------ *)
+(* Resubmission (§2, §3): replay the logged commands as a fresh local
+   subtransaction. On completion a new alive interval starts; if the new
+   incarnation is itself unilaterally aborted mid-replay, start over
+   after a small backoff. *)
+(* ------------------------------------------------------------------ *)
+
+let rec start_resubmission config st env (sub : sub) =
+  if sub.resubmitting then (st, [])
+  else attempt_resubmission config st env { sub with resubmitting = true }
+
+(* One resubmission attempt; [resubmitting] stays set across backoff
+   retries, so the commit path and the alive check keep waiting instead
+   of racing a fresh resubmission past the backoff. *)
+and attempt_resubmission (config : Config.t) st env (sub : sub) =
+  let sub = { sub with inc = sub.inc + 1 } in
+  let head =
+    [
+      Emit (Ev_resubmission { gid = sub.gid; inc = sub.inc });
+      Force_log (R_incarnation { gid = sub.gid; inc = sub.inc });
+      Ltm_call (L_begin { gid = sub.gid; inc = sub.inc });
+      Ltm_call (L_hold_open { gid = sub.gid });
+    ]
+  in
+  let sub = { sub with to_feed = List.rev sub.commands_rev } in
+  let st, feed_effs = feed_next config st env sub in
+  (st, head @ feed_effs)
+
+(* Replay the next logged command into the fresh incarnation (shared by
+   resubmission and crash recovery); when none remain, the resubmission
+   is complete. *)
+and feed_next config st env (sub : sub) =
+  match sub.to_feed with
+  | cmd :: rest ->
+      let sub = { sub with to_feed = rest } in
+      (update st sub, [ Ltm_call (L_exec { gid = sub.gid; inc = sub.inc; purpose = Feed; cmd }) ])
+  | [] -> resubmission_complete config st env sub
+
+and resubmission_complete (config : Config.t) st env (sub : sub) =
+  let sub = { sub with resubmitting = false } in
+  (* "A new interval is always initiated after the resubmission of all
+     the commands is complete." With [max_intervals] > 1, the previous
+     incarnations' intervals are remembered too (the §4.2 optimization). *)
+  Alive_table.push_interval st.table ~gid:sub.gid ~max_intervals:config.Config.max_intervals
+    (Interval.point env.now);
+  let effs =
+    Ltm_call (L_watch_uan { gid = sub.gid; inc = sub.inc })
+    ::
+    (* Re-bind: under CI + DLU the footprint cannot have changed, but
+       ablations may violate that, so bind what was actually accessed. *)
+    (if config.Config.bind_data then [ Ltm_call (L_rebind { gid = sub.gid }) ] else [])
+  in
+  let st = update st sub in
+  if sub.decision_commit then
+    let st, commit_effs = try_commit config st env sub in
+    (st, effs @ commit_effs)
+  else (st, effs)
+
+(* Commit certification (Appendix C). The caller must already have
+   [sub] stored in [st]. *)
+and try_commit (config : Config.t) st env (sub : sub) =
+  if (not sub.decision_commit) || sub.committing then (st, [])
+  else if sub.resubmitting then (st, []) (* resubmission_complete will call back *)
+  else
+    let sn = Option.get sub.sn in
+    let certified =
+      (not config.Config.commit_certification) || Alive_table.min_sn_holds st.table ~gid:sub.gid ~sn
+    in
+    if not certified then
+      (* Commit certification failed: retry at a later time. *)
+      let blocking_gid, blocking_sn =
+        match Alive_table.min_sn_blocker st.table ~gid:sub.gid ~sn with
+        | Some b -> (b.Alive_table.gid, b.Alive_table.sn)
+        | None -> (sub.gid, sn)
+      in
+      let cancels = if sub.retry_armed then [ Cancel_timer (T_commit_retry sub.gid) ] else [] in
+      let sub = { sub with sn_retries = sub.sn_retries + 1; retry_armed = true } in
+      ( update st sub,
+        Emit (Ev_commit_delayed { gid = sub.gid; sn; blocking_gid; blocking_sn })
+        :: cancels
+        @ [
+            Arm_timer
+              { timer = T_commit_retry sub.gid; delay = config.Config.commit_retry_interval };
+          ] )
+    else if not (view_alive env sub.gid) then start_resubmission config st env sub
+    else
+      (* "Write the commit record to the Agent log; commit the local
+         subtransaction ..." — the decision is durable before the local
+         commit, so a crash in between redoes it at recovery. *)
+      let sub = { sub with committing = true } in
+      ( update st sub,
+        [ Force_log (R_commit { gid = sub.gid }); Ltm_call (L_commit { gid = sub.gid; inc = sub.inc }) ] )
+
+(* ------------------------------------------------------------------ *)
+(* Prepare certification (Appendix B) and the other message rules       *)
+(* ------------------------------------------------------------------ *)
+
+let refuse config st (sub : sub) refusal =
+  let st, cleanup_effs = cleanup config st sub in
+  ( st,
+    Emit (Ev_refused { gid = sub.gid; refusal })
+    :: Ltm_call (L_abort { gid = sub.gid })
+    :: send sub (Wire.Refuse refusal)
+    :: cleanup_effs )
+
+(* Extended prepare certification (Appendix B). *)
+let certify_prepare (config : Config.t) st env (sub : sub) sn =
+  let sub = { sub with sn = Some sn } in
+  let st = update st sub in
+  let extension_ok =
+    (not config.Config.certification_extension)
+    || match env.max_committed_sn with Some m -> Sn.(sn > m) | None -> true
+  in
+  if not extension_ok then
+    (* §5.3: an "older" (bigger-SN) subtransaction already committed
+       here; preparing this one would certify a non-serializable order. *)
+    let committed_sn = Option.value ~default:sn env.max_committed_sn in
+    let st, effs = refuse config st sub Wire.Extension_refused in
+    ( st,
+      Emit
+        (Ev_prepare_certification { gid = sub.gid; sn; verdict = V_refused_extension { committed_sn } })
+      :: effs )
+  else begin
+    (* Basic prepare certification: refresh the table's intervals with an
+       immediate alive check, then test the intersection rule. *)
+    if config.Config.refresh_on_certify then
+      List.iter
+        (fun (e : Alive_table.entry) ->
+          match Int_map.find_opt e.Alive_table.gid st.subs with
+          | Some other when (not other.resubmitting) && view_alive env e.Alive_table.gid ->
+              Alive_table.extend_interval st.table ~gid:e.Alive_table.gid ~hi:env.now
+          | Some _ | None -> ())
+        (Alive_table.entries st.table);
+    let last = (Option.get (view env sub.gid)).last_op_done in
+    let candidate = Interval.make ~lo:last ~hi:env.now in
+    let interval_ok =
+      (not config.Config.prepare_certification) || Alive_table.all_intersect st.table candidate
+    in
+    if not interval_ok then
+      let verdict =
+        match Alive_table.first_non_intersecting st.table candidate with
+        | Some b ->
+            V_refused_interval
+              { conflicting_gid = b.Alive_table.gid;
+                conflicting = Alive_table.current_interval b;
+                candidate }
+        | None -> V_refused_interval { conflicting_gid = sub.gid; conflicting = candidate; candidate }
+      in
+      let st, effs = refuse config st sub Wire.Interval_refused in
+      (st, Emit (Ev_prepare_certification { gid = sub.gid; sn; verdict }) :: effs)
+    else if not (view_alive env sub.gid) then
+      (* CI(2): a unilaterally aborted subtransaction is never prepared. *)
+      let st, effs = refuse config st sub Wire.Dead_refused in
+      (st, Emit (Ev_prepare_certification { gid = sub.gid; sn; verdict = V_refused_dead }) :: effs)
+    else begin
+      (* Force write the prepare record; move to the prepared state. *)
+      let sub = { sub with state = Prepared; alive_armed = true } in
+      Alive_table.insert st.table ~gid:sub.gid ~sn ~interval:candidate;
+      ( update st sub,
+        [
+          Emit (Ev_prepare_certification { gid = sub.gid; sn; verdict = V_ready });
+          Force_log (R_prepare { gid = sub.gid; sn });
+          Record (H_prepare { gid = sub.gid; sn });
+          Ltm_call (L_hold_open { gid = sub.gid });
+          Ltm_call (L_watch_uan { gid = sub.gid; inc = sub.inc });
+        ]
+        @ (if config.Config.bind_data then [ Ltm_call (L_bind { gid = sub.gid }) ] else [])
+        @ [
+            send sub Wire.Ready;
+            Arm_timer { timer = T_alive sub.gid; delay = config.Config.alive_check_interval };
+          ] )
+    end
+  end
+
+let handle_begin st ~gid ~coordinator =
+  let sub =
+    {
+      gid;
+      coordinator;
+      inc = 0;
+      commands_rev = [];
+      state = Active;
+      sn = None;
+      resubmitting = false;
+      to_feed = [];
+      committing = false;
+      decision_commit = false;
+      decision_at = None;
+      sn_retries = 0;
+      alive_armed = false;
+      retry_armed = false;
+    }
+  in
+  (update st sub, [ Force_log (R_entry { gid; coordinator }); Ltm_call (L_begin { gid; inc = 0 }) ])
+
+let handle_exec st (sub : sub) ~step cmd =
+  (* The step index doubles as the dedup key: a duplicated EXEC carries a
+     step below the logged command count (per-link FIFO keeps steps in
+     order, so it can never be above). *)
+  if step = List.length sub.commands_rev then
+    let sub = { sub with commands_rev = cmd :: sub.commands_rev } in
+    ( update st sub,
+      [
+        Force_log (R_command { gid = sub.gid; cmd });
+        Ltm_call (L_exec { gid = sub.gid; inc = sub.inc; purpose = Reply step; cmd });
+      ] )
+  else (st, [])
+
+let handle_rollback config st (sub : sub) =
+  let st, cleanup_effs = cleanup config st sub in
+  ( st,
+    Emit (Ev_rollback { gid = sub.gid })
+    :: Force_log (R_rollback { gid = sub.gid })
+    :: Ltm_call (L_abort { gid = sub.gid })
+    :: send sub Wire.Rollback_ack
+    :: cleanup_effs )
+
+(* Replies for subtransactions the volatile state no longer knows —
+   either lost to a crash (active-state work is simply gone; 2PC lets a
+   participant abort anything it never promised) or already finished
+   (decision retransmissions are answered idempotently from the log). *)
+let handle_unknown st env ~src ~gid ~payload ~(log : log_view) =
+  ignore env;
+  let answer payload = Send { dst = src; gid; payload } in
+  match payload with
+  | Wire.Exec { step; cmd } ->
+      if (not log.known) && step = 0 then
+        (* The BEGIN was lost by the network; the first command implies
+           it (later steps after a crash find a logged entry below). *)
+        let st, begin_effs = handle_begin st ~gid ~coordinator:src in
+        let sub = Int_map.find gid st.subs in
+        let st, exec_effs = handle_exec st sub ~step cmd in
+        (st, begin_effs @ exec_effs)
+      else (st, [ answer (Wire.Exec_failed { step; reason = "subtransaction lost in a site crash" }) ])
+  | Wire.Prepare _ ->
+      if log.known && log.prepared && not log.rolled_back then
+        (* A retransmitted PREPARE whose READY was lost (or chased a
+           crash): the promise is on disk, repeat the vote. *)
+        (st, [ answer Wire.Ready ])
+      else (st, [ answer (Wire.Refuse Wire.Dead_refused) ])
+  | Wire.Commit ->
+      if log.known && log.locally_committed then (st, [ answer Wire.Commit_ack ])
+      else if log.known && log.prepared && not log.rolled_back then
+        (* The decision reached a crashed-but-logged subtransaction
+           (crash and recovery separated in time): note it durably so
+           recovery redoes the local commit and answers the ack then. *)
+        if not log.committed then (st, [ Force_log (R_commit { gid }) ]) else (st, [])
+      else Fmt.failwith "agent %a: COMMIT for unknown, uncommitted T%d" Site.pp st.site gid
+  | Wire.Rollback ->
+      ((if log.known then [ Force_log (R_rollback { gid }) ] else []) |> fun note ->
+       (st, note @ [ answer Wire.Rollback_ack ]))
+  | _ -> unexpected st ~src ~gid ~payload
+
+let deliver config st env ~src ~gid ~payload ~(log : log_view) =
+  match payload with
+  | Wire.Begin ->
+      if Int_map.mem gid st.subs || log.known then
+        (st, []) (* duplicated BEGIN, or one for a gid the log already knows *)
+      else handle_begin st ~gid ~coordinator:src
+  | Wire.Exec { step; cmd } -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub -> handle_exec st sub ~step cmd
+      | None -> handle_unknown st env ~src ~gid ~payload ~log)
+  | Wire.Prepare sn -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub -> (
+          match sub.state with
+          | Prepared ->
+              (* A retransmitted or duplicated PREPARE: the promise is
+                 already on disk, so repeat the vote. *)
+              (st, [ send sub Wire.Ready ])
+          | Active -> certify_prepare config st env sub sn)
+      | None -> handle_unknown st env ~src ~gid ~payload ~log)
+  | Wire.Commit -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub ->
+          let sub =
+            {
+              sub with
+              decision_at = (if sub.decision_at = None then Some env.now else sub.decision_at);
+              decision_commit = true;
+            }
+          in
+          let st = update st sub in
+          try_commit config st env sub
+      | None -> handle_unknown st env ~src ~gid ~payload ~log)
+  | Wire.Rollback -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub -> handle_rollback config st sub
+      | None -> handle_unknown st env ~src ~gid ~payload ~log)
+  | Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Refuse _ | Wire.Commit_ack
+  | Wire.Rollback_ack ->
+      unexpected st ~src ~gid ~payload
+
+let step (config : Config.t) (st : state) (input : input) : state * effect list =
+  (* Copy-on-step: the table is the one imperative structure in the
+     state; copying it up front keeps the input state intact for callers
+     that branch from it (the model checker's DFS). *)
+  let st = { st with table = Alive_table.copy st.table } in
+  match input with
+  | Deliver { env; src; gid; payload; log } -> deliver config st env ~src ~gid ~payload ~log
+  | Alive_fired { env; gid } -> (
+      (* Alive check (Appendix A). The timer re-arms itself — always the
+         last effect, as the old code re-scheduled after the check. *)
+      match Int_map.find_opt gid st.subs with
+      | None -> (st, [])
+      | Some sub ->
+          let rearm =
+            [ Arm_timer { timer = T_alive gid; delay = config.Config.alive_check_interval } ]
+          in
+          if sub.resubmitting then (st, rearm) (* a new interval starts when it completes *)
+          else
+            let alive = view_alive env gid in
+            if alive then begin
+              Alive_table.extend_interval st.table ~gid ~hi:env.now;
+              (st, Emit (Ev_alive_check { gid; alive }) :: rearm)
+            end
+            else
+              let st, effs = start_resubmission config st env sub in
+              (st, (Emit (Ev_alive_check { gid; alive }) :: effs) @ rearm))
+  | Retry_fired { env; gid } -> (
+      match Int_map.find_opt gid st.subs with
+      | None -> (st, [])
+      | Some sub ->
+          let sub = { sub with retry_armed = false } in
+          let st = update st sub in
+          try_commit config st env sub)
+  | Backoff_fired { env; gid; inc } -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub when sub.inc = inc -> attempt_resubmission config st env sub
+      | _ -> (st, []) (* a stale backoff of a finished/superseded incarnation *))
+  | Uan { env; gid; inc } -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub when sub.inc = inc -> start_resubmission config st env sub
+      | _ -> (st, []))
+  | Exec_done { env; gid; inc; purpose; result } -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub when sub.inc = inc -> (
+          match (purpose, result) with
+          | Reply step, Done r -> (st, [ send sub (Wire.Exec_ok { step; result = r }) ])
+          | Reply step, Failed reason -> (st, [ send sub (Wire.Exec_failed { step; reason }) ])
+          | Feed, Done _ -> feed_next config st env sub
+          | Feed, Failed _ ->
+              (* The incarnation died (unilateral abort, lock timeout,
+                 deadlock victim): try again later. *)
+              ( st,
+                [
+                  Arm_timer
+                    { timer = T_backoff { gid; inc }; delay = config.Config.resubmit_backoff };
+                ] ))
+      | _ -> (st, []))
+  | Commit_done { env; gid; inc; committed } -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub when sub.inc = inc ->
+          if committed then
+            let waited = match sub.decision_at with Some d -> Time.diff env.now d | None -> 0 in
+            let st, cleanup_effs = cleanup config st sub in
+            ( st,
+              Emit (Ev_commit_released { gid; waited; retries = sub.sn_retries })
+              :: Force_log (R_local_commit { gid })
+              :: send sub Wire.Commit_ack
+              :: cleanup_effs )
+          else
+            (* Aborted between the alive check and the commit: resubmit
+               and retry. *)
+            let sub = { sub with committing = false } in
+            let st = update st sub in
+            start_resubmission config st env sub
+      | _ -> (st, []))
+  | Crash { live } ->
+      (* All volatile state is lost; only the Agent log survives.
+         Prepared subtransactions' timers are silenced (active ones have
+         none), then every live local transaction suffers the collective
+         unilateral abort. The DLU bound sets are *not* released: the
+         logged bindings keep local transactions off in-doubt data while
+         recovery runs. *)
+      let prepared = Alive_table.size st.table in
+      let cancels =
+        Int_map.fold
+          (fun gid (sub : sub) acc ->
+            if sub.state = Prepared then
+              acc
+              @ (if sub.alive_armed then [ Cancel_timer (T_alive gid) ] else [])
+              @ (if sub.retry_armed then [ Cancel_timer (T_commit_retry gid) ] else [])
+            else acc)
+          st.subs []
+      in
+      ( { st with subs = Int_map.empty; table = Alive_table.create () },
+        (Emit (Ev_crash { live; prepared }) :: cancels) @ [ Ltm_call L_abort_all_live ] )
+  | Recover { env; entries } ->
+      (* Rebuild every in-doubt subtransaction from the log: a fresh
+         incarnation replays the logged commands; the alive-interval
+         entry restarts; if the commit record was already forced the
+         decision is known and the commit is redone locally once the
+         replay completes. *)
+      List.fold_left
+        (fun (st, effs) (e : recover_entry) ->
+          let inc = e.r_inc + 1 in
+          let sub =
+            {
+              gid = e.r_gid;
+              coordinator = e.r_coordinator;
+              inc;
+              commands_rev = List.rev e.r_commands;
+              state = Prepared;
+              sn = e.r_sn;
+              resubmitting = true;
+              to_feed = [];
+              committing = false;
+              decision_commit = e.r_committed;
+              decision_at = (if e.r_committed then Some env.now else None);
+              sn_retries = 0;
+              alive_armed = true;
+              retry_armed = false;
+            }
+          in
+          Alive_table.insert st.table ~gid:sub.gid ~sn:(Option.get e.r_sn)
+            ~interval:(Interval.point env.now);
+          let head =
+            [
+              Emit (Ev_recovered { gid = sub.gid; committed = e.r_committed });
+              Force_log (R_incarnation { gid = sub.gid; inc });
+              Ltm_call (L_begin { gid = sub.gid; inc });
+              Ltm_call (L_hold_open { gid = sub.gid });
+            ]
+          in
+          let sub = { sub with to_feed = e.r_commands } in
+          let st, feed_effs = feed_next config st env sub in
+          ( st,
+            effs @ head @ feed_effs
+            @ [ Arm_timer { timer = T_alive sub.gid; delay = config.Config.alive_check_interval } ]
+          ))
+        (st, []) entries

@@ -25,6 +25,12 @@ val insert : t -> gid:int -> sn:Sn.t -> interval:Interval.t -> unit
 
 val remove : t -> gid:int -> unit
 val find : t -> gid:int -> entry option
+
+val copy : t -> t
+(** An independent copy: mutations of either table never touch the
+    other. Used by the pure state machines (whose [step] never mutates
+    its input state) and the model checker's DFS. *)
+
 val mem : t -> gid:int -> bool
 val entries : t -> entry list
 val size : t -> int

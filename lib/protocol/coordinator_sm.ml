@@ -1,0 +1,308 @@
+(* The Coordinator, as a pure state machine (paper §2): executes the
+   decomposed commands one by one, then drives standard two-phase commit
+   — PREPARE to all, COMMIT iff every participant answered READY,
+   ROLLBACK otherwise. See [Coordinator] in hermes.core for the
+   effectful adapter; this module is transition rules only.
+
+   Behaviour notes that the effect lists encode (and that the adapter
+   relies on for byte-identical replays of the historical imperative
+   implementation):
+   - the serial number is *drawn by the adapter* (it reads the site
+     clock) — at [init] for the ticket baseline ([Config.sn_at_begin]),
+     otherwise at the commit gate's proceed, delivered via
+     {!Gate_opened};
+   - [Invoke_gate] and [Decide] are always the last effect of their
+     step, so a synchronous gate (or a submitter resubmitting from
+     [on_done]) may re-enter immediately;
+   - timers are armed/cancelled exactly where the imperative code
+     scheduled/cancelled them, so engine event statistics are
+     unchanged. *)
+
+open Hermes_kernel
+open Types
+
+type quorum =
+  | Dedup  (* votes and acks deduplicated per site (correct) *)
+  | Counted
+      (* votes as a raw counter, duplicates included — the PR 3
+         duplicate-READY fake-quorum bug, kept as a test-local
+         configuration so the model checker can demonstrate it *)
+
+type config = { certifier : Config.t; quorum : quorum }
+
+let config ?(quorum = Dedup) certifier = { certifier; quorum }
+
+type phase = Executing | Preparing | Committing | Aborting of reason
+
+type event =
+  | All_ready of { sn : Sn.t option }  (* every participant voted READY *)
+  | Deciding_abort of reason
+  | Retransmitting_decision of { unacked : int }
+  | Retransmitting_prepare of { silent : int }
+
+type timer = Exec_timeout | Retransmit | Prepare_retransmit
+
+type state = {
+  gid : int;
+  site : Site.t;  (* the coordinating site, whose clock stamps the SN *)
+  participants : Site.t list;
+  phase : phase;
+  remaining_steps : (Site.t * int * Command.t) list;  (* (site, per-site step, command) *)
+  outstanding : (Site.t * int) option;  (* the command awaiting its reply *)
+  sn : Sn.t option;
+  voters : Site.Set.t;  (* sites whose READY/REFUSE arrived *)
+  votes : int;  (* raw vote count — what a [Counted] quorum decides on *)
+  refusal : (Site.t * Wire.refusal) option;
+  acked : Site.Set.t;  (* decision acknowledgements *)
+  retransmissions : int;
+  exec_armed : bool;
+  retransmit_armed : bool;
+  prepare_retransmit_armed : bool;
+  finished : bool;  (* decided and acknowledged; swallow stray duplicates *)
+}
+
+type input =
+  | Start
+  | From_agent of { src : Site.t; payload : Wire.payload }
+  | Exec_timeout_fired
+  | Retransmit_fired
+  | Prepare_retransmit_fired
+  | Gate_opened of { sn : Sn.t option; lossy : bool }
+      (* [sn] is a fresh serial number the adapter drew iff the config
+         does not use [sn_at_begin]; [lossy] is the network's current
+         lossiness, deciding whether PREPARE retransmission is armed *)
+  | Gate_refused of string
+
+type effect = (timer, never, never, event) Types.effect
+
+(* Tag each command with its per-site step index, so agents and the
+   coordinator can recognize (and ignore) duplicated EXECs and replies. *)
+let number_steps steps =
+  let counts = Hashtbl.create 8 in
+  List.map
+    (fun (site, cmd) ->
+      let k = Option.value (Hashtbl.find_opt counts (Site.to_int site)) ~default:0 in
+      Hashtbl.replace counts (Site.to_int site) (k + 1);
+      (site, k, cmd))
+    steps
+
+let init ~gid ~site ~participants ~steps ~sn =
+  {
+    gid;
+    site;
+    participants;
+    phase = Executing;
+    remaining_steps = number_steps steps;
+    outstanding = None;
+    sn;
+    voters = Site.Set.empty;
+    votes = 0;
+    refusal = None;
+    acked = Site.Set.empty;
+    retransmissions = 0;
+    exec_armed = false;
+    retransmit_armed = false;
+    prepare_retransmit_armed = false;
+    finished = false;
+  }
+
+let n_participants st = List.length st.participants
+
+let send st ~dst payload = Send { dst; gid = st.gid; payload }
+
+let send_to_all st payload = List.map (fun s -> send st ~dst:(Wire.Agent s) payload) st.participants
+
+let decision_message st = match st.phase with Committing -> Wire.Commit | _ -> Wire.Rollback
+
+(* Start broadcasting the decision; decision retransmission replaces any
+   armed PREPARE retransmission. *)
+let start_decision config st phase =
+  let st = { st with phase; acked = Site.Set.empty } in
+  let cancels = if st.prepare_retransmit_armed then [ Cancel_timer Prepare_retransmit ] else [] in
+  let st = { st with prepare_retransmit_armed = false; retransmit_armed = true } in
+  ( st,
+    send_to_all st (decision_message st)
+    @ cancels
+    @ [ Arm_timer { timer = Retransmit; delay = config.certifier.Config.decision_retry_interval } ] )
+
+let start_abort config st reason =
+  let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
+  let st = { st with exec_armed = false } in
+  let st, effs = start_decision config st (Aborting reason) in
+  (st, cancels @ [ Emit (Deciding_abort reason); Record (H_global_abort { gid = st.gid }) ] @ effs)
+
+(* After the decision completes, stray duplicate acknowledgements may
+   still be in flight (a retransmitted COMMIT re-acked by a recovered
+   agent); the [finished] state swallows them. *)
+let finish st outcome =
+  let cancels = if st.retransmit_armed then [ Cancel_timer Retransmit ] else [] in
+  ({ st with retransmit_armed = false; finished = true }, cancels @ [ Decide outcome ])
+
+let next_step config st =
+  match st.remaining_steps with
+  | (site, step, cmd) :: rest ->
+      let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
+      ( { st with remaining_steps = rest; outstanding = Some (site, step); exec_armed = true },
+        [ send st ~dst:(Wire.Agent site) (Wire.Exec { step; cmd }) ]
+        @ cancels
+        @ [ Arm_timer { timer = Exec_timeout; delay = config.certifier.Config.exec_timeout } ] )
+  | [] ->
+      let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
+      (* All commands executed: the application submits the global Commit.
+         The gate (a baseline scheduler's hook) may hold or refuse it;
+         the adapter answers with [Gate_opened] or [Gate_refused]. *)
+      ({ st with exec_armed = false; outstanding = None }, cancels @ [ Invoke_gate ])
+
+let is_outstanding st site step =
+  match st.outstanding with Some (s, k) -> Site.equal s site && k = step | None -> false
+
+(* One vote arrived. Under [Dedup] a repeated voter is ignored; under
+   [Counted] the raw count decides — two copies of one READY then look
+   like a quorum (the historical fake-quorum bug). *)
+let note_vote config st src =
+  match config.quorum with
+  | Dedup ->
+      if Site.Set.mem src st.voters then None
+      else
+        let st = { st with voters = Site.Set.add src st.voters; votes = st.votes + 1 } in
+        Some (st, Site.Set.cardinal st.voters = n_participants st)
+  | Counted ->
+      let st = { st with voters = Site.Set.add src st.voters; votes = st.votes + 1 } in
+      Some (st, st.votes = n_participants st)
+
+let all_ready config st =
+  if st.refusal = None then
+    let st, effs = start_decision config st Committing in
+    (st, (Emit (All_ready { sn = st.sn }) :: Record (H_global_commit { gid = st.gid }) :: effs))
+  else
+    let site, refusal = Option.get st.refusal in
+    start_abort config st (Refused (site, refusal))
+
+let handle_from_agent config st src payload =
+  if st.finished then
+    match payload with
+    | Wire.Commit_ack | Wire.Rollback_ack | Wire.Ready | Wire.Refuse _ | Wire.Exec_ok _
+    | Wire.Exec_failed _ ->
+        (* Stray duplicates of any agent reply can trail the decision on
+           a duplicating network. *)
+        (st, [])
+    | payload -> Fmt.failwith "finished coordinator T%d: unexpected %a" st.gid Wire.pp_payload payload
+  else
+    match (st.phase, payload) with
+    | Executing, Wire.Exec_ok { step; _ } when is_outstanding st src step ->
+        let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
+        let st, effs = next_step config { st with exec_armed = false } in
+        (st, cancels @ effs)
+    | Executing, Wire.Exec_ok _ ->
+        (* A duplicated reply to an already-answered command: ignore. *)
+        (st, [])
+    | Executing, Wire.Exec_failed { step; reason } when is_outstanding st src step ->
+        start_abort config st (Exec_failed (src, reason))
+    | Executing, Wire.Exec_failed _ -> (st, [])
+    | Preparing, Wire.Ready -> (
+        match note_vote config st src with
+        | None -> (st, [])
+        | Some (st, complete) -> if complete then all_ready config st else (st, []))
+    | Preparing, Wire.Refuse r -> (
+        match note_vote config st src with
+        | None -> (st, [])
+        | Some (st, complete) ->
+            let st = if st.refusal = None then { st with refusal = Some (src, r) } else st in
+            if complete then
+              let site, refusal = Option.get st.refusal in
+              start_abort config st (Refused (site, refusal))
+            else (st, []))
+    | Preparing, (Wire.Exec_ok _ | Wire.Exec_failed _) ->
+        (* Duplicated command replies arriving after the last command was
+           first answered: ignore. *)
+        (st, [])
+    | Committing, Wire.Commit_ack ->
+        if Site.Set.mem src st.acked then (st, [])
+        else
+          let st = { st with acked = Site.Set.add src st.acked } in
+          if Site.Set.cardinal st.acked = n_participants st then finish st Committed else (st, [])
+    | Committing, (Wire.Ready | Wire.Refuse _ | Wire.Exec_ok _ | Wire.Exec_failed _) ->
+        (* Duplicated votes or command replies trailing the decision: ignore. *)
+        (st, [])
+    | Aborting reason, Wire.Rollback_ack ->
+        if Site.Set.mem src st.acked then (st, [])
+        else
+          let st = { st with acked = Site.Set.add src st.acked } in
+          if Site.Set.cardinal st.acked = n_participants st then finish st (Aborted reason)
+          else (st, [])
+    | Aborting _, (Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Refuse _) ->
+        (* Late replies racing the abort decision (e.g. an Exec_ok in
+           flight when the exec timeout fired): ignore. *)
+        (st, [])
+    | _, payload ->
+        Fmt.failwith "coordinator T%d: unexpected %a in current phase" st.gid Wire.pp_payload payload
+
+let step config st input : state * effect list =
+  match input with
+  | Start ->
+      let begins = send_to_all st Wire.Begin in
+      let st, effs = next_step config st in
+      (st, begins @ effs)
+  | From_agent { src; payload } -> handle_from_agent config st src payload
+  | Exec_timeout_fired -> (
+      let st = { st with exec_armed = false } in
+      match (st.phase, st.outstanding) with
+      | Executing, Some (site, _) ->
+          start_abort config st (Exec_failed (site, "command reply timed out (site crash?)"))
+      | _ -> (st, []))
+  | Retransmit_fired -> (
+      match st.phase with
+      | Committing | Aborting _ ->
+          let st = { st with retransmissions = st.retransmissions + 1 } in
+          let resend =
+            List.filter_map
+              (fun s ->
+                if Site.Set.mem s st.acked then None
+                else Some (send st ~dst:(Wire.Agent s) (decision_message st)))
+              st.participants
+          in
+          ( st,
+            Emit (Retransmitting_decision { unacked = n_participants st - Site.Set.cardinal st.acked })
+            :: resend
+            @ [ Arm_timer
+                  { timer = Retransmit; delay = config.certifier.Config.decision_retry_interval };
+              ] )
+      | Executing | Preparing -> ({ st with retransmit_armed = false }, []))
+  | Prepare_retransmit_fired -> (
+      match st.phase with
+      | Preparing ->
+          let st = { st with retransmissions = st.retransmissions + 1 } in
+          let sn = Option.get st.sn in
+          let resend =
+            List.filter_map
+              (fun s ->
+                if Site.Set.mem s st.voters then None
+                else Some (send st ~dst:(Wire.Agent s) (Wire.Prepare sn)))
+              st.participants
+          in
+          ( st,
+            Emit (Retransmitting_prepare { silent = n_participants st - Site.Set.cardinal st.voters })
+            :: resend
+            @ [ Arm_timer
+                  { timer = Prepare_retransmit; delay = config.certifier.Config.prepare_retry_interval };
+              ] )
+      | Executing | Committing | Aborting _ -> ({ st with prepare_retransmit_armed = false }, []))
+  | Gate_opened { sn; lossy } ->
+      (* The application's global Commit passed the gate: draw the serial
+         number (the ticket baseline drew it at BEGIN) and start phase
+         one of 2PC. *)
+      let sn = if config.certifier.Config.sn_at_begin then st.sn else sn in
+      let st = { st with phase = Preparing; sn } in
+      let retx =
+        lossy && config.certifier.Config.prepare_retry_interval > 0
+      in
+      let st = { st with prepare_retransmit_armed = retx } in
+      ( st,
+        send_to_all st (Wire.Prepare (Option.get sn))
+        @
+        if retx then
+          [ Arm_timer
+              { timer = Prepare_retransmit; delay = config.certifier.Config.prepare_retry_interval };
+          ]
+        else [] )
+  | Gate_refused why -> start_abort config st (Gate_refused why)

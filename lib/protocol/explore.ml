@@ -1,0 +1,809 @@
+(* Bounded model checker for the pure protocol machines.
+
+   The simulator (hermes.sim + hermes.core) runs *one* schedule per
+   seed; this module runs *all* schedules of a small scenario. A global
+   state is the product of every coordinator machine, every agent
+   machine, and pure models of everything the adapters own imperatively:
+   the network (a message multiset — delivery in any order, optional
+   drops and duplications under a budget), the LTMs (transaction status
+   + in-flight command count per site), the stable Agent logs, and the
+   armed-timer sets. An enabled action applies one machine step (or one
+   fault) and yields a successor; a DFS with a visited set enumerates
+   the reachable space exhaustively, within the fault budgets.
+
+   Faults are budgeted rather than probabilistic: a budget of one drop
+   explores *every* schedule in which any single message is lost. Time
+   is logical — the clock only advances when a timer fires or a fault
+   happens, so commuting deliveries reconverge to the same state and the
+   visited set collapses the interleaving diamond.
+
+   Violations are of two kinds:
+   - machine exceptions: the machines [failwith] on protocol-impossible
+     inputs (e.g. a COMMIT for an unknown, uncommitted subtransaction),
+     so any schedule that provokes one is a counterexample;
+   - invariant checks, tested on every transition or at terminal states:
+     I1  no site both locally commits and rolls back a gid, and no local
+         commit (rollback) of a globally aborted (committed) gid;
+     I2  a global commit is only decided once every participant sent
+         READY — the all-READY rule, and the direct detector for the
+         duplicate-READY fake-quorum bug under [Counted] quorum;
+     I3  commit certification: a local commit is only released while no
+         smaller-SN subtransaction is prepared at the site (Appendix C);
+     I4  at terminal states, a decided gid is locally committed at every
+         participant (commit) or at none (abort);
+     plus timer hygiene: an armed alive-check or commit-retry timer
+     always belongs to a live subtransaction (terminal transitions must
+     cancel their timers). *)
+
+open Hermes_kernel
+module A = Agent_sm
+module C = Coordinator_sm
+
+type budgets = {
+  drops : int;  (* messages the network may lose *)
+  dups : int;  (* messages the network may deliver twice *)
+  crashes : int;  (* site crash+recover events *)
+  uaborts : int;  (* unilateral aborts of live local transactions *)
+  alive_fires : int;  (* periodic alive-check timer firings (they re-arm) *)
+  commit_retries : int;  (* commit-certification retry firings *)
+  exec_timeouts : int;  (* coordinator command-reply timeouts *)
+  retransmits : int;  (* decision/PREPARE retransmission firings *)
+}
+
+let no_faults =
+  {
+    drops = 0;
+    dups = 0;
+    crashes = 0;
+    uaborts = 0;
+    alive_fires = 0;
+    commit_retries = 0;
+    exec_timeouts = 0;
+    retransmits = 0;
+  }
+
+type scenario = {
+  n_sites : int;
+  n_txns : int;  (* every transaction runs one command at every site *)
+  config : Config.t;
+  quorum : C.quorum;
+  budgets : budgets;
+  max_states : int;  (* exploration cap; exceeding it sets [truncated] *)
+}
+
+let default =
+  {
+    n_sites = 2;
+    n_txns = 2;
+    config = { Config.full with Config.bind_data = false };
+    quorum = C.Dedup;
+    budgets = { no_faults with uaborts = 1; commit_retries = 2; alive_fires = 1 };
+    max_states = 2_000_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pure models of the adapters' imperative surroundings                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One local transaction inside a modelled LTM. Aliveness is the
+   paper's: active, and every submitted command completely executed. *)
+type ltxn = {
+  l_gid : int;
+  l_inc : int;  (* incarnation the record belongs to *)
+  l_status : [ `Active | `Aborted | `Committed ];
+  l_in_flight : int;  (* submitted commands not yet executed *)
+  l_held : bool;  (* held open past its last command (simulated prepared) *)
+  l_watch : int option;  (* incarnation subscribed to the UAN *)
+  l_last : int;  (* logical time of the last completed operation *)
+}
+
+(* One stable Agent-log entry (survives crashes). *)
+type entry = {
+  e_gid : int;
+  e_coord : Wire.address;
+  e_cmds : Command.t list;  (* oldest first *)
+  e_inc : int;
+  e_sn : Sn.t option;
+  e_prepared : bool;
+  e_committed : bool;  (* decision record forced *)
+  e_lcommitted : bool;
+  e_rolled : bool;
+}
+
+(* An asynchronous LTM completion still in flight. *)
+type cb =
+  | Cb_exec of { site : int; gid : int; inc : int; purpose : A.purpose }
+  | Cb_commit of { site : int; gid : int; inc : int }
+  | Cb_uan of { site : int; gid : int; inc : int }
+
+type tmr = T_agent of int * A.timer | T_coord of int * C.timer
+
+type g = {
+  clock : int;  (* logical; advances on timers and faults only *)
+  sn_seq : int;
+  coords : (int * C.state) list;  (* by gid *)
+  agents : (int * A.state) list;  (* by site id *)
+  logs : (int * entry list) list;  (* by site id *)
+  max_csn : (int * Sn.t) list;  (* per site: biggest committed SN in the log *)
+  ltms : (int * ltxn list) list;  (* by site id *)
+  msgs : Wire.t list;  (* the network: an unordered multiset *)
+  cbs : cb list;
+  timers : tmr list;
+  unstarted : int list;
+  outcomes : (int * Types.outcome) list;
+  ready : (int * int) list;  (* (gid, site): READY was sent *)
+  b : budgets;  (* remaining budgets *)
+}
+
+type action =
+  | Start of int
+  | Deliver of Wire.t
+  | Duplicate of Wire.t  (* deliver one copy, leave the original in flight *)
+  | Drop of Wire.t
+  | Ltm_complete of cb
+  | Fire of tmr
+  | Unilateral_abort of { site : int; gid : int }
+  | Crash_recover of int
+
+exception Violation of string
+
+let site_of = Site.of_int
+let upd k v l = (k, v) :: List.remove_assoc k l
+let assoc_or k l ~default = match List.assoc_opt k l with Some v -> v | None -> default
+
+let remove_one x l =
+  let rec go = function
+    | [] -> []
+    | y :: rest -> if y = x then rest else y :: go rest
+  in
+  go l
+
+let find_entry g s gid = List.find_opt (fun e -> e.e_gid = gid) (assoc_or s g.logs ~default:[])
+
+let put_entry g s e =
+  let entries = assoc_or s g.logs ~default:[] in
+  { g with logs = upd s (e :: List.filter (fun x -> x.e_gid <> e.e_gid) entries) g.logs }
+
+let find_ltxn g s gid = List.find_opt (fun l -> l.l_gid = gid) (assoc_or s g.ltms ~default:[])
+
+let put_ltxn g s l =
+  let txns = assoc_or s g.ltms ~default:[] in
+  { g with ltms = upd s (l :: List.filter (fun x -> x.l_gid <> l.l_gid) txns) g.ltms }
+
+(* The [env] snapshot an adapter would sample for a site right now. *)
+let env_of g s =
+  {
+    A.now = Time.of_int g.clock;
+    views =
+      List.map
+        (fun l ->
+          ( l.l_gid,
+            {
+              A.alive = (l.l_status = `Active && l.l_in_flight = 0);
+              last_op_done = Time.of_int l.l_last;
+            } ))
+        (assoc_or s g.ltms ~default:[]);
+    max_committed_sn = List.assoc_opt s g.max_csn;
+  }
+
+let log_view_of g s gid =
+  match find_entry g s gid with
+  | None ->
+      { A.known = false; prepared = false; committed = false; locally_committed = false; rolled_back = false }
+  | Some e ->
+      {
+        A.known = true;
+        prepared = e.e_prepared;
+        committed = e.e_committed;
+        locally_committed = e.e_lcommitted;
+        rolled_back = e.e_rolled;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Effect interpretation (pure: every handler returns the next [g])     *)
+(* ------------------------------------------------------------------ *)
+
+(* I1, checked at the log writes where a local decision lands. *)
+let log_write g s (r : A.record) =
+  match r with
+  | A.R_entry { gid; coordinator } -> (
+      match find_entry g s gid with
+      | Some _ -> g
+      | None ->
+          put_entry g s
+            {
+              e_gid = gid;
+              e_coord = coordinator;
+              e_cmds = [];
+              e_inc = 0;
+              e_sn = None;
+              e_prepared = false;
+              e_committed = false;
+              e_lcommitted = false;
+              e_rolled = false;
+            })
+  | A.R_command { gid; cmd } -> (
+      match find_entry g s gid with
+      | Some e -> put_entry g s { e with e_cmds = e.e_cmds @ [ cmd ] }
+      | None -> g)
+  | A.R_incarnation { gid; inc } -> (
+      match find_entry g s gid with
+      | Some e -> put_entry g s { e with e_inc = max e.e_inc inc }
+      | None -> g)
+  | A.R_prepare { gid; sn } -> (
+      match find_entry g s gid with
+      | Some e -> put_entry g s { e with e_prepared = true; e_sn = Some sn }
+      | None -> g)
+  | A.R_commit { gid } -> (
+      match find_entry g s gid with
+      | Some e -> (
+          let g = put_entry g s { e with e_committed = true } in
+          match e.e_sn with
+          | Some sn ->
+              let mx =
+                match List.assoc_opt s g.max_csn with Some m when Sn.(m > sn) -> m | _ -> sn
+              in
+              { g with max_csn = upd s mx g.max_csn }
+          | None -> g)
+      | None -> g)
+  | A.R_local_commit { gid } -> (
+      match find_entry g s gid with
+      | Some e ->
+          if e.e_rolled then
+            raise
+              (Violation
+                 (Fmt.str "I1: site %a both rolled back and locally committed T%d" Site.pp (site_of s) gid));
+          (match List.assoc_opt gid g.outcomes with
+          | Some (Types.Aborted _) ->
+              raise
+                (Violation
+                   (Fmt.str "I1: site %a locally committed T%d, which globally aborted" Site.pp
+                      (site_of s) gid))
+          | Some Types.Committed | None -> ());
+          put_entry g s { e with e_lcommitted = true }
+      | None -> g)
+  | A.R_rollback { gid } -> (
+      match find_entry g s gid with
+      | Some e ->
+          if e.e_lcommitted then
+            raise
+              (Violation
+                 (Fmt.str "I1: site %a rolled back T%d after committing it locally" Site.pp (site_of s)
+                    gid));
+          (match List.assoc_opt gid g.outcomes with
+          | Some Types.Committed ->
+              raise
+                (Violation
+                   (Fmt.str "I1: site %a rolled back T%d, which globally committed" Site.pp (site_of s)
+                      gid))
+          | Some (Types.Aborted _) | None -> ());
+          put_entry g s { e with e_rolled = true }
+      | None -> g)
+
+let ltm_call scenario g s (c : A.call) =
+  match c with
+  | A.L_begin { gid; inc } ->
+      put_ltxn g s
+        {
+          l_gid = gid;
+          l_inc = inc;
+          l_status = `Active;
+          l_in_flight = 0;
+          l_held = false;
+          l_watch = None;
+          l_last = g.clock;
+        }
+  | A.L_exec { gid; inc; purpose; cmd = _ } ->
+      let g =
+        match find_ltxn g s gid with
+        | Some l when l.l_inc = inc -> put_ltxn g s { l with l_in_flight = l.l_in_flight + 1 }
+        | Some _ | None -> g
+      in
+      { g with cbs = Cb_exec { site = s; gid; inc; purpose } :: g.cbs }
+  | A.L_commit { gid; inc } ->
+      (* I3: the machine may only release a local commit while it holds
+         the smallest prepared serial number at the site (Appendix C). *)
+      (if scenario.config.Config.commit_certification then
+         let ast = List.assoc s g.agents in
+         match Alive_table.find ast.A.table ~gid with
+         | Some e ->
+             if not (Alive_table.min_sn_holds ast.A.table ~gid ~sn:e.Alive_table.sn) then
+               raise
+                 (Violation
+                    (Fmt.str
+                       "I3: site %a releases the local commit of T%d with a smaller-SN prepared \
+                        subtransaction present"
+                       Site.pp (site_of s) gid))
+         | None -> ());
+      { g with cbs = Cb_commit { site = s; gid; inc } :: g.cbs }
+  | A.L_abort { gid } -> (
+      match find_ltxn g s gid with
+      | Some l when l.l_status = `Active -> put_ltxn g s { l with l_status = `Aborted }
+      | Some _ | None -> g)
+  | A.L_abort_all_live ->
+      let txns =
+        List.map
+          (fun l -> if l.l_status = `Active then { l with l_status = `Aborted } else l)
+          (assoc_or s g.ltms ~default:[])
+      in
+      { g with ltms = upd s txns g.ltms }
+  | A.L_hold_open { gid } -> (
+      match find_ltxn g s gid with Some l -> put_ltxn g s { l with l_held = true } | None -> g)
+  | A.L_watch_uan { gid; inc } -> (
+      match find_ltxn g s gid with
+      | Some l -> put_ltxn g s { l with l_watch = Some inc }
+      | None -> g)
+  | A.L_bind _ | A.L_rebind _ | A.L_unbind _ -> g (* data binding is not modelled *)
+  | A.L_forget _ -> g (* adapter bookkeeping only *)
+
+let feed_agent scenario g s input =
+  let st = List.assoc s g.agents in
+  let st, effs =
+    try A.step scenario.config st input with
+    | Failure m -> raise (Violation m)
+    | Invalid_argument m -> raise (Violation ("machine exception: " ^ m))
+  in
+  let g = { g with agents = upd s st g.agents } in
+  List.fold_left
+    (fun g (eff : A.effect) ->
+      match eff with
+      | Types.Send { dst; gid; payload } ->
+          let g =
+            if payload = Wire.Ready && not (List.mem (gid, s) g.ready) then
+              { g with ready = (gid, s) :: g.ready }
+            else g
+          in
+          { g with msgs = { Wire.src = Wire.Agent (site_of s); dst; gid; payload } :: g.msgs }
+      | Types.Arm_timer { timer; delay = _ } -> { g with timers = T_agent (s, timer) :: g.timers }
+      | Types.Cancel_timer timer -> { g with timers = remove_one (T_agent (s, timer)) g.timers }
+      | Types.Force_log r -> log_write g s r
+      | Types.Ltm_call c -> ltm_call scenario g s c
+      | Types.Record _ | Types.Emit _ -> g
+      | Types.Invoke_gate | Types.Decide _ -> assert false (* coordinator-only effects *))
+    g effs
+
+let rec feed_coord scenario g gid input =
+  let st = List.assoc gid g.coords in
+  let cfg = { C.certifier = scenario.config; quorum = scenario.quorum } in
+  let st, effs =
+    try C.step cfg st input with
+    | Failure m -> raise (Violation m)
+    | Invalid_argument m -> raise (Violation ("machine exception: " ^ m))
+  in
+  let g = { g with coords = upd gid st g.coords } in
+  List.fold_left (coord_eff scenario gid) g effs
+
+and coord_eff scenario gid g (eff : C.effect) =
+  match eff with
+  | Types.Send { dst; gid = mgid; payload } ->
+      { g with msgs = { Wire.src = Wire.Coordinator gid; dst; gid = mgid; payload } :: g.msgs }
+  | Types.Arm_timer { timer; delay = _ } -> { g with timers = T_coord (gid, timer) :: g.timers }
+  | Types.Cancel_timer timer -> { g with timers = remove_one (T_coord (gid, timer)) g.timers }
+  | Types.Force_log _ | Types.Ltm_call _ -> .
+  | Types.Record _ | Types.Emit _ -> g
+  | Types.Invoke_gate ->
+      (* The default gate proceeds immediately; the serial number is
+         drawn from the logical clock and a global sequence. *)
+      let st = List.assoc gid g.coords in
+      let sn = Sn.make ~ts:(Time.of_int g.clock) ~site:st.C.site ~seq:g.sn_seq in
+      let g = { g with sn_seq = g.sn_seq + 1 } in
+      feed_coord scenario g gid
+        (C.Gate_opened { sn = Some sn; lossy = scenario.budgets.retransmits > 0 })
+  | Types.Decide outcome ->
+      (* I2: a commit decision requires a READY from every participant. *)
+      (match outcome with
+      | Types.Committed ->
+          let st = List.assoc gid g.coords in
+          let missing =
+            List.filter (fun s -> not (List.mem (gid, Site.to_int s) g.ready)) st.C.participants
+          in
+          if missing <> [] then
+            raise
+              (Violation
+                 (Fmt.str "I2: T%d globally committed without READY from %a" gid
+                    Fmt.(list ~sep:comma Site.pp)
+                    missing))
+      | Types.Aborted _ -> ());
+      { g with outcomes = (gid, outcome) :: g.outcomes }
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let start_txn scenario g gid =
+  let participants = List.init scenario.n_sites site_of in
+  let steps =
+    List.map
+      (fun s -> (s, Command.Assign { table = "t"; key = gid; value = Site.to_int s }))
+      participants
+  in
+  let site = site_of ((gid - 1) mod scenario.n_sites) in
+  let sn, g =
+    if scenario.config.Config.sn_at_begin then
+      ( Some (Sn.make ~ts:(Time.of_int g.clock) ~site ~seq:g.sn_seq),
+        { g with sn_seq = g.sn_seq + 1 } )
+    else (None, g)
+  in
+  let st = C.init ~gid ~site ~participants ~steps ~sn in
+  let g =
+    {
+      g with
+      coords = (gid, st) :: g.coords;
+      unstarted = List.filter (fun x -> x <> gid) g.unstarted;
+    }
+  in
+  feed_coord scenario g gid C.Start
+
+let deliver scenario g (m : Wire.t) =
+  match m.Wire.dst with
+  | Wire.Coordinator gid ->
+      let src =
+        match m.Wire.src with Wire.Agent s -> s | Wire.Coordinator _ -> assert false
+      in
+      feed_coord scenario g gid (C.From_agent { src; payload = m.Wire.payload })
+  | Wire.Agent site ->
+      let s = Site.to_int site in
+      feed_agent scenario g s
+        (A.Deliver
+           {
+             env = env_of g s;
+             src = m.Wire.src;
+             gid = m.Wire.gid;
+             payload = m.Wire.payload;
+             log = log_view_of g s m.Wire.gid;
+           })
+
+let run_cb scenario g (c : cb) =
+  match c with
+  | Cb_exec { site = s; gid; inc; purpose } ->
+      let result, g =
+        match find_ltxn g s gid with
+        | Some l when l.l_inc = inc ->
+            let l = { l with l_in_flight = l.l_in_flight - 1 } in
+            if l.l_status = `Active then (A.Done (Command.Count 1), put_ltxn g s { l with l_last = g.clock })
+            else (A.Failed "unilaterally aborted", put_ltxn g s l)
+        | Some _ | None -> (A.Failed "superseded incarnation", g)
+      in
+      feed_agent scenario g s (A.Exec_done { env = env_of g s; gid; inc; purpose; result })
+  | Cb_commit { site = s; gid; inc } ->
+      let committed, g =
+        match find_ltxn g s gid with
+        | Some l when l.l_inc = inc && l.l_status = `Active ->
+            (true, put_ltxn g s { l with l_status = `Committed; l_last = g.clock })
+        | Some _ | None -> (false, g)
+      in
+      feed_agent scenario g s (A.Commit_done { env = env_of g s; gid; inc; committed })
+  | Cb_uan { site = s; gid; inc } -> feed_agent scenario g s (A.Uan { env = env_of g s; gid; inc })
+
+let charge (b : budgets) = function
+  | T_agent (_, A.T_alive _) -> { b with alive_fires = b.alive_fires - 1 }
+  | T_agent (_, A.T_commit_retry _) -> { b with commit_retries = b.commit_retries - 1 }
+  | T_agent (_, A.T_backoff _) -> b (* one-shot; bounded by the abort budgets *)
+  | T_coord (_, C.Exec_timeout) -> { b with exec_timeouts = b.exec_timeouts - 1 }
+  | T_coord (_, (C.Retransmit | C.Prepare_retransmit)) ->
+      { b with retransmits = b.retransmits - 1 }
+
+let fire scenario g t =
+  (* Only the alive check advances the logical clock: it is the one
+     timer whose effect observes the current time (the interval
+     extension). Retries, backoffs and retransmissions fire "quickly" —
+     a sound subset of the schedules, and far fewer distinct states. *)
+  let clock = match t with T_agent (_, A.T_alive _) -> g.clock + 1 | _ -> g.clock in
+  let g = { g with timers = remove_one t g.timers; clock; b = charge g.b t } in
+  match t with
+  | T_agent (s, A.T_alive gid) -> feed_agent scenario g s (A.Alive_fired { env = env_of g s; gid })
+  | T_agent (s, A.T_commit_retry gid) ->
+      feed_agent scenario g s (A.Retry_fired { env = env_of g s; gid })
+  | T_agent (s, A.T_backoff { gid; inc }) ->
+      feed_agent scenario g s (A.Backoff_fired { env = env_of g s; gid; inc })
+  | T_coord (gid, C.Exec_timeout) -> feed_coord scenario g gid C.Exec_timeout_fired
+  | T_coord (gid, C.Retransmit) -> feed_coord scenario g gid C.Retransmit_fired
+  | T_coord (gid, C.Prepare_retransmit) -> feed_coord scenario g gid C.Prepare_retransmit_fired
+
+let unilateral_abort g s gid =
+  let g = { g with clock = g.clock + 1; b = { g.b with uaborts = g.b.uaborts - 1 } } in
+  match find_ltxn g s gid with
+  | Some l when l.l_status = `Active ->
+      let g = put_ltxn g s { l with l_status = `Aborted } in
+      (* The LTM notifies the subscribed incarnation, if any. *)
+      (match l.l_watch with
+      | Some w -> { g with cbs = Cb_uan { site = s; gid; inc = w } :: g.cbs }
+      | None -> g)
+  | Some _ | None -> g
+
+let in_doubt g s =
+  assoc_or s g.logs ~default:[]
+  |> List.filter (fun e -> e.e_prepared && (not e.e_lcommitted) && not e.e_rolled)
+  |> List.sort (fun a b -> compare a.e_gid b.e_gid)
+  |> List.map (fun e ->
+         {
+           A.r_gid = e.e_gid;
+           r_coordinator = e.e_coord;
+           r_inc = e.e_inc;
+           r_sn = e.e_sn;
+           r_commands = e.e_cmds;
+           r_committed = e.e_committed;
+         })
+
+let crash_recover scenario g s =
+  let g = { g with clock = g.clock + 1; b = { g.b with crashes = g.b.crashes - 1 } } in
+  let live =
+    List.length (List.filter (fun l -> l.l_status = `Active) (assoc_or s g.ltms ~default:[]))
+  in
+  let g = feed_agent scenario g s (A.Crash { live }) in
+  (* The crash also takes the LTM's volatile transactions, the pending
+     local completions and any leftover armed timers down with it. *)
+  let g =
+    {
+      g with
+      ltms = upd s [] g.ltms;
+      cbs =
+        List.filter
+          (function
+            | Cb_exec { site; _ } | Cb_commit { site; _ } | Cb_uan { site; _ } -> site <> s)
+          g.cbs;
+      timers = List.filter (function T_agent (s', _) -> s' <> s | T_coord _ -> true) g.timers;
+    }
+  in
+  feed_agent scenario g s (A.Recover { env = env_of g s; entries = in_doubt g s })
+
+let apply scenario g = function
+  | Start gid -> start_txn scenario g gid
+  | Deliver m -> deliver scenario { g with msgs = remove_one m g.msgs } m
+  | Duplicate m -> deliver scenario { g with b = { g.b with dups = g.b.dups - 1 } } m
+  | Drop m -> { g with msgs = remove_one m g.msgs; b = { g.b with drops = g.b.drops - 1 } }
+  | Ltm_complete c -> run_cb scenario { g with cbs = remove_one c g.cbs } c
+  | Fire t -> fire scenario g t
+  | Unilateral_abort { site; gid } -> unilateral_abort g site gid
+  | Crash_recover s -> crash_recover scenario g s
+
+let enabled g =
+  let distinct l = List.sort_uniq compare l in
+  let starts = List.map (fun gid -> Start gid) g.unstarted in
+  let msgs = distinct g.msgs in
+  let delivers = List.map (fun m -> Deliver m) msgs in
+  let dups = if g.b.dups > 0 then List.map (fun m -> Duplicate m) msgs else [] in
+  let drops = if g.b.drops > 0 then List.map (fun m -> Drop m) msgs else [] in
+  let cbs = List.map (fun c -> Ltm_complete c) (distinct g.cbs) in
+  let fires =
+    List.filter_map
+      (fun t ->
+        let affordable =
+          match t with
+          | T_agent (_, A.T_alive _) -> g.b.alive_fires > 0
+          | T_agent (_, A.T_commit_retry _) -> g.b.commit_retries > 0
+          | T_agent (_, A.T_backoff _) -> true
+          | T_coord (_, C.Exec_timeout) -> g.b.exec_timeouts > 0
+          | T_coord (_, (C.Retransmit | C.Prepare_retransmit)) -> g.b.retransmits > 0
+        in
+        if affordable then Some (Fire t) else None)
+      (distinct g.timers)
+  in
+  let uaborts =
+    if g.b.uaborts > 0 then
+      List.concat_map
+        (fun (s, txns) ->
+          List.filter_map
+            (fun l ->
+              if l.l_status = `Active then Some (Unilateral_abort { site = s; gid = l.l_gid })
+              else None)
+            txns)
+        g.ltms
+    else []
+  in
+  let crashes =
+    if g.b.crashes > 0 then List.map (fun (s, _) -> Crash_recover s) g.agents else []
+  in
+  starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes
+
+(* ------------------------------------------------------------------ *)
+(* Invariants checked outside the transition function                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Timer hygiene: every armed alive-check / commit-retry timer belongs
+   to a subtransaction the agent still tracks. *)
+let hygiene_violation g =
+  List.find_map
+    (function
+      | T_agent (s, (A.T_alive gid | A.T_commit_retry gid)) ->
+          let ast = List.assoc s g.agents in
+          if A.Int_map.mem gid ast.A.subs then None
+          else
+            Some
+              (Fmt.str "timer hygiene: site %a holds an armed timer for the finished T%d" Site.pp
+                 (site_of s) gid)
+      | T_agent (_, A.T_backoff _) | T_coord _ -> None)
+    g.timers
+
+(* I4, at terminal states only (in-flight schedules may be half-done). *)
+let terminal_violations g =
+  List.concat_map
+    (fun (gid, outcome) ->
+      List.filter_map
+        (fun (s, entries) ->
+          let e = List.find_opt (fun e -> e.e_gid = gid) entries in
+          match (outcome, e) with
+          | Types.Committed, Some e when not e.e_lcommitted ->
+              Some
+                (Fmt.str "I4: T%d decided commit but site %a never committed locally" gid Site.pp
+                   (site_of s))
+          | Types.Committed, None ->
+              Some (Fmt.str "I4: T%d decided commit but site %a has no log entry" gid Site.pp (site_of s))
+          | Types.Aborted _, Some e when e.e_lcommitted ->
+              Some
+                (Fmt.str "I4: T%d decided abort but site %a committed locally" gid Site.pp (site_of s))
+          | _ -> None)
+        g.logs)
+    g.outcomes
+
+(* ------------------------------------------------------------------ *)
+(* State fingerprinting and the DFS                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A canonical, Marshal-stable projection: maps and sets become sorted
+   lists, multisets are sorted, assoc lists are keyed in order. *)
+let fingerprint g =
+  let sorted_assoc l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let canon_coord (gid, (st : C.state)) =
+    ( gid,
+      st.C.phase,
+      st.C.remaining_steps,
+      st.C.outstanding,
+      st.C.sn,
+      Site.Set.elements st.C.voters,
+      st.C.votes,
+      st.C.refusal,
+      Site.Set.elements st.C.acked,
+      st.C.retransmissions,
+      (st.C.exec_armed, st.C.retransmit_armed, st.C.prepare_retransmit_armed, st.C.finished) )
+  in
+  let canon_agent (s, (st : A.state)) =
+    ( s,
+      A.Int_map.bindings st.A.subs,
+      List.sort compare
+        (List.map
+           (fun (e : Alive_table.entry) ->
+             (e.Alive_table.gid, e.Alive_table.sn, e.Alive_table.intervals))
+           (Alive_table.entries st.A.table)) )
+  in
+  let canon =
+    ( (g.clock, g.sn_seq),
+      List.map canon_coord (sorted_assoc g.coords),
+      List.map canon_agent (sorted_assoc g.agents),
+      List.map (fun (s, es) -> (s, List.sort compare es)) (sorted_assoc g.logs),
+      sorted_assoc g.max_csn,
+      List.map (fun (s, ls) -> (s, List.sort compare ls)) (sorted_assoc g.ltms),
+      (List.sort compare g.msgs, List.sort compare g.cbs, List.sort compare g.timers),
+      (g.unstarted, List.sort compare g.outcomes, List.sort compare g.ready, g.b) )
+  in
+  Digest.string (Marshal.to_string canon [])
+
+let init scenario =
+  let sites = List.init scenario.n_sites Fun.id in
+  let gids = List.init scenario.n_txns (fun i -> i + 1) in
+  let g0 =
+    {
+      clock = 0;
+      sn_seq = 0;
+      coords = [];
+      agents = List.map (fun s -> (s, A.init ~site:(site_of s))) sites;
+      logs = List.map (fun s -> (s, [])) sites;
+      max_csn = [];
+      ltms = List.map (fun s -> (s, [])) sites;
+      msgs = [];
+      cbs = [];
+      timers = [];
+      unstarted = gids;
+      outcomes = [];
+      ready = [];
+      b = scenario.budgets;
+    }
+  in
+  (* Start every coordinator up front: delaying a start is subsumed by
+     delaying the delivery of its messages, so exploring start
+     interleavings only pads the space. The exception is the ticket
+     baseline ([sn_at_begin]), where the begin order assigns the serial
+     numbers — there the starts stay explorable actions. *)
+  if scenario.config.Config.sn_at_begin then g0
+  else List.fold_left (fun g gid -> start_txn scenario g gid) g0 gids
+
+type stats = {
+  states : int;
+  transitions : int;
+  deduped : int;  (* transitions that reconverged to a visited state *)
+  terminals : int;
+  n_violations : int;
+  violations : (string * action list) list;  (* first few, trail oldest-first *)
+  truncated : bool;  (* [max_states] hit: the space was NOT exhausted *)
+}
+
+let max_reported = 5
+
+let run scenario =
+  let visited = Hashtbl.create (1 lsl 16) in
+  let states = ref 0
+  and transitions = ref 0
+  and deduped = ref 0
+  and terminals = ref 0
+  and n_violations = ref 0
+  and violations = ref []
+  and truncated = ref false in
+  let record msg trail =
+    incr n_violations;
+    if List.length !violations < max_reported then violations := (msg, List.rev trail) :: !violations
+  in
+  let rec go g trail =
+    if !states >= scenario.max_states then truncated := true
+    else begin
+      incr states;
+      match enabled g with
+      | [] ->
+          incr terminals;
+          List.iter (fun m -> record m trail) (terminal_violations g)
+      | acts ->
+          List.iter
+            (fun a ->
+              incr transitions;
+              match apply scenario g a with
+              | exception Violation m -> record m (a :: trail)
+              | g' -> (
+                  match hygiene_violation g' with
+                  | Some m -> record m (a :: trail)
+                  | None ->
+                      let fp = fingerprint g' in
+                      if Hashtbl.mem visited fp then incr deduped
+                      else begin
+                        Hashtbl.add visited fp ();
+                        go g' (a :: trail)
+                      end))
+            acts
+    end
+  in
+  let g0 = init scenario in
+  Hashtbl.add visited (fingerprint g0) ();
+  go g0 [];
+  {
+    states = !states;
+    transitions = !transitions;
+    deduped = !deduped;
+    terminals = !terminals;
+    n_violations = !n_violations;
+    violations = List.rev !violations;
+    truncated = !truncated;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pp_action ppf = function
+  | Start gid -> Fmt.pf ppf "start T%d" gid
+  | Deliver m -> Fmt.pf ppf "deliver %a" Wire.pp m
+  | Duplicate m -> Fmt.pf ppf "deliver a duplicate of %a" Wire.pp m
+  | Drop m -> Fmt.pf ppf "drop %a" Wire.pp m
+  | Ltm_complete (Cb_exec { site; gid; inc; _ }) ->
+      Fmt.pf ppf "LTM at %a finishes a command of T%d (inc %d)" Site.pp (site_of site) gid inc
+  | Ltm_complete (Cb_commit { site; gid; _ }) ->
+      Fmt.pf ppf "LTM at %a finishes the local commit of T%d" Site.pp (site_of site) gid
+  | Ltm_complete (Cb_uan { site; gid; inc }) ->
+      Fmt.pf ppf "UAN for T%d (inc %d) reaches the agent at %a" gid inc Site.pp (site_of site)
+  | Fire (T_agent (s, A.T_alive gid)) ->
+      Fmt.pf ppf "alive-check timer fires for T%d at %a" gid Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_commit_retry gid)) ->
+      Fmt.pf ppf "commit-retry timer fires for T%d at %a" gid Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_backoff { gid; inc })) ->
+      Fmt.pf ppf "resubmission backoff fires for T%d (inc %d) at %a" gid inc Site.pp (site_of s)
+  | Fire (T_coord (gid, C.Exec_timeout)) -> Fmt.pf ppf "T%d's command reply times out" gid
+  | Fire (T_coord (gid, C.Retransmit)) -> Fmt.pf ppf "T%d retransmits its decision" gid
+  | Fire (T_coord (gid, C.Prepare_retransmit)) -> Fmt.pf ppf "T%d retransmits PREPARE" gid
+  | Unilateral_abort { site; gid } ->
+      Fmt.pf ppf "LTM at %a unilaterally aborts T%d" Site.pp (site_of site) gid
+  | Crash_recover s -> Fmt.pf ppf "site %a crashes and recovers" Site.pp (site_of s)
+
+let pp_stats ppf st =
+  Fmt.pf ppf "%d states, %d transitions (%d reconverged), %d terminal states, %d violation(s)%s"
+    st.states st.transitions st.deduped st.terminals st.n_violations
+    (if st.truncated then " [TRUNCATED: state cap hit]" else "")
+
+let pp_violation ppf (msg, trail) =
+  Fmt.pf ppf "@[<v2>%s@,@[<v2>schedule:@,%a@]@]" msg (Fmt.list ~sep:Fmt.cut pp_action) trail

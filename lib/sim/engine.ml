@@ -52,9 +52,6 @@ let create () =
 
 let now t = t.now
 let last_event_at t = t.last_fired
-let events_executed t = t.executed
-let pending t = t.live
-
 
 let schedule t ~delay run =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
@@ -89,9 +86,10 @@ let step t =
       end;
       true
 
-type stats = { events : int; max_pending : int; cancelled : int }
+type stats = { events : int; max_pending : int; cancelled : int; live : int }
 
-let stats t = { events = t.executed; max_pending = t.max_pending; cancelled = t.cancelled_fired }
+let stats t =
+  { events = t.executed; max_pending = t.max_pending; cancelled = t.cancelled_fired; live = t.live }
 
 let run ?until ?(max_events = 50_000_000) t =
   let continue () =

@@ -19,18 +19,14 @@ val last_event_at : t -> Time.t
     inflated by a [run ~until] that outlived the workload. *)
 
 (** Aggregate engine statistics: non-cancelled events executed, the
-    queue-depth high-water mark, and popped events whose timer had been
-    cancelled. *)
-type stats = { events : int; max_pending : int; cancelled : int }
+    queue-depth high-water mark, popped events whose timer had been
+    cancelled, and [live] — events scheduled and not yet popped
+    (cancelled timers included). A quiesced run (queue drained) must
+    report [live = 0]; a non-zero value means a component leaked an
+    armed timer past its terminal transition. *)
+type stats = { events : int; max_pending : int; cancelled : int; live : int }
 
 val stats : t -> stats
-
-val events_executed : t -> int
-(** @deprecated Use [(stats t).events]. *)
-
-val pending : t -> int
-(** Events scheduled and not yet popped (cancelled timers included).
-    @deprecated Use {!stats} for end-of-run accounting. *)
 
 val schedule : t -> delay:int -> (unit -> unit) -> timer
 (** Schedule a callback [delay] ticks from now (0 is allowed: it fires after

@@ -1,0 +1,569 @@
+(* Tests for hermes.protocol: the pure 2PC machines, the bounded model
+   checker, and the byte-identity of the adapter-driven stack with the
+   historical imperative implementation.
+
+   The golden digests below were captured from the tree immediately
+   BEFORE the machines were extracted (the last all-imperative
+   revision): trace JSON + metrics registry JSON + headline counters of
+   fixed-seed runs. The refactored stack must reproduce them bit for
+   bit — same trace, same metrics, same RNG draws. *)
+
+open Hermes_kernel
+module A = Hermes_protocol.Agent_sm
+module Csm = Hermes_protocol.Coordinator_sm
+module T = Hermes_protocol.Types
+module Alive_table = Hermes_protocol.Alive_table
+module Explore = Hermes_protocol.Explore
+module Config = Hermes_core.Config
+module Dtm = Hermes_core.Dtm
+module Coordinator = Hermes_core.Coordinator
+module Program = Hermes_core.Program
+module Engine = Hermes_sim.Engine
+module Trace = Hermes_ltm.Trace
+module Network = Hermes_net.Network
+module Driver = Hermes_workload.Driver
+module Spec = Hermes_workload.Spec
+module Stats = Hermes_workload.Stats
+module Obs = Hermes_obs.Obs
+module Tracer = Hermes_obs.Tracer
+module Registry = Hermes_obs.Registry
+module Experiment = Hermes_harness.Experiment
+module Table_fmt = Hermes_harness.Table_fmt
+
+(* ------------------------------------------------------------------ *)
+(* Golden byte-identity with the pre-refactor implementation            *)
+(* ------------------------------------------------------------------ *)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let run_digest setup =
+  let obs = Obs.create () in
+  let r = Driver.run { setup with Driver.obs = Some obs } in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Tracer.to_json_lines (Obs.trace obs));
+  Buffer.add_string buf (Registry.to_json (Obs.metrics obs));
+  Buffer.add_string buf
+    (Fmt.str "committed=%d events=%d ticks=%d stuck=%d" (Stats.committed r.Driver.stats)
+       r.Driver.events r.Driver.sim_ticks r.Driver.stuck);
+  digest (Buffer.contents buf)
+
+let check_golden name expected actual = Alcotest.(check string) name expected actual
+
+let test_golden_e1 () =
+  check_golden "e1 table" "c071b67bdf460dfa42edac7f9d62961c"
+    (digest (Table_fmt.to_string (Experiment.e1_global_view_distortion ())))
+
+let test_golden_e5 () =
+  check_golden "e5 run" "99cdc870e03bfb9eb99a7b7479910efd"
+    (run_digest
+       {
+         Driver.default_setup with
+         Driver.protocol = Driver.Two_pca Config.full;
+         seed = 7;
+         spec = { Spec.default with Spec.global_mpl = 4; n_global = 40 };
+       })
+
+let test_golden_e5_ticket () =
+  check_golden "e5 ticket run" "bf850c1359486b1e9dc10ab040527ebf"
+    (run_digest
+       {
+         Driver.default_setup with
+         Driver.protocol = Driver.Two_pca Config.ticket;
+         seed = 5;
+         spec = { Spec.default with Spec.global_mpl = 4; n_global = 30 };
+       })
+
+let test_golden_e13 () =
+  check_golden "e13 faulty run" "149d901c1c015b6c6f7c212c38701d62"
+    (run_digest
+       {
+         Driver.default_setup with
+         Driver.protocol = Driver.Two_pca Config.full;
+         seed = 11;
+         spec = { Spec.default with Spec.global_mpl = 4; n_global = 30 };
+         net =
+           {
+             Network.default_config with
+             Network.faults = { Network.no_faults with Network.drop = 0.05; dup = 0.05 };
+           };
+         crash_schedule = [ (400_000, 0); (900_000, 1) ];
+         reboot_delay = 150_000;
+       })
+
+let test_golden_e13_multi_interval () =
+  check_golden "e13 multi-interval run" "361cdd24e0fa8a274dd7c59928039fee"
+    (run_digest
+       {
+         Driver.default_setup with
+         Driver.protocol = Driver.Two_pca Config.multi_interval;
+         seed = 3;
+         spec = { Spec.default with Spec.global_mpl = 3; n_global = 25 };
+         net =
+           {
+             Network.default_config with
+             Network.faults = { Network.no_faults with Network.dup = 0.1 };
+           };
+       })
+
+(* ------------------------------------------------------------------ *)
+(* Unit-test scaffolding for driving the machines directly              *)
+(* ------------------------------------------------------------------ *)
+
+let cfg = { Config.full with Config.bind_data = false }
+let site i = Site.of_int i
+let a = site 0
+let b = site 1
+let coord = Wire.Coordinator 1
+let cmd = Command.Select { table = "X"; keys = [ 0 ] }
+let mk_sn ?(ts = 0) seq = Sn.make ~ts:(Time.of_int ts) ~site:a ~seq
+let v ?(alive = true) ?(last = 0) () = { A.alive; last_op_done = Time.of_int last }
+
+let env ?(now = 0) ?(views = []) ?max_sn () =
+  { A.now = Time.of_int now; views; max_committed_sn = max_sn }
+
+let no_log =
+  { A.known = false; prepared = false; committed = false; locally_committed = false; rolled_back = false }
+
+let deliver ?(cfg = cfg) ?(env = env ()) ?(log = no_log) ?(src = coord) st ~gid payload =
+  A.step cfg st (A.Deliver { env; src; gid; payload; log })
+
+(* Effect-list probes. *)
+let sends effs =
+  List.filter_map (function T.Send { payload; _ } -> Some payload | _ -> None) effs
+
+let has_send effs payload = List.mem payload (sends effs)
+let has_arm effs timer = List.exists (function T.Arm_timer { timer = t; _ } -> t = timer | _ -> false) effs
+let has_cancel effs timer = List.exists (function T.Cancel_timer t -> t = timer | _ -> false) effs
+let has_log effs r = List.exists (function T.Force_log x -> x = r | _ -> false) effs
+let has_call effs c = List.exists (function T.Ltm_call x -> x = c | _ -> false) effs
+
+let verdict_of effs =
+  List.find_map
+    (function T.Emit (A.Ev_prepare_certification { verdict; _ }) -> Some verdict | _ -> None)
+    effs
+
+(* Run one subtransaction from BEGIN to the READY vote. *)
+let prepared ?(cfg = cfg) ?(gid = 1) ?(now = 0) ?(views = []) ?max_sn ~sn st =
+  let st, _ = deliver ~cfg st ~gid Wire.Begin in
+  let st, _ = deliver ~cfg st ~gid (Wire.Exec { step = 0; cmd }) in
+  let st, _ =
+    A.step cfg st
+      (A.Exec_done
+         { env = env (); gid; inc = 0; purpose = A.Reply 0; result = A.Done (Command.Count 1) })
+  in
+  let views = if List.mem_assoc gid views then views else (gid, v ~last:now ()) :: views in
+  deliver ~cfg ~env:(env ~now ~views ?max_sn ()) st ~gid (Wire.Prepare sn)
+
+(* ------------------------------------------------------------------ *)
+(* Agent machine: Appendix B (extended prepare certification)           *)
+(* ------------------------------------------------------------------ *)
+
+let test_prepare_ready () =
+  let sn = mk_sn 0 in
+  let st, effs = prepared ~sn (A.init ~site:a) in
+  Alcotest.(check bool) "votes READY" true (has_send effs Wire.Ready);
+  Alcotest.(check bool) "verdict V_ready" true (verdict_of effs = Some A.V_ready);
+  Alcotest.(check bool) "prepare record forced" true (has_log effs (A.R_prepare { gid = 1; sn }));
+  Alcotest.(check bool) "held open" true (has_call effs (A.L_hold_open { gid = 1 }));
+  Alcotest.(check bool) "alive timer armed" true (has_arm effs (A.T_alive 1));
+  Alcotest.(check int) "table has the entry" 1 (A.n_prepared st)
+
+let test_prepare_extension_refused () =
+  (* §5.3: a bigger-SN subtransaction already committed here. *)
+  let st, effs = prepared ~sn:(mk_sn 1) ~max_sn:(mk_sn 5) (A.init ~site:a) in
+  Alcotest.(check bool) "refuses" true (has_send effs (Wire.Refuse Wire.Extension_refused));
+  (match verdict_of effs with
+  | Some (A.V_refused_extension { committed_sn }) ->
+      Alcotest.(check bool) "witness is the committed SN" true (Sn.equal committed_sn (mk_sn 5))
+  | _ -> Alcotest.fail "expected V_refused_extension");
+  Alcotest.(check bool) "local abort" true (has_call effs (A.L_abort { gid = 1 }));
+  Alcotest.(check int) "no table entry" 0 (A.n_prepared st)
+
+let test_prepare_interval_refused () =
+  (* §4.2: the candidate's alive interval [5,5] misses the prepared
+     entry's [0,0]; the entry's txn is no longer alive, so the
+     refresh-on-certify pass cannot save it. *)
+  let st, _ = prepared ~gid:1 ~sn:(mk_sn 0) (A.init ~site:a) in
+  let views = [ (1, v ~alive:false ()); (2, v ~last:5 ()) ] in
+  let _, effs = prepared ~gid:2 ~sn:(mk_sn 1) ~now:5 ~views st in
+  Alcotest.(check bool) "refuses" true (has_send effs (Wire.Refuse Wire.Interval_refused));
+  match verdict_of effs with
+  | Some (A.V_refused_interval { conflicting_gid; _ }) ->
+      Alcotest.(check int) "conflicting entry" 1 conflicting_gid
+  | _ -> Alcotest.fail "expected V_refused_interval"
+
+let test_prepare_refresh_saves_alive_neighbour () =
+  (* Same geometry, but the neighbour is still alive: refresh-on-certify
+     extends its interval to now and the intersection succeeds. *)
+  let st, _ = prepared ~gid:1 ~sn:(mk_sn 0) (A.init ~site:a) in
+  let views = [ (1, v ()); (2, v ~last:5 ()) ] in
+  let _, effs = prepared ~gid:2 ~sn:(mk_sn 1) ~now:5 ~views st in
+  Alcotest.(check bool) "votes READY" true (has_send effs Wire.Ready)
+
+let test_prepare_dead_refused () =
+  (* CI(2): a unilaterally aborted subtransaction is never prepared. *)
+  let views = [ (1, v ~alive:false ()) ] in
+  let _, effs = prepared ~gid:1 ~sn:(mk_sn 0) ~views (A.init ~site:a) in
+  Alcotest.(check bool) "refuses" true (has_send effs (Wire.Refuse Wire.Dead_refused));
+  Alcotest.(check bool) "verdict V_refused_dead" true (verdict_of effs = Some A.V_refused_dead)
+
+let test_prepare_duplicate_revotes () =
+  let st, _ = prepared ~sn:(mk_sn 0) (A.init ~site:a) in
+  let _, effs = deliver st ~gid:1 (Wire.Prepare (mk_sn 0)) in
+  Alcotest.(check bool) "repeats READY" true (has_send effs Wire.Ready);
+  Alcotest.(check bool) "no second prepare record" true
+    (not (has_log effs (A.R_prepare { gid = 1; sn = mk_sn 0 })))
+
+(* ------------------------------------------------------------------ *)
+(* Agent machine: Appendix A (alive check) and resubmission             *)
+(* ------------------------------------------------------------------ *)
+
+let test_alive_check_extends_interval () =
+  let st, _ = prepared ~sn:(mk_sn 0) (A.init ~site:a) in
+  let st, effs = A.step cfg st (A.Alive_fired { env = env ~now:7 ~views:[ (1, v ()) ] (); gid = 1 }) in
+  Alcotest.(check bool) "re-arms" true (has_arm effs (A.T_alive 1));
+  (match Alive_table.find st.A.table ~gid:1 with
+  | Some e ->
+      Alcotest.(check int) "interval extended to now" 7
+        (Time.to_int (Interval.hi (Alive_table.current_interval e)))
+  | None -> Alcotest.fail "entry vanished");
+  match List.find_map (function T.Emit (A.Ev_alive_check { alive; _ }) -> Some alive | _ -> None) effs with
+  | Some alive -> Alcotest.(check bool) "reported alive" true alive
+  | None -> Alcotest.fail "no alive-check event"
+
+let test_alive_check_triggers_resubmission () =
+  let st, _ = prepared ~sn:(mk_sn 0) (A.init ~site:a) in
+  let _, effs =
+    A.step cfg st (A.Alive_fired { env = env ~now:7 ~views:[ (1, v ~alive:false ()) ] (); gid = 1 })
+  in
+  Alcotest.(check bool) "begins a fresh incarnation" true (has_call effs (A.L_begin { gid = 1; inc = 1 }));
+  Alcotest.(check bool) "incarnation noted" true (has_log effs (A.R_incarnation { gid = 1; inc = 1 }));
+  Alcotest.(check bool) "replays the logged command" true
+    (has_call effs (A.L_exec { gid = 1; inc = 1; purpose = A.Feed; cmd }));
+  Alcotest.(check bool) "still re-arms the alive check" true (has_arm effs (A.T_alive 1))
+
+let test_step_is_pure () =
+  (* The same state stepped twice produces the same result — the alive
+     table is copied, never mutated in place. *)
+  let st, _ = prepared ~sn:(mk_sn 0) (A.init ~site:a) in
+  let input = A.Alive_fired { env = env ~now:7 ~views:[ (1, v ()) ] (); gid = 1 } in
+  let st1, effs1 = A.step cfg st input in
+  let st2, effs2 = A.step cfg st input in
+  Alcotest.(check bool) "same effects" true (effs1 = effs2);
+  Alcotest.(check bool) "same successor table" true
+    (List.map
+       (fun (e : Alive_table.entry) -> (e.Alive_table.gid, e.Alive_table.intervals))
+       (Alive_table.entries st1.A.table)
+    = List.map
+        (fun (e : Alive_table.entry) -> (e.Alive_table.gid, e.Alive_table.intervals))
+        (Alive_table.entries st2.A.table))
+
+(* ------------------------------------------------------------------ *)
+(* Agent machine: Appendix C (commit certification)                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_commit_certification_delays_and_releases () =
+  (* T1 holds sn 0, T2 holds sn 1: T2's COMMIT must wait for T1. *)
+  let st, _ = prepared ~gid:1 ~sn:(mk_sn 0) (A.init ~site:a) in
+  let st, _ = prepared ~gid:2 ~sn:(mk_sn 1) ~views:[ (1, v ()); (2, v ()) ] st in
+  let both = [ (1, v ()); (2, v ()) ] in
+  let st, effs = deliver ~env:(env ~views:both ()) st ~gid:2 Wire.Commit in
+  (match
+     List.find_map
+       (function T.Emit (A.Ev_commit_delayed { blocking_gid; _ }) -> Some blocking_gid | _ -> None)
+       effs
+   with
+  | Some blocking -> Alcotest.(check int) "blocked by T1" 1 blocking
+  | None -> Alcotest.fail "expected Ev_commit_delayed");
+  Alcotest.(check bool) "retry armed" true (has_arm effs (A.T_commit_retry 2));
+  Alcotest.(check bool) "no local commit yet" true (not (has_call effs (A.L_commit { gid = 2; inc = 0 })));
+  (* T1 commits and leaves the table... *)
+  let st, effs1 = deliver ~env:(env ~views:both ()) st ~gid:1 Wire.Commit in
+  Alcotest.(check bool) "T1 commits immediately" true (has_call effs1 (A.L_commit { gid = 1; inc = 0 }));
+  let st, effs1d =
+    A.step cfg st (A.Commit_done { env = env ~views:both (); gid = 1; inc = 0; committed = true })
+  in
+  Alcotest.(check bool) "T1 acks" true (has_send effs1d Wire.Commit_ack);
+  Alcotest.(check bool) "T1 cancels its alive timer" true (has_cancel effs1d (A.T_alive 1));
+  (* ... and the retry releases T2. *)
+  let _, effs2 = A.step cfg st (A.Retry_fired { env = env ~views:both (); gid = 2 }) in
+  Alcotest.(check bool) "commit record forced" true (has_log effs2 (A.R_commit { gid = 2 }));
+  Alcotest.(check bool) "local commit released" true (has_call effs2 (A.L_commit { gid = 2; inc = 0 }))
+
+let test_commit_unknown_uncommitted_fails () =
+  Alcotest.check_raises "protocol violation trips the machine"
+    (Failure "agent a: COMMIT for unknown, uncommitted T9") (fun () ->
+      ignore (deliver (A.init ~site:a) ~gid:9 Wire.Commit))
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator machine: 2PC decision rules                              *)
+(* ------------------------------------------------------------------ *)
+
+let ccfg ?quorum () = Csm.config ?quorum cfg
+
+let coord_init () =
+  Csm.init ~gid:1 ~site:a ~participants:[ a; b ] ~steps:[ (a, cmd); (b, cmd) ] ~sn:None
+
+let cstep ?quorum st input = Csm.step (ccfg ?quorum ()) st input
+
+let csends effs = List.filter_map (function T.Send { dst; payload; _ } -> Some (dst, payload) | _ -> None) effs
+
+(* Drive the coordinator to the Preparing phase. *)
+let preparing ?quorum () =
+  let st, _ = cstep ?quorum (coord_init ()) Csm.Start in
+  let st, _ =
+    cstep ?quorum st (Csm.From_agent { src = a; payload = Wire.Exec_ok { step = 0; result = Command.Count 1 } })
+  in
+  let st, effs =
+    cstep ?quorum st (Csm.From_agent { src = b; payload = Wire.Exec_ok { step = 0; result = Command.Count 1 } })
+  in
+  Alcotest.(check bool) "gate invoked" true (List.mem T.Invoke_gate effs);
+  let st, effs = cstep ?quorum st (Csm.Gate_opened { sn = Some (mk_sn 0); lossy = false }) in
+  Alcotest.(check bool) "PREPARE to both" true
+    (List.length (List.filter (fun (_, p) -> p = Wire.Prepare (mk_sn 0)) (csends effs)) = 2);
+  st
+
+let test_coordinator_happy_path () =
+  let st, effs = cstep (coord_init ()) Csm.Start in
+  Alcotest.(check bool) "BEGIN broadcast" true
+    (List.length (List.filter (fun (_, p) -> p = Wire.Begin) (csends effs)) = 2);
+  Alcotest.(check bool) "first command out" true
+    (has_send effs (Wire.Exec { step = 0; cmd }));
+  Alcotest.(check bool) "exec timeout armed" true (has_arm effs Csm.Exec_timeout);
+  ignore st
+
+let test_coordinator_commit_requires_both_votes () =
+  let st = preparing () in
+  let st, effs = cstep st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  Alcotest.(check bool) "one vote: no decision" true (sends effs = []);
+  (* A duplicated READY from the same site must not complete the quorum. *)
+  let st, effs = cstep st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  Alcotest.(check bool) "duplicate vote ignored" true (sends effs = []);
+  let st, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Ready }) in
+  Alcotest.(check bool) "COMMIT broadcast" true
+    (List.length (List.filter (fun (_, p) -> p = Wire.Commit) (csends effs)) = 2);
+  Alcotest.(check bool) "global commit recorded" true
+    (List.exists (function T.Record (T.H_global_commit _) -> true | _ -> false) effs);
+  (* Acks complete the decision. *)
+  let st, effs = cstep st (Csm.From_agent { src = a; payload = Wire.Commit_ack }) in
+  Alcotest.(check bool) "one ack: not finished" true
+    (not (List.exists (function T.Decide _ -> true | _ -> false) effs));
+  let _, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Commit_ack }) in
+  Alcotest.(check bool) "decides Committed" true (List.mem (T.Decide T.Committed) effs)
+
+let test_coordinator_counted_quorum_bug () =
+  (* The historical fake-quorum bug, reproduced as a unit test: under
+     [Counted], two copies of the same READY decide the commit. *)
+  let st = preparing ~quorum:Csm.Counted () in
+  let st, _ = cstep ~quorum:Csm.Counted st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  let _, effs = cstep ~quorum:Csm.Counted st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  Alcotest.(check bool) "duplicate READY fakes the quorum" true
+    (List.exists (fun (_, p) -> p = Wire.Commit) (csends effs))
+
+let test_coordinator_refusal_aborts () =
+  let st = preparing () in
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Refuse Wire.Interval_refused }) in
+  let st, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Ready }) in
+  Alcotest.(check bool) "ROLLBACK broadcast" true
+    (List.length (List.filter (fun (_, p) -> p = Wire.Rollback) (csends effs)) = 2);
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Rollback_ack }) in
+  let _, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Rollback_ack }) in
+  Alcotest.(check bool) "decides Aborted(Refused)" true
+    (List.exists
+       (function T.Decide (T.Aborted (T.Refused (s, Wire.Interval_refused))) -> Site.equal s a | _ -> false)
+       effs)
+
+let test_coordinator_exec_timeout_aborts () =
+  let st, _ = cstep (coord_init ()) Csm.Start in
+  let _, effs = cstep st Csm.Exec_timeout_fired in
+  Alcotest.(check bool) "ROLLBACK broadcast" true
+    (List.exists (fun (_, p) -> p = Wire.Rollback) (csends effs));
+  Alcotest.(check bool) "abort reason names the silent site" true
+    (List.exists
+       (function T.Emit (Csm.Deciding_abort (T.Exec_failed (s, _))) -> Site.equal s a | _ -> false)
+       effs)
+
+(* ------------------------------------------------------------------ *)
+(* The bounded model checker                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_clean name (st : Explore.stats) =
+  Alcotest.(check bool) (name ^ ": exhausted") false st.Explore.truncated;
+  Alcotest.(check int) (name ^ ": no violations") 0 st.Explore.n_violations;
+  Alcotest.(check bool) (name ^ ": reached terminals") true (st.Explore.terminals > 0)
+
+let test_explore_reorderings_clean () =
+  (* Every message reordering of two concurrent transactions over two
+     sites, plus blocked-commit retries: exhaustive and violation-free. *)
+  let st =
+    Explore.run
+      {
+        Explore.default with
+        Explore.budgets = { Explore.no_faults with Explore.commit_retries = 2 };
+      }
+  in
+  check_clean "2x2 reorderings" st;
+  Alcotest.(check bool) "nontrivial space" true (st.Explore.states > 10_000)
+
+let test_explore_faults_clean () =
+  (* One transaction under the full fault mix: a unilateral abort, an
+     alive-check firing, a commit retry and a crash+recovery point
+     anywhere in the schedule. *)
+  let st =
+    Explore.run
+      {
+        Explore.default with
+        Explore.n_txns = 1;
+        budgets =
+          {
+            Explore.no_faults with
+            Explore.uaborts = 1;
+            alive_fires = 1;
+            commit_retries = 1;
+            crashes = 1;
+          };
+      }
+  in
+  check_clean "2x1 faults" st
+
+let test_explore_losses_clean () =
+  (* One transaction on a lossy network: any single message dropped,
+     with PREPARE/decision retransmission and the exec timeout. *)
+  let st =
+    Explore.run
+      {
+        Explore.default with
+        Explore.n_txns = 1;
+        budgets =
+          {
+            Explore.no_faults with
+            Explore.drops = 1;
+            retransmits = 2;
+            exec_timeouts = 1;
+          };
+      }
+  in
+  check_clean "2x1 losses" st
+
+let fake_quorum_scenario quorum =
+  {
+    Explore.default with
+    Explore.n_txns = 1;
+    quorum;
+    budgets = { Explore.no_faults with Explore.dups = 1 };
+  }
+
+let test_explore_finds_fake_quorum () =
+  (* Regression for the duplicate-READY fake-quorum bug: with votes
+     reverted to a raw counter, the checker must rediscover it. *)
+  let st = Explore.run (fake_quorum_scenario Csm.Counted) in
+  Alcotest.(check bool) "violations found" true (st.Explore.n_violations > 0);
+  Alcotest.(check bool) "counterexamples reported" true (st.Explore.violations <> [])
+
+let test_explore_dedup_quorum_clean () =
+  (* The fix (per-site vote dedup) survives the same adversary. *)
+  check_clean "2x1 dup votes" (Explore.run (fake_quorum_scenario Csm.Dedup))
+
+(* ------------------------------------------------------------------ *)
+(* Timer hygiene: a quiesced run leaves no live engine timers           *)
+(* ------------------------------------------------------------------ *)
+
+let quiesced_run ~net_config =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:42 in
+  let trace = Trace.create () in
+  let dtm =
+    Dtm.create ~engine ~rng ~trace ~net_config ~certifier:Config.full
+      ~site_specs:(Array.init 2 (fun _ -> Dtm.default_site_spec))
+      ()
+  in
+  List.iter
+    (fun s -> List.iter (fun k -> Dtm.load dtm s ~table:"X" ~key:k ~value:100) [ 0; 1; 2 ])
+    (Dtm.site_ids dtm);
+  let finished = ref 0 in
+  for i = 0 to 4 do
+    ignore
+      (Dtm.submit dtm
+         (Program.make
+            [
+              (a, Command.Update { table = "X"; key = i mod 3; delta = 1 });
+              (b, Command.Update { table = "X"; key = i mod 3; delta = -1 });
+            ])
+         ~on_done:(fun _ -> incr finished))
+  done;
+  Engine.run engine;
+  (* The queue drained: every alive-check / retry / retransmission timer
+     armed during the run was cancelled on a terminal transition (and
+     popped), so none is live — a leaked periodic timer would instead
+     re-arm forever and hang this test. *)
+  Alcotest.(check int) "all transactions finished" 5 !finished;
+  Alcotest.(check int) "quiesced run leaves no live timers" 0 (Engine.stats engine).Engine.live
+
+let test_quiesced_no_live_timers () = quiesced_run ~net_config:Network.default_config
+
+let test_quiesced_no_live_timers_dup_network () =
+  quiesced_run
+    ~net_config:
+      { Network.default_config with Network.faults = { Network.no_faults with Network.dup = 1.0 } }
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "e1 table byte-identical" `Slow test_golden_e1;
+          Alcotest.test_case "e5-style run byte-identical" `Slow test_golden_e5;
+          Alcotest.test_case "e5 ticket run byte-identical" `Slow test_golden_e5_ticket;
+          Alcotest.test_case "e13-style faulty run byte-identical" `Slow test_golden_e13;
+          Alcotest.test_case "e13 multi-interval run byte-identical" `Slow test_golden_e13_multi_interval;
+        ] );
+      ( "agent-prepare",
+        [
+          Alcotest.test_case "certifies and votes READY" `Quick test_prepare_ready;
+          Alcotest.test_case "extension refusal (5.3)" `Quick test_prepare_extension_refused;
+          Alcotest.test_case "interval refusal (4.2)" `Quick test_prepare_interval_refused;
+          Alcotest.test_case "refresh saves an alive neighbour" `Quick test_prepare_refresh_saves_alive_neighbour;
+          Alcotest.test_case "dead refusal (CI 2)" `Quick test_prepare_dead_refused;
+          Alcotest.test_case "duplicate PREPARE re-votes" `Quick test_prepare_duplicate_revotes;
+        ] );
+      ( "agent-alive",
+        [
+          Alcotest.test_case "alive check extends the interval" `Quick test_alive_check_extends_interval;
+          Alcotest.test_case "dead subtransaction resubmits" `Quick test_alive_check_triggers_resubmission;
+          Alcotest.test_case "step is pure" `Quick test_step_is_pure;
+        ] );
+      ( "agent-commit",
+        [
+          Alcotest.test_case "commit certification delays and releases" `Quick
+            test_commit_certification_delays_and_releases;
+          Alcotest.test_case "COMMIT for unknown gid trips the machine" `Quick
+            test_commit_unknown_uncommitted_fails;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "start broadcasts and executes" `Quick test_coordinator_happy_path;
+          Alcotest.test_case "commit needs votes from every site" `Quick
+            test_coordinator_commit_requires_both_votes;
+          Alcotest.test_case "counted quorum falls to duplicate READY" `Quick
+            test_coordinator_counted_quorum_bug;
+          Alcotest.test_case "refusal aborts" `Quick test_coordinator_refusal_aborts;
+          Alcotest.test_case "exec timeout aborts" `Quick test_coordinator_exec_timeout_aborts;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "2x2 reorderings exhaust clean" `Slow test_explore_reorderings_clean;
+          Alcotest.test_case "2x1 fault mix exhausts clean" `Slow test_explore_faults_clean;
+          Alcotest.test_case "2x1 lossy network exhausts clean" `Slow test_explore_losses_clean;
+          Alcotest.test_case "fake quorum rediscovered under Counted" `Quick test_explore_finds_fake_quorum;
+          Alcotest.test_case "dedup quorum survives the same adversary" `Quick
+            test_explore_dedup_quorum_clean;
+        ] );
+      ( "timer-hygiene",
+        [
+          Alcotest.test_case "quiesced run leaves no live timers" `Quick test_quiesced_no_live_timers;
+          Alcotest.test_case "quiesced run (duplicating network)" `Quick
+            test_quiesced_no_live_timers_dup_network;
+        ] );
+    ]

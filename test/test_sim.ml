@@ -136,7 +136,7 @@ let test_engine_stats () =
   Alcotest.(check int) "executed" 3 s.Engine.events;
   Alcotest.(check int) "cancelled" 1 s.Engine.cancelled;
   Alcotest.(check int) "high-water pending" 3 s.Engine.max_pending;
-  Alcotest.(check int) "legacy accessor agrees" (Engine.events_executed e) s.Engine.events
+  Alcotest.(check int) "quiesced queue is empty" 0 s.Engine.live
 
 let prop_engine_deterministic =
   QCheck.Test.make ~name:"same schedule, same execution order" ~count:100
