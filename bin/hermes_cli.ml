@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E13)
+     hermes experiments -- print the experiment tables (E1..E14)
 
    All simulations are deterministic in the seed. *)
 
@@ -139,6 +139,15 @@ let run_cmd =
       & info [ "reboot-delay" ]
           ~doc:"Ticks a crashed site stays down before recovery (0 = instantaneous reboot).")
   in
+  let crash_coordinator =
+    Arg.(
+      value
+      & flag
+      & info [ "crash-coordinator" ]
+          ~doc:
+            "Scheduled crashes also take down the coordinators hosted at the site; they reboot \
+             from the coordinator log and participants run the in-doubt termination protocol.")
+  in
   let drift = Arg.(value & opt int 0 & info [ "drift" ] ~doc:"Site clock drift: site i gets +/-DRIFT ticks.") in
   let theta = Arg.(value & opt float 0.6 & info [ "theta" ] ~doc:"Zipf skew of key accesses.") in
   let cgm =
@@ -154,8 +163,8 @@ let run_cmd =
       & opt (some string) None
       & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
   in
-  let run () certifier cgm sites globals mpl failure_p jitter drop dup crashes reboot_delay drift theta
-      seed verbose dump metrics_out trace_out metrics_summary =
+  let run () certifier cgm sites globals mpl failure_p jitter drop dup crashes reboot_delay
+      crash_coordinator drift theta seed verbose dump metrics_out trace_out metrics_summary =
     let protocol =
       match cgm with
       | Some granularity -> Driver.Cgm_baseline { Cgm.default_config with Cgm.granularity }
@@ -177,6 +186,7 @@ let run_cmd =
         spec = { Spec.default with Spec.n_sites = sites; n_global = globals; global_mpl = mpl; zipf_theta = theta };
         crash_schedule;
         reboot_delay;
+        crash_coordinators = crash_coordinator;
         obs;
       }
     in
@@ -214,8 +224,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drop
-      $ dup $ crashes $ reboot_delay $ drift $ theta $ seed_arg $ verbose $ dump $ metrics_out_arg
-      $ trace_out_arg $ metrics_summary_arg)
+      $ dup $ crashes $ reboot_delay $ crash_coordinator $ drift $ theta $ seed_arg $ verbose $ dump
+      $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -319,7 +329,7 @@ let experiments_cmd =
       & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
   let only =
-    let names = List.init 13 (fun i -> Fmt.str "e%d" (i + 1)) in
+    let names = List.init 14 (fun i -> Fmt.str "e%d" (i + 1)) in
     Arg.(
       value
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
@@ -348,7 +358,7 @@ let experiments_cmd =
     0
   in
   let term = Term.(const run $ setup_logs $ quick $ seeds $ only $ jobs $ metrics_out_arg $ metrics_summary_arg) in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E13).") term
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E14).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes explore                                                      *)
@@ -368,6 +378,20 @@ let explore_cmd =
   let commit_retries = budget "commit-retries" ~default:2 "Budget of commit-certification retry firings." in
   let exec_timeouts = budget "exec-timeouts" ~default:0 "Budget of coordinator command-reply timeouts." in
   let retransmits = budget "retransmits" ~default:0 "Budget of decision/PREPARE retransmission firings." in
+  let coord_crashes =
+    budget "coord-crashes" ~default:0 "Budget of coordinator-site crash (+log recovery) events."
+  in
+  let inquiries = budget "inquiries" ~default:0 "Budget of decision-inquiry timer firings." in
+  let no_termination =
+    Arg.(
+      value
+      & flag
+      & info [ "no-termination" ]
+          ~doc:
+            "Ablate the coordinator durability + in-doubt termination protocol: a crashed \
+             coordinator stays dead instead of recovering from its log. With a coordinator-crash \
+             budget this rediscovers the forever-blocking counterexample (expected exit 1).")
+  in
   let max_states =
     Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N" ~doc:"Exploration cap (a hit is reported as truncation).")
   in
@@ -381,7 +405,7 @@ let explore_cmd =
              historical duplicate-READY fake-quorum bug, expected to produce violations).")
   in
   let run () certifier sites txns drops dups crashes uaborts alive_fires commit_retries exec_timeouts
-      retransmits max_states quorum =
+      retransmits coord_crashes inquiries no_termination max_states quorum =
     let scenario =
       {
         Explore.n_sites = sites;
@@ -389,7 +413,19 @@ let explore_cmd =
         config = { certifier with Config.bind_data = false };
         quorum;
         budgets =
-          { Explore.drops; dups; crashes; uaborts; alive_fires; commit_retries; exec_timeouts; retransmits };
+          {
+            Explore.drops;
+            dups;
+            crashes;
+            uaborts;
+            alive_fires;
+            commit_retries;
+            exec_timeouts;
+            retransmits;
+            coord_crashes;
+            inquiries;
+          };
+        termination = not no_termination;
         max_states;
       }
     in
@@ -404,7 +440,8 @@ let explore_cmd =
   let term =
     Term.(
       const run $ setup_logs $ certifier_arg $ sites $ txns $ drops $ dups $ crashes $ uaborts
-      $ alive_fires $ commit_retries $ exec_timeouts $ retransmits $ max_states $ quorum)
+      $ alive_fires $ commit_retries $ exec_timeouts $ retransmits $ coord_crashes $ inquiries
+      $ no_termination $ max_states $ quorum)
   in
   Cmd.v
     (Cmd.info "explore"

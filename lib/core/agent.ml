@@ -65,17 +65,26 @@ type t = {
   net : Network.t;
   trace : Trace.t;
   config : Config.t;
+  termination : bool;  (* coordinator crashes enabled: inquiry timers + in-doubt metrics live *)
   log : Agent_log.t;  (* stable storage: survives crash *)
   mutable machine : Agent_sm.state;  (* the volatile protocol state *)
   txns : (int, Ltm.txn) Hashtbl.t;  (* current incarnation's LTM handle *)
   alive_timers : (int, Engine.timer) Hashtbl.t;
   retry_timers : (int, Engine.timer) Hashtbl.t;
+  inquiry_timers : (int, Engine.timer) Hashtbl.t;
   stats : stats;
   obs : Obs.t option;
   commit_delay : Histogram.t option;  (* resolved once: decision-to-local-commit ticks *)
+  mutable in_doubt_now : int;  (* prepared, no decision yet (tracked volatile) *)
+  in_doubt_gauge : Registry.Gauge.t option;
+  in_doubt_time : Histogram.t option;  (* prepare-to-decision ticks *)
 }
 
-let create ~site ~engine ~ltm ~net ~trace ?obs ~config () =
+let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ~config () =
+  (* The in-doubt instruments exist only when coordinator crashes are
+     enabled for the run: runs without them must export byte-identical
+     metrics (the golden-digest guard). *)
+  let term_obs = if termination then obs else None in
   {
     site;
     engine;
@@ -83,11 +92,13 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ~config () =
     net;
     trace;
     config;
+    termination;
     log = Agent_log.create ();
     machine = Agent_sm.init ~site;
     txns = Hashtbl.create 32;
     alive_timers = Hashtbl.create 32;
     retry_timers = Hashtbl.create 32;
+    inquiry_timers = Hashtbl.create 32;
     stats =
       {
         prepared = 0;
@@ -104,6 +115,11 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ~config () =
     obs;
     commit_delay =
       Option.map (fun o -> Registry.histogram (Obs.metrics o) ~site "agent.commit_delay") obs;
+    in_doubt_now = 0;
+    in_doubt_gauge =
+      Option.map (fun o -> Registry.gauge (Obs.metrics o) ~site "agent.in_doubt") term_obs;
+    in_doubt_time =
+      Option.map (fun o -> Registry.histogram (Obs.metrics o) ~site "agent.in_doubt_time") term_obs;
   }
 
 let address t = Message.Agent t.site
@@ -135,6 +151,11 @@ let env t =
           (gid, { Agent_sm.alive = Ltm.is_alive txn; last_op_done = Ltm.last_op_done txn }) :: acc)
         t.txns [];
     max_committed_sn = Agent_log.max_committed_sn t.log;
+    (* The termination protocol engages only when coordinator crashes are
+       enabled for this run *and* the network is lossy — like PR 3's
+       retry timers, so fault-free runs arm no extra timers and stay
+       byte-identical. *)
+    inquiry = t.termination && Network.lossy t.net;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -209,6 +230,28 @@ let emit_event t (ev : Agent_sm.event) =
             gid
             (if committed then " (decision known: commit)" else ""));
       t.stats.resubmissions <- t.stats.resubmissions + 1
+  | Ev_in_doubt { gid } ->
+      t.in_doubt_now <- t.in_doubt_now + 1;
+      (match t.in_doubt_gauge with Some g -> Registry.Gauge.set g t.in_doubt_now | None -> ());
+      Log.debug (fun m ->
+          m "[%a %a] T%d in doubt (%d open window(s))" Time.pp (now t) Site.pp t.site gid
+            t.in_doubt_now)
+  | Ev_decision { gid; committed; in_doubt } ->
+      t.in_doubt_now <- t.in_doubt_now - 1;
+      (match t.in_doubt_gauge with Some g -> Registry.Gauge.set g t.in_doubt_now | None -> ());
+      (match t.in_doubt_time with Some h -> Histogram.record h in_doubt | None -> ());
+      Log.debug (fun m ->
+          m "[%a %a] T%d decision %s after %d tick(s) in doubt" Time.pp (now t) Site.pp t.site gid
+            (if committed then "commit" else "rollback")
+            in_doubt)
+  | Ev_decision_inquiry { gid; inquiries } ->
+      (match t.obs with
+      | Some o when t.termination ->
+          Registry.Counter.incr (Registry.counter (Obs.metrics o) ~site:t.site "agent.inquiries")
+      | Some _ | None -> ());
+      Log.debug (fun m ->
+          m "[%a %a] T%d still in doubt: DECISION-REQ #%d to the coordinator" Time.pp (now t)
+            Site.pp t.site gid inquiries)
 
 let log_write t (r : Agent_sm.record) =
   match r with
@@ -264,6 +307,10 @@ and arm t (timer : Agent_sm.timer) ~delay =
          incarnation), matching the historical engine event counts *)
       Engine.schedule_unit t.engine ~delay (fun () ->
           feed t (Agent_sm.Backoff_fired { env = env t; gid; inc }))
+  | T_inquiry gid ->
+      Hashtbl.replace t.inquiry_timers gid
+        (Engine.schedule t.engine ~delay (fun () ->
+             feed t (Agent_sm.Inquiry_fired { env = env t; gid })))
 
 and cancel t (timer : Agent_sm.timer) =
   let stop timers gid =
@@ -277,6 +324,7 @@ and cancel t (timer : Agent_sm.timer) =
   | T_alive gid -> stop t.alive_timers gid
   | T_commit_retry gid -> stop t.retry_timers gid
   | T_backoff _ -> ()
+  | T_inquiry gid -> stop t.inquiry_timers gid
 
 and ltm_call t (c : Agent_sm.call) =
   match c with
@@ -320,7 +368,8 @@ and ltm_call t (c : Agent_sm.call) =
   | L_forget { gid } ->
       Hashtbl.remove t.txns gid;
       Hashtbl.remove t.alive_timers gid;
-      Hashtbl.remove t.retry_timers gid
+      Hashtbl.remove t.retry_timers gid;
+      Hashtbl.remove t.inquiry_timers gid
 
 (* ------------------------------------------------------------------ *)
 (* Inbound boundaries: network, crash, recovery                        *)
@@ -354,13 +403,25 @@ let handle t (msg : Message.t) =
 let attach t = Network.register t.net (address t) (handle t)
 
 let crash t =
+  (* The volatile in-doubt windows close with the crash (the gauge tracks
+     volatile state); recovery reopens them from the log. *)
+  let in_doubt_lost =
+    Agent_sm.Int_map.fold
+      (fun _ (sub : Agent_sm.sub) acc ->
+        if sub.Agent_sm.state = Agent_sm.Prepared && sub.Agent_sm.decision_at = None then acc + 1
+        else acc)
+      t.machine.Agent_sm.subs 0
+  in
+  t.in_doubt_now <- t.in_doubt_now - in_doubt_lost;
+  (match t.in_doubt_gauge with Some g -> Registry.Gauge.set g t.in_doubt_now | None -> ());
   feed t (Agent_sm.Crash { live = List.length (Ltm.live_txns t.ltm) });
   (* Drop the dead incarnations' bookkeeping: their scheduled callbacks
      (UANs of the collective abort, in-flight command completions) are
      filtered by the machine's incarnation tags when they pop. *)
   Hashtbl.reset t.txns;
   Hashtbl.reset t.alive_timers;
-  Hashtbl.reset t.retry_timers
+  Hashtbl.reset t.retry_timers;
+  Hashtbl.reset t.inquiry_timers
 
 let recover t =
   let entries =

@@ -30,12 +30,22 @@ val create :
   net:Hermes_net.Network.t ->
   trace:Hermes_ltm.Trace.t ->
   ?obs:Hermes_obs.Obs.t ->
+  ?termination:bool ->
   config:Config.t ->
   unit ->
   t
 (** [?obs] threads the observability context through: certifier decision
     points emit {!Hermes_obs.Tracer} events and the decision-to-commit
-    delay is recorded in an [agent.commit_delay] histogram per site. *)
+    delay is recorded in an [agent.commit_delay] histogram per site.
+
+    [?termination] (default [false]) engages the in-doubt termination
+    protocol: while a prepared subtransaction has no decision and the
+    network is lossy, an inquiry timer periodically sends DECISION-REQ
+    to the coordinator, and the blocking window is measured in an
+    [agent.in_doubt] gauge plus an [agent.in_doubt_time] histogram.
+    Enabled by {!Dtm} when coordinator crashes are enabled — off, the
+    agent arms no extra timers and exports no extra metrics, keeping
+    fault-free and PR 3-era runs byte-identical. *)
 
 val attach : t -> unit
 (** Register the agent's message handler with the network. *)

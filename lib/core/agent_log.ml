@@ -73,15 +73,19 @@ let force_prepare t e ~sn =
   t.force_writes <- t.force_writes + 1
 
 (* The commit record (Appendix C); also advances the biggest committed
-   serial number the certification extension checks. *)
+   serial number the certification extension checks. Idempotent: a
+   decision re-delivered after recovery (retransmission, replayed
+   COMMIT) must not pay another synchronous force. *)
 let force_commit t e =
-  e.committed <- true;
-  t.force_writes <- t.force_writes + 1;
-  match e.sn with
-  | Some sn ->
-      t.max_committed_sn <-
-        Some (match t.max_committed_sn with Some m when Sn.(m > sn) -> m | _ -> sn)
-  | None -> ()
+  if not e.committed then begin
+    e.committed <- true;
+    t.force_writes <- t.force_writes + 1;
+    match e.sn with
+    | Some sn ->
+        t.max_committed_sn <-
+          Some (match t.max_committed_sn with Some m when Sn.(m > sn) -> m | _ -> sn)
+    | None -> ()
+  end
 
 let note_rollback e = e.rolled_back <- true
 

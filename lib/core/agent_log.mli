@@ -31,6 +31,9 @@ val commands : entry -> Command.t list
 val note_incarnation : entry -> inc:int -> unit
 val force_prepare : t -> entry -> sn:Sn.t -> unit
 val force_commit : t -> entry -> unit
+(** Idempotent: re-forcing an already-committed entry (a decision
+    replayed after recovery) pays no additional force write. *)
+
 val note_rollback : entry -> unit
 val max_committed_sn : t -> Sn.t option
 val force_writes : t -> int

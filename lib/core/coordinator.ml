@@ -32,6 +32,7 @@ type reason = Types.reason =
   | Exec_failed of Site.t * string
   | Refused of Site.t * Message.refusal
   | Gate_refused of string  (* a baseline scheduler (e.g. CGM) rejected the commit *)
+  | Presumed_abort  (* coordinator crash recovery found no decision record *)
 
 let pp_reason = Types.pp_reason
 
@@ -58,6 +59,7 @@ type t = {
   gate : gate;
   obs : Obs.t option;
   on_done : outcome -> unit;
+  log : Coordinator_log.t option;  (* the coordinating site's stable log *)
   mutable machine : Sm.state;
   mutable exec_timer : Engine.timer option;
   mutable retransmit_timer : Engine.timer option;  (* decision or PREPARE retransmission *)
@@ -87,6 +89,27 @@ let emit_event t (ev : Sm.event) =
       Log.debug (fun m ->
           m "[%a] T%d: retransmitting PREPARE to %d silent participant(s)" Time.pp
             (Engine.now t.engine) t.gid silent)
+  | Recovered { decision } ->
+      (match t.obs with
+      | Some o ->
+          let name =
+            match decision with
+            | Some _ -> "coord.recovered_decisions"
+            | None -> "coord.presumed_aborts"
+          in
+          Registry.Counter.incr (Registry.counter (Obs.metrics o) ~site:t.site name)
+      | None -> ());
+      Log.info (fun m ->
+          m "[%a] T%d: coordinator recovered from the log (%s)" Time.pp (Engine.now t.engine) t.gid
+            (match decision with
+            | Some true -> "re-driving commit"
+            | Some false -> "re-driving abort"
+            | None -> "no decision record: presumed abort"))
+  | Answering_inquiry { asker; committed } ->
+      Log.debug (fun m ->
+          m "[%a] T%d: DECISION-REQ from %a, answering %s" Time.pp (Engine.now t.engine) t.gid
+            Site.pp asker
+            (if committed then "commit" else "rollback"))
 
 let record_history t (h : Types.history_event) =
   match h with
@@ -132,7 +155,16 @@ and interpret t (eff : Sm.effect) =
       | Sm.Retransmit | Sm.Prepare_retransmit ->
           cancel_timer t.retransmit_timer;
           t.retransmit_timer <- None)
-  | Types.Force_log _ | Types.Ltm_call _ -> . (* no stable log, no LTM: payloads are empty *)
+  | Types.Force_log r -> (
+      match t.log with
+      | Some log -> (
+          match r with
+          | Sm.R_begin { participants } -> Coordinator_log.force_begin log ~gid:t.gid ~participants
+          | Sm.R_prepared { participants; sn } ->
+              Coordinator_log.force_prepared log ~gid:t.gid ~participants ~sn
+          | Sm.R_decision { committed } -> Coordinator_log.force_decision log ~gid:t.gid ~committed)
+      | None -> () (* log-less coordinators (direct [start] in tests) stay volatile *))
+  | Types.Ltm_call _ -> . (* no LTM: the payload is empty *)
   | Types.Record h -> record_history t h
   | Types.Emit ev -> emit_event t ev
   | Types.Invoke_gate ->
@@ -166,8 +198,8 @@ let handle t (msg : Message.t) =
   in
   feed t (Sm.From_agent { src; payload = msg.Message.payload })
 
-let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program ~on_done
-    () =
+let start ?(gate = open_gate) ?obs ?log ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program
+    ~on_done () =
   let sm_config = Sm.config config in
   let sn = if config.Config.sn_at_begin then Some (sn_gen ()) else None in
   let t =
@@ -182,6 +214,7 @@ let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_ge
       gate;
       obs;
       on_done;
+      log;
       machine =
         Sm.init ~gid ~site ~participants:(Program.sites program) ~steps:(Program.steps program) ~sn;
       exec_timer = None;
@@ -194,6 +227,33 @@ let start ?(gate = open_gate) ?obs ~gid ~site ~engine ~net ~trace ~config ~sn_ge
   feed t Sm.Start;
   t
 
+(* A crash of the coordinating site: the machine's volatile state is
+   gone (the Crash input silences the armed timers; the stale machine is
+   replaced at [recover]). The network handler stays registered — the
+   address is marked down by [Dtm], so deliveries during the outage are
+   counted drops, exactly like a crashed agent's. *)
+let crash t = feed t Sm.Crash
+
+(* Reboot: rebuild the machine from the site's coordinator log. A
+   finished round needs nothing (every participant acknowledged — and
+   the still-registered handler keeps answering late DECISION-REQs from
+   the durable decision); anything else restarts from its log entry,
+   re-driving the logged decision or presuming abort. *)
+let recover t =
+  if not t.machine.Sm.finished then
+    match Option.bind t.log (fun log -> Coordinator_log.find log ~gid:t.gid) with
+    | None -> () (* never started (no log): nothing was promised anywhere *)
+    | Some e ->
+        t.machine <- Sm.init ~gid:t.gid ~site:t.site ~participants:[] ~steps:[] ~sn:None;
+        feed t
+          (Sm.Recover
+             {
+               participants = e.Coordinator_log.participants;
+               sn = e.Coordinator_log.sn;
+               decision = e.Coordinator_log.decision;
+             })
+
+let finished t = t.machine.Sm.finished
 let latency t = Time.diff t.finished_at t.started_at
 let gid t = t.gid
 let coordinating_site t = t.site

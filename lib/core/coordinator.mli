@@ -10,6 +10,9 @@ type reason =
   | Exec_failed of Site.t * string
   | Refused of Site.t * Hermes_net.Message.refusal
   | Gate_refused of string  (** a baseline scheduler (e.g. CGM) rejected the commit *)
+  | Presumed_abort
+      (** coordinator crash recovery found no decision record for the
+          round and terminated it by presuming abort *)
 
 val pp_reason : reason Fmt.t
 
@@ -29,6 +32,7 @@ type t
 val start :
   ?gate:gate ->
   ?obs:Hermes_obs.Obs.t ->
+  ?log:Coordinator_log.t ->
   gid:int ->
   site:Site.t ->
   engine:Hermes_sim.Engine.t ->
@@ -42,7 +46,23 @@ val start :
   t
 (** Registers with the network, sends BEGIN to each participant, and
     starts executing; [on_done] fires after all COMMIT-ACKs or
-    ROLLBACK-ACKs. *)
+    ROLLBACK-ACKs. With [log], the machine's force-written records
+    (participant set, decision) go to that stable log, making the round
+    recoverable across {!crash}/{!recover}. *)
+
+val crash : t -> unit
+(** The coordinating site crashed: volatile 2PC state is lost and the
+    armed timers are silenced. The handler stays registered — mark the
+    address down on the network for the outage. *)
+
+val recover : t -> unit
+(** Reboot: rebuild from the stable log. A logged decision is re-driven
+    until every participant acknowledges; an undecided entry is presumed
+    aborted (ROLLBACK broadcast). No-op for finished rounds or when
+    [start] was given no log. *)
+
+val finished : t -> bool
+(** The decision is made and every participant acknowledged it. *)
 
 val gid : t -> int
 val coordinating_site : t -> Site.t

@@ -1,0 +1,74 @@
+(* The Coordinator log — a coordinating site's stable 2PC storage,
+   mirroring {!Agent_log} on the other side of the protocol.
+
+   Three records are force-written by the coordinator machine: the
+   *begin record* (the participant set, before the BEGINs leave, so a
+   round lost to a crash mid-execution is discoverable), the *prepared
+   record* (the participant set and serial number, before the first
+   PREPARE leaves — any participant that ever promises is covered by a
+   durable record) and the *decision record* (the commit/abort bit, at
+   decide time, before the decision is announced).
+
+   Like the Agent log, in the simulation this is an ordinary data
+   structure owned by the site, not by any coordinator's volatile state:
+   [Dtm.crash_site] discards the coordinators' machines but keeps this
+   log, and recovery replays it — re-driving logged decisions and
+   presuming abort for entries with none (2PC presumed abort). *)
+
+open Hermes_kernel
+
+type entry = {
+  gid : int;
+  mutable participants : Site.t list;
+  mutable sn : Sn.t option;  (* force-written with the prepared record *)
+  mutable prepared : bool;  (* PREPAREs were sent *)
+  mutable decision : bool option;  (* [Some committed] once decided *)
+}
+
+type t = {
+  entries : (int, entry) Hashtbl.t;
+  mutable order : int list;  (* gids, newest first (deterministic iteration) *)
+  mutable force_writes : int;  (* how many synchronous log forces were paid *)
+}
+
+let create () = { entries = Hashtbl.create 16; order = []; force_writes = 0 }
+
+let entry t ~gid =
+  match Hashtbl.find_opt t.entries gid with
+  | Some e -> e
+  | None ->
+      let e = { gid; participants = []; sn = None; prepared = false; decision = None } in
+      Hashtbl.replace t.entries gid e;
+      t.order <- gid :: t.order;
+      e
+
+let find t ~gid = Hashtbl.find_opt t.entries gid
+
+let force_begin t ~gid ~participants =
+  let e = entry t ~gid in
+  e.participants <- participants;
+  t.force_writes <- t.force_writes + 1
+
+let force_prepared t ~gid ~participants ~sn =
+  let e = entry t ~gid in
+  e.participants <- participants;
+  e.sn <- Some sn;
+  e.prepared <- true;
+  t.force_writes <- t.force_writes + 1
+
+(* Idempotent: a recovery-time presumed abort re-forced after a second
+   crash keeps the first decision (a decision, once forced, never
+   changes). *)
+let force_decision t ~gid ~committed =
+  let e = entry t ~gid in
+  (match e.decision with None -> e.decision <- Some committed | Some _ -> ());
+  t.force_writes <- t.force_writes + 1
+
+let entries t = List.rev_map (fun gid -> Hashtbl.find t.entries gid) t.order
+
+(* What recovery must presume aborted: rounds that started (or even
+   prepared) but whose decision record never made it to the log. *)
+let undecided t = List.filter (fun e -> e.decision = None) (entries t)
+
+let force_writes t = t.force_writes
+let n_entries t = Hashtbl.length t.entries

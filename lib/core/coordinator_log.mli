@@ -1,0 +1,36 @@
+(** The Coordinator log — a coordinating site's stable 2PC storage,
+    mirroring {!Agent_log}: the participant set (forced at BEGIN and
+    again, with the serial number, at PREPARE-send) and the global
+    decision (forced at decide time). Survives [Dtm.crash_site] on the
+    coordinating site; recovery re-drives logged decisions and presumes
+    abort for entries with none. *)
+
+open Hermes_kernel
+
+type entry = {
+  gid : int;
+  mutable participants : Site.t list;
+  mutable sn : Sn.t option;  (** force-written with the prepared record *)
+  mutable prepared : bool;  (** PREPAREs were sent *)
+  mutable decision : bool option;  (** [Some committed] once decided *)
+}
+
+type t
+
+val create : unit -> t
+val find : t -> gid:int -> entry option
+val force_begin : t -> gid:int -> participants:Site.t list -> unit
+val force_prepared : t -> gid:int -> participants:Site.t list -> sn:Sn.t -> unit
+
+val force_decision : t -> gid:int -> committed:bool -> unit
+(** Idempotent on the decision bit: once forced, a decision never
+    changes (later forces still count as force writes). *)
+
+val entries : t -> entry list
+(** In first-logged order. *)
+
+val undecided : t -> entry list
+(** Entries with no decision record — presumed aborted at recovery. *)
+
+val force_writes : t -> int
+val n_entries : t -> int

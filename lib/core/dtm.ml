@@ -33,10 +33,12 @@ type site_ctx = {
   db : Database.t;
   ltm : Ltm.t;
   agent : Agent.t;
+  clog : Coordinator_log.t;  (* the site's stable coordinator log *)
   clock : Clock.t;
   injector : Failure.t;
   mutable sn_seq : int;
   mutable down : bool;  (* crashed, reboot pending *)
+  mutable hosted : Coordinator.t list;  (* coordinators this site ever hosted, newest first *)
 }
 
 type t = {
@@ -46,12 +48,17 @@ type t = {
   net : Network.t;
   certifier : Config.t;
   obs : Obs.t option;
+  crash_coordinators : bool;
+      (* [crash_site] also crashes the site's coordinators (and the
+         agents run the termination protocol); off by default so earlier
+         fault scenarios replay byte-identically *)
   sites : site_ctx array;
   mutable next_gid : int;
   mutable submitted : int;
 }
 
-let create ~engine ~rng ~trace ~net_config ~certifier ?obs ~site_specs () =
+let create ~engine ~rng ~trace ~net_config ~certifier ?obs ?(crash_coordinators = false)
+    ~site_specs () =
   let net = Network.create ~engine ~rng:(Rng.split rng ~label:"net") ?obs ~config:net_config () in
   let sites =
     Array.mapi
@@ -59,17 +66,31 @@ let create ~engine ~rng ~trace ~net_config ~certifier ?obs ~site_specs () =
         let site = Site.of_int i in
         let db = Database.create ~site in
         let ltm = Ltm.create ~engine ~db ~config:spec.ltm_config ~trace ?obs () in
-        let agent = Agent.create ~site ~engine ~ltm ~net ~trace ?obs ~config:certifier () in
+        let agent =
+          Agent.create ~site ~engine ~ltm ~net ~trace ?obs ~termination:crash_coordinators
+            ~config:certifier ()
+        in
         Agent.attach agent;
         let injector =
           Failure.attach ~engine
             ~rng:(Rng.split rng ~label:(Fmt.str "failure-%d" i))
             ~config:spec.failure ltm
         in
-        { site; db; ltm; agent; clock = spec.clock; injector; sn_seq = 0; down = false })
+        {
+          site;
+          db;
+          ltm;
+          agent;
+          clog = Coordinator_log.create ();
+          clock = spec.clock;
+          injector;
+          sn_seq = 0;
+          down = false;
+          hosted = [];
+        })
       site_specs
   in
-  { engine; rng; trace; net; certifier; obs; sites; next_gid = 1; submitted = 0 }
+  { engine; rng; trace; net; certifier; obs; crash_coordinators; sites; next_gid = 1; submitted = 0 }
 
 let n_sites t = Array.length t.sites
 let site_ids t = Array.to_list (Array.map (fun c -> c.site) t.sites)
@@ -77,6 +98,7 @@ let ctx t site = t.sites.(Site.to_int site)
 let ltm t site = (ctx t site).ltm
 let database t site = (ctx t site).db
 let agent t site = (ctx t site).agent
+let coordinator_log t site = (ctx t site).clog
 let injector t site = (ctx t site).injector
 let network t = t.net
 let trace t = t.trace
@@ -96,9 +118,13 @@ let submit ?gate t program ~on_done =
   let coord_site =
     match Program.sites program with s :: _ -> s | [] -> assert false (* Program.make forbids [] *)
   in
-  ignore
-    (Coordinator.start ?gate ?obs:t.obs ~gid ~site:coord_site ~engine:t.engine ~net:t.net
-       ~trace:t.trace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program ~on_done ());
+  let c = ctx t coord_site in
+  let coord =
+    Coordinator.start ?gate ?obs:t.obs ~log:c.clog ~gid ~site:coord_site ~engine:t.engine
+      ~net:t.net ~trace:t.trace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program
+      ~on_done ()
+  in
+  c.hosted <- coord :: c.hosted;
   gid
 
 (* A site crash: the collective unilateral abort of every live transaction
@@ -110,22 +136,42 @@ let submit ?gate t program ~on_done =
    A positive [reboot_delay] keeps the site genuinely down for that many
    ticks: the network counts deliveries to it as drops, and recovery runs
    when it comes back up — the coordinators' retransmissions then carry
-   the decisions across the outage. *)
+   the decisions across the outage.
+
+   With [crash_coordinators] the crash also takes down every coordinator
+   the site hosts: their volatile 2PC state is lost and their addresses
+   go dark for the outage; at reboot each one rebuilds from the site's
+   {!Coordinator_log} — re-driving a logged decision, presuming abort
+   otherwise. The snapshot of hosted coordinators is taken at crash time
+   so rounds submitted during the outage are untouched by the reboot. *)
 let crash_site ?(reboot_delay = 0) t site =
   let c = ctx t site in
+  let coords = if t.crash_coordinators then c.hosted else [] in
   if not c.down then
     if reboot_delay <= 0 then begin
+      List.iter Coordinator.crash coords;
       Agent.crash c.agent;
-      Agent.recover c.agent
+      Agent.recover c.agent;
+      List.iter Coordinator.recover coords
     end
     else begin
       c.down <- true;
+      List.iter
+        (fun co ->
+          Coordinator.crash co;
+          Network.mark_down t.net (Hermes_net.Message.Coordinator (Coordinator.gid co)))
+        coords;
       Agent.crash c.agent;
       Network.mark_down t.net (Hermes_net.Message.Agent site);
       Engine.schedule_unit t.engine ~delay:reboot_delay (fun () ->
           Network.mark_up t.net (Hermes_net.Message.Agent site);
           c.down <- false;
-          Agent.recover c.agent)
+          Agent.recover c.agent;
+          List.iter
+            (fun co ->
+              Network.mark_up t.net (Hermes_net.Message.Coordinator (Coordinator.gid co));
+              Coordinator.recover co)
+            coords)
     end
 
 (* Load a row directly into a site's database (initial state, written by
@@ -212,6 +258,10 @@ let export_metrics t reg =
       c ~site "agent.rollbacks" ags.Agent.rollbacks;
       c ~site "agent.crashes" ags.Agent.crashes;
       c ~site "agent.recovered" ags.Agent.recovered;
+      (* only meaningful — and only exported — when coordinator crashes
+         are on, so PR 3-era metric dumps stay byte-identical *)
+      if t.crash_coordinators then
+        c ~site "coord.log_force_writes" (Coordinator_log.force_writes ctx.clog);
       c ~site "dlu.denials" (Hermes_ltm.Bound.denials (Ltm.bound_registry ctx.ltm)))
     t.sites;
   let add name v = if v <> 0 then Registry.Counter.add (Registry.counter reg name) v in

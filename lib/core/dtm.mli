@@ -22,18 +22,30 @@ val create :
   net_config:Hermes_net.Network.config ->
   certifier:Config.t ->
   ?obs:Hermes_obs.Obs.t ->
+  ?crash_coordinators:bool ->
   site_specs:site_spec array ->
   unit ->
   t
 (** Site [i] of the array becomes {!Site.of_int}[ i]. [?obs] is threaded
     into every component — agents, LTMs, the network, coordinators — so
-    their decision points emit trace events and record histograms. *)
+    their decision points emit trace events and record histograms.
+
+    [?crash_coordinators] (default [false]) makes {!crash_site} also
+    crash the coordinators hosted at the site — they reboot from the
+    site's {!Coordinator_log} — and enables the agents' in-doubt
+    termination protocol (DECISION-REQ inquiries and in-doubt metrics).
+    Off, runs are byte-identical to earlier revisions. *)
 
 val n_sites : t -> int
 val site_ids : t -> Site.t list
 val ltm : t -> Site.t -> Hermes_ltm.Ltm.t
 val database : t -> Site.t -> Hermes_store.Database.t
 val agent : t -> Site.t -> Agent.t
+
+val coordinator_log : t -> Site.t -> Coordinator_log.t
+(** The site's stable coordinator log (participant sets and decisions
+    force-written by the coordinators the site hosts). *)
+
 val injector : t -> Site.t -> Hermes_ltm.Failure.t
 val network : t -> Hermes_net.Network.t
 val trace : t -> Hermes_ltm.Trace.t
@@ -54,7 +66,13 @@ val crash_site : ?reboot_delay:int -> t -> Site.t -> unit
     for that many ticks: the network counts deliveries to it as drops,
     recovery runs when it comes back up, and coordinator retransmissions
     carry the 2PC decisions across the outage. A crash on a site already
-    down is ignored. *)
+    down is ignored.
+
+    When the Dtm was created with [crash_coordinators], the crash also
+    takes down every coordinator the site hosts (addresses dark for the
+    outage, volatile 2PC state lost); at reboot each rebuilds from the
+    site's {!Coordinator_log}, re-driving its logged decision or
+    presuming abort. *)
 
 val history : t -> Hermes_history.History.t
 (** The trace so far, as a history. *)

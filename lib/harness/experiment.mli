@@ -20,7 +20,7 @@ val default_params : params
     defaults, no metrics collection, sequential. *)
 
 val run_all : ?params:params -> unit -> (string * T.t) list
-(** Every experiment, as [(short name, table)] — ["e1"] .. ["e13"]. *)
+(** Every experiment, as [(short name, table)] — ["e1"] .. ["e14"]. *)
 
 val tables :
   seeds_of:(int -> int) -> ?jobs:int -> ?metrics:Registry.t -> unit -> (string * (unit -> T.t)) list
@@ -79,6 +79,12 @@ val e13_unreliable_net : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit 
     layer (retransmission, set-based vote counting, idempotent replay
     from the Agent log) must keep full 2CM distortion-free, acyclic and
     live on a network the paper assumes away; naive is the ablation. *)
+
+val e14_coordinator_crashes : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
+(** Scheduled crashes also take down the site's coordinators, which
+    reboot from the Coordinator log (re-driving the decision or presuming
+    abort) while prepared participants run the in-doubt termination
+    protocol; measures the in-doubt blocking window. *)
 
 val all : ?quick:bool -> unit -> T.t list
 (** The tables of {!run_all} without names; [quick] divides each seed

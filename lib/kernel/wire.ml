@@ -47,6 +47,8 @@ type payload =
   | Rollback
   | Commit_ack
   | Rollback_ack
+  | Decision_req  (* termination protocol: an in-doubt participant asks for the outcome *)
+  | Decision_resp of { committed : bool }
 
 let pp_payload ppf = function
   | Begin -> Fmt.string ppf "BEGIN"
@@ -60,6 +62,9 @@ let pp_payload ppf = function
   | Rollback -> Fmt.string ppf "ROLLBACK"
   | Commit_ack -> Fmt.string ppf "COMMIT-ACK"
   | Rollback_ack -> Fmt.string ppf "ROLLBACK-ACK"
+  | Decision_req -> Fmt.string ppf "DECISION-REQ"
+  | Decision_resp { committed } ->
+      Fmt.pf ppf "DECISION-RESP %s" (if committed then "commit" else "rollback")
 
 type t = { src : address; dst : address; gid : int; payload : payload }
 

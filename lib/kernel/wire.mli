@@ -33,6 +33,10 @@ type payload =
   | Rollback
   | Commit_ack
   | Rollback_ack
+  | Decision_req
+      (** termination protocol: an in-doubt participant asks the
+          coordinator for the outcome of its round *)
+  | Decision_resp of { committed : bool }
 
 val pp_payload : payload Fmt.t
 

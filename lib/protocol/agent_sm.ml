@@ -59,9 +59,12 @@ type sub = {
   committing : bool;  (* local commit in flight (makes duplicate COMMITs harmless) *)
   decision_commit : bool;  (* COMMIT received, not yet performed *)
   decision_at : Time.t option;  (* when the first COMMIT arrived *)
+  prepared_at : Time.t option;  (* when READY was sent (the in-doubt window opens) *)
   sn_retries : int;  (* commit-certification retries *)
+  inquiries : int;  (* DECISION-REQs sent for this subtransaction *)
   alive_armed : bool;
   retry_armed : bool;
+  inquiry_armed : bool;  (* termination-protocol inquiry timer *)
 }
 
 type state = { site : Site.t; subs : sub Int_map.t; table : Alive_table.t }
@@ -78,6 +81,11 @@ type env = {
   now : Time.t;
   views : (int * view) list;  (* by gid; a gid without a view is a just-begun (alive) txn *)
   max_committed_sn : Sn.t option;  (* the stable log's biggest committed SN *)
+  inquiry : bool;
+      (* whether the termination protocol is engaged: the adapter samples
+         this as "coordinator crashes enabled for this run && the network
+         is lossy", so runs without coordinator crashes arm no inquiry
+         timers and stay byte-identical *)
 }
 
 (* What the stable log knows about a gid (for messages about
@@ -111,6 +119,7 @@ type input =
   | Uan of { env : env; gid : int; inc : int }  (* unilateral-abort notification *)
   | Exec_done of { env : env; gid : int; inc : int; purpose : purpose; result : exec_result }
   | Commit_done of { env : env; gid : int; inc : int; committed : bool }
+  | Inquiry_fired of { env : env; gid : int }
   | Crash of { live : int }  (* live LTM transactions, for the crash event *)
   | Recover of { env : env; entries : recover_entry list }
 
@@ -120,6 +129,10 @@ type timer =
   | T_backoff of { gid : int; inc : int }
       (* armed as an uncancellable one-shot (the adapter never cancels
          it); staleness is filtered by the incarnation tag instead *)
+  | T_inquiry of int
+      (* termination protocol: while prepared and undecided, periodically
+         ask the coordinator for the outcome; armed only when [env.inquiry]
+         holds (coordinator crashes enabled, lossy network) *)
 
 (* Stable-log writes. Not all are forced to disk — [R_local_commit],
    [R_rollback] and [R_incarnation] are bookkeeping notes, matching
@@ -162,6 +175,13 @@ type event =
   | Ev_rollback of { gid : int }
   | Ev_crash of { live : int; prepared : int }
   | Ev_recovered of { gid : int; committed : bool }
+  | Ev_in_doubt of { gid : int }
+      (* the in-doubt window opened: prepared (or recovered prepared)
+         with no decision yet; the adapter's gauge counts these *)
+  | Ev_decision of { gid : int; committed : bool; in_doubt : int }
+      (* the in-doubt window closed after [in_doubt] ticks: the first
+         COMMIT/ROLLBACK/DECISION-RESP for a prepared subtransaction *)
+  | Ev_decision_inquiry of { gid : int; inquiries : int }
 
 type effect = (timer, record, call, event) Types.effect
 
@@ -180,7 +200,8 @@ let unexpected (st : state) ~src ~gid ~payload =
 let cleanup (config : Config.t) st (sub : sub) =
   let cancels =
     (if sub.alive_armed then [ Cancel_timer (T_alive sub.gid) ] else [])
-    @ if sub.retry_armed then [ Cancel_timer (T_commit_retry sub.gid) ] else []
+    @ (if sub.retry_armed then [ Cancel_timer (T_commit_retry sub.gid) ] else [])
+    @ if sub.inquiry_armed then [ Cancel_timer (T_inquiry sub.gid) ] else []
   in
   let unbind = if config.Config.bind_data then [ Ltm_call (L_unbind { gid = sub.gid }) ] else [] in
   Alive_table.remove st.table ~gid:sub.gid;
@@ -342,8 +363,19 @@ let certify_prepare (config : Config.t) st env (sub : sub) sn =
       let st, effs = refuse config st sub Wire.Dead_refused in
       (st, Emit (Ev_prepare_certification { gid = sub.gid; sn; verdict = V_refused_dead }) :: effs)
     else begin
-      (* Force write the prepare record; move to the prepared state. *)
-      let sub = { sub with state = Prepared; alive_armed = true } in
+      (* Force write the prepare record; move to the prepared state. The
+         in-doubt window opens here; with the termination protocol
+         engaged the inquiry timer bounds it. *)
+      let inq = env.inquiry && config.Config.decision_inquiry_interval > 0 in
+      let sub =
+        {
+          sub with
+          state = Prepared;
+          alive_armed = true;
+          prepared_at = Some env.now;
+          inquiry_armed = inq;
+        }
+      in
       Alive_table.insert st.table ~gid:sub.gid ~sn ~interval:candidate;
       ( update st sub,
         [
@@ -357,7 +389,15 @@ let certify_prepare (config : Config.t) st env (sub : sub) sn =
         @ [
             send sub Wire.Ready;
             Arm_timer { timer = T_alive sub.gid; delay = config.Config.alive_check_interval };
-          ] )
+          ]
+        @ Emit (Ev_in_doubt { gid = sub.gid })
+          ::
+          (if inq then
+             [
+               Arm_timer
+                 { timer = T_inquiry sub.gid; delay = config.Config.decision_inquiry_interval };
+             ]
+           else []) )
     end
   end
 
@@ -375,9 +415,12 @@ let handle_begin st ~gid ~coordinator =
       committing = false;
       decision_commit = false;
       decision_at = None;
+      prepared_at = None;
       sn_retries = 0;
+      inquiries = 0;
       alive_armed = false;
       retry_armed = false;
+      inquiry_armed = false;
     }
   in
   (update st sub, [ Force_log (R_entry { gid; coordinator }); Ltm_call (L_begin { gid; inc = 0 }) ])
@@ -395,14 +438,22 @@ let handle_exec st (sub : sub) ~step cmd =
       ] )
   else (st, [])
 
-let handle_rollback config st (sub : sub) =
+let handle_rollback config st env (sub : sub) =
+  (* A ROLLBACK for a prepared subtransaction closes its in-doubt window. *)
+  let decision =
+    match (sub.state, sub.prepared_at) with
+    | Prepared, Some p when sub.decision_at = None ->
+        [ Emit (Ev_decision { gid = sub.gid; committed = false; in_doubt = Time.diff env.now p }) ]
+    | _ -> []
+  in
   let st, cleanup_effs = cleanup config st sub in
   ( st,
     Emit (Ev_rollback { gid = sub.gid })
-    :: Force_log (R_rollback { gid = sub.gid })
-    :: Ltm_call (L_abort { gid = sub.gid })
-    :: send sub Wire.Rollback_ack
-    :: cleanup_effs )
+    :: (decision
+       @ Force_log (R_rollback { gid = sub.gid })
+         :: Ltm_call (L_abort { gid = sub.gid })
+         :: send sub Wire.Rollback_ack
+         :: cleanup_effs) )
 
 (* Replies for subtransactions the volatile state no longer knows —
    either lost to a crash (active-state work is simply gone; 2PC lets a
@@ -440,8 +491,15 @@ let handle_unknown st env ~src ~gid ~payload ~(log : log_view) =
        (st, note @ [ answer Wire.Rollback_ack ]))
   | _ -> unexpected st ~src ~gid ~payload
 
-let deliver config st env ~src ~gid ~payload ~(log : log_view) =
+let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
   match payload with
+  | Wire.Decision_resp { committed } ->
+      (* The termination protocol's answer carries exactly the decision:
+         re-dispatch it as the equivalent COMMIT/ROLLBACK, which is
+         idempotent against a racing retransmission of the real one. *)
+      deliver config st env ~src ~gid
+        ~payload:(if committed then Wire.Commit else Wire.Rollback)
+        ~log
   | Wire.Begin ->
       if Int_map.mem gid st.subs || log.known then
         (st, []) (* duplicated BEGIN, or one for a gid the log already knows *)
@@ -463,22 +521,34 @@ let deliver config st env ~src ~gid ~payload ~(log : log_view) =
   | Wire.Commit -> (
       match Int_map.find_opt gid st.subs with
       | Some sub ->
+          let first = sub.decision_at = None in
+          let decision_effs =
+            if first && sub.state = Prepared then
+              (match sub.prepared_at with
+              | Some p ->
+                  [ Emit (Ev_decision { gid; committed = true; in_doubt = Time.diff env.now p }) ]
+              | None -> [])
+              @ (if sub.inquiry_armed then [ Cancel_timer (T_inquiry gid) ] else [])
+            else []
+          in
           let sub =
             {
               sub with
-              decision_at = (if sub.decision_at = None then Some env.now else sub.decision_at);
+              decision_at = (if first then Some env.now else sub.decision_at);
               decision_commit = true;
+              inquiry_armed = false;
             }
           in
           let st = update st sub in
-          try_commit config st env sub
+          let st, commit_effs = try_commit config st env sub in
+          (st, decision_effs @ commit_effs)
       | None -> handle_unknown st env ~src ~gid ~payload ~log)
   | Wire.Rollback -> (
       match Int_map.find_opt gid st.subs with
-      | Some sub -> handle_rollback config st sub
+      | Some sub -> handle_rollback config st env sub
       | None -> handle_unknown st env ~src ~gid ~payload ~log)
   | Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Refuse _ | Wire.Commit_ack
-  | Wire.Rollback_ack ->
+  | Wire.Rollback_ack | Wire.Decision_req ->
       unexpected st ~src ~gid ~payload
 
 let step (config : Config.t) (st : state) (input : input) : state * effect list =
@@ -514,6 +584,22 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
           let sub = { sub with retry_armed = false } in
           let st = update st sub in
           try_commit config st env sub)
+  | Inquiry_fired { env; gid } -> (
+      (* Termination protocol: still prepared with no decision — ask the
+         coordinator (or its rebooted incarnation) for the outcome and
+         re-arm. Once any decision has arrived the timer dies out. *)
+      ignore env;
+      match Int_map.find_opt gid st.subs with
+      | Some sub when sub.state = Prepared && sub.decision_at = None && not sub.decision_commit ->
+          let sub = { sub with inquiries = sub.inquiries + 1; inquiry_armed = true } in
+          ( update st sub,
+            [
+              Emit (Ev_decision_inquiry { gid; inquiries = sub.inquiries });
+              send sub Wire.Decision_req;
+              Arm_timer { timer = T_inquiry gid; delay = config.Config.decision_inquiry_interval };
+            ] )
+      | Some sub when sub.inquiry_armed -> (update st { sub with inquiry_armed = false }, [])
+      | Some _ | None -> (st, []))
   | Backoff_fired { env; gid; inc } -> (
       match Int_map.find_opt gid st.subs with
       | Some sub when sub.inc = inc -> attempt_resubmission config st env sub
@@ -571,6 +657,7 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
               acc
               @ (if sub.alive_armed then [ Cancel_timer (T_alive gid) ] else [])
               @ (if sub.retry_armed then [ Cancel_timer (T_commit_retry gid) ] else [])
+              @ (if sub.inquiry_armed then [ Cancel_timer (T_inquiry gid) ] else [])
             else acc)
           st.subs []
       in
@@ -585,6 +672,14 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
       List.fold_left
         (fun (st, effs) (e : recover_entry) ->
           let inc = e.r_inc + 1 in
+          (* A recovered entry with no decision record is still in doubt:
+             its in-doubt window restarts at recovery time (the pre-crash
+             stretch is not measurable from the log) and, with the
+             termination protocol engaged, the inquiry timer restarts
+             with it. *)
+          let inq =
+            (not e.r_committed) && env.inquiry && config.Config.decision_inquiry_interval > 0
+          in
           let sub =
             {
               gid = e.r_gid;
@@ -598,9 +693,12 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
               committing = false;
               decision_commit = e.r_committed;
               decision_at = (if e.r_committed then Some env.now else None);
+              prepared_at = Some env.now;
               sn_retries = 0;
+              inquiries = 0;
               alive_armed = true;
               retry_armed = false;
+              inquiry_armed = inq;
             }
           in
           Alive_table.insert st.table ~gid:sub.gid ~sn:(Option.get e.r_sn)
@@ -618,5 +716,12 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
           ( st,
             effs @ head @ feed_effs
             @ [ Arm_timer { timer = T_alive sub.gid; delay = config.Config.alive_check_interval } ]
-          ))
+            @ (if e.r_committed then [] else [ Emit (Ev_in_doubt { gid = sub.gid }) ])
+            @
+            if inq then
+              [
+                Arm_timer
+                  { timer = T_inquiry sub.gid; delay = config.Config.decision_inquiry_interval };
+              ]
+            else [] ))
         (st, []) entries

@@ -22,6 +22,10 @@ type t = {
   prepare_retry_interval : int;  (* coordinator: ticks between PREPARE retransmissions to
                                     participants that have not voted; armed only on a lossy
                                     network (Network.lossy), so reliable runs are unchanged *)
+  decision_inquiry_interval : int;  (* agent: ticks an in-doubt (prepared, undecided)
+                                       subtransaction waits before asking the coordinator for
+                                       the outcome (DECISION-REQ); armed only on a lossy
+                                       network (Network.lossy), so reliable runs are unchanged *)
 }
 
 (* The full 2CM certifier as the paper specifies it. *)
@@ -40,6 +44,7 @@ let full =
     exec_timeout = 150_000;
     decision_retry_interval = 40_000;
     prepare_retry_interval = 40_000;
+    decision_inquiry_interval = 60_000;
   }
 
 (* The naive 2PC agent: simulated prepared state and resubmission, but no

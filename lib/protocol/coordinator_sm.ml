@@ -39,8 +39,22 @@ type event =
   | Deciding_abort of reason
   | Retransmitting_decision of { unacked : int }
   | Retransmitting_prepare of { silent : int }
+  | Recovered of { decision : bool option }
+      (* the machine was rebuilt from the coordinator log after a site
+         crash; [None] means no decision record survived (presumed abort) *)
+  | Answering_inquiry of { asker : Site.t; committed : bool }
 
 type timer = Exec_timeout | Retransmit | Prepare_retransmit
+
+(* Stable coordinator-log writes, all forced: the begin record makes an
+   in-flight round discoverable at recovery (so a crash mid-execution is
+   terminated by presumed abort instead of leaving participants holding
+   locks forever), the prepared record pins the participant set the
+   PREPAREs went to, and the decision record is what recovery re-drives. *)
+type record =
+  | R_begin of { participants : Site.t list }
+  | R_prepared of { participants : Site.t list; sn : Sn.t }
+  | R_decision of { committed : bool }
 
 type state = {
   gid : int;
@@ -72,8 +86,17 @@ type input =
          does not use [sn_at_begin]; [lossy] is the network's current
          lossiness, deciding whether PREPARE retransmission is armed *)
   | Gate_refused of string
+  | Crash
+      (* the coordinating site crashed: volatile state is lost (the
+         adapter discards the machine); the returned effects silence the
+         armed timers *)
+  | Recover of { participants : Site.t list; sn : Sn.t option; decision : bool option }
+      (* rebuild from the coordinator log after the site reboots (fed to
+         a fresh [init]): a logged decision is re-driven until every
+         participant acknowledges; an undecided entry is presumed
+         aborted *)
 
-type effect = (timer, never, never, event) Types.effect
+type effect = (timer, record, never, event) Types.effect
 
 (* Tag each command with its per-site step index, so agents and the
    coordinator can recognize (and ignore) duplicated EXECs and replies. *)
@@ -129,7 +152,14 @@ let start_abort config st reason =
   let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
   let st = { st with exec_armed = false } in
   let st, effs = start_decision config st (Aborting reason) in
-  (st, cancels @ [ Emit (Deciding_abort reason); Record (H_global_abort { gid = st.gid }) ] @ effs)
+  ( st,
+    cancels
+    @ [
+        Emit (Deciding_abort reason);
+        Force_log (R_decision { committed = false });
+        Record (H_global_abort { gid = st.gid });
+      ]
+    @ effs )
 
 (* After the decision completes, stray duplicate acknowledgements may
    still be in flight (a retransmitted COMMIT re-acked by a recovered
@@ -173,10 +203,26 @@ let note_vote config st src =
 let all_ready config st =
   if st.refusal = None then
     let st, effs = start_decision config st Committing in
-    (st, (Emit (All_ready { sn = st.sn }) :: Record (H_global_commit { gid = st.gid }) :: effs))
+    ( st,
+      Emit (All_ready { sn = st.sn })
+      :: Force_log (R_decision { committed = true })
+      :: Record (H_global_commit { gid = st.gid })
+      :: effs )
   else
     let site, refusal = Option.get st.refusal in
     start_abort config st (Refused (site, refusal))
+
+(* The termination protocol's server side: an in-doubt participant asks
+   for the outcome; any coordinator that has decided (including a
+   finished one, and a rebooted incarnation replaying its log) answers
+   from its durable decision. *)
+let answer_inquiry st src =
+  let committed = match st.phase with Committing -> true | _ -> false in
+  ( st,
+    [
+      Emit (Answering_inquiry { asker = src; committed });
+      send st ~dst:(Wire.Agent src) (Wire.Decision_resp { committed });
+    ] )
 
 let handle_from_agent config st src payload =
   if st.finished then
@@ -186,9 +232,18 @@ let handle_from_agent config st src payload =
         (* Stray duplicates of any agent reply can trail the decision on
            a duplicating network. *)
         (st, [])
+    | Wire.Decision_req ->
+        (* A DECISION-REQ that raced the last acknowledgement: the
+           decision is long since durable, repeat it. *)
+        answer_inquiry st src
     | payload -> Fmt.failwith "finished coordinator T%d: unexpected %a" st.gid Wire.pp_payload payload
   else
     match (st.phase, payload) with
+    | (Committing | Aborting _), Wire.Decision_req -> answer_inquiry st src
+    | (Executing | Preparing), Wire.Decision_req ->
+        (* Undecided: stay silent, the asker's inquiry timer re-asks
+           once a decision exists. *)
+        (st, [])
     | Executing, Wire.Exec_ok { step; _ } when is_outstanding st src step ->
         let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
         let st, effs = next_step config { st with exec_armed = false } in
@@ -242,7 +297,7 @@ let step config st input : state * effect list =
   | Start ->
       let begins = send_to_all st Wire.Begin in
       let st, effs = next_step config st in
-      (st, begins @ effs)
+      (st, (Force_log (R_begin { participants = st.participants }) :: begins) @ effs)
   | From_agent { src; payload } -> handle_from_agent config st src payload
   | Exec_timeout_fired -> (
       let st = { st with exec_armed = false } in
@@ -287,10 +342,12 @@ let step config st input : state * effect list =
                   { timer = Prepare_retransmit; delay = config.certifier.Config.prepare_retry_interval };
               ] )
       | Executing | Committing | Aborting _ -> ({ st with prepare_retransmit_armed = false }, []))
-  | Gate_opened { sn; lossy } ->
+  | Gate_opened { sn; lossy } when st.phase = Executing && not st.finished ->
       (* The application's global Commit passed the gate: draw the serial
          number (the ticket baseline drew it at BEGIN) and start phase
-         one of 2PC. *)
+         one of 2PC. The participant set is forced to the coordinator log
+         before the first PREPARE leaves, so any participant that ever
+         promises is discoverable at crash recovery. *)
       let sn = if config.certifier.Config.sn_at_begin then st.sn else sn in
       let st = { st with phase = Preparing; sn } in
       let retx =
@@ -298,11 +355,45 @@ let step config st input : state * effect list =
       in
       let st = { st with prepare_retransmit_armed = retx } in
       ( st,
-        send_to_all st (Wire.Prepare (Option.get sn))
+        Force_log (R_prepared { participants = st.participants; sn = Option.get sn })
+        :: send_to_all st (Wire.Prepare (Option.get sn))
         @
         if retx then
           [ Arm_timer
               { timer = Prepare_retransmit; delay = config.certifier.Config.prepare_retry_interval };
           ]
         else [] )
-  | Gate_refused why -> start_abort config st (Gate_refused why)
+  | Gate_refused why when st.phase = Executing && not st.finished ->
+      start_abort config st (Gate_refused why)
+  | Gate_opened _ | Gate_refused _ ->
+      (* A gate answer held across a coordinator crash: the recovered
+         machine already carries a (presumed or logged) decision. *)
+      (st, [])
+  | Crash ->
+      let cancels =
+        (if st.exec_armed then [ Cancel_timer Exec_timeout ] else [])
+        @ (if st.retransmit_armed then [ Cancel_timer Retransmit ] else [])
+        @ if st.prepare_retransmit_armed then [ Cancel_timer Prepare_retransmit ] else []
+      in
+      ( { st with exec_armed = false; retransmit_armed = false; prepare_retransmit_armed = false },
+        cancels )
+  | Recover { participants; sn; decision } -> (
+      (* Fed to a fresh [init] after the site reboots. A logged decision
+         is re-driven (broadcast + acknowledged retransmission); an entry
+         with no decision record is presumed aborted — that abort decision
+         is only now being made, so it is forced and recorded here. *)
+      let st = { st with participants; sn } in
+      match decision with
+      | Some true ->
+          let st, effs = start_decision config st Committing in
+          (st, Emit (Recovered { decision }) :: effs)
+      | Some false ->
+          let st, effs = start_decision config st (Aborting Presumed_abort) in
+          (st, Emit (Recovered { decision }) :: effs)
+      | None ->
+          let st, effs = start_decision config st (Aborting Presumed_abort) in
+          ( st,
+            Emit (Recovered { decision })
+            :: Force_log (R_decision { committed = false })
+            :: Record (H_global_abort { gid = st.gid })
+            :: effs ))

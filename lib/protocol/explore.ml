@@ -31,9 +31,24 @@
          smaller-SN subtransaction is prepared at the site (Appendix C);
      I4  at terminal states, a decided gid is locally committed at every
          participant (commit) or at none (abort);
-     plus timer hygiene: an armed alive-check or commit-retry timer
-     always belongs to a live subtransaction (terminal transitions must
-     cancel their timers). *)
+     I5  (termination, checked in coordinator-crash scenarios) at
+         terminal states, no prepared-but-undecided log entry is left
+         without any armed recovery mechanism — neither a decision/
+         PREPARE retransmission at its coordinator nor a decision
+         inquiry at the participant. A violation is a participant
+         blocked forever on an in-doubt subtransaction;
+     plus timer hygiene: an armed alive-check, commit-retry or inquiry
+     timer always belongs to a live subtransaction (terminal transitions
+     must cancel their timers).
+
+   Coordinator crashes ([coord_crashes] budget) model the coordinating
+   site losing its volatile 2PC state. With [termination] on (the
+   default) the crash is atomic with recovery from the modelled
+   coordinator log — the begin/prepared/decision records force-written
+   by the machine — re-driving a logged decision and presuming abort
+   otherwise. With [termination] off the coordinator stays dead (the
+   pre-durability behaviour): its timers die, deliveries to it are
+   discarded, and I5 rediscovers the forever-blocking counterexample. *)
 
 open Hermes_kernel
 module A = Agent_sm
@@ -48,6 +63,8 @@ type budgets = {
   commit_retries : int;  (* commit-certification retry firings *)
   exec_timeouts : int;  (* coordinator command-reply timeouts *)
   retransmits : int;  (* decision/PREPARE retransmission firings *)
+  coord_crashes : int;  (* coordinator-site crash (+recovery) events *)
+  inquiries : int;  (* decision-inquiry timer firings (they re-arm) *)
 }
 
 let no_faults =
@@ -60,6 +77,8 @@ let no_faults =
     commit_retries = 0;
     exec_timeouts = 0;
     retransmits = 0;
+    coord_crashes = 0;
+    inquiries = 0;
   }
 
 type scenario = {
@@ -68,6 +87,9 @@ type scenario = {
   config : Config.t;
   quorum : C.quorum;
   budgets : budgets;
+  termination : bool;
+      (* the coordinator durability + in-doubt termination protocol: off,
+         a crashed coordinator stays dead and I5 finds the blocking *)
   max_states : int;  (* exploration cap; exceeding it sets [truncated] *)
 }
 
@@ -78,6 +100,7 @@ let default =
     config = { Config.full with Config.bind_data = false };
     quorum = C.Dedup;
     budgets = { no_faults with uaborts = 1; commit_retries = 2; alive_fires = 1 };
+    termination = true;
     max_states = 2_000_000;
   }
 
@@ -110,6 +133,14 @@ type entry = {
   e_rolled : bool;
 }
 
+(* One stable Coordinator-log entry (survives coordinator crashes):
+   what {!Hermes_core.Coordinator_log} would hold for the round. *)
+type centry = {
+  c_participants : Site.t list;
+  c_sn : Sn.t option;
+  c_decision : bool option;
+}
+
 (* An asynchronous LTM completion still in flight. *)
 type cb =
   | Cb_exec of { site : int; gid : int; inc : int; purpose : A.purpose }
@@ -122,6 +153,8 @@ type g = {
   clock : int;  (* logical; advances on timers and faults only *)
   sn_seq : int;
   coords : (int * C.state) list;  (* by gid *)
+  clogs : (int * centry) list;  (* stable coordinator-log entries, by gid *)
+  dead : int list;  (* crashed coordinators, never recovered ([termination] off) *)
   agents : (int * A.state) list;  (* by site id *)
   logs : (int * entry list) list;  (* by site id *)
   max_csn : (int * Sn.t) list;  (* per site: biggest committed SN in the log *)
@@ -144,6 +177,7 @@ type action =
   | Fire of tmr
   | Unilateral_abort of { site : int; gid : int }
   | Crash_recover of int
+  | Coord_crash of int  (* by gid; recovery is atomic iff [termination] *)
 
 exception Violation of string
 
@@ -171,9 +205,10 @@ let put_ltxn g s l =
   { g with ltms = upd s (l :: List.filter (fun x -> x.l_gid <> l.l_gid) txns) g.ltms }
 
 (* The [env] snapshot an adapter would sample for a site right now. *)
-let env_of g s =
+let env_of scenario g s =
   {
-    A.now = Time.of_int g.clock;
+    A.inquiry = scenario.termination && scenario.budgets.coord_crashes > 0;
+    now = Time.of_int g.clock;
     views =
       List.map
         (fun l ->
@@ -379,7 +414,22 @@ and coord_eff scenario gid g (eff : C.effect) =
       { g with msgs = { Wire.src = Wire.Coordinator gid; dst; gid = mgid; payload } :: g.msgs }
   | Types.Arm_timer { timer; delay = _ } -> { g with timers = T_coord (gid, timer) :: g.timers }
   | Types.Cancel_timer timer -> { g with timers = remove_one (T_coord (gid, timer)) g.timers }
-  | Types.Force_log _ | Types.Ltm_call _ -> .
+  | Types.Force_log r ->
+      let e =
+        assoc_or gid g.clogs ~default:{ c_participants = []; c_sn = None; c_decision = None }
+      in
+      let e =
+        match r with
+        | C.R_begin { participants } -> { e with c_participants = participants }
+        | C.R_prepared { participants; sn } -> { e with c_participants = participants; c_sn = Some sn }
+        | C.R_decision { committed } -> (
+            (* idempotent, like the real log: the first decision wins *)
+            match e.c_decision with
+            | None -> { e with c_decision = Some committed }
+            | Some _ -> e)
+      in
+      { g with clogs = upd gid e g.clogs }
+  | Types.Ltm_call _ -> .
   | Types.Record _ | Types.Emit _ -> g
   | Types.Invoke_gate ->
       (* The default gate proceeds immediately; the serial number is
@@ -436,6 +486,8 @@ let start_txn scenario g gid =
 
 let deliver scenario g (m : Wire.t) =
   match m.Wire.dst with
+  | Wire.Coordinator gid when List.mem gid g.dead ->
+      g (* the coordinating site is down for good: the delivery is lost *)
   | Wire.Coordinator gid ->
       let src =
         match m.Wire.src with Wire.Agent s -> s | Wire.Coordinator _ -> assert false
@@ -446,7 +498,7 @@ let deliver scenario g (m : Wire.t) =
       feed_agent scenario g s
         (A.Deliver
            {
-             env = env_of g s;
+             env = env_of scenario g s;
              src = m.Wire.src;
              gid = m.Wire.gid;
              payload = m.Wire.payload;
@@ -464,7 +516,7 @@ let run_cb scenario g (c : cb) =
             else (A.Failed "unilaterally aborted", put_ltxn g s l)
         | Some _ | None -> (A.Failed "superseded incarnation", g)
       in
-      feed_agent scenario g s (A.Exec_done { env = env_of g s; gid; inc; purpose; result })
+      feed_agent scenario g s (A.Exec_done { env = env_of scenario g s; gid; inc; purpose; result })
   | Cb_commit { site = s; gid; inc } ->
       let committed, g =
         match find_ltxn g s gid with
@@ -472,12 +524,13 @@ let run_cb scenario g (c : cb) =
             (true, put_ltxn g s { l with l_status = `Committed; l_last = g.clock })
         | Some _ | None -> (false, g)
       in
-      feed_agent scenario g s (A.Commit_done { env = env_of g s; gid; inc; committed })
-  | Cb_uan { site = s; gid; inc } -> feed_agent scenario g s (A.Uan { env = env_of g s; gid; inc })
+      feed_agent scenario g s (A.Commit_done { env = env_of scenario g s; gid; inc; committed })
+  | Cb_uan { site = s; gid; inc } -> feed_agent scenario g s (A.Uan { env = env_of scenario g s; gid; inc })
 
 let charge (b : budgets) = function
   | T_agent (_, A.T_alive _) -> { b with alive_fires = b.alive_fires - 1 }
   | T_agent (_, A.T_commit_retry _) -> { b with commit_retries = b.commit_retries - 1 }
+  | T_agent (_, A.T_inquiry _) -> { b with inquiries = b.inquiries - 1 }
   | T_agent (_, A.T_backoff _) -> b (* one-shot; bounded by the abort budgets *)
   | T_coord (_, C.Exec_timeout) -> { b with exec_timeouts = b.exec_timeouts - 1 }
   | T_coord (_, (C.Retransmit | C.Prepare_retransmit)) ->
@@ -491,11 +544,13 @@ let fire scenario g t =
   let clock = match t with T_agent (_, A.T_alive _) -> g.clock + 1 | _ -> g.clock in
   let g = { g with timers = remove_one t g.timers; clock; b = charge g.b t } in
   match t with
-  | T_agent (s, A.T_alive gid) -> feed_agent scenario g s (A.Alive_fired { env = env_of g s; gid })
+  | T_agent (s, A.T_alive gid) -> feed_agent scenario g s (A.Alive_fired { env = env_of scenario g s; gid })
   | T_agent (s, A.T_commit_retry gid) ->
-      feed_agent scenario g s (A.Retry_fired { env = env_of g s; gid })
+      feed_agent scenario g s (A.Retry_fired { env = env_of scenario g s; gid })
+  | T_agent (s, A.T_inquiry gid) ->
+      feed_agent scenario g s (A.Inquiry_fired { env = env_of scenario g s; gid })
   | T_agent (s, A.T_backoff { gid; inc }) ->
-      feed_agent scenario g s (A.Backoff_fired { env = env_of g s; gid; inc })
+      feed_agent scenario g s (A.Backoff_fired { env = env_of scenario g s; gid; inc })
   | T_coord (gid, C.Exec_timeout) -> feed_coord scenario g gid C.Exec_timeout_fired
   | T_coord (gid, C.Retransmit) -> feed_coord scenario g gid C.Retransmit_fired
   | T_coord (gid, C.Prepare_retransmit) -> feed_coord scenario g gid C.Prepare_retransmit_fired
@@ -545,7 +600,31 @@ let crash_recover scenario g s =
       timers = List.filter (function T_agent (s', _) -> s' <> s | T_coord _ -> true) g.timers;
     }
   in
-  feed_agent scenario g s (A.Recover { env = env_of g s; entries = in_doubt g s })
+  feed_agent scenario g s (A.Recover { env = env_of scenario g s; entries = in_doubt g s })
+
+(* The coordinating site of [gid] crashes: the round's volatile 2PC
+   state is lost, its armed timers die. With [termination] the reboot is
+   atomic — a fresh machine replays the stable coordinator-log entry
+   (re-driving a logged decision, presuming abort otherwise). Without it
+   the coordinator is simply gone, the pre-durability behaviour. *)
+let coord_crash scenario g gid =
+  let g = { g with clock = g.clock + 1; b = { g.b with coord_crashes = g.b.coord_crashes - 1 } } in
+  let g =
+    {
+      g with
+      timers = List.filter (function T_coord (gid', _) -> gid' <> gid | T_agent _ -> true) g.timers;
+    }
+  in
+  if not scenario.termination then { g with dead = gid :: g.dead }
+  else
+    match List.assoc_opt gid g.clogs with
+    | None -> g (* nothing was ever promised anywhere *)
+    | Some e ->
+        let st = List.assoc gid g.coords in
+        let fresh = C.init ~gid ~site:st.C.site ~participants:[] ~steps:[] ~sn:None in
+        let g = { g with coords = upd gid fresh g.coords } in
+        feed_coord scenario g gid
+          (C.Recover { participants = e.c_participants; sn = e.c_sn; decision = e.c_decision })
 
 let apply scenario g = function
   | Start gid -> start_txn scenario g gid
@@ -556,6 +635,7 @@ let apply scenario g = function
   | Fire t -> fire scenario g t
   | Unilateral_abort { site; gid } -> unilateral_abort g site gid
   | Crash_recover s -> crash_recover scenario g s
+  | Coord_crash gid -> coord_crash scenario g gid
 
 let enabled g =
   let distinct l = List.sort_uniq compare l in
@@ -572,6 +652,7 @@ let enabled g =
           match t with
           | T_agent (_, A.T_alive _) -> g.b.alive_fires > 0
           | T_agent (_, A.T_commit_retry _) -> g.b.commit_retries > 0
+          | T_agent (_, A.T_inquiry _) -> g.b.inquiries > 0
           | T_agent (_, A.T_backoff _) -> true
           | T_coord (_, C.Exec_timeout) -> g.b.exec_timeouts > 0
           | T_coord (_, (C.Retransmit | C.Prepare_retransmit)) -> g.b.retransmits > 0
@@ -594,7 +675,17 @@ let enabled g =
   let crashes =
     if g.b.crashes > 0 then List.map (fun (s, _) -> Crash_recover s) g.agents else []
   in
-  starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes
+  let coord_crashes =
+    (* crashing a finished (all-acked) or already-dead coordinator only
+       pads the space: nothing observable changes *)
+    if g.b.coord_crashes > 0 then
+      List.filter_map
+        (fun (gid, (st : C.state)) ->
+          if st.C.finished || List.mem gid g.dead then None else Some (Coord_crash gid))
+        g.coords
+    else []
+  in
+  starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes @ coord_crashes
 
 (* ------------------------------------------------------------------ *)
 (* Invariants checked outside the transition function                   *)
@@ -605,7 +696,7 @@ let enabled g =
 let hygiene_violation g =
   List.find_map
     (function
-      | T_agent (s, (A.T_alive gid | A.T_commit_retry gid)) ->
+      | T_agent (s, (A.T_alive gid | A.T_commit_retry gid | A.T_inquiry gid)) ->
           let ast = List.assoc s g.agents in
           if A.Int_map.mem gid ast.A.subs then None
           else
@@ -614,6 +705,39 @@ let hygiene_violation g =
                  (site_of s) gid)
       | T_agent (_, A.T_backoff _) | T_coord _ -> None)
     g.timers
+
+(* I5, at terminal states of coordinator-crash scenarios: the
+   termination property. A prepared-but-undecided agent-log entry is a
+   participant still in doubt; it is *blocked forever* when no armed
+   mechanism can still resolve it — no decision/PREPARE retransmission
+   timer at its coordinator, no inquiry timer at the participant. (An
+   armed timer whose budget ran out is exempt: real time would fire it,
+   the exploration merely stopped counting.) Gated on the budget so
+   pre-existing scenarios keep their exact semantics. *)
+let in_doubt_violations scenario g =
+  if scenario.budgets.coord_crashes = 0 then []
+  else
+    List.concat_map
+      (fun (s, entries) ->
+        List.filter_map
+          (fun e ->
+            let resolvable =
+              List.exists
+                (function
+                  | T_agent (s', A.T_inquiry gid) -> s' = s && gid = e.e_gid
+                  | T_coord (gid, (C.Retransmit | C.Prepare_retransmit)) -> gid = e.e_gid
+                  | T_agent _ | T_coord _ -> false)
+                g.timers
+            in
+            if e.e_prepared && (not e.e_lcommitted) && (not e.e_rolled) && not resolvable then
+              Some
+                (Fmt.str
+                   "I5: T%d is in doubt at site %a at quiescence with no retransmission or inquiry \
+                    armed — blocked forever"
+                   e.e_gid Site.pp (site_of s))
+            else None)
+          entries)
+      g.logs
 
 (* I4, at terminal states only (in-flight schedules may be half-done). *)
 let terminal_violations g =
@@ -669,6 +793,7 @@ let fingerprint g =
   let canon =
     ( (g.clock, g.sn_seq),
       List.map canon_coord (sorted_assoc g.coords),
+      (sorted_assoc g.clogs, List.sort compare g.dead),
       List.map canon_agent (sorted_assoc g.agents),
       List.map (fun (s, es) -> (s, List.sort compare es)) (sorted_assoc g.logs),
       sorted_assoc g.max_csn,
@@ -686,6 +811,8 @@ let init scenario =
       clock = 0;
       sn_seq = 0;
       coords = [];
+      clogs = [];
+      dead = [];
       agents = List.map (fun s -> (s, A.init ~site:(site_of s))) sites;
       logs = List.map (fun s -> (s, [])) sites;
       max_csn = [];
@@ -739,7 +866,8 @@ let run scenario =
       match enabled g with
       | [] ->
           incr terminals;
-          List.iter (fun m -> record m trail) (terminal_violations g)
+          List.iter (fun m -> record m trail)
+            (terminal_violations g @ in_doubt_violations scenario g)
       | acts ->
           List.iter
             (fun a ->
@@ -791,6 +919,8 @@ let pp_action ppf = function
       Fmt.pf ppf "alive-check timer fires for T%d at %a" gid Site.pp (site_of s)
   | Fire (T_agent (s, A.T_commit_retry gid)) ->
       Fmt.pf ppf "commit-retry timer fires for T%d at %a" gid Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_inquiry gid)) ->
+      Fmt.pf ppf "decision-inquiry timer fires for T%d at %a" gid Site.pp (site_of s)
   | Fire (T_agent (s, A.T_backoff { gid; inc })) ->
       Fmt.pf ppf "resubmission backoff fires for T%d (inc %d) at %a" gid inc Site.pp (site_of s)
   | Fire (T_coord (gid, C.Exec_timeout)) -> Fmt.pf ppf "T%d's command reply times out" gid
@@ -799,6 +929,7 @@ let pp_action ppf = function
   | Unilateral_abort { site; gid } ->
       Fmt.pf ppf "LTM at %a unilaterally aborts T%d" Site.pp (site_of site) gid
   | Crash_recover s -> Fmt.pf ppf "site %a crashes and recovers" Site.pp (site_of s)
+  | Coord_crash gid -> Fmt.pf ppf "T%d's coordinating site crashes" gid
 
 let pp_stats ppf st =
   Fmt.pf ppf "%d states, %d transitions (%d reconverged), %d terminal states, %d violation(s)%s"

@@ -11,7 +11,7 @@
 open Hermes_kernel
 
 (* An empty type, for machines that never use a given effect payload
-   (e.g. the coordinator has no stable log and no LTM). *)
+   (e.g. the coordinator has no LTM). *)
 type never = |
 
 let absurd : never -> 'a = function _ -> .
@@ -21,11 +21,17 @@ type reason =
   | Exec_failed of Site.t * string
   | Refused of Site.t * Wire.refusal
   | Gate_refused of string  (* a baseline scheduler (e.g. CGM) rejected the commit *)
+  | Presumed_abort
+      (* coordinator crash recovery: the stable log holds no decision
+         record (or the logged decision was an abort — the log keeps only
+         the decision bit, not its reason), so 2PC's presumed-abort rule
+         applies *)
 
 let pp_reason ppf = function
   | Exec_failed (s, why) -> Fmt.pf ppf "execution failed at %a: %s" Site.pp s why
   | Refused (s, r) -> Fmt.pf ppf "refused by %a: %a" Site.pp s Wire.pp_refusal r
   | Gate_refused why -> Fmt.pf ppf "commit gate refused: %s" why
+  | Presumed_abort -> Fmt.string ppf "presumed abort after coordinator crash recovery"
 
 type outcome = Committed | Aborted of reason
 

@@ -50,6 +50,10 @@ type setup = {
   reboot_delay : int;
       (* ticks a crashed site stays down before recovery; 0 = the paper's
          instantaneous reboot *)
+  crash_coordinators : bool;
+      (* scheduled crashes also take down the site's coordinators, which
+         reboot from the coordinator log; agents run the in-doubt
+         termination protocol (2PCA only — the CGM baseline ignores it) *)
   obs : Obs.t option;
       (* observability context threaded into every component; end-of-run
          counters are exported into its registry *)
@@ -68,6 +72,7 @@ let default_setup =
     site_override = None;
     crash_schedule = [];
     reboot_delay = 0;
+    crash_coordinators = false;
     obs = None;
   }
 
@@ -100,7 +105,8 @@ let run setup =
     match setup.protocol with
     | Two_pca certifier ->
         let dtm =
-          Dtm.create ~engine ~rng ~trace ~net_config:setup.net ~certifier ?obs:setup.obs ~site_specs ()
+          Dtm.create ~engine ~rng ~trace ~net_config:setup.net ~certifier ?obs:setup.obs
+            ~crash_coordinators:setup.crash_coordinators ~site_specs ()
         in
         (dtm, (fun program ~on_done -> ignore (Dtm.submit dtm program ~on_done)), None)
     | Cgm_baseline config ->
@@ -195,8 +201,10 @@ let run setup =
   (* Scheduled full site crashes. With a non-zero reboot delay, sites will
      be marked down mid-run — coordinators must arm their loss-recovery
      retransmissions from the first transaction on, so declare the network
-     lossy up front. *)
-  if setup.reboot_delay > 0 && setup.crash_schedule <> [] then
+     lossy up front. Coordinator crashes imply the same (a recovered
+     decision may need retransmitting, and the agents' inquiry timers are
+     lossiness-gated), even with instantaneous reboots. *)
+  if (setup.reboot_delay > 0 || setup.crash_coordinators) && setup.crash_schedule <> [] then
     Network.assume_lossy (Dtm.network dtm);
   List.iter
     (fun (at, site_idx) ->

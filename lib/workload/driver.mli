@@ -30,6 +30,13 @@ type setup = {
           counted drops) before recovery runs; [0] is the paper's
           instantaneous reboot. Non-zero with a crash schedule marks the
           network lossy up front, arming PREPARE retransmission. *)
+  crash_coordinators : bool;
+      (** scheduled crashes also take down the coordinators hosted at the
+          site, which reboot from the site's
+          {!Hermes_core.Coordinator_log}; the agents run the in-doubt
+          termination protocol (DECISION-REQ inquiries and in-doubt
+          metrics). 2PCA only — the CGM baseline ignores it. Also marks
+          the network lossy up front when a crash schedule exists. *)
   obs : Hermes_obs.Obs.t option;
       (** observability context threaded into every component; at the end
           of the run the engine/agent/LTM/network/client counters are

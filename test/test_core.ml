@@ -27,13 +27,13 @@ let b = Site.of_int 1
 type world = { engine : Engine.t; dtm : Dtm.t; trace : Trace.t }
 
 let make_world ?(n_sites = 2) ?(certifier = Config.full) ?(site_spec = fun _ -> Dtm.default_site_spec)
-    ?(seed = 42) () =
+    ?(seed = 42) ?(crash_coordinators = false) ?obs () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let trace = Trace.create () in
   let dtm =
     Dtm.create ~engine ~rng ~trace ~net_config:Hermes_net.Network.default_config ~certifier
-      ~site_specs:(Array.init n_sites site_spec) ()
+      ?obs ~crash_coordinators ~site_specs:(Array.init n_sites site_spec) ()
   in
   { engine; dtm; trace }
 
@@ -499,6 +499,22 @@ let test_agent_log_in_doubt () =
     (Hermes_core.Agent_log.max_committed_sn log = Some sn);
   Alcotest.(check bool) "force writes counted" true (Hermes_core.Agent_log.force_writes log >= 6)
 
+let test_agent_log_force_commit_idempotent () =
+  (* A decision replayed after recovery must not pay a second synchronous
+     force or disturb the biggest-committed-SN watermark. *)
+  let log = Hermes_core.Agent_log.create () in
+  let sn = Sn.make ~ts:(Time.of_int 9) ~site:a ~seq:1 in
+  let e = Hermes_core.Agent_log.entry log ~gid:1 ~coordinator:(Hermes_net.Message.Coordinator 1) in
+  Hermes_core.Agent_log.force_prepare log e ~sn;
+  Hermes_core.Agent_log.force_commit log e;
+  let forces = Hermes_core.Agent_log.force_writes log in
+  Hermes_core.Agent_log.force_commit log e;
+  Hermes_core.Agent_log.force_commit log e;
+  Alcotest.(check int) "replayed forces are free" forces (Hermes_core.Agent_log.force_writes log);
+  Alcotest.(check bool) "still committed" true e.Hermes_core.Agent_log.committed;
+  Alcotest.(check bool) "watermark unchanged" true
+    (Hermes_core.Agent_log.max_committed_sn log = Some sn)
+
 let test_agent_log_commands_order () =
   let log = Hermes_core.Agent_log.create () in
   let e = Hermes_core.Agent_log.entry log ~gid:1 ~coordinator:(Hermes_net.Message.Coordinator 1) in
@@ -507,6 +523,137 @@ let test_agent_log_commands_order () =
   Hermes_core.Agent_log.append_command e c1;
   Hermes_core.Agent_log.append_command e c2;
   Alcotest.(check bool) "replay order preserved" true (Hermes_core.Agent_log.commands e = [ c1; c2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator crash & recovery (Coordinator-log durability,           *)
+(* in-doubt termination)                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash site [s] as soon as site [watch]'s agent holds a prepared
+   subtransaction. *)
+let crash_when_site_prepared ?(reboot_delay = 0) w ~watch s =
+  let agent = Dtm.agent w.dtm watch in
+  let fired = ref false in
+  let rec poll () =
+    if (not !fired) && Time.to_int (Engine.now w.engine) < 2_000_000 then
+      if Hermes_core.Agent.n_prepared agent > 0 then begin
+        fired := true;
+        Dtm.crash_site ~reboot_delay w.dtm s
+      end
+      else Engine.schedule_unit w.engine ~delay:100 poll
+  in
+  Engine.schedule_unit w.engine ~delay:100 poll
+
+(* Regression for [Dtm.crash_site] on a coordinating site. Without
+   [crash_coordinators] the hosted coordinator survives its own site's
+   crash (the pre-durability idealization: 2PC state was effectively
+   immortal) and the round completes as if nothing happened to it. *)
+let test_crash_coordinating_site_legacy_immortal () =
+  let w = make_world () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm (Program.make [ update a 0 5; update b 0 (-5) ]) ~on_done:(fun o -> outcome := Some o));
+  (* Site a hosts the coordinator; crash it once b is prepared — with the
+     flag off, the coordinator keeps driving the round from beyond the
+     grave. *)
+  crash_when_site_prepared w ~watch:b a;
+  run_to_completion w;
+  Alcotest.(check bool) "round still completes" true (!outcome <> None);
+  (* The coordinator log was written regardless (begin + prepared), so
+     enabling the flag later has a log to recover from. *)
+  Alcotest.(check bool) "coordinator log populated" true
+    (Hermes_core.Coordinator_log.n_entries (Dtm.coordinator_log w.dtm a) >= 1);
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
+
+(* With [crash_coordinators], the same crash kills the coordinator
+   before it decides: recovery finds no decision record and presumes
+   abort, so the prepared participant is released instead of blocking
+   forever. *)
+let test_crash_coordinating_site_presumes_abort () =
+  let w = make_world ~crash_coordinators:true () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm (Program.make [ update a 0 5; update b 0 (-5) ]) ~on_done:(fun o -> outcome := Some o));
+  (* b's READY is still in flight when the poll fires (votes take >= 300
+     ticks, the poll lags <= 100), so the coordinator cannot have decided
+     yet: this is the in-doubt window. *)
+  crash_when_site_prepared w ~watch:b a;
+  run_to_completion w;
+  (match !outcome with
+  | Some (Coordinator.Aborted Coordinator.Presumed_abort) -> ()
+  | Some o -> Alcotest.failf "expected presumed abort, got %a" Coordinator.pp_outcome o
+  | None -> Alcotest.fail "participant blocked forever");
+  (* Rolled back everywhere: values intact. *)
+  let va = Hermes_store.Database.read (Dtm.database w.dtm a) ~table:"X" ~key:0 in
+  let vb = Hermes_store.Database.read (Dtm.database w.dtm b) ~table:"X" ~key:0 in
+  Alcotest.(check int) "a rolled back" 100 (Hermes_store.Row.value (Option.get va));
+  Alcotest.(check int) "b rolled back" 100 (Hermes_store.Row.value (Option.get vb));
+  (* The log's decision record is the presumed abort. *)
+  (match Hermes_core.Coordinator_log.find (Dtm.coordinator_log w.dtm a) ~gid:1 with
+  | Some e -> Alcotest.(check bool) "decision = abort" true (e.Hermes_core.Coordinator_log.decision = Some false)
+  | None -> Alcotest.fail "no coordinator-log entry");
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
+
+(* The acceptance scenario: the coordinating site crashes right after
+   deciding COMMIT, so the decision reaches only a strict subset of the
+   participants (the coordinator's own site and, during the down window,
+   nobody else in doubt gets an answer). The participants terminate via
+   Coordinator-log recovery plus DECISION-REQ inquiries. *)
+let test_coordinator_crash_after_partial_commit () =
+  let s2 = Site.of_int 2 in
+  let obs = Hermes_obs.Obs.create () in
+  let w = make_world ~n_sites:3 ~crash_coordinators:true ~obs () in
+  load_standard w;
+  let outcome = ref None in
+  ignore
+    (Dtm.submit w.dtm
+       (Program.make [ update a 0 4; update b 0 3; (s2, Command.Update { table = "X"; key = 0; delta = -7 }) ])
+       ~on_done:(fun o -> outcome := Some o));
+  (* First: participant s2 crashes while prepared and stays down 20k
+     ticks — the COMMIT sent to it is a counted drop, leaving it in
+     doubt after recovery. *)
+  crash_when_site_prepared ~reboot_delay:20_000 w ~watch:s2 s2;
+  (* Second: the moment the decision record hits the coordinator log,
+     the coordinating site crashes for 100k ticks — longer than the
+     60k-tick inquiry interval, so s2's recovery provably sends at least
+     one DECISION-REQ into the outage before the reboot answers. *)
+  let clog = Dtm.coordinator_log w.dtm a in
+  let fired = ref false in
+  let rec poll () =
+    if (not !fired) && Time.to_int (Engine.now w.engine) < 2_000_000 then
+      match Hermes_core.Coordinator_log.find clog ~gid:1 with
+      | Some e when e.Hermes_core.Coordinator_log.decision = Some true ->
+          fired := true;
+          Dtm.crash_site ~reboot_delay:100_000 w.dtm a
+      | Some _ | None -> Engine.schedule_unit w.engine ~delay:100 poll
+  in
+  Engine.schedule_unit w.engine ~delay:100 poll;
+  run_to_completion w;
+  (match !outcome with
+  | Some Coordinator.Committed -> ()
+  | Some (Coordinator.Aborted r) -> Alcotest.failf "aborted: %a" Coordinator.pp_reason r
+  | None -> Alcotest.fail "blocked forever");
+  Alcotest.(check bool) "the decision was made before the crash" true !fired;
+  (* Every participant reached committed, exactly once. *)
+  List.iter
+    (fun (site, expect) ->
+      let row = Hermes_store.Database.read (Dtm.database w.dtm site) ~table:"X" ~key:0 in
+      Alcotest.(check int)
+        (Fmt.str "site %a committed" Site.pp site)
+        expect
+        (Hermes_store.Row.value (Option.get row)))
+    [ (a, 104); (b, 103); (s2, 93) ];
+  (* The termination protocol actually ran: s2 recovered in doubt and
+     asked for the outcome. *)
+  let reg = Hermes_obs.Obs.metrics obs in
+  Alcotest.(check bool) "at least one DECISION-REQ sent" true
+    (Hermes_obs.Registry.sum_counter reg "agent.inquiries" >= 1);
+  (* The log kept the decision; nothing is left undecided. *)
+  Alcotest.(check bool) "no undecided coordinator-log entries" true
+    (Hermes_core.Coordinator_log.undecided clog = []);
+  Alcotest.(check bool) "clean" true (Report.ok (Report.analyze (Dtm.history w.dtm)))
 
 (* ------------------------------------------------------------------ *)
 (* Certification behaviour                                             *)
@@ -785,7 +932,18 @@ let () =
             test_commit_while_crashed_noted_durably;
           Alcotest.test_case "fully duplicated network" `Quick test_fully_duplicated_network;
           Alcotest.test_case "agent log: in-doubt set" `Quick test_agent_log_in_doubt;
+          Alcotest.test_case "agent log: force-commit idempotent" `Quick
+            test_agent_log_force_commit_idempotent;
           Alcotest.test_case "agent log: command order" `Quick test_agent_log_commands_order;
+        ] );
+      ( "coordinator-crash",
+        [
+          Alcotest.test_case "legacy: coordinator survives its site" `Quick
+            test_crash_coordinating_site_legacy_immortal;
+          Alcotest.test_case "crash before decision: presumed abort" `Quick
+            test_crash_coordinating_site_presumes_abort;
+          Alcotest.test_case "crash after partial COMMIT: termination" `Quick
+            test_coordinator_crash_after_partial_commit;
         ] );
       ( "certification",
         [

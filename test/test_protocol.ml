@@ -118,8 +118,8 @@ let cmd = Command.Select { table = "X"; keys = [ 0 ] }
 let mk_sn ?(ts = 0) seq = Sn.make ~ts:(Time.of_int ts) ~site:a ~seq
 let v ?(alive = true) ?(last = 0) () = { A.alive; last_op_done = Time.of_int last }
 
-let env ?(now = 0) ?(views = []) ?max_sn () =
-  { A.now = Time.of_int now; views; max_committed_sn = max_sn }
+let env ?(now = 0) ?(views = []) ?max_sn ?(inquiry = false) () =
+  { A.now = Time.of_int now; views; max_committed_sn = max_sn; inquiry }
 
 let no_log =
   { A.known = false; prepared = false; committed = false; locally_committed = false; rolled_back = false }
@@ -296,6 +296,138 @@ let test_commit_unknown_uncommitted_fails () =
       ignore (deliver (A.init ~site:a) ~gid:9 Wire.Commit))
 
 (* ------------------------------------------------------------------ *)
+(* Agent machine: the in-doubt termination protocol                     *)
+(* ------------------------------------------------------------------ *)
+
+let ienv ?(now = 0) ?(views = []) () = env ~now ~views ~inquiry:true ()
+
+(* Prepare with the termination protocol engaged (env.inquiry = true). *)
+let prepared_inquiring ?(gid = 1) st =
+  let st, _ = deliver st ~gid Wire.Begin in
+  let st, _ = deliver st ~gid (Wire.Exec { step = 0; cmd }) in
+  let st, _ =
+    A.step cfg st
+      (A.Exec_done
+         { env = ienv (); gid; inc = 0; purpose = A.Reply 0; result = A.Done (Command.Count 1) })
+  in
+  deliver ~env:(ienv ~views:[ (gid, v ()) ] ()) st ~gid (Wire.Prepare (mk_sn 0))
+
+let test_inquiry_armed_on_prepare () =
+  let _, effs = prepared_inquiring (A.init ~site:a) in
+  Alcotest.(check bool) "votes READY" true (has_send effs Wire.Ready);
+  Alcotest.(check bool) "in-doubt window opened" true
+    (List.exists (function T.Emit (A.Ev_in_doubt { gid = 1 }) -> true | _ -> false) effs);
+  Alcotest.(check bool) "inquiry timer armed" true (has_arm effs (A.T_inquiry 1));
+  (* Without the termination protocol the prepare is identical minus the
+     inquiry timer. *)
+  let _, effs' = prepared ~sn:(mk_sn 0) (A.init ~site:a) in
+  Alcotest.(check bool) "no inquiry timer without env.inquiry" true
+    (not (has_arm effs' (A.T_inquiry 1)))
+
+let test_inquiry_fires_sends_decision_req () =
+  let st, _ = prepared_inquiring (A.init ~site:a) in
+  let st, effs = A.step cfg st (A.Inquiry_fired { env = ienv ~now:60_000 (); gid = 1 }) in
+  Alcotest.(check bool) "asks the coordinator" true (has_send effs Wire.Decision_req);
+  Alcotest.(check bool) "re-arms itself" true (has_arm effs (A.T_inquiry 1));
+  Alcotest.(check bool) "inquiry counted" true
+    (List.exists
+       (function T.Emit (A.Ev_decision_inquiry { gid = 1; inquiries = 1 }) -> true | _ -> false)
+       effs);
+  (* A second firing asks again. *)
+  let _, effs2 = A.step cfg st (A.Inquiry_fired { env = ienv ~now:120_000 (); gid = 1 }) in
+  Alcotest.(check bool) "asks again" true (has_send effs2 Wire.Decision_req)
+
+let test_decision_resp_translates_to_commit () =
+  let st, _ = prepared_inquiring (A.init ~site:a) in
+  let _, effs =
+    deliver ~env:(ienv ~now:7 ~views:[ (1, v ()) ] ()) st ~gid:1 (Wire.Decision_resp { committed = true })
+  in
+  Alcotest.(check bool) "commit record forced" true (has_log effs (A.R_commit { gid = 1 }));
+  Alcotest.(check bool) "local commit driven" true (has_call effs (A.L_commit { gid = 1; inc = 0 }));
+  Alcotest.(check bool) "in-doubt window closed (7 ticks)" true
+    (List.exists
+       (function
+         | T.Emit (A.Ev_decision { gid = 1; committed = true; in_doubt = 7 }) -> true
+         | _ -> false)
+       effs);
+  Alcotest.(check bool) "inquiry timer cancelled" true (has_cancel effs (A.T_inquiry 1))
+
+let test_decision_resp_translates_to_rollback () =
+  let st, _ = prepared_inquiring (A.init ~site:a) in
+  let _, effs =
+    deliver ~env:(ienv ~now:9 ()) st ~gid:1 (Wire.Decision_resp { committed = false })
+  in
+  Alcotest.(check bool) "local abort" true (has_call effs (A.L_abort { gid = 1 }));
+  Alcotest.(check bool) "acks the rollback" true (has_send effs Wire.Rollback_ack);
+  Alcotest.(check bool) "in-doubt window closed" true
+    (List.exists
+       (function T.Emit (A.Ev_decision { gid = 1; committed = false; _ }) -> true | _ -> false)
+       effs)
+
+let test_recovery_replay_commits_once () =
+  (* Crash a prepared-and-decided subtransaction, recover it from the log
+     and let the replay finish: exactly one commit record and one local
+     commit, and a duplicate COMMIT arriving afterwards is a no-op. *)
+  let st, _ = prepared ~sn:(mk_sn 0) (A.init ~site:a) in
+  let st, _ = deliver ~env:(env ~views:[ (1, v ()) ] ()) st ~gid:1 Wire.Commit in
+  let st, _ = A.step cfg st (A.Crash { live = 1 }) in
+  Alcotest.(check int) "volatile state gone" 0 (A.n_prepared st);
+  let entry =
+    {
+      A.r_gid = 1;
+      r_coordinator = coord;
+      r_inc = 0;
+      r_sn = Some (mk_sn 0);
+      r_commands = [ cmd ];
+      r_committed = true;
+    }
+  in
+  let st, effs = A.step cfg st (A.Recover { env = env ~now:10 (); entries = [ entry ] }) in
+  Alcotest.(check bool) "recovered event" true
+    (List.exists
+       (function T.Emit (A.Ev_recovered { gid = 1; committed = true }) -> true | _ -> false)
+       effs);
+  Alcotest.(check bool) "decided entry is not re-announced in doubt" true
+    (not (List.exists (function T.Emit (A.Ev_in_doubt _) -> true | _ -> false) effs));
+  Alcotest.(check bool) "replays the logged command" true
+    (has_call effs (A.L_exec { gid = 1; inc = 1; purpose = A.Feed; cmd }));
+  (* Replay completes: the commit is redone exactly once. *)
+  let st, effs =
+    A.step cfg st
+      (A.Exec_done
+         { env = env ~now:11 ~views:[ (1, v ()) ] (); gid = 1; inc = 1; purpose = A.Feed;
+           result = A.Done (Command.Count 1) })
+  in
+  Alcotest.(check bool) "commit record re-forced" true (has_log effs (A.R_commit { gid = 1 }));
+  Alcotest.(check bool) "local commit redone" true (has_call effs (A.L_commit { gid = 1; inc = 1 }));
+  (* A duplicate COMMIT while the redo is in flight changes nothing. *)
+  let _, effs_dup = deliver ~env:(env ~now:12 ~views:[ (1, v ()) ] ()) st ~gid:1 Wire.Commit in
+  Alcotest.(check bool) "duplicate COMMIT is a no-op" true (effs_dup = [])
+
+let test_recovery_undecided_rearms_inquiry () =
+  (* An undecided recovered entry reopens its in-doubt window and, with
+     the termination protocol engaged, restarts the inquiry timer. *)
+  let entry =
+    {
+      A.r_gid = 4;
+      r_coordinator = Wire.Coordinator 4;
+      r_inc = 2;
+      r_sn = Some (mk_sn 1);
+      r_commands = [ cmd ];
+      r_committed = false;
+    }
+  in
+  let st = A.init ~site:a in
+  let _, effs = A.step cfg st (A.Recover { env = ienv ~now:50 (); entries = [ entry ] }) in
+  Alcotest.(check bool) "back in doubt" true
+    (List.exists (function T.Emit (A.Ev_in_doubt { gid = 4 }) -> true | _ -> false) effs);
+  Alcotest.(check bool) "inquiry timer restarted" true (has_arm effs (A.T_inquiry 4));
+  (* Without the termination protocol: in doubt, but no inquiry timer. *)
+  let _, effs' = A.step cfg st (A.Recover { env = env ~now:50 (); entries = [ entry ] }) in
+  Alcotest.(check bool) "no inquiry timer without env.inquiry" true
+    (not (has_arm effs' (A.T_inquiry 4)))
+
+(* ------------------------------------------------------------------ *)
 (* Coordinator machine: 2PC decision rules                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,6 +516,96 @@ let test_coordinator_exec_timeout_aborts () =
        effs)
 
 (* ------------------------------------------------------------------ *)
+(* Coordinator machine: durability and crash recovery                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_coordinator_force_log_records () =
+  (* The two force points of the symmetric coordinator log: the
+     participant set at PREPARE-send, the decision at decide time (the
+     begin record rides along at Start). *)
+  let _, effs = cstep (coord_init ()) Csm.Start in
+  Alcotest.(check bool) "begin record forced at Start" true
+    (List.exists
+       (function T.Force_log (Csm.R_begin { participants = [ x; y ] }) -> x = a && y = b | _ -> false)
+       effs);
+  let st, _ = cstep (coord_init ()) Csm.Start in
+  let st, _ =
+    cstep st (Csm.From_agent { src = a; payload = Wire.Exec_ok { step = 0; result = Command.Count 1 } })
+  in
+  let st, _ =
+    cstep st (Csm.From_agent { src = b; payload = Wire.Exec_ok { step = 0; result = Command.Count 1 } })
+  in
+  let st, effs = cstep st (Csm.Gate_opened { sn = Some (mk_sn 0); lossy = false }) in
+  Alcotest.(check bool) "prepared record forced before the PREPAREs" true
+    (List.exists
+       (function T.Force_log (Csm.R_prepared { sn; _ }) -> Sn.equal sn (mk_sn 0) | _ -> false)
+       effs);
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  let _, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Ready }) in
+  Alcotest.(check bool) "decision record forced with the COMMITs" true
+    (List.exists (function T.Force_log (Csm.R_decision { committed = true }) -> true | _ -> false) effs)
+
+let test_coordinator_crash_then_recover_redrives_commit () =
+  (* Crash after the COMMIT decision: recovery from the logged decision
+     re-broadcasts COMMIT until both participants acknowledge. *)
+  let st = preparing () in
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  let st, _ = cstep st (Csm.From_agent { src = b; payload = Wire.Ready }) in
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Commit_ack }) in
+  let st, crash_effs = cstep st Csm.Crash in
+  Alcotest.(check bool) "crash silences the retransmit timer" true
+    (has_cancel crash_effs Csm.Retransmit);
+  let st, effs =
+    cstep st (Csm.Recover { participants = [ a; b ]; sn = Some (mk_sn 0); decision = Some true })
+  in
+  Alcotest.(check bool) "recovered with the commit decision" true
+    (List.exists (function T.Emit (Csm.Recovered { decision = Some true }) -> true | _ -> false) effs);
+  Alcotest.(check int) "COMMIT re-driven to every participant" 2
+    (List.length (List.filter (fun (_, p) -> p = Wire.Commit) (csends effs)));
+  Alcotest.(check bool) "retransmission armed" true (has_arm effs Csm.Retransmit);
+  (* Fresh acks (the pre-crash ack set is volatile and lost) finish it. *)
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Commit_ack }) in
+  let _, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Commit_ack }) in
+  Alcotest.(check bool) "decides Committed" true (List.mem (T.Decide T.Committed) effs)
+
+let test_coordinator_recover_presumes_abort () =
+  (* Crash between PREPARE and the decision: no decision record, so
+     recovery presumes abort and tells the in-doubt participants. *)
+  let st = preparing () in
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  let st, _ = cstep st Csm.Crash in
+  let st, effs =
+    cstep st (Csm.Recover { participants = [ a; b ]; sn = Some (mk_sn 0); decision = None })
+  in
+  Alcotest.(check bool) "presumed-abort decision forced" true
+    (List.exists (function T.Force_log (Csm.R_decision { committed = false }) -> true | _ -> false) effs);
+  Alcotest.(check int) "ROLLBACK to every participant" 2
+    (List.length (List.filter (fun (_, p) -> p = Wire.Rollback) (csends effs)));
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Rollback_ack }) in
+  let _, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Rollback_ack }) in
+  Alcotest.(check bool) "decides Aborted(Presumed_abort)" true
+    (List.mem (T.Decide (T.Aborted T.Presumed_abort)) effs)
+
+let test_coordinator_answers_decision_req () =
+  (* The termination protocol's server side: once decided, DECISION-REQ
+     gets the decision; while still undecided it is silently absorbed
+     (the asker's timer re-fires). *)
+  let st = preparing () in
+  let _, effs = cstep st (Csm.From_agent { src = a; payload = Wire.Decision_req }) in
+  Alcotest.(check bool) "undecided: no answer yet" true (csends effs = []);
+  let st, _ = cstep st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  let st, _ = cstep st (Csm.From_agent { src = b; payload = Wire.Ready }) in
+  let _, effs = cstep st (Csm.From_agent { src = b; payload = Wire.Decision_req }) in
+  Alcotest.(check bool) "committed answer to the asker" true
+    (List.mem (Wire.Agent b, Wire.Decision_resp { committed = true }) (csends effs));
+  Alcotest.(check bool) "inquiry answered event" true
+    (List.exists
+       (function
+         | T.Emit (Csm.Answering_inquiry { asker; committed = true }) -> Site.equal asker b
+         | _ -> false)
+       effs)
+
+(* ------------------------------------------------------------------ *)
 (* The bounded model checker                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -464,6 +686,33 @@ let test_explore_dedup_quorum_clean () =
   (* The fix (per-site vote dedup) survives the same adversary. *)
   check_clean "2x1 dup votes" (Explore.run (fake_quorum_scenario Csm.Dedup))
 
+let coord_crash_scenario ~termination =
+  {
+    Explore.default with
+    Explore.n_txns = 1;
+    termination;
+    budgets =
+      { Explore.no_faults with Explore.coord_crashes = 1; inquiries = 1; retransmits = 1 };
+  }
+
+let test_explore_coord_crash_clean () =
+  (* A coordinator crash anywhere in the schedule, with log-based
+     recovery and the termination protocol: exhaustive and clean (every
+     terminal state resolves its in-doubt entries). *)
+  let st = Explore.run (coord_crash_scenario ~termination:true) in
+  check_clean "2x1 coordinator crash" st
+
+let test_explore_no_termination_blocks_forever () =
+  (* Ablation: the coordinator stays dead and nobody asks — the I5
+     liveness invariant must find a terminal state with a forever-blocked
+     in-doubt participant. *)
+  let st = Explore.run (coord_crash_scenario ~termination:false) in
+  Alcotest.(check bool) "violations found" true (st.Explore.n_violations > 0);
+  Alcotest.(check bool) "an I5 counterexample is reported" true
+    (List.exists
+       (fun (msg, _) -> String.length msg >= 2 && String.sub msg 0 2 = "I5")
+       st.Explore.violations)
+
 (* ------------------------------------------------------------------ *)
 (* Timer hygiene: a quiesced run leaves no live engine timers           *)
 (* ------------------------------------------------------------------ *)
@@ -541,6 +790,18 @@ let () =
           Alcotest.test_case "COMMIT for unknown gid trips the machine" `Quick
             test_commit_unknown_uncommitted_fails;
         ] );
+      ( "agent-termination",
+        [
+          Alcotest.test_case "prepare arms the inquiry timer" `Quick test_inquiry_armed_on_prepare;
+          Alcotest.test_case "inquiry sends DECISION-REQ and re-arms" `Quick
+            test_inquiry_fires_sends_decision_req;
+          Alcotest.test_case "DECISION-RESP commit" `Quick test_decision_resp_translates_to_commit;
+          Alcotest.test_case "DECISION-RESP rollback" `Quick test_decision_resp_translates_to_rollback;
+          Alcotest.test_case "recovery replay commits exactly once" `Quick
+            test_recovery_replay_commits_once;
+          Alcotest.test_case "undecided recovery re-arms the inquiry" `Quick
+            test_recovery_undecided_rearms_inquiry;
+        ] );
       ( "coordinator",
         [
           Alcotest.test_case "start broadcasts and executes" `Quick test_coordinator_happy_path;
@@ -551,6 +812,17 @@ let () =
           Alcotest.test_case "refusal aborts" `Quick test_coordinator_refusal_aborts;
           Alcotest.test_case "exec timeout aborts" `Quick test_coordinator_exec_timeout_aborts;
         ] );
+      ( "coordinator-recovery",
+        [
+          Alcotest.test_case "force-log records at begin/prepared/decide" `Quick
+            test_coordinator_force_log_records;
+          Alcotest.test_case "recovery re-drives a logged COMMIT" `Quick
+            test_coordinator_crash_then_recover_redrives_commit;
+          Alcotest.test_case "no decision record: presumed abort" `Quick
+            test_coordinator_recover_presumes_abort;
+          Alcotest.test_case "DECISION-REQ answered once decided" `Quick
+            test_coordinator_answers_decision_req;
+        ] );
       ( "explore",
         [
           Alcotest.test_case "2x2 reorderings exhaust clean" `Slow test_explore_reorderings_clean;
@@ -559,6 +831,10 @@ let () =
           Alcotest.test_case "fake quorum rediscovered under Counted" `Quick test_explore_finds_fake_quorum;
           Alcotest.test_case "dedup quorum survives the same adversary" `Quick
             test_explore_dedup_quorum_clean;
+          Alcotest.test_case "coordinator crash + termination exhausts clean" `Slow
+            test_explore_coord_crash_clean;
+          Alcotest.test_case "ablated termination blocks forever (I5)" `Slow
+            test_explore_no_termination_blocks_forever;
         ] );
       ( "timer-hygiene",
         [
