@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   Part 1 regenerates every experiment table (E1..E14) — the paper has no
+   Part 1 regenerates every experiment table (E1..E15) — the paper has no
    quantitative tables of its own, so these operationalize its qualitative
    claims; the mapping is documented in DESIGN.md §3 and EXPERIMENTS.md.
    The whole sweep runs with a shared metrics registry, summarized after
@@ -316,6 +316,6 @@ let () =
   in
   let term = Term.(const bench $ quick $ jobs $ json) in
   let info =
-    Cmd.info "bench" ~doc:"Regenerate the experiment tables (E1..E14) and run the microbenchmarks (M1..M13)."
+    Cmd.info "bench" ~doc:"Regenerate the experiment tables (E1..E15) and run the microbenchmarks (M1..M13)."
   in
   exit (Cmd.eval (Cmd.v info term))

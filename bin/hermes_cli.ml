@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E14)
+     hermes experiments -- print the experiment tables (E1..E15)
 
    All simulations are deterministic in the seed. *)
 
@@ -149,7 +149,28 @@ let run_cmd =
              from the coordinator log and participants run the in-doubt termination protocol.")
   in
   let drift = Arg.(value & opt int 0 & info [ "drift" ] ~doc:"Site clock drift: site i gets +/-DRIFT ticks.") in
-  let theta = Arg.(value & opt float 0.6 & info [ "theta" ] ~doc:"Zipf skew of key accesses.") in
+  let theta =
+    Arg.(value & opt float 0.6 & info [ "theta"; "zipf" ] ~docv:"THETA" ~doc:"Zipf skew of key accesses.")
+  in
+  let open_loop =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ] ~docv:"RATE"
+          ~doc:
+            "Open-loop arrivals: Poisson at $(docv) global transactions per simulated second. \
+             $(b,--mpl) becomes the in-service cap (arrivals beyond it queue) and latency is \
+             measured from arrival. Without this flag the workload is the classic closed loop.")
+  in
+  let group_commit =
+    Arg.(
+      value
+      & flag
+      & info [ "group-commit" ]
+          ~doc:
+            "Group commit: agents and coordinators stage their forced log records and pay one \
+             synchronous force per batch (1000-tick flush window, 8-record batches).")
+  in
   let cgm =
     Arg.(
       value
@@ -164,7 +185,17 @@ let run_cmd =
       & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
   in
   let run () certifier cgm sites globals mpl failure_p jitter drop dup crashes reboot_delay
-      crash_coordinator drift theta seed verbose dump metrics_out trace_out metrics_summary =
+      crash_coordinator drift theta open_loop group_commit seed verbose dump metrics_out trace_out
+      metrics_summary =
+    let certifier =
+      if group_commit then
+        {
+          certifier with
+          Config.group_commit_window = Config.grouped.Config.group_commit_window;
+          max_batch = Config.grouped.Config.max_batch;
+        }
+      else certifier
+    in
     let protocol =
       match cgm with
       | Some granularity -> Driver.Cgm_baseline { Cgm.default_config with Cgm.granularity }
@@ -183,7 +214,14 @@ let run_cmd =
         clock_of_site =
           (fun i -> Hermes_kernel.Clock.make ~offset:(if i mod 2 = 0 then drift else -drift) ());
         seed;
-        spec = { Spec.default with Spec.n_sites = sites; n_global = globals; global_mpl = mpl; zipf_theta = theta };
+        spec =
+          (match open_loop with
+          | Some rate ->
+              Spec.make ~n_sites:sites ~n_global:globals
+                ~arrival:(Spec.Open { rate; max_in_flight = mpl })
+                ~key_dist:(Spec.Zipf { theta }) ()
+          | None ->
+              { Spec.default with Spec.n_sites = sites; n_global = globals; global_mpl = mpl; zipf_theta = theta });
         crash_schedule;
         reboot_delay;
         crash_coordinators = crash_coordinator;
@@ -197,15 +235,22 @@ let run_cmd =
       (Stats.aborted_final s) (Stats.retries s) r.Driver.stuck;
     Fmt.pr "local txns: %d committed, %d aborted@." (Stats.local_committed s) (Stats.local_aborted s);
     let lat = Stats.latency_summary s in
-    Fmt.pr "latency: mean %.1fms, p50 %.1fms, p95 %.1fms@." (lat.Stats.mean /. 1000.0)
+    Fmt.pr "latency: mean %.1fms, p50 %.1fms, p95 %.1fms, p99 %.1fms@." (lat.Stats.mean /. 1000.0)
       (float_of_int lat.Stats.p50 /. 1000.0)
-      (float_of_int lat.Stats.p95 /. 1000.0);
+      (float_of_int lat.Stats.p95 /. 1000.0)
+      (float_of_int lat.Stats.p99 /. 1000.0);
     Fmt.pr "throughput: %.1f commits/s over %.1fms simulated@." r.Driver.throughput
       (float_of_int r.Driver.sim_ticks /. 1000.0);
     let t = r.Driver.totals in
     Fmt.pr "certifier: %d prepared, refusals ext/interval/dead %d/%d/%d, %d resubmissions, %d commit retries, %d DLU denials@."
       t.Dtm.prepared t.Dtm.refused_extension t.Dtm.refused_interval t.Dtm.refused_dead t.Dtm.resubmissions
       t.Dtm.commit_retries t.Dtm.dlu_denials;
+    if Config.group_commit certifier then
+      Fmt.pr "group commit: %d log forces (%d agent, %d coord), %d coord flushes, avg coord batch %.1f@."
+        (t.Dtm.agent_log_forces + t.Dtm.coord_log_forces)
+        t.Dtm.agent_log_forces t.Dtm.coord_log_forces t.Dtm.gc_flushes
+        (if t.Dtm.gc_flushes = 0 then 0.0
+         else float_of_int t.Dtm.gc_staged /. float_of_int t.Dtm.gc_flushes);
     (match r.Driver.cgm with
     | Some c ->
         Fmt.pr "CGM: %d gate delays, %d gate aborts, %d global-lock timeouts@." c.Cgm.gate_delays
@@ -224,8 +269,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drop
-      $ dup $ crashes $ reboot_delay $ crash_coordinator $ drift $ theta $ seed_arg $ verbose $ dump
-      $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
+      $ dup $ crashes $ reboot_delay $ crash_coordinator $ drift $ theta $ open_loop $ group_commit
+      $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -329,11 +374,11 @@ let experiments_cmd =
       & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
   let only =
-    let names = List.init 14 (fun i -> Fmt.str "e%d" (i + 1)) in
+    let names = List.init 15 (fun i -> Fmt.str "e%d" (i + 1)) in
     Arg.(
       value
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
-      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e12)).")
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e15)).")
   in
   let jobs =
     Arg.(
@@ -358,7 +403,7 @@ let experiments_cmd =
     0
   in
   let term = Term.(const run $ setup_logs $ quick $ seeds $ only $ jobs $ metrics_out_arg $ metrics_summary_arg) in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E14).") term
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E15).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes explore                                                      *)

@@ -72,6 +72,7 @@ type t = {
   alive_timers : (int, Engine.timer) Hashtbl.t;
   retry_timers : (int, Engine.timer) Hashtbl.t;
   inquiry_timers : (int, Engine.timer) Hashtbl.t;
+  mutable flush_timer : Engine.timer option;  (* group commit: the batch window *)
   stats : stats;
   obs : Obs.t option;
   commit_delay : Histogram.t option;  (* resolved once: decision-to-local-commit ticks *)
@@ -99,6 +100,7 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ~config ()
     alive_timers = Hashtbl.create 32;
     retry_timers = Hashtbl.create 32;
     inquiry_timers = Hashtbl.create 32;
+    flush_timer = None;
     stats =
       {
         prepared = 0;
@@ -127,6 +129,7 @@ let stats t = t.stats
 let alive_table t = t.machine.Agent_sm.table
 let agent_log t = t.log
 let n_prepared t = Agent_sm.n_prepared t.machine
+let flush_pending t = Agent_sm.flush_pending t.machine
 let now t = Engine.now t.engine
 
 let txn_exn t gid =
@@ -285,6 +288,21 @@ and interpret t (eff : Agent_sm.effect) =
   | Types.Arm_timer { timer; delay } -> arm t timer ~delay
   | Types.Cancel_timer timer -> cancel t timer
   | Types.Force_log r -> log_write t r
+  | Types.Force_batch rs ->
+      (* group commit: every record of the batch lands in the log, but
+         only one synchronous force is paid for all of them *)
+      List.iter
+        (fun (r : Agent_sm.record) ->
+          match r with
+          | R_prepare { gid; sn } -> Agent_log.stage_prepare (entry_exn t gid) ~sn
+          | R_commit { gid } -> Agent_log.stage_commit t.log (entry_exn t gid)
+          | r -> log_write t r)
+        rs;
+      Agent_log.batch_forced t.log
+  | Types.Stage_log _ ->
+      (* the agent machine batches internally and emits [Force_batch];
+         [Stage_log] is the coordinator machine's vocabulary *)
+      assert false
   | Types.Ltm_call c -> ltm_call t c
   | Types.Record h -> record_history t h
   | Types.Emit ev -> emit_event t ev
@@ -311,6 +329,12 @@ and arm t (timer : Agent_sm.timer) ~delay =
       Hashtbl.replace t.inquiry_timers gid
         (Engine.schedule t.engine ~delay (fun () ->
              feed t (Agent_sm.Inquiry_fired { env = env t; gid })))
+  | T_flush ->
+      t.flush_timer <-
+        Some
+          (Engine.schedule t.engine ~delay (fun () ->
+               t.flush_timer <- None;
+               feed t (Agent_sm.Flush_fired { env = env t })))
 
 and cancel t (timer : Agent_sm.timer) =
   let stop timers gid =
@@ -325,6 +349,12 @@ and cancel t (timer : Agent_sm.timer) =
   | T_commit_retry gid -> stop t.retry_timers gid
   | T_backoff _ -> ()
   | T_inquiry gid -> stop t.inquiry_timers gid
+  | T_flush -> (
+      match t.flush_timer with
+      | Some tm ->
+          Engine.cancel tm;
+          t.flush_timer <- None
+      | None -> ())
 
 and ltm_call t (c : Agent_sm.call) =
   match c with
@@ -347,6 +377,11 @@ and ltm_call t (c : Agent_sm.call) =
   | L_abort_all_live ->
       List.iter (fun txn -> ignore (Ltm.unilateral_abort t.ltm txn)) (Ltm.live_txns t.ltm)
   | L_hold_open { gid } -> Ltm.mark_held_open t.ltm (txn_exn t gid) true
+  | L_hold_open_batch { gids } ->
+      (* one (simulated) lock-manager round-trip for the whole vector *)
+      List.iter (fun gid -> Ltm.mark_held_open t.ltm (txn_exn t gid) true) gids
+  | L_commit_batch { txns } ->
+      List.iter (fun (gid, inc) -> ltm_call t (Agent_sm.L_commit { gid; inc })) txns
   | L_watch_uan { gid; inc } ->
       Ltm.set_uan (txn_exn t gid) (fun () -> feed t (Agent_sm.Uan { env = env t; gid; inc }))
   | L_bind { gid } ->

@@ -56,6 +56,10 @@ val alive_table : t -> Alive_table.t
 val agent_log : t -> Agent_log.t
 val n_prepared : t -> int
 
+val flush_pending : t -> bool
+(** Group commit: whether the machine holds staged-but-unforced records
+    or buffered PREPAREs — a quiesced run must report [false]. *)
+
 val crash : t -> unit
 (** A site crash: every live transaction at the LTM is collectively
     aborted (paper §1's "collective abort") and all volatile agent state

@@ -87,6 +87,25 @@ let force_commit t e =
     | None -> ()
   end
 
+(* Group commit: the same two records, written *without* their own
+   force — the caller stages a whole batch and pays one [batch_forced]
+   for all of it. *)
+let stage_prepare e ~sn =
+  e.sn <- Some sn;
+  e.prepared <- true
+
+let stage_commit t e =
+  if not e.committed then begin
+    e.committed <- true;
+    match e.sn with
+    | Some sn ->
+        t.max_committed_sn <-
+          Some (match t.max_committed_sn with Some m when Sn.(m > sn) -> m | _ -> sn)
+    | None -> ()
+  end
+
+let batch_forced t = t.force_writes <- t.force_writes + 1
+
 let note_rollback e = e.rolled_back <- true
 
 let max_committed_sn t = t.max_committed_sn

@@ -34,6 +34,17 @@ val force_commit : t -> entry -> unit
 (** Idempotent: re-forcing an already-committed entry (a decision
     replayed after recovery) pays no additional force write. *)
 
+val stage_prepare : entry -> sn:Sn.t -> unit
+
+val stage_commit : t -> entry -> unit
+(** {!force_prepare} / {!force_commit} without their own force write:
+    group commit stages a whole batch of records and pays a single
+    {!batch_forced} for all of it.  [stage_commit] is idempotent like
+    {!force_commit} and advances the biggest committed serial number. *)
+
+val batch_forced : t -> unit
+(** Account the one synchronous force of a staged batch. *)
+
 val note_rollback : entry -> unit
 val max_committed_sn : t -> Sn.t option
 val force_writes : t -> int

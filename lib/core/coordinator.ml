@@ -60,6 +60,10 @@ type t = {
   obs : Obs.t option;
   on_done : outcome -> unit;
   log : Coordinator_log.t option;  (* the coordinating site's stable log *)
+  batcher : Group_commit.t option;  (* the coordinating site's group-commit batcher *)
+  mutable epoch : int;
+      (* bumped by [crash]: staged-but-unforced writes and withheld
+         effects of an older epoch are void — the crash lost them *)
   mutable machine : Sm.state;
   mutable exec_timer : Engine.timer option;
   mutable retransmit_timer : Engine.timer option;  (* decision or PREPARE retransmission *)
@@ -141,7 +145,51 @@ let decide t outcome =
 let rec feed t input =
   let machine, effects = Sm.step t.config t.machine input in
   t.machine <- machine;
-  List.iter (interpret t) effects
+  run_effects t effects
+
+(* Walk a step's effects in order. [Stage_log] parks the record and the
+   *rest of the step* at the site's batcher — both run only when the
+   batch force-writes, and only if this coordinator has not crashed in
+   between (the epoch guard): staged-but-unforced state is volatile. *)
+and run_effects t = function
+  | [] -> ()
+  | (Types.Stage_log r : Sm.effect) :: rest -> (
+      match t.batcher with
+      | None ->
+          (* no site batcher wired (direct [start] in tests): degenerate
+             to an immediate force *)
+          log_force t r;
+          run_effects t rest
+      | Some b ->
+          let epoch = t.epoch in
+          Group_commit.stage b
+            {
+              Group_commit.write = (fun () -> if t.epoch = epoch then log_stage t r);
+              release = (fun () -> if t.epoch = epoch then run_effects t rest);
+            })
+  | eff :: rest ->
+      interpret t eff;
+      run_effects t rest
+
+and log_force t (r : Sm.record) =
+  match t.log with
+  | Some log -> (
+      match r with
+      | Sm.R_begin { participants } -> Coordinator_log.force_begin log ~gid:t.gid ~participants
+      | Sm.R_prepared { participants; sn } ->
+          Coordinator_log.force_prepared log ~gid:t.gid ~participants ~sn
+      | Sm.R_decision { committed } -> Coordinator_log.force_decision log ~gid:t.gid ~committed)
+  | None -> () (* log-less coordinators (direct [start] in tests) stay volatile *)
+
+and log_stage t (r : Sm.record) =
+  match t.log with
+  | Some log -> (
+      match r with
+      | Sm.R_begin { participants } -> Coordinator_log.stage_begin log ~gid:t.gid ~participants
+      | Sm.R_prepared { participants; sn } ->
+          Coordinator_log.stage_prepared log ~gid:t.gid ~participants ~sn
+      | Sm.R_decision { committed } -> Coordinator_log.stage_decision log ~gid:t.gid ~committed)
+  | None -> ()
 
 and interpret t (eff : Sm.effect) =
   match eff with
@@ -155,15 +203,9 @@ and interpret t (eff : Sm.effect) =
       | Sm.Retransmit | Sm.Prepare_retransmit ->
           cancel_timer t.retransmit_timer;
           t.retransmit_timer <- None)
-  | Types.Force_log r -> (
-      match t.log with
-      | Some log -> (
-          match r with
-          | Sm.R_begin { participants } -> Coordinator_log.force_begin log ~gid:t.gid ~participants
-          | Sm.R_prepared { participants; sn } ->
-              Coordinator_log.force_prepared log ~gid:t.gid ~participants ~sn
-          | Sm.R_decision { committed } -> Coordinator_log.force_decision log ~gid:t.gid ~committed)
-      | None -> () (* log-less coordinators (direct [start] in tests) stay volatile *))
+  | Types.Force_log r -> log_force t r
+  | Types.Stage_log _ -> assert false (* consumed by [run_effects] *)
+  | Types.Force_batch _ -> assert false (* agent-machine vocabulary *)
   | Types.Ltm_call _ -> . (* no LTM: the payload is empty *)
   | Types.Record h -> record_history t h
   | Types.Emit ev -> emit_event t ev
@@ -198,8 +240,8 @@ let handle t (msg : Message.t) =
   in
   feed t (Sm.From_agent { src; payload = msg.Message.payload })
 
-let start ?(gate = open_gate) ?obs ?log ~gid ~site ~engine ~net ~trace ~config ~sn_gen ~program
-    ~on_done () =
+let start ?(gate = open_gate) ?obs ?log ?batcher ~gid ~site ~engine ~net ~trace ~config ~sn_gen
+    ~program ~on_done () =
   let sm_config = Sm.config config in
   let sn = if config.Config.sn_at_begin then Some (sn_gen ()) else None in
   let t =
@@ -215,6 +257,8 @@ let start ?(gate = open_gate) ?obs ?log ~gid ~site ~engine ~net ~trace ~config ~
       obs;
       on_done;
       log;
+      batcher;
+      epoch = 0;
       machine =
         Sm.init ~gid ~site ~participants:(Program.sites program) ~steps:(Program.steps program) ~sn;
       exec_timer = None;
@@ -232,7 +276,12 @@ let start ?(gate = open_gate) ?obs ?log ~gid ~site ~engine ~net ~trace ~config ~
    replaced at [recover]). The network handler stays registered — the
    address is marked down by [Dtm], so deliveries during the outage are
    counted drops, exactly like a crashed agent's. *)
-let crash t = feed t Sm.Crash
+let crash t =
+  (* Void this round's staged-but-unforced batcher items (write and
+     release closures of the old epoch become no-ops): the crash loses
+     exactly the records that were never forced. *)
+  t.epoch <- t.epoch + 1;
+  feed t Sm.Crash
 
 (* Reboot: rebuild the machine from the site's coordinator log. A
    finished round needs nothing (every participant acknowledged — and

@@ -33,6 +33,7 @@ val start :
   ?gate:gate ->
   ?obs:Hermes_obs.Obs.t ->
   ?log:Coordinator_log.t ->
+  ?batcher:Group_commit.t ->
   gid:int ->
   site:Site.t ->
   engine:Hermes_sim.Engine.t ->
@@ -48,7 +49,10 @@ val start :
     starts executing; [on_done] fires after all COMMIT-ACKs or
     ROLLBACK-ACKs. With [log], the machine's force-written records
     (participant set, decision) go to that stable log, making the round
-    recoverable across {!crash}/{!recover}. *)
+    recoverable across {!crash}/{!recover}. With [batcher] (group
+    commit), staged records join the site's shared batch and the rest of
+    the staging step is withheld until the batch force-writes; a crash
+    in between voids both. *)
 
 val crash : t -> unit
 (** The coordinating site crashed: volatile 2PC state is lost and the

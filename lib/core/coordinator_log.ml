@@ -64,6 +64,24 @@ let force_decision t ~gid ~committed =
   (match e.decision with None -> e.decision <- Some committed | Some _ -> ());
   t.force_writes <- t.force_writes + 1
 
+(* Group commit: the same three records, written *without* their own
+   force — the site's batcher pays one [force_tick] per flushed batch. *)
+let stage_begin t ~gid ~participants =
+  let e = entry t ~gid in
+  e.participants <- participants
+
+let stage_prepared t ~gid ~participants ~sn =
+  let e = entry t ~gid in
+  e.participants <- participants;
+  e.sn <- Some sn;
+  e.prepared <- true
+
+let stage_decision t ~gid ~committed =
+  let e = entry t ~gid in
+  match e.decision with None -> e.decision <- Some committed | Some _ -> ()
+
+let force_tick t = t.force_writes <- t.force_writes + 1
+
 let entries t = List.rev_map (fun gid -> Hashtbl.find t.entries gid) t.order
 
 (* What recovery must presume aborted: rounds that started (or even

@@ -26,6 +26,17 @@ val force_decision : t -> gid:int -> committed:bool -> unit
 (** Idempotent on the decision bit: once forced, a decision never
     changes (later forces still count as force writes). *)
 
+val stage_begin : t -> gid:int -> participants:Site.t list -> unit
+val stage_prepared : t -> gid:int -> participants:Site.t list -> sn:Sn.t -> unit
+
+val stage_decision : t -> gid:int -> committed:bool -> unit
+(** The force_* records written {e without} their own force: group
+    commit stages a batch and the site's batcher pays one {!force_tick}
+    per flush.  [stage_decision] is idempotent on the decision bit. *)
+
+val force_tick : t -> unit
+(** Account the one synchronous force of a flushed batch. *)
+
 val entries : t -> entry list
 (** In first-logged order. *)
 

@@ -34,6 +34,7 @@ type site_ctx = {
   ltm : Ltm.t;
   agent : Agent.t;
   clog : Coordinator_log.t;  (* the site's stable coordinator log *)
+  batcher : Group_commit.t option;  (* the site's shared group-commit batcher *)
   clock : Clock.t;
   injector : Failure.t;
   mutable sn_seq : int;
@@ -76,12 +77,25 @@ let create ~engine ~rng ~trace ~net_config ~certifier ?obs ?(crash_coordinators 
             ~rng:(Rng.split rng ~label:(Fmt.str "failure-%d" i))
             ~config:spec.failure ltm
         in
+        let clog = Coordinator_log.create () in
+        (* Group commit: one batcher per site, shared by every coordinator
+           the site hosts; each flush pays a single force on the site's
+           coordinator log. *)
+        let batcher =
+          if Config.group_commit certifier then
+            Some
+              (Group_commit.create ~engine ~window:certifier.Config.group_commit_window
+                 ~max_batch:certifier.Config.max_batch
+                 ~on_force:(fun () -> Coordinator_log.force_tick clog))
+          else None
+        in
         {
           site;
           db;
           ltm;
           agent;
-          clog = Coordinator_log.create ();
+          clog;
+          batcher;
           clock = spec.clock;
           injector;
           sn_seq = 0;
@@ -120,7 +134,8 @@ let submit ?gate t program ~on_done =
   in
   let c = ctx t coord_site in
   let coord =
-    Coordinator.start ?gate ?obs:t.obs ~log:c.clog ~gid ~site:coord_site ~engine:t.engine
+    Coordinator.start ?gate ?obs:t.obs ~log:c.clog ?batcher:c.batcher ~gid ~site:coord_site
+      ~engine:t.engine
       ~net:t.net ~trace:t.trace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program
       ~on_done ()
   in
@@ -195,6 +210,10 @@ type totals = {
   resubmissions : int;
   commit_retries : int;
   dlu_denials : int;
+  agent_log_forces : int;
+  coord_log_forces : int;
+  gc_flushes : int;
+  gc_staged : int;
 }
 
 let totals t =
@@ -215,6 +234,14 @@ let totals t =
         resubmissions = acc.resubmissions + ags.Agent.resubmissions;
         commit_retries = acc.commit_retries + ags.Agent.commit_retries;
         dlu_denials = acc.dlu_denials + Hermes_ltm.Bound.denials (Ltm.bound_registry c.ltm);
+        agent_log_forces = acc.agent_log_forces + Agent_log.force_writes (Agent.agent_log c.agent);
+        coord_log_forces = acc.coord_log_forces + Coordinator_log.force_writes c.clog;
+        gc_flushes =
+          (acc.gc_flushes
+          + match c.batcher with Some b -> Group_commit.flushes b | None -> 0);
+        gc_staged =
+          (acc.gc_staged
+          + match c.batcher with Some b -> Group_commit.staged_total b | None -> 0);
       })
     {
       ltm_committed = 0;
@@ -229,6 +256,10 @@ let totals t =
       resubmissions = 0;
       commit_retries = 0;
       dlu_denials = 0;
+      agent_log_forces = 0;
+      coord_log_forces = 0;
+      gc_flushes = 0;
+      gc_staged = 0;
     }
     t.sites
 
@@ -262,6 +293,18 @@ let export_metrics t reg =
          are on, so PR 3-era metric dumps stay byte-identical *)
       if t.crash_coordinators then
         c ~site "coord.log_force_writes" (Coordinator_log.force_writes ctx.clog);
+      (* group-commit force accounting — only exported when batching is
+         on, so earlier metric dumps stay byte-identical *)
+      if Config.group_commit t.certifier then begin
+        c ~site "agent.log_force_writes" (Agent_log.force_writes (Agent.agent_log ctx.agent));
+        if not t.crash_coordinators then
+          c ~site "coord.log_force_writes" (Coordinator_log.force_writes ctx.clog);
+        match ctx.batcher with
+        | Some b ->
+            c ~site "gc.flushes" (Group_commit.flushes b);
+            c ~site "gc.staged" (Group_commit.staged_total b)
+        | None -> ()
+      end;
       c ~site "dlu.denials" (Hermes_ltm.Bound.denials (Ltm.bound_registry ctx.ltm)))
     t.sites;
   let add name v = if v <> 0 then Registry.Counter.add (Registry.counter reg name) v in

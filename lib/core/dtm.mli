@@ -91,6 +91,10 @@ type totals = {
   resubmissions : int;
   commit_retries : int;
   dlu_denials : int;
+  agent_log_forces : int;  (** synchronous Agent-log forces paid, all sites *)
+  coord_log_forces : int;  (** synchronous Coordinator-log forces paid, all sites *)
+  gc_flushes : int;  (** group-commit batch flushes (0 with batching off) *)
+  gc_staged : int;  (** records that went through the coordinator batchers *)
 }
 
 val totals : t -> totals

@@ -1,0 +1,72 @@
+(* The per-site group-commit batcher the coordinators share.
+
+   Coordinator machines are per-transaction, so unlike the agent (which
+   batches inside its own state machine and emits [Force_batch]), their
+   staged records must be coalesced *across* machines to amortize
+   anything. Each coordinating site owns one batcher: a [Stage_log]
+   effect parks the record's write and the rest of the step's effects
+   here; when the batch force-writes — the window timer fires, or the
+   fill reaches [max_batch] — every staged record is written, ONE
+   synchronous force is paid ([on_force]), and the withheld effects are
+   released in staging order.
+
+   Crash semantics are the caller's: the items' closures are expected to
+   carry their own epoch guard (see [Coordinator.run_effects]), so a
+   coordinator crash turns its staged-but-unforced items into no-ops —
+   volatile, exactly like an unforced record should be. *)
+
+module Engine = Hermes_sim.Engine
+
+type item = {
+  write : unit -> unit;  (* put the record in the stable log (no force) *)
+  release : unit -> unit;  (* run the step's withheld post-force effects *)
+}
+
+type t = {
+  engine : Engine.t;
+  window : int;  (* ticks a staged record may wait for companions *)
+  max_batch : int;
+  on_force : unit -> unit;  (* pay the batch's one synchronous force *)
+  mutable queue : item list;  (* newest first *)
+  mutable timer : Engine.timer option;
+  mutable flushes : int;  (* batches force-written *)
+  mutable staged_total : int;  (* records ever staged (fill statistics) *)
+}
+
+let create ~engine ~window ~max_batch ~on_force =
+  { engine; window; max_batch; on_force; queue = []; timer = None; flushes = 0; staged_total = 0 }
+
+let pending t = List.length t.queue
+let timer_armed t = t.timer <> None
+let flushes t = t.flushes
+let staged_total t = t.staged_total
+
+let flush t =
+  (match t.timer with
+  | Some tm ->
+      Engine.cancel tm;
+      t.timer <- None
+  | None -> ());
+  match t.queue with
+  | [] -> ()
+  | q ->
+      (* Snapshot-and-clear first: a release may re-enter [stage] (a
+         coordinator step released by this flush can immediately stage
+         its next record), which then joins a fresh batch. *)
+      let items = List.rev q in
+      t.queue <- [];
+      t.flushes <- t.flushes + 1;
+      List.iter (fun i -> i.write ()) items;
+      t.on_force ();
+      List.iter (fun i -> i.release ()) items
+
+let stage t item =
+  t.queue <- item :: t.queue;
+  t.staged_total <- t.staged_total + 1;
+  if List.length t.queue >= t.max_batch then flush t
+  else if t.timer = None then
+    t.timer <-
+      Some
+        (Engine.schedule t.engine ~delay:t.window (fun () ->
+             t.timer <- None;
+             flush t))

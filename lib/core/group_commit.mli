@@ -1,0 +1,38 @@
+(** The per-site group-commit batcher the coordinators share.
+
+    A coordinator machine's [Stage_log] effect parks the record's
+    (unforced) log write and the rest of the step's effects here; the
+    batch force-writes when the window timer fires or the fill reaches
+    [max_batch] — every staged record is written, one synchronous force
+    is paid, and the withheld effects are released in staging order.
+
+    Crash volatility is the caller's contract: item closures must guard
+    themselves (e.g. by coordinator epoch) so that a crash between
+    staging and the flush turns them into no-ops. *)
+
+type item = {
+  write : unit -> unit;  (** put the record in the stable log (no force) *)
+  release : unit -> unit;  (** run the step's withheld post-force effects *)
+}
+
+type t
+
+val create :
+  engine:Hermes_sim.Engine.t -> window:int -> max_batch:int -> on_force:(unit -> unit) -> t
+(** [on_force] pays (accounts) the batch's single synchronous force. *)
+
+val stage : t -> item -> unit
+(** Append to the batch; flushes immediately at [max_batch], otherwise
+    arms the window timer if the batch was empty. *)
+
+val flush : t -> unit
+(** Force the batch now (cancelling the window timer): write every
+    record, pay one force, release the withheld effects. Re-entrant:
+    releases may stage again, into the next batch. *)
+
+val pending : t -> int
+(** Staged-but-unforced items — a quiesced site must report zero. *)
+
+val timer_armed : t -> bool
+val flushes : t -> int
+val staged_total : t -> int

@@ -20,7 +20,7 @@ val default_params : params
     defaults, no metrics collection, sequential. *)
 
 val run_all : ?params:params -> unit -> (string * T.t) list
-(** Every experiment, as [(short name, table)] — ["e1"] .. ["e14"]. *)
+(** Every experiment, as [(short name, table)] — ["e1"] .. ["e15"]. *)
 
 val tables :
   seeds_of:(int -> int) -> ?jobs:int -> ?metrics:Registry.t -> unit -> (string * (unit -> T.t)) list
@@ -85,6 +85,13 @@ val e14_coordinator_crashes : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> 
     reboot from the Coordinator log (re-driving the decision or presuming
     abort) while prepared participants run the in-doubt termination
     protocol; measures the in-doubt blocking window. *)
+
+val e15_saturation : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
+(** Open-loop Poisson arrival sweep over increasing offered load with
+    group commit off and on: saturation throughput, p99 latency from
+    arrival (queueing included) and synchronous log forces per committed
+    global; batching must cut forces/commit by an order of magnitude with
+    the correctness columns unchanged. *)
 
 val all : ?quick:bool -> unit -> T.t list
 (** The tables of {!run_all} without names; [quick] divides each seed

@@ -67,11 +67,6 @@ type sub = {
   inquiry_armed : bool;  (* termination-protocol inquiry timer *)
 }
 
-type state = { site : Site.t; subs : sub Int_map.t; table : Alive_table.t }
-
-let init ~site = { site; subs = Int_map.empty; table = Alive_table.create () }
-let n_prepared st = Alive_table.size st.table
-
 (* Read-only snapshot of one LTM transaction, sampled by the adapter
    when it builds the input (safe: the old code always read these before
    performing any LTM-mutating effect within a transition). *)
@@ -120,6 +115,9 @@ type input =
   | Exec_done of { env : env; gid : int; inc : int; purpose : purpose; result : exec_result }
   | Commit_done of { env : env; gid : int; inc : int; committed : bool }
   | Inquiry_fired of { env : env; gid : int }
+  | Flush_fired of { env : env }
+      (* group commit: the batch window elapsed — vector-certify the
+         buffered PREPAREs and force the staged records with one I/O *)
   | Crash of { live : int }  (* live LTM transactions, for the crash event *)
   | Recover of { env : env; entries : recover_entry list }
 
@@ -133,6 +131,10 @@ type timer =
       (* termination protocol: while prepared and undecided, periodically
          ask the coordinator for the outcome; armed only when [env.inquiry]
          holds (coordinator crashes enabled, lossy network) *)
+  | T_flush
+      (* group commit: one per agent, armed when the first record (or
+         PREPARE) is staged into an empty batch, cancelled when the batch
+         forces early on [Config.max_batch] *)
 
 (* Stable-log writes. Not all are forced to disk — [R_local_commit],
    [R_rollback] and [R_incarnation] are bookkeeping notes, matching
@@ -153,6 +155,12 @@ type call =
   | L_abort of { gid : int }
   | L_abort_all_live  (* the site crash: every live local txn unilaterally aborts *)
   | L_hold_open of { gid : int }  (* simulate the prepared state: keep locks, stay open *)
+  | L_hold_open_batch of { gids : int list }
+      (* group commit: one LTM round-trip holds open a whole vector of
+         freshly certified subtransactions *)
+  | L_commit_batch of { txns : (int * int) list }
+      (* group commit: (gid, inc) pairs whose local commits release
+         together after the batch force — one lock-manager round-trip *)
   | L_watch_uan of { gid : int; inc : int }  (* subscribe to the unilateral-abort notification *)
   | L_bind of { gid : int }  (* DLU: bind the txn's footprint *)
   | L_rebind of { gid : int }  (* DLU: release the logged bound set, bind the new footprint *)
@@ -185,6 +193,97 @@ type event =
 
 type effect = (timer, record, call, event) Types.effect
 
+(* Group commit (Config.group_commit): a PREPARE buffered for the next
+   vectorized certification pass... *)
+type pending = { p_gid : int; p_sn : Sn.t }
+
+(* ... and a staged log record together with the effects withheld until
+   the batch is force-written. *)
+type staged = { s_gid : int; s_record : record; s_deps : effect list }
+
+type state = {
+  site : Site.t;
+  subs : sub Int_map.t;
+  table : Alive_table.t;
+  pending : pending list;  (* buffered PREPAREs, newest first *)
+  batch : staged list;  (* staged-but-unforced records, newest first *)
+  flush_armed : bool;
+}
+
+let init ~site =
+  {
+    site;
+    subs = Int_map.empty;
+    table = Alive_table.create ();
+    pending = [];
+    batch = [];
+    flush_armed = false;
+  }
+
+let n_prepared st = Alive_table.size st.table
+
+(* Group-commit introspection (hygiene checks, tests): how much work is
+   waiting for the next flush. A quiesced run must report zero. *)
+let staged_records st = List.length st.batch
+let buffered_prepares st = List.length st.pending
+let flush_pending st = st.batch <> [] || st.pending <> []
+let flush_armed st = st.flush_armed
+let batch_fill st = List.length st.batch + List.length st.pending
+
+let gc (config : Config.t) = Config.group_commit config
+
+(* Split a step's effect list at its force point — the first batchable
+   [Force_log] (READY and decision records only; command/incarnation
+   bookkeeping is never staged) — so the record can be staged and the
+   post-force effects withheld until the batch force. *)
+let split_force effs =
+  let rec go pre = function
+    | Force_log ((R_prepare _ | R_commit _) as r) :: post -> Some (List.rev pre, r, post)
+    | e :: rest -> go (e :: pre) rest
+    | [] -> None
+  in
+  go [] effs
+
+let record_gid = function
+  | R_prepare { gid; _ }
+  | R_commit { gid }
+  | R_entry { gid; _ }
+  | R_command { gid; _ }
+  | R_incarnation { gid; _ }
+  | R_local_commit { gid }
+  | R_rollback { gid } ->
+      gid
+
+(* Coalesce the withheld per-gid LTM calls of a flushed batch into single
+   batch calls (positioned at the first occurrence), amortizing the lock
+   round-trip over the vector of gids. *)
+let coalesce_calls effs =
+  let holds =
+    List.filter_map (function Ltm_call (L_hold_open { gid }) -> Some gid | _ -> None) effs
+  in
+  let commits =
+    List.filter_map (function Ltm_call (L_commit { gid; inc }) -> Some (gid, inc) | _ -> None) effs
+  in
+  if List.length holds <= 1 && List.length commits <= 1 then effs
+  else
+    let seen_hold = ref false and seen_commit = ref false in
+    List.filter_map
+      (function
+        | Ltm_call (L_hold_open _) ->
+            if !seen_hold then None
+            else begin
+              seen_hold := true;
+              Some (Ltm_call (L_hold_open_batch { gids = holds }))
+            end
+        | Ltm_call (L_commit _) ->
+            if !seen_commit then None
+            else begin
+              seen_commit := true;
+              Some (Ltm_call (L_commit_batch { txns = commits }))
+            end
+        | e -> Some e)
+      effs
+
 let view env gid = List.assoc_opt gid env.views
 let view_alive env gid = match view env gid with Some v -> v.alive | None -> true
 let update st (sub : sub) = { st with subs = Int_map.add sub.gid sub st.subs }
@@ -205,8 +304,27 @@ let cleanup (config : Config.t) st (sub : sub) =
   in
   let unbind = if config.Config.bind_data then [ Ltm_call (L_unbind { gid = sub.gid }) ] else [] in
   Alive_table.remove st.table ~gid:sub.gid;
-  ( { st with subs = Int_map.remove sub.gid st.subs },
+  ( {
+      st with
+      subs = Int_map.remove sub.gid st.subs;
+      (* a buffered PREPARE of a finished subtransaction is dropped: the
+         coordinator already decided, nothing is owed a vote *)
+      pending = List.filter (fun p -> p.p_gid <> sub.gid) st.pending;
+    },
     cancels @ unbind @ [ Ltm_call (L_forget { gid = sub.gid }) ] )
+
+(* Refresh the table's intervals with an immediate alive check, so the
+   intersection test never consults stale liveness information. Shared
+   by per-message certification and the vectorized flush pass (which
+   runs it once for the whole vector). *)
+let refresh_table st env =
+  List.iter
+    (fun (e : Alive_table.entry) ->
+      match Int_map.find_opt e.Alive_table.gid st.subs with
+      | Some other when (not other.resubmitting) && view_alive env e.Alive_table.gid ->
+          Alive_table.extend_interval st.table ~gid:e.Alive_table.gid ~hi:env.now
+      | Some _ | None -> ())
+    (Alive_table.entries st.table)
 
 (* ------------------------------------------------------------------ *)
 (* Resubmission (§2, §3): replay the logged commands as a fresh local
@@ -272,9 +390,41 @@ and try_commit (config : Config.t) st env (sub : sub) =
   if (not sub.decision_commit) || sub.committing then (st, [])
   else if sub.resubmitting then (st, []) (* resubmission_complete will call back *)
   else
-    let sn = Option.get sub.sn in
+    match sub.sn with
+    | None when gc config ->
+        (* Group commit: the PREPARE is still buffered (a decision can
+           only overtake its own PREPARE on a duplicating network under
+           the Counted-quorum bug); the coordinator's decision
+           retransmission retries after the flush has certified it. *)
+        (st, [])
+    | None ->
+        (* Without batching a COMMIT for an uncertified subtransaction is
+           unreachable on a correct coordinator; keep the historical
+           hard failure so the model checker surfaces quorum bugs. *)
+        try_commit_certified config st env sub (Option.get sub.sn)
+    | Some sn -> try_commit_certified config st env sub sn
+
+and try_commit_certified (config : Config.t) st env (sub : sub) sn =
     let certified =
-      (not config.Config.commit_certification) || Alive_table.min_sn_holds st.table ~gid:sub.gid ~sn
+      (not config.Config.commit_certification)
+      || Alive_table.min_sn_holds st.table ~gid:sub.gid ~sn
+      || (gc config
+         (* Vectorized commit certification: under group commit an entry
+            whose own decision is already staged ([committing] — its
+            [L_commit] sits earlier in the batch, or already ran) no
+            longer blocks. Local commits apply in staging order, so the
+            SN order of commit application — the property the min-SN rule
+            protects — is preserved without paying a full batch window
+            per transaction in the commit chain. *)
+         && List.for_all
+              (fun (e : Alive_table.entry) ->
+                e.Alive_table.gid = sub.gid
+                || Sn.(e.Alive_table.sn > sn)
+                ||
+                match Int_map.find_opt e.Alive_table.gid st.subs with
+                | Some s -> s.committing
+                | None -> true)
+              (Alive_table.entries st.table))
     in
     if not certified then
       (* Commit certification failed: retry at a later time. *)
@@ -296,16 +446,94 @@ and try_commit (config : Config.t) st env (sub : sub) =
     else
       (* "Write the commit record to the Agent log; commit the local
          subtransaction ..." — the decision is durable before the local
-         commit, so a crash in between redoes it at recovery. *)
+         commit, so a crash in between redoes it at recovery. Under group
+         commit the record is staged and the local commit withheld until
+         the batch force, so the decision is still durable first. *)
       let sub = { sub with committing = true } in
-      ( update st sub,
-        [ Force_log (R_commit { gid = sub.gid }); Ltm_call (L_commit { gid = sub.gid; inc = sub.inc }) ] )
+      let st = update st sub in
+      let effs =
+        [ Force_log (R_commit { gid = sub.gid }); Ltm_call (L_commit { gid = sub.gid; inc = sub.inc }) ]
+      in
+      if gc config then stage_effects config st env effs else (st, effs)
+
+(* Group commit: stage a step's force point into the batch, withholding
+   the post-force effects; pre-force effects are emitted immediately.
+   Fills to [Config.max_batch] force the batch inside the same step. *)
+and stage_effects config st env effs =
+  match split_force effs with
+  | None -> (st, effs)
+  | Some (pre, r, post) ->
+      let st = { st with batch = { s_gid = record_gid r; s_record = r; s_deps = post } :: st.batch } in
+      if batch_fill st >= config.Config.max_batch then
+        let st, flush_effs = flush config st env ~fired:false in
+        (st, pre @ flush_effs)
+      else if st.flush_armed then (st, pre)
+      else
+        ( { st with flush_armed = true },
+          pre @ [ Arm_timer { timer = T_flush; delay = config.Config.group_commit_window } ] )
+
+(* The group-commit flush: vector-certify the buffered PREPAREs — one
+   alive-table refresh and one sampled environment amortized over the
+   whole vector — then force every staged record with a single I/O
+   ([Force_batch]) and release the withheld effects, oldest first, with
+   the per-gid LTM calls coalesced into batch calls. *)
+and flush config st env ~fired =
+  let cancel = if (not fired) && st.flush_armed then [ Cancel_timer T_flush ] else [] in
+  let st = { st with flush_armed = false } in
+  let pending = List.rev st.pending in
+  let st = { st with pending = [] } in
+  if config.Config.refresh_on_certify && pending <> [] then refresh_table st env;
+  (* Staged decision records count as committed for the extension check:
+     a buffered PREPARE behind a staged commit's SN must be refused
+     exactly as if the commit had already been forced — the release its
+     withheld [L_commit] performs right after this flush would otherwise
+     slip past the min-SN rule. *)
+  let env =
+    let bigger a = match a with Some m -> fun sn -> Sn.(sn > m) | None -> fun _ -> true in
+    let staged_commit_sn =
+      List.fold_left
+        (fun acc s ->
+          match s.s_record with
+          | R_commit { gid } -> (
+              match Int_map.find_opt gid st.subs with
+              | Some { sn = Some sn; _ } when bigger acc sn -> Some sn
+              | Some _ | None -> acc)
+          | _ -> acc)
+        None st.batch
+    in
+    match staged_commit_sn with
+    | Some sn when bigger env.max_committed_sn sn -> { env with max_committed_sn = Some sn }
+    | Some _ | None -> env
+  in
+  let st, cert_pre =
+    List.fold_left
+      (fun (st, acc) p ->
+        match Int_map.find_opt p.p_gid st.subs with
+        | Some sub when sub.state = Active -> (
+            let st, effs = certify_prepare ~refresh:false config st env sub p.p_sn in
+            match split_force effs with
+            | None -> (st, acc @ effs) (* a refusal: nothing to force *)
+            | Some (pre, r, post) ->
+                ( { st with batch = { s_gid = p.p_gid; s_record = r; s_deps = post } :: st.batch },
+                  acc @ pre ))
+        | Some _ | None ->
+            (* the subtransaction finished (rollback, crash) while its
+               PREPARE waited; the coordinator has its answer already *)
+            (st, acc))
+      (st, []) pending
+  in
+  match List.rev st.batch with
+  | [] -> (st, cancel @ cert_pre)
+  | staged ->
+      let records = List.map (fun s -> s.s_record) staged in
+      let deps = coalesce_calls (List.concat_map (fun s -> s.s_deps) staged) in
+      ({ st with batch = [] }, cancel @ cert_pre @ (Force_batch records :: deps))
 
 (* ------------------------------------------------------------------ *)
 (* Prepare certification (Appendix B) and the other message rules       *)
 (* ------------------------------------------------------------------ *)
 
-let refuse config st (sub : sub) refusal =
+and refuse config st (sub : sub) refusal =
   let st, cleanup_effs = cleanup config st sub in
   ( st,
     Emit (Ev_refused { gid = sub.gid; refusal })
@@ -313,8 +541,10 @@ let refuse config st (sub : sub) refusal =
     :: send sub (Wire.Refuse refusal)
     :: cleanup_effs )
 
-(* Extended prepare certification (Appendix B). *)
-let certify_prepare (config : Config.t) st env (sub : sub) sn =
+(* Extended prepare certification (Appendix B). [refresh] is false when
+   the flush pass has already refreshed the table once for the whole
+   vector of buffered PREPAREs. *)
+and certify_prepare ?(refresh = true) (config : Config.t) st env (sub : sub) sn =
   let sub = { sub with sn = Some sn } in
   let st = update st sub in
   let extension_ok =
@@ -333,14 +563,7 @@ let certify_prepare (config : Config.t) st env (sub : sub) sn =
   else begin
     (* Basic prepare certification: refresh the table's intervals with an
        immediate alive check, then test the intersection rule. *)
-    if config.Config.refresh_on_certify then
-      List.iter
-        (fun (e : Alive_table.entry) ->
-          match Int_map.find_opt e.Alive_table.gid st.subs with
-          | Some other when (not other.resubmitting) && view_alive env e.Alive_table.gid ->
-              Alive_table.extend_interval st.table ~gid:e.Alive_table.gid ~hi:env.now
-          | Some _ | None -> ())
-        (Alive_table.entries st.table);
+    if config.Config.refresh_on_certify && refresh then refresh_table st env;
     let last = (Option.get (view env sub.gid)).last_op_done in
     let candidate = Interval.make ~lo:last ~hi:env.now in
     let interval_ok =
@@ -516,7 +739,21 @@ let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
               (* A retransmitted or duplicated PREPARE: the promise is
                  already on disk, so repeat the vote. *)
               (st, [ send sub Wire.Ready ])
-          | Active -> certify_prepare config st env sub sn)
+          | Active ->
+              if gc config then
+                (* Group commit: buffer the PREPARE for the vectorized
+                   certification pass at the next flush. A retransmission
+                   of an already-buffered PREPARE is absorbed (the flush
+                   will answer it). *)
+                if List.exists (fun p -> p.p_gid = gid) st.pending then (st, [])
+                else
+                  let st = { st with pending = { p_gid = gid; p_sn = sn } :: st.pending } in
+                  if batch_fill st >= config.Config.max_batch then flush config st env ~fired:false
+                  else if st.flush_armed then (st, [])
+                  else
+                    ( { st with flush_armed = true },
+                      [ Arm_timer { timer = T_flush; delay = config.Config.group_commit_window } ] )
+              else certify_prepare config st env sub sn)
       | None -> handle_unknown st env ~src ~gid ~payload ~log)
   | Wire.Commit -> (
       match Int_map.find_opt gid st.subs with
@@ -577,6 +814,10 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
             else
               let st, effs = start_resubmission config st env sub in
               (st, (Emit (Ev_alive_check { gid; alive }) :: effs) @ rearm))
+  | Flush_fired { env } ->
+      (* Group commit: the window elapsed. The timer already fired, so no
+         cancel effect; [flush] clears the armed flag. *)
+      flush config st env ~fired:true
   | Retry_fired { env; gid } -> (
       match Int_map.find_opt gid st.subs with
       | None -> (st, [])
@@ -661,7 +902,18 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
             else acc)
           st.subs []
       in
-      ( { st with subs = Int_map.empty; table = Alive_table.create () },
+      let cancels = cancels @ if st.flush_armed then [ Cancel_timer T_flush ] else [] in
+      (* Staged-but-unforced records and buffered PREPAREs are volatile:
+         the crash loses them, exactly the durability the protocol
+         expects of an unforced record. *)
+      ( {
+          st with
+          subs = Int_map.empty;
+          table = Alive_table.create ();
+          pending = [];
+          batch = [];
+          flush_armed = false;
+        },
         (Emit (Ev_crash { live; prepared }) :: cancels) @ [ Ltm_call L_abort_all_live ] )
   | Recover { env; entries } ->
       (* Rebuild every in-doubt subtransaction from the log: a fresh

@@ -1,0 +1,99 @@
+(** Certifier configuration.
+
+    Every certification step of the paper (and every timer the protocol
+    machines arm) is an independent knob, which is how the ablation
+    experiments — and the naive resubmitting agent the paper argues
+    against — are expressed.  A configuration is pure data: the same
+    record drives the pure state machines, the effectful adapters and
+    the {!Explore} model checker. *)
+
+type t = {
+  prepare_certification : bool;
+      (** §4.2: refuse a PREPARE whose alive interval does not intersect
+          every concurrently prepared subtransaction's interval. *)
+  certification_extension : bool;
+      (** §5.3: additionally refuse a PREPARE that arrives behind an
+          already-committed larger serial number. *)
+  commit_certification : bool;
+      (** §5.2 / Appendix C: release local commits in global serial-number
+          order (the min-SN rule). *)
+  refresh_on_certify : bool;
+      (** Run an alive check over the table before the intersection test,
+          so certification never consults stale liveness information. *)
+  bind_data : bool;  (** Register bound data for DLU enforcement. *)
+  alive_check_interval : int;
+      (** Ticks between periodic alive checks (Appendix A). *)
+  commit_retry_interval : int;
+      (** Ticks before retrying a blocked commit certification
+          (Appendix C). *)
+  resubmit_backoff : int;
+      (** Ticks to wait before restarting a failed resubmission. *)
+  sn_at_begin : bool;
+      (** Ticket baseline: draw the serial number at BEGIN instead of at
+          global commit, forcing commit order = begin order. *)
+  max_intervals : int;
+      (** Alive intervals kept per prepared subtransaction (the paper:
+          "several of them might be stored"); [1] is the
+          store-only-the-last baseline. *)
+  exec_timeout : int;
+      (** Coordinator: ticks to wait for a command reply before aborting
+          (covers replies swallowed by a site crash). *)
+  decision_retry_interval : int;
+      (** Coordinator: ticks between COMMIT/ROLLBACK retransmissions to
+          unacknowledged participants. *)
+  prepare_retry_interval : int;
+      (** Coordinator: ticks between PREPARE retransmissions to
+          participants that have not voted; armed only on a lossy
+          network, so reliable runs are unchanged. *)
+  decision_inquiry_interval : int;
+      (** Agent: ticks an in-doubt (prepared, undecided) subtransaction
+          waits before asking the coordinator for the outcome
+          (DECISION-REQ); armed only on a lossy network. *)
+  group_commit_window : int;
+      (** Group commit: ticks a staged log record may wait for companions
+          before the batch is force-written.  [0] disables group commit:
+          every force is immediate and the machines emit exactly the
+          historical (pre-group-commit) effect sequences, byte-identical
+          at a fixed seed.  When positive, the agent buffers incoming
+          PREPAREs and stages READY / decision records, forcing them once
+          per batch ({!Types.effect}, [Force_batch]), and the coordinator
+          stages its records for the per-site batcher
+          ({!Types.effect}, [Stage_log]). *)
+  max_batch : int;
+      (** Group commit: force the batch as soon as this many records
+          (and, at the agent, buffered PREPAREs) are staged, even if
+          [group_commit_window] has not elapsed. *)
+}
+
+val group_commit : t -> bool
+(** [group_commit t] is [t.group_commit_window > 0]: whether staged
+    (batched) forcing is in effect. *)
+
+val full : t
+(** The full 2CM certifier as the paper specifies it (group commit off). *)
+
+val naive : t
+(** The naive 2PC agent: simulated prepared state and resubmission but no
+    certification at all — the straw man that exhibits both global and
+    local view distortions under failures. *)
+
+val ticket : t
+(** The predefined-total-order ("ticket") scheme the paper argues against
+    in §5.2: serial numbers drawn at BEGIN. *)
+
+val multi_interval : t
+(** The §4.2 optimization: remember several alive intervals per prepared
+    subtransaction. *)
+
+val grouped : t
+(** {!full} with group commit enabled (10 ms window, batches of 32):
+    READY and decision records are staged and force-written once per
+    batch, and PREPARE/COMMIT certification is vectorized over the
+    batch. *)
+
+val without_extension : t
+val without_commit_certification : t
+val without_prepare_certification : t
+val without_dlu : t
+
+val pp : t Fmt.t

@@ -32,6 +32,14 @@ type config = { certifier : Config.t; quorum : quorum }
 
 let config ?(quorum = Dedup) certifier = { certifier; quorum }
 
+(* Group commit: when enabled, log records are staged for the site's
+   shared batcher ([Stage_log]) instead of individually forced — the
+   adapter withholds the rest of the step until the batch is
+   force-written with one I/O. Recovery's presumed-abort record is never
+   staged (see [Recover]): recovery is rare and must terminate even if
+   no further traffic ever fills a batch. *)
+let force config r = if Config.group_commit config.certifier then Stage_log r else Force_log r
+
 type phase = Executing | Preparing | Committing | Aborting of reason
 
 type event =
@@ -156,7 +164,7 @@ let start_abort config st reason =
     cancels
     @ [
         Emit (Deciding_abort reason);
-        Force_log (R_decision { committed = false });
+        force config (R_decision { committed = false });
         Record (H_global_abort { gid = st.gid });
       ]
     @ effs )
@@ -205,7 +213,7 @@ let all_ready config st =
     let st, effs = start_decision config st Committing in
     ( st,
       Emit (All_ready { sn = st.sn })
-      :: Force_log (R_decision { committed = true })
+      :: force config (R_decision { committed = true })
       :: Record (H_global_commit { gid = st.gid })
       :: effs )
   else
@@ -297,7 +305,7 @@ let step config st input : state * effect list =
   | Start ->
       let begins = send_to_all st Wire.Begin in
       let st, effs = next_step config st in
-      (st, (Force_log (R_begin { participants = st.participants }) :: begins) @ effs)
+      (st, (force config (R_begin { participants = st.participants }) :: begins) @ effs)
   | From_agent { src; payload } -> handle_from_agent config st src payload
   | Exec_timeout_fired -> (
       let st = { st with exec_armed = false } in
@@ -355,7 +363,7 @@ let step config st input : state * effect list =
       in
       let st = { st with prepare_retransmit_armed = retx } in
       ( st,
-        Force_log (R_prepared { participants = st.participants; sn = Option.get sn })
+        force config (R_prepared { participants = st.participants; sn = Option.get sn })
         :: send_to_all st (Wire.Prepare (Option.get sn))
         @
         if retx then

@@ -154,6 +154,12 @@ type g = {
   sn_seq : int;
   coords : (int * C.state) list;  (* by gid *)
   clogs : (int * centry) list;  (* stable coordinator-log entries, by gid *)
+  cstaged : (int * (int * C.record * C.effect list) list) list;
+      (* group commit: per coordinating site, the staged-but-unforced
+         coordinator records (gid, record, withheld rest-of-step
+         effects), oldest first — the model of the adapters' shared
+         per-site batcher. Volatile: a coordinator crash drops its gid's
+         entries *)
   dead : int list;  (* crashed coordinators, never recovered ([termination] off) *)
   agents : (int * A.state) list;  (* by site id *)
   logs : (int * entry list) list;  (* by site id *)
@@ -178,6 +184,10 @@ type action =
   | Unilateral_abort of { site : int; gid : int }
   | Crash_recover of int
   | Coord_crash of int  (* by gid; recovery is atomic iff [termination] *)
+  | Coord_flush of int
+      (* by site: force the site's staged coordinator records (one batch
+         I/O) and release their withheld effects; free, like the real
+         batcher's window timer *)
 
 exception Violation of string
 
@@ -315,7 +325,7 @@ let log_write g s (r : A.record) =
           put_entry g s { e with e_rolled = true }
       | None -> g)
 
-let ltm_call scenario g s (c : A.call) =
+let rec ltm_call scenario g s (c : A.call) =
   match c with
   | A.L_begin { gid; inc } ->
       put_ltxn g s
@@ -337,12 +347,30 @@ let ltm_call scenario g s (c : A.call) =
       { g with cbs = Cb_exec { site = s; gid; inc; purpose } :: g.cbs }
   | A.L_commit { gid; inc } ->
       (* I3: the machine may only release a local commit while it holds
-         the smallest prepared serial number at the site (Appendix C). *)
+         the smallest prepared serial number at the site (Appendix C).
+         Under group commit the rule is the vectorized one the machine
+         implements: a smaller-SN entry whose own decision is already
+         staged ([committing] — its release sits earlier in the same
+         batch) does not block, because commits apply in staging = SN
+         order. *)
       (if scenario.config.Config.commit_certification then
          let ast = List.assoc s g.agents in
          match Alive_table.find ast.A.table ~gid with
          | Some e ->
-             if not (Alive_table.min_sn_holds ast.A.table ~gid ~sn:e.Alive_table.sn) then
+             let released_in_order =
+               Alive_table.min_sn_holds ast.A.table ~gid ~sn:e.Alive_table.sn
+               || Config.group_commit scenario.config
+                  && List.for_all
+                       (fun (e' : Alive_table.entry) ->
+                         e'.Alive_table.gid = gid
+                         || Sn.(e'.Alive_table.sn > e.Alive_table.sn)
+                         ||
+                         match A.Int_map.find_opt e'.Alive_table.gid ast.A.subs with
+                         | Some sub -> sub.A.committing
+                         | None -> true)
+                       (Alive_table.entries ast.A.table)
+             in
+             if not released_in_order then
                raise
                  (Violation
                     (Fmt.str
@@ -364,6 +392,11 @@ let ltm_call scenario g s (c : A.call) =
       { g with ltms = upd s txns g.ltms }
   | A.L_hold_open { gid } -> (
       match find_ltxn g s gid with Some l -> put_ltxn g s { l with l_held = true } | None -> g)
+  | A.L_hold_open_batch { gids } ->
+      List.fold_left (fun g gid -> ltm_call scenario g s (A.L_hold_open { gid })) g gids
+  | A.L_commit_batch { txns } ->
+      (* each released commit gets the per-gid I3 check of [L_commit] *)
+      List.fold_left (fun g (gid, inc) -> ltm_call scenario g s (A.L_commit { gid; inc })) g txns
   | A.L_watch_uan { gid; inc } -> (
       match find_ltxn g s gid with
       | Some l -> put_ltxn g s { l with l_watch = Some inc }
@@ -392,10 +425,29 @@ let feed_agent scenario g s input =
       | Types.Arm_timer { timer; delay = _ } -> { g with timers = T_agent (s, timer) :: g.timers }
       | Types.Cancel_timer timer -> { g with timers = remove_one (T_agent (s, timer)) g.timers }
       | Types.Force_log r -> log_write g s r
+      | Types.Force_batch rs ->
+          (* one force I/O for the whole batch; every record still gets
+             its own I1 check *)
+          List.fold_left (fun g r -> log_write g s r) g rs
+      | Types.Stage_log _ -> assert false (* the agent batches internally (Force_batch) *)
       | Types.Ltm_call c -> ltm_call scenario g s c
       | Types.Record _ | Types.Emit _ -> g
       | Types.Invoke_gate | Types.Decide _ -> assert false (* coordinator-only effects *))
     g effs
+
+let clog_write g gid (r : C.record) =
+  let e = assoc_or gid g.clogs ~default:{ c_participants = []; c_sn = None; c_decision = None } in
+  let e =
+    match r with
+    | C.R_begin { participants } -> { e with c_participants = participants }
+    | C.R_prepared { participants; sn } -> { e with c_participants = participants; c_sn = Some sn }
+    | C.R_decision { committed } -> (
+        (* idempotent, like the real log: the first decision wins *)
+        match e.c_decision with
+        | None -> { e with c_decision = Some committed }
+        | Some _ -> e)
+  in
+  { g with clogs = upd gid e g.clogs }
 
 let rec feed_coord scenario g gid input =
   let st = List.assoc gid g.coords in
@@ -406,7 +458,20 @@ let rec feed_coord scenario g gid input =
     | Invalid_argument m -> raise (Violation ("machine exception: " ^ m))
   in
   let g = { g with coords = upd gid st g.coords } in
-  List.fold_left (coord_eff scenario gid) g effs
+  run_coord_effs scenario gid g effs
+
+(* Walk a coordinator step's effects in order. A [Stage_log] parks the
+   record and the *rest of the step* in the coordinating site's batch —
+   the real adapter withholds them until the batcher forces — so a
+   coordinator crash before the flush loses both, exactly like an
+   unforced record should. *)
+and run_coord_effs scenario gid g = function
+  | [] -> g
+  | (Types.Stage_log r : C.effect) :: rest ->
+      let s = Site.to_int (List.assoc gid g.coords).C.site in
+      let q = assoc_or s g.cstaged ~default:[] in
+      { g with cstaged = upd s (q @ [ (gid, r, rest) ]) g.cstaged }
+  | eff :: rest -> run_coord_effs scenario gid (coord_eff scenario gid g eff) rest
 
 and coord_eff scenario gid g (eff : C.effect) =
   match eff with
@@ -414,21 +479,9 @@ and coord_eff scenario gid g (eff : C.effect) =
       { g with msgs = { Wire.src = Wire.Coordinator gid; dst; gid = mgid; payload } :: g.msgs }
   | Types.Arm_timer { timer; delay = _ } -> { g with timers = T_coord (gid, timer) :: g.timers }
   | Types.Cancel_timer timer -> { g with timers = remove_one (T_coord (gid, timer)) g.timers }
-  | Types.Force_log r ->
-      let e =
-        assoc_or gid g.clogs ~default:{ c_participants = []; c_sn = None; c_decision = None }
-      in
-      let e =
-        match r with
-        | C.R_begin { participants } -> { e with c_participants = participants }
-        | C.R_prepared { participants; sn } -> { e with c_participants = participants; c_sn = Some sn }
-        | C.R_decision { committed } -> (
-            (* idempotent, like the real log: the first decision wins *)
-            match e.c_decision with
-            | None -> { e with c_decision = Some committed }
-            | Some _ -> e)
-      in
-      { g with clogs = upd gid e g.clogs }
+  | Types.Force_log r -> clog_write g gid r
+  | Types.Stage_log _ -> assert false (* consumed by [run_coord_effs] *)
+  | Types.Force_batch _ -> assert false (* agent-only effect *)
   | Types.Ltm_call _ -> .
   | Types.Record _ | Types.Emit _ -> g
   | Types.Invoke_gate ->
@@ -532,6 +585,7 @@ let charge (b : budgets) = function
   | T_agent (_, A.T_commit_retry _) -> { b with commit_retries = b.commit_retries - 1 }
   | T_agent (_, A.T_inquiry _) -> { b with inquiries = b.inquiries - 1 }
   | T_agent (_, A.T_backoff _) -> b (* one-shot; bounded by the abort budgets *)
+  | T_agent (_, A.T_flush) -> b (* free: staged records must always be able to flush *)
   | T_coord (_, C.Exec_timeout) -> { b with exec_timeouts = b.exec_timeouts - 1 }
   | T_coord (_, (C.Retransmit | C.Prepare_retransmit)) ->
       { b with retransmits = b.retransmits - 1 }
@@ -551,6 +605,7 @@ let fire scenario g t =
       feed_agent scenario g s (A.Inquiry_fired { env = env_of scenario g s; gid })
   | T_agent (s, A.T_backoff { gid; inc }) ->
       feed_agent scenario g s (A.Backoff_fired { env = env_of scenario g s; gid; inc })
+  | T_agent (s, A.T_flush) -> feed_agent scenario g s (A.Flush_fired { env = env_of scenario g s })
   | T_coord (gid, C.Exec_timeout) -> feed_coord scenario g gid C.Exec_timeout_fired
   | T_coord (gid, C.Retransmit) -> feed_coord scenario g gid C.Retransmit_fired
   | T_coord (gid, C.Prepare_retransmit) -> feed_coord scenario g gid C.Prepare_retransmit_fired
@@ -615,6 +670,15 @@ let coord_crash scenario g gid =
       timers = List.filter (function T_coord (gid', _) -> gid' <> gid | T_agent _ -> true) g.timers;
     }
   in
+  (* Staged-but-unforced records of this round (and the withheld effects
+     behind them) are volatile: the crash takes them. *)
+  let g =
+    {
+      g with
+      cstaged =
+        List.map (fun (s, q) -> (s, List.filter (fun (gid', _, _) -> gid' <> gid) q)) g.cstaged;
+    }
+  in
   if not scenario.termination then { g with dead = gid :: g.dead }
   else
     match List.assoc_opt gid g.clogs with
@@ -626,6 +690,14 @@ let coord_crash scenario g gid =
         feed_coord scenario g gid
           (C.Recover { participants = e.c_participants; sn = e.c_sn; decision = e.c_decision })
 
+(* Force the site's staged coordinator records — one batch I/O, oldest
+   first — then release the withheld effects in staging order. *)
+let coord_flush scenario g s =
+  let q = assoc_or s g.cstaged ~default:[] in
+  let g = { g with cstaged = upd s [] g.cstaged } in
+  let g = List.fold_left (fun g (gid, r, _) -> clog_write g gid r) g q in
+  List.fold_left (fun g (gid, _, effs) -> run_coord_effs scenario gid g effs) g q
+
 let apply scenario g = function
   | Start gid -> start_txn scenario g gid
   | Deliver m -> deliver scenario { g with msgs = remove_one m g.msgs } m
@@ -636,6 +708,7 @@ let apply scenario g = function
   | Unilateral_abort { site; gid } -> unilateral_abort g site gid
   | Crash_recover s -> crash_recover scenario g s
   | Coord_crash gid -> coord_crash scenario g gid
+  | Coord_flush s -> coord_flush scenario g s
 
 let enabled g =
   let distinct l = List.sort_uniq compare l in
@@ -654,6 +727,7 @@ let enabled g =
           | T_agent (_, A.T_commit_retry _) -> g.b.commit_retries > 0
           | T_agent (_, A.T_inquiry _) -> g.b.inquiries > 0
           | T_agent (_, A.T_backoff _) -> true
+          | T_agent (_, A.T_flush) -> true
           | T_coord (_, C.Exec_timeout) -> g.b.exec_timeouts > 0
           | T_coord (_, (C.Retransmit | C.Prepare_retransmit)) -> g.b.retransmits > 0
         in
@@ -685,7 +759,12 @@ let enabled g =
         g.coords
     else []
   in
-  starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes @ coord_crashes
+  let cflushes =
+    (* free, like the agent flush timer: a non-empty batch can always
+       force, so staged work never blocks quiescence *)
+    List.filter_map (fun (s, q) -> if q <> [] then Some (Coord_flush s) else None) g.cstaged
+  in
+  starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes @ coord_crashes @ cflushes
 
 (* ------------------------------------------------------------------ *)
 (* Invariants checked outside the transition function                   *)
@@ -703,8 +782,31 @@ let hygiene_violation g =
             Some
               (Fmt.str "timer hygiene: site %a holds an armed timer for the finished T%d" Site.pp
                  (site_of s) gid)
+      | T_agent (s, A.T_flush) ->
+          (* the flush timer is armed iff work is staged for it *)
+          let ast = List.assoc s g.agents in
+          if A.flush_pending ast then None
+          else
+            Some
+              (Fmt.str "timer hygiene: site %a holds an armed flush timer with nothing staged"
+                 Site.pp (site_of s))
       | T_agent (_, A.T_backoff _) | T_coord _ -> None)
     g.timers
+
+(* Group commit, at terminal states: a quiesced agent must hold no
+   staged-but-unforced records and no buffered PREPAREs — staged work
+   with no armed flush timer left would be withheld forever. (The
+   coordinator batcher cannot violate this: a non-empty [cstaged] queue
+   keeps a [Coord_flush] action enabled, so the state is not terminal.) *)
+let flush_violations g =
+  List.filter_map
+    (fun (s, (ast : A.state)) ->
+      if A.flush_pending ast then
+        Some
+          (Fmt.str "group commit: site %a is quiescent with staged-but-unforced records" Site.pp
+             (site_of s))
+      else None)
+    g.agents
 
 (* I5, at terminal states of coordinator-crash scenarios: the
    termination property. A prepared-but-undecided agent-log entry is a
@@ -788,12 +890,13 @@ let fingerprint g =
         (List.map
            (fun (e : Alive_table.entry) ->
              (e.Alive_table.gid, e.Alive_table.sn, e.Alive_table.intervals))
-           (Alive_table.entries st.A.table)) )
+           (Alive_table.entries st.A.table)),
+      (st.A.pending, st.A.batch, st.A.flush_armed) )
   in
   let canon =
     ( (g.clock, g.sn_seq),
       List.map canon_coord (sorted_assoc g.coords),
-      (sorted_assoc g.clogs, List.sort compare g.dead),
+      (sorted_assoc g.clogs, List.sort compare g.dead, sorted_assoc g.cstaged),
       List.map canon_agent (sorted_assoc g.agents),
       List.map (fun (s, es) -> (s, List.sort compare es)) (sorted_assoc g.logs),
       sorted_assoc g.max_csn,
@@ -812,6 +915,7 @@ let init scenario =
       sn_seq = 0;
       coords = [];
       clogs = [];
+      cstaged = [];
       dead = [];
       agents = List.map (fun s -> (s, A.init ~site:(site_of s))) sites;
       logs = List.map (fun s -> (s, [])) sites;
@@ -867,7 +971,7 @@ let run scenario =
       | [] ->
           incr terminals;
           List.iter (fun m -> record m trail)
-            (terminal_violations g @ in_doubt_violations scenario g)
+            (terminal_violations g @ flush_violations g @ in_doubt_violations scenario g)
       | acts ->
           List.iter
             (fun a ->
@@ -923,6 +1027,8 @@ let pp_action ppf = function
       Fmt.pf ppf "decision-inquiry timer fires for T%d at %a" gid Site.pp (site_of s)
   | Fire (T_agent (s, A.T_backoff { gid; inc })) ->
       Fmt.pf ppf "resubmission backoff fires for T%d (inc %d) at %a" gid inc Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_flush)) ->
+      Fmt.pf ppf "group-commit flush timer fires at %a" Site.pp (site_of s)
   | Fire (T_coord (gid, C.Exec_timeout)) -> Fmt.pf ppf "T%d's command reply times out" gid
   | Fire (T_coord (gid, C.Retransmit)) -> Fmt.pf ppf "T%d retransmits its decision" gid
   | Fire (T_coord (gid, C.Prepare_retransmit)) -> Fmt.pf ppf "T%d retransmits PREPARE" gid
@@ -930,6 +1036,7 @@ let pp_action ppf = function
       Fmt.pf ppf "LTM at %a unilaterally aborts T%d" Site.pp (site_of site) gid
   | Crash_recover s -> Fmt.pf ppf "site %a crashes and recovers" Site.pp (site_of s)
   | Coord_crash gid -> Fmt.pf ppf "T%d's coordinating site crashes" gid
+  | Coord_flush s -> Fmt.pf ppf "the coordinator batch at %a force-writes" Site.pp (site_of s)
 
 let pp_stats ppf st =
   Fmt.pf ppf "%d states, %d transitions (%d reconverged), %d terminal states, %d violation(s)%s"

@@ -54,6 +54,15 @@ type ('timer, 'record, 'call, 'event) effect =
   | Arm_timer of { timer : 'timer; delay : int }
   | Cancel_timer of 'timer
   | Force_log of 'record
+  | Stage_log of 'record
+      (* group commit: the record must be durable before any *later*
+         effect of this step is acted on, but the force may be coalesced
+         with other machines' staged records — the adapter appends the
+         record to the site's batch and withholds the remainder of the
+         step until the batch is force-written *)
+  | Force_batch of 'record list
+      (* group commit: durably write every record of the batch, oldest
+         first, with a single force I/O *)
   | Ltm_call of 'call
   | Record of history_event
   | Emit of 'event

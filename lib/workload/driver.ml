@@ -1,8 +1,10 @@
-(* The closed-loop workload driver: a fixed number of global clients work
-   off a quota of global transactions (retrying aborted ones) while local
-   clients at every site run purely local transactions against their LTMs;
-   when the global quota is done, local clients stop and the simulation
-   drains. One [run] produces one measured data point. *)
+(* The workload driver: global transactions enter by the spec's arrival
+   discipline — a closed loop of clients working off a quota (retrying
+   aborted ones), or an open loop of Poisson arrivals queueing past the
+   in-service cap — while local clients at every site run purely local
+   transactions against their LTMs; when the global quota is done, local
+   clients stop and the simulation drains. One [run] produces one
+   measured data point. *)
 
 open Hermes_kernel
 module Engine = Hermes_sim.Engine
@@ -131,36 +133,99 @@ let run setup =
   let think_rng = Rng.split rng ~label:"think" in
   let remaining = ref spec.Spec.n_global in
   let in_flight = ref 0 in
+  let queued = ref 0 in
   let locals_active = ref true in
   let think k = Engine.schedule_unit engine ~delay:(Rng.exponential think_rng ~mean:spec.Spec.think_time_mean) k in
-  (* Global clients. *)
-  let rec global_client () =
-    if !remaining > 0 then begin
-      decr remaining;
-      incr in_flight;
-      let program = Generator.global_program gen in
-      let started = Engine.now engine in
-      let rec attempt tries =
-        Stats.note_attempt stats;
-        submit program ~on_done:(fun outcome ->
-            match outcome with
-            | Coordinator.Committed ->
-                Stats.note_committed stats;
-                Stats.record_latency stats ~started ~finished:(Engine.now engine);
-                finish_one ()
-            | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
-                Stats.note_retry stats;
-                think (fun () -> attempt (tries + 1))
-            | Coordinator.Aborted _ ->
-                Stats.note_final_abort stats;
-                finish_one ())
-      and finish_one () =
-        decr in_flight;
-        if !remaining = 0 && !in_flight = 0 then locals_active := false;
-        think global_client
-      in
-      attempt 0
-    end
+  (* Global traffic, by arrival discipline. The closed loop is the
+     historical code path, draw for draw — a legacy spec (no [arrival]
+     field) resolves to it with the same parameters and replays
+     byte-identically. *)
+  let start_globals () =
+    match Spec.effective_arrival spec with
+    | Spec.Closed { mpl; think_time_mean = _ } ->
+        (* Closed loop: a fixed population works off the quota. *)
+        let rec global_client () =
+          if !remaining > 0 then begin
+            decr remaining;
+            incr in_flight;
+            let program = Generator.global_program gen in
+            let started = Engine.now engine in
+            let rec attempt tries =
+              Stats.note_attempt stats;
+              submit program ~on_done:(fun outcome ->
+                  match outcome with
+                  | Coordinator.Committed ->
+                      Stats.note_committed stats;
+                      Stats.record_latency stats ~started ~finished:(Engine.now engine);
+                      finish_one ()
+                  | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
+                      Stats.note_retry stats;
+                      think (fun () -> attempt (tries + 1))
+                  | Coordinator.Aborted _ ->
+                      Stats.note_final_abort stats;
+                      finish_one ())
+            and finish_one () =
+              decr in_flight;
+              if !remaining = 0 && !in_flight = 0 then locals_active := false;
+              think global_client
+            in
+            attempt 0
+          end
+        in
+        for _ = 1 to min mpl spec.Spec.n_global do
+          global_client ()
+        done
+    | Spec.Open { rate; max_in_flight } ->
+        (* Open loop: Poisson arrivals at [rate] txns per simulated second
+           (ticks are microseconds). Arrivals beyond the in-service cap
+           queue; latency runs from arrival, so queueing delay under
+           saturation lands in the percentiles. The arrival process gets
+           its own rng stream, split only on this branch. *)
+        let arr_rng = Rng.split rng ~label:"arrivals" in
+        let mean_gap = int_of_float (Float.max 1.0 (1_000_000.0 /. rate)) in
+        let cap = max 1 max_in_flight in
+        let completed = ref 0 in
+        let queue = Queue.create () in
+        let rec maybe_start () =
+          if !in_flight < cap && not (Queue.is_empty queue) then begin
+            let arrived, program = Queue.pop queue in
+            decr queued;
+            incr in_flight;
+            let rec attempt tries =
+              Stats.note_attempt stats;
+              submit program ~on_done:(fun outcome ->
+                  match outcome with
+                  | Coordinator.Committed ->
+                      Stats.note_committed stats;
+                      Stats.record_latency stats ~started:arrived ~finished:(Engine.now engine);
+                      finish_one ()
+                  | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
+                      Stats.note_retry stats;
+                      think (fun () -> attempt (tries + 1))
+                  | Coordinator.Aborted _ ->
+                      Stats.note_final_abort stats;
+                      finish_one ())
+            and finish_one () =
+              decr in_flight;
+              incr completed;
+              if !completed = spec.Spec.n_global then locals_active := false;
+              maybe_start ()
+            in
+            attempt 0;
+            maybe_start ()
+          end
+        in
+        let rec arrival_loop () =
+          if !remaining > 0 then
+            Engine.schedule_unit engine ~delay:(Rng.exponential arr_rng ~mean:mean_gap)
+              (fun () ->
+                decr remaining;
+                incr queued;
+                Queue.push (Engine.now engine, Generator.global_program gen) queue;
+                maybe_start ();
+                arrival_loop ())
+        in
+        arrival_loop ()
   in
   (* Local clients: one loop per (site, slot), stopping when the global
      quota is done or the per-run local cap is reached. *)
@@ -212,9 +277,7 @@ let run setup =
         Engine.schedule_unit engine ~delay:at (fun () ->
             Dtm.crash_site ~reboot_delay:setup.reboot_delay dtm (Site.of_int site_idx)))
     setup.crash_schedule;
-  for _ = 1 to min spec.Spec.global_mpl spec.Spec.n_global do
-    global_client ()
-  done;
+  start_globals ();
   List.iter
     (fun site ->
       for _ = 1 to spec.Spec.local_mpl_per_site do
@@ -247,5 +310,5 @@ let run setup =
     throughput =
       (if sim_ticks = 0 then 0.0
        else float_of_int (Stats.committed stats) *. 1_000_000.0 /. float_of_int sim_ticks);
-    stuck = !in_flight + !remaining;
+    stuck = !in_flight + !queued + !remaining;
   }

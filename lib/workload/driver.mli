@@ -1,6 +1,8 @@
-(** The closed-loop workload driver: global clients work off a quota
-    (retrying aborts) while local clients run at every site; one [run]
-    produces one measured, deterministic data point. *)
+(** The workload driver: global traffic enters by the spec's arrival
+    discipline — a {!Spec.Closed} client population working off the quota,
+    or {!Spec.Open} Poisson arrivals with queueing past the in-service
+    cap — while local clients run at every site; one [run] produces one
+    measured, deterministic data point. *)
 
 open Hermes_kernel
 

@@ -9,9 +9,35 @@
 
 open Hermes_kernel
 
-type t = { spec : Spec.t; zipf : Zipf.t; rng : Rng.t }
+(* The key sampler, one per generator, compiled from the spec's key
+   distribution. The legacy Zipf path keeps its exact draw sequence (one
+   float per key) so old specs replay byte-identically. *)
+type sampler =
+  | Zipfian of Zipf.t
+  | Uniform_keys of int
+  | Hot of { n : int; hot : int; weight : float }
 
-let create ~spec ~rng = { spec; zipf = Zipf.create ~n:spec.Spec.keys_per_site ~theta:spec.Spec.zipf_theta; rng }
+let sampler_of_spec spec =
+  match Spec.effective_key_dist spec with
+  | Spec.Zipf { theta } -> Zipfian (Zipf.create ~n:spec.Spec.keys_per_site ~theta)
+  | Spec.Uniform -> Uniform_keys spec.Spec.keys_per_site
+  | Spec.Hotspot { fraction; weight } ->
+      let n = spec.Spec.keys_per_site in
+      let hot = max 1 (int_of_float (Float.round (fraction *. float_of_int n))) in
+      Hot { n; hot; weight }
+
+type t = { spec : Spec.t; sampler : sampler; rng : Rng.t }
+
+let create ~spec ~rng = { spec; sampler = sampler_of_spec spec; rng }
+
+let sample_key t =
+  match t.sampler with
+  | Zipfian z -> Zipf.sample z t.rng
+  | Uniform_keys n -> Rng.int t.rng ~bound:n
+  | Hot { n; hot; weight } ->
+      if Rng.bool t.rng ~p:weight then Rng.int t.rng ~bound:hot
+      else if n = hot then Rng.int t.rng ~bound:n
+      else hot + Rng.int t.rng ~bound:(n - hot)
 
 let distinct_sites t =
   let n = min t.spec.Spec.sites_per_txn t.spec.Spec.n_sites in
@@ -26,7 +52,7 @@ let site_commands t =
   let rec pick_targets acc n =
     if n = 0 then acc
     else
-      let target = (pick_table t, Zipf.sample t.zipf t.rng) in
+      let target = (pick_table t, sample_key t) in
       if List.mem target acc then pick_targets acc n else pick_targets (target :: acc) (n - 1)
   in
   let n_keys = min t.spec.Spec.ops_per_site (t.spec.Spec.keys_per_site * t.spec.Spec.n_tables) in
@@ -65,8 +91,17 @@ let local_partition_table = "LOCAL"
    look at global data. Without it (2CM), locals write global data too —
    DLU merely keeps them off *bound* items. *)
 let local_commands ?(partitioned = false) t =
-  List.init t.spec.Spec.local_ops (fun _ ->
-      let key = Zipf.sample t.zipf t.rng in
+  (* Long-tail locals: a [local_long_tail] fraction of local transactions
+     run 8x the ops — fat readers/writers that keep LTM queues occupied.
+     The extra draw happens only when the feature is on, so legacy specs
+     (long_tail = 0) replay byte-identically. *)
+  let n_ops =
+    if t.spec.Spec.local_long_tail > 0.0 && Rng.bool t.rng ~p:t.spec.Spec.local_long_tail then
+      t.spec.Spec.local_ops * 8
+    else t.spec.Spec.local_ops
+  in
+  List.init n_ops (fun _ ->
+      let key = sample_key t in
       if Rng.bool t.rng ~p:t.spec.Spec.local_write_ratio then
         let table = if partitioned then local_partition_table else pick_table t in
         Command.Update { table; key; delta = Rng.int_in t.rng ~lo:(-3) ~hi:3 }

@@ -1,6 +1,36 @@
 (** Workload parameters: database population, global-transaction traffic
     and local traffic per site. One spec + one seed = one deterministic
-    measured run. *)
+    measured run.
+
+    Build specs with {!make} and the first-class variants below. The flat
+    record fields duplicating them ([global_mpl], [think_time_mean],
+    [zipf_theta] and the mix triple) are a deprecated shim kept for one
+    release so [{ default with ... }] record updates still compile;
+    {!make} back-fills them and the [effective_*] resolvers fall back to
+    them when no variant was given. *)
+
+(** How global transactions enter the system. *)
+type arrival =
+  | Closed of { mpl : int; think_time_mean : int }
+      (** a fixed client population, each thinking between transactions —
+          the classic benchmark loop *)
+  | Open of { rate : float; max_in_flight : int }
+      (** Poisson arrivals at [rate] global transactions per simulated
+          second (ticks are microseconds); arrivals beyond
+          [max_in_flight] in-service clients queue, and latency is
+          measured from {e arrival}, so queueing delay under saturation
+          shows up in the percentiles *)
+
+(** How keys are drawn within a table. *)
+type key_dist =
+  | Uniform
+  | Zipf of { theta : float }  (** item [i+1] has weight [1/(i+1)^theta] *)
+  | Hotspot of { fraction : float; weight : float }
+      (** the first [fraction] of the key space draws [weight] of all
+          accesses, the rest is uniform *)
+
+(** The global-transaction shape. *)
+type mix = { sites_per_txn : int; ops_per_site : int; write_ratio : float }
 
 type t = {
   n_sites : int;
@@ -8,20 +38,59 @@ type t = {
   n_tables : int;  (** tables per site, named ["T0"], ["T1"], ... *)
   initial_value : int;
   n_global : int;  (** global transactions to run to completion *)
-  global_mpl : int;  (** concurrent global clients *)
-  sites_per_txn : int;
-  ops_per_site : int;
-  global_write_ratio : float;
+  global_mpl : int;  (** deprecated shim: prefer [arrival] *)
+  sites_per_txn : int;  (** deprecated shim: prefer [mix] *)
+  ops_per_site : int;  (** deprecated shim: prefer [mix] *)
+  global_write_ratio : float;  (** deprecated shim: prefer [mix] *)
   local_mpl_per_site : int;
   local_ops : int;
   local_write_ratio : float;
   local_txn_cap : int;  (** bound on total local transactions per run *)
-  zipf_theta : float;
-  think_time_mean : int;
+  local_long_tail : float;
+      (** fraction of local transactions running 8x [local_ops] — a
+          long-tail of fat local readers/writers; [0.] (default) draws no
+          randomness and leaves earlier runs byte-identical *)
+  zipf_theta : float;  (** deprecated shim: prefer [key_dist] *)
+  think_time_mean : int;  (** deprecated shim: prefer [arrival] *)
   max_retries : int;  (** retries of an aborted global transaction *)
+  arrival : arrival option;  (** [None]: resolve from the shim fields *)
+  key_dist : key_dist option;  (** [None]: resolve from [zipf_theta] *)
 }
 
 val default : t
+(** Closed loop, MPL 4, Zipf 0.6 — the PR 1-era parameters. *)
+
+val make :
+  ?n_sites:int ->
+  ?keys_per_site:int ->
+  ?n_tables:int ->
+  ?initial_value:int ->
+  ?n_global:int ->
+  ?arrival:arrival ->
+  ?mix:mix ->
+  ?key_dist:key_dist ->
+  ?local_mpl_per_site:int ->
+  ?local_ops:int ->
+  ?local_write_ratio:float ->
+  ?local_txn_cap:int ->
+  ?local_long_tail:float ->
+  ?max_retries:int ->
+  unit ->
+  t
+(** The builder: variant arguments are authoritative and the legacy flat
+    fields are back-filled from them, so readers of either view agree. *)
+
+val effective_arrival : t -> arrival
+(** The arrival discipline, resolving [None] to a {!Closed} loop over the
+    legacy [global_mpl]/[think_time_mean] fields. *)
+
+val effective_key_dist : t -> key_dist
+(** The key distribution, resolving [None] to [Zipf zipf_theta]. *)
+
+val effective_mix : t -> mix
+
 val table_name : int -> string
 val tables : t -> string list
+val pp_arrival : arrival Fmt.t
+val pp_key_dist : key_dist Fmt.t
 val pp : t Fmt.t

@@ -45,16 +45,17 @@ let local_committed t = t.local_committed
 let local_aborted t = t.local_aborted
 let latency_histogram t = Histogram.copy t.latencies
 
-type latency_summary = { mean : float; p50 : int; p95 : int; max : int }
+type latency_summary = { mean : float; p50 : int; p95 : int; p99 : int; max : int }
 
 let latency_summary t =
   let h = t.latencies in
-  if Histogram.count h = 0 then { mean = 0.0; p50 = 0; p95 = 0; max = 0 }
+  if Histogram.count h = 0 then { mean = 0.0; p50 = 0; p95 = 0; p99 = 0; max = 0 }
   else
     {
       mean = Histogram.mean h;
       p50 = Histogram.percentile h 50;
       p95 = Histogram.percentile h 95;
+      p99 = Histogram.percentile h 99;
       max = Histogram.max_value h;
     }
 

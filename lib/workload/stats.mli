@@ -38,7 +38,7 @@ val local_aborted : t -> int
 val latency_histogram : t -> Hermes_obs.Histogram.t
 (** The commit latencies of committed globals (a copy). *)
 
-type latency_summary = { mean : float; p50 : int; p95 : int; max : int }
+type latency_summary = { mean : float; p50 : int; p95 : int; p99 : int; max : int }
 
 val latency_summary : t -> latency_summary
 (** Mean and max are exact; p50/p95 are histogram-bucket upper bounds

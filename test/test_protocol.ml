@@ -717,12 +717,12 @@ let test_explore_no_termination_blocks_forever () =
 (* Timer hygiene: a quiesced run leaves no live engine timers           *)
 (* ------------------------------------------------------------------ *)
 
-let quiesced_run ~net_config =
+let quiesced_run ?(certifier = Config.full) ~net_config () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed:42 in
   let trace = Trace.create () in
   let dtm =
-    Dtm.create ~engine ~rng ~trace ~net_config ~certifier:Config.full
+    Dtm.create ~engine ~rng ~trace ~net_config ~certifier
       ~site_specs:(Array.init 2 (fun _ -> Dtm.default_site_spec))
       ()
   in
@@ -746,14 +746,208 @@ let quiesced_run ~net_config =
      popped), so none is live — a leaked periodic timer would instead
      re-arm forever and hang this test. *)
   Alcotest.(check int) "all transactions finished" 5 !finished;
-  Alcotest.(check int) "quiesced run leaves no live timers" 0 (Engine.stats engine).Engine.live
+  Alcotest.(check int) "quiesced run leaves no live timers" 0 (Engine.stats engine).Engine.live;
+  dtm
 
-let test_quiesced_no_live_timers () = quiesced_run ~net_config:Network.default_config
+let test_quiesced_no_live_timers () =
+  ignore (quiesced_run ~net_config:Network.default_config () : Dtm.t)
 
 let test_quiesced_no_live_timers_dup_network () =
-  quiesced_run
-    ~net_config:
-      { Network.default_config with Network.faults = { Network.no_faults with Network.dup = 1.0 } }
+  ignore
+    (quiesced_run
+       ~net_config:
+         { Network.default_config with Network.faults = { Network.no_faults with Network.dup = 1.0 } }
+       ()
+      : Dtm.t)
+
+(* ------------------------------------------------------------------ *)
+(* Group commit: buffered PREPAREs, staged decisions, the batch force   *)
+(* ------------------------------------------------------------------ *)
+
+let gcfg = { cfg with Config.group_commit_window = 1_000; max_batch = 8 }
+let force_batches effs = List.filter_map (function T.Force_batch rs -> Some rs | _ -> None) effs
+
+let any_force effs =
+  List.exists (function T.Force_log _ | T.Force_batch _ -> true | _ -> false) effs
+
+(* BEGIN + EXEC one subtransaction, stopping short of the PREPARE. *)
+let begun ?(cfg = gcfg) st gid =
+  let st, _ = deliver ~cfg st ~gid Wire.Begin in
+  let st, _ = deliver ~cfg st ~gid (Wire.Exec { step = 0; cmd }) in
+  let st, _ =
+    A.step cfg st
+      (A.Exec_done
+         { env = env (); gid; inc = 0; purpose = A.Reply 0; result = A.Done (Command.Count 1) })
+  in
+  st
+
+let test_gc_prepare_buffers_until_flush () =
+  let st = begun (A.init ~site:a) 1 in
+  let st, effs1 = deliver ~cfg:gcfg st ~gid:1 (Wire.Prepare (mk_sn 0)) in
+  Alcotest.(check bool) "no vote before the flush" true (sends effs1 = []);
+  Alcotest.(check bool) "nothing forced before the flush" true (not (any_force effs1));
+  Alcotest.(check bool) "flush timer armed" true (has_arm effs1 A.T_flush);
+  let st = begun st 2 in
+  let st, effs2 = deliver ~cfg:gcfg st ~gid:2 (Wire.Prepare (mk_sn 1)) in
+  Alcotest.(check bool) "second PREPARE buffers silently" true (effs2 = []);
+  Alcotest.(check int) "two buffered" 2 (A.buffered_prepares st);
+  let st, effs =
+    A.step gcfg st (A.Flush_fired { env = env ~views:[ (1, v ()); (2, v ()) ] () })
+  in
+  Alcotest.(check int) "both vote READY at the flush" 2
+    (List.length (List.filter (( = ) Wire.Ready) (sends effs)));
+  (match force_batches effs with
+  | [ records ] ->
+      Alcotest.(check bool) "one batch force carries both promises, in arrival order" true
+        (records = [ A.R_prepare { gid = 1; sn = mk_sn 0 }; A.R_prepare { gid = 2; sn = mk_sn 1 } ])
+  | l -> Alcotest.failf "expected exactly one Force_batch, got %d" (List.length l));
+  Alcotest.(check bool) "hold-opens coalesced into one LTM round-trip" true
+    (has_call effs (A.L_hold_open_batch { gids = [ 1; 2 ] }));
+  Alcotest.(check bool) "per-gid hold-opens replaced" true
+    ((not (has_call effs (A.L_hold_open { gid = 1 })))
+    && not (has_call effs (A.L_hold_open { gid = 2 })));
+  Alcotest.(check int) "both certified into the table" 2 (A.n_prepared st);
+  Alcotest.(check bool) "no residue after the flush" true
+    ((not (A.flush_pending st)) && not (A.flush_armed st))
+
+let test_gc_max_batch_forces_inline () =
+  (* A fill to [max_batch] forces inside the delivering step: no waiting
+     for the window, and the armed flush timer is cancelled. *)
+  let gcfg2 = { gcfg with Config.max_batch = 2 } in
+  let st = begun ~cfg:gcfg2 (A.init ~site:a) 1 in
+  let st = begun ~cfg:gcfg2 st 2 in
+  let st, _ = deliver ~cfg:gcfg2 st ~gid:1 (Wire.Prepare (mk_sn 0)) in
+  let st, effs =
+    deliver ~cfg:gcfg2
+      ~env:(env ~views:[ (1, v ()); (2, v ()) ] ())
+      st ~gid:2 (Wire.Prepare (mk_sn 1))
+  in
+  Alcotest.(check int) "one batch force at the fill" 1 (List.length (force_batches effs));
+  Alcotest.(check bool) "flush timer cancelled" true (has_cancel effs A.T_flush);
+  Alcotest.(check int) "both vote READY" 2
+    (List.length (List.filter (( = ) Wire.Ready) (sends effs)));
+  Alcotest.(check bool) "no residue" true
+    ((not (A.flush_pending st)) && not (A.flush_armed st))
+
+let test_gc_decision_staged_until_flush () =
+  let views = [ (1, v ()) ] in
+  let st = begun (A.init ~site:a) 1 in
+  let st, _ = deliver ~cfg:gcfg st ~gid:1 (Wire.Prepare (mk_sn 0)) in
+  let st, _ = A.step gcfg st (A.Flush_fired { env = env ~views () }) in
+  let st, effs = deliver ~cfg:gcfg ~env:(env ~views ()) st ~gid:1 Wire.Commit in
+  Alcotest.(check bool) "decision staged, not forced" true (not (any_force effs));
+  Alcotest.(check bool) "local commit withheld until the batch force" true
+    (not (has_call effs (A.L_commit { gid = 1; inc = 0 })));
+  Alcotest.(check int) "one staged record" 1 (A.staged_records st);
+  Alcotest.(check bool) "flush timer re-armed" true (has_arm effs A.T_flush);
+  let _, effs = A.step gcfg st (A.Flush_fired { env = env ~views () }) in
+  (match force_batches effs with
+  | [ [ r ] ] ->
+      Alcotest.(check bool) "the commit record is the batch" true (r = A.R_commit { gid = 1 })
+  | _ -> Alcotest.fail "expected one single-record Force_batch");
+  Alcotest.(check bool) "local commit released with the force" true
+    (has_call effs (A.L_commit { gid = 1; inc = 0 }))
+
+let test_gc_crash_loses_staged_state () =
+  (* Staged-but-unforced records and buffered PREPAREs are volatile:
+     exactly the durability the protocol expects of an unforced record. *)
+  let st = begun (A.init ~site:a) 1 in
+  let st, _ = deliver ~cfg:gcfg st ~gid:1 (Wire.Prepare (mk_sn 0)) in
+  let st, effs = A.step gcfg st (A.Crash { live = 0 }) in
+  Alcotest.(check bool) "flush timer cancelled on crash" true (has_cancel effs A.T_flush);
+  Alcotest.(check bool) "buffered and staged state wiped" true
+    ((not (A.flush_pending st)) && not (A.flush_armed st))
+
+let prop_gc_batched_equals_sequential =
+  (* The vectorized certification pass at a flush must reach exactly the
+     per-gid verdicts that per-message certification reaches, for any mix
+     of timestamps and any already-committed max SN. *)
+  QCheck.Test.make ~name:"batched certification decides like per-message" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 6) (int_bound 1000)) (option (int_bound 1000)))
+    (fun (stamps, max_ts) ->
+      let max_sn = Option.map (fun ts -> mk_sn ~ts 99) max_ts in
+      let views = List.mapi (fun i _ -> (i + 1, v ())) stamps in
+      let e = env ~views ?max_sn () in
+      let sns = List.mapi (fun i ts -> (i + 1, mk_sn ~ts (i + 1))) stamps in
+      let votes effs =
+        List.filter_map
+          (function
+            | T.Send { gid; payload = (Wire.Ready | Wire.Refuse _) as p; _ } -> Some (gid, p)
+            | _ -> None)
+          effs
+      in
+      (* Per-message: certify each PREPARE on arrival (batching off). *)
+      let seq_votes =
+        snd
+          (List.fold_left
+             (fun (st, acc) (gid, sn) ->
+               let st = begun ~cfg st gid in
+               let st, effs = deliver ~env:e st ~gid (Wire.Prepare sn) in
+               (st, acc @ votes effs))
+             (A.init ~site:a, []) sns)
+      in
+      (* Batched: buffer them all, then vector-certify at one flush. *)
+      let batch_votes =
+        let st =
+          List.fold_left
+            (fun st (gid, sn) ->
+              let st = begun ~cfg:gcfg st gid in
+              fst (deliver ~cfg:gcfg ~env:e st ~gid (Wire.Prepare sn)))
+            (A.init ~site:a) sns
+        in
+        votes (snd (A.step gcfg st (A.Flush_fired { env = e })))
+      in
+      List.sort compare seq_votes = List.sort compare batch_votes)
+
+let gc_certifier = { Config.full with Config.group_commit_window = 1_000; max_batch = 8 }
+
+let test_gc_forces_drop_per_batch () =
+  (* End-to-end: 5 two-site globals pay 2 agent forces per subtransaction
+     (prepare + commit = 20 total) and 3 coordinator forces per
+     transaction (15 total) without batching; group commit must amortize
+     both well below that, and a quiesced run must leave no armed flush
+     timer and no staged-but-unforced records. *)
+  let dtm = quiesced_run ~certifier:gc_certifier ~net_config:Network.default_config () in
+  let t = Dtm.totals dtm in
+  Alcotest.(check bool) "agent forces amortized" true (t.Dtm.agent_log_forces < 20);
+  Alcotest.(check bool) "coordinator forces amortized" true (t.Dtm.coord_log_forces < 15);
+  Alcotest.(check bool) "coordinator batcher engaged" true
+    (t.Dtm.gc_flushes > 0 && t.Dtm.gc_staged >= t.Dtm.gc_flushes);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "no staged-but-unforced records" true
+        (not (Hermes_core.Agent.flush_pending (Dtm.agent dtm s))))
+    (Dtm.site_ids dtm)
+
+let test_gc_run_digest_deterministic () =
+  (* Two identically-seeded batched runs are byte-identical: the flush
+     timer and batch forces are as deterministic as everything else. *)
+  let setup =
+    {
+      Driver.default_setup with
+      Driver.protocol = Driver.Two_pca gc_certifier;
+      seed = 21;
+      spec = { Spec.default with Spec.n_global = 40 };
+    }
+  in
+  check_golden "batched run digest stable" (run_digest setup) (run_digest setup)
+
+let test_explore_group_commit_clean () =
+  (* The checker drives the flush timer like any other: every
+     interleaving of batched certification with max_batch fills is
+     exhaustive, violation-free, and leaves no staged residue (the
+     checker's hygiene invariant covers T_flush). *)
+  let st =
+    Explore.run
+      {
+        Explore.default with
+        Explore.n_txns = 2;
+        config =
+          { Explore.default.Explore.config with Config.group_commit_window = 1_000; max_batch = 2 };
+        budgets = Explore.no_faults;
+      }
+  in
+  check_clean "2x2 group commit" st
 
 (* ------------------------------------------------------------------ *)
 
@@ -841,5 +1035,20 @@ let () =
           Alcotest.test_case "quiesced run leaves no live timers" `Quick test_quiesced_no_live_timers;
           Alcotest.test_case "quiesced run (duplicating network)" `Quick
             test_quiesced_no_live_timers_dup_network;
+        ] );
+      ( "group-commit",
+        [
+          Alcotest.test_case "PREPAREs buffer until the flush" `Quick
+            test_gc_prepare_buffers_until_flush;
+          Alcotest.test_case "max_batch fill forces inline" `Quick test_gc_max_batch_forces_inline;
+          Alcotest.test_case "decision staged until the flush" `Quick
+            test_gc_decision_staged_until_flush;
+          Alcotest.test_case "crash loses staged state" `Quick test_gc_crash_loses_staged_state;
+          QCheck_alcotest.to_alcotest prop_gc_batched_equals_sequential;
+          Alcotest.test_case "e2e forces drop to ~1 per batch" `Quick test_gc_forces_drop_per_batch;
+          Alcotest.test_case "batched run digest deterministic" `Quick
+            test_gc_run_digest_deterministic;
+          Alcotest.test_case "2x2 batched exploration exhausts clean" `Slow
+            test_explore_group_commit_clean;
         ] );
     ]

@@ -117,6 +117,105 @@ let test_generator_partitioned_locals () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Spec: the builder and the deprecated flat-field shim                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_builder_backfills () =
+  let s =
+    Spec.make
+      ~arrival:(Spec.Closed { mpl = 7; think_time_mean = 123 })
+      ~key_dist:(Spec.Zipf { theta = 0.8 })
+      ~mix:{ Spec.sites_per_txn = 3; ops_per_site = 4; write_ratio = 0.25 }
+      ()
+  in
+  Alcotest.(check int) "mpl back-filled" 7 s.Spec.global_mpl;
+  Alcotest.(check int) "think time back-filled" 123 s.Spec.think_time_mean;
+  Alcotest.(check (float 0.0)) "theta back-filled" 0.8 s.Spec.zipf_theta;
+  Alcotest.(check int) "sites back-filled" 3 s.Spec.sites_per_txn;
+  Alcotest.(check int) "ops back-filled" 4 s.Spec.ops_per_site;
+  Alcotest.(check (float 0.0)) "write ratio back-filled" 0.25 s.Spec.global_write_ratio
+
+let test_spec_open_loop_backfill () =
+  let o = Spec.make ~arrival:(Spec.Open { rate = 500.0; max_in_flight = 64 }) ~key_dist:Spec.Uniform () in
+  Alcotest.(check int) "in-flight cap back-fills mpl" 64 o.Spec.global_mpl;
+  Alcotest.(check (float 0.0)) "uniform back-fills theta 0" 0.0 o.Spec.zipf_theta;
+  match Spec.effective_arrival o with
+  | Spec.Open { rate; max_in_flight } ->
+      Alcotest.(check (float 0.0)) "rate kept" 500.0 rate;
+      Alcotest.(check int) "cap kept" 64 max_in_flight
+  | Spec.Closed _ -> Alcotest.fail "expected Open"
+
+let test_spec_flat_fields_resolve () =
+  (* Legacy [{ default with ... }] records resolve through the
+     effective_* views exactly as before the redesign. *)
+  let legacy = { Spec.default with Spec.global_mpl = 9; zipf_theta = 0.4 } in
+  (match Spec.effective_arrival legacy with
+  | Spec.Closed { mpl; think_time_mean } ->
+      Alcotest.(check int) "flat mpl resolves" 9 mpl;
+      Alcotest.(check int) "flat think time resolves" Spec.default.Spec.think_time_mean think_time_mean
+  | Spec.Open _ -> Alcotest.fail "expected Closed");
+  (match Spec.effective_key_dist legacy with
+  | Spec.Zipf { theta } -> Alcotest.(check (float 0.0)) "flat theta resolves" 0.4 theta
+  | _ -> Alcotest.fail "expected Zipf");
+  let m = Spec.effective_mix legacy in
+  Alcotest.(check int) "flat mix resolves" Spec.default.Spec.sites_per_txn m.Spec.sites_per_txn
+
+(* ------------------------------------------------------------------ *)
+(* Key distributions and the local long tail                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_hotspot_keys () =
+  let spec =
+    Spec.make ~n_sites:4 ~keys_per_site:100
+      ~key_dist:(Spec.Hotspot { fraction = 0.1; weight = 0.9 })
+      ()
+  in
+  let gen = Generator.create ~spec ~rng:(Rng.create ~seed:8) in
+  let total = ref 0 and hot = ref 0 in
+  for _ = 1 to 300 do
+    let p = Generator.global_program gen in
+    List.iter
+      (fun site ->
+        List.iter
+          (function
+            | Command.Update { key; _ } ->
+                incr total;
+                if key < 10 then incr hot
+            | _ -> ())
+          (Program.commands_at p site))
+      (Program.sites p)
+  done;
+  Alcotest.(check bool) "hot tenth dominates" true
+    (float_of_int !hot > 0.6 *. float_of_int !total);
+  Alcotest.(check bool) "cold keys still drawn" true (!hot < !total)
+
+let test_generator_uniform_keys_in_range () =
+  let spec = Spec.make ~keys_per_site:16 ~key_dist:Spec.Uniform () in
+  let gen = Generator.create ~spec ~rng:(Rng.create ~seed:11) in
+  for _ = 1 to 100 do
+    let p = Generator.global_program gen in
+    List.iter
+      (fun site ->
+        List.iter
+          (function
+            | Command.Update { key; _ } ->
+                Alcotest.(check bool) "in range" true (0 <= key && key < 16)
+            | _ -> ())
+          (Program.commands_at p site))
+      (Program.sites p)
+  done
+
+let test_generator_long_tail_locals () =
+  (* With a certain long tail every local txn runs 8x the ops; with the
+     feature off the legacy length is untouched. *)
+  let tailed = Spec.make ~local_ops:2 ~local_long_tail:1.0 () in
+  let gen = Generator.create ~spec:tailed ~rng:(Rng.create ~seed:12) in
+  Alcotest.(check int) "8x ops" 16 (List.length (Generator.local_commands gen));
+  let flat = Spec.make ~local_ops:2 ~local_long_tail:0.0 () in
+  let gen = Generator.create ~spec:flat ~rng:(Rng.create ~seed:12) in
+  Alcotest.(check int) "legacy length" 2 (List.length (Generator.local_commands gen))
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -203,6 +302,56 @@ let test_driver_local_cap () =
   let locals = Stats.local_committed r.Driver.stats + Stats.local_aborted r.Driver.stats in
   Alcotest.(check bool) "cap respected" true (locals <= 25)
 
+let test_driver_open_loop_completes () =
+  let setup =
+    {
+      Driver.default_setup with
+      Driver.seed = 17;
+      spec = Spec.make ~n_global:40 ~arrival:(Spec.Open { rate = 400.0; max_in_flight = 8 }) ();
+    }
+  in
+  let r = Driver.run setup in
+  Alcotest.(check int) "quota done" 40
+    (Stats.committed r.Driver.stats + Stats.aborted_final r.Driver.stats);
+  Alcotest.(check int) "nothing stuck" 0 r.Driver.stuck;
+  (* Open-loop runs are as deterministic as closed-loop ones: the arrival
+     process has its own split RNG stream. *)
+  let r2 = Driver.run setup in
+  Alcotest.(check int) "deterministic events" r.Driver.events r2.Driver.events;
+  Alcotest.(check int) "deterministic ticks" r.Driver.sim_ticks r2.Driver.sim_ticks;
+  Alcotest.(check int) "deterministic commits" (Stats.committed r.Driver.stats)
+    (Stats.committed r2.Driver.stats)
+
+let test_gc_acceptance_forces_per_commit () =
+  (* The headline number: group commit at 5k transactions under dense
+     open-loop load pays fewer than 0.5 synchronous log forces per
+     committed global (vs ~7 with batching off: 2 agent forces per
+     subtransaction and 3 coordinator forces per transaction). *)
+  let certifier = { Config.full with Config.group_commit_window = 25_000; max_batch = 32 } in
+  let r =
+    Driver.run
+      {
+        Driver.default_setup with
+        Driver.protocol = Driver.Two_pca certifier;
+        seed = 33;
+        spec =
+          Spec.make ~n_sites:2 ~keys_per_site:1_000 ~n_global:5_000
+            ~arrival:(Spec.Open { rate = 1_000.0; max_in_flight = 48 })
+            ~key_dist:Spec.Uniform ~local_mpl_per_site:0 ();
+      }
+  in
+  let committed = Stats.committed r.Driver.stats in
+  let t = r.Driver.totals in
+  Alcotest.(check int) "nothing stuck" 0 r.Driver.stuck;
+  Alcotest.(check bool) "most of the quota commits" true (committed > 4_000);
+  let fpc =
+    float_of_int (t.Hermes_core.Dtm.agent_log_forces + t.Hermes_core.Dtm.coord_log_forces)
+    /. float_of_int committed
+  in
+  Alcotest.(check bool)
+    (Fmt.str "forces per committed txn %.3f < 0.5" fpc)
+    true (fpc < 0.5)
+
 let test_protocol_names () =
   Alcotest.(check string) "2cm" "2CM" (Driver.protocol_name (Driver.Two_pca Config.full));
   Alcotest.(check string) "naive" "naive" (Driver.protocol_name (Driver.Two_pca Config.naive));
@@ -220,11 +369,20 @@ let () =
           Alcotest.test_case "uniform" `Quick test_zipf_uniform;
           q prop_zipf_in_range;
         ] );
+      ( "spec",
+        [
+          Alcotest.test_case "builder back-fills flat fields" `Quick test_spec_builder_backfills;
+          Alcotest.test_case "open loop back-fill" `Quick test_spec_open_loop_backfill;
+          Alcotest.test_case "flat fields resolve" `Quick test_spec_flat_fields_resolve;
+        ] );
       ( "generator",
         [
           Alcotest.test_case "distinct sites" `Quick test_generator_distinct_sites;
           Alcotest.test_case "no upgrade patterns" `Quick test_generator_no_upgrades;
           Alcotest.test_case "partitioned locals" `Quick test_generator_partitioned_locals;
+          Alcotest.test_case "hotspot keys" `Quick test_generator_hotspot_keys;
+          Alcotest.test_case "uniform keys in range" `Quick test_generator_uniform_keys_in_range;
+          Alcotest.test_case "long-tail locals" `Quick test_generator_long_tail_locals;
         ] );
       ( "stats",
         [
@@ -238,6 +396,10 @@ let () =
           Alcotest.test_case "clean under failures" `Quick test_driver_full_certifier_clean_under_failures;
           Alcotest.test_case "CGM protocol" `Quick test_driver_cgm_protocol;
           Alcotest.test_case "local cap" `Quick test_driver_local_cap;
+          Alcotest.test_case "open loop completes and is deterministic" `Quick
+            test_driver_open_loop_completes;
+          Alcotest.test_case "group commit: <0.5 forces per commit at 5k" `Slow
+            test_gc_acceptance_forces_per_commit;
           Alcotest.test_case "protocol names" `Quick test_protocol_names;
         ] );
     ]
