@@ -1,25 +1,33 @@
 (* The benchmark harness.
 
-   Part 1 regenerates every experiment table (E1..E15) — the paper has no
+   Part 1 regenerates every experiment table (E1..E16) — the paper has no
    quantitative tables of its own, so these operationalize its qualitative
    claims; the mapping is documented in DESIGN.md §3 and EXPERIMENTS.md.
    The whole sweep runs with a shared metrics registry, summarized after
    the tables (and the registry totals double as a sanity check that the
    suite actually exercised the certifier paths).
 
-   Part 2 runs Bechamel microbenchmarks (M1..M13) of the certifier's and
+   Part 2 runs Bechamel microbenchmarks (M1..M15) of the certifier's and
    substrate's hot operations: alive-interval certification (fast path
    and fold baseline), alive-table maintenance, commit certification
    (fast path and fold baseline), lock acquisition, serialization /
-   commit-order graph checks, replay, and the exact view-serializability
+   commit-order graph checks, replay, the exact view-serializability
    decision — pruned DFS vs the naive permutation search on the same
-   fixture, plus the DFS alone on a 10-transaction history.
+   fixture, plus the DFS alone on a 10-transaction history — and the
+   event-scheduler substrate itself (engine schedule/fire/cancel and
+   priority-queue churn).
 
-   Run with:  dune exec bench/main.exe -- [--quick] [--jobs N] [--json FILE]
+   Part 3 runs one fixed workload through the conservative windowed
+   engine on 1 and on --domains N OCaml domains and reports wall-clock
+   txns/s and the parallel speedup (the merged history is
+   domain-count-invariant, so both runs commit the same transactions).
 
-   --json dumps every table cell, the suite metrics registry and the
-   microbenchmark estimates as one JSON document (see BENCH_0001.json
-   for a committed reference dump). *)
+   Run with:  dune exec bench/main.exe -- [--quick] [--jobs N] [--domains N] [--json FILE]
+
+   --json dumps every table cell, the suite metrics registry, the
+   microbenchmark estimates and the multicore scaling runs as one JSON
+   document, schema "hermes-bench/2" (see BENCH_0004.json for a
+   committed reference dump). *)
 
 open Hermes_kernel
 module Experiment = Hermes_harness.Experiment
@@ -34,6 +42,11 @@ module Replay = Hermes_history.Replay
 module View = Hermes_history.View
 module Committed = Hermes_history.Committed
 module Json = Hermes_obs.Json
+module Engine = Hermes_sim.Engine
+module Pqueue = Hermes_sim.Pqueue
+module Spec = Hermes_workload.Spec
+module Stats = Hermes_workload.Stats
+module Driver = Hermes_workload.Driver
 
 (* ------------------------------------------------------------------ *)
 (* Fixtures for the microbenchmarks                                    *)
@@ -204,7 +217,32 @@ let run_microbenchmarks () =
     Test.make ~name:"M13 commit certification min-SN, fold baseline (64 prepared)"
       (Staged.stage (fun () -> ignore (Alive_table.min_sn_holds_fold table64 ~gid:33 ~sn:sn33)))
   in
-  let tests = [ m1; m2; m3; m4; m5; m6; m7; m8; m9; m10; m11; m12; m13 ] in
+  let m14 =
+    Test.make ~name:"M14 engine schedule/fire/cancel (256 events, 1/4 cancelled)"
+      (Staged.stage (fun () ->
+           let e = Engine.create () in
+           let timers = Array.init 256 (fun i -> Engine.schedule e ~delay:(i * 7 mod 64) ignore) in
+           Array.iteri (fun i t -> if i land 3 = 0 then Engine.cancel t) timers;
+           Engine.run e))
+  in
+  let m15 =
+    let module Q = Pqueue.Make (Int) in
+    Test.make ~name:"M15 pqueue insert+pop (256 keys, adversarial order)"
+      (Staged.stage (fun () ->
+           let q = ref Q.empty in
+           for i = 0 to 255 do
+             q := Q.insert !q (i * 7919 mod 1024)
+           done;
+           let rec drain () =
+             match Q.pop !q with
+             | Some (_, rest) ->
+                 q := rest;
+                 drain ()
+             | None -> ()
+           in
+           drain ()))
+  in
+  let tests = [ m1; m2; m3; m4; m5; m6; m7; m8; m9; m10; m11; m12; m13; m14; m15 ] in
   let benchmark test =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
     let instance = Toolkit.Instance.monotonic_clock in
@@ -234,6 +272,51 @@ let print_microbenchmarks results =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Multicore scaling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One fixed workload through the conservative windowed engine, on one
+   domain and on [domains]: the merged history is domain-count-invariant,
+   so both runs commit the same transactions and the only thing that may
+   change is the wall clock. *)
+let run_multicore ~quick ~domains =
+  let n_sites = 16 in
+  let n_global = if quick then 160 else 480 in
+  let setup =
+    {
+      Driver.default_setup with
+      Driver.seed = 7;
+      spec =
+        {
+          Spec.default with
+          Spec.n_sites;
+          n_global;
+          global_mpl = 2 * n_sites;
+          local_txn_cap = 20 * n_sites;
+        };
+    }
+  in
+  List.map
+    (fun d ->
+      let r = Driver.run_windowed ~domains:d setup in
+      let committed = Stats.committed r.Driver.stats in
+      let tps = if r.Driver.wall_s > 0.0 then float_of_int committed /. r.Driver.wall_s else 0.0 in
+      (d, committed, r.Driver.stuck, r.Driver.wall_s, tps))
+    (if domains > 1 then [ 1; domains ] else [ 1 ])
+
+let print_multicore runs =
+  Fmt.pr "@.== Multicore windowed engine (16 sites; host advertises %d core%s) ==@."
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  let base_wall = match runs with (_, _, _, w, _) :: _ -> w | [] -> 0.0 in
+  List.iter
+    (fun (d, committed, stuck, wall, tps) ->
+      Fmt.pr "  domains %d: %d committed (%d stuck), %.3fs wall, %.0f txns/s wall, speedup %.2fx@." d
+        committed stuck wall tps
+        (if wall > 0.0 then base_wall /. wall else 0.0))
+    runs
+
+(* ------------------------------------------------------------------ *)
 (* JSON dump                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -247,7 +330,7 @@ let table_json (name, (t : Table_fmt.t)) =
       ("notes", Json.List (List.map (fun n -> Json.String n) t.Table_fmt.notes));
     ]
 
-let dump_json ~path ~quick ~jobs ~tables ~metrics ~micro =
+let dump_json ~path ~quick ~jobs ~domains ~tables ~metrics ~micro ~multicore =
   let micro_json =
     List.map
       (fun (name, ns) ->
@@ -258,15 +341,31 @@ let dump_json ~path ~quick ~jobs ~tables ~metrics ~micro =
           ])
       micro
   in
+  let multicore_json =
+    List.map
+      (fun (d, committed, stuck, wall, tps) ->
+        Json.Obj
+          [
+            ("domains", Json.Int d);
+            ("committed", Json.Int committed);
+            ("stuck", Json.Int stuck);
+            ("wall_s", Json.Float wall);
+            ("txns_per_sec", Json.Float tps);
+          ])
+      multicore
+  in
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "hermes-bench/1");
+        ("schema", Json.String "hermes-bench/2");
         ("quick", Json.Bool quick);
         ("jobs", Json.Int jobs);
+        ("domains", Json.Int domains);
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
         ("tables", Json.List (List.map table_json tables));
         ("metrics", Json.of_string (Hermes_obs.Registry.to_json metrics));
         ("microbench", Json.List micro_json);
+        ("multicore", Json.List multicore_json);
       ]
   in
   let oc = open_out path in
@@ -279,7 +378,7 @@ let dump_json ~path ~quick ~jobs ~tables ~metrics ~micro =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let bench quick jobs json =
+let bench quick jobs domains json =
   let t0 = Unix.gettimeofday () in
   let metrics = Hermes_obs.Registry.create () in
   let seeds_of n = if quick then max 1 (n / 3) else n in
@@ -289,12 +388,14 @@ let bench quick jobs json =
         let t = table () in
         Table_fmt.print t;
         (name, t))
-      (Experiment.tables ~seeds_of ~jobs ~metrics ())
+      (Experiment.tables ~seeds_of ~jobs ~domains ~metrics ())
   in
   Hermes_harness.Obs_report.print ~title:"Suite metrics (all experiments)" metrics;
   let micro = run_microbenchmarks () in
   print_microbenchmarks micro;
-  Option.iter (fun path -> dump_json ~path ~quick ~jobs ~tables ~metrics ~micro) json;
+  let multicore = run_multicore ~quick ~domains in
+  print_multicore multicore;
+  Option.iter (fun path -> dump_json ~path ~quick ~jobs ~domains ~tables ~metrics ~micro ~multicore) json;
   Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
 
 let () =
@@ -305,17 +406,31 @@ let () =
       value
       & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Fan each experiment's seed sweep out over $(docv) domains (results are byte-identical).")
+          ~doc:
+            "Fan each experiment's seed sweep out over $(docv) domains — parallelism ACROSS \
+             independent seeded runs; results are byte-identical. Contrast $(b,--domains).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (max 2 (Domain.recommended_domain_count ()))
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Within-run site parallelism for the multicore section and E16: the windowed engine \
+             runs on 1 and on $(docv) OCaml domains (default: the host core count, at least 2). \
+             Contrast $(b,--jobs), which parallelizes across independent runs.")
   in
   let json =
     Arg.(
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Dump every table cell, the metrics registry and the microbenchmark estimates to $(docv).")
+          ~doc:
+            "Dump every table cell, the metrics registry, the microbenchmark estimates and the \
+             multicore scaling runs to $(docv) (schema $(b,hermes-bench/2)).")
   in
-  let term = Term.(const bench $ quick $ jobs $ json) in
+  let term = Term.(const bench $ quick $ jobs $ domains $ json) in
   let info =
-    Cmd.info "bench" ~doc:"Regenerate the experiment tables (E1..E15) and run the microbenchmarks (M1..M13)."
+    Cmd.info "bench" ~doc:"Regenerate the experiment tables (E1..E16) and run the microbenchmarks (M1..M15)."
   in
   exit (Cmd.eval (Cmd.v info term))

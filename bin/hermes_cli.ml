@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E15)
+     hermes experiments -- print the experiment tables (E1..E16)
 
    All simulations are deterministic in the seed. *)
 
@@ -177,6 +177,18 @@ let run_cmd =
       & opt (some (enum [ ("site", Cgm.Site_level); ("table", Cgm.Table_level) ])) None
       & info [ "cgm" ] ~doc:"Use the CGM baseline at $(b,site) or $(b,table) granularity instead of 2CM.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run the simulation's sites on $(docv) OCaml domains with the conservative windowed \
+             scheduler (within-run parallelism; contrast $(b,experiments --jobs), which fans \
+             independent seeded runs out across domains). $(docv) = 1 keeps the legacy sequential \
+             engine and its byte-identical schedules. The windowed schedule is deterministic and \
+             identical for every $(docv) > 1, but differs from the sequential one.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also print the committed projection.") in
   let dump =
     Arg.(
@@ -185,8 +197,21 @@ let run_cmd =
       & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
   in
   let run () certifier cgm sites globals mpl failure_p jitter drop dup crashes reboot_delay
-      crash_coordinator drift theta open_loop group_commit seed verbose dump metrics_out trace_out
-      metrics_summary =
+      crash_coordinator drift theta open_loop group_commit domains seed verbose dump metrics_out
+      trace_out metrics_summary =
+    if domains > 1 && trace_out <> None then begin
+      (* Golden trace digests are pinned to the sequential engine's
+         schedule; a windowed trace would silently produce different
+         (though equally valid) digests. *)
+      Fmt.epr "hermes: --domains %d cannot be combined with --trace-out (trace digests are pinned \
+               to the sequential engine; drop --domains or --trace-out)@." domains;
+      exit 2
+    end;
+    if domains > 1 && cgm <> None then begin
+      Fmt.epr "hermes: --domains %d requires the 2CM protocol (the CGM baseline is single-domain \
+               only)@." domains;
+      exit 2
+    end;
     let certifier =
       if group_commit then
         {
@@ -226,11 +251,15 @@ let run_cmd =
         reboot_delay;
         crash_coordinators = crash_coordinator;
         obs;
+        domains;
       }
     in
     let r = Driver.run setup in
     let s = r.Driver.stats in
     Fmt.pr "protocol: %s, seed %d@." (Driver.protocol_name protocol) seed;
+    if domains > 1 then
+      Fmt.pr "engine: windowed, %d domains, %.3fs wall (%.0f txns/s wall)@." domains r.Driver.wall_s
+        (if r.Driver.wall_s > 0.0 then float_of_int (Stats.committed s) /. r.Driver.wall_s else 0.0);
     Fmt.pr "global txns: %d committed, %d gave up, %d retries, %d stuck@." (Stats.committed s)
       (Stats.aborted_final s) (Stats.retries s) r.Driver.stuck;
     Fmt.pr "local txns: %d committed, %d aborted@." (Stats.local_committed s) (Stats.local_aborted s);
@@ -270,7 +299,7 @@ let run_cmd =
     Term.(
       const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drop
       $ dup $ crashes $ reboot_delay $ crash_coordinator $ drift $ theta $ open_loop $ group_commit
-      $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
+      $ domains $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -374,11 +403,11 @@ let experiments_cmd =
       & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
   let only =
-    let names = List.init 15 (fun i -> Fmt.str "e%d" (i + 1)) in
+    let names = List.init 16 (fun i -> Fmt.str "e%d" (i + 1)) in
     Arg.(
       value
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
-      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e15)).")
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e16)).")
   in
   let jobs =
     Arg.(
@@ -386,15 +415,29 @@ let experiments_cmd =
       & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
-            "Fan each experiment's seed sweep out over $(docv) domains. Tables and metrics are \
-             byte-identical to a sequential run.")
+            "Fan each experiment's seed sweep out over $(docv) domains — parallelism ACROSS \
+             independent seeded runs. Tables and metrics are byte-identical to a sequential run. \
+             Contrast $(b,--domains), which parallelizes WITHIN a run and only affects E16.")
   in
-  let run () quick seeds only jobs metrics_out metrics_summary =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Override E16's domain sweep to {1, $(docv)}: each scaling block runs the windowed \
+             engine single-domain and on $(docv) domains. Other experiments are unaffected (they \
+             pin the legacy sequential engine for byte-identical tables). Contrast $(b,--jobs), \
+             which fans independent seeded runs out across domains.")
+  in
+  let run () quick seeds only jobs domains metrics_out metrics_summary =
     let obs = obs_of_flags ~metrics_out ~trace_out:None ~summary:metrics_summary in
     let seeds_of default =
       match seeds with Some n -> n | None -> if quick then max 1 (default / 3) else default
     in
-    let tables = Experiment.tables ~seeds_of ~jobs ?metrics:(Option.map Obs.metrics obs) () in
+    let tables =
+      Experiment.tables ~seeds_of ~jobs ?metrics:(Option.map Obs.metrics obs) ?domains ()
+    in
     let tables =
       match only with None -> tables | Some name -> List.filter (fun (n, _) -> n = name) tables
     in
@@ -402,8 +445,12 @@ let experiments_cmd =
     write_obs_outputs obs ~metrics_out ~trace_out:None ~summary:metrics_summary;
     0
   in
-  let term = Term.(const run $ setup_logs $ quick $ seeds $ only $ jobs $ metrics_out_arg $ metrics_summary_arg) in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E15).") term
+  let term =
+    Term.(
+      const run $ setup_logs $ quick $ seeds $ only $ jobs $ domains $ metrics_out_arg
+      $ metrics_summary_arg)
+  in
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E16).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes explore                                                      *)

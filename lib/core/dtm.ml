@@ -30,6 +30,10 @@ let default_site_spec =
 
 type site_ctx = {
   site : Site.t;
+  engine : Engine.t;  (* the engine this site's components schedule on *)
+  net : Network.t;  (* the network instance this site sends through *)
+  strace : Trace.t;  (* the trace this site's components record into *)
+  sobs : Obs.t option;
   db : Database.t;
   ltm : Ltm.t;
   agent : Agent.t;
@@ -40,12 +44,14 @@ type site_ctx = {
   mutable sn_seq : int;
   mutable down : bool;  (* crashed, reboot pending *)
   mutable hosted : Coordinator.t list;  (* coordinators this site ever hosted, newest first *)
+  mutable gid_ctr : int;  (* sharded mode: per-site strided gid counter *)
+  mutable submitted : int;
 }
 
 type t = {
-  engine : Engine.t;
+  engine : Engine.t;  (* legacy: the shared engine; sharded: site 0's *)
   rng : Rng.t;
-  trace : Trace.t;
+  trace : Trace.t;  (* legacy: the shared trace; sharded: site 0's *)
   net : Network.t;
   certifier : Config.t;
   obs : Obs.t option;
@@ -53,58 +59,111 @@ type t = {
       (* [crash_site] also crashes the site's coordinators (and the
          agents run the termination protocol); off by default so earlier
          fault scenarios replay byte-identically *)
+  sharded : bool;
+      (* one engine/network/trace per site (each site on its own domain):
+         gids are strided so the hosting shard is computable from the
+         address, and the omniscient history is a merge *)
   sites : site_ctx array;
   mutable next_gid : int;
-  mutable submitted : int;
 }
+
+(* Assemble one site's LDBS on the given engine/network/trace handles.
+   In the legacy (single-engine) mode every site gets the same shared
+   handles; in sharded mode each site gets its own. *)
+let make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec =
+  let site = Site.of_int i in
+  let db = Database.create ~site in
+  let ltm = Ltm.create ~engine ~db ~config:spec.ltm_config ~trace ?obs () in
+  let agent =
+    Agent.create ~site ~engine ~ltm ~net ~trace ?obs ~termination:crash_coordinators
+      ~config:certifier ()
+  in
+  Agent.attach agent;
+  let injector =
+    Failure.attach ~engine
+      ~rng:(Rng.split rng ~label:(Fmt.str "failure-%d" i))
+      ~config:spec.failure ltm
+  in
+  let clog = Coordinator_log.create () in
+  (* Group commit: one batcher per site, shared by every coordinator
+     the site hosts; each flush pays a single force on the site's
+     coordinator log. *)
+  let batcher =
+    if Config.group_commit certifier then
+      Some
+        (Group_commit.create ~engine ~window:certifier.Config.group_commit_window
+           ~max_batch:certifier.Config.max_batch
+           ~on_force:(fun () -> Coordinator_log.force_tick clog))
+    else None
+  in
+  {
+    site;
+    engine;
+    net;
+    strace = trace;
+    sobs = obs;
+    db;
+    ltm;
+    agent;
+    clog;
+    batcher;
+    clock = spec.clock;
+    injector;
+    sn_seq = 0;
+    down = false;
+    hosted = [];
+    gid_ctr = 0;
+    submitted = 0;
+  }
 
 let create ~engine ~rng ~trace ~net_config ~certifier ?obs ?(crash_coordinators = false)
     ~site_specs () =
   let net = Network.create ~engine ~rng:(Rng.split rng ~label:"net") ?obs ~config:net_config () in
   let sites =
     Array.mapi
-      (fun i spec ->
-        let site = Site.of_int i in
-        let db = Database.create ~site in
-        let ltm = Ltm.create ~engine ~db ~config:spec.ltm_config ~trace ?obs () in
-        let agent =
-          Agent.create ~site ~engine ~ltm ~net ~trace ?obs ~termination:crash_coordinators
-            ~config:certifier ()
-        in
-        Agent.attach agent;
-        let injector =
-          Failure.attach ~engine
-            ~rng:(Rng.split rng ~label:(Fmt.str "failure-%d" i))
-            ~config:spec.failure ltm
-        in
-        let clog = Coordinator_log.create () in
-        (* Group commit: one batcher per site, shared by every coordinator
-           the site hosts; each flush pays a single force on the site's
-           coordinator log. *)
-        let batcher =
-          if Config.group_commit certifier then
-            Some
-              (Group_commit.create ~engine ~window:certifier.Config.group_commit_window
-                 ~max_batch:certifier.Config.max_batch
-                 ~on_force:(fun () -> Coordinator_log.force_tick clog))
-          else None
-        in
-        {
-          site;
-          db;
-          ltm;
-          agent;
-          clog;
-          batcher;
-          clock = spec.clock;
-          injector;
-          sn_seq = 0;
-          down = false;
-          hosted = [];
-        })
+      (fun i spec -> make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec)
       site_specs
   in
-  { engine; rng; trace; net; certifier; obs; crash_coordinators; sites; next_gid = 1; submitted = 0 }
+  { engine; rng; trace; net; certifier; obs; crash_coordinators; sharded = false; sites; next_gid = 1 }
+
+(* Address-to-shard routing for sharded mode. Agents live at their site;
+   a coordinator's hosting site is recoverable from its gid because
+   [submit] strides gid allocation: site [s] allocates gids
+   [s + 1, s + 1 + n, s + 1 + 2n, ...]. *)
+let locate ~n_sites = function
+  | Hermes_net.Message.Agent s -> Site.to_int s
+  | Hermes_net.Message.Coordinator gid -> (gid - 1) mod n_sites
+
+let create_sharded ~engines ~rng ~net_config ~certifier ?obs_of ?(crash_coordinators = false)
+    ~fabric_of ~site_specs () =
+  let n = Array.length site_specs in
+  if Array.length engines <> n then
+    invalid_arg "Dtm.create_sharded: one engine per site required";
+  let sites =
+    Array.mapi
+      (fun i spec ->
+        let obs = match obs_of with Some f -> f i | None -> None in
+        let net =
+          Network.create ~engine:engines.(i)
+            ~rng:(Rng.split rng ~label:(Fmt.str "net-%d" i))
+            ?obs ~fabric:(fabric_of i) ~config:net_config ()
+        in
+        let trace = Trace.create () in
+        make_ctx ~engine:engines.(i) ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec)
+      site_specs
+  in
+  {
+    engine = sites.(0).engine;
+    rng;
+    trace = sites.(0).strace;
+    net = sites.(0).net;
+    certifier;
+    obs = (match obs_of with Some f -> f 0 | None -> None);
+    crash_coordinators;
+    sharded = true;
+    sites;
+    next_gid = 1;
+  }
 
 let n_sites t = Array.length t.sites
 let site_ids t = Array.to_list (Array.map (fun c -> c.site) t.sites)
@@ -115,28 +174,44 @@ let agent t site = (ctx t site).agent
 let coordinator_log t site = (ctx t site).clog
 let injector t site = (ctx t site).injector
 let network t = t.net
+let networks t =
+  if t.sharded then Array.to_list (Array.map (fun (c : site_ctx) -> c.net) t.sites)
+  else [ t.net ]
 let trace t = t.trace
-let submitted t = t.submitted
+let submitted t = Array.fold_left (fun acc c -> acc + c.submitted) 0 t.sites
 
 (* Serial number generation at a site: drifting clock reading + site id +
    per-site sequence (uniqueness even within one tick). *)
 let sn_gen t site () =
   let c = ctx t site in
   c.sn_seq <- c.sn_seq + 1;
-  Sn.make ~ts:(Clock.read c.clock ~real:(Engine.now t.engine)) ~site:c.site ~seq:c.sn_seq
+  Sn.make ~ts:(Clock.read c.clock ~real:(Engine.now c.engine)) ~site:c.site ~seq:c.sn_seq
 
 let submit ?gate t program ~on_done =
-  let gid = t.next_gid in
-  t.next_gid <- t.next_gid + 1;
-  t.submitted <- t.submitted + 1;
   let coord_site =
     match Program.sites program with s :: _ -> s | [] -> assert false (* Program.make forbids [] *)
   in
   let c = ctx t coord_site in
+  let gid =
+    if t.sharded then begin
+      (* Strided: site s allocates s+1, s+1+n, s+1+2n, ... so [locate]
+         can route Coordinator addresses without shared state. Only the
+         coordinating site's domain touches its own counter. *)
+      let g = Site.to_int coord_site + 1 + (Array.length t.sites * c.gid_ctr) in
+      c.gid_ctr <- c.gid_ctr + 1;
+      g
+    end
+    else begin
+      let g = t.next_gid in
+      t.next_gid <- t.next_gid + 1;
+      g
+    end
+  in
+  c.submitted <- c.submitted + 1;
   let coord =
-    Coordinator.start ?gate ?obs:t.obs ~log:c.clog ?batcher:c.batcher ~gid ~site:coord_site
-      ~engine:t.engine
-      ~net:t.net ~trace:t.trace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program
+    Coordinator.start ?gate ?obs:c.sobs ~log:c.clog ?batcher:c.batcher ~gid ~site:coord_site
+      ~engine:c.engine
+      ~net:c.net ~trace:c.strace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program
       ~on_done ()
   in
   c.hosted <- coord :: c.hosted;
@@ -170,21 +245,25 @@ let crash_site ?(reboot_delay = 0) t site =
       List.iter Coordinator.recover coords
     end
     else begin
+      (* Down-ness is destination-side state, so it lives on the crashed
+         site's own network instance — in sharded mode that is exactly
+         where every delivery to this site's agent and hosted
+         coordinators is scheduled. *)
       c.down <- true;
       List.iter
         (fun co ->
           Coordinator.crash co;
-          Network.mark_down t.net (Hermes_net.Message.Coordinator (Coordinator.gid co)))
+          Network.mark_down c.net (Hermes_net.Message.Coordinator (Coordinator.gid co)))
         coords;
       Agent.crash c.agent;
-      Network.mark_down t.net (Hermes_net.Message.Agent site);
-      Engine.schedule_unit t.engine ~delay:reboot_delay (fun () ->
-          Network.mark_up t.net (Hermes_net.Message.Agent site);
+      Network.mark_down c.net (Hermes_net.Message.Agent site);
+      Engine.schedule_unit c.engine ~delay:reboot_delay (fun () ->
+          Network.mark_up c.net (Hermes_net.Message.Agent site);
           c.down <- false;
           Agent.recover c.agent;
           List.iter
             (fun co ->
-              Network.mark_up t.net (Hermes_net.Message.Coordinator (Coordinator.gid co));
+              Network.mark_up c.net (Hermes_net.Message.Coordinator (Coordinator.gid co));
               Coordinator.recover co)
             coords)
     end
@@ -194,7 +273,9 @@ let crash_site ?(reboot_delay = 0) t site =
 let load t site ~table ~key ~value =
   ignore (Database.write (database t site) ~table ~key (Hermes_store.Row.initial value))
 
-let history t = Trace.history t.trace
+let history t =
+  if t.sharded then Trace.merged (Array.to_list (Array.map (fun c -> c.strace) t.sites))
+  else Trace.history t.trace
 
 (* Aggregate statistics across sites, for the harness. *)
 type totals = {
@@ -308,7 +389,8 @@ let export_metrics t reg =
       c ~site "dlu.denials" (Hermes_ltm.Bound.denials (Ltm.bound_registry ctx.ltm)))
     t.sites;
   let add name v = if v <> 0 then Registry.Counter.add (Registry.counter reg name) v in
-  add "net.sent" (Network.sent t.net);
-  add "net.delivered" (Network.delivered t.net);
-  add "net.dropped" (Network.dropped t.net);
-  add "net.duplicated" (Network.duplicated t.net)
+  let sum f = List.fold_left (fun acc net -> acc + f net) 0 (networks t) in
+  add "net.sent" (sum Network.sent);
+  add "net.delivered" (sum Network.delivered);
+  add "net.dropped" (sum Network.dropped);
+  add "net.duplicated" (sum Network.duplicated)

@@ -36,6 +36,31 @@ val create :
     termination protocol (DECISION-REQ inquiries and in-doubt metrics).
     Off, runs are byte-identical to earlier revisions. *)
 
+val create_sharded :
+  engines:Hermes_sim.Engine.t array ->
+  rng:Rng.t ->
+  net_config:Hermes_net.Network.config ->
+  certifier:Config.t ->
+  ?obs_of:(int -> Hermes_obs.Obs.t option) ->
+  ?crash_coordinators:bool ->
+  fabric_of:(int -> Hermes_net.Network.fabric) ->
+  site_specs:site_spec array ->
+  unit ->
+  t
+(** Sharded assembly for the parallel execution engine: one engine,
+    network instance, trace and (via [obs_of]) observability context per
+    site, so each site can run on its own domain. [fabric_of i] wires
+    site [i]'s network into the cross-shard inboxes. Gid allocation is
+    strided per coordinating site (see {!locate}), so {!submit} touches
+    only that site's state and may be called from its domain. The
+    omniscient {!history} is the deterministic merge of the per-site
+    traces. Construction itself is single-threaded. *)
+
+val locate : n_sites:int -> Hermes_net.Message.address -> int
+(** The shard owning an address under {!create_sharded}: an agent lives
+    at its site; a coordinator's hosting site is [(gid - 1) mod n_sites]
+    by the strided gid allocation. *)
+
 val n_sites : t -> int
 val site_ids : t -> Site.t list
 val ltm : t -> Site.t -> Hermes_ltm.Ltm.t
@@ -47,7 +72,14 @@ val coordinator_log : t -> Site.t -> Coordinator_log.t
     force-written by the coordinators the site hosts). *)
 
 val injector : t -> Site.t -> Hermes_ltm.Failure.t
+
 val network : t -> Hermes_net.Network.t
+(** The shared network — site 0's instance in sharded mode. *)
+
+val networks : t -> Hermes_net.Network.t list
+(** Every network instance: the singleton shared one, or one per site in
+    sharded mode (e.g. to sum traffic counters or declare all lossy). *)
+
 val trace : t -> Hermes_ltm.Trace.t
 val submitted : t -> int
 

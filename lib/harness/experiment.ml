@@ -30,9 +30,17 @@ module View = Hermes_history.View
    experiment keeps its own default), an optional registry every run's
    metrics are absorbed into, and the domain count the seed sweeps fan
    out over. *)
-type params = { seeds : int option; metrics : Registry.t option; jobs : int }
+type params = {
+  seeds : int option;
+  metrics : Registry.t option;
+  jobs : int;
+  domains : int option;
+      (* within-run site parallelism for E16 (the other experiments pin
+         the legacy engine for byte-identity); [jobs] above is ACROSS-run
+         fan-out of seed sweeps — the two compose *)
+}
 
-let default_params = { seeds = None; metrics = None; jobs = 1 }
+let default_params = { seeds = None; metrics = None; jobs = 1; domains = None }
 
 let absorb_reg metrics reg = match metrics with Some dst -> Registry.absorb dst reg | None -> ()
 let absorb_into metrics obs = absorb_reg metrics (Obs.metrics obs)
@@ -981,11 +989,96 @@ let e15_saturation ?(seeds = 3) ?(jobs = 1) ?metrics () =
       ]
     rows
 
+(* E16 — the multicore execution engine: wall-clock throughput of the
+   sharded conservative-window scheduler as sites and domains grow. Every
+   cell at the same (sites, seed) runs the SAME virtual-time schedule —
+   the engine is domain-count-invariant — so the committed column must be
+   constant down each sites block while wall time falls; 'speedup' is
+   wall time at domains=1 over wall time at that row. Speedup above 1
+   needs actual cores: on a single-core host the barrier overhead makes
+   every parallel row a slight loss, which is why the CI gate asserts
+   cleanliness and invariance, not speedup. *)
+let e16_multicore ?(seeds = 1) ?(domains = [ 1; 2; 4; 8 ]) ?metrics () =
+  let sites_list = [ 4; 16; 64 ] in
+  let rows =
+    List.concat_map
+      (fun n_sites ->
+        let spec =
+          {
+            Spec.default with
+            Spec.n_sites;
+            n_global = 10 * n_sites;
+            global_mpl = 2 * n_sites;
+            local_txn_cap = 20 * n_sites;
+          }
+        in
+        let cell d =
+          let runs =
+            List.init seeds (fun i ->
+                let obs = Obs.create () in
+                let r =
+                  Driver.run_windowed ~domains:d
+                    { Driver.default_setup with Driver.spec; seed = i + 1; obs = Some obs }
+                in
+                absorb_into metrics obs;
+                r)
+          in
+          let committed = avg_i (List.map (fun (r : Driver.result) -> Stats.committed r.Driver.stats) runs) in
+          let wall = List.fold_left (fun acc (r : Driver.result) -> acc +. r.Driver.wall_s) 0.0 runs in
+          let stuck = List.length (List.filter (fun (r : Driver.result) -> r.Driver.stuck > 0) runs) in
+          let clean =
+            List.for_all
+              (fun (r : Driver.result) ->
+                let c = Committed.extended r.Driver.history in
+                Anomaly.global_view_distortions c = [] && Anomaly.commit_order_cycle c = None)
+              runs
+          in
+          (committed, wall, stuck, clean)
+        in
+        let base_committed, base_wall, base_stuck, base_clean = cell 1 in
+        List.map
+          (fun d ->
+            let committed, wall, stuck, clean =
+              if d = 1 then (base_committed, base_wall, base_stuck, base_clean) else cell d
+            in
+            [
+              T.i n_sites;
+              T.i d;
+              T.f1 committed;
+              Fmt.str "%.3f" wall;
+              Fmt.str "%.0f" (if wall > 0.0 then committed *. float_of_int seeds /. wall else 0.0);
+              Fmt.str "%.2fx" (if wall > 0.0 then base_wall /. wall else 0.0);
+              Fmt.str "%d/%d" stuck seeds;
+              (if clean then "ok" else "VIOLATION");
+            ])
+          domains)
+      sites_list
+  in
+  T.make
+    ~title:
+      (Fmt.str "E16 Multicore engine: sites on domains, conservative windows, %d seed%s per cell"
+         seeds
+         (if seeds = 1 then "" else "s"))
+    ~headers:
+      [ "sites"; "domains"; "committed"; "wall (s)"; "wall txns/s"; "speedup"; "stuck runs"; "clean" ]
+    ~notes:
+      [
+        "One engine/network/trace per site, sites round-robin over OCaml domains, cross-site";
+        "messages through lock-free inboxes, barriers between lookahead-bounded virtual-time";
+        "windows (lookahead = net base delay). The schedule is domain-count-invariant, so";
+        "'committed' must be constant down each sites block; 'wall (s)' is the execution phase";
+        "only and 'speedup' is against the domains=1 row of the same block. Wall-clock speedup";
+        Fmt.str
+          "requires real cores (this host advertises %d); correctness columns must hold anywhere."
+          (Domain.recommended_domain_count ());
+      ]
+    rows
+
 (* The whole suite, with per-experiment seed defaults mapped through
    [seeds_of] (the seed override or the quick-mode scaling). E1-E3 are
    four cheap scenario replays each and stay sequential; the seed sweeps
    take [jobs]. *)
-let tables ~seeds_of ?(jobs = 1) ?metrics () =
+let tables ~seeds_of ?(jobs = 1) ?metrics ?domains () =
   [
     ("e1", fun () -> e1_global_view_distortion ?metrics ());
     ("e2", fun () -> e2_local_view_distortion ?metrics ());
@@ -1002,6 +1095,15 @@ let tables ~seeds_of ?(jobs = 1) ?metrics () =
     ("e13", fun () -> e13_unreliable_net ~seeds:(seeds_of 3) ~jobs ?metrics ());
     ("e14", fun () -> e14_coordinator_crashes ~seeds:(seeds_of 3) ~jobs ?metrics ());
     ("e15", fun () -> e15_saturation ~seeds:(seeds_of 3) ~jobs ?metrics ());
+    ( "e16",
+      fun () ->
+        let domain_list =
+          match domains with
+          | Some d when d > 1 -> [ 1; d ]
+          | Some _ -> [ 1 ]
+          | None -> [ 1; 2; 4; 8 ]
+        in
+        e16_multicore ~seeds:(seeds_of 1) ~domains:domain_list ?metrics () );
   ]
 
 let run_all ?(params = default_params) () =
@@ -1009,7 +1111,7 @@ let run_all ?(params = default_params) () =
     (fun (name, table) -> (name, table ()))
     (tables
        ~seeds_of:(fun default -> Option.value params.seeds ~default)
-       ~jobs:params.jobs ?metrics:params.metrics ())
+       ~jobs:params.jobs ?metrics:params.metrics ?domains:params.domains ())
 
 let all ?(quick = false) () =
   List.map

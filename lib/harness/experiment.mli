@@ -9,25 +9,38 @@ module Registry := Hermes_obs.Registry
 (** Shared run parameters for the suite: [seeds] overrides every
     experiment's own default seed count; [metrics] is a registry every
     run's metrics are absorbed into (one dump for a whole sweep); [jobs]
-    is the number of domains the seed sweeps fan out over. Results are
-    byte-identical for any [jobs]: runs are independent (each owns its
-    observability context) and their registries are absorbed in seed
-    order on the calling domain. *)
-type params = { seeds : int option; metrics : Registry.t option; jobs : int }
+    is the number of domains the seed sweeps fan out over (ACROSS runs);
+    [domains] overrides E16's within-run site-parallelism sweep to
+    [[1; d]] — the other experiments pin the legacy sequential engine
+    for byte-identity. Results are byte-identical for any [jobs]: runs
+    are independent (each owns its observability context) and their
+    registries are absorbed in seed order on the calling domain. *)
+type params = {
+  seeds : int option;
+  metrics : Registry.t option;
+  jobs : int;
+  domains : int option;
+}
 
 val default_params : params
-(** [{ seeds = None; metrics = None; jobs = 1 }] — per-experiment
-    defaults, no metrics collection, sequential. *)
+(** [{ seeds = None; metrics = None; jobs = 1; domains = None }] —
+    per-experiment defaults, no metrics collection, sequential. *)
 
 val run_all : ?params:params -> unit -> (string * T.t) list
-(** Every experiment, as [(short name, table)] — ["e1"] .. ["e15"]. *)
+(** Every experiment, as [(short name, table)] — ["e1"] .. ["e16"]. *)
 
 val tables :
-  seeds_of:(int -> int) -> ?jobs:int -> ?metrics:Registry.t -> unit -> (string * (unit -> T.t)) list
+  seeds_of:(int -> int) ->
+  ?jobs:int ->
+  ?metrics:Registry.t ->
+  ?domains:int ->
+  unit ->
+  (string * (unit -> T.t)) list
 (** The suite as named thunks, for running a subset: [seeds_of] maps each
     experiment's default seed count to the one to use. Forcing a thunk
     runs that experiment, fanning its seed sweep over [jobs] domains
-    (default 1; E1-E3 are cheap and always sequential). *)
+    (default 1; E1-E3 are cheap and always sequential). [domains]
+    replaces E16's domain sweep with [[1; domains]]. *)
 
 val e1_global_view_distortion : ?metrics:Registry.t -> unit -> T.t
 (** H1 across certifier variants (paper §3/§4). *)
@@ -92,6 +105,17 @@ val e15_saturation : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T
     arrival (queueing included) and synchronous log forces per committed
     global; batching must cut forces/commit by an order of magnitude with
     the correctness columns unchanged. *)
+
+val e16_multicore :
+  ?seeds:int -> ?domains:int list -> ?metrics:Registry.t -> unit -> T.t
+(** Multicore scaling of the conservative windowed engine
+    ({!Hermes_workload.Driver.run_windowed}): sites 4/16/64 at fixed
+    per-site load, each block swept over [domains] (default
+    [[1; 2; 4; 8]]). Columns report committed count, wall-clock seconds,
+    wall-clock txns/s, speedup vs the block's [domains = 1] cell, stuck
+    runs and a correctness verdict (distortion-free + acyclic). The
+    merged history is domain-count-invariant, so every cell of a block
+    commits the same transactions. *)
 
 val all : ?quick:bool -> unit -> T.t list
 (** The tables of {!run_all} without names; [quick] divides each seed

@@ -15,13 +15,18 @@ let map ~jobs f xs =
     let next = Atomic.make 0 in
     let error = Atomic.make None in
     let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (try out.(i) <- Some (f input.(i))
-         with e ->
-           let bt = Printexc.get_raw_backtrace () in
-           ignore (Atomic.compare_and_set error None (Some (e, bt))));
-        worker ()
+      (* Stop dispensing once a worker has recorded an exception: the map
+         is going to re-raise anyway, so don't burn cores finishing the
+         remaining items. *)
+      if Atomic.get error = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try out.(i) <- Some (f input.(i))
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set error None (Some (e, bt))));
+          worker ()
+        end
       end
     in
     let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in

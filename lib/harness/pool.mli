@@ -11,4 +11,5 @@
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Degenerates to [List.map] when [jobs <= 1] or fewer than two items.
     If any application raises, the first exception recorded is re-raised
-    after all domains have been joined. *)
+    after all domains have been joined; items not yet dispensed at that
+    point are skipped rather than computed. *)

@@ -10,3 +10,9 @@ val create : unit -> t
 val record : t -> at:Time.t -> Op.t -> unit
 val count : t -> int
 val history : t -> History.t
+
+val merged : t list -> History.t
+(** Merge per-site traces from a sharded run into one omniscient history:
+    sequence numbers are re-tagged ([seq * shards + shard]) so per-site
+    recording order is preserved and same-instant cross-site events get a
+    deterministic tie-break. *)

@@ -52,10 +52,19 @@ type config = {
 
 let default_config = { base_delay = 500; jitter = 200; faults = no_faults }
 
+type fabric = {
+  here : int;  (* this network instance's shard *)
+  locate : Message.address -> int;  (* owning shard of an address *)
+  forward : shard:int -> arrival:Time.t -> Message.t -> unit;
+      (* hand a message to a remote shard's inbox; the owning shard calls
+         [deliver_remote] on its own network when it drains *)
+}
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
   config : config;
+  fabric : fabric option;
   handlers : (Message.address, Message.t -> unit) Hashtbl.t;
   last_delivery : (Message.address * Message.address, Time.t) Hashtbl.t;
   in_flight : (Message.address, (Time.t * int) list) Hashtbl.t;
@@ -78,10 +87,11 @@ type t = {
 
 let config_lossy faults = faults.drop > 0. || faults.partitions <> []
 
-let create ~engine ~rng ?obs ~config () = {
+let create ~engine ~rng ?obs ?fabric ~config () = {
   engine;
   rng;
   config;
+  fabric;
   handlers = Hashtbl.create 32;
   last_delivery = Hashtbl.create 64;
   in_flight = Hashtbl.create 32;
@@ -140,31 +150,15 @@ let purge_in_flight t dst entry =
       | [] -> Hashtbl.remove t.in_flight dst
       | l' -> Hashtbl.replace t.in_flight dst l')
 
-(* Put one copy of [msg] on the wire: draw its delay, clamp to per-link
-   FIFO, account overtaking against every in-flight message to the same
-   destination, and schedule the delivery (which re-checks the down set —
-   a message in flight when its destination goes down is lost). *)
-let transmit t msg ~now =
-  let { Message.src; dst; gid; _ } = msg in
-  let faults = t.config.faults in
-  let delay =
-    t.config.base_delay + if t.config.jitter > 0 then Rng.int t.rng ~bound:(t.config.jitter + 1) else 0
-  in
-  let delay =
-    if faults.spike_p > 0. && Rng.bool t.rng ~p:faults.spike_p then delay * faults.spike_factor
-    else delay
-  in
-  (* Per-link FIFO: never deliver before the link's previous message. *)
-  let arrival =
-    let earliest = Time.add now delay in
-    match Hashtbl.find_opt t.last_delivery (src, dst) with
-    | Some last when Time.(last >= earliest) -> Time.add last 1
-    | _ -> earliest
-  in
-  Hashtbl.replace t.last_delivery (src, dst) arrival;
-  (match t.delay_hist with Some h -> Histogram.record h (Time.diff arrival now) | None -> ());
-  (* Overtaking: this message will arrive before ones sent earlier (over
-     different links) to the same destination — count each of them. *)
+(* Destination-side intake: account overtaking against every in-flight
+   message to the same destination and schedule the delivery (which
+   re-checks the down set — a message in flight when its destination goes
+   down is lost). Runs on the destination's engine: directly from
+   [transmit] when the destination is local, via [deliver_remote] when it
+   arrived over the fabric. *)
+let intake t msg ~arrival =
+  let { Message.dst; gid; _ } = msg in
+  let now = Engine.now t.engine in
   let inbound = Option.value (Hashtbl.find_opt t.in_flight dst) ~default:[] in
   List.iter
     (fun (behind_arrival, behind_gid) ->
@@ -187,6 +181,40 @@ let transmit t msg ~now =
             Fmt.failwith "Network.send: no handler for %a (message %a)" Message.pp_address dst
               Message.pp msg
       end)
+
+let deliver_remote t ~arrival msg = intake t msg ~arrival
+
+(* Put one copy of [msg] on the wire: draw its delay, clamp to per-link
+   FIFO, then either hand it to the local intake or forward it to the
+   destination's shard. Sender-side state (the delay RNG and the FIFO
+   clamp) is keyed on this instance, so it stays shard-exclusive under
+   the fabric. *)
+let transmit t msg ~now =
+  let { Message.src; dst; _ } = msg in
+  let faults = t.config.faults in
+  let delay =
+    t.config.base_delay + if t.config.jitter > 0 then Rng.int t.rng ~bound:(t.config.jitter + 1) else 0
+  in
+  let delay =
+    if faults.spike_p > 0. && Rng.bool t.rng ~p:faults.spike_p then delay * faults.spike_factor
+    else delay
+  in
+  (* Per-link FIFO: never deliver before the link's previous message. *)
+  let arrival =
+    let earliest = Time.add now delay in
+    match Hashtbl.find_opt t.last_delivery (src, dst) with
+    | Some last when Time.(last >= earliest) -> Time.add last 1
+    | _ -> earliest
+  in
+  Hashtbl.replace t.last_delivery (src, dst) arrival;
+  (match t.delay_hist with Some h -> Histogram.record h (Time.diff arrival now) | None -> ());
+  match t.fabric with
+  | Some f when f.locate dst <> f.here ->
+      Log.debug (fun m ->
+          m "[%a] %a (forward to shard %d, delivery %a)" Time.pp now Message.pp msg (f.locate dst)
+            Time.pp arrival);
+      f.forward ~shard:(f.locate dst) ~arrival msg
+  | _ -> intake t msg ~arrival
 
 let send t ~src ~dst ~gid payload =
   let msg = { Message.src; dst; gid; payload } in

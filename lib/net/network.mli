@@ -35,10 +35,24 @@ val default_config : config
 
 type t
 
+type fabric = {
+  here : int;  (** this network instance's shard *)
+  locate : Message.address -> int;  (** owning shard of an address *)
+  forward : shard:int -> arrival:Hermes_kernel.Time.t -> Message.t -> unit;
+      (** hand the message to the destination shard's inbox; that shard
+          later calls {!deliver_remote} on its own network instance *)
+}
+(** Sharded execution (one network instance per site, each on its own
+    domain): a send whose destination lives on another shard draws its
+    delay and per-link FIFO clamp locally — that state is keyed by
+    sender, so it stays shard-exclusive — then crosses via [forward]
+    instead of being scheduled on the local engine. *)
+
 val create :
   engine:Hermes_sim.Engine.t ->
   rng:Hermes_kernel.Rng.t ->
   ?obs:Hermes_obs.Obs.t ->
+  ?fabric:fabric ->
   config:config ->
   unit ->
   t
@@ -49,6 +63,13 @@ val create :
     message; drops and duplicates emit
     {!Hermes_obs.Tracer.Message_dropped} /
     {!Hermes_obs.Tracer.Message_duplicated}. *)
+
+val deliver_remote : t -> arrival:Hermes_kernel.Time.t -> Message.t -> unit
+(** Destination-side intake for a message forwarded over the {!fabric}:
+    registers it in flight (overtake accounting is against this shard's
+    inbound traffic only) and schedules its delivery at [arrival] on this
+    instance's engine. Call only from the owning shard, with [arrival] not
+    in this engine's past — guaranteed by the conservative window bound. *)
 
 val register : t -> Message.address -> (Message.t -> unit) -> unit
 val unregister : t -> Message.address -> unit

@@ -86,6 +86,8 @@ let step t =
       end;
       true
 
+let next_at t = Option.map (fun ev -> ev.at) (Eq.min t.queue)
+
 type stats = { events : int; max_pending : int; cancelled : int; live : int }
 
 let stats t =

@@ -42,6 +42,11 @@ val halt : t -> unit
 val step : t -> bool
 (** Execute the next event; [false] if the queue is empty. *)
 
+val next_at : t -> Time.t option
+(** Fire time of the earliest pending event (cancelled timers included),
+    [None] when the queue is empty. The conservative parallel scheduler
+    uses this to compute the next safe window bound. *)
+
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Run until the queue drains, [until] is passed, or {!halt}. If [until] is
     given and not halted, the clock is advanced to it. *)

@@ -1,0 +1,48 @@
+(* Lock-free multi-producer single-consumer inbox for cross-shard
+   messages in the parallel execution engine.
+
+   Producers (any domain) [push] with a CAS loop on an immutable list — a
+   Treiber stack; the consumer [drain]s with a single exchange. The
+   conservative scheduler only drains at a window barrier, when every
+   producer of the previous window has quiesced, so the consumer never
+   spins against concurrent pushes it must wait for.
+
+   Determinism: the drained batch comes back in an arbitrary (push-race)
+   order, so the consumer sorts it by the deterministic key attached to
+   each entry — (delivery time, sender shard, sender sequence number) —
+   before scheduling. Two runs with the same virtual-time behaviour then
+   schedule identical delivery sequences regardless of how the domains
+   interleaved in wall time. *)
+
+type 'a entry = { at : int; src_shard : int; src_seq : int; payload : 'a }
+
+type 'a t = 'a entry list Atomic.t
+
+let create () = Atomic.make []
+
+let push t ~at ~src_shard ~src_seq payload =
+  let entry = { at; src_shard; src_seq; payload } in
+  let rec loop () =
+    let old = Atomic.get t in
+    if not (Atomic.compare_and_set t old (entry :: old)) then loop ()
+  in
+  loop ()
+
+let is_empty t = Atomic.get t = []
+
+let compare_entry a b =
+  match Int.compare a.at b.at with
+  | 0 -> (
+      match Int.compare a.src_shard b.src_shard with
+      | 0 -> Int.compare a.src_seq b.src_seq
+      | c -> c)
+  | c -> c
+
+(* Take everything, sorted by (at, src_shard, src_seq). Single consumer:
+   only the owning shard's domain (or the barrier coordinator) calls
+   this. *)
+let drain t =
+  let batch = Atomic.exchange t [] in
+  List.sort compare_entry batch
+
+let length t = List.length (Atomic.get t)

@@ -1,0 +1,26 @@
+(** Lock-free multi-producer single-consumer inbox for cross-shard
+    messages in the parallel execution engine. Producers on any domain
+    {!push}; the owning shard {!drain}s at a window barrier and gets the
+    batch back in deterministic (delivery time, sender shard, sender
+    sequence) order, so delivery schedules do not depend on wall-clock
+    interleaving. *)
+
+type 'a entry = { at : int; src_shard : int; src_seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> at:int -> src_shard:int -> src_seq:int -> 'a -> unit
+(** Lock-free (CAS loop); safe from any domain. [at] is the virtual
+    delivery time, [src_seq] a per-sender monotone counter — together
+    with [src_shard] they form the deterministic drain key. *)
+
+val is_empty : 'a t -> bool
+
+val drain : 'a t -> 'a entry list
+(** Remove and return everything, sorted by (at, src_shard, src_seq).
+    Single consumer only — call it when producers of the previous window
+    have quiesced (i.e. at a barrier). *)
+
+val length : 'a t -> int

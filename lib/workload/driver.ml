@@ -8,6 +8,8 @@
 
 open Hermes_kernel
 module Engine = Hermes_sim.Engine
+module Mailbox = Hermes_sim.Mailbox
+module Parallel = Hermes_sim.Parallel
 module Ltm = Hermes_ltm.Ltm
 module Ltm_config = Hermes_ltm.Ltm_config
 module Failure = Hermes_ltm.Failure
@@ -59,6 +61,12 @@ type setup = {
   obs : Obs.t option;
       (* observability context threaded into every component; end-of-run
          counters are exported into its registry *)
+  domains : int;
+      (* OCaml domains for the run. 1 (default) = the legacy sequential
+         engine, byte-identical to earlier revisions; > 1 = the sharded
+         conservative-window engine (one engine per site), which is
+         deterministic and domain-count-invariant but a different
+         schedule from the sequential engine *)
 }
 
 let default_setup =
@@ -76,6 +84,7 @@ let default_setup =
     reboot_delay = 0;
     crash_coordinators = false;
     obs = None;
+    domains = 1;
   }
 
 type result = {
@@ -86,10 +95,11 @@ type result = {
   sim_ticks : int;
   events : int;
   throughput : float;  (* committed global txns per simulated second *)
+  wall_s : float;  (* wall-clock seconds of the execution phase *)
   stuck : int;  (* global transactions unfinished at the time cap (livelock) *)
 }
 
-let run setup =
+let run_single setup =
   let spec = setup.spec in
   let engine = Engine.create () in
   let rng = Rng.create ~seed:setup.seed in
@@ -284,7 +294,9 @@ let run setup =
         local_client site
       done)
     (Dtm.site_ids dtm);
+  let wall_start = Unix.gettimeofday () in
   Engine.run ~until:(Time.of_int setup.time_limit) engine;
+  let wall_s = Unix.gettimeofday () -. wall_start in
   Engine.halt engine;
   let sim_ticks = Time.to_int (Engine.last_event_at engine) in
   let engine_stats = Engine.stats engine in
@@ -310,5 +322,310 @@ let run setup =
     throughput =
       (if sim_ticks = 0 then 0.0
        else float_of_int (Stats.committed stats) *. 1_000_000.0 /. float_of_int sim_ticks);
+    wall_s;
     stuck = !in_flight + !queued + !remaining;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The sharded conservative-window runner: one engine, network instance
+   and trace per site, sites spread over OCaml domains, cross-site
+   messages through lock-free inboxes, execution in bounded virtual-time
+   windows (see {!Hermes_sim.Parallel}).
+
+   The workload is sharded with the system: each site gets its own
+   generator (programs rooted at that site, so its coordinators run on
+   its shard), its own share of the global quota, client population and
+   local-transaction budget, and its own [Stats] — merged after
+   quiescence. The run is deterministic and independent of the domain
+   count, but it is a *different* schedule from the sequential engine:
+   per-shard RNG streams replace the shared ones, so [domains = 1]
+   through [run] keeps the legacy path and its byte-identical replays. *)
+
+let run_windowed ?(domains = 0) setup =
+  let spec = setup.spec in
+  let n = spec.Spec.n_sites in
+  let domains = if domains > 0 then domains else setup.domains in
+  let certifier =
+    match setup.protocol with
+    | Two_pca c -> c
+    | Cgm_baseline _ ->
+        invalid_arg "Driver.run_windowed: the CGM baseline is single-domain only"
+  in
+  if setup.net.Network.base_delay < 1 then
+    invalid_arg "Driver.run_windowed: base_delay must be >= 1 (it is the lookahead)";
+  let lookahead = setup.net.Network.base_delay in
+  let rng = Rng.create ~seed:setup.seed in
+  let engines = Array.init n (fun _ -> Engine.create ()) in
+  let mailboxes : Hermes_net.Message.t Mailbox.t array =
+    Array.init n (fun _ -> Mailbox.create ())
+  in
+  let send_seq = Array.make n 0 in
+  let fabric_of i =
+    {
+      Network.here = i;
+      locate = (fun addr -> Dtm.locate ~n_sites:n addr);
+      forward =
+        (fun ~shard ~arrival msg ->
+          let s = send_seq.(i) in
+          send_seq.(i) <- s + 1;
+          Mailbox.push mailboxes.(shard) ~at:(Time.to_int arrival) ~src_shard:i ~src_seq:s msg);
+    }
+  in
+  (* Per-site observability contexts (registries and tracers are not
+     domain-safe); merged into [setup.obs] after quiescence. *)
+  let site_obs =
+    match setup.obs with
+    | None -> Array.make n None
+    | Some _ -> Array.init n (fun _ -> Some (Obs.create ()))
+  in
+  let site_specs =
+    Array.init n (fun i ->
+        let uniform =
+          { Dtm.ltm_config = setup.ltm; clock = setup.clock_of_site i; failure = setup.failure }
+        in
+        match setup.site_override with
+        | Some f -> Option.value ~default:uniform (f i)
+        | None -> uniform)
+  in
+  let dtm =
+    Dtm.create_sharded ~engines ~rng ~net_config:setup.net ~certifier
+      ~obs_of:(fun i -> site_obs.(i))
+      ~crash_coordinators:setup.crash_coordinators ~fabric_of ~site_specs ()
+  in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun table ->
+          for k = 0 to spec.Spec.keys_per_site - 1 do
+            Dtm.load dtm site ~table ~key:k ~value:spec.Spec.initial_value
+          done)
+        (Generator.local_partition_table :: Spec.tables spec))
+    (Dtm.site_ids dtm);
+  (* Integer partition of [total] over the shards: shard [i] gets the
+     [i]th share, shares differ by at most one. *)
+  let share total i = (total / n) + if i < total mod n then 1 else 0 in
+  let shard_stats = Array.init n (fun _ -> Stats.create ()) in
+  let shard_stuck = Array.make n 0 in
+  (* Per-shard client populations — everything below closes over shard-
+     local state only and schedules only on the shard's engine. *)
+  let setup_shard i =
+    let engine = engines.(i) in
+    let site = Site.of_int i in
+    let stats = shard_stats.(i) in
+    let gen = Generator.create ~spec ~rng:(Rng.split rng ~label:(Fmt.str "generator-%d" i)) in
+    let think_rng = Rng.split rng ~label:(Fmt.str "think-%d" i) in
+    let quota = share spec.Spec.n_global i in
+    let remaining = ref quota in
+    let in_flight = ref 0 in
+    let queued = ref 0 in
+    let locals_active = ref true in
+    let submit program ~on_done = ignore (Dtm.submit dtm program ~on_done) in
+    let think k =
+      Engine.schedule_unit engine ~delay:(Rng.exponential think_rng ~mean:spec.Spec.think_time_mean) k
+    in
+    (match Spec.effective_arrival spec with
+    | Spec.Closed { mpl; think_time_mean = _ } ->
+        let mpl_here = if quota = 0 then 0 else max 1 (share mpl i) in
+        let rec global_client () =
+          if !remaining > 0 then begin
+            decr remaining;
+            incr in_flight;
+            let program = Generator.global_program_rooted gen ~site in
+            let started = Engine.now engine in
+            let rec attempt tries =
+              Stats.note_attempt stats;
+              submit program ~on_done:(fun outcome ->
+                  match outcome with
+                  | Coordinator.Committed ->
+                      Stats.note_committed stats;
+                      Stats.record_latency stats ~started ~finished:(Engine.now engine);
+                      finish_one ()
+                  | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
+                      Stats.note_retry stats;
+                      think (fun () -> attempt (tries + 1))
+                  | Coordinator.Aborted _ ->
+                      Stats.note_final_abort stats;
+                      finish_one ())
+            and finish_one () =
+              decr in_flight;
+              if !remaining = 0 && !in_flight = 0 then locals_active := false;
+              think global_client
+            in
+            attempt 0
+          end
+        in
+        for _ = 1 to min mpl_here quota do
+          global_client ()
+        done
+    | Spec.Open { rate; max_in_flight } ->
+        (* Poisson superposition: the global rate splits evenly over the
+           shards; each shard runs an independent arrival process. *)
+        let arr_rng = Rng.split rng ~label:(Fmt.str "arrivals-%d" i) in
+        let rate_here = rate /. float_of_int n in
+        let mean_gap = int_of_float (Float.max 1.0 (1_000_000.0 /. Float.max 1e-9 rate_here)) in
+        let cap = if quota = 0 then 1 else max 1 (share (max 1 max_in_flight) i) in
+        let completed = ref 0 in
+        let queue = Queue.create () in
+        let rec maybe_start () =
+          if !in_flight < cap && not (Queue.is_empty queue) then begin
+            let arrived, program = Queue.pop queue in
+            decr queued;
+            incr in_flight;
+            let rec attempt tries =
+              Stats.note_attempt stats;
+              submit program ~on_done:(fun outcome ->
+                  match outcome with
+                  | Coordinator.Committed ->
+                      Stats.note_committed stats;
+                      Stats.record_latency stats ~started:arrived ~finished:(Engine.now engine);
+                      finish_one ()
+                  | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
+                      Stats.note_retry stats;
+                      think (fun () -> attempt (tries + 1))
+                  | Coordinator.Aborted _ ->
+                      Stats.note_final_abort stats;
+                      finish_one ())
+            and finish_one () =
+              decr in_flight;
+              incr completed;
+              if !completed = quota then locals_active := false;
+              maybe_start ()
+            in
+            attempt 0;
+            maybe_start ()
+          end
+        in
+        let rec arrival_loop () =
+          if !remaining > 0 then
+            Engine.schedule_unit engine ~delay:(Rng.exponential arr_rng ~mean:mean_gap) (fun () ->
+                decr remaining;
+                incr queued;
+                Queue.push (Engine.now engine, Generator.global_program_rooted gen ~site) queue;
+                maybe_start ();
+                arrival_loop ())
+        in
+        if quota > 0 then arrival_loop () else locals_active := false);
+    (* Local clients at this site, against its shard-local budget. *)
+    let local_cap = share spec.Spec.local_txn_cap i in
+    let local_count = ref 0 in
+    let local_seq = ref 0 in
+    let local_client () =
+      let ltm = Dtm.ltm dtm site in
+      let rec loop () =
+        if !locals_active && !local_count < local_cap then
+          think (fun () ->
+              if !locals_active && !local_count < local_cap then begin
+                incr local_count;
+                incr local_seq;
+                let owner =
+                  Txn.Incarnation.make ~txn:(Txn.local ~site ~n:!local_seq) ~site ~inc:0
+                in
+                let txn = Ltm.begin_txn ltm ~owner in
+                let rec step = function
+                  | [] ->
+                      Ltm.commit ltm txn ~on_done:(fun r ->
+                          (match r with
+                          | Ltm.Committed -> Stats.note_local_committed stats
+                          | Ltm.Commit_refused _ -> Stats.note_local_aborted stats);
+                          loop ())
+                  | cmd :: rest ->
+                      Ltm.exec ltm txn cmd ~on_done:(function
+                        | Ltm.Done _ -> step rest
+                        | Ltm.Failed _ ->
+                            Stats.note_local_aborted stats;
+                            loop ())
+                in
+                step (Generator.local_commands gen)
+              end)
+      in
+      loop ()
+    in
+    for _ = 1 to spec.Spec.local_mpl_per_site do
+      local_client ()
+    done;
+    fun () -> shard_stuck.(i) <- !in_flight + !queued + !remaining
+  in
+  let finishers = List.init n setup_shard in
+  (* Scheduled site crashes land on the crashed site's own shard. *)
+  if (setup.reboot_delay > 0 || setup.crash_coordinators) && setup.crash_schedule <> [] then
+    List.iter Network.assume_lossy (Dtm.networks dtm);
+  List.iter
+    (fun (at, site_idx) ->
+      if site_idx >= 0 && site_idx < n then
+        Engine.schedule_unit engines.(site_idx) ~delay:at (fun () ->
+            Dtm.crash_site ~reboot_delay:setup.reboot_delay dtm (Site.of_int site_idx)))
+    setup.crash_schedule;
+  let nets = Array.of_list (Dtm.networks dtm) in
+  let shards =
+    Array.init n (fun i ->
+        {
+          Parallel.engine = engines.(i);
+          drain =
+            (fun () ->
+              List.iter
+                (fun (e : _ Mailbox.entry) ->
+                  Network.deliver_remote nets.(i) ~arrival:(Time.of_int e.Mailbox.at)
+                    e.Mailbox.payload)
+                (Mailbox.drain mailboxes.(i)));
+          inbox_empty = (fun () -> Mailbox.is_empty mailboxes.(i));
+        })
+  in
+  let wall_start = Unix.gettimeofday () in
+  ignore
+    (Parallel.run ~domains ~lookahead ~until:(Time.of_int setup.time_limit) shards);
+  let wall_s = Unix.gettimeofday () -. wall_start in
+  Array.iter Engine.halt engines;
+  List.iter (fun f -> f ()) finishers;
+  let stats = Array.fold_left (fun acc s -> Stats.merge acc s) (Stats.create ()) shard_stats in
+  let sim_ticks =
+    Array.fold_left (fun acc e -> max acc (Time.to_int (Engine.last_event_at e))) 0 engines
+  in
+  let events =
+    Array.fold_left (fun acc e -> acc + (Engine.stats e).Engine.events) 0 engines
+  in
+  (* Fold the per-shard observability contexts into the caller's: metric
+     registries absorb exactly; trace events merge by (time, shard) —
+     stable sort keeps each shard's emission order. *)
+  (match setup.obs with
+  | Some o ->
+      let reg = Obs.metrics o in
+      Array.iter
+        (function Some so -> Registry.absorb reg (Obs.metrics so) | None -> ())
+        site_obs;
+      let trace_events =
+        List.concat
+          (Array.to_list
+             (Array.map
+                (function
+                  | Some so -> Hermes_obs.Tracer.events (Obs.trace so) | None -> [])
+                site_obs))
+      in
+      let sorted = List.stable_sort (fun (a, _) (b, _) -> Time.compare a b) trace_events in
+      List.iter (fun (at, ev) -> Hermes_obs.Tracer.emit (Obs.trace o) ~at ev) sorted;
+      Dtm.export_metrics dtm reg;
+      Stats.export stats reg;
+      Registry.Counter.add (Registry.counter reg "sim.events") events;
+      let cancelled =
+        Array.fold_left (fun acc e -> acc + (Engine.stats e).Engine.cancelled) 0 engines
+      in
+      Registry.Counter.add (Registry.counter reg "sim.cancelled") cancelled;
+      let max_pending =
+        Array.fold_left (fun acc e -> max acc (Engine.stats e).Engine.max_pending) 0 engines
+      in
+      Registry.Gauge.set (Registry.gauge reg "sim.max_pending") max_pending
+  | None -> ());
+  {
+    stats;
+    totals = Dtm.totals dtm;
+    cgm = None;
+    history = Dtm.history dtm;
+    sim_ticks;
+    events;
+    throughput =
+      (if sim_ticks = 0 then 0.0
+       else float_of_int (Stats.committed stats) *. 1_000_000.0 /. float_of_int sim_ticks);
+    wall_s;
+    stuck = Array.fold_left ( + ) 0 shard_stuck;
+  }
+
+let run setup = if setup.domains > 1 then run_windowed setup else run_single setup

@@ -43,6 +43,15 @@ type setup = {
       (** observability context threaded into every component; at the end
           of the run the engine/agent/LTM/network/client counters are
           exported into its registry *)
+  domains : int;
+      (** OCaml domains executing the run. [1] (the default) is the
+          legacy sequential engine — byte-identical to earlier revisions
+          at the same seed. [> 1] is the sharded conservative-window
+          engine: one engine/network/trace per site spread over this many
+          domains. That mode is deterministic and domain-count-invariant,
+          but it is a different (per-shard RNG) schedule from the
+          sequential engine, so its numbers are comparable across domain
+          counts, not with [domains = 1]. 2PCA only. *)
 }
 
 val default_setup : setup
@@ -55,7 +64,18 @@ type result = {
   sim_ticks : int;  (** time of the last event (not inflated by the cap) *)
   events : int;
   throughput : float;  (** committed global txns per simulated second *)
+  wall_s : float;  (** wall-clock seconds of the execution phase *)
   stuck : int;  (** global transactions unfinished at the cap *)
 }
 
 val run : setup -> result
+(** Dispatches on [setup.domains]: [<= 1] runs the sequential engine,
+    [> 1] runs {!run_windowed}. *)
+
+val run_windowed : ?domains:int -> setup -> result
+(** The sharded conservative-window engine regardless of [setup.domains]
+    (overridden by [?domains] when given, e.g. [~domains:1] to execute
+    the windowed schedule on the calling domain alone — it produces the
+    same result as any other domain count). Requires a {!Two_pca}
+    protocol and [net.base_delay >= 1] (the lookahead); raises
+    [Invalid_argument] otherwise. *)

@@ -80,6 +80,29 @@ let global_program t =
   let steps = List.concat_map (fun site -> List.map (fun c -> (site, c)) (site_commands t)) (distinct_sites t) in
   Hermes_core.Program.make steps
 
+(* Rooted variant for sharded execution: the program's first participant
+   (its coordinating site) is forced to [site], the rest drawn from the
+   other sites — so a per-site generator only ever starts coordinators on
+   its own shard. *)
+let distinct_sites_rooted t ~site =
+  let n = min t.spec.Spec.sites_per_txn t.spec.Spec.n_sites in
+  let others =
+    Array.of_list
+      (List.filter
+         (fun s -> not (Site.equal s site))
+         (List.init t.spec.Spec.n_sites Site.of_int))
+  in
+  let others = Rng.shuffle t.rng others in
+  site :: Array.to_list (Array.sub others 0 (n - 1))
+
+let global_program_rooted t ~site =
+  let steps =
+    List.concat_map
+      (fun s -> List.map (fun c -> (s, c)) (site_commands t))
+      (distinct_sites_rooted t ~site)
+  in
+  Hermes_core.Program.make steps
+
 (* The locally-updateable partition of the CGM baseline: a dedicated
    per-site table local writes are confined to (paper §6: CGM partitions
    items into locally- and globally-updateable sets; global updaters may

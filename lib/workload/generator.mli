@@ -9,6 +9,12 @@ type t
 val create : spec:Spec.t -> rng:Rng.t -> t
 val global_program : t -> Hermes_core.Program.t
 
+val global_program_rooted : t -> site:Site.t -> Hermes_core.Program.t
+(** Like {!global_program} but the coordinating (first) site is forced to
+    [site]; the remaining participants are drawn from the other sites.
+    Used by the sharded driver, where each site's clients submit only to
+    their own shard. *)
+
 val local_partition_table : string
 (** The locally-updateable table of the CGM data partition (paper §6). *)
 

@@ -184,6 +184,28 @@ let test_pool_map_exception () =
   Alcotest.check_raises "worker exception propagates" (Failure "boom") (fun () ->
       ignore (Hermes_harness.Pool.map ~jobs:3 (fun x -> if x = 5 then failwith "boom" else x) (List.init 10 Fun.id)))
 
+(* After a worker records an exception the dispenser must stop handing
+   out items. Item 0 fails immediately; every other item takes ~1ms, so
+   without the early-stop check the surviving worker would grind through
+   all 64 items before the join, and with it the queue is abandoned
+   after at most the items already in flight. *)
+let test_pool_map_early_stop () =
+  let touched = Array.make 64 false in
+  (try
+     ignore
+       (Hermes_harness.Pool.map ~jobs:2
+          (fun x ->
+            touched.(x) <- true;
+            if x = 0 then failwith "early";
+            Unix.sleepf 0.001;
+            x)
+          (List.init 64 Fun.id))
+   with Failure _ -> ());
+  let computed = Array.fold_left (fun acc t -> if t then acc + 1 else acc) 0 touched in
+  Alcotest.(check bool)
+    (Fmt.str "dispensing stopped early (computed %d/64)" computed)
+    true (computed < 64)
+
 (* The acceptance criterion of the parallel runner: fanning a seed sweep
    over domains changes neither the table text nor the metrics dump. *)
 let test_parallel_byte_identical () =
@@ -233,6 +255,7 @@ let () =
         [
           Alcotest.test_case "ordered map" `Quick test_pool_map_order;
           Alcotest.test_case "exception propagation" `Quick test_pool_map_exception;
+          Alcotest.test_case "early stop on failure" `Quick test_pool_map_early_stop;
           Alcotest.test_case "parallel run byte-identical" `Slow test_parallel_byte_identical;
         ] );
     ]
