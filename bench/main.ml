@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   Part 1 regenerates every experiment table (E1..E16) — the paper has no
+   Part 1 regenerates every experiment table (E1..E17) — the paper has no
    quantitative tables of its own, so these operationalize its qualitative
    claims; the mapping is documented in DESIGN.md §3 and EXPERIMENTS.md.
    The whole sweep runs with a shared metrics registry, summarized after
@@ -26,7 +26,7 @@
 
    --json dumps every table cell, the suite metrics registry, the
    microbenchmark estimates and the multicore scaling runs as one JSON
-   document, schema "hermes-bench/2" (see BENCH_0004.json for a
+   document, schema "hermes-bench/3" (see BENCH_0005.json for a
    committed reference dump). *)
 
 open Hermes_kernel
@@ -357,7 +357,7 @@ let dump_json ~path ~quick ~jobs ~domains ~tables ~metrics ~micro ~multicore =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "hermes-bench/2");
+        ("schema", Json.String "hermes-bench/3");
         ("quick", Json.Bool quick);
         ("jobs", Json.Int jobs);
         ("domains", Json.Int domains);
@@ -427,10 +427,10 @@ let () =
       & info [ "json" ] ~docv:"FILE"
           ~doc:
             "Dump every table cell, the metrics registry, the microbenchmark estimates and the \
-             multicore scaling runs to $(docv) (schema $(b,hermes-bench/2)).")
+             multicore scaling runs to $(docv) (schema $(b,hermes-bench/3)).")
   in
   let term = Term.(const bench $ quick $ jobs $ domains $ json) in
   let info =
-    Cmd.info "bench" ~doc:"Regenerate the experiment tables (E1..E16) and run the microbenchmarks (M1..M15)."
+    Cmd.info "bench" ~doc:"Regenerate the experiment tables (E1..E17) and run the microbenchmarks (M1..M15)."
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E16)
+     hermes experiments -- print the experiment tables (E1..E17)
 
    All simulations are deterministic in the seed. *)
 
@@ -111,6 +111,37 @@ let certifier_arg =
           "Certifier variant: $(b,full), $(b,naive), $(b,ticket), $(b,commit-only), $(b,prepare-only), \
            $(b,no-extension), $(b,no-commit-cert), $(b,no-prepare-cert), $(b,no-dlu).")
 
+let commit_proto_arg =
+  Arg.(
+    value
+    & opt (enum [ ("2pc", `Two_pc); ("backup-tm", `Backup_tm); ("paxos", `Paxos) ]) `Two_pc
+    & info [ "commit-proto" ] ~docv:"PROTO"
+        ~doc:
+          "Commit protocol: $(b,2pc) (plain presumed-abort 2PC, the default), $(b,backup-tm) (the \
+           decision also lands on one backup TM at another site — non-blocking for a single \
+           failure), or $(b,paxos) (Paxos Commit: the decision is a Paxos-replicated register \
+           across 2F+1 acceptors; see $(b,--paxos-f)).")
+
+let paxos_f_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "paxos-f" ] ~docv:"F"
+        ~doc:
+          "Fault tolerance of $(b,--commit-proto paxos): 2$(docv)+1 acceptors, write/read quorums \
+           of $(docv)+1. The commit decision survives any $(docv) permanent failures.")
+
+let resolve_commit_proto proto f =
+  match proto with
+  | `Two_pc -> Config.Two_pc
+  | `Backup_tm -> Config.Backup_tm
+  | `Paxos ->
+      if f < 1 then begin
+        Fmt.epr "hermes: --paxos-f must be at least 1@.";
+        exit 2
+      end;
+      Config.Paxos { f }
+
 (* ------------------------------------------------------------------ *)
 (* hermes run                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -196,22 +227,28 @@ let run_cmd =
       & opt (some string) None
       & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
   in
-  let run () certifier cgm sites globals mpl failure_p jitter drop dup crashes reboot_delay
-      crash_coordinator drift theta open_loop group_commit domains seed verbose dump metrics_out
-      trace_out metrics_summary =
-    if domains > 1 && trace_out <> None then begin
-      (* Golden trace digests are pinned to the sequential engine's
-         schedule; a windowed trace would silently produce different
-         (though equally valid) digests. *)
-      Fmt.epr "hermes: --domains %d cannot be combined with --trace-out (trace digests are pinned \
-               to the sequential engine; drop --domains or --trace-out)@." domains;
-      exit 2
-    end;
+  let run () certifier commit_proto paxos_f cgm sites globals mpl failure_p jitter drop dup crashes
+      reboot_delay crash_coordinator drift theta open_loop group_commit domains seed verbose dump
+      metrics_out trace_out metrics_summary =
+    if domains > 1 && trace_out <> None then
+      (* The windowed engine writes the deterministic merged trace — a
+         valid schedule, but not the sequential one the golden digests
+         are pinned to. *)
+      Fmt.epr "hermes: note: --trace-out with --domains %d writes the deterministic merged \
+               windowed trace; golden trace digests are pinned to the sequential engine only@."
+        domains;
     if domains > 1 && cgm <> None then begin
       Fmt.epr "hermes: --domains %d requires the 2CM protocol (the CGM baseline is single-domain \
                only)@." domains;
       exit 2
     end;
+    let commit_proto = resolve_commit_proto commit_proto paxos_f in
+    if domains > 1 && commit_proto <> Config.Two_pc then begin
+      Fmt.epr "hermes: --domains %d requires --commit-proto 2pc (replicated commit protocols run \
+               on the sequential engine only)@." domains;
+      exit 2
+    end;
+    let certifier = { certifier with Config.commit_proto } in
     let certifier =
       if group_commit then
         {
@@ -257,6 +294,8 @@ let run_cmd =
     let r = Driver.run setup in
     let s = r.Driver.stats in
     Fmt.pr "protocol: %s, seed %d@." (Driver.protocol_name protocol) seed;
+    if commit_proto <> Config.Two_pc then
+      Fmt.pr "commit protocol: %a@." Config.pp_commit_proto commit_proto;
     if domains > 1 then
       Fmt.pr "engine: windowed, %d domains, %.3fs wall (%.0f txns/s wall)@." domains r.Driver.wall_s
         (if r.Driver.wall_s > 0.0 then float_of_int (Stats.committed s) /. r.Driver.wall_s else 0.0);
@@ -297,9 +336,10 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ setup_logs $ certifier_arg $ cgm $ sites $ globals $ mpl $ failure_p $ jitter $ drop
-      $ dup $ crashes $ reboot_delay $ crash_coordinator $ drift $ theta $ open_loop $ group_commit
-      $ domains $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
+      const run $ setup_logs $ certifier_arg $ commit_proto_arg $ paxos_f_arg $ cgm $ sites
+      $ globals $ mpl $ failure_p $ jitter $ drop $ dup $ crashes $ reboot_delay
+      $ crash_coordinator $ drift $ theta $ open_loop $ group_commit $ domains $ seed_arg $ verbose
+      $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -403,11 +443,11 @@ let experiments_cmd =
       & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
   let only =
-    let names = List.init 16 (fun i -> Fmt.str "e%d" (i + 1)) in
+    let names = List.init 17 (fun i -> Fmt.str "e%d" (i + 1)) in
     Arg.(
       value
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
-      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e16)).")
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e17)).")
   in
   let jobs =
     Arg.(
@@ -450,7 +490,7 @@ let experiments_cmd =
       const run $ setup_logs $ quick $ seeds $ only $ jobs $ domains $ metrics_out_arg
       $ metrics_summary_arg)
   in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E16).") term
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E17).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes explore                                                      *)
@@ -474,6 +514,11 @@ let explore_cmd =
     budget "coord-crashes" ~default:0 "Budget of coordinator-site crash (+log recovery) events."
   in
   let inquiries = budget "inquiries" ~default:0 "Budget of decision-inquiry timer firings." in
+  let replica_kills =
+    budget "replica-kills" ~default:0
+      "Budget of permanent leader/acceptor kills (replicated commit protocols: at F the space must \
+       exhaust clean, at F+1 blocking reappears)."
+  in
   let no_termination =
     Arg.(
       value
@@ -496,13 +541,15 @@ let explore_cmd =
             "Vote counting: $(b,dedup) (per-site, correct) or $(b,counted) (raw counter — the \
              historical duplicate-READY fake-quorum bug, expected to produce violations).")
   in
-  let run () certifier sites txns drops dups crashes uaborts alive_fires commit_retries exec_timeouts
-      retransmits coord_crashes inquiries no_termination max_states quorum =
+  let run () certifier commit_proto paxos_f sites txns drops dups crashes uaborts alive_fires
+      commit_retries exec_timeouts retransmits coord_crashes inquiries replica_kills no_termination
+      max_states quorum =
+    let commit_proto = resolve_commit_proto commit_proto paxos_f in
     let scenario =
       {
         Explore.n_sites = sites;
         n_txns = txns;
-        config = { certifier with Config.bind_data = false };
+        config = { certifier with Config.bind_data = false; commit_proto };
         quorum;
         budgets =
           {
@@ -516,6 +563,7 @@ let explore_cmd =
             retransmits;
             coord_crashes;
             inquiries;
+            replica_kills;
           };
         termination = not no_termination;
         max_states;
@@ -531,9 +579,9 @@ let explore_cmd =
   in
   let term =
     Term.(
-      const run $ setup_logs $ certifier_arg $ sites $ txns $ drops $ dups $ crashes $ uaborts
-      $ alive_fires $ commit_retries $ exec_timeouts $ retransmits $ coord_crashes $ inquiries
-      $ no_termination $ max_states $ quorum)
+      const run $ setup_logs $ certifier_arg $ commit_proto_arg $ paxos_f_arg $ sites $ txns $ drops
+      $ dups $ crashes $ uaborts $ alive_fires $ commit_retries $ exec_timeouts $ retransmits
+      $ coord_crashes $ inquiries $ replica_kills $ no_termination $ max_states $ quorum)
   in
   Cmd.v
     (Cmd.info "explore"

@@ -154,11 +154,13 @@ let env t =
           (gid, { Agent_sm.alive = Ltm.is_alive txn; last_op_done = Ltm.last_op_done txn }) :: acc)
         t.txns [];
     max_committed_sn = Agent_log.max_committed_sn t.log;
-    (* The termination protocol engages only when coordinator crashes are
-       enabled for this run *and* the network is lossy — like PR 3's
-       retry timers, so fault-free runs arm no extra timers and stay
-       byte-identical. *)
-    inquiry = t.termination && Network.lossy t.net;
+    (* The termination protocol engages whenever coordinator crashes are
+       enabled for this run, so crash-free runs arm no extra timers and
+       stay byte-identical.  It must NOT additionally require a lossy
+       network: a coordinator crash strands in-doubt participants on a
+       perfectly reliable network too — the crash itself loses the
+       in-flight decision. *)
+    inquiry = t.termination;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -39,10 +39,14 @@ val create :
     delay is recorded in an [agent.commit_delay] histogram per site.
 
     [?termination] (default [false]) engages the in-doubt termination
-    protocol: while a prepared subtransaction has no decision and the
-    network is lossy, an inquiry timer periodically sends DECISION-REQ
-    to the coordinator, and the blocking window is measured in an
+    protocol: while a prepared subtransaction has no decision, an
+    inquiry timer periodically sends DECISION-REQ to the coordinator
+    (or, under a replicated commit protocol, round-robin to the decision
+    register's acceptors), and the blocking window is measured in an
     [agent.in_doubt] gauge plus an [agent.in_doubt_time] histogram.
+    The timer arms on any run with coordinator crashes enabled — a
+    crash strands in-doubt participants on a perfectly reliable network
+    too, so it must not additionally require a lossy one.
     Enabled by {!Dtm} when coordinator crashes are enabled — off, the
     agent arms no extra timers and exports no extra metrics, keeping
     fault-free and PR 3-era runs byte-identical. *)

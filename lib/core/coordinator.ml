@@ -33,6 +33,7 @@ type reason = Types.reason =
   | Refused of Site.t * Message.refusal
   | Gate_refused of string  (* a baseline scheduler (e.g. CGM) rejected the commit *)
   | Presumed_abort  (* coordinator crash recovery found no decision record *)
+  | Register_abort  (* a recovery ballot of the replicated decision register chose abort *)
 
 let pp_reason = Types.pp_reason
 
@@ -113,6 +114,30 @@ let emit_event t (ev : Sm.event) =
       Log.debug (fun m ->
           m "[%a] T%d: DECISION-REQ from %a, answering %s" Time.pp (Engine.now t.engine) t.gid
             Site.pp asker
+            (if committed then "commit" else "rollback"))
+  | Replicating_decision { acceptors } ->
+      Log.debug (fun m ->
+          m "[%a] T%d: proposing commit to %d acceptor(s) at ballot 0" Time.pp
+            (Engine.now t.engine) t.gid acceptors)
+  | Retransmitting_proposal { unacked } ->
+      Log.debug (fun m ->
+          m "[%a] T%d: re-driving the decision register (%d outstanding)" Time.pp
+            (Engine.now t.engine) t.gid unacked)
+  | Asking_register { acceptors } ->
+      (match t.obs with
+      | Some o ->
+          Registry.Counter.incr (Registry.counter (Obs.metrics o) ~site:t.site "coord.register_inquiries")
+      | None -> ());
+      Log.info (fun m ->
+          m "[%a] T%d: recovered undecided, asking the %d-acceptor register" Time.pp
+            (Engine.now t.engine) t.gid acceptors)
+  | Adopted { committed } ->
+      (match t.obs with
+      | Some o ->
+          Registry.Counter.incr (Registry.counter (Obs.metrics o) ~site:t.site "coord.adopted_decisions")
+      | None -> ());
+      Log.info (fun m ->
+          m "[%a] T%d: adopted the register's decision (%s)" Time.pp (Engine.now t.engine) t.gid
             (if committed then "commit" else "rollback"))
 
 let record_history t (h : Types.history_event) =
@@ -235,10 +260,10 @@ and arm t (timer : Sm.timer) ~delay =
         Some (Engine.schedule t.engine ~delay (fun () -> feed t Sm.Prepare_retransmit_fired))
 
 let handle t (msg : Message.t) =
-  let src =
-    match msg.Message.src with Message.Agent s -> s | Message.Coordinator _ -> assert false
-  in
-  feed t (Sm.From_agent { src; payload = msg.Message.payload })
+  match msg.Message.src with
+  | Message.Agent src -> feed t (Sm.From_agent { src; payload = msg.Message.payload })
+  | Message.Acceptor { idx; _ } -> feed t (Sm.From_acceptor { idx; payload = msg.Message.payload })
+  | Message.Coordinator _ -> assert false
 
 let start ?(gate = open_gate) ?obs ?log ?batcher ~gid ~site ~engine ~net ~trace ~config ~sn_gen
     ~program ~on_done () =

@@ -13,6 +13,9 @@ type reason =
   | Presumed_abort
       (** coordinator crash recovery found no decision record for the
           round and terminated it by presuming abort *)
+  | Register_abort
+      (** replicated commit: a recovery ballot of the decision register
+          chose abort and this coordinator adopted it *)
 
 val pp_reason : reason Fmt.t
 

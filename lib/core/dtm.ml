@@ -38,6 +38,9 @@ type site_ctx = {
   ltm : Ltm.t;
   agent : Agent.t;
   clog : Coordinator_log.t;  (* the site's stable coordinator log *)
+  acceptors : Acceptor.t option;
+      (* host for the decision-register acceptors placed at this site;
+         present only under a replicated commit protocol *)
   batcher : Group_commit.t option;  (* the site's shared group-commit batcher *)
   clock : Clock.t;
   injector : Failure.t;
@@ -85,6 +88,11 @@ let make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec
       ~config:spec.failure ltm
   in
   let clog = Coordinator_log.create () in
+  let acceptors =
+    if Config.n_acceptors certifier > 0 then
+      Some (Acceptor.create ~site ~engine ~net ?obs ~config:certifier ())
+    else None
+  in
   (* Group commit: one batcher per site, shared by every coordinator
      the site hosts; each flush pays a single force on the site's
      coordinator log. *)
@@ -106,6 +114,7 @@ let make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec
     ltm;
     agent;
     clog;
+    acceptors;
     batcher;
     clock = spec.clock;
     injector;
@@ -133,12 +142,19 @@ let create ~engine ~rng ~trace ~net_config ~certifier ?obs ?(crash_coordinators 
 let locate ~n_sites = function
   | Hermes_net.Message.Agent s -> Site.to_int s
   | Hermes_net.Message.Coordinator gid -> (gid - 1) mod n_sites
+  | Hermes_net.Message.Acceptor { gid; idx } ->
+      (* acceptor idx of gid's register is strided one past the leader's
+         site; unreachable today (replicated protocols are sequential-
+         engine only) but kept consistent with [submit]'s placement *)
+      (gid + idx) mod n_sites
 
 let create_sharded ~engines ~rng ~net_config ~certifier ?obs_of ?(crash_coordinators = false)
     ~fabric_of ~site_specs () =
   let n = Array.length site_specs in
   if Array.length engines <> n then
     invalid_arg "Dtm.create_sharded: one engine per site required";
+  if Config.n_acceptors certifier > 0 then
+    invalid_arg "Dtm.create_sharded: replicated commit protocols run on the sequential engine only";
   let sites =
     Array.mapi
       (fun i spec ->
@@ -208,6 +224,17 @@ let submit ?gate t program ~on_done =
     end
   in
   c.submitted <- c.submitted + 1;
+  (* Replicated commit: bring up the round's decision register before
+     the leader starts — the network fails fast on a send to an
+     unregistered address, so every acceptor must exist before the
+     leader's first PX-ACCEPT can race it. *)
+  let n_acc = Config.n_acceptors t.certifier in
+  for idx = 0 to n_acc - 1 do
+    let host = t.sites.((gid + idx) mod Array.length t.sites) in
+    match host.acceptors with
+    | Some a -> Acceptor.host a ~gid ~idx
+    | None -> assert false (* every site has a host when the protocol is replicated *)
+  done;
   let coord =
     Coordinator.start ?gate ?obs:c.sobs ~log:c.clog ?batcher:c.batcher ~gid ~site:coord_site
       ~engine:c.engine
@@ -241,6 +268,14 @@ let crash_site ?(reboot_delay = 0) t site =
     if reboot_delay <= 0 then begin
       List.iter Coordinator.crash coords;
       Agent.crash c.agent;
+      (* hosted acceptors lose their volatile state too and replay from
+         their force-written log — before the coordinators recover, so a
+         rebooting leader's register inquiry finds them consistent *)
+      (match c.acceptors with
+      | Some a ->
+          Acceptor.crash a;
+          Acceptor.recover a
+      | None -> ());
       Agent.recover c.agent;
       List.iter Coordinator.recover coords
     end
@@ -257,9 +292,19 @@ let crash_site ?(reboot_delay = 0) t site =
         coords;
       Agent.crash c.agent;
       Network.mark_down c.net (Hermes_net.Message.Agent site);
+      (match c.acceptors with
+      | Some a ->
+          Acceptor.crash a;
+          List.iter (Network.mark_down c.net) (Acceptor.addresses a)
+      | None -> ());
       Engine.schedule_unit c.engine ~delay:reboot_delay (fun () ->
           Network.mark_up c.net (Hermes_net.Message.Agent site);
           c.down <- false;
+          (match c.acceptors with
+          | Some a ->
+              List.iter (Network.mark_up c.net) (Acceptor.addresses a);
+              Acceptor.recover a
+          | None -> ());
           Agent.recover c.agent;
           List.iter
             (fun co ->

@@ -10,17 +10,19 @@
    can speak the wire types without depending on the simulated network;
    [Hermes_net.Message] re-exports it for transport-side callers. *)
 
-type address = Coordinator of int | Agent of Site.t
+type address = Coordinator of int | Agent of Site.t | Acceptor of { gid : int; idx : int }
 
 let pp_address ppf = function
   | Coordinator gid -> Fmt.pf ppf "coord(T%d)" gid
   | Agent s -> Fmt.pf ppf "agent(%a)" Site.pp s
+  | Acceptor { gid; idx } -> Fmt.pf ppf "acceptor(T%d.%d)" gid idx
 
 let equal_address a b =
   match (a, b) with
   | Coordinator x, Coordinator y -> Int.equal x y
   | Agent x, Agent y -> Site.equal x y
-  | (Coordinator _ | Agent _), _ -> false
+  | Acceptor x, Acceptor y -> Int.equal x.gid y.gid && Int.equal x.idx y.idx
+  | (Coordinator _ | Agent _ | Acceptor _), _ -> false
 
 (* Why a Participant refused PREPARE (or a scheduler refused service). *)
 type refusal =
@@ -49,6 +51,18 @@ type payload =
   | Rollback_ack
   | Decision_req  (* termination protocol: an in-doubt participant asks for the outcome *)
   | Decision_resp of { committed : bool }
+  (* Paxos Commit (Gray & Lamport): the decision register's ballot
+     traffic between the leader (the coordinator) and its acceptors.
+     Ballot 0 is the leader's fast path; recovery ballots are run by
+     acceptors prodded with DECISION-REQ and are spread over disjoint
+     ballot spaces (round * n + idx + 1). *)
+  | Px_accept of { ballot : int; committed : bool }  (* phase 2a: accept this decision *)
+  | Px_accepted of { ballot : int; idx : int }  (* phase 2b: acceptor [idx] accepted *)
+  | Px_query of { ballot : int }  (* phase 1a: recovery leader solicits promises *)
+  | Px_promise of { ballot : int; promised : int; accepted : (int * bool) option; idx : int }
+      (* phase 1b: promise ([promised = ballot]) or nack ([promised > ballot]),
+         carrying the highest (ballot, decision) the acceptor has accepted *)
+  | Px_decision of { committed : bool }  (* learn: the register's chosen value *)
 
 let pp_payload ppf = function
   | Begin -> Fmt.string ppf "BEGIN"
@@ -65,6 +79,17 @@ let pp_payload ppf = function
   | Decision_req -> Fmt.string ppf "DECISION-REQ"
   | Decision_resp { committed } ->
       Fmt.pf ppf "DECISION-RESP %s" (if committed then "commit" else "rollback")
+  | Px_accept { ballot; committed } ->
+      Fmt.pf ppf "PX-ACCEPT b=%d %s" ballot (if committed then "commit" else "rollback")
+  | Px_accepted { ballot; idx } -> Fmt.pf ppf "PX-ACCEPTED b=%d a%d" ballot idx
+  | Px_query { ballot } -> Fmt.pf ppf "PX-QUERY b=%d" ballot
+  | Px_promise { ballot; promised; accepted; idx } ->
+      Fmt.pf ppf "PX-PROMISE b=%d promised=%d a%d%a" ballot promised idx
+        (Fmt.option (fun ppf (b, c) ->
+             Fmt.pf ppf " accepted=(%d,%s)" b (if c then "commit" else "rollback")))
+        accepted
+  | Px_decision { committed } ->
+      Fmt.pf ppf "PX-DECISION %s" (if committed then "commit" else "rollback")
 
 type t = { src : address; dst : address; gid : int; payload : payload }
 

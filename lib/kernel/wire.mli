@@ -4,7 +4,12 @@
     Kernel-resident so the pure protocol layer can use the wire types
     without a network dependency; {!Hermes_net.Message} re-exports it. *)
 
-type address = Coordinator of int | Agent of Site.t
+type address =
+  | Coordinator of int
+  | Agent of Site.t
+  | Acceptor of { gid : int; idx : int }
+      (** replicated-commit protocols: acceptor [idx] of transaction
+          [gid]'s decision register *)
 
 val pp_address : address Fmt.t
 val equal_address : address -> address -> bool
@@ -37,6 +42,17 @@ type payload =
       (** termination protocol: an in-doubt participant asks the
           coordinator for the outcome of its round *)
   | Decision_resp of { committed : bool }
+  | Px_accept of { ballot : int; committed : bool }
+      (** Paxos Commit phase 2a: a (leader or recovery) proposer asks an
+          acceptor to accept this decision at [ballot] *)
+  | Px_accepted of { ballot : int; idx : int }  (** phase 2b *)
+  | Px_query of { ballot : int }  (** recovery phase 1a *)
+  | Px_promise of { ballot : int; promised : int; accepted : (int * bool) option; idx : int }
+      (** recovery phase 1b: a promise when [promised = ballot], a nack
+          when [promised > ballot]; carries the highest accepted
+          (ballot, decision), which the recovery leader must re-propose *)
+  | Px_decision of { committed : bool }
+      (** learn: the register's chosen value, acceptor-to-acceptor *)
 
 val pp_payload : payload Fmt.t
 

@@ -78,9 +78,11 @@ type env = {
   max_committed_sn : Sn.t option;  (* the stable log's biggest committed SN *)
   inquiry : bool;
       (* whether the termination protocol is engaged: the adapter samples
-         this as "coordinator crashes enabled for this run && the network
-         is lossy", so runs without coordinator crashes arm no inquiry
-         timers and stay byte-identical *)
+         this as "coordinator crashes enabled for this run", so runs
+         without coordinator crashes arm no inquiry timers and stay
+         byte-identical.  (It is deliberately NOT gated on network
+         lossiness: a coordinator crash loses in-flight decisions even
+         when no message is ever dropped.) *)
 }
 
 (* What the stable log knows about a gid (for messages about
@@ -129,8 +131,9 @@ type timer =
          it); staleness is filtered by the incarnation tag instead *)
   | T_inquiry of int
       (* termination protocol: while prepared and undecided, periodically
-         ask the coordinator for the outcome; armed only when [env.inquiry]
-         holds (coordinator crashes enabled, lossy network) *)
+         ask the coordinator — and, under a replicated commit protocol,
+         the acceptors — for the outcome; armed only when [env.inquiry]
+         holds (coordinator crashes enabled) *)
   | T_flush
       (* group commit: one per agent, armed when the first record (or
          PREPARE) is staged into an empty batch, cancelled when the batch
@@ -785,7 +788,11 @@ let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
       | Some sub -> handle_rollback config st env sub
       | None -> handle_unknown st env ~src ~gid ~payload ~log)
   | Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Refuse _ | Wire.Commit_ack
-  | Wire.Rollback_ack | Wire.Decision_req ->
+  | Wire.Rollback_ack | Wire.Decision_req
+  (* Paxos Commit traffic flows between the leader and its acceptors
+     only; a participant never sees it. *)
+  | Wire.Px_accept _ | Wire.Px_accepted _ | Wire.Px_query _ | Wire.Px_promise _
+  | Wire.Px_decision _ ->
       unexpected st ~src ~gid ~payload
 
 let step (config : Config.t) (st : state) (input : input) : state * effect list =
@@ -828,17 +835,38 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
   | Inquiry_fired { env; gid } -> (
       (* Termination protocol: still prepared with no decision — ask the
          coordinator (or its rebooted incarnation) for the outcome and
-         re-arm. Once any decision has arrived the timer dies out. *)
+         re-arm. Under a replicated commit protocol the inquiry also
+         probes the decision register: a decided acceptor answers, and an
+         undecided one starts a recovery ballot — this is what makes the
+         round terminate even if the coordinator never reboots. The probe
+         targets ONE acceptor per firing, round-robin, not all of them:
+         a fan-out would start up to 2F+1 duelling recovery ballots at
+         once, while successive probes walk the replica set and reach a
+         live acceptor within F+1 firings regardless of which F died.
+         Once any decision has arrived the timer dies out. *)
       ignore env;
       match Int_map.find_opt gid st.subs with
       | Some sub when sub.state = Prepared && sub.decision_at = None && not sub.decision_commit ->
+          let probe =
+            let n_acc = Config.n_acceptors config in
+            if n_acc = 0 then []
+            else
+              [
+                Send
+                  {
+                    dst = Wire.Acceptor { gid; idx = sub.inquiries mod n_acc };
+                    gid;
+                    payload = Wire.Decision_req;
+                  };
+              ]
+          in
           let sub = { sub with inquiries = sub.inquiries + 1; inquiry_armed = true } in
           ( update st sub,
-            [
-              Emit (Ev_decision_inquiry { gid; inquiries = sub.inquiries });
-              send sub Wire.Decision_req;
-              Arm_timer { timer = T_inquiry gid; delay = config.Config.decision_inquiry_interval };
-            ] )
+            Emit (Ev_decision_inquiry { gid; inquiries = sub.inquiries })
+            :: send sub Wire.Decision_req
+            :: probe
+            @ [ Arm_timer { timer = T_inquiry gid; delay = config.Config.decision_inquiry_interval } ]
+          )
       | Some sub when sub.inquiry_armed -> (update st { sub with inquiry_armed = false }, [])
       | Some _ | None -> (st, []))
   | Backoff_fired { env; gid; inc } -> (

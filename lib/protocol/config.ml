@@ -3,6 +3,20 @@
    naive resubmitting agent of [Barker & Özsu]-style systems) are
    expressed. *)
 
+(* How the coordinator's commit/abort decision is made durable.
+   [Two_pc] is the paper's protocol: the decision lives in the
+   coordinator's own force-written log, so a crashed coordinator blocks
+   in-doubt participants until its site reboots.  [Backup_tm] and
+   [Paxos] replicate the decision into a register spread over acceptor
+   processes on other sites (Gray & Lamport, "Consensus on Transaction
+   Commit"): the leader announces COMMIT only after a write quorum of
+   acceptors has accepted it, and any in-doubt party can drive a
+   recovery ballot against a read quorum, so the decision survives F
+   replica failures with no blocking.  [Backup_tm] is the degenerate
+   single-acceptor exemplar (the t2pc ENABLEBTM shape): one backup TM
+   on the next site, non-blocking under exactly one failure. *)
+type commit_proto = Two_pc | Backup_tm | Paxos of { f : int }
+
 type t = {
   prepare_certification : bool;  (* §4.2: alive time intersection rule *)
   certification_extension : bool;  (* §5.3: refuse PREPARE behind a bigger committed SN *)
@@ -23,9 +37,13 @@ type t = {
                                     participants that have not voted; armed only on a lossy
                                     network (Network.lossy), so reliable runs are unchanged *)
   decision_inquiry_interval : int;  (* agent: ticks an in-doubt (prepared, undecided)
-                                       subtransaction waits before asking the coordinator for
-                                       the outcome (DECISION-REQ); armed only on a lossy
-                                       network (Network.lossy), so reliable runs are unchanged *)
+                                       subtransaction waits before asking the coordinator (and,
+                                       under a replicated commit protocol, the acceptors) for
+                                       the outcome (DECISION-REQ); armed whenever the
+                                       termination protocol is on (coordinator crashes
+                                       enabled), reliable network or not — a crashed
+                                       coordinator loses in-flight decisions even when no
+                                       message is ever dropped *)
   group_commit_window : int;  (* group commit: ticks a staged log record may wait for
                                  companions before the batch is force-written; 0 disables
                                  group commit entirely (every force is immediate, and the
@@ -33,9 +51,26 @@ type t = {
   max_batch : int;  (* group commit: force the batch as soon as this many records
                        (and, at the agent, buffered PREPAREs) are staged, even if the
                        window has not elapsed *)
+  commit_proto : commit_proto;  (* how the decision is made durable; [Two_pc] (the default)
+                                   keeps every pre-replication run byte-identical *)
 }
 
 let group_commit t = t.group_commit_window > 0
+
+(* Replica-set geometry of the decision register.  2PC has no acceptors
+   (the coordinator log is the register); backup-TM has one; Paxos
+   Commit has 2f+1 with matching f+1 read/write quorums, so any read
+   quorum intersects any write quorum. *)
+let n_acceptors t =
+  match t.commit_proto with Two_pc -> 0 | Backup_tm -> 1 | Paxos { f } -> (2 * f) + 1
+
+let replica_quorum t =
+  match t.commit_proto with Two_pc -> 0 | Backup_tm -> 1 | Paxos { f } -> f + 1
+
+let pp_commit_proto ppf = function
+  | Two_pc -> Fmt.string ppf "2pc"
+  | Backup_tm -> Fmt.string ppf "backup-tm"
+  | Paxos { f } -> Fmt.pf ppf "paxos(f=%d)" f
 
 (* The full 2CM certifier as the paper specifies it. *)
 let full =
@@ -56,6 +91,7 @@ let full =
     decision_inquiry_interval = 60_000;
     group_commit_window = 0;
     max_batch = 8;
+    commit_proto = Two_pc;
   }
 
 (* The naive 2PC agent: simulated prepared state and resubmission, but no

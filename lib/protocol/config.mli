@@ -7,6 +7,21 @@
     record drives the pure state machines, the effectful adapters and
     the {!Explore} model checker. *)
 
+type commit_proto =
+  | Two_pc
+      (** The paper's protocol: the decision lives only in the
+          coordinator's force-written log, so a crashed coordinator
+          blocks in-doubt participants until its site reboots. *)
+  | Backup_tm
+      (** One backup acceptor on the next site (the t2pc [ENABLEBTM]
+          exemplar): the degenerate single-replica register, non-blocking
+          under exactly one failure. *)
+  | Paxos of { f : int }
+      (** Gray & Lamport's Paxos Commit: the decision is a
+          Paxos-replicated register over [2f+1] acceptors with [f+1]
+          read/write quorums — commit survives [f] replica failures with
+          zero blocking. *)
+
 type t = {
   prepare_certification : bool;
       (** §4.2: refuse a PREPARE whose alive interval does not intersect
@@ -47,8 +62,12 @@ type t = {
           network, so reliable runs are unchanged. *)
   decision_inquiry_interval : int;
       (** Agent: ticks an in-doubt (prepared, undecided) subtransaction
-          waits before asking the coordinator for the outcome
-          (DECISION-REQ); armed only on a lossy network. *)
+          waits before asking the coordinator — and, under a replicated
+          commit protocol, the acceptors — for the outcome
+          (DECISION-REQ). Armed whenever the termination protocol is on
+          (coordinator crashes enabled), on reliable networks too: a
+          coordinator crash loses in-flight decisions even when no
+          message is ever dropped. *)
   group_commit_window : int;
       (** Group commit: ticks a staged log record may wait for companions
           before the batch is force-written.  [0] disables group commit:
@@ -63,11 +82,26 @@ type t = {
       (** Group commit: force the batch as soon as this many records
           (and, at the agent, buffered PREPAREs) are staged, even if
           [group_commit_window] has not elapsed. *)
+  commit_proto : commit_proto;
+      (** How the commit/abort decision is made durable. [Two_pc] (the
+          default everywhere) keeps every pre-replication run
+          byte-identical. *)
 }
 
 val group_commit : t -> bool
 (** [group_commit t] is [t.group_commit_window > 0]: whether staged
     (batched) forcing is in effect. *)
+
+val n_acceptors : t -> int
+(** Acceptors of the decision register: 0 for {!Two_pc}, 1 for
+    {!Backup_tm}, [2f+1] for {!Paxos}. *)
+
+val replica_quorum : t -> int
+(** Read = write quorum of the register: 0 / 1 / [f+1]. Any read quorum
+    intersects any write quorum, which is what makes the register
+    write-once. *)
+
+val pp_commit_proto : commit_proto Fmt.t
 
 val full : t
 (** The full 2CM certifier as the paper specifies it (group commit off). *)

@@ -40,7 +40,17 @@ let config ?(quorum = Dedup) certifier = { certifier; quorum }
    no further traffic ever fills a batch. *)
 let force config r = if Config.group_commit config.certifier then Stage_log r else Force_log r
 
-type phase = Executing | Preparing | Committing | Aborting of reason
+type phase =
+  | Executing
+  | Preparing
+  | Replicating of { proposing : bool }
+      (* replicated commit only: every participant voted READY and the
+         leader is writing [commit] into the decision register at ballot
+         0 ([proposing = true]), or a rebooted undecided leader is asking
+         the register for the outcome ([proposing = false]); COMMIT
+         leaves only once a write quorum has accepted *)
+  | Committing
+  | Aborting of reason
 
 type event =
   | All_ready of { sn : Sn.t option }  (* every participant voted READY *)
@@ -51,6 +61,13 @@ type event =
       (* the machine was rebuilt from the coordinator log after a site
          crash; [None] means no decision record survived (presumed abort) *)
   | Answering_inquiry of { asker : Site.t; committed : bool }
+  | Replicating_decision of { acceptors : int }
+      (* ballot-0 proposal of [commit] sent to the register *)
+  | Retransmitting_proposal of { unacked : int }
+  | Asking_register of { acceptors : int }
+      (* crash recovery found no decision record: under a replicated
+         protocol the register, not presumed abort, owns the outcome *)
+  | Adopted of { committed : bool }  (* the register's recovery decision, learned *)
 
 type timer = Exec_timeout | Retransmit | Prepare_retransmit
 
@@ -76,6 +93,7 @@ type state = {
   votes : int;  (* raw vote count — what a [Counted] quorum decides on *)
   refusal : (Site.t * Wire.refusal) option;
   acked : Site.Set.t;  (* decision acknowledgements *)
+  replica_acks : int list;  (* acceptor idxs whose ballot-0 PX-ACCEPTED arrived *)
   retransmissions : int;
   exec_armed : bool;
   retransmit_armed : bool;
@@ -86,6 +104,9 @@ type state = {
 type input =
   | Start
   | From_agent of { src : Site.t; payload : Wire.payload }
+  | From_acceptor of { idx : int; payload : Wire.payload }
+      (* replicated commit only: register traffic — ballot-0 PX-ACCEPTED
+         acks, and DECISION-RESP when a recovery ballot decided for us *)
   | Exec_timeout_fired
   | Retransmit_fired
   | Prepare_retransmit_fired
@@ -130,6 +151,7 @@ let init ~gid ~site ~participants ~steps ~sn =
     votes = 0;
     refusal = None;
     acked = Site.Set.empty;
+    replica_acks = [];
     retransmissions = 0;
     exec_armed = false;
     retransmit_armed = false;
@@ -142,6 +164,15 @@ let n_participants st = List.length st.participants
 let send st ~dst payload = Send { dst; gid = st.gid; payload }
 
 let send_to_all st payload = List.map (fun s -> send st ~dst:(Wire.Agent s) payload) st.participants
+
+(* Replicated-commit geometry (0 acceptors under plain 2PC). *)
+let n_acceptors config = Config.n_acceptors config.certifier
+let replica_quorum config = Config.replica_quorum config.certifier
+let replicated config = n_acceptors config > 0
+
+let send_to_acceptors config st payload =
+  List.init (n_acceptors config) (fun idx ->
+      send st ~dst:(Wire.Acceptor { gid = st.gid; idx }) payload)
 
 let decision_message st = match st.phase with Committing -> Wire.Commit | _ -> Wire.Rollback
 
@@ -208,14 +239,44 @@ let note_vote config st src =
       let st = { st with voters = Site.Set.add src st.voters; votes = st.votes + 1 } in
       Some (st, st.votes = n_participants st)
 
+(* The commit point. Under plain 2PC the leader's own forced decision
+   record *is* the commit point; under a replicated protocol this runs
+   only once a write quorum of acceptors has accepted the ballot-0
+   proposal (the leader's log entry is then a local convenience, the
+   register is authoritative). *)
+let commit_point config st =
+  let st, effs = start_decision config st Committing in
+  ( st,
+    force config (R_decision { committed = true })
+    :: Record (H_global_commit { gid = st.gid })
+    :: effs )
+
 let all_ready config st =
   if st.refusal = None then
-    let st, effs = start_decision config st Committing in
-    ( st,
-      Emit (All_ready { sn = st.sn })
-      :: force config (R_decision { committed = true })
-      :: Record (H_global_commit { gid = st.gid })
-      :: effs )
+    if replicated config then
+      (* Propose [commit] at ballot 0 and wait for a write quorum; the
+         retransmission timer re-drives the proposal against slow or
+         rebooting acceptors. A fast ABORT never needs the register: a
+         recovery ballot that sees no accepted value aborts too. *)
+      let cancels = if st.prepare_retransmit_armed then [ Cancel_timer Prepare_retransmit ] else [] in
+      let st =
+        { st with
+          phase = Replicating { proposing = true };
+          replica_acks = [];
+          prepare_retransmit_armed = false;
+          retransmit_armed = true;
+        }
+      in
+      ( st,
+        Emit (All_ready { sn = st.sn })
+        :: Emit (Replicating_decision { acceptors = n_acceptors config })
+        :: send_to_acceptors config st (Wire.Px_accept { ballot = 0; committed = true })
+        @ cancels
+        @ [ Arm_timer { timer = Retransmit; delay = config.certifier.Config.decision_retry_interval } ]
+      )
+    else
+      let st, effs = commit_point config st in
+      (st, Emit (All_ready { sn = st.sn }) :: effs)
   else
     let site, refusal = Option.get st.refusal in
     start_abort config st (Refused (site, refusal))
@@ -231,6 +292,32 @@ let answer_inquiry st src =
       Emit (Answering_inquiry { asker = src; committed });
       send st ~dst:(Wire.Agent src) (Wire.Decision_resp { committed });
     ] )
+
+(* The register decided without us (a recovery ballot ran while we were
+   proposing, crashed, or rebooting): adopt its outcome. The decision
+   record is forced directly even under group commit — like recovery's
+   presumed abort, adoption is rare and must terminate even if no
+   further traffic ever fills a batch. *)
+let adopt config st committed =
+  let cancels = if st.retransmit_armed then [ Cancel_timer Retransmit ] else [] in
+  let st = { st with retransmit_armed = false } in
+  if committed then
+    let st, effs = start_decision config st Committing in
+    ( st,
+      Emit (Adopted { committed })
+      :: Force_log (R_decision { committed = true })
+      :: Record (H_global_commit { gid = st.gid })
+      :: cancels
+      @ effs )
+  else
+    let st, effs = start_decision config st (Aborting Register_abort) in
+    ( st,
+      Emit (Adopted { committed })
+      :: Emit (Deciding_abort Register_abort)
+      :: Force_log (R_decision { committed = false })
+      :: Record (H_global_abort { gid = st.gid })
+      :: cancels
+      @ effs )
 
 let handle_from_agent config st src payload =
   if st.finished then
@@ -248,9 +335,10 @@ let handle_from_agent config st src payload =
   else
     match (st.phase, payload) with
     | (Committing | Aborting _), Wire.Decision_req -> answer_inquiry st src
-    | (Executing | Preparing), Wire.Decision_req ->
-        (* Undecided: stay silent, the asker's inquiry timer re-asks
-           once a decision exists. *)
+    | (Executing | Preparing | Replicating _), Wire.Decision_req ->
+        (* Undecided: stay silent, the asker's inquiry timer re-asks once
+           a decision exists (under a replicated protocol the inquiry
+           also fans out to the acceptors, which run recovery). *)
         (st, [])
     | Executing, Wire.Exec_ok { step; _ } when is_outstanding st src step ->
         let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
@@ -297,8 +385,48 @@ let handle_from_agent config st src payload =
         (* Late replies racing the abort decision (e.g. an Exec_ok in
            flight when the exec timeout fired): ignore. *)
         (st, [])
+    | Preparing, Wire.Rollback_ack when replicated config ->
+        (* Under a replicated protocol an in-doubt participant's inquiry
+           can prod a recovery ballot into presuming abort before our
+           ballot-0 proposal ever starts; the participant rolls back and
+           acknowledges a ROLLBACK we never sent.  The register has
+           decided against us: adopt the abort (the broadcast collects
+           this participant's acknowledgement again). *)
+        adopt config st false
+    | ( Replicating _,
+        ( Wire.Ready | Wire.Refuse _ | Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Commit_ack
+        | Wire.Rollback_ack ) ) ->
+        (* Duplicated votes or replies trailing the proposal — and early
+           decision acks from participants that already learned the
+           outcome from a recovery ballot's DECISION-RESP; the decision
+           broadcast (and its retransmission) will collect them again. *)
+        (st, [])
     | _, payload ->
         Fmt.failwith "coordinator T%d: unexpected %a in current phase" st.gid Wire.pp_payload payload
+
+let handle_from_acceptor config st idx payload =
+  if st.finished then (st, [])
+  else
+    match (st.phase, payload) with
+    | Replicating { proposing = true }, Wire.Px_accepted { ballot = 0; idx = _ } ->
+        if List.mem idx st.replica_acks then (st, [])
+        else
+          let st = { st with replica_acks = idx :: st.replica_acks } in
+          if List.length st.replica_acks >= replica_quorum config then
+            (* Write quorum reached: the register holds [commit]; announce. *)
+            let cancels = if st.retransmit_armed then [ Cancel_timer Retransmit ] else [] in
+            let st = { st with retransmit_armed = false } in
+            let st, effs = commit_point config st in
+            (st, cancels @ effs)
+          else (st, [])
+    | Replicating _, Wire.Decision_resp { committed } -> adopt config st committed
+    | _, (Wire.Px_accepted _ | Wire.Decision_resp _) ->
+        (* Stale register traffic: acks for an already-reached quorum,
+           extra recovery answers trailing an adopted decision. *)
+        (st, [])
+    | _, payload ->
+        Fmt.failwith "coordinator T%d: unexpected %a from acceptor %d" st.gid Wire.pp_payload
+          payload idx
 
 let step config st input : state * effect list =
   match input with
@@ -307,6 +435,7 @@ let step config st input : state * effect list =
       let st, effs = next_step config st in
       (st, (force config (R_begin { participants = st.participants }) :: begins) @ effs)
   | From_agent { src; payload } -> handle_from_agent config st src payload
+  | From_acceptor { idx; payload } -> handle_from_acceptor config st idx payload
   | Exec_timeout_fired -> (
       let st = { st with exec_armed = false } in
       match (st.phase, st.outstanding) with
@@ -330,6 +459,39 @@ let step config st input : state * effect list =
             @ [ Arm_timer
                   { timer = Retransmit; delay = config.certifier.Config.decision_retry_interval };
               ] )
+      | Replicating { proposing } ->
+          (* Re-drive the register: the ballot-0 proposal against
+             acceptors that have not acked, or (when recovering) the
+             outcome inquiry.  The inquiry probes ONE acceptor per fire,
+             round-robin — prodding every undecided acceptor at once
+             would start up to [n_acceptors] duelling recovery ballots;
+             successive fires walk the replica set, so a live acceptor is
+             reached within F+1 fires. *)
+          let st = { st with retransmissions = st.retransmissions + 1 } in
+          let resend, unacked =
+            if proposing then
+              ( List.filter_map
+                  (fun idx ->
+                    if List.mem idx st.replica_acks then None
+                    else
+                      Some
+                        (send st
+                           ~dst:(Wire.Acceptor { gid = st.gid; idx })
+                           (Wire.Px_accept { ballot = 0; committed = true })))
+                  (List.init (n_acceptors config) Fun.id),
+                n_acceptors config - List.length st.replica_acks )
+            else
+              ( [ send st
+                    ~dst:(Wire.Acceptor { gid = st.gid; idx = st.retransmissions mod n_acceptors config })
+                    Wire.Decision_req ],
+                1 )
+          in
+          ( st,
+            Emit (Retransmitting_proposal { unacked })
+            :: resend
+            @ [ Arm_timer
+                  { timer = Retransmit; delay = config.certifier.Config.decision_retry_interval };
+              ] )
       | Executing | Preparing -> ({ st with retransmit_armed = false }, []))
   | Prepare_retransmit_fired -> (
       match st.phase with
@@ -349,7 +511,8 @@ let step config st input : state * effect list =
             @ [ Arm_timer
                   { timer = Prepare_retransmit; delay = config.certifier.Config.prepare_retry_interval };
               ] )
-      | Executing | Committing | Aborting _ -> ({ st with prepare_retransmit_armed = false }, []))
+      | Executing | Replicating _ | Committing | Aborting _ ->
+          ({ st with prepare_retransmit_armed = false }, []))
   | Gate_opened { sn; lossy } when st.phase = Executing && not st.finished ->
       (* The application's global Commit passed the gate: draw the serial
          number (the ticket baseline drew it at BEGIN) and start phase
@@ -398,6 +561,25 @@ let step config st input : state * effect list =
       | Some false ->
           let st, effs = start_decision config st (Aborting Presumed_abort) in
           (st, Emit (Recovered { decision }) :: effs)
+      | None when replicated config && sn <> None ->
+          (* Undecided past the prepare point under a replicated
+             protocol: presuming abort would be unsound — a recovery
+             ballot may already have chosen commit.  Ask the register and
+             adopt whatever it answers; the inquiry itself prods
+             undecided acceptors into running recovery.  (Before the
+             prepare point no participant can hold a vote and the
+             register can only ever choose abort, so plain presumed
+             abort below stays correct.)  Like the participants' inquiry,
+             the ask probes one acceptor at a time, round-robin via the
+             retransmission counter. *)
+          let st = { st with phase = Replicating { proposing = false }; retransmit_armed = true } in
+          ( st,
+            [
+              Emit (Asking_register { acceptors = n_acceptors config });
+              send st ~dst:(Wire.Acceptor { gid = st.gid; idx = 0 }) Wire.Decision_req;
+              Arm_timer
+                { timer = Retransmit; delay = config.certifier.Config.decision_retry_interval };
+            ] )
       | None ->
           let st, effs = start_decision config st (Aborting Presumed_abort) in
           ( st,

@@ -48,11 +48,37 @@
    by the machine — re-driving a logged decision and presuming abort
    otherwise. With [termination] off the coordinator stays dead (the
    pre-durability behaviour): its timers die, deliveries to it are
-   discarded, and I5 rediscovers the forever-blocking counterexample. *)
+   discarded, and I5 rediscovers the forever-blocking counterexample.
+
+   With a replicated commit protocol ([commit_proto] other than 2PC) the
+   decision register's acceptor machines join the global state, and the
+   [replica_kills] budget enables *permanent* kills of a transaction's
+   leader (its coordinator) or of individual acceptors — the Paxos
+   Commit failure model, where non-blocking holds for up to F permanent
+   failures. I5 is then the quorum-aware formulation: an in-doubt
+   participant is blocked forever only when no reachable replica knows
+   the decision AND no read/recovery quorum of live acceptors remains
+   (or nothing is armed to ask them). Budgeting [replica_kills] at F
+   must exhaust clean; at F+1 it must rediscover blocking — the
+   checker's form of the Paxos Commit availability claim. Acceptor
+   durability (crash + replay from the force-written acceptor log) is
+   deliberately *not* modelled here — kills are permanent; log replay
+   is covered by unit tests of the acceptor adapter.
+
+   Scope note: replicated scenarios that also *fire* inquiry timers
+   ([inquiries] > 0) do not exhaust at useful sizes — a recovery ballot
+   in flight (~a dozen distinct messages) cross-interleaves with the
+   ballot-0 proposal at every kill/fire placement, and the space runs
+   past 10^7 states even at one transaction on one site. The CI gates
+   therefore budget kills (and optionally retransmissions) with zero
+   inquiry *fires*; the inquiry-driven recovery path itself is covered
+   by the simulator's crash-train runs and by the unit and property
+   tests of [Paxos_coordinator_sm]. *)
 
 open Hermes_kernel
 module A = Agent_sm
 module C = Coordinator_sm
+module P = Paxos_coordinator_sm
 
 type budgets = {
   drops : int;  (* messages the network may lose *)
@@ -65,6 +91,8 @@ type budgets = {
   retransmits : int;  (* decision/PREPARE retransmission firings *)
   coord_crashes : int;  (* coordinator-site crash (+recovery) events *)
   inquiries : int;  (* decision-inquiry timer firings (they re-arm) *)
+  replica_kills : int;
+      (* permanent leader/acceptor kills (replicated protocols only) *)
 }
 
 let no_faults =
@@ -79,6 +107,7 @@ let no_faults =
     retransmits = 0;
     coord_crashes = 0;
     inquiries = 0;
+    replica_kills = 0;
   }
 
 type scenario = {
@@ -160,7 +189,13 @@ type g = {
          effects), oldest first — the model of the adapters' shared
          per-site batcher. Volatile: a coordinator crash drops its gid's
          entries *)
-  dead : int list;  (* crashed coordinators, never recovered ([termination] off) *)
+  dead : int list;  (* dead-for-good coordinators: [termination]-off crashes and leader kills *)
+  accs : ((int * int) * P.state) list;
+      (* decision-register acceptor machines, by (gid, idx); present only
+         under a replicated commit protocol. The machine's promised/
+         accepted/decided fields double as its force-written log (every
+         change to them is forced in the same step) *)
+  dead_accs : (int * int) list;  (* permanently killed acceptors *)
   agents : (int * A.state) list;  (* by site id *)
   logs : (int * entry list) list;  (* by site id *)
   max_csn : (int * Sn.t) list;  (* per site: biggest committed SN in the log *)
@@ -184,6 +219,8 @@ type action =
   | Unilateral_abort of { site : int; gid : int }
   | Crash_recover of int
   | Coord_crash of int  (* by gid; recovery is atomic iff [termination] *)
+  | Kill_leader of int  (* by gid: the leader dies for good (replicated protocols) *)
+  | Kill_acceptor of int * int  (* (gid, idx): the acceptor dies for good *)
   | Coord_flush of int
       (* by site: force the site's staged coordinator records (one batch
          I/O) and release their withheld effects; free, like the real
@@ -217,7 +254,12 @@ let put_ltxn g s l =
 (* The [env] snapshot an adapter would sample for a site right now. *)
 let env_of scenario g s =
   {
-    A.inquiry = scenario.termination && scenario.budgets.coord_crashes > 0;
+    (* Mirrors the adapter: the inquiry is armed whenever coordinator
+       failures are on the table for the run — crash+recover or
+       permanent kills — not only on lossy networks. *)
+    A.inquiry =
+      scenario.termination
+      && (scenario.budgets.coord_crashes > 0 || scenario.budgets.replica_kills > 0);
     now = Time.of_int g.clock;
     views =
       List.map
@@ -509,6 +551,35 @@ and coord_eff scenario gid g (eff : C.effect) =
       | Types.Aborted _ -> ());
       { g with outcomes = (gid, outcome) :: g.outcomes }
 
+(* One acceptor machine step. Acceptors only send, force and emit —
+   their sends never feed another machine directly, so no recursion. The
+   force-written records need no separate model: the machine's promised/
+   accepted/decided fields change exactly when the log would, so the
+   machine state *is* the log. *)
+let feed_acceptor scenario g (gid, idx) input =
+  let st = List.assoc (gid, idx) g.accs in
+  let pcfg = P.config scenario.config in
+  let st, effs =
+    try P.step pcfg st input with
+    | Failure m -> raise (Violation m)
+    | Invalid_argument m -> raise (Violation ("machine exception: " ^ m))
+  in
+  let g = { g with accs = upd (gid, idx) st g.accs } in
+  List.fold_left
+    (fun g (eff : P.effect) ->
+      match eff with
+      | Types.Send { dst; gid = mgid; payload } ->
+          {
+            g with
+            msgs = { Wire.src = Wire.Acceptor { gid; idx }; dst; gid = mgid; payload } :: g.msgs;
+          }
+      | Types.Force_log _ | Types.Emit _ -> g
+      | Types.Arm_timer _ | Types.Cancel_timer _ | Types.Ltm_call _ -> .
+      | Types.Stage_log _ | Types.Force_batch _ | Types.Record _ | Types.Invoke_gate
+      | Types.Decide _ ->
+          assert false)
+    g effs
+
 (* ------------------------------------------------------------------ *)
 (* Actions                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -528,10 +599,16 @@ let start_txn scenario g gid =
     else (None, g)
   in
   let st = C.init ~gid ~site ~participants ~steps ~sn in
+  (* Under a replicated protocol the transaction's decision register
+     comes up with it: 2F+1 acceptor machines (one for backup-TM). *)
+  let accs =
+    List.init (Config.n_acceptors scenario.config) (fun idx -> ((gid, idx), P.init ~gid ~idx))
+  in
   let g =
     {
       g with
       coords = (gid, st) :: g.coords;
+      accs = accs @ g.accs;
       unstarted = List.filter (fun x -> x <> gid) g.unstarted;
     }
   in
@@ -541,11 +618,17 @@ let deliver scenario g (m : Wire.t) =
   match m.Wire.dst with
   | Wire.Coordinator gid when List.mem gid g.dead ->
       g (* the coordinating site is down for good: the delivery is lost *)
-  | Wire.Coordinator gid ->
-      let src =
-        match m.Wire.src with Wire.Agent s -> s | Wire.Coordinator _ -> assert false
-      in
-      feed_coord scenario g gid (C.From_agent { src; payload = m.Wire.payload })
+  | Wire.Coordinator gid -> (
+      match m.Wire.src with
+      | Wire.Agent s -> feed_coord scenario g gid (C.From_agent { src = s; payload = m.Wire.payload })
+      | Wire.Acceptor { idx; _ } ->
+          feed_coord scenario g gid (C.From_acceptor { idx; payload = m.Wire.payload })
+      | Wire.Coordinator _ -> assert false)
+  | Wire.Acceptor { gid; idx } when List.mem (gid, idx) g.dead_accs ->
+      g (* the acceptor is dead for good: the delivery is lost *)
+  | Wire.Acceptor { gid; idx } ->
+      feed_acceptor scenario g (gid, idx)
+        (P.Deliver { src = m.Wire.src; payload = m.Wire.payload })
   | Wire.Agent site ->
       let s = Site.to_int site in
       feed_agent scenario g s
@@ -690,6 +773,32 @@ let coord_crash scenario g gid =
         feed_coord scenario g gid
           (C.Recover { participants = e.c_participants; sn = e.c_sn; decision = e.c_decision })
 
+(* A permanent leader kill: the coordinating site dies for good (the
+   Paxos Commit failure model). Same bookkeeping as a [termination]-off
+   coordinator crash — timers die, staged records vanish, deliveries to
+   it will be lost — but charged to the [replica_kills] budget, because
+   under a replicated protocol the register is meant to survive it. *)
+let kill_leader g gid =
+  {
+    g with
+    clock = g.clock + 1;
+    b = { g.b with replica_kills = g.b.replica_kills - 1 };
+    timers = List.filter (function T_coord (gid', _) -> gid' <> gid | T_agent _ -> true) g.timers;
+    cstaged =
+      List.map (fun (s, q) -> (s, List.filter (fun (gid', _, _) -> gid' <> gid) q)) g.cstaged;
+    dead = gid :: g.dead;
+  }
+
+(* A permanent acceptor kill: the machine keeps its state (irrelevant —
+   it will never step again) and every future delivery to it is lost. *)
+let kill_acceptor g gid idx =
+  {
+    g with
+    clock = g.clock + 1;
+    b = { g.b with replica_kills = g.b.replica_kills - 1 };
+    dead_accs = (gid, idx) :: g.dead_accs;
+  }
+
 (* Force the site's staged coordinator records — one batch I/O, oldest
    first — then release the withheld effects in staging order. *)
 let coord_flush scenario g s =
@@ -708,9 +817,11 @@ let apply scenario g = function
   | Unilateral_abort { site; gid } -> unilateral_abort g site gid
   | Crash_recover s -> crash_recover scenario g s
   | Coord_crash gid -> coord_crash scenario g gid
+  | Kill_leader gid -> kill_leader g gid
+  | Kill_acceptor (gid, idx) -> kill_acceptor g gid idx
   | Coord_flush s -> coord_flush scenario g s
 
-let enabled g =
+let enabled scenario g =
   let distinct l = List.sort_uniq compare l in
   let starts = List.map (fun gid -> Start gid) g.unstarted in
   let msgs = distinct g.msgs in
@@ -759,12 +870,30 @@ let enabled g =
         g.coords
     else []
   in
+  let kills =
+    (* permanent kills, replicated protocols only: the leader or any
+       live acceptor of an unfinished round may die for good *)
+    let n_acc = Config.n_acceptors scenario.config in
+    if g.b.replica_kills > 0 && n_acc > 0 then
+      List.concat_map
+        (fun (gid, (st : C.state)) ->
+          if st.C.finished || List.mem gid g.dead then []
+          else
+            Kill_leader gid
+            :: List.filter_map
+                 (fun idx ->
+                   if List.mem (gid, idx) g.dead_accs then None else Some (Kill_acceptor (gid, idx)))
+                 (List.init n_acc Fun.id))
+        g.coords
+    else []
+  in
   let cflushes =
     (* free, like the agent flush timer: a non-empty batch can always
        force, so staged work never blocks quiescence *)
     List.filter_map (fun (s, q) -> if q <> [] then Some (Coord_flush s) else None) g.cstaged
   in
-  starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes @ coord_crashes @ cflushes
+  starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes @ coord_crashes @ kills
+  @ cflushes
 
 (* ------------------------------------------------------------------ *)
 (* Invariants checked outside the transition function                   *)
@@ -808,34 +937,105 @@ let flush_violations g =
       else None)
     g.agents
 
-(* I5, at terminal states of coordinator-crash scenarios: the
+(* I5, at terminal states of coordinator-failure scenarios: the
    termination property. A prepared-but-undecided agent-log entry is a
    participant still in doubt; it is *blocked forever* when no armed
-   mechanism can still resolve it — no decision/PREPARE retransmission
-   timer at its coordinator, no inquiry timer at the participant. (An
-   armed timer whose budget ran out is exempt: real time would fire it,
-   the exploration merely stopped counting.) Gated on the budget so
-   pre-existing scenarios keep their exact semantics. *)
+   mechanism can still resolve it. (An armed timer whose budget ran out
+   is exempt: real time would fire it, the exploration merely stopped
+   counting.) Gated on the budgets so pre-existing scenarios keep their
+   exact semantics.
+
+   Plain 2PC: resolvable iff a decision/PREPARE retransmission is armed
+   at the coordinator or an inquiry is armed at the participant.
+
+   Replicated protocols (the quorum-aware formulation): let "askable"
+   mean some armed mechanism can still interrogate the register — an
+   inquiry at the participant, or the live leader's retransmission
+   (which either re-drives a known decision or re-asks its acceptors).
+   The entry is resolvable iff
+   - the leader is alive pre-prepare-point with PREPARE retransmission
+     armed (an abort needs no register), or
+   - some reachable replica already knows the decision (the live leader
+     past its decision, or a live acceptor with a decided register) and
+     askable, or
+   - no one knows it yet but a recovery quorum of acceptors is still
+     alive and askable — a recovery ballot can finish the round.
+   At F kills the last disjunct always holds (2F+1 - F >= F+1), so the
+   space exhausts clean; at F+1 it fails and I5 finds the blocking. *)
 let in_doubt_violations scenario g =
-  if scenario.budgets.coord_crashes = 0 then []
+  if scenario.budgets.coord_crashes = 0 && scenario.budgets.replica_kills = 0 then []
   else
+    let n_acc = Config.n_acceptors scenario.config in
+    let quorum = Config.replica_quorum scenario.config in
+    let timer_armed f = List.exists f g.timers in
+    let resolvable s (e : entry) =
+      let gid = e.e_gid in
+      let inquiry_armed =
+        timer_armed (function T_agent (s', A.T_inquiry g') -> s' = s && g' = gid | _ -> false)
+      in
+      if n_acc = 0 then
+        inquiry_armed
+        || timer_armed (function
+             | T_coord (g', (C.Retransmit | C.Prepare_retransmit)) -> g' = gid
+             | _ -> false)
+      else
+        let leader_alive = not (List.mem gid g.dead) in
+        let lst = List.assoc gid g.coords in
+        let leader_decided =
+          leader_alive
+          && match lst.C.phase with C.Committing | C.Aborting _ -> true | _ -> false
+        in
+        let leader_retx =
+          leader_alive
+          && timer_armed (function T_coord (g', C.Retransmit) -> g' = gid | _ -> false)
+        in
+        let leader_pretx =
+          leader_alive
+          && timer_armed (function T_coord (g', C.Prepare_retransmit) -> g' = gid | _ -> false)
+        in
+        let askable = inquiry_armed || leader_retx in
+        let alive_accs =
+          List.filter
+            (fun idx -> not (List.mem (gid, idx) g.dead_accs))
+            (List.init n_acc Fun.id)
+        in
+        let decided_exists =
+          leader_decided
+          || List.exists
+               (fun idx -> (List.assoc (gid, idx) g.accs).P.decided <> None)
+               alive_accs
+        in
+        leader_pretx
+        || (decided_exists && askable)
+        || (List.length alive_accs >= quorum && askable)
+    in
+    let decision_known s gid =
+      (* A prepared entry whose agent sub already holds the decision
+         ([decision_commit], possibly [committing]) is not in doubt —
+         only the rigorous release order is delaying the local commit,
+         and the armed commit-retry timer drives that in real time. *)
+      match List.assoc_opt s g.agents with
+      | Some ast -> (
+          match A.Int_map.find_opt gid ast.A.subs with
+          | Some sub -> sub.A.decision_commit || sub.A.committing
+          | None -> false)
+      | None -> false
+    in
     List.concat_map
       (fun (s, entries) ->
         List.filter_map
           (fun e ->
-            let resolvable =
-              List.exists
-                (function
-                  | T_agent (s', A.T_inquiry gid) -> s' = s && gid = e.e_gid
-                  | T_coord (gid, (C.Retransmit | C.Prepare_retransmit)) -> gid = e.e_gid
-                  | T_agent _ | T_coord _ -> false)
-                g.timers
-            in
-            if e.e_prepared && (not e.e_lcommitted) && (not e.e_rolled) && not resolvable then
+            if
+              e.e_prepared
+              && (not e.e_lcommitted)
+              && (not e.e_rolled)
+              && (not (decision_known s e.e_gid))
+              && not (resolvable s e)
+            then
               Some
                 (Fmt.str
                    "I5: T%d is in doubt at site %a at quiescence with no retransmission or inquiry \
-                    armed — blocked forever"
+                    armed that can still reach a decision — blocked forever"
                    e.e_gid Site.pp (site_of s))
             else None)
           entries)
@@ -880,6 +1080,7 @@ let fingerprint g =
       st.C.votes,
       st.C.refusal,
       Site.Set.elements st.C.acked,
+      List.sort compare st.C.replica_acks,
       st.C.retransmissions,
       (st.C.exec_armed, st.C.retransmit_armed, st.C.prepare_retransmit_armed, st.C.finished) )
   in
@@ -897,6 +1098,7 @@ let fingerprint g =
     ( (g.clock, g.sn_seq),
       List.map canon_coord (sorted_assoc g.coords),
       (sorted_assoc g.clogs, List.sort compare g.dead, sorted_assoc g.cstaged),
+      (sorted_assoc g.accs, List.sort compare g.dead_accs),
       List.map canon_agent (sorted_assoc g.agents),
       List.map (fun (s, es) -> (s, List.sort compare es)) (sorted_assoc g.logs),
       sorted_assoc g.max_csn,
@@ -917,6 +1119,8 @@ let init scenario =
       clogs = [];
       cstaged = [];
       dead = [];
+      accs = [];
+      dead_accs = [];
       agents = List.map (fun s -> (s, A.init ~site:(site_of s))) sites;
       logs = List.map (fun s -> (s, [])) sites;
       max_csn = [];
@@ -948,6 +1152,38 @@ type stats = {
   truncated : bool;  (* [max_states] hit: the space was NOT exhausted *)
 }
 
+let pp_action ppf = function
+  | Start gid -> Fmt.pf ppf "start T%d" gid
+  | Deliver m -> Fmt.pf ppf "deliver %a" Wire.pp m
+  | Duplicate m -> Fmt.pf ppf "deliver a duplicate of %a" Wire.pp m
+  | Drop m -> Fmt.pf ppf "drop %a" Wire.pp m
+  | Ltm_complete (Cb_exec { site; gid; inc; _ }) ->
+      Fmt.pf ppf "LTM at %a finishes a command of T%d (inc %d)" Site.pp (site_of site) gid inc
+  | Ltm_complete (Cb_commit { site; gid; _ }) ->
+      Fmt.pf ppf "LTM at %a finishes the local commit of T%d" Site.pp (site_of site) gid
+  | Ltm_complete (Cb_uan { site; gid; inc }) ->
+      Fmt.pf ppf "UAN for T%d (inc %d) reaches the agent at %a" gid inc Site.pp (site_of site)
+  | Fire (T_agent (s, A.T_alive gid)) ->
+      Fmt.pf ppf "alive-check timer fires for T%d at %a" gid Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_commit_retry gid)) ->
+      Fmt.pf ppf "commit-retry timer fires for T%d at %a" gid Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_inquiry gid)) ->
+      Fmt.pf ppf "decision-inquiry timer fires for T%d at %a" gid Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_backoff { gid; inc })) ->
+      Fmt.pf ppf "resubmission backoff fires for T%d (inc %d) at %a" gid inc Site.pp (site_of s)
+  | Fire (T_agent (s, A.T_flush)) ->
+      Fmt.pf ppf "group-commit flush timer fires at %a" Site.pp (site_of s)
+  | Fire (T_coord (gid, C.Exec_timeout)) -> Fmt.pf ppf "T%d's command reply times out" gid
+  | Fire (T_coord (gid, C.Retransmit)) -> Fmt.pf ppf "T%d retransmits its decision" gid
+  | Fire (T_coord (gid, C.Prepare_retransmit)) -> Fmt.pf ppf "T%d retransmits PREPARE" gid
+  | Unilateral_abort { site; gid } ->
+      Fmt.pf ppf "LTM at %a unilaterally aborts T%d" Site.pp (site_of site) gid
+  | Crash_recover s -> Fmt.pf ppf "site %a crashes and recovers" Site.pp (site_of s)
+  | Coord_crash gid -> Fmt.pf ppf "T%d's coordinating site crashes" gid
+  | Kill_leader gid -> Fmt.pf ppf "T%d's leader dies for good" gid
+  | Kill_acceptor (gid, idx) -> Fmt.pf ppf "acceptor %d of T%d's register dies for good" idx gid
+  | Coord_flush s -> Fmt.pf ppf "the coordinator batch at %a force-writes" Site.pp (site_of s)
+
 let max_reported = 5
 
 let run scenario =
@@ -967,7 +1203,7 @@ let run scenario =
     if !states >= scenario.max_states then truncated := true
     else begin
       incr states;
-      match enabled g with
+      match enabled scenario g with
       | [] ->
           incr terminals;
           List.iter (fun m -> record m trail)
@@ -1007,36 +1243,6 @@ let run scenario =
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing                                                      *)
 (* ------------------------------------------------------------------ *)
-
-let pp_action ppf = function
-  | Start gid -> Fmt.pf ppf "start T%d" gid
-  | Deliver m -> Fmt.pf ppf "deliver %a" Wire.pp m
-  | Duplicate m -> Fmt.pf ppf "deliver a duplicate of %a" Wire.pp m
-  | Drop m -> Fmt.pf ppf "drop %a" Wire.pp m
-  | Ltm_complete (Cb_exec { site; gid; inc; _ }) ->
-      Fmt.pf ppf "LTM at %a finishes a command of T%d (inc %d)" Site.pp (site_of site) gid inc
-  | Ltm_complete (Cb_commit { site; gid; _ }) ->
-      Fmt.pf ppf "LTM at %a finishes the local commit of T%d" Site.pp (site_of site) gid
-  | Ltm_complete (Cb_uan { site; gid; inc }) ->
-      Fmt.pf ppf "UAN for T%d (inc %d) reaches the agent at %a" gid inc Site.pp (site_of site)
-  | Fire (T_agent (s, A.T_alive gid)) ->
-      Fmt.pf ppf "alive-check timer fires for T%d at %a" gid Site.pp (site_of s)
-  | Fire (T_agent (s, A.T_commit_retry gid)) ->
-      Fmt.pf ppf "commit-retry timer fires for T%d at %a" gid Site.pp (site_of s)
-  | Fire (T_agent (s, A.T_inquiry gid)) ->
-      Fmt.pf ppf "decision-inquiry timer fires for T%d at %a" gid Site.pp (site_of s)
-  | Fire (T_agent (s, A.T_backoff { gid; inc })) ->
-      Fmt.pf ppf "resubmission backoff fires for T%d (inc %d) at %a" gid inc Site.pp (site_of s)
-  | Fire (T_agent (s, A.T_flush)) ->
-      Fmt.pf ppf "group-commit flush timer fires at %a" Site.pp (site_of s)
-  | Fire (T_coord (gid, C.Exec_timeout)) -> Fmt.pf ppf "T%d's command reply times out" gid
-  | Fire (T_coord (gid, C.Retransmit)) -> Fmt.pf ppf "T%d retransmits its decision" gid
-  | Fire (T_coord (gid, C.Prepare_retransmit)) -> Fmt.pf ppf "T%d retransmits PREPARE" gid
-  | Unilateral_abort { site; gid } ->
-      Fmt.pf ppf "LTM at %a unilaterally aborts T%d" Site.pp (site_of site) gid
-  | Crash_recover s -> Fmt.pf ppf "site %a crashes and recovers" Site.pp (site_of s)
-  | Coord_crash gid -> Fmt.pf ppf "T%d's coordinating site crashes" gid
-  | Coord_flush s -> Fmt.pf ppf "the coordinator batch at %a force-writes" Site.pp (site_of s)
 
 let pp_stats ppf st =
   Fmt.pf ppf "%d states, %d transitions (%d reconverged), %d terminal states, %d violation(s)%s"

@@ -26,12 +26,17 @@ type reason =
          record (or the logged decision was an abort — the log keeps only
          the decision bit, not its reason), so 2PC's presumed-abort rule
          applies *)
+  | Register_abort
+      (* replicated commit (Paxos / backup-TM): a recovery ballot of the
+         decision register chose abort — the replicated flavour of
+         presumed abort — and the leader adopted it *)
 
 let pp_reason ppf = function
   | Exec_failed (s, why) -> Fmt.pf ppf "execution failed at %a: %s" Site.pp s why
   | Refused (s, r) -> Fmt.pf ppf "refused by %a: %a" Site.pp s Wire.pp_refusal r
   | Gate_refused why -> Fmt.pf ppf "commit gate refused: %s" why
   | Presumed_abort -> Fmt.string ppf "presumed abort after coordinator crash recovery"
+  | Register_abort -> Fmt.string ppf "the replicated decision register chose abort"
 
 type outcome = Committed | Aborted of reason
 

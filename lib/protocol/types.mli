@@ -26,6 +26,9 @@ type reason =
       (** Coordinator crash recovery: the stable log holds no decision
           record (or the logged decision was an abort), so 2PC's
           presumed-abort rule applies. *)
+  | Register_abort
+      (** Replicated commit (Paxos / backup-TM): a recovery ballot of the
+          decision register chose abort and the leader adopted it. *)
 
 val pp_reason : reason Fmt.t
 

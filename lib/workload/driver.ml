@@ -276,9 +276,11 @@ let run_single setup =
   (* Scheduled full site crashes. With a non-zero reboot delay, sites will
      be marked down mid-run — coordinators must arm their loss-recovery
      retransmissions from the first transaction on, so declare the network
-     lossy up front. Coordinator crashes imply the same (a recovered
-     decision may need retransmitting, and the agents' inquiry timers are
-     lossiness-gated), even with instantaneous reboots. *)
+     lossy up front. Coordinator crashes imply the same even with
+     instantaneous reboots: a recovered decision may need retransmitting.
+     (The agents' inquiry timers are NOT lossiness-gated — they arm
+     whenever coordinator crashes are enabled — so this flag is purely
+     about the coordinators' retransmission machinery.) *)
   if (setup.reboot_delay > 0 || setup.crash_coordinators) && setup.crash_schedule <> [] then
     Network.assume_lossy (Dtm.network dtm);
   List.iter

@@ -950,6 +950,343 @@ let test_explore_group_commit_clean () =
   check_clean "2x2 group commit" st
 
 (* ------------------------------------------------------------------ *)
+(* Paxos Commit: the replicated decision register                       *)
+(* ------------------------------------------------------------------ *)
+
+module P = Hermes_protocol.Paxos_coordinator_sm
+module Acceptor = Hermes_core.Acceptor
+module Message = Hermes_net.Message
+
+let pcfg = { cfg with Config.commit_proto = Config.Paxos { f = 1 } }
+let btm_cfg = { cfg with Config.commit_proto = Config.Backup_tm }
+let pcstep st input = Csm.step (Csm.config pcfg) st input
+
+(* Drive the paxos-mode coordinator to the Preparing phase. *)
+let p_preparing () =
+  let st, _ = pcstep (coord_init ()) Csm.Start in
+  let st, _ =
+    pcstep st (Csm.From_agent { src = a; payload = Wire.Exec_ok { step = 0; result = Command.Count 1 } })
+  in
+  let st, _ =
+    pcstep st (Csm.From_agent { src = b; payload = Wire.Exec_ok { step = 0; result = Command.Count 1 } })
+  in
+  fst (pcstep st (Csm.Gate_opened { sn = Some (mk_sn 0); lossy = false }))
+
+let test_paxos_commit_waits_for_write_quorum () =
+  (* All-READY proposes commit at ballot 0 to every acceptor; COMMIT is
+     announced only once a write quorum (f+1 = 2 of 3) has accepted. *)
+  let st = p_preparing () in
+  let st, _ = pcstep st (Csm.From_agent { src = a; payload = Wire.Ready }) in
+  let st, effs = pcstep st (Csm.From_agent { src = b; payload = Wire.Ready }) in
+  Alcotest.(check int) "ballot-0 proposal to all 2f+1 acceptors" 3
+    (List.length
+       (List.filter (fun (_, p) -> p = Wire.Px_accept { ballot = 0; committed = true }) (csends effs)));
+  Alcotest.(check bool) "no COMMIT before the quorum" true
+    (not (List.exists (fun (_, p) -> p = Wire.Commit) (csends effs)));
+  let st, effs = pcstep st (Csm.From_acceptor { idx = 0; payload = Wire.Px_accepted { ballot = 0; idx = 0 } }) in
+  Alcotest.(check bool) "one ack: still replicating" true
+    (not (List.exists (fun (_, p) -> p = Wire.Commit) (csends effs)));
+  let _, effs = pcstep st (Csm.From_acceptor { idx = 1; payload = Wire.Px_accepted { ballot = 0; idx = 1 } }) in
+  Alcotest.(check int) "write quorum reached: COMMIT broadcast" 2
+    (List.length (List.filter (fun (_, p) -> p = Wire.Commit) (csends effs)))
+
+let test_paxos_coordinator_adopts_register_abort_in_preparing () =
+  (* Found by the model checker: an in-doubt participant's inquiry can
+     prod a recovery ballot into presuming abort while the leader is
+     still collecting votes — its ROLLBACK-ACK then arrives in the
+     Preparing phase and must be adopted, not rejected. *)
+  let st = p_preparing () in
+  let _, effs = pcstep st (Csm.From_agent { src = a; payload = Wire.Rollback_ack }) in
+  Alcotest.(check bool) "register abort adopted" true
+    (List.exists (function T.Emit (Csm.Adopted { committed = false }) -> true | _ -> false) effs);
+  Alcotest.(check bool) "abort decision forced" true
+    (List.exists (function T.Force_log (Csm.R_decision { committed = false }) -> true | _ -> false) effs);
+  Alcotest.(check int) "ROLLBACK broadcast" 2
+    (List.length (List.filter (fun (_, p) -> p = Wire.Rollback) (csends effs)))
+
+(* Acceptor-machine probes. *)
+let pa = P.config pcfg
+let asends effs = List.filter_map (function T.Send { dst; payload; _ } -> Some (dst, payload) | _ -> None) effs
+let acc_addr idx = Wire.Acceptor { gid = 1; idx }
+
+let astep st input = P.step pa st input
+let adeliver st ~src payload = astep st (P.Deliver { src; payload })
+
+let test_paxos_recovery_adopts_accepted_value () =
+  (* The acceptor holds ballot-0 commit; a DECISION-REQ starts a full
+     recovery ballot which must re-propose that value (B3) and answer
+     the asker commit once a write quorum accepts. *)
+  let st = P.init ~gid:1 ~idx:0 in
+  let st, effs = adeliver st ~src:(Wire.Coordinator 1) (Wire.Px_accept { ballot = 0; committed = true }) in
+  Alcotest.(check bool) "ballot-0 value force-accepted" true
+    (List.exists
+       (function T.Force_log (P.R_accepted { ballot = 0; committed = true }) -> true | _ -> false)
+       effs);
+  let st, effs = adeliver st ~src:(Wire.Agent b) Wire.Decision_req in
+  Alcotest.(check int) "recovery ballot queries the peers" 2
+    (List.length (List.filter (fun (_, p) -> p = Wire.Px_query { ballot = 1 }) (asends effs)));
+  let st, effs =
+    adeliver st ~src:(acc_addr 1)
+      (Wire.Px_promise { ballot = 1; promised = 1; accepted = Some (0, true); idx = 1 })
+  in
+  Alcotest.(check int) "read quorum: phase 2 re-proposes commit" 2
+    (List.length
+       (List.filter (fun (_, p) -> p = Wire.Px_accept { ballot = 1; committed = true }) (asends effs)));
+  let st, effs = adeliver st ~src:(acc_addr 1) (Wire.Px_accepted { ballot = 1; idx = 1 }) in
+  Alcotest.(check bool) "decided commit" true (st.P.decided = Some true);
+  Alcotest.(check bool) "asker answered commit" true
+    (List.mem (Wire.Agent b, Wire.Decision_resp { committed = true }) (asends effs))
+
+let test_paxos_recovery_presumes_abort_when_register_empty () =
+  (* No acceptor in the read quorum ever accepted a value: the recovery
+     ballot is free to choose abort (replicated presumed abort). *)
+  let st = P.init ~gid:1 ~idx:0 in
+  let st, _ = adeliver st ~src:(Wire.Agent b) Wire.Decision_req in
+  let st, _ =
+    adeliver st ~src:(acc_addr 1) (Wire.Px_promise { ballot = 1; promised = 1; accepted = None; idx = 1 })
+  in
+  let st, effs = adeliver st ~src:(acc_addr 1) (Wire.Px_accepted { ballot = 1; idx = 1 }) in
+  Alcotest.(check bool) "decided abort" true (st.P.decided = Some false);
+  Alcotest.(check bool) "asker answered rollback" true
+    (List.mem (Wire.Agent b, Wire.Decision_resp { committed = false }) (asends effs))
+
+let test_paxos_nacked_leader_rebids_above_the_nack () =
+  (* A higher promise nacks the ballot; the leader abandons and the next
+     DECISION-REQ re-runs in its own ballot space above the nack. *)
+  let st = P.init ~gid:1 ~idx:0 in
+  let st, _ = adeliver st ~src:(Wire.Agent b) Wire.Decision_req in
+  let st, effs =
+    adeliver st ~src:(acc_addr 1) (Wire.Px_promise { ballot = 1; promised = 5; accepted = None; idx = 1 })
+  in
+  Alcotest.(check bool) "nack emitted, ballot abandoned" true
+    (List.exists (function T.Emit (P.Nacked { ballot = 1; promised = 5 }) -> true | _ -> false) effs);
+  Alcotest.(check bool) "no sends on the nack" true (asends effs = []);
+  let _, effs = adeliver st ~src:(Wire.Agent b) Wire.Decision_req in
+  Alcotest.(check int) "re-bids above the promised ballot (own space)" 2
+    (List.length (List.filter (fun (_, p) -> p = Wire.Px_query { ballot = 7 }) (asends effs)))
+
+let test_backup_tm_register_decides_alone () =
+  (* Backup-TM is the 1-acceptor degenerate register: read and write
+     quorums are the acceptor itself, so a DECISION-REQ resolves in one
+     step — presumed abort with an empty register, the held value
+     otherwise. *)
+  let btm = P.config btm_cfg in
+  let st = P.init ~gid:1 ~idx:0 in
+  let st, effs = P.step btm st (P.Deliver { src = Wire.Agent b; payload = Wire.Decision_req }) in
+  Alcotest.(check bool) "empty register: abort, immediately" true (st.P.decided = Some false);
+  Alcotest.(check bool) "asker answered rollback" true
+    (List.mem (Wire.Agent b, Wire.Decision_resp { committed = false }) (asends effs));
+  let st2 = P.init ~gid:2 ~idx:0 in
+  let st2, _ =
+    P.step btm st2
+      (P.Deliver { src = Wire.Coordinator 2; payload = Wire.Px_accept { ballot = 0; committed = true } })
+  in
+  let st2, effs =
+    P.step btm st2 (P.Deliver { src = Wire.Agent b; payload = Wire.Decision_req })
+  in
+  Alcotest.(check bool) "held commit survives into recovery" true (st2.P.decided = Some true);
+  Alcotest.(check bool) "asker answered commit" true
+    (List.exists (fun (_, p) -> p = Wire.Decision_resp { committed = true }) (asends effs))
+
+let prop_paxos_register_write_once =
+  (* The register safety property: under any interleaving, reordering
+     and dropping of messages, any number of inquiries, and crash+replay
+     of any acceptor from its force-written log, at most one value is
+     ever decided — by any acceptor, any log, or any DECISION-RESP. *)
+  QCheck.Test.make ~name:"paxos register is write-once under crashes and reordering" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = pa.P.n in
+      let machines = Array.init n (fun idx -> P.init ~gid:1 ~idx) in
+      let lp = Array.make n 0 in
+      let la = Array.make n None in
+      let ld = Array.make n None in
+      let pool = ref [] in
+      let observed = ref [] in
+      let apply_log i = function
+        | P.R_promised { ballot } -> lp.(i) <- max lp.(i) ballot
+        | P.R_accepted { ballot; committed } ->
+            lp.(i) <- max lp.(i) ballot;
+            la.(i) <- Some (ballot, committed)
+        | P.R_decided { committed } -> ld.(i) <- Some committed
+      in
+      let interp i (eff : P.effect) =
+        match eff with
+        | T.Send { dst = Wire.Acceptor { idx; _ }; payload; _ } ->
+            pool := (idx, acc_addr i, payload) :: !pool
+        | T.Send { payload = Wire.Decision_resp { committed }; _ } ->
+            observed := committed :: !observed
+        | T.Send _ -> ()
+        | T.Force_log r -> apply_log i r
+        | T.Emit _ -> ()
+        | T.Arm_timer _ | T.Cancel_timer _ | T.Ltm_call _ -> .
+        | _ -> assert false
+      in
+      let feed i input =
+        let st, effs = P.step pa machines.(i) input in
+        machines.(i) <- st;
+        List.iter (interp i) effs
+      in
+      (* Stimulus: the leader's ballot-0 commit proposal reaches a random
+         subset of acceptors, and one or two in-doubt participants ask. *)
+      for i = 0 to n - 1 do
+        if Random.State.bool rng then
+          pool := (i, Wire.Coordinator 1, Wire.Px_accept { ballot = 0; committed = true }) :: !pool
+      done;
+      pool := (Random.State.int rng n, Wire.Agent a, Wire.Decision_req) :: !pool;
+      if Random.State.bool rng then
+        pool := (Random.State.int rng n, Wire.Agent b, Wire.Decision_req) :: !pool;
+      let rec take k = function
+        | [] -> assert false
+        | x :: r ->
+            if k = 0 then (x, r)
+            else
+              let y, rest = take (k - 1) r in
+              (y, x :: rest)
+      in
+      let steps = ref 0 in
+      while !pool <> [] && !steps < 2_000 do
+        incr steps;
+        let (dst, src, payload), rest = take (Random.State.int rng (List.length !pool)) !pool in
+        pool := rest;
+        match Random.State.int rng 10 with
+        | 0 -> () (* the network loses it *)
+        | 1 ->
+            (* a random acceptor crashes and replays its log first *)
+            let i = Random.State.int rng n in
+            machines.(i) <- P.init ~gid:1 ~idx:i;
+            feed i (P.Recover { promised = lp.(i); accepted = la.(i); decided = ld.(i) });
+            feed dst (P.Deliver { src; payload })
+        | _ -> feed dst (P.Deliver { src; payload })
+      done;
+      let decided =
+        List.filter_map Fun.id (Array.to_list ld)
+        @ List.filter_map (fun (st : P.state) -> st.P.decided) (Array.to_list machines)
+        @ !observed
+      in
+      match decided with [] -> true | v :: rest -> List.for_all (Bool.equal v) rest)
+
+let test_acceptor_adapter_replays_its_log () =
+  (* The effectful shell: promised ballot and accepted value are
+     force-written as they change, and crash+recover rebuilds the
+     machine from exactly that log. *)
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:1 in
+  let net = Network.create ~engine ~rng ~config:Network.default_config () in
+  let acc = Acceptor.create ~site:a ~engine ~net ~config:pcfg () in
+  Acceptor.host acc ~gid:1 ~idx:0;
+  Alcotest.(check int) "one instance hosted" 1 (Acceptor.n_hosted acc);
+  let inbox = ref [] in
+  Network.register net (Message.Acceptor { gid = 1; idx = 1 }) (fun m ->
+      inbox := m.Message.payload :: !inbox);
+  Network.register net (Message.Coordinator 1) (fun _ -> ());
+  let send payload =
+    Network.send net
+      ~src:(Message.Acceptor { gid = 1; idx = 1 })
+      ~dst:(Message.Acceptor { gid = 1; idx = 0 })
+      ~gid:1 payload;
+    Engine.run engine
+  in
+  send (Wire.Px_query { ballot = 3 });
+  send (Wire.Px_accept { ballot = 3; committed = true });
+  Alcotest.(check bool) "promise and acceptance forced" true (Acceptor.force_writes acc >= 2);
+  Acceptor.crash acc;
+  Acceptor.recover acc;
+  inbox := [];
+  (* A stale lower-ballot query after the reboot must be answered from
+     the replayed log: promised 3, accepted (3, commit). *)
+  send (Wire.Px_query { ballot = 1 });
+  match !inbox with
+  | [ Wire.Px_promise { ballot = 1; promised = 3; accepted = Some (3, true); idx = 0 } ] -> ()
+  | _ -> Alcotest.fail "replayed acceptor did not answer from its force-written log"
+
+(* ------------------------------------------------------------------ *)
+(* The termination protocol on a reliable network (regression)          *)
+(* ------------------------------------------------------------------ *)
+
+let test_inquiry_arms_on_reliable_network () =
+  (* Regression: the inquiry timer used to arm only when the network was
+     lossy, so an in-doubt participant of a crashed coordinator on a
+     perfectly reliable network blocked until the coordinator's reboot
+     happened to retransmit. Coordinator crashes alone must arm it:
+     crash T1's coordinator site the moment the remote participant is
+     prepared, keep it down well past the inquiry interval, and the
+     participant must inquire — with zero message loss. *)
+  let obs = Obs.create () in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:42 in
+  let trace = Trace.create () in
+  let dtm =
+    Dtm.create ~engine ~rng ~trace ~net_config:Network.default_config ~certifier:Config.full
+      ~obs ~crash_coordinators:true
+      ~site_specs:[| Dtm.default_site_spec; Dtm.default_site_spec |]
+      ()
+  in
+  List.iter (fun s -> Dtm.load dtm s ~table:"X" ~key:0 ~value:100) (Dtm.site_ids dtm);
+  let outcome = ref None in
+  ignore
+    (Dtm.submit dtm
+       (Program.make
+          [ (a, Command.Update { table = "X"; key = 0; delta = 1 });
+            (b, Command.Update { table = "X"; key = 0; delta = -1 }) ])
+       ~on_done:(fun o -> outcome := Some o));
+  (* T1's coordinator lives at site a: crash it as soon as site b's agent
+     holds the prepared subtransaction, down for 4 inquiry intervals. *)
+  let agent_b = Dtm.agent dtm b in
+  let fired = ref false in
+  let rec poll () =
+    if not !fired then
+      if Hermes_core.Agent.n_prepared agent_b > 0 then begin
+        fired := true;
+        Dtm.crash_site ~reboot_delay:(4 * Config.full.Config.decision_inquiry_interval) dtm a
+      end
+      else if Time.to_int (Engine.now engine) < 1_000_000 then
+        Engine.schedule_unit engine ~delay:100 poll
+  in
+  Engine.schedule_unit engine ~delay:100 poll;
+  Engine.run engine;
+  Alcotest.(check bool) "caught the prepared window" true !fired;
+  Alcotest.(check bool) "the transaction terminated" true (!outcome <> None);
+  Alcotest.(check bool) "agents inquired without any message loss" true
+    (Registry.sum_counter (Obs.metrics obs) "agent.inquiries" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The model checker on the replicated register                         *)
+(* ------------------------------------------------------------------ *)
+
+let kill_scenario ?(proto = Config.Paxos { f = 1 }) ~kills () =
+  {
+    Explore.default with
+    Explore.n_txns = 1;
+    config = { Explore.default.Explore.config with Config.commit_proto = proto };
+    budgets = { Explore.no_faults with Explore.replica_kills = kills };
+  }
+
+let test_explore_paxos_f_kills_clean () =
+  (* Non-blocking up to F: with f = 1, any single permanent leader or
+     acceptor kill anywhere in the schedule leaves every in-doubt
+     participant resolvable. *)
+  check_clean "paxos 1 kill" (Explore.run (kill_scenario ~kills:1 ()))
+
+let test_explore_paxos_f_plus_1_kills_block () =
+  (* The availability boundary: F+1 = 2 permanent kills must rediscover
+     a forever-blocked in-doubt participant (I5). *)
+  let st = Explore.run (kill_scenario ~kills:2 ()) in
+  Alcotest.(check bool) "exhausted" false st.Explore.truncated;
+  Alcotest.(check bool) "violations found" true (st.Explore.n_violations > 0);
+  Alcotest.(check bool) "an I5 counterexample is reported" true
+    (List.exists
+       (fun (msg, _) -> String.length msg >= 2 && String.sub msg 0 2 = "I5")
+       st.Explore.violations)
+
+let test_explore_backup_tm_single_kill_blocks () =
+  (* Backup-TM survives no permanent replica failure (F = 0): one kill
+     already blocks, which is exactly why Paxos Commit runs 2F+1. *)
+  let st = Explore.run (kill_scenario ~proto:Config.Backup_tm ~kills:1 ()) in
+  Alcotest.(check bool) "violations found" true (st.Explore.n_violations > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "protocol"
@@ -983,6 +1320,20 @@ let () =
             test_commit_certification_delays_and_releases;
           Alcotest.test_case "COMMIT for unknown gid trips the machine" `Quick
             test_commit_unknown_uncommitted_fails;
+        ] );
+      ( "paxos-register",
+        [
+          Alcotest.test_case "commit waits for a write quorum" `Quick test_paxos_commit_waits_for_write_quorum;
+          Alcotest.test_case "preparing leader adopts a register abort" `Quick
+            test_paxos_coordinator_adopts_register_abort_in_preparing;
+          Alcotest.test_case "recovery adopts the accepted value" `Quick test_paxos_recovery_adopts_accepted_value;
+          Alcotest.test_case "recovery presumes abort on an empty register" `Quick
+            test_paxos_recovery_presumes_abort_when_register_empty;
+          Alcotest.test_case "nacked leader re-bids above the nack" `Quick
+            test_paxos_nacked_leader_rebids_above_the_nack;
+          Alcotest.test_case "backup-TM register decides alone" `Quick test_backup_tm_register_decides_alone;
+          Alcotest.test_case "acceptor adapter replays its log" `Quick test_acceptor_adapter_replays_its_log;
+          QCheck_alcotest.to_alcotest prop_paxos_register_write_once;
         ] );
       ( "agent-termination",
         [
@@ -1029,6 +1380,16 @@ let () =
             test_explore_coord_crash_clean;
           Alcotest.test_case "ablated termination blocks forever (I5)" `Slow
             test_explore_no_termination_blocks_forever;
+          Alcotest.test_case "paxos f=1 survives F kills" `Slow test_explore_paxos_f_kills_clean;
+          Alcotest.test_case "paxos f=1 blocks at F+1 kills (I5)" `Slow
+            test_explore_paxos_f_plus_1_kills_block;
+          Alcotest.test_case "backup-TM blocks at one kill (I5)" `Quick
+            test_explore_backup_tm_single_kill_blocks;
+        ] );
+      ( "termination-reliable",
+        [
+          Alcotest.test_case "inquiry arms without message loss" `Slow
+            test_inquiry_arms_on_reliable_network;
         ] );
       ( "timer-hygiene",
         [
