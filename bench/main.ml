@@ -287,13 +287,10 @@ let run_multicore ~quick ~domains =
       Driver.default_setup with
       Driver.seed = 7;
       spec =
-        {
-          Spec.default with
-          Spec.n_sites;
-          n_global;
-          global_mpl = 2 * n_sites;
-          local_txn_cap = 20 * n_sites;
-        };
+        Spec.make ~n_sites ~n_global
+          ~arrival:
+            (Spec.Closed { mpl = 2 * n_sites; think_time_mean = Spec.think_time Spec.default })
+          ~local_txn_cap:(20 * n_sites) ();
     }
   in
   List.map

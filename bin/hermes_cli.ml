@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E17)
+     hermes experiments -- print the experiment tables (E1..E18)
 
    All simulations are deterministic in the seed. *)
 
@@ -220,6 +220,33 @@ let run_cmd =
              engine and its byte-identical schedules. The windowed schedule is deterministic and \
              identical for every $(docv) > 1, but differs from the sequential one.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Size of the shard space in the placement map (default: one shard per site). Keys hash \
+             onto shards; the epoch-versioned map sends each shard's traffic to its owning site.")
+  in
+  let moves =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "moves" ] ~docv:"N"
+          ~doc:
+            "Schedule $(docv) online shard moves across the run. Each move installs a new placement \
+             epoch after the losing agent hands the moved shard's prepared certification state to \
+             the gaining site; in-flight old-epoch work is refused (WRONG-EPOCH) and resubmitted \
+             against the new map. 2CM, sequential engine only.")
+  in
+  let reconfigure_at =
+    Arg.(
+      value
+      & opt int 30_000
+      & info [ "reconfigure-at" ] ~docv:"TICK"
+          ~doc:"Tick of the first scheduled shard move; move $(i,m) fires at $(i,m) * $(docv).")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also print the committed projection.") in
   let dump =
     Arg.(
@@ -228,8 +255,8 @@ let run_cmd =
       & info [ "dump" ] ~docv:"FILE" ~doc:"Write the recorded history to $(docv) (verify it later with $(b,hermes verify)).")
   in
   let run () certifier commit_proto paxos_f cgm sites globals mpl failure_p jitter drop dup crashes
-      reboot_delay crash_coordinator drift theta open_loop group_commit domains seed verbose dump
-      metrics_out trace_out metrics_summary =
+      reboot_delay crash_coordinator drift theta open_loop group_commit shards moves reconfigure_at
+      domains seed verbose dump metrics_out trace_out metrics_summary =
     if domains > 1 && trace_out <> None then
       (* The windowed engine writes the deterministic merged trace — a
          valid schedule, but not the sequential one the golden digests
@@ -240,6 +267,10 @@ let run_cmd =
     if domains > 1 && cgm <> None then begin
       Fmt.epr "hermes: --domains %d requires the 2CM protocol (the CGM baseline is single-domain \
                only)@." domains;
+      exit 2
+    end;
+    if moves > 0 && (cgm <> None || domains > 1) then begin
+      Fmt.epr "hermes: --moves requires the 2CM protocol on the sequential engine (--domains 1)@.";
       exit 2
     end;
     let commit_proto = resolve_commit_proto commit_proto paxos_f in
@@ -279,15 +310,19 @@ let run_cmd =
         spec =
           (match open_loop with
           | Some rate ->
-              Spec.make ~n_sites:sites ~n_global:globals
+              Spec.make ~n_sites:sites ?n_shards:shards ~n_global:globals
                 ~arrival:(Spec.Open { rate; max_in_flight = mpl })
                 ~key_dist:(Spec.Zipf { theta }) ()
           | None ->
-              { Spec.default with Spec.n_sites = sites; n_global = globals; global_mpl = mpl; zipf_theta = theta });
+              Spec.make ~n_sites:sites ?n_shards:shards ~n_global:globals
+                ~arrival:(Spec.Closed { mpl; think_time_mean = Spec.think_time Spec.default })
+                ~key_dist:(Spec.Zipf { theta }) ());
         crash_schedule;
         reboot_delay;
         crash_coordinators = crash_coordinator;
         obs;
+        moves;
+        reconfigure_at;
         domains;
       }
     in
@@ -313,6 +348,8 @@ let run_cmd =
     Fmt.pr "certifier: %d prepared, refusals ext/interval/dead %d/%d/%d, %d resubmissions, %d commit retries, %d DLU denials@."
       t.Dtm.prepared t.Dtm.refused_extension t.Dtm.refused_interval t.Dtm.refused_dead t.Dtm.resubmissions
       t.Dtm.commit_retries t.Dtm.dlu_denials;
+    if moves > 0 then
+      Fmt.pr "placement: %d scheduled moves, %d wrong-epoch refusals@." moves t.Dtm.refused_epoch;
     if Config.group_commit certifier then
       Fmt.pr "group commit: %d log forces (%d agent, %d coord), %d coord flushes, avg coord batch %.1f@."
         (t.Dtm.agent_log_forces + t.Dtm.coord_log_forces)
@@ -338,8 +375,9 @@ let run_cmd =
     Term.(
       const run $ setup_logs $ certifier_arg $ commit_proto_arg $ paxos_f_arg $ cgm $ sites
       $ globals $ mpl $ failure_p $ jitter $ drop $ dup $ crashes $ reboot_delay
-      $ crash_coordinator $ drift $ theta $ open_loop $ group_commit $ domains $ seed_arg $ verbose
-      $ dump $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
+      $ crash_coordinator $ drift $ theta $ open_loop $ group_commit $ shards $ moves
+      $ reconfigure_at $ domains $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg
+      $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -443,11 +481,11 @@ let experiments_cmd =
       & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
   let only =
-    let names = List.init 17 (fun i -> Fmt.str "e%d" (i + 1)) in
+    let names = List.init 18 (fun i -> Fmt.str "e%d" (i + 1)) in
     Arg.(
       value
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
-      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e17)).")
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e18)).")
   in
   let jobs =
     Arg.(
@@ -490,7 +528,7 @@ let experiments_cmd =
       const run $ setup_logs $ quick $ seeds $ only $ jobs $ domains $ metrics_out_arg
       $ metrics_summary_arg)
   in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E17).") term
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E18).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes explore                                                      *)
@@ -501,6 +539,16 @@ let explore_cmd =
   let module Coordinator_sm = Hermes_protocol.Coordinator_sm in
   let sites = Arg.(value & opt int 2 & info [ "sites" ] ~doc:"Number of sites (every transaction touches all of them).") in
   let txns = Arg.(value & opt int 2 & info [ "txns" ] ~doc:"Number of global transactions.") in
+  let txn_shards =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "txn-shards" ] ~docv:"N"
+          ~doc:
+            "Shards each transaction touches (default 0 = all). A proper subset (e.g. 2 of 3 \
+             sites) leaves non-participant sites that can gain a moved shard — the scenarios \
+             where the reconfiguration handover actually matters.")
+  in
   let budget name ~default doc = Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc) in
   let drops = budget "drops" ~default:0 "Budget of messages the network may lose." in
   let dups = budget "dups" ~default:0 "Budget of messages the network may duplicate." in
@@ -518,6 +566,21 @@ let explore_cmd =
     budget "replica-kills" ~default:0
       "Budget of permanent leader/acceptor kills (replicated commit protocols: at F the space must \
        exhaust clean, at F+1 blocking reappears)."
+  in
+  let reconfigures =
+    budget "reconfigures" ~default:0
+      "Budget of shard-placement reconfigurations (each move installs a new epoch and hands the \
+       moved shard's prepared state to the gainer)."
+  in
+  let no_handover =
+    Arg.(
+      value
+      & flag
+      & info [ "no-handover" ]
+          ~doc:
+            "Ablate the reconfiguration handover: a shard move installs the new epoch without \
+             transferring the loser's prepared certification state. With a reconfigure budget \
+             this violates I6 (expected exit 1).")
   in
   let no_termination =
     Arg.(
@@ -541,9 +604,9 @@ let explore_cmd =
             "Vote counting: $(b,dedup) (per-site, correct) or $(b,counted) (raw counter — the \
              historical duplicate-READY fake-quorum bug, expected to produce violations).")
   in
-  let run () certifier commit_proto paxos_f sites txns drops dups crashes uaborts alive_fires
-      commit_retries exec_timeouts retransmits coord_crashes inquiries replica_kills no_termination
-      max_states quorum =
+  let run () certifier commit_proto paxos_f sites txns txn_shards drops dups crashes uaborts
+      alive_fires commit_retries exec_timeouts retransmits coord_crashes inquiries replica_kills
+      reconfigures no_handover no_termination max_states quorum =
     let commit_proto = resolve_commit_proto commit_proto paxos_f in
     let scenario =
       {
@@ -564,8 +627,11 @@ let explore_cmd =
             coord_crashes;
             inquiries;
             replica_kills;
+            reconfigures;
           };
         termination = not no_termination;
+        handover = not no_handover;
+        txn_shards;
         max_states;
       }
     in
@@ -579,9 +645,10 @@ let explore_cmd =
   in
   let term =
     Term.(
-      const run $ setup_logs $ certifier_arg $ commit_proto_arg $ paxos_f_arg $ sites $ txns $ drops
-      $ dups $ crashes $ uaborts $ alive_fires $ commit_retries $ exec_timeouts $ retransmits
-      $ coord_crashes $ inquiries $ replica_kills $ no_termination $ max_states $ quorum)
+      const run $ setup_logs $ certifier_arg $ commit_proto_arg $ paxos_f_arg $ sites $ txns
+      $ txn_shards $ drops $ dups $ crashes $ uaborts $ alive_fires $ commit_retries
+      $ exec_timeouts $ retransmits $ coord_crashes $ inquiries $ replica_kills $ reconfigures
+      $ no_handover $ no_termination $ max_states $ quorum)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -617,14 +684,16 @@ let fuzz_cmd =
           seed = Hermes_kernel.Rng.int rng ~bound:1_000_000;
           time_limit = 60_000_000;
           spec =
-            {
-              Spec.default with
-              Spec.n_sites;
-              n_global = Hermes_kernel.Rng.int_in rng ~lo:20 ~hi:50;
-              global_mpl = Hermes_kernel.Rng.int_in rng ~lo:2 ~hi:8;
-              zipf_theta = Hermes_kernel.Rng.float rng ~bound:1.1;
-              local_txn_cap = 300;
-            };
+            Spec.make ~n_sites
+              ~n_global:(Hermes_kernel.Rng.int_in rng ~lo:20 ~hi:50)
+              ~arrival:
+                (Spec.Closed
+                   {
+                     mpl = Hermes_kernel.Rng.int_in rng ~lo:2 ~hi:8;
+                     think_time_mean = Spec.think_time Spec.default;
+                   })
+              ~key_dist:(Spec.Zipf { theta = Hermes_kernel.Rng.float rng ~bound:1.1 })
+              ~local_txn_cap:300 ();
         }
       in
       let r = Driver.run setup in

@@ -50,6 +50,7 @@ type stats = {
   mutable refused_extension : int;
   mutable refused_interval : int;
   mutable refused_dead : int;
+  mutable refused_epoch : int;
   mutable resubmissions : int;
   mutable commit_retries : int;
   mutable local_commits : int;
@@ -66,6 +67,9 @@ type t = {
   trace : Trace.t;
   config : Config.t;
   termination : bool;  (* coordinator crashes enabled: inquiry timers + in-doubt metrics live *)
+  epoch : unit -> int;
+      (* the installed placement epoch, sampled per input (the Dtm owns
+         the shard map); constantly 0 on runs that never reconfigure *)
   log : Agent_log.t;  (* stable storage: survives crash *)
   mutable machine : Agent_sm.state;  (* the volatile protocol state *)
   txns : (int, Ltm.txn) Hashtbl.t;  (* current incarnation's LTM handle *)
@@ -81,7 +85,8 @@ type t = {
   in_doubt_time : Histogram.t option;  (* prepare-to-decision ticks *)
 }
 
-let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ~config () =
+let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ?(epoch = fun () -> 0)
+    ~config () =
   (* The in-doubt instruments exist only when coordinator crashes are
      enabled for the run: runs without them must export byte-identical
      metrics (the golden-digest guard). *)
@@ -94,6 +99,7 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ~config ()
     trace;
     config;
     termination;
+    epoch;
     log = Agent_log.create ();
     machine = Agent_sm.init ~site;
     txns = Hashtbl.create 32;
@@ -107,6 +113,7 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ~config ()
         refused_extension = 0;
         refused_interval = 0;
         refused_dead = 0;
+        refused_epoch = 0;
         resubmissions = 0;
         commit_retries = 0;
         local_commits = 0;
@@ -161,6 +168,7 @@ let env t =
        perfectly reliable network too — the crash itself loses the
        in-flight decision. *)
     inquiry = t.termination;
+    epoch = t.epoch ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -207,6 +215,7 @@ let emit_event t (ev : Agent_sm.event) =
       | Message.Extension_refused -> t.stats.refused_extension <- t.stats.refused_extension + 1
       | Message.Interval_refused -> t.stats.refused_interval <- t.stats.refused_interval + 1
       | Message.Dead_refused -> t.stats.refused_dead <- t.stats.refused_dead + 1
+      | Message.Wrong_epoch -> t.stats.refused_epoch <- t.stats.refused_epoch + 1
       | Message.Scheduler_refused _ -> ())
   | Ev_commit_delayed { gid; sn; blocking_gid; blocking_sn } ->
       Log.debug (fun m ->
@@ -459,6 +468,14 @@ let crash t =
   Hashtbl.reset t.alive_timers;
   Hashtbl.reset t.retry_timers;
   Hashtbl.reset t.inquiry_timers
+
+(* Shard handover: thin shell over the machine's pure export/adopt/drop.
+   The Dtm drives these around a reconfiguration — export at the losing
+   site, adopt at the gainer before the new epoch serves traffic, drop
+   at the gainer once the foreign gid's global decision lands. *)
+let export_handover t ~gids = Agent_sm.export_handover t.machine ~gids
+let adopt_handover t entries = t.machine <- Agent_sm.adopt_handover t.machine entries
+let drop_foreign t ~gid = t.machine <- Agent_sm.drop_foreign t.machine ~gid
 
 let recover t =
   let entries =

@@ -15,6 +15,7 @@ type stats = {
   mutable refused_extension : int;  (** PREPARE behind a bigger committed SN (§5.3) *)
   mutable refused_interval : int;  (** alive-interval intersection failures (§4.2) *)
   mutable refused_dead : int;  (** subtransaction unilaterally aborted before prepare (CI 2) *)
+  mutable refused_epoch : int;  (** BEGIN/EXEC stamped with a superseded placement epoch *)
   mutable resubmissions : int;
   mutable commit_retries : int;
   mutable local_commits : int;
@@ -31,6 +32,7 @@ val create :
   trace:Hermes_ltm.Trace.t ->
   ?obs:Hermes_obs.Obs.t ->
   ?termination:bool ->
+  ?epoch:(unit -> int) ->
   config:Config.t ->
   unit ->
   t
@@ -49,7 +51,12 @@ val create :
     too, so it must not additionally require a lossy one.
     Enabled by {!Dtm} when coordinator crashes are enabled — off, the
     agent arms no extra timers and exports no extra metrics, keeping
-    fault-free and PR 3-era runs byte-identical. *)
+    fault-free and PR 3-era runs byte-identical.
+
+    [?epoch] samples the installed placement epoch per input (the {!Dtm}
+    owns the shard map); BEGIN/EXEC messages stamped with a different
+    epoch are refused WRONG-EPOCH. Defaults to constantly 0 — the static
+    map, under which the check never fires. *)
 
 val attach : t -> unit
 (** Register the agent's message handler with the network. *)
@@ -73,3 +80,18 @@ val recover : t -> unit
 (** Rebuild every in-doubt subtransaction from the log by resubmission;
     decisions already forced to the log are redone, and coordinators'
     retransmitted decisions are answered idempotently. *)
+
+(** {2 Shard handover (online reconfiguration)}
+
+    Driven by {!Dtm.reconfigure} around a shard move: the losing site
+    {!export_handover}s the alive-table state (serial number + current
+    alive interval) of the moved shard's prepared subtransactions, the
+    gaining site {!adopt_handover}s it {e before} the new epoch serves
+    traffic, and releases each foreign entry with {!drop_foreign} once
+    that gid's global decision lands. Foreign entries participate in
+    interval-intersection and min-SN commit certification exactly like
+    native ones, conservatively gating new work at the gainer. *)
+
+val export_handover : t -> gids:int list -> Hermes_protocol.Agent_sm.handover_entry list
+val adopt_handover : t -> Hermes_protocol.Agent_sm.handover_entry list -> unit
+val drop_foreign : t -> gid:int -> unit

@@ -265,9 +265,11 @@ let handle t (msg : Message.t) =
   | Message.Acceptor { idx; _ } -> feed t (Sm.From_acceptor { idx; payload = msg.Message.payload })
   | Message.Coordinator _ -> assert false
 
-let start ?(gate = open_gate) ?obs ?log ?batcher ~gid ~site ~engine ~net ~trace ~config ~sn_gen
-    ~program ~on_done () =
-  let sm_config = Sm.config config in
+let start ?(gate = open_gate) ?obs ?log ?batcher ?(epoch = 0) ~gid ~site ~engine ~net ~trace
+    ~config ~sn_gen ~program ~on_done () =
+  (* [epoch] is the placement epoch stamped on BEGIN/EXEC — distinct from
+     the group-commit crash epoch in [t.epoch] below. *)
+  let sm_config = Sm.config ~epoch config in
   let sn = if config.Config.sn_at_begin then Some (sn_gen ()) else None in
   let t =
     {

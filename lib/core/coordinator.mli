@@ -37,6 +37,7 @@ val start :
   ?obs:Hermes_obs.Obs.t ->
   ?log:Coordinator_log.t ->
   ?batcher:Group_commit.t ->
+  ?epoch:int ->
   gid:int ->
   site:Site.t ->
   engine:Hermes_sim.Engine.t ->
@@ -55,7 +56,10 @@ val start :
     recoverable across {!crash}/{!recover}. With [batcher] (group
     commit), staged records join the site's shared batch and the rest of
     the staging step is withheld until the batch force-writes; a crash
-    in between voids both. *)
+    in between voids both. [?epoch] (default 0) is the placement epoch
+    stamped on every BEGIN/EXEC this round sends; agents holding a
+    different installed epoch refuse them WRONG-EPOCH and the round
+    aborts for re-resolution. *)
 
 val crash : t -> unit
 (** The coordinating site crashed: volatile 2PC state is lost and the

@@ -18,6 +18,8 @@ module Trace = Hermes_ltm.Trace
 module Network = Hermes_net.Network
 module Obs = Hermes_obs.Obs
 module Registry = Hermes_obs.Registry
+module Shard_map = Hermes_placement.Shard_map
+module Agent_sm = Hermes_protocol.Agent_sm
 
 type site_spec = {
   ltm_config : Hermes_ltm.Ltm_config.t;
@@ -67,18 +69,28 @@ type t = {
          gids are strided so the hosting shard is computable from the
          address, and the omniscient history is a merge *)
   sites : site_ctx array;
+  placement : Shard_map.t ref;
+      (* the installed shard map; agents sample its epoch per input and
+         coordinators stamp it on BEGIN/EXEC, so a [reconfigure] turns
+         every in-flight stale-epoch message into a WRONG-EPOCH refusal *)
+  shard_gids : (int, int list) Hashtbl.t;
+      (* in-flight gid -> shards it touches (when [submit] was told);
+         lets [reconfigure] hand over only the moved shard's state *)
+  foreign : (int, Site.t) Hashtbl.t;
+      (* gid -> gainer sites holding adopted (foreign) alive-table
+         entries for it; released when the gid's decision lands *)
   mutable next_gid : int;
 }
 
 (* Assemble one site's LDBS on the given engine/network/trace handles.
    In the legacy (single-engine) mode every site gets the same shared
    handles; in sharded mode each site gets its own. *)
-let make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec =
+let make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators ~epoch i spec =
   let site = Site.of_int i in
   let db = Database.create ~site in
   let ltm = Ltm.create ~engine ~db ~config:spec.ltm_config ~trace ?obs () in
   let agent =
-    Agent.create ~site ~engine ~ltm ~net ~trace ?obs ~termination:crash_coordinators
+    Agent.create ~site ~engine ~ltm ~net ~trace ?obs ~termination:crash_coordinators ~epoch
       ~config:certifier ()
   in
   Agent.attach agent;
@@ -125,15 +137,32 @@ let make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec
     submitted = 0;
   }
 
-let create ~engine ~rng ~trace ~net_config ~certifier ?obs ?(crash_coordinators = false)
+let create ~engine ~rng ~trace ~net_config ~certifier ?obs ?(crash_coordinators = false) ?n_shards
     ~site_specs () =
   let net = Network.create ~engine ~rng:(Rng.split rng ~label:"net") ?obs ~config:net_config () in
+  let placement = ref (Shard_map.static ?n_shards ~n_sites:(Array.length site_specs) ()) in
+  let epoch () = Shard_map.epoch !placement in
   let sites =
     Array.mapi
-      (fun i spec -> make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec)
+      (fun i spec ->
+        make_ctx ~engine ~net ~trace ~obs ~rng ~certifier ~crash_coordinators ~epoch i spec)
       site_specs
   in
-  { engine; rng; trace; net; certifier; obs; crash_coordinators; sharded = false; sites; next_gid = 1 }
+  {
+    engine;
+    rng;
+    trace;
+    net;
+    certifier;
+    obs;
+    crash_coordinators;
+    sharded = false;
+    sites;
+    placement;
+    shard_gids = Hashtbl.create 64;
+    foreign = Hashtbl.create 16;
+    next_gid = 1;
+  }
 
 (* Address-to-shard routing for sharded mode. Agents live at their site;
    a coordinator's hosting site is recoverable from its gid because
@@ -155,6 +184,11 @@ let create_sharded ~engines ~rng ~net_config ~certifier ?obs_of ?(crash_coordina
     invalid_arg "Dtm.create_sharded: one engine per site required";
   if Config.n_acceptors certifier > 0 then
     invalid_arg "Dtm.create_sharded: replicated commit protocols run on the sequential engine only";
+  (* Sharded mode runs on the static epoch-0 map: online reconfiguration
+     is sequential-engine only (cross-domain handover would need a stop-
+     the-world barrier), so the epoch getter is constant. *)
+  let placement = ref (Shard_map.static ~n_sites:n ()) in
+  let epoch () = 0 in
   let sites =
     Array.mapi
       (fun i spec ->
@@ -165,7 +199,8 @@ let create_sharded ~engines ~rng ~net_config ~certifier ?obs_of ?(crash_coordina
             ?obs ~fabric:(fabric_of i) ~config:net_config ()
         in
         let trace = Trace.create () in
-        make_ctx ~engine:engines.(i) ~net ~trace ~obs ~rng ~certifier ~crash_coordinators i spec)
+        make_ctx ~engine:engines.(i) ~net ~trace ~obs ~rng ~certifier ~crash_coordinators ~epoch i
+          spec)
       site_specs
   in
   {
@@ -178,6 +213,9 @@ let create_sharded ~engines ~rng ~net_config ~certifier ?obs_of ?(crash_coordina
     crash_coordinators;
     sharded = true;
     sites;
+    placement;
+    shard_gids = Hashtbl.create 1;
+    foreign = Hashtbl.create 1;
     next_gid = 1;
   }
 
@@ -195,6 +233,7 @@ let networks t =
   else [ t.net ]
 let trace t = t.trace
 let submitted t = Array.fold_left (fun acc c -> acc + c.submitted) 0 t.sites
+let placement t = !(t.placement)
 
 (* Serial number generation at a site: drifting clock reading + site id +
    per-site sequence (uniqueness even within one tick). *)
@@ -203,7 +242,7 @@ let sn_gen t site () =
   c.sn_seq <- c.sn_seq + 1;
   Sn.make ~ts:(Clock.read c.clock ~real:(Engine.now c.engine)) ~site:c.site ~seq:c.sn_seq
 
-let submit ?gate t program ~on_done =
+let submit ?gate ?shards t program ~on_done =
   let coord_site =
     match Program.sites program with s :: _ -> s | [] -> assert false (* Program.make forbids [] *)
   in
@@ -235,14 +274,74 @@ let submit ?gate t program ~on_done =
     | Some a -> Acceptor.host a ~gid ~idx
     | None -> assert false (* every site has a host when the protocol is replicated *)
   done;
+  (* Placement bookkeeping — sequential engine only (the hashtables are
+     shared, and reconfiguration is rejected in sharded mode anyway). *)
+  let on_done =
+    if t.sharded then on_done
+    else begin
+      (match shards with Some ss -> Hashtbl.replace t.shard_gids gid ss | None -> ());
+      fun outcome ->
+        Hashtbl.remove t.shard_gids gid;
+        (match Hashtbl.find_all t.foreign gid with
+        | [] -> ()
+        | gainers ->
+            (* the decision landed: the gainer's adopted entries for this
+               gid stop gating certification *)
+            List.iter (fun s -> Agent.drop_foreign t.sites.(Site.to_int s).agent ~gid) gainers;
+            while Hashtbl.mem t.foreign gid do
+              Hashtbl.remove t.foreign gid
+            done);
+        on_done outcome
+    end
+  in
   let coord =
     Coordinator.start ?gate ?obs:c.sobs ~log:c.clog ?batcher:c.batcher ~gid ~site:coord_site
-      ~engine:c.engine
-      ~net:c.net ~trace:c.strace ~config:t.certifier ~sn_gen:(sn_gen t coord_site) ~program
-      ~on_done ()
+      ~engine:c.engine ~net:c.net ~trace:c.strace ~config:t.certifier
+      ~epoch:(Shard_map.epoch !(t.placement))
+      ~sn_gen:(sn_gen t coord_site) ~program ~on_done ()
   in
   c.hosted <- coord :: c.hosted;
   gid
+
+(* Online reconfiguration: move [shard] to [to_] in a new placement
+   epoch. Before the new map is installed the losing site hands the moved
+   shard's prepared certification state (serial number + current alive
+   interval per in-flight gid) to the gainer, which adopts it as
+   [foreign] entries — they gate interval-intersection and min-SN
+   certification at the gainer exactly like native prepared work, so a
+   commit certified under the new epoch still observes transactions
+   prepared under the old one (invariant I6(b)). In-flight rounds stamped
+   with the old epoch get WRONG-EPOCH refusals and abort; the workload
+   driver re-resolves through the new map on resubmission. *)
+let reconfigure t ~shard ~to_ =
+  if t.sharded then
+    invalid_arg "Dtm.reconfigure: online reconfiguration runs on the sequential engine only";
+  let map = !(t.placement) in
+  let from = Shard_map.owner map ~shard in
+  if not (Site.equal from to_) then begin
+    let loser = (ctx t from).agent in
+    (* Hand over every in-flight gid recorded as touching the moved
+       shard; a gid [submit] was not told about is included
+       conservatively — over-transfer only costs precision, while a
+       missed entry would let the gainer certify blind. *)
+    let touches_shard gid =
+      match Hashtbl.find_opt t.shard_gids gid with
+      | Some shards -> List.mem shard shards
+      | None -> true
+    in
+    let gids =
+      Alive_table.entries (Agent.alive_table loser)
+      |> List.filter_map (fun e ->
+             if touches_shard e.Alive_table.gid then Some e.Alive_table.gid else None)
+      |> List.sort compare
+    in
+    let entries = Agent.export_handover loser ~gids in
+    Agent.adopt_handover (ctx t to_).agent entries;
+    List.iter (fun (h : Agent_sm.handover_entry) -> Hashtbl.add t.foreign h.h_gid to_) entries;
+    (* install only after the handover: the first message the gainer
+       serves under the new epoch already sees the adopted intervals *)
+    t.placement := Shard_map.move map ~shard ~to_
+  end
 
 (* A site crash: the collective unilateral abort of every live transaction
    at the site plus loss of all volatile agent state, followed by recovery
@@ -333,6 +432,7 @@ type totals = {
   refused_extension : int;
   refused_interval : int;
   refused_dead : int;
+  refused_epoch : int;
   resubmissions : int;
   commit_retries : int;
   dlu_denials : int;
@@ -357,6 +457,7 @@ let totals t =
         refused_extension = acc.refused_extension + ags.Agent.refused_extension;
         refused_interval = acc.refused_interval + ags.Agent.refused_interval;
         refused_dead = acc.refused_dead + ags.Agent.refused_dead;
+        refused_epoch = acc.refused_epoch + ags.Agent.refused_epoch;
         resubmissions = acc.resubmissions + ags.Agent.resubmissions;
         commit_retries = acc.commit_retries + ags.Agent.commit_retries;
         dlu_denials = acc.dlu_denials + Hermes_ltm.Bound.denials (Ltm.bound_registry c.ltm);
@@ -379,6 +480,7 @@ let totals t =
       refused_extension = 0;
       refused_interval = 0;
       refused_dead = 0;
+      refused_epoch = 0;
       resubmissions = 0;
       commit_retries = 0;
       dlu_denials = 0;
@@ -409,6 +511,8 @@ let export_metrics t reg =
       c ~site "agent.refused_extension" ags.Agent.refused_extension;
       c ~site "agent.refused_interval" ags.Agent.refused_interval;
       c ~site "agent.refused_dead" ags.Agent.refused_dead;
+      (* zero-skipped, so runs on the static map stay byte-identical *)
+      c ~site "agent.refused_epoch" ags.Agent.refused_epoch;
       c ~site "agent.resubmissions" ags.Agent.resubmissions;
       c ~site "agent.commit_retries" ags.Agent.commit_retries;
       c ~site "agent.local_commits" ags.Agent.local_commits;

@@ -23,6 +23,7 @@ val create :
   certifier:Config.t ->
   ?obs:Hermes_obs.Obs.t ->
   ?crash_coordinators:bool ->
+  ?n_shards:int ->
   site_specs:site_spec array ->
   unit ->
   t
@@ -34,7 +35,12 @@ val create :
     crash the coordinators hosted at the site — they reboot from the
     site's {!Coordinator_log} — and enables the agents' in-doubt
     termination protocol (DECISION-REQ inquiries and in-doubt metrics).
-    Off, runs are byte-identical to earlier revisions. *)
+    Off, runs are byte-identical to earlier revisions.
+
+    [?n_shards] sizes the initial {!Hermes_placement.Shard_map.static}
+    placement (default: one shard per site, shard [i] at site [i]) —
+    epoch 0, under which every message passes the epoch check and runs
+    replay byte-identically with earlier revisions. *)
 
 val create_sharded :
   engines:Hermes_sim.Engine.t array ->
@@ -83,9 +89,35 @@ val networks : t -> Hermes_net.Network.t list
 val trace : t -> Hermes_ltm.Trace.t
 val submitted : t -> int
 
-val submit : ?gate:Coordinator.gate -> t -> Program.t -> on_done:(Coordinator.outcome -> unit) -> int
+val placement : t -> Hermes_placement.Shard_map.t
+(** The installed shard map. Agents sample its epoch per input and
+    coordinators stamp it on BEGIN/EXEC; clients resolve shard-space
+    programs through it immediately before each {!submit}. *)
+
+val submit :
+  ?gate:Coordinator.gate ->
+  ?shards:int list ->
+  t ->
+  Program.t ->
+  on_done:(Coordinator.outcome -> unit) ->
+  int
 (** Allocate a gid and start a coordinator at the program's first
-    participating site. Returns the gid. *)
+    participating site. Returns the gid. [?shards] records which shards
+    the transaction touches, letting a later {!reconfigure} hand over
+    only the moved shard's prepared state; without it the gid is
+    conservatively included in every handover. *)
+
+val reconfigure : t -> shard:int -> to_:Site.t -> unit
+(** Install {!Hermes_placement.Shard_map.move}[ ~shard ~to_] as a new
+    placement epoch. First the losing site exports the moved shard's
+    prepared certification state (serial numbers + current alive
+    intervals) and the gainer adopts it as foreign alive-table entries —
+    conservatively gating certification there until each gid's decision
+    lands — then the new map is installed, so the new epoch never serves
+    traffic before the handover. Stale-epoch BEGIN/EXEC messages from
+    in-flight rounds are refused WRONG-EPOCH and the rounds abort for
+    re-resolution. Moving a shard onto its current owner is a no-op
+    (the epoch does not advance). Sequential engine only. *)
 
 val load : t -> Site.t -> table:string -> key:int -> value:int -> unit
 (** Install an initial row (written by the initializing transaction T_0). *)
@@ -120,6 +152,7 @@ type totals = {
   refused_extension : int;
   refused_interval : int;
   refused_dead : int;
+  refused_epoch : int;  (** WRONG-EPOCH refusals of stale-placement BEGIN/EXEC *)
   resubmissions : int;
   commit_retries : int;
   dlu_denials : int;

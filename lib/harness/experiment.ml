@@ -26,6 +26,10 @@ module Committed = Hermes_history.Committed
 module Anomaly = Hermes_history.Anomaly
 module View = Hermes_history.View
 
+(* Closed-loop arrival at [mpl] with the suite's standard think time —
+   the builder-API spelling of the old [global_mpl] flat field. *)
+let closed mpl = Spec.Closed { mpl; think_time_mean = Spec.think_time Spec.default }
+
 (* Shared run parameters: one seed override for the whole suite (each
    experiment keeps its own default), an optional registry every run's
    metrics are absorbed into, and the domain count the seed sweeps fan
@@ -279,7 +283,7 @@ let e5_restrictiveness ?(seeds = 3) ?(jobs = 1) ?metrics () =
                     Driver.default_setup with
                     Driver.protocol;
                     seed;
-                    spec = { Spec.default with Spec.global_mpl = mpl; n_global = 120 };
+                    spec = Spec.make ~n_global:120 ~arrival:(closed mpl) ();
                   })
                 ()
             in
@@ -315,16 +319,9 @@ let e6_failure_sweep ?(seeds = 5) ?(jobs = 1) ?metrics () =
     ]
   in
   let spec =
-    {
-      Spec.default with
-      Spec.n_global = 80;
-      global_mpl = 6;
-      zipf_theta = 0.9;
-      keys_per_site = 12;
-      n_tables = 2;
-      local_write_ratio = 0.7;
-      local_mpl_per_site = 2;
-    }
+    Spec.make ~n_global:80 ~arrival:(closed 6)
+      ~key_dist:(Spec.Zipf { theta = 0.9 })
+      ~keys_per_site:12 ~n_tables:2 ~local_write_ratio:0.7 ~local_mpl_per_site:2 ()
   in
   let rows =
     List.concat_map
@@ -373,7 +370,7 @@ let e6_failure_sweep ?(seeds = 5) ?(jobs = 1) ?metrics () =
 (* E7 — §5.2: clock drift causes only unnecessary aborts, never
    incorrectness. *)
 let e7_clock_drift ?(seeds = 3) ?(jobs = 1) ?metrics () =
-  let spec = { Spec.default with Spec.n_global = 100; global_mpl = 6 } in
+  let spec = Spec.make ~n_global:100 ~arrival:(closed 6) () in
   let rows =
     List.map
       (fun drift ->
@@ -408,7 +405,9 @@ let e7_clock_drift ?(seeds = 3) ?(jobs = 1) ?metrics () =
 (* E8 — Appendix C: commit-certification retry behaviour vs network
    jitter. *)
 let e8_commit_retry ?(seeds = 3) ?(jobs = 1) ?metrics () =
-  let spec = { Spec.default with Spec.n_global = 100; global_mpl = 8; zipf_theta = 0.9 } in
+  let spec =
+    Spec.make ~n_global:100 ~arrival:(closed 8) ~key_dist:(Spec.Zipf { theta = 0.9 }) ()
+  in
   let rows =
     List.map
       (fun jitter ->
@@ -449,14 +448,9 @@ let e8_commit_retry ?(seeds = 3) ?(jobs = 1) ?metrics () =
    variants must produce identical numbers. *)
 let e9_multi_interval ?(seeds = 5) ?(jobs = 1) ?metrics () =
   let spec =
-    {
-      Spec.default with
-      Spec.n_global = 80;
-      global_mpl = 8;
-      zipf_theta = 0.9;
-      keys_per_site = 12;
-      n_tables = 2;
-    }
+    Spec.make ~n_global:80 ~arrival:(closed 8)
+      ~key_dist:(Spec.Zipf { theta = 0.9 })
+      ~keys_per_site:12 ~n_tables:2 ()
   in
   let variants = [ ("1 (paper baseline)", Config.full); ("4 (optimization)", Config.multi_interval) ] in
   let rows =
@@ -531,7 +525,7 @@ let e10_heterogeneity ?(seeds = 5) ?(jobs = 1) ?metrics () =
     }
   in
   let override i = List.nth_opt [ mainframe; midrange; fast ] i in
-  let spec = { Spec.default with Spec.n_sites = 3; n_global = 100; global_mpl = 6 } in
+  let spec = Spec.make ~n_sites:3 ~n_global:100 ~arrival:(closed 6) () in
   let variants = [ ("2CM (full)", Config.full); ("naive", Config.naive) ] in
   let rows =
     List.map
@@ -574,7 +568,7 @@ let e10_heterogeneity ?(seeds = 5) ?(jobs = 1) ?metrics () =
    subtransactions are rebuilt by resubmission, coordinators retransmit
    unacknowledged decisions, and duplicates are answered idempotently. *)
 let e11_crash_recovery ?(seeds = 5) ?(jobs = 1) ?metrics () =
-  let spec = { Spec.default with Spec.n_global = 80; global_mpl = 6 } in
+  let spec = Spec.make ~n_global:80 ~arrival:(closed 6) () in
   let schedule_of_crashes n =
     (* n crashes spread over the expected run, alternating sites. *)
     List.init n (fun i -> (20_000 + (i * 30_000), i mod 3))
@@ -633,16 +627,11 @@ let e12_deadlock_policies ?(seeds = 3) ?(jobs = 1) ?metrics () =
     ]
   in
   let spec =
-    {
-      Spec.default with
-      Spec.n_global = 100;
-      global_mpl = 10;
-      zipf_theta = 1.0;
-      keys_per_site = 10;
-      n_tables = 1;
-      ops_per_site = 3;
-      global_write_ratio = 0.8;
-    }
+    Spec.make ~n_global:100 ~arrival:(closed 10)
+      ~key_dist:(Spec.Zipf { theta = 1.0 })
+      ~keys_per_site:10 ~n_tables:1
+      ~mix:{ Spec.sites_per_txn = 2; ops_per_site = 3; write_ratio = 0.8 }
+      ()
   in
   let rows =
     List.map
@@ -712,7 +701,7 @@ let e12_deadlock_policies ?(seeds = 3) ?(jobs = 1) ?metrics () =
    the naive certifier is the ablation. *)
 let e13_unreliable_net ?(seeds = 3) ?(jobs = 1) ?metrics () =
   let module Network = Hermes_net.Network in
-  let spec = { Spec.default with Spec.n_global = 60; global_mpl = 4 } in
+  let spec = Spec.make ~n_global:60 ~arrival:(closed 4) () in
   let crash_schedule = [ (20_000, 0); (60_000, 1); (120_000, 2) ] in
   let rows =
     List.concat_map
@@ -787,7 +776,7 @@ let e13_unreliable_net ?(seeds = 3) ?(jobs = 1) ?metrics () =
    participants hold their locks forever. *)
 let e14_coordinator_crashes ?(seeds = 3) ?(jobs = 1) ?metrics () =
   let module Network = Hermes_net.Network in
-  let spec = { Spec.default with Spec.n_global = 60; global_mpl = 4 } in
+  let spec = Spec.make ~n_global:60 ~arrival:(closed 4) () in
   let rows =
     List.concat_map
       (fun first_crash ->
@@ -1004,13 +993,9 @@ let e16_multicore ?(seeds = 1) ?(domains = [ 1; 2; 4; 8 ]) ?metrics () =
     List.concat_map
       (fun n_sites ->
         let spec =
-          {
-            Spec.default with
-            Spec.n_sites;
-            n_global = 10 * n_sites;
-            global_mpl = 2 * n_sites;
-            local_txn_cap = 20 * n_sites;
-          }
+          Spec.make ~n_sites ~n_global:(10 * n_sites)
+            ~arrival:(closed (2 * n_sites))
+            ~local_txn_cap:(20 * n_sites) ()
         in
         let cell d =
           let runs =
@@ -1236,6 +1221,96 @@ let e17_commit_protocols ?(seeds = 3) ?(jobs = 1) ?metrics () =
       ]
     rows
 
+(* E18: elasticity. The workload keeps running while shards move between
+   sites — each move installs a new placement epoch after the loser hands
+   its prepared certification state to the gainer, and in-flight
+   old-epoch work bounces off the WRONG-EPOCH check and resubmits
+   against the new map. The table sweeps the site count with a static
+   baseline (moves = 0, the byte-identical legacy path) against a churn
+   cell, and the claim is that churn is a latency/retry price, never a
+   correctness one: every cell commits its full quota distortion-free. *)
+let e18_elastic ?(seeds = 3) ?(jobs = 1) ?metrics () =
+  let sites_list = [ 4; 16; 64 ] in
+  let rows =
+    List.concat_map
+      (fun n_sites ->
+        let spec =
+          Spec.make ~n_sites ~n_global:(10 * n_sites)
+            ~arrival:(closed (2 * n_sites))
+            ~local_txn_cap:(20 * n_sites) ()
+        in
+        List.map
+          (fun moves ->
+            (* spread the whole churn across the run's opening stretch so
+               every move lands while traffic is still in flight *)
+            let reconfigure_at = if moves = 0 then 0 else max 2_000 (40_000 / moves) in
+            let runs =
+              Pool.map ~jobs
+                (fun i ->
+                  let obs = Obs.create () in
+                  let r =
+                    Driver.run
+                      {
+                        Driver.default_setup with
+                        Driver.spec;
+                        seed = i + 1;
+                        obs = Some obs;
+                        moves;
+                        reconfigure_at;
+                      }
+                  in
+                  absorb_into metrics obs;
+                  r)
+                (List.init seeds Fun.id)
+            in
+            let clean =
+              List.for_all
+                (fun (r : Driver.result) ->
+                  let c = Committed.extended r.Driver.history in
+                  Anomaly.global_view_distortions c = [] && Anomaly.commit_order_cycle c = None)
+                runs
+            in
+            let stuck = List.length (List.filter (fun (r : Driver.result) -> r.Driver.stuck > 0) runs) in
+            let p95 =
+              avg
+                (List.map
+                   (fun (r : Driver.result) ->
+                     float_of_int (Stats.latency_summary r.Driver.stats).Stats.p95)
+                   runs)
+            in
+            [
+              T.i n_sites;
+              T.i moves;
+              T.f1 (avg_i (List.map (fun (r : Driver.result) -> Stats.committed r.Driver.stats) runs));
+              T.f1 (avg (List.map (fun (r : Driver.result) -> r.Driver.throughput) runs));
+              T.f1 (p95 /. 1000.0);
+              T.f1 (avg_i (List.map (fun (r : Driver.result) -> r.Driver.totals.Dtm.refused_epoch) runs));
+              T.f1 (avg_i (List.map (fun (r : Driver.result) -> Stats.retries r.Driver.stats) runs));
+              Fmt.str "%d/%d" stuck seeds;
+              T.b clean;
+            ])
+          [ 0; max 1 (n_sites / 2) ])
+      sites_list
+  in
+  T.make
+    ~title:(Fmt.str "E18 Elastic placement: online shard moves under load, %d seeds per cell" seeds)
+    ~headers:
+      [ "sites"; "moves"; "commits"; "commits/s"; "p95 (ms)"; "wrong-epoch"; "retries";
+        "stuck runs"; "clean" ]
+    ~notes:
+      [
+        "Closed loop, 2 clients and 10 globals per site, one shard per site on the epoch-0 map.";
+        "The churn cell moves n/2 shards while the run is in flight, each move a full epoch";
+        "install with prepared-state handover (the I6 obligation the model checker discharges).";
+        "'wrong-epoch' counts agent refusals of stale-epoch BEGIN/EXEC traffic; each refused";
+        "round re-resolves through the new map and retries without consuming the client's";
+        "give-up budget, so the churn price is the 'retries' column and a fatter p95 while";
+        "'commits' stays at the full quota and 'clean' certifies the committed projection";
+        "distortion- and cycle-free. moves = 0 replays the legacy static-placement schedule";
+        "byte-identically.";
+      ]
+    rows
+
 (* The whole suite, with per-experiment seed defaults mapped through
    [seeds_of] (the seed override or the quick-mode scaling). E1-E3 are
    four cheap scenario replays each and stay sequential; the seed sweeps
@@ -1267,6 +1342,7 @@ let tables ~seeds_of ?(jobs = 1) ?metrics ?domains () =
         in
         e16_multicore ~seeds:(seeds_of 1) ~domains:domain_list ?metrics () );
     ("e17", fun () -> e17_commit_protocols ~seeds:(seeds_of 3) ~jobs ?metrics ());
+    ("e18", fun () -> e18_elastic ~seeds:(seeds_of 3) ~jobs ?metrics ());
   ]
 
 let run_all ?(params = default_params) () =

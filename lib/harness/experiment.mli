@@ -117,6 +117,16 @@ val e16_multicore :
     merged history is domain-count-invariant, so every cell of a block
     commits the same transactions. *)
 
+val e18_elastic : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
+(** Elastic placement: online shard moves while the closed-loop workload
+    runs, swept over 4/16/64 sites with a static-map baseline against an
+    n/2-move churn cell. Each move installs a new placement epoch with
+    prepared-state handover; stale-epoch traffic is refused (WRONG-EPOCH)
+    and resubmitted against the new map. Columns report commits,
+    throughput, p95 latency, wrong-epoch refusals, resubmissions, stuck
+    runs and the distortion-free verdict — churn must cost retries, not
+    correctness. *)
+
 val all : ?quick:bool -> unit -> T.t list
 (** The tables of {!run_all} without names; [quick] divides each seed
     default by 3 (back-compat convenience). *)

@@ -30,16 +30,19 @@ type refusal =
   | Interval_refused  (* alive time intersection failed: §4.2 *)
   | Dead_refused  (* the subtransaction was unilaterally aborted: CI(2) *)
   | Scheduler_refused of string  (* baseline schedulers (CGM, ticket order) *)
+  | Wrong_epoch  (* the message's placement epoch is behind the agent's installed map *)
 
 let pp_refusal ppf = function
   | Extension_refused -> Fmt.string ppf "prepare-out-of-order"
   | Interval_refused -> Fmt.string ppf "alive-interval"
   | Dead_refused -> Fmt.string ppf "unilaterally-aborted"
   | Scheduler_refused s -> Fmt.pf ppf "scheduler(%s)" s
+  | Wrong_epoch -> Fmt.string ppf "wrong-epoch"
 
 type payload =
-  | Begin
-  | Exec of { step : int; cmd : Command.t }
+  | Begin of { epoch : int }
+      (* carries the coordinator's placement epoch; 0 = the static map *)
+  | Exec of { step : int; cmd : Command.t; epoch : int }
   | Exec_ok of { step : int; result : Command.result }
   | Exec_failed of { step : int; reason : string }
   | Prepare of Sn.t
@@ -64,9 +67,13 @@ type payload =
          carrying the highest (ballot, decision) the acceptor has accepted *)
   | Px_decision of { committed : bool }  (* learn: the register's chosen value *)
 
+(* Epoch 0 (the static map) prints exactly as before the placement layer
+   existed — the golden trace digests depend on it. *)
 let pp_payload ppf = function
-  | Begin -> Fmt.string ppf "BEGIN"
-  | Exec { step; cmd } -> Fmt.pf ppf "EXEC #%d %a" step Command.pp cmd
+  | Begin { epoch = 0 } -> Fmt.string ppf "BEGIN"
+  | Begin { epoch } -> Fmt.pf ppf "BEGIN @e%d" epoch
+  | Exec { step; cmd; epoch = 0 } -> Fmt.pf ppf "EXEC #%d %a" step Command.pp cmd
+  | Exec { step; cmd; epoch } -> Fmt.pf ppf "EXEC @e%d #%d %a" epoch step Command.pp cmd
   | Exec_ok { step; result } -> Fmt.pf ppf "OK #%d %a" step Command.pp_result result
   | Exec_failed { step; reason } -> Fmt.pf ppf "FAILED #%d %s" step reason
   | Prepare sn -> Fmt.pf ppf "PREPARE sn=%a" Sn.pp sn

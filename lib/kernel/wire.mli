@@ -21,12 +21,16 @@ type refusal =
   | Interval_refused  (** alive time intersection failed (§4.2) *)
   | Dead_refused  (** the subtransaction was unilaterally aborted (CI 2) *)
   | Scheduler_refused of string  (** baseline schedulers *)
+  | Wrong_epoch
+      (** the message carried a placement epoch behind the agent's
+          installed shard map; the client must re-resolve and resubmit *)
 
 val pp_refusal : refusal Fmt.t
 
 type payload =
-  | Begin
-  | Exec of { step : int; cmd : Command.t }
+  | Begin of { epoch : int }
+      (** [epoch] is the coordinator's placement epoch; 0 = static map *)
+  | Exec of { step : int; cmd : Command.t; epoch : int }
       (** [step] is the per-site command index, so a duplicated EXEC (or
           its reply) can be recognized and ignored *)
   | Exec_ok of { step : int; result : Command.result }

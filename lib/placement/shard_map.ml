@@ -1,0 +1,99 @@
+(* The epoch-versioned shard map: key -> shard -> site.
+
+   Placement is a pure value. Every transition (move / add_site /
+   remove_site) returns a NEW map with the epoch incremented — installed
+   maps are never mutated, so a reader holding an old map simply holds a
+   stale epoch, and the wire-level epoch check turns that staleness into
+   a WRONG-EPOCH refusal plus re-resolution instead of a misrouted
+   subtransaction.
+
+   The static map at epoch 0 — one shard per site, shard [i] owned by
+   site [i mod n_sites] — is the legacy placement every earlier revision
+   hard-coded; runs that never reconfigure stay on it and replay
+   byte-identically. *)
+
+open Hermes_kernel
+
+type t = {
+  epoch : int;
+  owner : Site.t array;  (* owner.(shard); total by construction *)
+  sites : Site.t list;  (* serving sites, ascending; owners come from here *)
+}
+
+let epoch t = t.epoch
+let n_shards t = Array.length t.owner
+let sites t = t.sites
+
+let static ?n_shards ~n_sites () =
+  if n_sites <= 0 then invalid_arg "Shard_map.static: n_sites must be positive";
+  let n_shards = Option.value ~default:n_sites n_shards in
+  if n_shards <= 0 then invalid_arg "Shard_map.static: n_shards must be positive";
+  {
+    epoch = 0;
+    owner = Array.init n_shards (fun i -> Site.of_int (i mod n_sites));
+    sites = List.init n_sites Site.of_int;
+  }
+
+let owner t ~shard =
+  if shard < 0 || shard >= Array.length t.owner then
+    invalid_arg (Fmt.str "Shard_map.owner: shard %d out of range [0, %d)" shard (Array.length t.owner));
+  t.owner.(shard)
+
+let shard_of_key t ~key =
+  let n = Array.length t.owner in
+  ((key mod n) + n) mod n
+
+let resolve t ~key = t.owner.(shard_of_key t ~key)
+
+let shards_of t ~site =
+  let acc = ref [] in
+  Array.iteri (fun shard s -> if Site.equal s site then acc := shard :: !acc) t.owner;
+  List.rev !acc
+
+let mem_site t site = List.exists (Site.equal site) t.sites
+
+let move t ~shard ~to_ =
+  if shard < 0 || shard >= Array.length t.owner then
+    invalid_arg (Fmt.str "Shard_map.move: shard %d out of range" shard);
+  if not (mem_site t to_) then
+    invalid_arg (Fmt.str "Shard_map.move: site %a is not serving" Site.pp to_);
+  let owner = Array.copy t.owner in
+  owner.(shard) <- to_;
+  { epoch = t.epoch + 1; owner; sites = t.sites }
+
+let add_site t ~site =
+  if mem_site t site then invalid_arg (Fmt.str "Shard_map.add_site: site %a already serving" Site.pp site);
+  {
+    epoch = t.epoch + 1;
+    owner = Array.copy t.owner;
+    sites = List.sort Site.compare (site :: t.sites);
+  }
+
+let remove_site t ~site =
+  if not (mem_site t site) then
+    invalid_arg (Fmt.str "Shard_map.remove_site: site %a is not serving" Site.pp site);
+  let survivors = List.filter (fun s -> not (Site.equal s site)) t.sites in
+  (match survivors with
+  | [] -> invalid_arg "Shard_map.remove_site: cannot remove the last serving site"
+  | _ -> ());
+  let survivors_arr = Array.of_list survivors in
+  (* Orphaned shards redistribute round-robin over the survivors, in
+     shard order — deterministic, and coverage stays total. *)
+  let next = ref 0 in
+  let owner =
+    Array.map
+      (fun s ->
+        if Site.equal s site then begin
+          let s' = survivors_arr.(!next mod Array.length survivors_arr) in
+          incr next;
+          s'
+        end
+        else s)
+      t.owner
+  in
+  { epoch = t.epoch + 1; owner; sites = survivors }
+
+let pp ppf t =
+  Fmt.pf ppf "epoch %d: %a" t.epoch
+    Fmt.(brackets (list ~sep:(any "; ") (pair ~sep:(any "->") int Site.pp)))
+    (Array.to_list (Array.mapi (fun i s -> (i, s)) t.owner))

@@ -76,6 +76,11 @@ type env = {
   now : Time.t;
   views : (int * view) list;  (* by gid; a gid without a view is a just-begun (alive) txn *)
   max_committed_sn : Sn.t option;  (* the stable log's biggest committed SN *)
+  epoch : int;
+      (* the agent's installed placement epoch; a BEGIN/EXEC stamped with
+         an older epoch is refused WRONG-EPOCH (the client re-resolves
+         through the new map and resubmits — the paper's resubmission
+         machinery). 0 everywhere until a reconfiguration happens. *)
   inquiry : bool;
       (* whether the termination protocol is engaged: the adapter samples
          this as "coordinator crashes enabled for this run", so runs
@@ -689,7 +694,7 @@ let handle_unknown st env ~src ~gid ~payload ~(log : log_view) =
   ignore env;
   let answer payload = Send { dst = src; gid; payload } in
   match payload with
-  | Wire.Exec { step; cmd } ->
+  | Wire.Exec { step; cmd; epoch = _ } ->
       if (not log.known) && step = 0 then
         (* The BEGIN was lost by the network; the first command implies
            it (later steps after a crash find a logged entry below). *)
@@ -726,11 +731,34 @@ let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
       deliver config st env ~src ~gid
         ~payload:(if committed then Wire.Commit else Wire.Rollback)
         ~log
-  | Wire.Begin ->
+  | Wire.Begin { epoch } when epoch <> env.epoch ->
+      (* The coordinator resolved through a placement map this agent has
+         since superseded: refuse before any work starts. The sender
+         aborts, the client re-resolves through the new map and
+         resubmits. *)
+      ( st,
+        [
+          Emit (Ev_refused { gid; refusal = Wire.Wrong_epoch });
+          Send { dst = src; gid; payload = Wire.Refuse Wire.Wrong_epoch };
+        ] )
+  | Wire.Begin _ ->
       if Int_map.mem gid st.subs || log.known then
         (st, []) (* duplicated BEGIN, or one for a gid the log already knows *)
       else handle_begin st ~gid ~coordinator:src
-  | Wire.Exec { step; cmd } -> (
+  | Wire.Exec { epoch; _ } when epoch <> env.epoch -> (
+      (* A command resolved under a superseded map. If the BEGIN landed
+         before the reconfiguration the subtransaction exists: abort it
+         and refuse, so the whole global transaction restarts under the
+         new placement rather than half-executing across epochs. *)
+      match Int_map.find_opt gid st.subs with
+      | Some sub -> refuse config st sub Wire.Wrong_epoch
+      | None ->
+          ( st,
+            [
+              Emit (Ev_refused { gid; refusal = Wire.Wrong_epoch });
+              Send { dst = src; gid; payload = Wire.Refuse Wire.Wrong_epoch };
+            ] ))
+  | Wire.Exec { step; cmd; epoch = _ } -> (
       match Int_map.find_opt gid st.subs with
       | Some sub -> handle_exec st sub ~step cmd
       | None -> handle_unknown st env ~src ~gid ~payload ~log)
@@ -1005,3 +1033,50 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
               ]
             else [] ))
         (st, []) entries
+
+(* ------------------------------------------------------------------ *)
+(* Shard handover (placement reconfiguration). When a shard moves, the
+   losing site's certification state for its prepared subtransactions —
+   the alive-table entries, i.e. serial numbers and alive intervals —
+   must reach the gaining site BEFORE the new epoch serves traffic
+   there, or the gainer would certify new PREPAREs against an empty
+   table and admit orders the loser already ruled out. The adopted
+   entries are *foreign*: the gainer holds no local subtransaction for
+   them, but they participate in interval intersection and min-SN commit
+   certification exactly like native ones, conservatively gating new
+   work until their global decisions arrive and [drop_foreign] releases
+   them. All three operations are pure (copy-on-write on the table). *)
+(* ------------------------------------------------------------------ *)
+
+type handover_entry = { h_gid : int; h_sn : Sn.t; h_interval : Interval.t }
+
+let export_handover st ~gids =
+  List.filter_map
+    (fun gid ->
+      match Alive_table.find st.table ~gid with
+      | Some e ->
+          Some { h_gid = gid; h_sn = e.Alive_table.sn; h_interval = Alive_table.current_interval e }
+      | None -> None)
+    gids
+
+let adopt_handover st entries =
+  let st = { st with table = Alive_table.copy st.table } in
+  List.iter
+    (fun h ->
+      (* Skip gids this agent participates in natively: its own prepare
+         inserts (or already inserted) the entry, and an adopted copy
+         would collide with that insert. *)
+      if not (Int_map.mem h.h_gid st.subs) && not (Alive_table.mem st.table ~gid:h.h_gid) then
+        Alive_table.insert st.table ~gid:h.h_gid ~sn:h.h_sn ~interval:h.h_interval)
+    entries;
+  st
+
+let drop_foreign st ~gid =
+  (* Only foreign entries are released this way: a native subtransaction
+     (present in [subs]) owns its entry through its own 2PC lifecycle. *)
+  if Int_map.mem gid st.subs || not (Alive_table.mem st.table ~gid) then st
+  else begin
+    let st = { st with table = Alive_table.copy st.table } in
+    Alive_table.remove st.table ~gid;
+    st
+  end

@@ -28,9 +28,16 @@ type quorum =
          duplicate-READY fake-quorum bug, kept as a test-local
          configuration so the model checker can demonstrate it *)
 
-type config = { certifier : Config.t; quorum : quorum }
+type config = {
+  certifier : Config.t;
+  quorum : quorum;
+  epoch : int;
+      (* the placement epoch the round was resolved under; stamped into
+         every BEGIN/EXEC so an agent holding a newer shard map refuses
+         WRONG-EPOCH instead of executing misplaced work. 0 = static map. *)
+}
 
-let config ?(quorum = Dedup) certifier = { certifier; quorum }
+let config ?(quorum = Dedup) ?(epoch = 0) certifier = { certifier; quorum; epoch }
 
 (* Group commit: when enabled, log records are staged for the site's
    shared batcher ([Stage_log]) instead of individually forced — the
@@ -212,7 +219,7 @@ let next_step config st =
   | (site, step, cmd) :: rest ->
       let cancels = if st.exec_armed then [ Cancel_timer Exec_timeout ] else [] in
       ( { st with remaining_steps = rest; outstanding = Some (site, step); exec_armed = true },
-        [ send st ~dst:(Wire.Agent site) (Wire.Exec { step; cmd }) ]
+        [ send st ~dst:(Wire.Agent site) (Wire.Exec { step; cmd; epoch = config.epoch }) ]
         @ cancels
         @ [ Arm_timer { timer = Exec_timeout; delay = config.certifier.Config.exec_timeout } ] )
   | [] ->
@@ -350,6 +357,11 @@ let handle_from_agent config st src payload =
     | Executing, Wire.Exec_failed { step; reason } when is_outstanding st src step ->
         start_abort config st (Exec_failed (src, reason))
     | Executing, Wire.Exec_failed _ -> (st, [])
+    | Executing, Wire.Refuse r ->
+        (* A WRONG-EPOCH refusal of BEGIN/EXEC: the round was resolved
+           under a superseded placement map. Abort it; the submitter's
+           resubmission re-resolves through the installed map. *)
+        start_abort config st (Refused (src, r))
     | Preparing, Wire.Ready -> (
         match note_vote config st src with
         | None -> (st, [])
@@ -431,7 +443,7 @@ let handle_from_acceptor config st idx payload =
 let step config st input : state * effect list =
   match input with
   | Start ->
-      let begins = send_to_all st Wire.Begin in
+      let begins = send_to_all st (Wire.Begin { epoch = config.epoch }) in
       let st, effs = next_step config st in
       (st, (force config (R_begin { participants = st.participants }) :: begins) @ effs)
   | From_agent { src; payload } -> handle_from_agent config st src payload

@@ -93,6 +93,10 @@ type budgets = {
   inquiries : int;  (* decision-inquiry timer firings (they re-arm) *)
   replica_kills : int;
       (* permanent leader/acceptor kills (replicated protocols only) *)
+  reconfigures : int;
+      (* online shard moves: each installs a new placement epoch and
+         (with [handover]) transfers the losing site's prepared
+         certification state to the gainer *)
 }
 
 let no_faults =
@@ -108,6 +112,7 @@ let no_faults =
     coord_crashes = 0;
     inquiries = 0;
     replica_kills = 0;
+    reconfigures = 0;
   }
 
 type scenario = {
@@ -119,6 +124,16 @@ type scenario = {
   termination : bool;
       (* the coordinator durability + in-doubt termination protocol: off,
          a crashed coordinator stays dead and I5 finds the blocking *)
+  handover : bool;
+      (* shard moves transfer the loser's prepared certification state to
+         the gainer before the new epoch serves traffic. Off, I6 finds
+         the gainer certifying against an empty table (the ablation) *)
+  txn_shards : int;
+      (* shards per transaction: 0 (default) = all of them, the
+         historical every-txn-touches-every-site shape. A proper subset
+         (e.g. 2 of 3) leaves non-participant sites that can GAIN a
+         moved shard — the only way the I6 handover obligation bites,
+         since a native participant certifies through its own prepare *)
   max_states : int;  (* exploration cap; exceeding it sets [truncated] *)
 }
 
@@ -130,6 +145,8 @@ let default =
     quorum = C.Dedup;
     budgets = { no_faults with uaborts = 1; commit_retries = 2; alive_fires = 1 };
     termination = true;
+    handover = true;
+    txn_shards = 0;
     max_states = 2_000_000;
   }
 
@@ -206,6 +223,13 @@ type g = {
   unstarted : int list;
   outcomes : (int * Types.outcome) list;
   ready : (int * int) list;  (* (gid, site): READY was sent *)
+  epoch : int;  (* the installed placement epoch, shared by every agent *)
+  owner : (int * int) list;  (* shard -> owning site, under the current epoch *)
+  tepoch : (int * int) list;  (* gid -> the epoch the transaction started under *)
+  required : (int * int) list;
+      (* (site, gid): handover obligations — gids prepared at a shard's
+         losing site when it moved, which the gaining [site] must know
+         about (I6) until the global decision lands *)
   b : budgets;  (* remaining budgets *)
 }
 
@@ -221,6 +245,10 @@ type action =
   | Coord_crash of int  (* by gid; recovery is atomic iff [termination] *)
   | Kill_leader of int  (* by gid: the leader dies for good (replicated protocols) *)
   | Kill_acceptor of int * int  (* (gid, idx): the acceptor dies for good *)
+  | Reconfigure of { shard : int; to_ : int }
+      (* online reconfiguration: move [shard] to site [to_], installing
+         epoch + 1; with [scenario.handover] the loser's prepared
+         certification state is adopted by the gainer first *)
   | Coord_flush of int
       (* by site: force the site's staged coordinator records (one batch
          I/O) and release their withheld effects; free, like the real
@@ -271,6 +299,7 @@ let env_of scenario g s =
             } ))
         (assoc_or s g.ltms ~default:[]);
     max_committed_sn = List.assoc_opt s g.max_csn;
+    epoch = g.epoch;
   }
 
 let log_view_of g s gid =
@@ -447,13 +476,28 @@ let rec ltm_call scenario g s (c : A.call) =
   | A.L_forget _ -> g (* adapter bookkeeping only *)
 
 let feed_agent scenario g s input =
-  let st = List.assoc s g.agents in
+  let old = List.assoc s g.agents in
   let st, effs =
-    try A.step scenario.config st input with
+    try A.step scenario.config old input with
     | Failure m -> raise (Violation m)
     | Invalid_argument m -> raise (Violation ("machine exception: " ^ m))
   in
   let g = { g with agents = upd s st g.agents } in
+  (* A handover obligation on [s] was being met by native participation
+     (the gid sat in [subs]); if this step abandoned the subtransaction
+     without preparing it — wrong-epoch refusal, local abort — the site
+     can never vote READY, the gid can never commit, and the obligation
+     is moot. *)
+  let abandoned gid =
+    A.Int_map.mem gid old.A.subs
+    && (not (A.Int_map.mem gid st.A.subs))
+    && not (Alive_table.mem st.A.table ~gid)
+  in
+  let g =
+    if g.required = [] then g
+    else
+      { g with required = List.filter (fun (s', gid) -> not (s' = s && abandoned gid)) g.required }
+  in
   List.fold_left
     (fun g (eff : A.effect) ->
       match eff with
@@ -479,21 +523,38 @@ let feed_agent scenario g s input =
 
 let clog_write g gid (r : C.record) =
   let e = assoc_or gid g.clogs ~default:{ c_participants = []; c_sn = None; c_decision = None } in
-  let e =
+  let e, decided_now =
     match r with
-    | C.R_begin { participants } -> { e with c_participants = participants }
-    | C.R_prepared { participants; sn } -> { e with c_participants = participants; c_sn = Some sn }
+    | C.R_begin { participants } -> ({ e with c_participants = participants }, false)
+    | C.R_prepared { participants; sn } ->
+        ({ e with c_participants = participants; c_sn = Some sn }, false)
     | C.R_decision { committed } -> (
         (* idempotent, like the real log: the first decision wins *)
         match e.c_decision with
-        | None -> { e with c_decision = Some committed }
-        | Some _ -> e)
+        | None -> ({ e with c_decision = Some committed }, true)
+        | Some _ -> (e, false))
   in
-  { g with clogs = upd gid e g.clogs }
+  let g = { g with clogs = upd gid e g.clogs } in
+  if decided_now then
+    (* The forced decision fixes the gid's fate: certification of new
+       work no longer depends on the gainer holding its handed-over
+       interval, so any outstanding handover obligation is discharged. *)
+    { g with required = List.filter (fun (_, gid') -> gid' <> gid) g.required }
+  else g
 
 let rec feed_coord scenario g gid input =
   let st = List.assoc gid g.coords in
-  let cfg = { C.certifier = scenario.config; quorum = scenario.quorum } in
+  (* The round is stamped with the epoch it STARTED under ([tepoch]), not
+     the currently installed one — exactly what the real coordinator
+     does: it resolved placement once, at submission. An agent holding a
+     newer map answers WRONG-EPOCH. *)
+  let cfg =
+    {
+      C.certifier = scenario.config;
+      quorum = scenario.quorum;
+      epoch = assoc_or gid g.tepoch ~default:0;
+    }
+  in
   let st, effs =
     try C.step cfg st input with
     | Failure m -> raise (Violation m)
@@ -549,7 +610,16 @@ and coord_eff scenario gid g (eff : C.effect) =
                     Fmt.(list ~sep:comma Site.pp)
                     missing))
       | Types.Aborted _ -> ());
-      { g with outcomes = (gid, outcome) :: g.outcomes }
+      (* The decision discharges the gid's handover obligations, and the
+         gaining sites release the foreign alive-table entries that were
+         conservatively gating their certification (native entries are
+         untouched: [drop_foreign] skips gids the agent still tracks). *)
+      {
+        g with
+        outcomes = (gid, outcome) :: g.outcomes;
+        required = List.filter (fun (_, gid') -> gid' <> gid) g.required;
+        agents = List.map (fun (s, ast) -> (s, A.drop_foreign ast ~gid)) g.agents;
+      }
 
 (* One acceptor machine step. Acceptors only send, force and emit —
    their sends never feed another machine directly, so no recursion. The
@@ -585,12 +655,26 @@ let feed_acceptor scenario g (gid, idx) input =
 (* ------------------------------------------------------------------ *)
 
 let start_txn scenario g gid =
-  let participants = List.init scenario.n_sites site_of in
+  (* Each transaction touches [txn_shards] consecutive shards starting
+     at its own gid (0 = all of them); each shard resolves through the
+     CURRENT owner map. At epoch 0 the map is the identity, so the
+     default reproduces the historical one-command-per-site shape byte
+     for byte; after a move two shards may resolve to one site (the
+     coordinator's step numbering and [Program]-style duplicate
+     participants handle that). *)
+  let n_shards = scenario.n_sites in
+  let shards =
+    if scenario.txn_shards <= 0 || scenario.txn_shards >= n_shards then List.init n_shards Fun.id
+    else List.init scenario.txn_shards (fun i -> (gid - 1 + i) mod n_shards)
+  in
   let steps =
     List.map
-      (fun s -> (s, Command.Assign { table = "t"; key = gid; value = Site.to_int s }))
-      participants
+      (fun shard ->
+        ( site_of (assoc_or shard g.owner ~default:shard),
+          Command.Assign { table = "t"; key = gid; value = shard } ))
+      shards
   in
+  let participants = List.sort_uniq Site.compare (List.map fst steps) in
   let site = site_of ((gid - 1) mod scenario.n_sites) in
   let sn, g =
     if scenario.config.Config.sn_at_begin then
@@ -610,6 +694,7 @@ let start_txn scenario g gid =
       coords = (gid, st) :: g.coords;
       accs = accs @ g.accs;
       unstarted = List.filter (fun x -> x <> gid) g.unstarted;
+      tepoch = (gid, g.epoch) :: g.tepoch;
     }
   in
   feed_coord scenario g gid C.Start
@@ -736,6 +821,13 @@ let crash_recover scenario g s =
             | Cb_exec { site; _ } | Cb_commit { site; _ } | Cb_uan { site; _ } -> site <> s)
           g.cbs;
       timers = List.filter (function T_agent (s', _) -> s' <> s | T_coord _ -> true) g.timers;
+      (* Handed-over certification state is volatile at the gainer, so
+         the crash wipes it with everything else. The native prepared
+         entries reinstall from the site's own log below; the foreign
+         gids' outcomes are driven to every participant by the decision
+         machinery regardless, so the obligation is discharged by the
+         crash rather than spuriously flagged by I6. *)
+      required = List.filter (fun (s', _) -> s' <> s) g.required;
     }
   in
   feed_agent scenario g s (A.Recover { env = env_of scenario g s; entries = in_doubt g s })
@@ -799,6 +891,45 @@ let kill_acceptor g gid idx =
     dead_accs = (gid, idx) :: g.dead_accs;
   }
 
+(* Online reconfiguration: install epoch + 1 with [shard] moved to
+   [to_]. The loser's prepared-but-undecided gids become handover
+   obligations of the gainer (the I6 proof obligation); with
+   [scenario.handover] the gainer adopts the loser's alive-table entries
+   (serial number + current interval) for exactly those gids BEFORE any
+   new-epoch traffic can reach it — without it, the obligations go
+   unmet and I6 reports the unsound window. In-flight messages stamped
+   with the old epoch will bounce off the agents' WRONG-EPOCH check. *)
+let reconfigure scenario g ~shard ~to_ =
+  let g = { g with clock = g.clock + 1; b = { g.b with reconfigures = g.b.reconfigures - 1 } } in
+  let loser = assoc_or shard g.owner ~default:shard in
+  let g = { g with epoch = g.epoch + 1; owner = upd shard to_ g.owner } in
+  let lst = List.assoc loser g.agents in
+  (* Decided means the coordinator forced its decision record (the 2PC
+     decision point) or the round already completed — both strictly
+     before the participants may clean their table entries, so neither
+     creates a handover obligation. *)
+  let decided gid =
+    List.mem_assoc gid g.outcomes
+    || match List.assoc_opt gid g.clogs with Some e -> e.c_decision <> None | None -> false
+  in
+  let prepared_gids =
+    Alive_table.entries lst.A.table
+    |> List.map (fun (e : Alive_table.entry) -> e.Alive_table.gid)
+    |> List.filter (fun gid -> not (decided gid))
+    |> List.sort compare
+  in
+  let fresh =
+    List.filter
+      (fun ob -> not (List.mem ob g.required))
+      (List.map (fun gid -> (to_, gid)) prepared_gids)
+  in
+  let g = { g with required = fresh @ g.required } in
+  if scenario.handover then
+    let entries = A.export_handover lst ~gids:prepared_gids in
+    let gst = List.assoc to_ g.agents in
+    { g with agents = upd to_ (A.adopt_handover gst entries) g.agents }
+  else g
+
 (* Force the site's staged coordinator records — one batch I/O, oldest
    first — then release the withheld effects in staging order. *)
 let coord_flush scenario g s =
@@ -819,6 +950,7 @@ let apply scenario g = function
   | Coord_crash gid -> coord_crash scenario g gid
   | Kill_leader gid -> kill_leader g gid
   | Kill_acceptor (gid, idx) -> kill_acceptor g gid idx
+  | Reconfigure { shard; to_ } -> reconfigure scenario g ~shard ~to_
   | Coord_flush s -> coord_flush scenario g s
 
 let enabled scenario g =
@@ -887,13 +1019,26 @@ let enabled scenario g =
         g.coords
     else []
   in
+  let reconfigs =
+    (* every (shard, non-owner site) pair is a distinct move — offered
+       only while some transaction can still observe the new epoch
+       (moves after full quiescence only bump a number nothing reads) *)
+    if g.b.reconfigures > 0 && List.length g.outcomes < scenario.n_txns then
+      List.concat_map
+        (fun (shard, owner_site) ->
+          List.filter_map
+            (fun to_ -> if to_ <> owner_site then Some (Reconfigure { shard; to_ }) else None)
+            (List.init scenario.n_sites Fun.id))
+        g.owner
+    else []
+  in
   let cflushes =
     (* free, like the agent flush timer: a non-empty batch can always
        force, so staged work never blocks quiescence *)
     List.filter_map (fun (s, q) -> if q <> [] then Some (Coord_flush s) else None) g.cstaged
   in
   starts @ delivers @ dups @ drops @ cbs @ fires @ uaborts @ crashes @ coord_crashes @ kills
-  @ cflushes
+  @ reconfigs @ cflushes
 
 (* ------------------------------------------------------------------ *)
 (* Invariants checked outside the transition function                   *)
@@ -1041,12 +1186,45 @@ let in_doubt_violations scenario g =
           entries)
       g.logs
 
-(* I4, at terminal states only (in-flight schedules may be half-done). *)
+(* I6, on every transition: after a shard move, the gaining site must
+   hold the handed-over certification state (serial number + alive
+   interval) of every still-undecided gid that was prepared at the
+   losing site — otherwise the gainer certifies new PREPAREs against an
+   incomplete table and can admit an order the loser already ruled out.
+   (I6(a) — one owner per shard per epoch — holds by construction of the
+   [owner] map; this is I6(b), the handover obligation.) *)
+let i6_violation g =
+  List.find_map
+    (fun (s, gid) ->
+      match List.assoc_opt s g.agents with
+      (* satisfied by the handed-over entry, or by native participation:
+         a gainer that runs the gid's subtransaction itself certifies it
+         through its own prepare path *)
+      | Some ast when Alive_table.mem ast.A.table ~gid || A.Int_map.mem gid ast.A.subs -> None
+      | Some _ | None ->
+          Some
+            (Fmt.str
+               "I6: site %a gained a shard but holds no certification state for the prepared, \
+                undecided T%d — the handover was skipped, so new PREPAREs certify against an \
+                incomplete alive table"
+               Site.pp (site_of s) gid))
+    g.required
+
+(* I4, at terminal states only (in-flight schedules may be half-done).
+   Only the gid's participants are obliged to hold log entries — with
+   [txn_shards] set, a transaction touches a proper subset of sites. *)
 let terminal_violations g =
   List.concat_map
     (fun (gid, outcome) ->
+      let participants =
+        match List.assoc_opt gid g.coords with
+        | Some (st : C.state) -> st.C.participants
+        | None -> []
+      in
       List.filter_map
         (fun (s, entries) ->
+          if not (List.mem (site_of s) participants) then None
+          else
           let e = List.find_opt (fun e -> e.e_gid = gid) entries in
           match (outcome, e) with
           | Types.Committed, Some e when not e.e_lcommitted ->
@@ -1104,7 +1282,8 @@ let fingerprint g =
       sorted_assoc g.max_csn,
       List.map (fun (s, ls) -> (s, List.sort compare ls)) (sorted_assoc g.ltms),
       (List.sort compare g.msgs, List.sort compare g.cbs, List.sort compare g.timers),
-      (g.unstarted, List.sort compare g.outcomes, List.sort compare g.ready, g.b) )
+      (g.unstarted, List.sort compare g.outcomes, List.sort compare g.ready, g.b),
+      (g.epoch, sorted_assoc g.owner, sorted_assoc g.tepoch, List.sort compare g.required) )
   in
   Digest.string (Marshal.to_string canon [])
 
@@ -1131,6 +1310,10 @@ let init scenario =
       unstarted = gids;
       outcomes = [];
       ready = [];
+      epoch = 0;
+      owner = List.map (fun s -> (s, s)) sites;  (* the static identity map *)
+      tepoch = [];
+      required = [];
       b = scenario.budgets;
     }
   in
@@ -1182,6 +1365,8 @@ let pp_action ppf = function
   | Coord_crash gid -> Fmt.pf ppf "T%d's coordinating site crashes" gid
   | Kill_leader gid -> Fmt.pf ppf "T%d's leader dies for good" gid
   | Kill_acceptor (gid, idx) -> Fmt.pf ppf "acceptor %d of T%d's register dies for good" idx gid
+  | Reconfigure { shard; to_ } ->
+      Fmt.pf ppf "shard %d moves to site %a (new placement epoch)" shard Site.pp (site_of to_)
   | Coord_flush s -> Fmt.pf ppf "the coordinator batch at %a force-writes" Site.pp (site_of s)
 
 let max_reported = 5
@@ -1215,7 +1400,9 @@ let run scenario =
               match apply scenario g a with
               | exception Violation m -> record m (a :: trail)
               | g' -> (
-                  match hygiene_violation g' with
+                  match
+                    (match hygiene_violation g' with None -> i6_violation g' | some -> some)
+                  with
                   | Some m -> record m (a :: trail)
                   | None ->
                       let fp = fingerprint g' in

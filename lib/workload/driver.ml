@@ -19,6 +19,7 @@ module Config = Hermes_core.Config
 module Program = Hermes_core.Program
 module Coordinator = Hermes_core.Coordinator
 module Dtm = Hermes_core.Dtm
+module Shard_map = Hermes_placement.Shard_map
 module Cgm = Hermes_baselines.Cgm
 module History = Hermes_history.History
 module Obs = Hermes_obs.Obs
@@ -61,6 +62,14 @@ type setup = {
   obs : Obs.t option;
       (* observability context threaded into every component; end-of-run
          counters are exported into its registry *)
+  moves : int;
+      (* online reconfigurations: this many shard moves are scheduled
+         during the run (2PCA, sequential engine only); each installs a
+         new placement epoch after handing the moved shard's prepared
+         certification state over to the gaining site *)
+  reconfigure_at : int;
+      (* tick of the first scheduled move; move [m] fires at
+         [m * reconfigure_at] *)
   domains : int;
       (* OCaml domains for the run. 1 (default) = the legacy sequential
          engine, byte-identical to earlier revisions; > 1 = the sharded
@@ -84,6 +93,8 @@ let default_setup =
     reboot_delay = 0;
     crash_coordinators = false;
     obs = None;
+    moves = 0;
+    reconfigure_at = 0;
     domains = 1;
   }
 
@@ -118,14 +129,16 @@ let run_single setup =
     | Two_pca certifier ->
         let dtm =
           Dtm.create ~engine ~rng ~trace ~net_config:setup.net ~certifier ?obs:setup.obs
-            ~crash_coordinators:setup.crash_coordinators ~site_specs ()
+            ~crash_coordinators:setup.crash_coordinators ~n_shards:(Spec.shards spec)
+            ~site_specs ()
         in
-        (dtm, (fun program ~on_done -> ignore (Dtm.submit dtm program ~on_done)), None)
+        (dtm, (fun ?shards program ~on_done -> ignore (Dtm.submit dtm ?shards program ~on_done)), None)
     | Cgm_baseline config ->
         let cgm =
           Cgm.create ~engine ~rng ~trace ~net_config:setup.net ~config ?obs:setup.obs ~site_specs ()
         in
-        (Cgm.dtm cgm, Cgm.submit cgm, Some (Cgm.stats cgm))
+        (Cgm.dtm cgm, (fun ?shards:_ program ~on_done -> Cgm.submit cgm program ~on_done),
+         Some (Cgm.stats cgm))
   in
   let partitioned = match setup.protocol with Cgm_baseline _ -> true | Two_pca _ -> false in
   (* Populate every site (plus CGM's locally-updateable partition). *)
@@ -145,29 +158,43 @@ let run_single setup =
   let in_flight = ref 0 in
   let queued = ref 0 in
   let locals_active = ref true in
-  let think k = Engine.schedule_unit engine ~delay:(Rng.exponential think_rng ~mean:spec.Spec.think_time_mean) k in
+  let think k = Engine.schedule_unit engine ~delay:(Rng.exponential think_rng ~mean:(Spec.think_time spec)) k in
+  (* Per-attempt placement resolution: the generator's steps are in shard
+     space; every submission (first try and each resubmission) routes
+     them through the placement map current at that moment. A shard move
+     between two attempts re-routes the retry — the paper's resubmission
+     machinery doubling as the reconfiguration client. At the static map
+     this is the identity. *)
+  let resolve steps =
+    let map = Dtm.placement dtm in
+    Program.make (List.map (fun (shard, c) -> (Shard_map.owner map ~shard, c)) steps)
+  in
+  let shards_of steps = List.sort_uniq compare (List.map fst steps) in
   (* Global traffic, by arrival discipline. The closed loop is the
-     historical code path, draw for draw — a legacy spec (no [arrival]
-     field) resolves to it with the same parameters and replays
-     byte-identically. *)
+     historical code path, draw for draw. *)
   let start_globals () =
-    match Spec.effective_arrival spec with
+    match spec.Spec.arrival with
     | Spec.Closed { mpl; think_time_mean = _ } ->
         (* Closed loop: a fixed population works off the quota. *)
         let rec global_client () =
           if !remaining > 0 then begin
             decr remaining;
             incr in_flight;
-            let program = Generator.global_program gen in
+            let steps = Generator.shard_steps gen in
             let started = Engine.now engine in
             let rec attempt tries =
               Stats.note_attempt stats;
-              submit program ~on_done:(fun outcome ->
+              submit ~shards:(shards_of steps) (resolve steps) ~on_done:(fun outcome ->
                   match outcome with
                   | Coordinator.Committed ->
                       Stats.note_committed stats;
                       Stats.record_latency stats ~started ~finished:(Engine.now engine);
                       finish_one ()
+                  | Coordinator.Aborted (Coordinator.Refused (_, Wire.Wrong_epoch)) ->
+                      (* reconfiguration noise, not contention: re-resolve
+                         through the new map without consuming the budget *)
+                      Stats.note_retry stats;
+                      think (fun () -> attempt tries)
                   | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
                       Stats.note_retry stats;
                       think (fun () -> attempt (tries + 1))
@@ -198,17 +225,22 @@ let run_single setup =
         let queue = Queue.create () in
         let rec maybe_start () =
           if !in_flight < cap && not (Queue.is_empty queue) then begin
-            let arrived, program = Queue.pop queue in
+            let arrived, steps = Queue.pop queue in
             decr queued;
             incr in_flight;
             let rec attempt tries =
               Stats.note_attempt stats;
-              submit program ~on_done:(fun outcome ->
+              submit ~shards:(shards_of steps) (resolve steps) ~on_done:(fun outcome ->
                   match outcome with
                   | Coordinator.Committed ->
                       Stats.note_committed stats;
                       Stats.record_latency stats ~started:arrived ~finished:(Engine.now engine);
                       finish_one ()
+                  | Coordinator.Aborted (Coordinator.Refused (_, Wire.Wrong_epoch)) ->
+                      (* reconfiguration noise, not contention: re-resolve
+                         through the new map without consuming the budget *)
+                      Stats.note_retry stats;
+                      think (fun () -> attempt tries)
                   | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
                       Stats.note_retry stats;
                       think (fun () -> attempt (tries + 1))
@@ -231,7 +263,7 @@ let run_single setup =
               (fun () ->
                 decr remaining;
                 incr queued;
-                Queue.push (Engine.now engine, Generator.global_program gen) queue;
+                Queue.push (Engine.now engine, Generator.shard_steps gen) queue;
                 maybe_start ();
                 arrival_loop ())
         in
@@ -289,6 +321,24 @@ let run_single setup =
         Engine.schedule_unit engine ~delay:at (fun () ->
             Dtm.crash_site ~reboot_delay:setup.reboot_delay dtm (Site.of_int site_idx)))
     setup.crash_schedule;
+  (* Online reconfiguration: [moves] shard moves at [m * reconfigure_at],
+     targets drawn up front from a dedicated stream (split only when the
+     feature is on, so unreconfigured runs replay byte-identically).
+     Moving a shard onto its current owner is a deliberate possibility:
+     it exercises the no-op path. *)
+  if setup.moves > 0 then begin
+    (match setup.protocol with
+    | Cgm_baseline _ -> invalid_arg "Driver: reconfiguration requires the 2PCA protocol"
+    | Two_pca _ -> ());
+    let rrng = Rng.split rng ~label:"reconfigure" in
+    let n_shards = Spec.shards spec in
+    let gap = max 1 setup.reconfigure_at in
+    for m = 1 to setup.moves do
+      let shard = Rng.int rrng ~bound:n_shards in
+      let to_ = Site.of_int (Rng.int rrng ~bound:spec.Spec.n_sites) in
+      Engine.schedule_unit engine ~delay:(m * gap) (fun () -> Dtm.reconfigure dtm ~shard ~to_)
+    done
+  end;
   start_globals ();
   List.iter
     (fun site ->
@@ -353,6 +403,8 @@ let run_windowed ?(domains = 0) setup =
     | Cgm_baseline _ ->
         invalid_arg "Driver.run_windowed: the CGM baseline is single-domain only"
   in
+  if setup.moves > 0 then
+    invalid_arg "Driver.run_windowed: online reconfiguration runs on the sequential engine only";
   if setup.net.Network.base_delay < 1 then
     invalid_arg "Driver.run_windowed: base_delay must be >= 1 (it is the lookahead)";
   let lookahead = setup.net.Network.base_delay in
@@ -423,9 +475,9 @@ let run_windowed ?(domains = 0) setup =
     let locals_active = ref true in
     let submit program ~on_done = ignore (Dtm.submit dtm program ~on_done) in
     let think k =
-      Engine.schedule_unit engine ~delay:(Rng.exponential think_rng ~mean:spec.Spec.think_time_mean) k
+      Engine.schedule_unit engine ~delay:(Rng.exponential think_rng ~mean:(Spec.think_time spec)) k
     in
-    (match Spec.effective_arrival spec with
+    (match spec.Spec.arrival with
     | Spec.Closed { mpl; think_time_mean = _ } ->
         let mpl_here = if quota = 0 then 0 else max 1 (share mpl i) in
         let rec global_client () =
@@ -442,6 +494,11 @@ let run_windowed ?(domains = 0) setup =
                       Stats.note_committed stats;
                       Stats.record_latency stats ~started ~finished:(Engine.now engine);
                       finish_one ()
+                  | Coordinator.Aborted (Coordinator.Refused (_, Wire.Wrong_epoch)) ->
+                      (* reconfiguration noise, not contention: re-resolve
+                         through the new map without consuming the budget *)
+                      Stats.note_retry stats;
+                      think (fun () -> attempt tries)
                   | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
                       Stats.note_retry stats;
                       think (fun () -> attempt (tries + 1))
@@ -481,6 +538,11 @@ let run_windowed ?(domains = 0) setup =
                       Stats.note_committed stats;
                       Stats.record_latency stats ~started:arrived ~finished:(Engine.now engine);
                       finish_one ()
+                  | Coordinator.Aborted (Coordinator.Refused (_, Wire.Wrong_epoch)) ->
+                      (* reconfiguration noise, not contention: re-resolve
+                         through the new map without consuming the budget *)
+                      Stats.note_retry stats;
+                      think (fun () -> attempt tries)
                   | Coordinator.Aborted _ when tries < spec.Spec.max_retries ->
                       Stats.note_retry stats;
                       think (fun () -> attempt (tries + 1))

@@ -43,6 +43,16 @@ type setup = {
       (** observability context threaded into every component; at the end
           of the run the engine/agent/LTM/network/client counters are
           exported into its registry *)
+  moves : int;
+      (** online reconfigurations: this many shard moves are scheduled
+          during the run, each installing a new placement epoch after the
+          losing agent hands the moved shard's prepared certification
+          state to the gaining site. [0] (default) keeps the static
+          epoch-0 map and the byte-identical legacy replay. 2PCA,
+          sequential engine only. *)
+  reconfigure_at : int;
+      (** tick of the first scheduled move; move [m] fires at
+          [m * reconfigure_at] *)
   domains : int;
       (** OCaml domains executing the run. [1] (the default) is the
           legacy sequential engine — byte-identical to earlier revisions

@@ -1,11 +1,18 @@
 (* Program generation.
 
-   Global programs pick distinct participating sites and, per site, a mix
-   of single-row selects and updates over Zipf-distributed keys. Within
-   one subtransaction a key is never first selected and then updated —
-   that S->X upgrade pattern mass-produces upgrade deadlocks under strict
-   FIFO queues and real applications lock-for-update up front; updates go
-   straight to exclusive locks instead. *)
+   Global programs pick distinct participating shards and, per shard, a
+   mix of single-row selects and updates over Zipf-distributed keys.
+   Shards — not sites: the generator emits placement-free [shard_steps]
+   and the driver resolves each shard to its current owner site through
+   the placement map at submission time, so a shard move between two
+   attempts re-routes the resubmission. At the default static map (one
+   shard per site) resolution is the identity and the draw sequence is
+   unchanged from the site-space generator.
+
+   Within one subtransaction a key is never first selected and then
+   updated — that S->X upgrade pattern mass-produces upgrade deadlocks
+   under strict FIFO queues and real applications lock-for-update up
+   front; updates go straight to exclusive locks instead. *)
 
 open Hermes_kernel
 
@@ -18,7 +25,7 @@ type sampler =
   | Hot of { n : int; hot : int; weight : float }
 
 let sampler_of_spec spec =
-  match Spec.effective_key_dist spec with
+  match spec.Spec.key_dist with
   | Spec.Zipf { theta } -> Zipfian (Zipf.create ~n:spec.Spec.keys_per_site ~theta)
   | Spec.Uniform -> Uniform_keys spec.Spec.keys_per_site
   | Spec.Hotspot { fraction; weight } ->
@@ -39,27 +46,29 @@ let sample_key t =
       else if n = hot then Rng.int t.rng ~bound:n
       else hot + Rng.int t.rng ~bound:(n - hot)
 
-let distinct_sites t =
-  let n = min t.spec.Spec.sites_per_txn t.spec.Spec.n_sites in
-  let all = Rng.shuffle t.rng (Array.init t.spec.Spec.n_sites Site.of_int) in
+let distinct_shards t =
+  let n_shards = Spec.shards t.spec in
+  let n = min t.spec.Spec.mix.Spec.sites_per_txn n_shards in
+  let all = Rng.shuffle t.rng (Array.init n_shards Fun.id) in
   Array.to_list (Array.sub all 0 n)
 
 let pick_table t = Spec.table_name (Rng.int t.rng ~bound:t.spec.Spec.n_tables)
 
-(* Per-site command list: distinct (table, key) targets, each either
+(* Per-shard command list: distinct (table, key) targets, each either
    selected or updated. *)
-let site_commands t =
+let shard_commands t =
   let rec pick_targets acc n =
     if n = 0 then acc
     else
       let target = (pick_table t, sample_key t) in
       if List.mem target acc then pick_targets acc n else pick_targets (target :: acc) (n - 1)
   in
-  let n_keys = min t.spec.Spec.ops_per_site (t.spec.Spec.keys_per_site * t.spec.Spec.n_tables) in
+  let mix = t.spec.Spec.mix in
+  let n_keys = min mix.Spec.ops_per_site (t.spec.Spec.keys_per_site * t.spec.Spec.n_tables) in
   let targets = pick_targets [] n_keys in
   List.map
     (fun (table, key) ->
-      if Rng.bool t.rng ~p:t.spec.Spec.global_write_ratio then
+      if Rng.bool t.rng ~p:mix.Spec.write_ratio then
         Command.Update { table; key; delta = Rng.int_in t.rng ~lo:(-5) ~hi:5 }
       else
         let hi = min (t.spec.Spec.keys_per_site - 1) (key + 2) in
@@ -76,16 +85,26 @@ let site_commands t =
         else Command.Select { table; keys = [ key ] })
     targets
 
+let shard_steps t =
+  List.concat_map (fun shard -> List.map (fun c -> (shard, c)) (shard_commands t)) (distinct_shards t)
+
+(* Identity resolution for callers without a placement map (the CGM
+   baseline, direct tests): shard [s] lives at site [s mod n_sites],
+   matching the static map. *)
+let static_site t shard = Site.of_int (shard mod t.spec.Spec.n_sites)
+
 let global_program t =
-  let steps = List.concat_map (fun site -> List.map (fun c -> (site, c)) (site_commands t)) (distinct_sites t) in
+  let steps = List.map (fun (shard, c) -> (static_site t shard, c)) (shard_steps t) in
   Hermes_core.Program.make steps
 
 (* Rooted variant for sharded execution: the program's first participant
    (its coordinating site) is forced to [site], the rest drawn from the
    other sites — so a per-site generator only ever starts coordinators on
-   its own shard. *)
+   its own shard. The windowed engine runs the static placement map only
+   (reconfiguration is sequential-engine-gated), so this stays in site
+   space. *)
 let distinct_sites_rooted t ~site =
-  let n = min t.spec.Spec.sites_per_txn t.spec.Spec.n_sites in
+  let n = min t.spec.Spec.mix.Spec.sites_per_txn t.spec.Spec.n_sites in
   let others =
     Array.of_list
       (List.filter
@@ -98,7 +117,7 @@ let distinct_sites_rooted t ~site =
 let global_program_rooted t ~site =
   let steps =
     List.concat_map
-      (fun s -> List.map (fun c -> (s, c)) (site_commands t))
+      (fun s -> List.map (fun c -> (s, c)) (shard_commands t))
       (distinct_sites_rooted t ~site)
   in
   Hermes_core.Program.make steps

@@ -1,19 +1,30 @@
-(** Program generation: global programs over distinct participating sites
-    with Zipf-distributed keys (never select-then-update the same key —
-    the upgrade-deadlock trap), and local transaction command lists. *)
+(** Program generation: global programs over distinct participating
+    shards with Zipf-distributed keys (never select-then-update the same
+    key — the upgrade-deadlock trap), and local transaction command
+    lists. *)
 
 open Hermes_kernel
 
 type t
 
 val create : spec:Spec.t -> rng:Rng.t -> t
+
+val shard_steps : t -> (int * Command.t) list
+(** One global transaction's steps in shard space: distinct participating
+    shards, each with its command list, in coordinator-first order. The
+    driver resolves each shard through the current placement map at every
+    submission attempt. *)
+
 val global_program : t -> Hermes_core.Program.t
+(** {!shard_steps} resolved through the static identity map (shard [s] at
+    site [s mod n_sites]) — for callers without a placement map. Same
+    draws as {!shard_steps}. *)
 
 val global_program_rooted : t -> site:Site.t -> Hermes_core.Program.t
 (** Like {!global_program} but the coordinating (first) site is forced to
     [site]; the remaining participants are drawn from the other sites.
-    Used by the sharded driver, where each site's clients submit only to
-    their own shard. *)
+    Used by the windowed sharded driver, which runs the static placement
+    map only (each site's clients submit only to their own shard). *)
 
 val local_partition_table : string
 (** The locally-updateable table of the CGM data partition (paper §6). *)

@@ -3,10 +3,9 @@
    discipline, shape, skew) and the purely local traffic at each site.
 
    Construction: {!make} with the first-class variants ({!arrival},
-   {!key_dist}, {!mix}) is the API; the flat record fields are kept one
-   more release as a deprecated shim so [{ default with ... }] updates
-   still compile — {!make} back-fills them, and the [effective_*]
-   resolvers fall back to them when the variant field is [None]. *)
+   {!key_dist}, {!mix}). The flat-field back-fill shim of the previous
+   release is gone — [arrival], [key_dist] and [mix] are authoritative
+   and non-optional. *)
 
 type arrival =
   | Closed of { mpl : int; think_time_mean : int }
@@ -26,115 +25,60 @@ type mix = { sites_per_txn : int; ops_per_site : int; write_ratio : float }
 
 type t = {
   n_sites : int;
+  n_shards : int option;
+      (* data shards resolved through the placement map; [None] = one
+         shard per site (the static identity map, the legacy behavior) *)
   keys_per_site : int;  (* keys per table *)
   n_tables : int;  (* tables per site (named "T0", "T1", ...) *)
   initial_value : int;
   (* Global transactions. *)
   n_global : int;  (* run this many global transactions to completion *)
-  global_mpl : int;  (* deprecated shim: prefer [arrival] *)
-  sites_per_txn : int;  (* deprecated shim: prefer [mix] *)
-  ops_per_site : int;  (* deprecated shim: prefer [mix] *)
-  global_write_ratio : float;  (* deprecated shim: prefer [mix] *)
+  arrival : arrival;
+  mix : mix;
+  key_dist : key_dist;
   (* Local transactions (run while the global quota is being worked off). *)
   local_mpl_per_site : int;
   local_ops : int;
   local_write_ratio : float;
   local_txn_cap : int;  (* total local txns per run: bounds analysis cost when a protocol livelocks *)
   local_long_tail : float;  (* fraction of local txns running 8x the ops; 0 = off *)
-  (* Access skew and pacing. *)
-  zipf_theta : float;  (* deprecated shim: prefer [key_dist] *)
-  think_time_mean : int;  (* deprecated shim: prefer [arrival] *)
   max_retries : int;  (* how often a client retries an aborted global txn *)
-  (* First-class variants ([None] = resolve from the shim fields above). *)
-  arrival : arrival option;
-  key_dist : key_dist option;
 }
 
-let default =
-  {
-    n_sites = 3;
-    keys_per_site = 40;
-    n_tables = 4;
-    initial_value = 100;
-    n_global = 100;
-    global_mpl = 4;
-    sites_per_txn = 2;
-    ops_per_site = 2;
-    global_write_ratio = 0.5;
-    local_mpl_per_site = 1;
-    local_ops = 2;
-    local_write_ratio = 0.5;
-    local_txn_cap = 2_000;
-    local_long_tail = 0.0;
-    zipf_theta = 0.6;
-    think_time_mean = 2_000;
-    max_retries = 10;
-    arrival = None;
-    key_dist = None;
-  }
+let default_think_time = 2_000
 
-(* The builder. Variant arguments are authoritative; the legacy flat
-   fields are back-filled from them so old readers keep working. *)
-let make ?(n_sites = default.n_sites) ?(keys_per_site = default.keys_per_site)
-    ?(n_tables = default.n_tables) ?(initial_value = default.initial_value)
-    ?(n_global = default.n_global)
-    ?(arrival = Closed { mpl = default.global_mpl; think_time_mean = default.think_time_mean })
-    ?(mix =
-      {
-        sites_per_txn = default.sites_per_txn;
-        ops_per_site = default.ops_per_site;
-        write_ratio = default.global_write_ratio;
-      }) ?(key_dist = Zipf { theta = default.zipf_theta })
-    ?(local_mpl_per_site = default.local_mpl_per_site) ?(local_ops = default.local_ops)
-    ?(local_write_ratio = default.local_write_ratio) ?(local_txn_cap = default.local_txn_cap)
-    ?(local_long_tail = default.local_long_tail) ?(max_retries = default.max_retries) () =
-  let global_mpl, think_time_mean =
-    match arrival with
-    | Closed { mpl; think_time_mean } -> (mpl, think_time_mean)
-    | Open { rate = _; max_in_flight } -> (max_in_flight, default.think_time_mean)
-  in
-  let zipf_theta =
-    match key_dist with
-    | Zipf { theta } -> theta
-    | Uniform -> 0.0
-    | Hotspot _ -> default.zipf_theta
-  in
+let make ?(n_sites = 3) ?n_shards ?(keys_per_site = 40) ?(n_tables = 4) ?(initial_value = 100)
+    ?(n_global = 100) ?(arrival = Closed { mpl = 4; think_time_mean = default_think_time })
+    ?(mix = { sites_per_txn = 2; ops_per_site = 2; write_ratio = 0.5 })
+    ?(key_dist = Zipf { theta = 0.6 }) ?(local_mpl_per_site = 1) ?(local_ops = 2)
+    ?(local_write_ratio = 0.5) ?(local_txn_cap = 2_000) ?(local_long_tail = 0.0)
+    ?(max_retries = 10) () =
   {
     n_sites;
+    n_shards;
     keys_per_site;
     n_tables;
     initial_value;
     n_global;
-    global_mpl;
-    sites_per_txn = mix.sites_per_txn;
-    ops_per_site = mix.ops_per_site;
-    global_write_ratio = mix.write_ratio;
+    arrival;
+    mix;
+    key_dist;
     local_mpl_per_site;
     local_ops;
     local_write_ratio;
     local_txn_cap;
     local_long_tail;
-    zipf_theta;
-    think_time_mean;
     max_retries;
-    arrival = Some arrival;
-    key_dist = Some key_dist;
   }
 
-let effective_arrival t =
+let default = make ()
+
+let shards t = match t.n_shards with Some n -> n | None -> t.n_sites
+
+let think_time t =
   match t.arrival with
-  | Some a -> a
-  | None -> Closed { mpl = t.global_mpl; think_time_mean = t.think_time_mean }
-
-let effective_key_dist t =
-  match t.key_dist with Some d -> d | None -> Zipf { theta = t.zipf_theta }
-
-let effective_mix t =
-  {
-    sites_per_txn = t.sites_per_txn;
-    ops_per_site = t.ops_per_site;
-    write_ratio = t.global_write_ratio;
-  }
+  | Closed { think_time_mean; _ } -> think_time_mean
+  | Open _ -> default_think_time
 
 let table_name i = "T" ^ string_of_int i
 let tables t = List.init t.n_tables table_name
@@ -151,6 +95,5 @@ let pp_key_dist ppf = function
 let pp ppf t =
   Fmt.pf ppf
     "%d sites x %d tables x %d keys, %d globals (%a, %d sites/txn, %d ops/site, w=%.2f), locals MPL %d/site, keys %a"
-    t.n_sites t.n_tables t.keys_per_site t.n_global pp_arrival (effective_arrival t)
-    t.sites_per_txn t.ops_per_site t.global_write_ratio t.local_mpl_per_site pp_key_dist
-    (effective_key_dist t)
+    t.n_sites t.n_tables t.keys_per_site t.n_global pp_arrival t.arrival t.mix.sites_per_txn
+    t.mix.ops_per_site t.mix.write_ratio t.local_mpl_per_site pp_key_dist t.key_dist

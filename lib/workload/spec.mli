@@ -2,12 +2,10 @@
     and local traffic per site. One spec + one seed = one deterministic
     measured run.
 
-    Build specs with {!make} and the first-class variants below. The flat
-    record fields duplicating them ([global_mpl], [think_time_mean],
-    [zipf_theta] and the mix triple) are a deprecated shim kept for one
-    release so [{ default with ... }] record updates still compile;
-    {!make} back-fills them and the [effective_*] resolvers fall back to
-    them when no variant was given. *)
+    Build specs with {!make} and the first-class variants below —
+    [arrival], [key_dist] and [mix] are authoritative and non-optional.
+    (The deprecated flat-field back-fill shim of the previous release is
+    gone.) *)
 
 (** How global transactions enter the system. *)
 type arrival =
@@ -34,14 +32,16 @@ type mix = { sites_per_txn : int; ops_per_site : int; write_ratio : float }
 
 type t = {
   n_sites : int;
+  n_shards : int option;
+      (** data shards resolved through the placement map; [None] = one
+          shard per site (the static identity map, the legacy behavior) *)
   keys_per_site : int;  (** keys per table *)
   n_tables : int;  (** tables per site, named ["T0"], ["T1"], ... *)
   initial_value : int;
   n_global : int;  (** global transactions to run to completion *)
-  global_mpl : int;  (** deprecated shim: prefer [arrival] *)
-  sites_per_txn : int;  (** deprecated shim: prefer [mix] *)
-  ops_per_site : int;  (** deprecated shim: prefer [mix] *)
-  global_write_ratio : float;  (** deprecated shim: prefer [mix] *)
+  arrival : arrival;
+  mix : mix;
+  key_dist : key_dist;
   local_mpl_per_site : int;
   local_ops : int;
   local_write_ratio : float;
@@ -50,11 +50,7 @@ type t = {
       (** fraction of local transactions running 8x [local_ops] — a
           long-tail of fat local readers/writers; [0.] (default) draws no
           randomness and leaves earlier runs byte-identical *)
-  zipf_theta : float;  (** deprecated shim: prefer [key_dist] *)
-  think_time_mean : int;  (** deprecated shim: prefer [arrival] *)
   max_retries : int;  (** retries of an aborted global transaction *)
-  arrival : arrival option;  (** [None]: resolve from the shim fields *)
-  key_dist : key_dist option;  (** [None]: resolve from [zipf_theta] *)
 }
 
 val default : t
@@ -62,6 +58,7 @@ val default : t
 
 val make :
   ?n_sites:int ->
+  ?n_shards:int ->
   ?keys_per_site:int ->
   ?n_tables:int ->
   ?initial_value:int ->
@@ -77,17 +74,14 @@ val make :
   ?max_retries:int ->
   unit ->
   t
-(** The builder: variant arguments are authoritative and the legacy flat
-    fields are back-filled from them, so readers of either view agree. *)
 
-val effective_arrival : t -> arrival
-(** The arrival discipline, resolving [None] to a {!Closed} loop over the
-    legacy [global_mpl]/[think_time_mean] fields. *)
+val shards : t -> int
+(** Number of data shards: [n_shards], defaulting to one per site. *)
 
-val effective_key_dist : t -> key_dist
-(** The key distribution, resolving [None] to [Zipf zipf_theta]. *)
-
-val effective_mix : t -> mix
+val think_time : t -> int
+(** The client think-time mean: the closed loop's [think_time_mean], or
+    the default (2000 ticks) for open-loop specs — used to pace retries
+    and local clients. *)
 
 val table_name : int -> string
 val tables : t -> string list

@@ -360,7 +360,7 @@ let test_duplicate_votes_no_early_commit () =
   let agent_handler ~double site (m : Message.t) =
     let reply p = Network.send net ~src:(Message.Agent site) ~dst:m.Message.src ~gid:m.Message.gid p in
     match m.Message.payload with
-    | Message.Begin -> ()
+    | Message.Begin _ -> ()
     | Message.Exec { step; _ } -> reply (Message.Exec_ok { step; result = Command.Count 1 })
     | Message.Prepare _ ->
         if double then begin

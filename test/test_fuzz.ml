@@ -50,20 +50,21 @@ let random_setup rng =
     seed = Rng.int rng ~bound:1_000_000;
     time_limit = 60_000_000;
     spec =
-      {
-        Spec.default with
-        Spec.n_sites;
-        n_global = Rng.int_in rng ~lo:20 ~hi:50;
-        global_mpl = Rng.int_in rng ~lo:2 ~hi:8;
-        sites_per_txn = Rng.int_in rng ~lo:1 ~hi:(min 3 n_sites);
-        ops_per_site = Rng.int_in rng ~lo:1 ~hi:3;
-        keys_per_site = Rng.int_in rng ~lo:8 ~hi:30;
-        n_tables = Rng.int_in rng ~lo:1 ~hi:3;
-        zipf_theta = Rng.float rng ~bound:1.1;
-        local_mpl_per_site = Rng.int rng ~bound:3;
-        local_write_ratio = Rng.float rng ~bound:1.0;
-        local_txn_cap = 300;
-      };
+      (let n_global = Rng.int_in rng ~lo:20 ~hi:50 in
+       let mpl = Rng.int_in rng ~lo:2 ~hi:8 in
+       let sites_per_txn = Rng.int_in rng ~lo:1 ~hi:(min 3 n_sites) in
+       let ops_per_site = Rng.int_in rng ~lo:1 ~hi:3 in
+       let keys_per_site = Rng.int_in rng ~lo:8 ~hi:30 in
+       let n_tables = Rng.int_in rng ~lo:1 ~hi:3 in
+       let theta = Rng.float rng ~bound:1.1 in
+       let local_mpl_per_site = Rng.int rng ~bound:3 in
+       let local_write_ratio = Rng.float rng ~bound:1.0 in
+       Spec.make ~n_sites ~n_global
+         ~arrival:(Spec.Closed { mpl; think_time_mean = Spec.think_time Spec.default })
+         ~mix:{ Spec.sites_per_txn; ops_per_site; write_ratio = 0.5 }
+         ~keys_per_site ~n_tables
+         ~key_dist:(Spec.Zipf { theta })
+         ~local_mpl_per_site ~local_write_ratio ~local_txn_cap:300 ());
   }
 
 let check_run i setup =
@@ -136,7 +137,11 @@ let prop_lossy_run_matches_reliable =
   QCheck.Test.make ~name:"lossy+dup+reboot run commits the reliable run's transaction set" ~count:5
     QCheck.(pair (int_bound 100_000) (int_bound 1))
     (fun (seed, with_reboot) ->
-      let spec = { Spec.default with Spec.n_global = 30; global_mpl = 3 } in
+      let spec =
+        Spec.make ~n_global:30
+          ~arrival:(Spec.Closed { mpl = 3; think_time_mean = Spec.think_time Spec.default })
+          ()
+      in
       let base =
         {
           Driver.default_setup with

@@ -160,7 +160,9 @@ let windowed_setup =
   {
     Driver.default_setup with
     Driver.spec =
-      { Spec.default with Spec.n_sites = 4; n_global = 60; global_mpl = 6; local_txn_cap = 120 };
+      Spec.make ~n_sites:4 ~n_global:60
+        ~arrival:(Spec.Closed { mpl = 6; think_time_mean = Spec.think_time Spec.default })
+        ~local_txn_cap:120 ();
     seed = 42;
   }
 
@@ -213,7 +215,10 @@ let prop_windowed_equivalence =
       let setup =
         {
           Driver.default_setup with
-          Driver.spec = { Spec.default with Spec.n_sites = 3; n_global = 25; global_mpl = 4 };
+          Driver.spec =
+            Spec.make ~n_sites:3 ~n_global:25
+              ~arrival:(Spec.Closed { mpl = 4; think_time_mean = Spec.think_time Spec.default })
+              ();
           seed;
         }
       in
@@ -235,7 +240,10 @@ let test_domains1_golden_digest () =
         Driver.default_setup with
         Driver.protocol = Driver.Two_pca Config.full;
         seed = 7;
-        spec = { Spec.default with Spec.global_mpl = 4; n_global = 40 };
+        spec =
+          Spec.make ~n_global:40
+            ~arrival:(Spec.Closed { mpl = 4; think_time_mean = Spec.think_time Spec.default })
+            ();
         domains = 1;
         obs = Some obs;
       }

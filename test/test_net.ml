@@ -17,10 +17,10 @@ let test_delivery () =
   let engine, net = make () in
   let got = ref None in
   Network.register net (Message.Agent a) (fun m -> got := Some m);
-  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 Message.Begin;
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 (Message.Begin { epoch = 0 });
   Engine.run engine;
   match !got with
-  | Some { Message.payload = Message.Begin; gid = 1; _ } -> ()
+  | Some { Message.payload = Message.Begin _; gid = 1; _ } -> ()
   | _ -> Alcotest.fail "message not delivered"
 
 let test_per_link_fifo () =
@@ -29,7 +29,7 @@ let test_per_link_fifo () =
   let got = ref [] in
   Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
   for i = 1 to 50 do
-    Network.send net ~src:(Message.Coordinator 7) ~dst:(Message.Agent a) ~gid:i Message.Begin
+    Network.send net ~src:(Message.Coordinator 7) ~dst:(Message.Agent a) ~gid:i (Message.Begin { epoch = 0 })
   done;
   Engine.run engine;
   Alcotest.(check (list int)) "FIFO" (List.init 50 (fun i -> i + 1)) (List.rev !got)
@@ -42,8 +42,8 @@ let test_cross_link_races_happen () =
   Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
   let overtaken = ref false in
   for i = 1 to 40 do
-    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:(2 * i) Message.Begin;
-    Network.send net ~src:(Message.Coordinator 2) ~dst:(Message.Agent a) ~gid:((2 * i) + 1) Message.Begin
+    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:(2 * i) (Message.Begin { epoch = 0 });
+    Network.send net ~src:(Message.Coordinator 2) ~dst:(Message.Agent a) ~gid:((2 * i) + 1) (Message.Begin { epoch = 0 })
   done;
   Engine.run engine;
   (* If any odd gid (sent second in its pair) arrives before its even
@@ -60,7 +60,7 @@ let test_cross_link_races_happen () =
 
 let test_no_handler_fails () =
   let engine, net = make () in
-  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent b) ~gid:1 Message.Begin;
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent b) ~gid:1 (Message.Begin { epoch = 0 });
   Alcotest.(check bool) "raises" true
     (try
        Engine.run engine;
@@ -85,7 +85,7 @@ let test_drop_all () =
   let got = ref 0 in
   Network.register net (Message.Agent a) (fun _ -> incr got);
   for i = 1 to 7 do
-    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i Message.Begin
+    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i (Message.Begin { epoch = 0 })
   done;
   Engine.run engine;
   Alcotest.(check int) "nothing delivered" 0 !got;
@@ -98,7 +98,7 @@ let test_duplicate_all () =
   let got = ref [] in
   Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
   for i = 1 to 5 do
-    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i Message.Begin
+    Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i (Message.Begin { epoch = 0 })
   done;
   Engine.run engine;
   Alcotest.(check int) "duplicated counter" 5 (Network.duplicated net);
@@ -140,13 +140,13 @@ let test_partition_window () =
   Network.register net (Message.Agent a) (fun _ -> incr got);
   Network.register net (Message.Agent b) (fun _ -> incr got);
   (* Inside the window, both directions across the cut. *)
-  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 Message.Begin;
-  Network.send net ~src:(Message.Agent a) ~dst:(Message.Agent b) ~gid:2 Message.Begin;
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:1 (Message.Begin { epoch = 0 });
+  Network.send net ~src:(Message.Agent a) ~dst:(Message.Agent b) ~gid:2 (Message.Begin { epoch = 0 });
   (* Unrelated link: unaffected. *)
-  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent b) ~gid:3 Message.Begin;
+  Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent b) ~gid:3 (Message.Begin { epoch = 0 });
   (* After the window closes. *)
   Engine.schedule_unit engine ~delay:2_000 (fun () ->
-      Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:4 Message.Begin);
+      Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:4 (Message.Begin { epoch = 0 }));
   Engine.run engine;
   Alcotest.(check int) "partition drops" 2 (Network.dropped net);
   Alcotest.(check int) "others delivered" 2 !got
@@ -180,7 +180,7 @@ let test_overtake_counts_all () =
   Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
   (* Many senders, one destination: gid = send order. *)
   for i = 1 to 30 do
-    Network.send net ~src:(Message.Coordinator i) ~dst:(Message.Agent a) ~gid:i Message.Begin
+    Network.send net ~src:(Message.Coordinator i) ~dst:(Message.Agent a) ~gid:i (Message.Begin { epoch = 0 })
   done;
   Engine.run engine;
   let order = List.rev !got in
@@ -197,7 +197,7 @@ let prop_fifo_always =
       let got = ref [] in
       Network.register net (Message.Agent a) (fun m -> got := m.Message.gid :: !got);
       for i = 1 to 20 do
-        Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i Message.Begin
+        Network.send net ~src:(Message.Coordinator 1) ~dst:(Message.Agent a) ~gid:i (Message.Begin { epoch = 0 })
       done;
       Engine.run engine;
       List.rev !got = List.init 20 (fun i -> i + 1))

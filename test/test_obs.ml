@@ -160,7 +160,7 @@ let instrumented_run () =
       Driver.default_setup with
       Driver.failure = Failure.prepared_rate 0.15;
       seed = 21;
-      spec = { Spec.default with Spec.n_global = 25; zipf_theta = 0.9 };
+      spec = Spec.make ~n_global:25 ~key_dist:(Spec.Zipf { theta = 0.9 }) ();
       obs = Some obs;
     }
   in
@@ -201,7 +201,7 @@ let test_uninstrumented_run_unchanged () =
         Driver.default_setup with
         Driver.failure = Failure.prepared_rate 0.15;
         seed = 21;
-        spec = { Spec.default with Spec.n_global = 25; zipf_theta = 0.9 };
+        spec = Spec.make ~n_global:25 ~key_dist:(Spec.Zipf { theta = 0.9 }) ();
       }
   in
   Alcotest.(check int) "same commits" (Hermes_workload.Stats.committed plain.Driver.stats)

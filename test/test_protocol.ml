@@ -60,7 +60,7 @@ let test_golden_e5 () =
          Driver.default_setup with
          Driver.protocol = Driver.Two_pca Config.full;
          seed = 7;
-         spec = { Spec.default with Spec.global_mpl = 4; n_global = 40 };
+         spec = Spec.make ~n_global:40 ~arrival:(Spec.Closed { mpl = 4; think_time_mean = Spec.think_time Spec.default }) ();
        })
 
 let test_golden_e5_ticket () =
@@ -70,7 +70,7 @@ let test_golden_e5_ticket () =
          Driver.default_setup with
          Driver.protocol = Driver.Two_pca Config.ticket;
          seed = 5;
-         spec = { Spec.default with Spec.global_mpl = 4; n_global = 30 };
+         spec = Spec.make ~n_global:30 ~arrival:(Spec.Closed { mpl = 4; think_time_mean = Spec.think_time Spec.default }) ();
        })
 
 let test_golden_e13 () =
@@ -80,7 +80,7 @@ let test_golden_e13 () =
          Driver.default_setup with
          Driver.protocol = Driver.Two_pca Config.full;
          seed = 11;
-         spec = { Spec.default with Spec.global_mpl = 4; n_global = 30 };
+         spec = Spec.make ~n_global:30 ~arrival:(Spec.Closed { mpl = 4; think_time_mean = Spec.think_time Spec.default }) ();
          net =
            {
              Network.default_config with
@@ -97,7 +97,7 @@ let test_golden_e13_multi_interval () =
          Driver.default_setup with
          Driver.protocol = Driver.Two_pca Config.multi_interval;
          seed = 3;
-         spec = { Spec.default with Spec.global_mpl = 3; n_global = 25 };
+         spec = Spec.make ~n_global:25 ~arrival:(Spec.Closed { mpl = 3; think_time_mean = Spec.think_time Spec.default }) ();
          net =
            {
              Network.default_config with
@@ -118,8 +118,8 @@ let cmd = Command.Select { table = "X"; keys = [ 0 ] }
 let mk_sn ?(ts = 0) seq = Sn.make ~ts:(Time.of_int ts) ~site:a ~seq
 let v ?(alive = true) ?(last = 0) () = { A.alive; last_op_done = Time.of_int last }
 
-let env ?(now = 0) ?(views = []) ?max_sn ?(inquiry = false) () =
-  { A.now = Time.of_int now; views; max_committed_sn = max_sn; inquiry }
+let env ?(now = 0) ?(views = []) ?max_sn ?(inquiry = false) ?(epoch = 0) () =
+  { A.now = Time.of_int now; views; max_committed_sn = max_sn; inquiry; epoch }
 
 let no_log =
   { A.known = false; prepared = false; committed = false; locally_committed = false; rolled_back = false }
@@ -144,8 +144,8 @@ let verdict_of effs =
 
 (* Run one subtransaction from BEGIN to the READY vote. *)
 let prepared ?(cfg = cfg) ?(gid = 1) ?(now = 0) ?(views = []) ?max_sn ~sn st =
-  let st, _ = deliver ~cfg st ~gid Wire.Begin in
-  let st, _ = deliver ~cfg st ~gid (Wire.Exec { step = 0; cmd }) in
+  let st, _ = deliver ~cfg st ~gid (Wire.Begin { epoch = 0 }) in
+  let st, _ = deliver ~cfg st ~gid (Wire.Exec { step = 0; cmd; epoch = 0 }) in
   let st, _ =
     A.step cfg st
       (A.Exec_done
@@ -303,8 +303,8 @@ let ienv ?(now = 0) ?(views = []) () = env ~now ~views ~inquiry:true ()
 
 (* Prepare with the termination protocol engaged (env.inquiry = true). *)
 let prepared_inquiring ?(gid = 1) st =
-  let st, _ = deliver st ~gid Wire.Begin in
-  let st, _ = deliver st ~gid (Wire.Exec { step = 0; cmd }) in
+  let st, _ = deliver st ~gid (Wire.Begin { epoch = 0 }) in
+  let st, _ = deliver st ~gid (Wire.Exec { step = 0; cmd; epoch = 0 }) in
   let st, _ =
     A.step cfg st
       (A.Exec_done
@@ -458,9 +458,9 @@ let preparing ?quorum () =
 let test_coordinator_happy_path () =
   let st, effs = cstep (coord_init ()) Csm.Start in
   Alcotest.(check bool) "BEGIN broadcast" true
-    (List.length (List.filter (fun (_, p) -> p = Wire.Begin) (csends effs)) = 2);
+    (List.length (List.filter (fun (_, p) -> p = Wire.Begin { epoch = 0 }) (csends effs)) = 2);
   Alcotest.(check bool) "first command out" true
-    (has_send effs (Wire.Exec { step = 0; cmd }));
+    (has_send effs (Wire.Exec { step = 0; cmd; epoch = 0 }));
   Alcotest.(check bool) "exec timeout armed" true (has_arm effs Csm.Exec_timeout);
   ignore st
 
@@ -713,6 +713,35 @@ let test_explore_no_termination_blocks_forever () =
        (fun (msg, _) -> String.length msg >= 2 && String.sub msg 0 2 = "I5")
        st.Explore.violations)
 
+let reconfigure_scenario ~handover =
+  (* Two single-shard transactions on two sites so a shard move can gain
+     a site that is NOT a native participant — the only shape where the
+     I6(b) handover obligation bites (a participating gainer certifies
+     the gid through its own prepare path). *)
+  {
+    Explore.default with
+    Explore.n_txns = 2;
+    txn_shards = 1;
+    handover;
+    budgets = { Explore.no_faults with Explore.reconfigures = 1 };
+  }
+
+let test_explore_reconfigure_clean () =
+  (* An online shard move anywhere in the schedule, with prepared-state
+     handover: exhaustive and clean under I6. *)
+  let st = Explore.run (reconfigure_scenario ~handover:true) in
+  check_clean "2x2 reconfigure" st
+
+let test_explore_no_handover_unsound () =
+  (* Ablation: install the new epoch without handing over the loser's
+     prepared certification state — I6 must find the unsound window. *)
+  let st = Explore.run (reconfigure_scenario ~handover:false) in
+  Alcotest.(check bool) "violations found" true (st.Explore.n_violations > 0);
+  Alcotest.(check bool) "an I6 counterexample is reported" true
+    (List.exists
+       (fun (msg, _) -> String.length msg >= 2 && String.sub msg 0 2 = "I6")
+       st.Explore.violations)
+
 (* ------------------------------------------------------------------ *)
 (* Timer hygiene: a quiesced run leaves no live engine timers           *)
 (* ------------------------------------------------------------------ *)
@@ -772,8 +801,8 @@ let any_force effs =
 
 (* BEGIN + EXEC one subtransaction, stopping short of the PREPARE. *)
 let begun ?(cfg = gcfg) st gid =
-  let st, _ = deliver ~cfg st ~gid Wire.Begin in
-  let st, _ = deliver ~cfg st ~gid (Wire.Exec { step = 0; cmd }) in
+  let st, _ = deliver ~cfg st ~gid (Wire.Begin { epoch = 0 }) in
+  let st, _ = deliver ~cfg st ~gid (Wire.Exec { step = 0; cmd; epoch = 0 }) in
   let st, _ =
     A.step cfg st
       (A.Exec_done
@@ -1385,6 +1414,10 @@ let () =
             test_explore_paxos_f_plus_1_kills_block;
           Alcotest.test_case "backup-TM blocks at one kill (I5)" `Quick
             test_explore_backup_tm_single_kill_blocks;
+          Alcotest.test_case "online reconfigure + handover exhausts clean" `Slow
+            test_explore_reconfigure_clean;
+          Alcotest.test_case "ablated handover certifies unsoundly (I6)" `Slow
+            test_explore_no_handover_unsound;
         ] );
       ( "termination-reliable",
         [

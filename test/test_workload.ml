@@ -58,7 +58,8 @@ let prop_zipf_in_range =
 (* Generator                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let spec = { Spec.default with Spec.n_sites = 4; sites_per_txn = 2; ops_per_site = 3 }
+let spec =
+  Spec.make ~n_sites:4 ~mix:{ Spec.sites_per_txn = 2; ops_per_site = 3; write_ratio = 0.5 } ()
 
 let test_generator_distinct_sites () =
   let gen = Generator.create ~spec ~rng:(Rng.create ~seed:5) in
@@ -117,10 +118,10 @@ let test_generator_partitioned_locals () =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Spec: the builder and the deprecated flat-field shim                 *)
+(* Spec: the builder API (the flat-field shim is gone)                  *)
 (* ------------------------------------------------------------------ *)
 
-let test_spec_builder_backfills () =
+let test_spec_builder () =
   let s =
     Spec.make
       ~arrival:(Spec.Closed { mpl = 7; think_time_mean = 123 })
@@ -128,37 +129,38 @@ let test_spec_builder_backfills () =
       ~mix:{ Spec.sites_per_txn = 3; ops_per_site = 4; write_ratio = 0.25 }
       ()
   in
-  Alcotest.(check int) "mpl back-filled" 7 s.Spec.global_mpl;
-  Alcotest.(check int) "think time back-filled" 123 s.Spec.think_time_mean;
-  Alcotest.(check (float 0.0)) "theta back-filled" 0.8 s.Spec.zipf_theta;
-  Alcotest.(check int) "sites back-filled" 3 s.Spec.sites_per_txn;
-  Alcotest.(check int) "ops back-filled" 4 s.Spec.ops_per_site;
-  Alcotest.(check (float 0.0)) "write ratio back-filled" 0.25 s.Spec.global_write_ratio
+  (match s.Spec.arrival with
+  | Spec.Closed { mpl; think_time_mean } ->
+      Alcotest.(check int) "mpl kept" 7 mpl;
+      Alcotest.(check int) "think time kept" 123 think_time_mean
+  | Spec.Open _ -> Alcotest.fail "expected Closed");
+  Alcotest.(check int) "think_time view" 123 (Spec.think_time s);
+  (match s.Spec.key_dist with
+  | Spec.Zipf { theta } -> Alcotest.(check (float 0.0)) "theta kept" 0.8 theta
+  | _ -> Alcotest.fail "expected Zipf");
+  Alcotest.(check int) "mix sites kept" 3 s.Spec.mix.Spec.sites_per_txn;
+  Alcotest.(check int) "mix ops kept" 4 s.Spec.mix.Spec.ops_per_site;
+  Alcotest.(check (float 0.0)) "mix write ratio kept" 0.25 s.Spec.mix.Spec.write_ratio
 
-let test_spec_open_loop_backfill () =
-  let o = Spec.make ~arrival:(Spec.Open { rate = 500.0; max_in_flight = 64 }) ~key_dist:Spec.Uniform () in
-  Alcotest.(check int) "in-flight cap back-fills mpl" 64 o.Spec.global_mpl;
-  Alcotest.(check (float 0.0)) "uniform back-fills theta 0" 0.0 o.Spec.zipf_theta;
-  match Spec.effective_arrival o with
+let test_spec_open_loop () =
+  let o =
+    Spec.make ~arrival:(Spec.Open { rate = 500.0; max_in_flight = 64 }) ~key_dist:Spec.Uniform ()
+  in
+  (match o.Spec.arrival with
   | Spec.Open { rate; max_in_flight } ->
       Alcotest.(check (float 0.0)) "rate kept" 500.0 rate;
       Alcotest.(check int) "cap kept" 64 max_in_flight
-  | Spec.Closed _ -> Alcotest.fail "expected Open"
+  | Spec.Closed _ -> Alcotest.fail "expected Open");
+  (* open loops pace retries/locals with the default think time *)
+  Alcotest.(check int) "default think time" (Spec.think_time Spec.default) (Spec.think_time o)
 
-let test_spec_flat_fields_resolve () =
-  (* Legacy [{ default with ... }] records resolve through the
-     effective_* views exactly as before the redesign. *)
-  let legacy = { Spec.default with Spec.global_mpl = 9; zipf_theta = 0.4 } in
-  (match Spec.effective_arrival legacy with
-  | Spec.Closed { mpl; think_time_mean } ->
-      Alcotest.(check int) "flat mpl resolves" 9 mpl;
-      Alcotest.(check int) "flat think time resolves" Spec.default.Spec.think_time_mean think_time_mean
-  | Spec.Open _ -> Alcotest.fail "expected Closed");
-  (match Spec.effective_key_dist legacy with
-  | Spec.Zipf { theta } -> Alcotest.(check (float 0.0)) "flat theta resolves" 0.4 theta
-  | _ -> Alcotest.fail "expected Zipf");
-  let m = Spec.effective_mix legacy in
-  Alcotest.(check int) "flat mix resolves" Spec.default.Spec.sites_per_txn m.Spec.sites_per_txn
+let test_spec_shards_default () =
+  (* [n_shards] defaults to one shard per site — the static identity
+     placement every pre-placement run used implicitly. *)
+  let s = Spec.make ~n_sites:5 () in
+  Alcotest.(check int) "default shards = sites" 5 (Spec.shards s);
+  let sharded = Spec.make ~n_sites:4 ~n_shards:16 () in
+  Alcotest.(check int) "explicit shard count kept" 16 (Spec.shards sharded)
 
 (* ------------------------------------------------------------------ *)
 (* Key distributions and the local long tail                            *)
@@ -268,7 +270,7 @@ let test_driver_full_certifier_clean_under_failures () =
         Driver.default_setup with
         Driver.failure = Failure.prepared_rate 0.3;
         seed = 13;
-        spec = { Spec.default with Spec.n_global = 60; zipf_theta = 0.9; keys_per_site = 10 };
+        spec = Spec.make ~n_global:60 ~key_dist:(Spec.Zipf { theta = 0.9 }) ~keys_per_site:10 ();
       }
   in
   let c = Committed.extended r.Driver.history in
@@ -371,9 +373,9 @@ let () =
         ] );
       ( "spec",
         [
-          Alcotest.test_case "builder back-fills flat fields" `Quick test_spec_builder_backfills;
-          Alcotest.test_case "open loop back-fill" `Quick test_spec_open_loop_backfill;
-          Alcotest.test_case "flat fields resolve" `Quick test_spec_flat_fields_resolve;
+          Alcotest.test_case "builder" `Quick test_spec_builder;
+          Alcotest.test_case "open loop" `Quick test_spec_open_loop;
+          Alcotest.test_case "shards default" `Quick test_spec_shards_default;
         ] );
       ( "generator",
         [
