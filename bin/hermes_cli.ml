@@ -2,7 +2,7 @@
 
      hermes run         -- one workload simulation, with a verification report
      hermes scenario    -- replay a paper anomaly (h1 | h2 | h3 | overtake)
-     hermes experiments -- print the experiment tables (E1..E18)
+     hermes experiments -- print the experiment tables (E1..E19)
 
    All simulations are deterministic in the seed. *)
 
@@ -247,6 +247,98 @@ let run_cmd =
       & info [ "reconfigure-at" ] ~docv:"TICK"
           ~doc:"Tick of the first scheduled shard move; move $(i,m) fires at $(i,m) * $(docv).")
   in
+  let leave_at =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' int int) []
+      & info [ "leave-at" ] ~docv:"TICK:SITE"
+          ~doc:
+            "Schedule site $(i,SITE) to leave the serving set at tick $(i,TICK): its shards \
+             redistribute over the survivors after a prepared-state handover. Repeatable. 2CM, \
+             sequential engine only.")
+  in
+  let join_at =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' int int) []
+      & info [ "join-at" ] ~docv:"TICK:SITE"
+          ~doc:
+            "Schedule site $(i,SITE) to (re)join the serving set at tick $(i,TICK); the joiner \
+             owns nothing until a later move rebalances onto it. Pair with an earlier \
+             $(b,--leave-at) of the same site. Repeatable.")
+  in
+  let lying_sites =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "lying-sites" ] ~docv:"SITES"
+          ~doc:
+            "Adversary: agents at these sites vote READY without preparing, deny having prepared \
+             when asked, and silently drop their local commit. Defend with $(b,--certificates).")
+  in
+  let equivocate =
+    Arg.(
+      value
+      & flag
+      & info [ "equivocate" ]
+          ~doc:
+            "Adversary: committing coordinators send COMMIT to the first half of the participants \
+             and a bare ROLLBACK to the rest. Defend with $(b,--certificates) (+ $(b,--suspicion)).")
+  in
+  let sn_drift =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "sn-drift" ] ~docv:"TICKS"
+          ~doc:
+            "Adversary: even-gid coordinators draw serial numbers $(docv) ticks in the past \
+             (stale clocks). Defend with $(b,--drift-bound).")
+  in
+  let gray_sites =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "gray-sites" ] ~docv:"SITES"
+          ~doc:
+            "Gray failure: these sites stay alive but all their links run $(b,--gray-factor) \
+             times slower — crash detection never trips. Defend with $(b,--suspicion).")
+  in
+  let gray_factor =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "gray-factor" ] ~docv:"N"
+          ~doc:"Latency multiplier for $(b,--gray-sites) links.")
+  in
+  let certificates =
+    Arg.(
+      value
+      & flag
+      & info [ "certificates" ]
+          ~doc:
+            "Countermeasure: votes and decisions must carry certificates; uncertified READY votes \
+             are rejected at the coordinator and bare decisions at prepared participants are \
+             dropped as equivocation.")
+  in
+  let drift_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drift-bound" ] ~docv:"TICKS"
+          ~doc:
+            "Countermeasure: refuse any PREPARE whose serial number is more than $(docv) ticks \
+             older than the local clock (DRIFT-REFUSED; the round retries with a fresh number).")
+  in
+  let suspicion =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "suspicion" ] ~docv:"TICKS"
+          ~doc:
+            "Countermeasure: mutual-suspicion timeout — a participant prepared for $(docv) ticks \
+             without a decision suspects its coordinator and escalates to the termination path \
+             (decision inquiry / recovery ballot), bounding the in-doubt window.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also print the committed projection.") in
   let dump =
     Arg.(
@@ -256,7 +348,8 @@ let run_cmd =
   in
   let run () certifier commit_proto paxos_f cgm sites globals mpl failure_p jitter drop dup crashes
       reboot_delay crash_coordinator drift theta open_loop group_commit shards moves reconfigure_at
-      domains seed verbose dump metrics_out trace_out metrics_summary =
+      leave_at join_at lying_sites equivocate sn_drift gray_sites gray_factor certificates
+      drift_bound suspicion domains seed verbose dump metrics_out trace_out metrics_summary =
     if domains > 1 && trace_out <> None then
       (* The windowed engine writes the deterministic merged trace — a
          valid schedule, but not the sequential one the golden digests
@@ -273,6 +366,11 @@ let run_cmd =
       Fmt.epr "hermes: --moves requires the 2CM protocol on the sequential engine (--domains 1)@.";
       exit 2
     end;
+    if (leave_at <> [] || join_at <> []) && (cgm <> None || domains > 1) then begin
+      Fmt.epr "hermes: --leave-at/--join-at require the 2CM protocol on the sequential engine \
+               (--domains 1)@.";
+      exit 2
+    end;
     let commit_proto = resolve_commit_proto commit_proto paxos_f in
     if domains > 1 && commit_proto <> Config.Two_pc then begin
       Fmt.epr "hermes: --domains %d requires --commit-proto 2pc (replicated commit protocols run \
@@ -280,6 +378,20 @@ let run_cmd =
       exit 2
     end;
     let certifier = { certifier with Config.commit_proto } in
+    let certifier =
+      {
+        certifier with
+        Config.adversary =
+          { Config.lying_sites; equivocate; sn_drift };
+        decision_certificates = certificates;
+        suspicion_timeout = suspicion;
+      }
+    in
+    let certifier =
+      match drift_bound with
+      | Some n -> { certifier with Config.sn_drift_rejection = true; Config.max_sn_drift = n }
+      | None -> certifier
+    in
     let certifier =
       if group_commit then
         {
@@ -303,7 +415,12 @@ let run_cmd =
         Driver.default_setup with
         Driver.protocol;
         failure = Failure.prepared_rate failure_p;
-        net = { Network.base_delay = 500; jitter; faults = { Network.no_faults with drop; dup } };
+        net =
+          {
+            Network.base_delay = 500;
+            jitter;
+            faults = { Network.no_faults with drop; dup; gray_sites; gray_factor };
+          };
         clock_of_site =
           (fun i -> Hermes_kernel.Clock.make ~offset:(if i mod 2 = 0 then drift else -drift) ());
         seed;
@@ -323,6 +440,8 @@ let run_cmd =
         obs;
         moves;
         reconfigure_at;
+        leave_schedule = leave_at;
+        join_schedule = join_at;
         domains;
       }
     in
@@ -348,8 +467,13 @@ let run_cmd =
     Fmt.pr "certifier: %d prepared, refusals ext/interval/dead %d/%d/%d, %d resubmissions, %d commit retries, %d DLU denials@."
       t.Dtm.prepared t.Dtm.refused_extension t.Dtm.refused_interval t.Dtm.refused_dead t.Dtm.resubmissions
       t.Dtm.commit_retries t.Dtm.dlu_denials;
-    if moves > 0 then
-      Fmt.pr "placement: %d scheduled moves, %d wrong-epoch refusals@." moves t.Dtm.refused_epoch;
+    if moves > 0 || leave_at <> [] || join_at <> [] then
+      Fmt.pr "placement: %d scheduled moves, %d leaves, %d joins, %d wrong-epoch refusals@." moves
+        (List.length leave_at) (List.length join_at) t.Dtm.refused_epoch;
+    if lying_sites <> [] || equivocate || sn_drift > 0 || gray_sites <> [] then
+      Fmt.pr "adversary: lying %a, equivocate %b, sn-drift %d, gray %a (x%d); %d drift refusals@."
+        Fmt.(Dump.list int) lying_sites equivocate sn_drift Fmt.(Dump.list int) gray_sites
+        gray_factor t.Dtm.refused_drift;
     if Config.group_commit certifier then
       Fmt.pr "group commit: %d log forces (%d agent, %d coord), %d coord flushes, avg coord batch %.1f@."
         (t.Dtm.agent_log_forces + t.Dtm.coord_log_forces)
@@ -376,8 +500,9 @@ let run_cmd =
       const run $ setup_logs $ certifier_arg $ commit_proto_arg $ paxos_f_arg $ cgm $ sites
       $ globals $ mpl $ failure_p $ jitter $ drop $ dup $ crashes $ reboot_delay
       $ crash_coordinator $ drift $ theta $ open_loop $ group_commit $ shards $ moves
-      $ reconfigure_at $ domains $ seed_arg $ verbose $ dump $ metrics_out_arg $ trace_out_arg
-      $ metrics_summary_arg)
+      $ reconfigure_at $ leave_at $ join_at $ lying_sites $ equivocate $ sn_drift $ gray_sites
+      $ gray_factor $ certificates $ drift_bound $ suspicion $ domains $ seed_arg $ verbose $ dump
+      $ metrics_out_arg $ trace_out_arg $ metrics_summary_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload simulation and verify the recorded history.")
@@ -481,11 +606,11 @@ let experiments_cmd =
       & info [ "seeds" ] ~docv:"N" ~doc:"Override every experiment's seed count (wins over $(b,--quick)).")
   in
   let only =
-    let names = List.init 18 (fun i -> Fmt.str "e%d" (i + 1)) in
+    let names = List.init 19 (fun i -> Fmt.str "e%d" (i + 1)) in
     Arg.(
       value
       & opt (some (enum (List.map (fun n -> (n, n)) names))) None
-      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e18)).")
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment ($(b,e1)..$(b,e19)).")
   in
   let jobs =
     Arg.(
@@ -528,7 +653,7 @@ let experiments_cmd =
       const run $ setup_logs $ quick $ seeds $ only $ jobs $ domains $ metrics_out_arg
       $ metrics_summary_arg)
   in
-  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E18).") term
+  Cmd.v (Cmd.info "experiments" ~doc:"Print the experiment tables (E1..E19).") term
 
 (* ------------------------------------------------------------------ *)
 (* hermes explore                                                      *)
@@ -595,6 +720,69 @@ let explore_cmd =
   let max_states =
     Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N" ~doc:"Exploration cap (a hit is reported as truncation).")
   in
+  let lying_sites =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "lying-sites" ] ~docv:"SITES"
+          ~doc:
+            "Adversary: agents at these sites vote READY without preparing, deny having prepared, \
+             and drop their local commit. Undefended this violates I2; with $(b,--certificates) \
+             the space must exhaust clean.")
+  in
+  let equivocate =
+    Arg.(
+      value
+      & flag
+      & info [ "equivocate" ]
+          ~doc:
+            "Adversary: committing coordinators split COMMIT/bare-ROLLBACK across the \
+             participants. Undefended this violates I4; defend with $(b,--certificates) and a \
+             $(b,--suspicion) timeout plus inquiry/retransmit budgets.")
+  in
+  let sn_drift =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "sn-drift" ] ~docv:"TICKS"
+          ~doc:
+            "Adversary: even-gid coordinators draw serial numbers $(docv) ticks in the past. On \
+             the extension ablation this violates I3; defend with $(b,--drift-bound).")
+  in
+  let certificates =
+    Arg.(
+      value
+      & flag
+      & info [ "certificates" ]
+          ~doc:
+            "Countermeasure: certified votes and decisions — uncertified READY is rejected, bare \
+             decisions at prepared participants are dropped as equivocation.")
+  in
+  let drift_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drift-bound" ] ~docv:"TICKS"
+          ~doc:"Countermeasure: refuse PREPAREs whose serial number is staler than $(docv) ticks.")
+  in
+  let suspicion =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "suspicion" ] ~docv:"TICKS"
+          ~doc:
+            "Countermeasure: mutual-suspicion timeout — prepared participants escalate to the \
+             termination path after $(docv) ticks without a decision.")
+  in
+  let json =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: exploration stats plus one record per reported violation \
+             with the violated invariant id and its counterexample schedule.")
+  in
   let quorum =
     Arg.(
       value
@@ -606,8 +794,22 @@ let explore_cmd =
   in
   let run () certifier commit_proto paxos_f sites txns txn_shards drops dups crashes uaborts
       alive_fires commit_retries exec_timeouts retransmits coord_crashes inquiries replica_kills
-      reconfigures no_handover no_termination max_states quorum =
+      reconfigures no_handover no_termination max_states lying_sites equivocate sn_drift
+      certificates drift_bound suspicion json quorum =
     let commit_proto = resolve_commit_proto commit_proto paxos_f in
+    let certifier =
+      {
+        certifier with
+        Config.adversary = { Config.lying_sites; equivocate; sn_drift };
+        decision_certificates = certificates;
+        suspicion_timeout = suspicion;
+      }
+    in
+    let certifier =
+      match drift_bound with
+      | Some n -> { certifier with Config.sn_drift_rejection = true; Config.max_sn_drift = n }
+      | None -> certifier
+    in
     let scenario =
       {
         Explore.n_sites = sites;
@@ -636,11 +838,42 @@ let explore_cmd =
       }
     in
     let st = Explore.run scenario in
-    Fmt.pr "%a@." Explore.pp_stats st;
-    List.iter (fun v -> Fmt.pr "@.%a@." Explore.pp_violation v) st.Explore.violations;
-    if st.Explore.n_violations > List.length st.Explore.violations then
-      Fmt.pr "@.(%d further violations not shown)@."
-        (st.Explore.n_violations - List.length st.Explore.violations);
+    if json then begin
+      let module Json = Hermes_obs.Json in
+      (* The invariant id is the "I<n>" prefix every violation message
+         carries; the schedule is the counterexample, oldest step first. *)
+      let violation_json (msg, trail) =
+        let invariant =
+          match String.index_opt msg ':' with Some i -> String.sub msg 0 i | None -> ""
+        in
+        Json.Obj
+          [
+            ("invariant", Json.String invariant);
+            ("message", Json.String msg);
+            ( "schedule",
+              Json.List
+                (List.map (fun a -> Json.String (Fmt.str "%a" Explore.pp_action a)) trail) );
+          ]
+      in
+      Fmt.pr "%s@."
+        (Json.to_string
+           (Json.Obj
+              [
+                ("states", Json.Int st.Explore.states);
+                ("transitions", Json.Int st.Explore.transitions);
+                ("terminals", Json.Int st.Explore.terminals);
+                ("violations", Json.Int st.Explore.n_violations);
+                ("truncated", Json.Bool st.Explore.truncated);
+                ("counterexamples", Json.List (List.map violation_json st.Explore.violations));
+              ]))
+    end
+    else begin
+      Fmt.pr "%a@." Explore.pp_stats st;
+      List.iter (fun v -> Fmt.pr "@.%a@." Explore.pp_violation v) st.Explore.violations;
+      if st.Explore.n_violations > List.length st.Explore.violations then
+        Fmt.pr "@.(%d further violations not shown)@."
+          (st.Explore.n_violations - List.length st.Explore.violations)
+    end;
     if st.Explore.truncated then 2 else if st.Explore.n_violations > 0 then 1 else 0
   in
   let term =
@@ -648,7 +881,8 @@ let explore_cmd =
       const run $ setup_logs $ certifier_arg $ commit_proto_arg $ paxos_f_arg $ sites $ txns
       $ txn_shards $ drops $ dups $ crashes $ uaborts $ alive_fires $ commit_retries
       $ exec_timeouts $ retransmits $ coord_crashes $ inquiries $ replica_kills $ reconfigures
-      $ no_handover $ no_termination $ max_states $ quorum)
+      $ no_handover $ no_termination $ max_states $ lying_sites $ equivocate $ sn_drift
+      $ certificates $ drift_bound $ suspicion $ json $ quorum)
   in
   Cmd.v
     (Cmd.info "explore"

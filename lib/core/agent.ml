@@ -51,6 +51,7 @@ type stats = {
   mutable refused_interval : int;
   mutable refused_dead : int;
   mutable refused_epoch : int;
+  mutable refused_drift : int;  (* PREPAREs rejected by the SN staleness bound *)
   mutable resubmissions : int;
   mutable commit_retries : int;
   mutable local_commits : int;
@@ -88,9 +89,10 @@ type t = {
 let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ?(epoch = fun () -> 0)
     ~config () =
   (* The in-doubt instruments exist only when coordinator crashes are
-     enabled for the run: runs without them must export byte-identical
-     metrics (the golden-digest guard). *)
-  let term_obs = if termination then obs else None in
+     enabled for the run — or when the mutual-suspicion timeout arms the
+     same escalation path against gray coordinators: runs with neither
+     must export byte-identical metrics (the golden-digest guard). *)
+  let term_obs = if termination || config.Config.suspicion_timeout > 0 then obs else None in
   {
     site;
     engine;
@@ -114,6 +116,7 @@ let create ~site ~engine ~ltm ~net ~trace ?obs ?(termination = false) ?(epoch = 
         refused_interval = 0;
         refused_dead = 0;
         refused_epoch = 0;
+        refused_drift = 0;
         resubmissions = 0;
         commit_retries = 0;
         local_commits = 0;
@@ -216,6 +219,8 @@ let emit_event t (ev : Agent_sm.event) =
       | Message.Interval_refused -> t.stats.refused_interval <- t.stats.refused_interval + 1
       | Message.Dead_refused -> t.stats.refused_dead <- t.stats.refused_dead + 1
       | Message.Wrong_epoch -> t.stats.refused_epoch <- t.stats.refused_epoch + 1
+      | Message.Drift_refused -> t.stats.refused_drift <- t.stats.refused_drift + 1
+      | Message.Uncertified_refused -> ()
       | Message.Scheduler_refused _ -> ())
   | Ev_commit_delayed { gid; sn; blocking_gid; blocking_sn } ->
       Log.debug (fun m ->
@@ -266,6 +271,23 @@ let emit_event t (ev : Agent_sm.event) =
       Log.debug (fun m ->
           m "[%a %a] T%d still in doubt: DECISION-REQ #%d to the coordinator" Time.pp (now t)
             Site.pp t.site gid inquiries)
+  | Ev_suspicion { gid } ->
+      (match t.obs with
+      | Some o when t.config.Config.suspicion_timeout > 0 ->
+          Registry.Counter.incr (Registry.counter (Obs.metrics o) ~site:t.site "agent.suspicions")
+      | Some _ | None -> ());
+      Log.info (fun m ->
+          m "[%a %a] T%d suspects a gray coordinator: escalating to the termination path" Time.pp
+            (now t) Site.pp t.site gid)
+  | Ev_equivocation_detected { gid } ->
+      (match t.obs with
+      | Some o when t.config.Config.decision_certificates ->
+          Registry.Counter.incr
+            (Registry.counter (Obs.metrics o) ~site:t.site "coord.equivocations_detected")
+      | Some _ | None -> ());
+      Log.warn (fun m ->
+          m "[%a %a] T%d: conflicting bare decision dropped (equivocation detected)" Time.pp
+            (now t) Site.pp t.site gid)
 
 let log_write t (r : Agent_sm.record) =
   match r with
@@ -430,10 +452,11 @@ let log_view t gid : Agent_sm.log_view =
         committed = e.Agent_log.committed;
         locally_committed = e.Agent_log.locally_committed;
         rolled_back = e.Agent_log.rolled_back;
+        sn = e.Agent_log.sn;
       }
   | None ->
       { known = false; prepared = false; committed = false; locally_committed = false;
-        rolled_back = false }
+        rolled_back = false; sn = None }
 
 let handle t (msg : Message.t) =
   feed t

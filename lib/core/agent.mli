@@ -16,6 +16,7 @@ type stats = {
   mutable refused_interval : int;  (** alive-interval intersection failures (§4.2) *)
   mutable refused_dead : int;  (** subtransaction unilaterally aborted before prepare (CI 2) *)
   mutable refused_epoch : int;  (** BEGIN/EXEC stamped with a superseded placement epoch *)
+  mutable refused_drift : int;  (** PREPAREs rejected by the SN staleness bound *)
   mutable resubmissions : int;
   mutable commit_retries : int;
   mutable local_commits : int;

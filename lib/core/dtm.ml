@@ -68,6 +68,10 @@ type t = {
       (* one engine/network/trace per site (each site on its own domain):
          gids are strided so the hosting shard is computable from the
          address, and the omniscient history is a merge *)
+  gray_sites : int list;
+      (* sites whose links the network slows by [gray_factor] (copied
+         from the net config): coordinators they host are gray-marked at
+         [submit] so their decision traffic crawls too *)
   sites : site_ctx array;
   placement : Shard_map.t ref;
       (* the installed shard map; agents sample its epoch per input and
@@ -157,6 +161,7 @@ let create ~engine ~rng ~trace ~net_config ~certifier ?obs ?(crash_coordinators 
     obs;
     crash_coordinators;
     sharded = false;
+    gray_sites = net_config.Network.faults.Network.gray_sites;
     sites;
     placement;
     shard_gids = Hashtbl.create 64;
@@ -212,6 +217,7 @@ let create_sharded ~engines ~rng ~net_config ~certifier ?obs_of ?(crash_coordina
     obs = (match obs_of with Some f -> f 0 | None -> None);
     crash_coordinators;
     sharded = true;
+    gray_sites = net_config.Network.faults.Network.gray_sites;
     sites;
     placement;
     shard_gids = Hashtbl.create 1;
@@ -241,6 +247,17 @@ let sn_gen t site () =
   let c = ctx t site in
   c.sn_seq <- c.sn_seq + 1;
   Sn.make ~ts:(Clock.read c.clock ~real:(Engine.now c.engine)) ~site:c.site ~seq:c.sn_seq
+
+(* The stale-clock adversary: even-gid coordinators draw their serial
+   numbers [sn_drift] ticks in the past, slotting the commit below serial
+   numbers other sites may already have released. With [sn_drift = 0]
+   this is [sn_gen] itself — no wrapper, no perturbation. *)
+let adversarial_sn_gen t site ~gid =
+  let drift = t.certifier.Config.adversary.Config.sn_drift in
+  if drift > 0 && gid mod 2 = 0 then fun () ->
+    let sn = sn_gen t site () in
+    Sn.make ~ts:(Time.of_int (max 0 (Time.to_int sn.Sn.ts - drift))) ~site:sn.Sn.site ~seq:sn.Sn.seq
+  else sn_gen t site
 
 let submit ?gate ?shards t program ~on_done =
   let coord_site =
@@ -294,11 +311,17 @@ let submit ?gate ?shards t program ~on_done =
         on_done outcome
     end
   in
+  (* Gray coordinator: a coordinator hosted at a gray site inherits the
+     site's slow links — its address carries no site id, so the network
+     is told explicitly, before the first message leaves. *)
+  if List.mem (Site.to_int coord_site) t.gray_sites then
+    Network.mark_gray c.net (Hermes_net.Message.Coordinator gid);
   let coord =
     Coordinator.start ?gate ?obs:c.sobs ~log:c.clog ?batcher:c.batcher ~gid ~site:coord_site
       ~engine:c.engine ~net:c.net ~trace:c.strace ~config:t.certifier
       ~epoch:(Shard_map.epoch !(t.placement))
-      ~sn_gen:(sn_gen t coord_site) ~program ~on_done ()
+      ~sn_gen:(adversarial_sn_gen t coord_site ~gid)
+      ~program ~on_done ()
   in
   c.hosted <- coord :: c.hosted;
   gid
@@ -342,6 +365,49 @@ let reconfigure t ~shard ~to_ =
        serves under the new epoch already sees the adopted intervals *)
     t.placement := Shard_map.move map ~shard ~to_
   end
+
+(* Site churn: a site joins (or rejoins) the serving set, owning nothing
+   until a [reconfigure] moves shards onto it. Installing the new epoch is
+   enough — there is no state to hand over. *)
+let join t ~site =
+  if t.sharded then invalid_arg "Dtm.join: online reconfiguration runs on the sequential engine only";
+  t.placement := Shard_map.add_site !(t.placement) ~site
+
+(* A site leaves the serving set: its shards redistribute round-robin
+   over the survivors ({!Shard_map.remove_site}), and — exactly like a
+   [reconfigure] — each gainer adopts the leaver's prepared certification
+   state for the shards it inherits before the new epoch serves traffic.
+   In-flight rounds stamped with the old epoch get WRONG-EPOCH refusals
+   and re-resolve through the new map. *)
+let leave t ~site =
+  if t.sharded then
+    invalid_arg "Dtm.leave: online reconfiguration runs on the sequential engine only";
+  let map = !(t.placement) in
+  let next = Shard_map.remove_site map ~site in
+  let loser = (ctx t site).agent in
+  let touches_shard shard gid =
+    match Hashtbl.find_opt t.shard_gids gid with
+    | Some shards -> List.mem shard shards
+    | None -> true
+  in
+  List.iter
+    (fun shard ->
+      let to_ = Shard_map.owner next ~shard in
+      let gids =
+        Alive_table.entries (Agent.alive_table loser)
+        |> List.filter_map (fun e ->
+               if touches_shard shard e.Alive_table.gid then Some e.Alive_table.gid else None)
+        |> List.sort compare
+      in
+      let entries = Agent.export_handover loser ~gids in
+      Agent.adopt_handover (ctx t to_).agent entries;
+      List.iter
+        (fun (h : Agent_sm.handover_entry) ->
+          if not (List.mem to_ (Hashtbl.find_all t.foreign h.h_gid)) then
+            Hashtbl.add t.foreign h.h_gid to_)
+        entries)
+    (Shard_map.shards_of map ~site);
+  t.placement := next
 
 (* A site crash: the collective unilateral abort of every live transaction
    at the site plus loss of all volatile agent state, followed by recovery
@@ -433,6 +499,7 @@ type totals = {
   refused_interval : int;
   refused_dead : int;
   refused_epoch : int;
+  refused_drift : int;
   resubmissions : int;
   commit_retries : int;
   dlu_denials : int;
@@ -458,6 +525,7 @@ let totals t =
         refused_interval = acc.refused_interval + ags.Agent.refused_interval;
         refused_dead = acc.refused_dead + ags.Agent.refused_dead;
         refused_epoch = acc.refused_epoch + ags.Agent.refused_epoch;
+        refused_drift = acc.refused_drift + ags.Agent.refused_drift;
         resubmissions = acc.resubmissions + ags.Agent.resubmissions;
         commit_retries = acc.commit_retries + ags.Agent.commit_retries;
         dlu_denials = acc.dlu_denials + Hermes_ltm.Bound.denials (Ltm.bound_registry c.ltm);
@@ -481,6 +549,7 @@ let totals t =
       refused_interval = 0;
       refused_dead = 0;
       refused_epoch = 0;
+      refused_drift = 0;
       resubmissions = 0;
       commit_retries = 0;
       dlu_denials = 0;
@@ -513,6 +582,8 @@ let export_metrics t reg =
       c ~site "agent.refused_dead" ags.Agent.refused_dead;
       (* zero-skipped, so runs on the static map stay byte-identical *)
       c ~site "agent.refused_epoch" ags.Agent.refused_epoch;
+      (* zero-skipped likewise: nonzero only under [sn_drift_rejection] *)
+      c ~site "agent.refused_drift" ags.Agent.refused_drift;
       c ~site "agent.resubmissions" ags.Agent.resubmissions;
       c ~site "agent.commit_retries" ags.Agent.commit_retries;
       c ~site "agent.local_commits" ags.Agent.local_commits;

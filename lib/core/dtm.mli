@@ -119,6 +119,19 @@ val reconfigure : t -> shard:int -> to_:Site.t -> unit
     re-resolution. Moving a shard onto its current owner is a no-op
     (the epoch does not advance). Sequential engine only. *)
 
+val join : t -> site:Site.t -> unit
+(** Install {!Hermes_placement.Shard_map.add_site} as a new placement
+    epoch: [site] (re)joins the serving set, owning nothing until a
+    {!reconfigure} moves shards onto it. Raises if already serving.
+    Sequential engine only. *)
+
+val leave : t -> site:Site.t -> unit
+(** Install {!Hermes_placement.Shard_map.remove_site} as a new placement
+    epoch: [site]'s shards redistribute round-robin over the survivors,
+    and each gainer first adopts the leaver's prepared certification
+    state for the shards it inherits, exactly like a {!reconfigure}
+    handover. Raises on the last serving site. Sequential engine only. *)
+
 val load : t -> Site.t -> table:string -> key:int -> value:int -> unit
 (** Install an initial row (written by the initializing transaction T_0). *)
 
@@ -153,6 +166,7 @@ type totals = {
   refused_interval : int;
   refused_dead : int;
   refused_epoch : int;  (** WRONG-EPOCH refusals of stale-placement BEGIN/EXEC *)
+  refused_drift : int;  (** PREPAREs refused by the serial-number staleness bound *)
   resubmissions : int;
   commit_retries : int;
   dlu_denials : int;

@@ -18,6 +18,7 @@ module Dtm = Hermes_core.Dtm
 module Coordinator = Hermes_core.Coordinator
 module Cgm = Hermes_baselines.Cgm
 module Failure = Hermes_ltm.Failure
+module Network = Hermes_net.Network
 module Spec = Hermes_workload.Spec
 module Stats = Hermes_workload.Stats
 module Driver = Hermes_workload.Driver
@@ -25,6 +26,7 @@ module Report = Hermes_history.Report
 module Committed = Hermes_history.Committed
 module Anomaly = Hermes_history.Anomaly
 module View = Hermes_history.View
+module History = Hermes_history.History
 
 (* Closed-loop arrival at [mpl] with the suite's standard think time —
    the builder-API spelling of the old [global_mpl] flat field. *)
@@ -1240,10 +1242,16 @@ let e18_elastic ?(seeds = 3) ?(jobs = 1) ?metrics () =
             ~local_txn_cap:(20 * n_sites) ()
         in
         List.map
-          (fun moves ->
+          (fun (label, moves, churn) ->
             (* spread the whole churn across the run's opening stretch so
                every move lands while traffic is still in flight *)
             let reconfigure_at = if moves = 0 then 0 else max 2_000 (40_000 / moves) in
+            (* the churn cell retires the last site mid-run and re-admits
+               it later: a full remove_site epoch (shards redistributed
+               round-robin over the survivors after handover) followed by
+               an add_site epoch under which the returnee owns nothing *)
+            let leave_schedule = if churn then [ (20_000, n_sites - 1) ] else [] in
+            let join_schedule = if churn then [ (60_000, n_sites - 1) ] else [] in
             let runs =
               Pool.map ~jobs
                 (fun i ->
@@ -1257,6 +1265,8 @@ let e18_elastic ?(seeds = 3) ?(jobs = 1) ?metrics () =
                         obs = Some obs;
                         moves;
                         reconfigure_at;
+                        leave_schedule;
+                        join_schedule;
                       }
                   in
                   absorb_into metrics obs;
@@ -1280,7 +1290,7 @@ let e18_elastic ?(seeds = 3) ?(jobs = 1) ?metrics () =
             in
             [
               T.i n_sites;
-              T.i moves;
+              label;
               T.f1 (avg_i (List.map (fun (r : Driver.result) -> Stats.committed r.Driver.stats) runs));
               T.f1 (avg (List.map (fun (r : Driver.result) -> r.Driver.throughput) runs));
               T.f1 (p95 /. 1000.0);
@@ -1289,13 +1299,17 @@ let e18_elastic ?(seeds = 3) ?(jobs = 1) ?metrics () =
               Fmt.str "%d/%d" stuck seeds;
               T.b clean;
             ])
-          [ 0; max 1 (n_sites / 2) ])
+          [
+            ("static", 0, false);
+            (Fmt.str "%d moves" (max 1 (n_sites / 2)), max 1 (n_sites / 2), false);
+            ("leave+join", 0, true);
+          ])
       sites_list
   in
   T.make
     ~title:(Fmt.str "E18 Elastic placement: online shard moves under load, %d seeds per cell" seeds)
     ~headers:
-      [ "sites"; "moves"; "commits"; "commits/s"; "p95 (ms)"; "wrong-epoch"; "retries";
+      [ "sites"; "churn"; "commits"; "commits/s"; "p95 (ms)"; "wrong-epoch"; "retries";
         "stuck runs"; "clean" ]
     ~notes:
       [
@@ -1306,15 +1320,172 @@ let e18_elastic ?(seeds = 3) ?(jobs = 1) ?metrics () =
         "round re-resolves through the new map and retries without consuming the client's";
         "give-up budget, so the churn price is the 'retries' column and a fatter p95 while";
         "'commits' stays at the full quota and 'clean' certifies the committed projection";
-        "distortion- and cycle-free. moves = 0 replays the legacy static-placement schedule";
-        "byte-identically.";
+        "distortion- and cycle-free. The static cell replays the legacy static-placement";
+        "schedule byte-identically. The leave+join cell retires the last site at t=20ms (its";
+        "shards redistribute over the survivors after a prepared-state handover) and re-admits";
+        "it at t=60ms owning nothing — full membership churn under the same clean gate.";
       ]
     rows
 
-(* The whole suite, with per-experiment seed defaults mapped through
-   [seeds_of] (the seed override or the quick-mode scaling). E1-E3 are
-   four cheap scenario replays each and stay sequential; the seed sweeps
-   take [jobs]. *)
+(* E19: the process-fault adversary suite. Each adversary from
+   Config.adversary (lying agent, equivocating coordinator, stale-clock
+   serial numbers) plus the gray-site network fault runs once undefended
+   and once behind its countermeasure (decision certificates, the SN
+   staleness bound, mutual-suspicion timeouts). The claim: every defended
+   cell converts silent corruption (distortions, lost local commits,
+   unbounded in-doubt waits) into explicit, accounted-for refusals and
+   bounded blocking. *)
+let e19_adversary ?(seeds = 3) ?(jobs = 1) ?metrics () =
+  let spec = Spec.make ~n_global:90 ~arrival:(closed 4) () in
+  let gray_factor = 60 in
+  let certified c = { c with Config.decision_certificates = true } in
+  let lying = { Config.full with Config.adversary = { Config.no_adversary with Config.lying_sites = [ 1 ] } } in
+  let equivocating = { Config.full with Config.adversary = { Config.no_adversary with Config.equivocate = true } } in
+  (* the drift adversary targets the §5.3 gap, so it runs on the
+     extension ablation — the full certifier already refuses stale serial
+     numbers as part of certification_extension. The bound must sit below
+     the run's horizon: the adversary clamps drifted timestamps at zero,
+     so their apparent staleness is the delivery time itself. *)
+  let drifting =
+    { Config.without_extension with Config.adversary = { Config.no_adversary with Config.sn_drift = 1_000_000 } }
+  in
+  (* gray rows replicate the decision (Paxos f=1) so a suspicion inquiry
+     has a healthy register replica to read; both rows share the
+     protocol, the only delta is the suspicion timeout, sized just above
+     the gray decision path's typical round trip so healthy rounds never
+     trip it *)
+  let gray_base = { Config.full with Config.commit_proto = Config.Paxos { f = 1 } } in
+  let gray_faults =
+    { Network.no_faults with Network.gray_sites = [ 0 ]; gray_factor }
+  in
+  let cells =
+    [
+      ("none", "-", Config.full, Network.no_faults);
+      ("lying site 1", "off", lying, Network.no_faults);
+      ("lying site 1", "certificates", certified lying, Network.no_faults);
+      ("equivocate", "off", equivocating, Network.no_faults);
+      ( "equivocate",
+        "certs+suspicion",
+        { (certified equivocating) with Config.suspicion_timeout = 30_000 },
+        Network.no_faults );
+      ("sn drift", "off", drifting, Network.no_faults);
+      ( "sn drift",
+        "drift bound",
+        { drifting with Config.sn_drift_rejection = true; Config.max_sn_drift = 10_000 },
+        Network.no_faults );
+      ("gray site 0", "off", gray_base, gray_faults);
+      ( "gray site 0",
+        "suspicion",
+        { gray_base with Config.suspicion_timeout = 90_000 },
+        gray_faults );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (adversary, defense, config, faults) ->
+        let runs =
+          Pool.map ~jobs
+            (fun i ->
+              let obs = Obs.create () in
+              let r =
+                Driver.run
+                  {
+                    Driver.default_setup with
+                    Driver.spec;
+                    protocol = Driver.Two_pca config;
+                    net = { Driver.default_setup.Driver.net with Network.faults };
+                    seed = i + 1;
+                    obs = Some obs;
+                  }
+              in
+              (r, Obs.metrics obs))
+            (List.init seeds Fun.id)
+        in
+        let regs = List.map snd runs in
+        List.iter (absorb_reg metrics) regs;
+        let results = List.map fst runs in
+        let reg_counter name = avg_i (List.map (fun reg -> Registry.sum_counter reg name) regs) in
+        let p95 =
+          avg
+            (List.map
+               (fun reg -> float_of_int (Histogram.percentile (Registry.histogram_totals reg "workload.commit_latency") 95))
+               regs)
+        in
+        let in_doubt_p99 =
+          avg
+            (List.map
+               (fun reg -> float_of_int (Histogram.percentile (Registry.histogram_totals reg "agent.in_doubt_time") 99))
+               regs)
+        in
+        (* Serializability damage: a view distortion or a commit-order
+           cycle in the extended committed projection. *)
+        let anomaly_runs =
+          List.length
+            (List.filter
+               (fun (r : Driver.result) ->
+                 let ext = Committed.extended r.Driver.history in
+                 Anomaly.global_view_distortions ext <> []
+                 || Option.is_some (Anomaly.commit_order_cycle ext))
+               results)
+        in
+        (* Atomicity damage: globally committed transactions whose final
+           incarnation never locally committed at some involved site — the
+           lying agent's dropped commit and the equivocator's rolled-back
+           half land here, invisible to the serializability detectors. *)
+        let torn_of (r : Driver.result) =
+          let h = r.Driver.history in
+          List.length
+            (List.filter
+               (fun t -> History.is_globally_committed h t && not (History.is_complete h t))
+               (History.global_txns h))
+        in
+        let torn_total = List.fold_left (fun acc r -> acc + torn_of r) 0 results in
+        let stuck = List.length (List.filter (fun (r : Driver.result) -> r.Driver.stuck > 0) results) in
+        let clean = anomaly_runs = 0 && torn_total = 0 && stuck = 0 in
+        [
+          adversary;
+          defense;
+          T.f1 (avg_i (List.map (fun (r : Driver.result) -> Stats.committed r.Driver.stats) results));
+          T.f1 (avg (List.map (fun (r : Driver.result) -> r.Driver.throughput) results));
+          T.f1 (p95 /. 1000.0);
+          T.f1 (avg_i (List.map torn_of results));
+          Fmt.str "%d/%d" anomaly_runs seeds;
+          T.f1 (reg_counter "agent.refused_drift");
+          T.f1 (reg_counter "agent.suspicions");
+          T.f1 (reg_counter "coord.equivocations_detected");
+          T.f1 (in_doubt_p99 /. 1000.0);
+          Fmt.str "%d/%d" stuck seeds;
+          T.b clean;
+        ])
+      cells
+  in
+  T.make
+    ~title:
+      (Fmt.str "E19 Adversary suite: process faults vs countermeasures, %d seeds per cell" seeds)
+    ~headers:
+      [ "adversary"; "defense"; "commits"; "commits/s"; "p95 (ms)"; "torn"; "anomalies";
+        "drift refusals"; "suspicions"; "equivocations"; "in-doubt p99 (ms)"; "stuck runs"; "clean" ]
+    ~notes:
+      [
+        "Every adversary is deterministic and seed-stable (Config.adversary); with every knob at";
+        "its no_adversary value the machines emit the honest effect sequences byte-identically.";
+        "'torn' counts globally committed transactions missing a local commit at an involved";
+        "site — atomicity damage the serializability detectors cannot see. lying site 1 votes";
+        "READY without preparing and drops its local commit: undefended, most commits silently";
+        "lose a leg; with decision certificates the uncertified vote is rejected and the round";
+        "aborts — corruption becomes explicit unavailability. equivocate sends COMMIT to half";
+        "the participants and a bare ROLLBACK to the rest: undefended every commit is torn;";
+        "certificates make the forged ROLLBACK detectable ('equivocations') and the suspicion";
+        "timeout lets the victims terminate through the decision register. sn drift runs the";
+        "stale-clock coordinator on the S5.3 extension ablation, where the zero-clamped serial";
+        "numbers certify a non-serializable commit order ('anomalies'); the max_sn_drift bound";
+        "refuses the stale PREPAREs ('drift refusals') and the refused rounds retry to a clean";
+        "90/90. gray site 0 is alive but 60x slow — never tripping crash detection, so p95";
+        "rides the gray decision path; the mutual-suspicion timeout bounds the in-doubt p99 at";
+        "timeout + one healthy-quorum round trip, measured against the defended row only (the";
+        "undefended row arms no termination timers and so records no in-doubt histogram).";
+      ]
+    rows
 let tables ~seeds_of ?(jobs = 1) ?metrics ?domains () =
   [
     ("e1", fun () -> e1_global_view_distortion ?metrics ());
@@ -1343,6 +1514,7 @@ let tables ~seeds_of ?(jobs = 1) ?metrics ?domains () =
         e16_multicore ~seeds:(seeds_of 1) ~domains:domain_list ?metrics () );
     ("e17", fun () -> e17_commit_protocols ~seeds:(seeds_of 3) ~jobs ?metrics ());
     ("e18", fun () -> e18_elastic ~seeds:(seeds_of 3) ~jobs ?metrics ());
+    ("e19", fun () -> e19_adversary ~seeds:(seeds_of 3) ~jobs ?metrics ());
   ]
 
 let run_all ?(params = default_params) () =

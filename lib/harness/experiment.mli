@@ -125,7 +125,19 @@ val e18_elastic : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
     and resubmitted against the new map. Columns report commits,
     throughput, p95 latency, wrong-epoch refusals, resubmissions, stuck
     runs and the distortion-free verdict — churn must cost retries, not
-    correctness. *)
+    correctness. A third cell per site count exercises membership churn:
+    the last site leaves mid-run (shards redistributed over the
+    survivors after handover) and rejoins later owning nothing. *)
+
+val e19_adversary : ?seeds:int -> ?jobs:int -> ?metrics:Registry.t -> unit -> T.t
+(** The process-fault adversary suite: each {!Hermes_core.Config.adversary}
+    misbehaviour (lying agent, equivocating coordinator, stale-clock
+    serial numbers) plus the gray-site network fault, run undefended and
+    behind its countermeasure (decision certificates, the [max_sn_drift]
+    staleness bound, mutual-suspicion timeouts). Columns report commits,
+    throughput, p95 latency, distorted runs, drift refusals, suspicion and
+    equivocation-detection counters, and the in-doubt p99 — which the
+    suspicion timeout must bound for the gray coordinator. *)
 
 val all : ?quick:bool -> unit -> T.t list
 (** The tables of {!run_all} without names; [quick] divides each seed

@@ -31,6 +31,8 @@ type refusal =
   | Dead_refused  (* the subtransaction was unilaterally aborted: CI(2) *)
   | Scheduler_refused of string  (* baseline schedulers (CGM, ticket order) *)
   | Wrong_epoch  (* the message's placement epoch is behind the agent's installed map *)
+  | Drift_refused  (* the PREPARE's serial number is stale beyond the drift bound *)
+  | Uncertified_refused  (* a bare vote/decision where a certificate was required *)
 
 let pp_refusal ppf = function
   | Extension_refused -> Fmt.string ppf "prepare-out-of-order"
@@ -38,6 +40,8 @@ let pp_refusal ppf = function
   | Dead_refused -> Fmt.string ppf "unilaterally-aborted"
   | Scheduler_refused s -> Fmt.pf ppf "scheduler(%s)" s
   | Wrong_epoch -> Fmt.string ppf "wrong-epoch"
+  | Drift_refused -> Fmt.string ppf "sn-drift"
+  | Uncertified_refused -> Fmt.string ppf "uncertified"
 
 type payload =
   | Begin of { epoch : int }
@@ -47,9 +51,19 @@ type payload =
   | Exec_failed of { step : int; reason : string }
   | Prepare of Sn.t
   | Ready
+  | Ready_certified of { sn : Sn.t }
+      (* the vote carries the PREPARE's serial number it answers — the
+         prepare certificate. Unforgeable by fiat: an adversarial agent
+         only ever sends the bare [Ready]. *)
   | Refuse of refusal
   | Commit
+  | Commit_certified of { voters : Site.t list }
+      (* the decision carries the vote set it was derived from — the
+         decision certificate. Unforgeable by fiat: an equivocating
+         coordinator can only send certificates for decisions its durable
+         log actually holds, so its forged branch is always bare. *)
   | Rollback
+  | Rollback_certified
   | Commit_ack
   | Rollback_ack
   | Decision_req  (* termination protocol: an in-doubt participant asks for the outcome *)
@@ -78,9 +92,13 @@ let pp_payload ppf = function
   | Exec_failed { step; reason } -> Fmt.pf ppf "FAILED #%d %s" step reason
   | Prepare sn -> Fmt.pf ppf "PREPARE sn=%a" Sn.pp sn
   | Ready -> Fmt.string ppf "READY"
+  | Ready_certified { sn } -> Fmt.pf ppf "READY cert(sn=%a)" Sn.pp sn
   | Refuse r -> Fmt.pf ppf "REFUSE %a" pp_refusal r
   | Commit -> Fmt.string ppf "COMMIT"
+  | Commit_certified { voters } ->
+      Fmt.pf ppf "COMMIT cert(%a)" (Fmt.list ~sep:Fmt.comma Site.pp) voters
   | Rollback -> Fmt.string ppf "ROLLBACK"
+  | Rollback_certified -> Fmt.string ppf "ROLLBACK cert"
   | Commit_ack -> Fmt.string ppf "COMMIT-ACK"
   | Rollback_ack -> Fmt.string ppf "ROLLBACK-ACK"
   | Decision_req -> Fmt.string ppf "DECISION-REQ"

@@ -24,6 +24,12 @@ type refusal =
   | Wrong_epoch
       (** the message carried a placement epoch behind the agent's
           installed shard map; the client must re-resolve and resubmit *)
+  | Drift_refused
+      (** the PREPARE's serial number is stale beyond the configured
+          drift bound *)
+  | Uncertified_refused
+      (** a bare vote or decision arrived where a certificate was
+          required *)
 
 val pp_refusal : refusal Fmt.t
 
@@ -37,9 +43,18 @@ type payload =
   | Exec_failed of { step : int; reason : string }
   | Prepare of Sn.t
   | Ready
+  | Ready_certified of { sn : Sn.t }
+      (** the vote carries the serial number of the PREPARE it answers —
+          the prepare certificate; unforgeable by fiat (an adversarial
+          agent only ever sends bare [Ready]) *)
   | Refuse of refusal
   | Commit
+  | Commit_certified of { voters : Site.t list }
+      (** the decision carries the vote set it was derived from — the
+          decision certificate; unforgeable by fiat (an equivocating
+          coordinator's forged branch is always bare) *)
   | Rollback
+  | Rollback_certified
   | Commit_ack
   | Rollback_ack
   | Decision_req

@@ -40,9 +40,23 @@ type faults = {
   spike_p : float;  (* per-message delay-spike probability *)
   spike_factor : int;  (* delay multiplier when a spike hits *)
   partitions : partition list;
+  gray_sites : int list;
+      (* gray-failed sites: every message to or from their agent runs
+         [gray_factor] times slower, but nothing is ever lost — the
+         failure detector never fires, only timeouts can save you *)
+  gray_factor : int;  (* delay multiplier on gray-site links *)
 }
 
-let no_faults = { drop = 0.; dup = 0.; spike_p = 0.; spike_factor = 1; partitions = [] }
+let no_faults =
+  {
+    drop = 0.;
+    dup = 0.;
+    spike_p = 0.;
+    spike_factor = 1;
+    partitions = [];
+    gray_sites = [];
+    gray_factor = 1;
+  }
 
 type config = {
   base_delay : int;  (* ticks every message takes *)
@@ -72,6 +86,10 @@ type t = {
          delivery, for overtaking detection (the §5.3 race is cross-link,
          so per-link FIFO does not prevent it) *)
   down : (Message.address, unit) Hashtbl.t;
+  gray : (Message.address, unit) Hashtbl.t;
+      (* dynamically gray-marked addresses (e.g. coordinators hosted at a
+         gray site, whose address carries no site id); agent addresses
+         are matched statically against [faults.gray_sites] *)
   obs : Obs.t option;
   delay_hist : Histogram.t option;
   overtakes : Registry.Counter.t option;
@@ -96,6 +114,7 @@ let create ~engine ~rng ?obs ?fabric ~config () = {
   last_delivery = Hashtbl.create 64;
   in_flight = Hashtbl.create 32;
   down = Hashtbl.create 4;
+  gray = Hashtbl.create 4;
   obs;
   delay_hist = Option.map (fun o -> Registry.histogram (Obs.metrics o) "net.delay") obs;
   overtakes = Option.map (fun o -> Registry.counter (Obs.metrics o) "net.overtakes") obs;
@@ -118,6 +137,18 @@ let mark_down t addr =
 
 let mark_up t addr = Hashtbl.remove t.down addr
 let is_down t addr = Hashtbl.mem t.down addr
+
+(* Gray failure: [addr]'s links slow down by [gray_factor] but nothing is
+   lost, so — unlike [mark_down] — the network stays non-lossy and no
+   loss-recovery timers arm. *)
+let mark_gray t addr = Hashtbl.replace t.gray addr ()
+
+let is_gray t addr =
+  Hashtbl.mem t.gray addr
+  ||
+  match addr with
+  | Message.Agent s -> List.mem (Site.to_int s) t.config.faults.gray_sites
+  | _ -> false
 
 let count_drop t ~at ~dst ~gid ~reason =
   t.dropped <- t.dropped + 1;
@@ -197,6 +228,12 @@ let transmit t msg ~now =
   in
   let delay =
     if faults.spike_p > 0. && Rng.bool t.rng ~p:faults.spike_p then delay * faults.spike_factor
+    else delay
+  in
+  (* Gray links: a deterministic multiplier, no extra RNG draw — a
+     gray-free configuration transmits byte-identically. *)
+  let delay =
+    if faults.gray_factor > 1 && (is_gray t src || is_gray t dst) then delay * faults.gray_factor
     else delay
   in
   (* Per-link FIFO: never deliver before the link's previous message. *)

@@ -23,10 +23,17 @@ type faults = {
   spike_p : float;  (** per-message delay-spike probability *)
   spike_factor : int;  (** delay multiplier when a spike hits *)
   partitions : partition list;
+  gray_sites : int list;
+      (** gray-failed sites: alive and reachable, but every message to or
+          from their agent runs [gray_factor] times slower — slow enough
+          to strand in-doubt participants, never slow enough to trip
+          crash detection. Does not make the network {!lossy}. *)
+  gray_factor : int;  (** delay multiplier on gray-site links *)
 }
 
 val no_faults : faults
-(** All probabilities zero, no partitions: the reliable network. *)
+(** All probabilities zero, no partitions, no gray sites: the reliable
+    network. *)
 
 type config = { base_delay : int; jitter : int; faults : faults }
 
@@ -86,6 +93,13 @@ val mark_down : t -> Message.address -> unit
 val mark_up : t -> Message.address -> unit
 
 val is_down : t -> Message.address -> bool
+
+val mark_gray : t -> Message.address -> unit
+(** Gray-fail [addr]: its links slow down by [faults.gray_factor] but
+    deliver everything, so the network stays non-{!lossy} and crash
+    detection never fires. Used for addresses whose hosting site is not
+    static — e.g. a coordinator hosted at a gray site. Agent addresses
+    listed in [faults.gray_sites] are gray without marking. *)
 
 val assume_lossy : t -> unit
 (** Declare that deliveries may fail even though the static fault config

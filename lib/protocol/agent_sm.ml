@@ -98,6 +98,8 @@ type log_view = {
   committed : bool;  (* commit record forced *)
   locally_committed : bool;
   rolled_back : bool;
+  sn : Sn.t option;  (* the force-written prepare record's serial number,
+                        for re-voting with a certificate after a crash *)
 }
 
 (* One in-doubt stable-log entry handed to [Recover]. *)
@@ -198,6 +200,14 @@ type event =
       (* the in-doubt window closed after [in_doubt] ticks: the first
          COMMIT/ROLLBACK/DECISION-RESP for a prepared subtransaction *)
   | Ev_decision_inquiry of { gid : int; inquiries : int }
+  | Ev_equivocation_detected of { gid : int }
+      (* decision certificates: a bare (uncertified) COMMIT/ROLLBACK
+         reached a prepared participant — only an equivocating or
+         compromised coordinator sends those, so the decision is ignored
+         and the termination protocol resolves the round instead *)
+  | Ev_suspicion of { gid : int }
+      (* mutual suspicion: the suspicion timeout elapsed with the
+         coordinator still silent — escalate to the inquiry path *)
 
 type effect = (timer, record, call, event) Types.effect
 
@@ -292,6 +302,24 @@ let coalesce_calls effs =
         | e -> Some e)
       effs
 
+(* Is this agent one of the configured liars (Byzantine vote denial)? *)
+let lying (config : Config.t) (st : state) = Config.lying config ~site:(Site.to_int st.site)
+
+(* Mutual suspicion: the inquiry timer arms whenever the ordinary
+   termination protocol is engaged OR a suspicion timeout is configured —
+   the latter bounds the in-doubt window against a gray (alive-but-slow)
+   coordinator that ordinary crash detection never flags. *)
+let inquiry_engaged (config : Config.t) env =
+  (env.inquiry && config.Config.decision_inquiry_interval > 0)
+  || config.Config.suspicion_timeout > 0
+
+let inquiry_delay (config : Config.t) env =
+  if config.Config.suspicion_timeout > 0 then
+    if env.inquiry && config.Config.decision_inquiry_interval > 0 then
+      min config.Config.suspicion_timeout config.Config.decision_inquiry_interval
+    else config.Config.suspicion_timeout
+  else config.Config.decision_inquiry_interval
+
 let view env gid = List.assoc_opt gid env.views
 let view_alive env gid = match view env gid with Some v -> v.alive | None -> true
 let update st (sub : sub) = { st with subs = Int_map.add sub.gid sub st.subs }
@@ -343,7 +371,12 @@ let refresh_table st env =
 
 let rec start_resubmission config st env (sub : sub) =
   if sub.resubmitting then (st, [])
-  else attempt_resubmission config st env { sub with resubmitting = true }
+  else
+    (* A unilateral abort can race an in-flight [L_commit]: the LTM's
+       [Commit_done] for the dead incarnation is dropped by its [inc]
+       guard, so [committing] must be voided here or the fresh
+       incarnation's commit path stays blocked forever. *)
+    attempt_resubmission config st env { sub with resubmitting = true; committing = false }
 
 (* One resubmission attempt; [resubmitting] stays set across backoff
    retries, so the commit path and the alive check keep waiting instead
@@ -555,11 +588,21 @@ and refuse config st (sub : sub) refusal =
 and certify_prepare ?(refresh = true) (config : Config.t) st env (sub : sub) sn =
   let sub = { sub with sn = Some sn } in
   let st = update st sub in
+  let drift_ok =
+    (not config.Config.sn_drift_rejection)
+    || Time.diff env.now (Sn.ts sn) <= config.Config.max_sn_drift
+  in
   let extension_ok =
     (not config.Config.certification_extension)
     || match env.max_committed_sn with Some m -> Sn.(sn > m) | None -> true
   in
-  if not extension_ok then
+  if not drift_ok then
+    (* The serial number was drawn from a clock further in the past than
+       the drift bound allows: a stale-clock coordinator could slot the
+       commit below serial numbers this site has already released, so the
+       PREPARE is refused outright. *)
+    refuse config st sub Wire.Drift_refused
+  else if not extension_ok then
     (* §5.3: an "older" (bigger-SN) subtransaction already committed
        here; preparing this one would certify a non-serializable order. *)
     let committed_sn = Option.value ~default:sn env.max_committed_sn in
@@ -596,8 +639,9 @@ and certify_prepare ?(refresh = true) (config : Config.t) st env (sub : sub) sn 
     else begin
       (* Force write the prepare record; move to the prepared state. The
          in-doubt window opens here; with the termination protocol
-         engaged the inquiry timer bounds it. *)
-      let inq = env.inquiry && config.Config.decision_inquiry_interval > 0 in
+         engaged (or a suspicion timeout set) the inquiry timer bounds
+         it. *)
+      let inq = inquiry_engaged config env in
       let sub =
         {
           sub with
@@ -618,16 +662,15 @@ and certify_prepare ?(refresh = true) (config : Config.t) st env (sub : sub) sn 
         ]
         @ (if config.Config.bind_data then [ Ltm_call (L_bind { gid = sub.gid }) ] else [])
         @ [
-            send sub Wire.Ready;
+            send sub
+              (if config.Config.decision_certificates then Wire.Ready_certified { sn }
+               else Wire.Ready);
             Arm_timer { timer = T_alive sub.gid; delay = config.Config.alive_check_interval };
           ]
         @ Emit (Ev_in_doubt { gid = sub.gid })
           ::
           (if inq then
-             [
-               Arm_timer
-                 { timer = T_inquiry sub.gid; delay = config.Config.decision_inquiry_interval };
-             ]
+             [ Arm_timer { timer = T_inquiry sub.gid; delay = inquiry_delay config env } ]
            else []) )
     end
   end
@@ -669,6 +712,47 @@ let handle_exec st (sub : sub) ~step cmd =
       ] )
   else (st, [])
 
+(* The COMMIT decision for a tracked subtransaction: close the in-doubt
+   window on the first decision, note it, run commit certification.
+   Shared verbatim by COMMIT, COMMIT-certified and DECISION-RESP(commit)
+   — the inquiry answer must bypass the certificate gate, it is the
+   participant's own solicited decision. *)
+let handle_commit config st env (sub : sub) =
+  let first = sub.decision_at = None in
+  let decision_effs =
+    if first && sub.state = Prepared then
+      (match sub.prepared_at with
+      | Some p ->
+          [
+            Emit
+              (Ev_decision { gid = sub.gid; committed = true; in_doubt = Time.diff env.now p });
+          ]
+      | None -> [])
+      @ (if sub.inquiry_armed then [ Cancel_timer (T_inquiry sub.gid) ] else [])
+    else []
+  in
+  let sub =
+    {
+      sub with
+      decision_at = (if first then Some env.now else sub.decision_at);
+      decision_commit = true;
+      inquiry_armed = false;
+    }
+  in
+  let st = update st sub in
+  let st, commit_effs = try_commit config st env sub in
+  (st, decision_effs @ commit_effs)
+
+(* The lying agent's commit path: acknowledge the decision, silently
+   abort the local subtransaction instead of committing it. Nothing is
+   logged — the denial survives crash and replay. *)
+let handle_commit_lying config st (sub : sub) =
+  let st, cleanup_effs = cleanup config st sub in
+  ( st,
+    Ltm_call (L_abort { gid = sub.gid })
+    :: send sub Wire.Commit_ack
+    :: cleanup_effs )
+
 let handle_rollback config st env (sub : sub) =
   (* A ROLLBACK for a prepared subtransaction closes its in-doubt window. *)
   let decision =
@@ -690,7 +774,7 @@ let handle_rollback config st env (sub : sub) =
    either lost to a crash (active-state work is simply gone; 2PC lets a
    participant abort anything it never promised) or already finished
    (decision retransmissions are answered idempotently from the log). *)
-let handle_unknown st env ~src ~gid ~payload ~(log : log_view) =
+let handle_unknown (config : Config.t) st env ~src ~gid ~payload ~(log : log_view) =
   ignore env;
   let answer payload = Send { dst = src; gid; payload } in
   match payload with
@@ -707,8 +791,17 @@ let handle_unknown st env ~src ~gid ~payload ~(log : log_view) =
       if log.known && log.prepared && not log.rolled_back then
         (* A retransmitted PREPARE whose READY was lost (or chased a
            crash): the promise is on disk, repeat the vote. *)
-        (st, [ answer Wire.Ready ])
-      else (st, [ answer (Wire.Refuse Wire.Dead_refused) ])
+        let vote =
+          match log.sn with
+          | Some sn when config.Config.decision_certificates -> Wire.Ready_certified { sn }
+          | _ -> Wire.Ready
+        in
+        (st, [ answer vote ])
+      else
+        (* Either the subtransaction really was lost to a crash, or this
+           is a lying agent denying the promise it never made durable —
+           from here the two are indistinguishable. *)
+        (st, [ answer (Wire.Refuse Wire.Dead_refused) ])
   | Wire.Commit ->
       if log.known && log.locally_committed then (st, [ answer Wire.Commit_ack ])
       else if log.known && log.prepared && not log.rolled_back then
@@ -716,21 +809,37 @@ let handle_unknown st env ~src ~gid ~payload ~(log : log_view) =
            (crash and recovery separated in time): note it durably so
            recovery redoes the local commit and answers the ack then. *)
         if not log.committed then (st, [ Force_log (R_commit { gid }) ]) else (st, [])
+      else if lying config st then
+        (* The liar logged no prepare and dropped its local commit; it
+           keeps acknowledging so the round quiesces. *)
+        (st, [ answer Wire.Commit_ack ])
       else Fmt.failwith "agent %a: COMMIT for unknown, uncommitted T%d" Site.pp st.site gid
-  | Wire.Rollback ->
+  | Wire.Rollback when config.Config.decision_certificates ->
+      (* Certificates on: honest decisions are always certified, so a
+         bare ROLLBACK chasing a finished subtransaction is forged — an
+         equivocating coordinator's retransmission hunting for a stale
+         participant. Note the conflict; never obey or acknowledge it. *)
+      (st, [ Emit (Ev_equivocation_detected { gid }) ])
+  | Wire.Rollback | Wire.Rollback_certified ->
       ((if log.known then [ Force_log (R_rollback { gid }) ] else []) |> fun note ->
        (st, note @ [ answer Wire.Rollback_ack ]))
   | _ -> unexpected st ~src ~gid ~payload
 
-let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
+let deliver config st env ~src ~gid ~payload ~(log : log_view) =
   match payload with
-  | Wire.Decision_resp { committed } ->
-      (* The termination protocol's answer carries exactly the decision:
-         re-dispatch it as the equivalent COMMIT/ROLLBACK, which is
-         idempotent against a racing retransmission of the real one. *)
-      deliver config st env ~src ~gid
-        ~payload:(if committed then Wire.Commit else Wire.Rollback)
-        ~log
+  | Wire.Decision_resp { committed } -> (
+      (* The termination protocol's answer carries exactly the decision;
+         it dispatches to the decision handlers directly — never through
+         the certificate gate, which only guards unsolicited decisions. *)
+      match Int_map.find_opt gid st.subs with
+      | Some sub -> if committed then handle_commit config st env sub else handle_rollback config st env sub
+      | None ->
+          handle_unknown config st env ~src ~gid
+            ~payload:
+              (if committed then Wire.Commit
+               else if config.Config.decision_certificates then Wire.Rollback_certified
+               else Wire.Rollback)
+            ~log)
   | Wire.Begin { epoch } when epoch <> env.epoch ->
       (* The coordinator resolved through a placement map this agent has
          since superseded: refuse before any work starts. The sender
@@ -761,7 +870,7 @@ let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
   | Wire.Exec { step; cmd; epoch = _ } -> (
       match Int_map.find_opt gid st.subs with
       | Some sub -> handle_exec st sub ~step cmd
-      | None -> handle_unknown st env ~src ~gid ~payload ~log)
+      | None -> handle_unknown config st env ~src ~gid ~payload ~log)
   | Wire.Prepare sn -> (
       match Int_map.find_opt gid st.subs with
       | Some sub -> (
@@ -769,7 +878,18 @@ let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
           | Prepared ->
               (* A retransmitted or duplicated PREPARE: the promise is
                  already on disk, so repeat the vote. *)
-              (st, [ send sub Wire.Ready ])
+              let vote =
+                match sub.sn with
+                | Some sn when config.Config.decision_certificates -> Wire.Ready_certified { sn }
+                | _ -> Wire.Ready
+              in
+              (st, [ send sub vote ])
+          | Active when lying config st ->
+              (* Vote denial: promise READY with nothing behind it — no
+                 certification, no force-written prepare record, no
+                 held-open locks. The vote is necessarily bare: the liar
+                 holds no prepare record to certify it with. *)
+              (update st { sub with sn = Some sn }, [ send sub Wire.Ready ])
           | Active ->
               if gc config then
                 (* Group commit: buffer the PREPARE for the vectorized
@@ -785,38 +905,38 @@ let rec deliver config st env ~src ~gid ~payload ~(log : log_view) =
                     ( { st with flush_armed = true },
                       [ Arm_timer { timer = T_flush; delay = config.Config.group_commit_window } ] )
               else certify_prepare config st env sub sn)
-      | None -> handle_unknown st env ~src ~gid ~payload ~log)
+      | None -> handle_unknown config st env ~src ~gid ~payload ~log)
   | Wire.Commit -> (
       match Int_map.find_opt gid st.subs with
-      | Some sub ->
-          let first = sub.decision_at = None in
-          let decision_effs =
-            if first && sub.state = Prepared then
-              (match sub.prepared_at with
-              | Some p ->
-                  [ Emit (Ev_decision { gid; committed = true; in_doubt = Time.diff env.now p }) ]
-              | None -> [])
-              @ (if sub.inquiry_armed then [ Cancel_timer (T_inquiry gid) ] else [])
-            else []
-          in
-          let sub =
-            {
-              sub with
-              decision_at = (if first then Some env.now else sub.decision_at);
-              decision_commit = true;
-              inquiry_armed = false;
-            }
-          in
-          let st = update st sub in
-          let st, commit_effs = try_commit config st env sub in
-          (st, decision_effs @ commit_effs)
-      | None -> handle_unknown st env ~src ~gid ~payload ~log)
+      | Some sub when lying config st -> handle_commit_lying config st sub
+      | Some sub when config.Config.decision_certificates && sub.state = Prepared ->
+          (* Certificate gate: a bare COMMIT reached a prepared
+             participant although honest coordinators certify every
+             decision — ignore it and let the inquiry path resolve the
+             round from the durable log. *)
+          (st, [ Emit (Ev_equivocation_detected { gid }) ])
+      | Some sub -> handle_commit config st env sub
+      | None -> handle_unknown config st env ~src ~gid ~payload ~log)
+  | Wire.Commit_certified _ -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub when lying config st -> handle_commit_lying config st sub
+      | Some sub -> handle_commit config st env sub
+      | None -> handle_unknown config st env ~src ~gid ~payload:Wire.Commit ~log)
   | Wire.Rollback -> (
       match Int_map.find_opt gid st.subs with
+      | Some sub when config.Config.decision_certificates && sub.state = Prepared ->
+          (* The bare half of an equivocating coordinator's split (or a
+             forged abort): refuse to roll back a promised subtransaction
+             on an uncertified decision. *)
+          (st, [ Emit (Ev_equivocation_detected { gid }) ])
       | Some sub -> handle_rollback config st env sub
-      | None -> handle_unknown st env ~src ~gid ~payload ~log)
-  | Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Refuse _ | Wire.Commit_ack
-  | Wire.Rollback_ack | Wire.Decision_req
+      | None -> handle_unknown config st env ~src ~gid ~payload ~log)
+  | Wire.Rollback_certified -> (
+      match Int_map.find_opt gid st.subs with
+      | Some sub -> handle_rollback config st env sub
+      | None -> handle_unknown config st env ~src ~gid ~payload:Wire.Rollback ~log)
+  | Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Ready_certified _ | Wire.Refuse _
+  | Wire.Commit_ack | Wire.Rollback_ack | Wire.Decision_req
   (* Paxos Commit traffic flows between the leader and its acceptors
      only; a participant never sees it. *)
   | Wire.Px_accept _ | Wire.Px_accepted _ | Wire.Px_query _ | Wire.Px_promise _
@@ -889,12 +1009,15 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
               ]
           in
           let sub = { sub with inquiries = sub.inquiries + 1; inquiry_armed = true } in
+          let suspicion =
+            if config.Config.suspicion_timeout > 0 then [ Emit (Ev_suspicion { gid }) ] else []
+          in
           ( update st sub,
-            Emit (Ev_decision_inquiry { gid; inquiries = sub.inquiries })
-            :: send sub Wire.Decision_req
-            :: probe
-            @ [ Arm_timer { timer = T_inquiry gid; delay = config.Config.decision_inquiry_interval } ]
-          )
+            suspicion
+            @ Emit (Ev_decision_inquiry { gid; inquiries = sub.inquiries })
+              :: send sub Wire.Decision_req
+              :: probe
+            @ [ Arm_timer { timer = T_inquiry gid; delay = inquiry_delay config env } ] )
       | Some sub when sub.inquiry_armed -> (update st { sub with inquiry_armed = false }, [])
       | Some _ | None -> (st, []))
   | Backoff_fired { env; gid; inc } -> (
@@ -985,9 +1108,7 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
              stretch is not measurable from the log) and, with the
              termination protocol engaged, the inquiry timer restarts
              with it. *)
-          let inq =
-            (not e.r_committed) && env.inquiry && config.Config.decision_inquiry_interval > 0
-          in
+          let inq = (not e.r_committed) && inquiry_engaged config env in
           let sub =
             {
               gid = e.r_gid;
@@ -1027,10 +1148,7 @@ let step (config : Config.t) (st : state) (input : input) : state * effect list 
             @ (if e.r_committed then [] else [ Emit (Ev_in_doubt { gid = sub.gid }) ])
             @
             if inq then
-              [
-                Arm_timer
-                  { timer = T_inquiry sub.gid; delay = config.Config.decision_inquiry_interval };
-              ]
+              [ Arm_timer { timer = T_inquiry sub.gid; delay = inquiry_delay config env } ]
             else [] ))
         (st, []) entries
 

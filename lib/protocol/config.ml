@@ -17,6 +17,26 @@
    on the next site, non-blocking under exactly one failure. *)
 type commit_proto = Two_pc | Backup_tm | Paxos of { f : int }
 
+(* The process-fault adversary (Zhao, "A Byzantine Fault Tolerant
+   Distributed Commit Protocol"): deterministic misbehaviours injected
+   inside otherwise-honest machines. Everything defaults off, and with
+   every knob at zero the machines emit exactly the honest effect
+   sequences — the golden digests depend on it.
+
+   - [lying_sites]: agents at these sites vote READY *without* preparing
+     (no force-written prepare record, no certification, no held-open
+     locks) and answer any later replay or DECISION-REQ-driven decision
+     with "never prepared"; their local commit silently never happens.
+   - [equivocate]: coordinators send COMMIT to the first half of the
+     participant list and a bare ROLLBACK to the rest (and keep the
+     split on retransmission).
+   - [sn_drift]: even-gid coordinators draw serial numbers from a clock
+     [sn_drift] ticks in the past — the stale-clock assignment the
+     [max_sn_drift] bound exists to reject. *)
+type adversary = { lying_sites : int list; equivocate : bool; sn_drift : int }
+
+let no_adversary = { lying_sites = []; equivocate = false; sn_drift = 0 }
+
 type t = {
   prepare_certification : bool;  (* §4.2: alive time intersection rule *)
   certification_extension : bool;  (* §5.3: refuse PREPARE behind a bigger committed SN *)
@@ -53,9 +73,25 @@ type t = {
                        window has not elapsed *)
   commit_proto : commit_proto;  (* how the decision is made durable; [Two_pc] (the default)
                                    keeps every pre-replication run byte-identical *)
+  adversary : adversary;  (* injected process faults; [no_adversary] keeps runs honest *)
+  decision_certificates : bool;  (* countermeasure: READY carries its PREPARE's serial number
+                                    and COMMIT carries the vote set; agents, coordinators and
+                                    the Paxos register reject bare (uncertified) votes and
+                                    decisions, making vote-denial and equivocation detectable
+                                    at the receiver *)
+  sn_drift_rejection : bool;  (* countermeasure: refuse a PREPARE whose serial number is more
+                                 than [max_sn_drift] ticks behind the agent's clock *)
+  max_sn_drift : int;  (* the staleness bound [sn_drift_rejection] enforces *)
+  suspicion_timeout : int;  (* countermeasure against gray (alive-but-slow) coordinators:
+                               ticks an in-doubt participant waits before escalating to the
+                               inquiry/recovery path even on runs where the ordinary
+                               termination protocol is not armed; 0 = off *)
 }
 
 let group_commit t = t.group_commit_window > 0
+
+(* Is the agent at (integer) site id [site] a configured liar? *)
+let lying t ~site = List.mem site t.adversary.lying_sites
 
 (* Replica-set geometry of the decision register.  2PC has no acceptors
    (the coordinator log is the register); backup-TM has one; Paxos
@@ -92,6 +128,11 @@ let full =
     group_commit_window = 0;
     max_batch = 8;
     commit_proto = Two_pc;
+    adversary = no_adversary;
+    decision_certificates = false;
+    sn_drift_rejection = false;
+    max_sn_drift = 500_000;
+    suspicion_timeout = 0;
   }
 
 (* The naive 2PC agent: simulated prepared state and resubmission, but no

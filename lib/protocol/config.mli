@@ -22,6 +22,28 @@ type commit_proto =
           read/write quorums — commit survives [f] replica failures with
           zero blocking. *)
 
+(** The process-fault adversary: deterministic misbehaviours injected
+    inside otherwise-honest machines.  With every knob at its
+    {!no_adversary} value the machines emit exactly the honest effect
+    sequences — the golden digests depend on it. *)
+type adversary = {
+  lying_sites : int list;
+      (** agents at these (integer) sites vote READY without preparing
+          — no force-written prepare record, no certification — answer
+          later replays with "never prepared", and silently drop their
+          local commit *)
+  equivocate : bool;
+      (** coordinators send COMMIT to the first half of the participant
+          list and a bare ROLLBACK to the rest, keeping the split on
+          retransmission *)
+  sn_drift : int;
+      (** even-gid coordinators draw serial numbers from a clock this
+          many ticks in the past — the stale-clock assignment
+          [max_sn_drift] exists to reject *)
+}
+
+val no_adversary : adversary
+
 type t = {
   prepare_certification : bool;
       (** §4.2: refuse a PREPARE whose alive interval does not intersect
@@ -86,11 +108,32 @@ type t = {
       (** How the commit/abort decision is made durable. [Two_pc] (the
           default everywhere) keeps every pre-replication run
           byte-identical. *)
+  adversary : adversary;
+      (** Injected process faults; {!no_adversary} keeps runs honest. *)
+  decision_certificates : bool;
+      (** Countermeasure: READY carries its PREPARE's serial number and
+          COMMIT carries the vote set; agents, coordinators and the
+          Paxos register reject bare (uncertified) votes and decisions,
+          making vote-denial and equivocation detectable at the
+          receiver. *)
+  sn_drift_rejection : bool;
+      (** Countermeasure: refuse a PREPARE whose serial number is more
+          than [max_sn_drift] ticks behind the agent's clock. *)
+  max_sn_drift : int;
+      (** The staleness bound [sn_drift_rejection] enforces. *)
+  suspicion_timeout : int;
+      (** Countermeasure against gray (alive-but-slow) coordinators:
+          ticks an in-doubt participant waits before escalating to the
+          inquiry/recovery path even on runs where the ordinary
+          termination protocol is not armed; [0] = off. *)
 }
 
 val group_commit : t -> bool
 (** [group_commit t] is [t.group_commit_window > 0]: whether staged
     (batched) forcing is in effect. *)
+
+val lying : t -> site:int -> bool
+(** Is the agent at (integer) site id [site] a configured liar? *)
 
 val n_acceptors : t -> int
 (** Acceptors of the decision register: 0 for {!Two_pc}, 1 for

@@ -181,7 +181,31 @@ let send_to_acceptors config st payload =
   List.init (n_acceptors config) (fun idx ->
       send st ~dst:(Wire.Acceptor { gid = st.gid; idx }) payload)
 
-let decision_message st = match st.phase with Committing -> Wire.Commit | _ -> Wire.Rollback
+let decision_message config st =
+  match st.phase with
+  | Committing ->
+      if config.certifier.Config.decision_certificates then
+        Wire.Commit_certified { voters = st.participants }
+      else Wire.Commit
+  | _ ->
+      if config.certifier.Config.decision_certificates then Wire.Rollback_certified
+      else Wire.Rollback
+
+(* The per-participant decision payloads, in participant-list order. An
+   equivocating coordinator that decided COMMIT tells the first half of
+   its participants the truth and sends the rest a forged ROLLBACK —
+   necessarily bare, since its durable log holds commit and certificates
+   cannot be forged. An abort is never equivocated: there is nothing to
+   gain by telling a voter the truth it already fears. *)
+let decision_sends config st =
+  let honest = decision_message config st in
+  let n = n_participants st in
+  let equivocating =
+    config.certifier.Config.adversary.Config.equivocate && st.phase = Committing && n > 1
+  in
+  List.mapi
+    (fun i s -> (s, if equivocating && i * 2 >= n then Wire.Rollback else honest))
+    st.participants
 
 (* Start broadcasting the decision; decision retransmission replaces any
    armed PREPARE retransmission. *)
@@ -190,7 +214,7 @@ let start_decision config st phase =
   let cancels = if st.prepare_retransmit_armed then [ Cancel_timer Prepare_retransmit ] else [] in
   let st = { st with prepare_retransmit_armed = false; retransmit_armed = true } in
   ( st,
-    send_to_all st (decision_message st)
+    List.map (fun (s, payload) -> send st ~dst:(Wire.Agent s) payload) (decision_sends config st)
     @ cancels
     @ [ Arm_timer { timer = Retransmit; delay = config.certifier.Config.decision_retry_interval } ] )
 
@@ -329,8 +353,8 @@ let adopt config st committed =
 let handle_from_agent config st src payload =
   if st.finished then
     match payload with
-    | Wire.Commit_ack | Wire.Rollback_ack | Wire.Ready | Wire.Refuse _ | Wire.Exec_ok _
-    | Wire.Exec_failed _ ->
+    | Wire.Commit_ack | Wire.Rollback_ack | Wire.Ready | Wire.Ready_certified _ | Wire.Refuse _
+    | Wire.Exec_ok _ | Wire.Exec_failed _ ->
         (* Stray duplicates of any agent reply can trail the decision on
            a duplicating network. *)
         (st, [])
@@ -362,7 +386,23 @@ let handle_from_agent config st src payload =
            under a superseded placement map. Abort it; the submitter's
            resubmission re-resolves through the installed map. *)
         start_abort config st (Refused (src, r))
-    | Preparing, Wire.Ready -> (
+    | Preparing, Wire.Ready when config.certifier.Config.decision_certificates -> (
+        (* A bare vote where a certificate is required: the voter holds
+           no durable prepare record behind its promise (a liar, or a
+           forgery) — count it as a refusal, so the round aborts instead
+           of committing on a vote nobody can stand behind. *)
+        match note_vote config st src with
+        | None -> (st, [])
+        | Some (st, complete) ->
+            let st =
+              if st.refusal = None then { st with refusal = Some (src, Wire.Uncertified_refused) }
+              else st
+            in
+            if complete then
+              let site, refusal = Option.get st.refusal in
+              start_abort config st (Refused (site, refusal))
+            else (st, []))
+    | Preparing, (Wire.Ready | Wire.Ready_certified _) -> (
         match note_vote config st src with
         | None -> (st, [])
         | Some (st, complete) -> if complete then all_ready config st else (st, []))
@@ -384,7 +424,16 @@ let handle_from_agent config st src payload =
         else
           let st = { st with acked = Site.Set.add src st.acked } in
           if Site.Set.cardinal st.acked = n_participants st then finish st Committed else (st, [])
-    | Committing, (Wire.Ready | Wire.Refuse _ | Wire.Exec_ok _ | Wire.Exec_failed _) ->
+    | Committing, Wire.Rollback_ack when config.certifier.Config.adversary.Config.equivocate ->
+        (* The forged-ROLLBACK half acknowledges the lie; the equivocator
+           counts it like any other acknowledgement so the round
+           quiesces. *)
+        if Site.Set.mem src st.acked then (st, [])
+        else
+          let st = { st with acked = Site.Set.add src st.acked } in
+          if Site.Set.cardinal st.acked = n_participants st then finish st Committed else (st, [])
+    | Committing, (Wire.Ready | Wire.Ready_certified _ | Wire.Refuse _ | Wire.Exec_ok _
+      | Wire.Exec_failed _) ->
         (* Duplicated votes or command replies trailing the decision: ignore. *)
         (st, [])
     | Aborting reason, Wire.Rollback_ack ->
@@ -393,7 +442,8 @@ let handle_from_agent config st src payload =
           let st = { st with acked = Site.Set.add src st.acked } in
           if Site.Set.cardinal st.acked = n_participants st then finish st (Aborted reason)
           else (st, [])
-    | Aborting _, (Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Refuse _) ->
+    | Aborting _, (Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Ready | Wire.Ready_certified _
+      | Wire.Refuse _) ->
         (* Late replies racing the abort decision (e.g. an Exec_ok in
            flight when the exec timeout fired): ignore. *)
         (st, [])
@@ -406,8 +456,8 @@ let handle_from_agent config st src payload =
            this participant's acknowledgement again). *)
         adopt config st false
     | ( Replicating _,
-        ( Wire.Ready | Wire.Refuse _ | Wire.Exec_ok _ | Wire.Exec_failed _ | Wire.Commit_ack
-        | Wire.Rollback_ack ) ) ->
+        ( Wire.Ready | Wire.Ready_certified _ | Wire.Refuse _ | Wire.Exec_ok _ | Wire.Exec_failed _
+        | Wire.Commit_ack | Wire.Rollback_ack ) ) ->
         (* Duplicated votes or replies trailing the proposal — and early
            decision acks from participants that already learned the
            outcome from a recovery ballot's DECISION-RESP; the decision
@@ -460,10 +510,10 @@ let step config st input : state * effect list =
           let st = { st with retransmissions = st.retransmissions + 1 } in
           let resend =
             List.filter_map
-              (fun s ->
+              (fun (s, payload) ->
                 if Site.Set.mem s st.acked then None
-                else Some (send st ~dst:(Wire.Agent s) (decision_message st)))
-              st.participants
+                else Some (send st ~dst:(Wire.Agent s) payload))
+              (decision_sends config st)
           in
           ( st,
             Emit (Retransmitting_decision { unacked = n_participants st - Site.Set.cardinal st.acked })

@@ -305,7 +305,8 @@ let env_of scenario g s =
 let log_view_of g s gid =
   match find_entry g s gid with
   | None ->
-      { A.known = false; prepared = false; committed = false; locally_committed = false; rolled_back = false }
+      { A.known = false; prepared = false; committed = false; locally_committed = false;
+        rolled_back = false; sn = None }
   | Some e ->
       {
         A.known = true;
@@ -313,6 +314,7 @@ let log_view_of g s gid =
         committed = e.e_committed;
         locally_committed = e.e_lcommitted;
         rolled_back = e.e_rolled;
+        sn = e.e_sn;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -447,7 +449,27 @@ let rec ltm_call scenario g s (c : A.call) =
                     (Fmt.str
                        "I3: site %a releases the local commit of T%d with a smaller-SN prepared \
                         subtransaction present"
-                       Site.pp (site_of s) gid))
+                       Site.pp (site_of s) gid));
+             (* The completed-commit side of the same rule: releasing below
+                a serial number the site has already finished committing is
+                the §5.3 global-view distortion — the already-committed
+                entry is gone from the alive table, so [min_sn_holds] above
+                cannot see it. Reachable only with the certification
+                extension off (which would have refused this PREPARE), e.g.
+                under a stale-clock serial-number adversary. *)
+             List.iter
+               (fun e' ->
+                 match e'.e_sn with
+                 | Some sn' when e'.e_gid <> gid && e'.e_lcommitted && Sn.(sn' > e.Alive_table.sn) ->
+                     raise
+                       (Violation
+                          (Fmt.str
+                             "I3: site %a releases the local commit of T%d below the \
+                              already-committed bigger-SN T%d — commits released out of \
+                              serial-number order"
+                             Site.pp (site_of s) gid e'.e_gid))
+                 | _ -> ())
+               (assoc_or s g.logs ~default:[])
          | None -> ());
       { g with cbs = Cb_commit { site = s; gid; inc } :: g.cbs }
   | A.L_abort { gid } -> (
@@ -502,10 +524,19 @@ let feed_agent scenario g s input =
     (fun g (eff : A.effect) ->
       match eff with
       | Types.Send { dst; gid; payload } ->
+          (* [g.ready] records *genuine* READYs only: votes backed by a
+             durable prepare record (forced earlier in this same effect
+             list). A lying agent's READY has no prepare behind it, so it
+             never registers and I2 exposes the fake quorum. *)
+          let genuine =
+            match find_entry g s gid with Some e -> e.e_prepared | None -> false
+          in
           let g =
-            if payload = Wire.Ready && not (List.mem (gid, s) g.ready) then
-              { g with ready = (gid, s) :: g.ready }
-            else g
+            match payload with
+            | (Wire.Ready | Wire.Ready_certified _) when genuine && not (List.mem (gid, s) g.ready)
+              ->
+                { g with ready = (gid, s) :: g.ready }
+            | _ -> g
           in
           { g with msgs = { Wire.src = Wire.Agent (site_of s); dst; gid; payload } :: g.msgs }
       | Types.Arm_timer { timer; delay = _ } -> { g with timers = T_agent (s, timer) :: g.timers }
@@ -589,9 +620,15 @@ and coord_eff scenario gid g (eff : C.effect) =
   | Types.Record _ | Types.Emit _ -> g
   | Types.Invoke_gate ->
       (* The default gate proceeds immediately; the serial number is
-         drawn from the logical clock and a global sequence. *)
+         drawn from the logical clock and a global sequence. A stale-
+         clock adversary ([sn_drift] > 0) makes even-gid coordinators
+         draw from [sn_drift] ticks in the past — logical time may go
+         negative, which is exactly the point: the drawn serial number
+         sorts below every honest one. *)
       let st = List.assoc gid g.coords in
-      let sn = Sn.make ~ts:(Time.of_int g.clock) ~site:st.C.site ~seq:g.sn_seq in
+      let drift = scenario.config.Config.adversary.Config.sn_drift in
+      let ts = if drift > 0 && gid mod 2 = 0 then g.clock - drift else g.clock in
+      let sn = Sn.make ~ts:(Time.of_int ts) ~site:st.C.site ~seq:g.sn_seq in
       let g = { g with sn_seq = g.sn_seq + 1 } in
       feed_coord scenario g gid
         (C.Gate_opened { sn = Some sn; lossy = scenario.budgets.retransmits > 0 })
@@ -1212,7 +1249,13 @@ let i6_violation g =
 
 (* I4, at terminal states only (in-flight schedules may be half-done).
    Only the gid's participants are obliged to hold log entries — with
-   [txn_shards] set, a transaction touches a proper subset of sites. *)
+   [txn_shards] set, a transaction touches a proper subset of sites.
+   An undelivered commit is exempt while an armed mechanism can still
+   drive it home — an inquiry timer at the participant or a decision
+   retransmission at the coordinator whose *budget* ran out: real time
+   would fire it, the exploration merely stopped counting (the same
+   exemption I5 makes). A participant with NOTHING armed stays a
+   violation — that is the lying agent's silently-dropped local commit. *)
 let terminal_violations g =
   List.concat_map
     (fun (gid, outcome) ->
@@ -1221,13 +1264,21 @@ let terminal_violations g =
         | Some (st : C.state) -> st.C.participants
         | None -> []
       in
+      let still_driven s =
+        List.exists
+          (function
+            | T_agent (s', A.T_inquiry g') -> s' = s && g' = gid
+            | T_coord (g', C.Retransmit) -> g' = gid
+            | _ -> false)
+          g.timers
+      in
       List.filter_map
         (fun (s, entries) ->
           if not (List.mem (site_of s) participants) then None
           else
           let e = List.find_opt (fun e -> e.e_gid = gid) entries in
           match (outcome, e) with
-          | Types.Committed, Some e when not e.e_lcommitted ->
+          | Types.Committed, Some e when (not e.e_lcommitted) && not (still_driven s) ->
               Some
                 (Fmt.str "I4: T%d decided commit but site %a never committed locally" gid Site.pp
                    (site_of s))

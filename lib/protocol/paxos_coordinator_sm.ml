@@ -39,10 +39,14 @@
 open Hermes_kernel
 open Types
 
-type config = { n : int; quorum : int }
+type config = { n : int; quorum : int; certificates : bool }
 
 let config certifier =
-  { n = Config.n_acceptors certifier; quorum = Config.replica_quorum certifier }
+  {
+    n = Config.n_acceptors certifier;
+    quorum = Config.replica_quorum certifier;
+    certificates = certifier.Config.decision_certificates;
+  }
 
 (* Stable acceptor-log writes, all forced. *)
 type record =
@@ -182,9 +186,23 @@ let handle_deliver config st src payload =
       | Some d -> (st, [ send st ~dst:src (Wire.Decision_resp { committed = d }) ])
       | None ->
           if ballot < st.promised then (st, [])  (* stale proposer: silence, let it be nacked *)
+          else if config.certificates && ballot = 0 && not committed then
+            (* Decision certificates, register edition: a fast abort is
+               never replicated, so a ballot-0 abort proposal cannot come
+               from the honest leader — it is a forgery; drop it. *)
+            (st, [])
           else if st.accepted = Some (ballot, committed) then
             (* duplicate 2a (a retransmission): re-ack without re-forcing *)
             (st, [ send st ~dst:src (Wire.Px_accepted { ballot; idx = st.idx }) ])
+          else if
+            config.certificates
+            && match st.accepted with Some (b, v) -> b = ballot && v <> committed | None -> false
+          then
+            (* Conflicting value at the ballot we already accepted: the
+               register is write-once per ballot, so an honest proposer
+               never re-proposes differently — drop the forgery instead
+               of overwriting the accepted value. *)
+            (st, [])
           else
             (* accepting implies promising; any lower-ballot leadership of
                ours can no longer reach a quorum, so abandon it *)

@@ -70,6 +70,13 @@ type setup = {
   reconfigure_at : int;
       (* tick of the first scheduled move; move [m] fires at
          [m * reconfigure_at] *)
+  leave_schedule : (int * int) list;
+      (* (tick, site index): the site leaves the serving set — its shards
+         redistribute over the survivors with a prepared-state handover
+         ({!Dtm.leave}). 2PCA, sequential engine only *)
+  join_schedule : (int * int) list;
+      (* (tick, site index): the site (re)joins the serving set, owning
+         nothing until a later move ({!Dtm.join}) *)
   domains : int;
       (* OCaml domains for the run. 1 (default) = the legacy sequential
          engine, byte-identical to earlier revisions; > 1 = the sharded
@@ -95,6 +102,8 @@ let default_setup =
     obs = None;
     moves = 0;
     reconfigure_at = 0;
+    leave_schedule = [];
+    join_schedule = [];
     domains = 1;
   }
 
@@ -339,6 +348,25 @@ let run_single setup =
       Engine.schedule_unit engine ~delay:(m * gap) (fun () -> Dtm.reconfigure dtm ~shard ~to_)
     done
   end;
+  (* Site churn: scheduled leaves hand the leaver's shards (and prepared
+     certification state) to the survivors; scheduled joins re-admit a
+     site to the serving set. Each installs a new placement epoch, so
+     in-flight rounds re-resolve exactly as under a shard move. *)
+  if setup.leave_schedule <> [] || setup.join_schedule <> [] then begin
+    (match setup.protocol with
+    | Cgm_baseline _ -> invalid_arg "Driver: site churn requires the 2PCA protocol"
+    | Two_pca _ -> ());
+    List.iter
+      (fun (at, site_idx) ->
+        if site_idx >= 0 && site_idx < spec.Spec.n_sites then
+          Engine.schedule_unit engine ~delay:at (fun () -> Dtm.leave dtm ~site:(Site.of_int site_idx)))
+      setup.leave_schedule;
+    List.iter
+      (fun (at, site_idx) ->
+        if site_idx >= 0 && site_idx < spec.Spec.n_sites then
+          Engine.schedule_unit engine ~delay:at (fun () -> Dtm.join dtm ~site:(Site.of_int site_idx)))
+      setup.join_schedule
+  end;
   start_globals ();
   List.iter
     (fun site ->
@@ -405,6 +433,8 @@ let run_windowed ?(domains = 0) setup =
   in
   if setup.moves > 0 then
     invalid_arg "Driver.run_windowed: online reconfiguration runs on the sequential engine only";
+  if setup.leave_schedule <> [] || setup.join_schedule <> [] then
+    invalid_arg "Driver.run_windowed: site churn runs on the sequential engine only";
   if setup.net.Network.base_delay < 1 then
     invalid_arg "Driver.run_windowed: base_delay must be >= 1 (it is the lookahead)";
   let lookahead = setup.net.Network.base_delay in

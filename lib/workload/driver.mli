@@ -53,6 +53,16 @@ type setup = {
   reconfigure_at : int;
       (** tick of the first scheduled move; move [m] fires at
           [m * reconfigure_at] *)
+  leave_schedule : (int * int) list;
+      (** [(tick, site)] site departures: the site leaves the serving set,
+          its shards redistributing over the survivors after a prepared-
+          state handover ({!Hermes_core.Dtm.leave}). Empty (default) =
+          no churn. 2PCA, sequential engine only. *)
+  join_schedule : (int * int) list;
+      (** [(tick, site)] site (re)admissions ({!Hermes_core.Dtm.join});
+          the joiner owns nothing until a later move rebalances onto it.
+          A join of a site already serving raises, so pair it with an
+          earlier leave. 2PCA, sequential engine only. *)
   domains : int;
       (** OCaml domains executing the run. [1] (the default) is the
           legacy sequential engine — byte-identical to earlier revisions

@@ -122,7 +122,8 @@ let env ?(now = 0) ?(views = []) ?max_sn ?(inquiry = false) ?(epoch = 0) () =
   { A.now = Time.of_int now; views; max_committed_sn = max_sn; inquiry; epoch }
 
 let no_log =
-  { A.known = false; prepared = false; committed = false; locally_committed = false; rolled_back = false }
+  { A.known = false; prepared = false; committed = false; locally_committed = false;
+    rolled_back = false; sn = None }
 
 let deliver ?(cfg = cfg) ?(env = env ()) ?(log = no_log) ?(src = coord) st ~gid payload =
   A.step cfg st (A.Deliver { env; src; gid; payload; log })
@@ -1316,6 +1317,219 @@ let test_explore_backup_tm_single_kill_blocks () =
   Alcotest.(check bool) "violations found" true (st.Explore.n_violations > 0)
 
 (* ------------------------------------------------------------------ *)
+(* The process-fault adversaries and their countermeasures              *)
+(* ------------------------------------------------------------------ *)
+
+let cfg_certs = { cfg with Config.decision_certificates = true }
+let cfg_lying = { cfg with Config.adversary = { Config.no_adversary with Config.lying_sites = [ 0 ] } }
+let cfg_drift = { cfg with Config.sn_drift_rejection = true; max_sn_drift = 100 }
+let cfg_susp = { cfg with Config.suspicion_timeout = 7 }
+
+let test_certified_vote () =
+  (* With decision certificates on, the READY carries the prepare
+     certificate (the force-written serial number). *)
+  let _, effs = prepared ~cfg:cfg_certs ~sn:(mk_sn 0) (A.init ~site:a) in
+  Alcotest.(check bool) "vote is certified" true
+    (has_send effs (Wire.Ready_certified { sn = mk_sn 0 }));
+  Alcotest.(check bool) "bare READY suppressed" true (not (has_send effs Wire.Ready))
+
+let test_cert_gate_ignores_bare_commit () =
+  (* A bare COMMIT at a prepared participant is an equivocating
+     coordinator's forgery: noted, never obeyed. The certified decision
+     then commits normally. *)
+  let views = [ (1, v ()) ] in
+  let st, _ = prepared ~cfg:cfg_certs ~sn:(mk_sn 0) (A.init ~site:a) in
+  let st, effs = deliver ~cfg:cfg_certs ~env:(env ~views ()) st ~gid:1 Wire.Commit in
+  Alcotest.(check bool) "equivocation detected" true
+    (List.exists (function T.Emit (A.Ev_equivocation_detected { gid = 1 }) -> true | _ -> false) effs);
+  Alcotest.(check bool) "no local commit on a bare decision" true
+    (not (has_call effs (A.L_commit { gid = 1; inc = 0 })));
+  Alcotest.(check bool) "no ack on a bare decision" true (sends effs = []);
+  let _, effs =
+    deliver ~cfg:cfg_certs ~env:(env ~views ()) st ~gid:1 (Wire.Commit_certified { voters = [ a; b ] })
+  in
+  Alcotest.(check bool) "certified COMMIT forces the record" true
+    (has_log effs (A.R_commit { gid = 1 }));
+  Alcotest.(check bool) "certified COMMIT commits locally" true
+    (has_call effs (A.L_commit { gid = 1; inc = 0 }))
+
+let test_cert_gate_ignores_bare_rollback () =
+  let views = [ (1, v ()) ] in
+  let st, _ = prepared ~cfg:cfg_certs ~sn:(mk_sn 0) (A.init ~site:a) in
+  let st, effs = deliver ~cfg:cfg_certs ~env:(env ~views ()) st ~gid:1 Wire.Rollback in
+  Alcotest.(check bool) "equivocation detected" true
+    (List.exists (function T.Emit (A.Ev_equivocation_detected { gid = 1 }) -> true | _ -> false) effs);
+  Alcotest.(check bool) "promise kept: no local abort" true
+    (not (has_call effs (A.L_abort { gid = 1 })));
+  let _, effs = deliver ~cfg:cfg_certs ~env:(env ~views ()) st ~gid:1 Wire.Rollback_certified in
+  Alcotest.(check bool) "certified ROLLBACK aborts" true (has_call effs (A.L_abort { gid = 1 }));
+  Alcotest.(check bool) "certified ROLLBACK acked" true (has_send effs Wire.Rollback_ack)
+
+let test_drift_refusal () =
+  (* The serial number's timestamp is 1000 ticks behind the agent's
+     clock, beyond the 100-tick bound: refused outright, nothing
+     prepared. Within the bound the same PREPARE certifies. *)
+  let _, effs = prepared ~cfg:cfg_drift ~sn:(mk_sn 1) ~now:1000 (A.init ~site:a) in
+  Alcotest.(check bool) "stale SN refused" true
+    (has_send effs (Wire.Refuse Wire.Drift_refused));
+  Alcotest.(check bool) "local abort" true (has_call effs (A.L_abort { gid = 1 }));
+  let st, effs = prepared ~cfg:cfg_drift ~sn:(mk_sn 1) ~now:50 (A.init ~site:a) in
+  Alcotest.(check bool) "fresh SN certifies" true (has_send effs Wire.Ready);
+  Alcotest.(check int) "prepared" 1 (A.n_prepared st)
+
+let test_lying_prepare_promises_nothing () =
+  (* Vote denial: the liar answers READY with no certification pass, no
+     force-written prepare record and no held-open locks — the promise
+     evaporates at the first crash or replay. *)
+  let st, effs = prepared ~cfg:cfg_lying ~sn:(mk_sn 0) (A.init ~site:a) in
+  Alcotest.(check bool) "votes READY regardless" true (has_send effs Wire.Ready);
+  Alcotest.(check bool) "nothing certified" true (verdict_of effs = None);
+  Alcotest.(check bool) "no prepare record" true
+    (not (has_log effs (A.R_prepare { gid = 1; sn = mk_sn 0 })));
+  Alcotest.(check bool) "no held-open locks" true
+    (not (has_call effs (A.L_hold_open { gid = 1 })));
+  Alcotest.(check int) "no table entry" 0 (A.n_prepared st)
+
+let test_suspicion_escalates () =
+  (* A suspicion timeout bounds the in-doubt window even with the
+     ordinary termination protocol disengaged (env.inquiry = false):
+     the inquiry timer arms at prepare, and each firing counts a
+     suspicion and asks for the decision. *)
+  let st, effs = prepared ~cfg:cfg_susp ~sn:(mk_sn 0) (A.init ~site:a) in
+  Alcotest.(check bool) "inquiry timer armed without env.inquiry" true
+    (has_arm effs (A.T_inquiry 1));
+  let _, effs =
+    A.step cfg_susp st (A.Inquiry_fired { env = env ~now:7 ~views:[ (1, v ()) ] (); gid = 1 })
+  in
+  Alcotest.(check bool) "suspicion counted" true
+    (List.exists (function T.Emit (A.Ev_suspicion { gid = 1 }) -> true | _ -> false) effs);
+  Alcotest.(check bool) "asks for the decision" true (has_send effs Wire.Decision_req);
+  Alcotest.(check bool) "re-arms" true (has_arm effs (A.T_inquiry 1))
+
+let prop_zero_adversary_byte_identical =
+  (* The effect-order contract: a config with every adversary knob at
+     its zero value — and the drift guard enabled but vacuous — draws
+     the same RNG stream, emits the same trace and counts the same
+     metrics as the honest config, byte for byte, at any seed. *)
+  QCheck.Test.make ~name:"zero adversary knobs are byte-identical to faults-off" ~count:8
+    QCheck.(pair (int_bound 999) (int_range 10 30))
+    (fun (seed, n_global) ->
+      let zeroed =
+        {
+          Config.full with
+          Config.adversary = { Config.lying_sites = []; equivocate = false; sn_drift = 0 };
+          Config.sn_drift_rejection = true;
+          max_sn_drift = 1_000_000_000;
+        }
+      in
+      let dig config =
+        run_digest
+          {
+            Driver.default_setup with
+            Driver.protocol = Driver.Two_pca config;
+            seed;
+            spec =
+              Spec.make ~n_global
+                ~arrival:(Spec.Closed { mpl = 3; think_time_mean = Spec.think_time Spec.default })
+                ();
+          }
+      in
+      dig Config.full = dig zeroed)
+
+(* The model checker against each adversary: undefended it rediscovers
+   the violation; defended it exhausts clean. *)
+
+let violation_with_prefix (st : Explore.stats) p =
+  List.exists
+    (fun (msg, _) -> String.length msg >= String.length p && String.sub msg 0 (String.length p) = p)
+    st.Explore.violations
+
+let lying_scenario ~defended =
+  let config =
+    {
+      Explore.default.Explore.config with
+      Config.adversary = { Config.no_adversary with Config.lying_sites = [ 1 ] };
+      Config.decision_certificates = defended;
+    }
+  in
+  { Explore.default with Explore.config; budgets = Explore.no_faults }
+
+let test_explore_vote_denial_violates () =
+  (* The liar's bare READY completes the quorum and the transaction
+     globally commits with no durable promise behind site b's vote:
+     I2 (decision soundness) must find it. *)
+  let st = Explore.run (lying_scenario ~defended:false) in
+  Alcotest.(check bool) "exhausted" false st.Explore.truncated;
+  Alcotest.(check bool) "an I2 counterexample is reported" true (violation_with_prefix st "I2")
+
+let test_explore_vote_denial_defended_clean () =
+  (* Prepare certificates: the liar cannot certify a promise it never
+     logged, so its bare READY no longer counts towards the quorum. *)
+  check_clean "lying + certificates" (Explore.run (lying_scenario ~defended:true))
+
+let equivocation_scenario ~defended =
+  let config =
+    {
+      Explore.default.Explore.config with
+      Config.adversary = { Config.no_adversary with Config.equivocate = true };
+    }
+  in
+  let config =
+    if defended then
+      { config with Config.decision_certificates = true; Config.suspicion_timeout = 5 }
+    else config
+  in
+  {
+    Explore.default with
+    Explore.n_txns = 1;
+    config;
+    budgets =
+      (if defended then { Explore.no_faults with Explore.inquiries = 1; retransmits = 1 }
+       else Explore.no_faults);
+  }
+
+let test_explore_equivocation_violates () =
+  (* COMMIT to half the participants, bare ROLLBACK to the rest: I4
+     (decision agreement) must catch the split. *)
+  let st = Explore.run (equivocation_scenario ~defended:false) in
+  Alcotest.(check bool) "exhausted" false st.Explore.truncated;
+  Alcotest.(check bool) "an I4 counterexample is reported" true (violation_with_prefix st "I4")
+
+let test_explore_equivocation_defended_clean () =
+  (* Certificates make the forged branch inert and the suspicion timeout
+     lets the starved half resolve through the decision log. *)
+  check_clean "equivocation + certificates + suspicion"
+    (Explore.run (equivocation_scenario ~defended:true))
+
+let drift_scenario ~defended =
+  let config =
+    {
+      Config.without_extension with
+      Config.bind_data = false;
+      Config.adversary = { Config.no_adversary with Config.sn_drift = 1_000 };
+      Config.max_sn_drift = 100;
+      Config.sn_drift_rejection = defended;
+    }
+  in
+  {
+    Explore.default with
+    Explore.config = config;
+    budgets = { Explore.no_faults with Explore.commit_retries = 2 };
+  }
+
+let test_explore_sn_drift_violates () =
+  (* A stale-clock coordinator slots an even gid's commit below serial
+     numbers the other site already released; without §5.3's extension
+     check the certified order goes non-serializable (I3). *)
+  let st = Explore.run (drift_scenario ~defended:false) in
+  Alcotest.(check bool) "exhausted" false st.Explore.truncated;
+  Alcotest.(check bool) "an I3 counterexample is reported" true (violation_with_prefix st "I3")
+
+let test_explore_sn_drift_defended_clean () =
+  (* The drift bound refuses the stale PREPARE before certification. *)
+  check_clean "sn drift + rejection" (Explore.run (drift_scenario ~defended:true))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "protocol"
@@ -1418,6 +1632,32 @@ let () =
             test_explore_reconfigure_clean;
           Alcotest.test_case "ablated handover certifies unsoundly (I6)" `Slow
             test_explore_no_handover_unsound;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "certified vote carries the prepare SN" `Quick test_certified_vote;
+          Alcotest.test_case "bare COMMIT ignored at a prepared participant" `Quick
+            test_cert_gate_ignores_bare_commit;
+          Alcotest.test_case "bare ROLLBACK ignored at a prepared participant" `Quick
+            test_cert_gate_ignores_bare_rollback;
+          Alcotest.test_case "stale SN refused beyond the drift bound" `Quick test_drift_refusal;
+          Alcotest.test_case "lying agent promises nothing durable" `Quick
+            test_lying_prepare_promises_nothing;
+          Alcotest.test_case "suspicion timeout escalates to inquiry" `Quick
+            test_suspicion_escalates;
+          QCheck_alcotest.to_alcotest prop_zero_adversary_byte_identical;
+        ] );
+      ( "adversary-explore",
+        [
+          Alcotest.test_case "vote denial rediscovered (I2)" `Slow test_explore_vote_denial_violates;
+          Alcotest.test_case "certificates survive vote denial" `Slow
+            test_explore_vote_denial_defended_clean;
+          Alcotest.test_case "equivocation rediscovered (I4)" `Quick test_explore_equivocation_violates;
+          Alcotest.test_case "certificates + suspicion survive equivocation" `Slow
+            test_explore_equivocation_defended_clean;
+          Alcotest.test_case "SN drift rediscovered (I3)" `Slow test_explore_sn_drift_violates;
+          Alcotest.test_case "drift rejection survives the stale clock" `Slow
+            test_explore_sn_drift_defended_clean;
         ] );
       ( "termination-reliable",
         [
